@@ -1,0 +1,76 @@
+//! Criterion benches wrapping scaled-down versions of each figure's
+//! workload, so the harness itself is continuously exercised:
+//! one bench per paper artifact (Fig 3/7/9/10 share the VGIW-vs-Fermi
+//! sweep; Fig 8/11 the VGIW-vs-SGMF sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgiw_bench::{SgmfLauncher, SimtLauncher, VgiwLauncher};
+
+fn bench_vgiw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig3_vgiw");
+    g.sample_size(10);
+    for app in ["NN", "KMEANS", "GE"] {
+        let bench = build(app);
+        g.bench_function(format!("vgiw/{app}"), |b| {
+            b.iter(|| {
+                let mut l = VgiwLauncher::default();
+                bench.run(&mut l).expect("vgiw run");
+                l.result.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig9_fermi");
+    g.sample_size(10);
+    for app in ["NN", "KMEANS", "GE"] {
+        let bench = build(app);
+        g.bench_function(format!("fermi/{app}"), |b| {
+            b.iter(|| {
+                let mut l = SimtLauncher::default();
+                bench.run(&mut l).expect("simt run");
+                l.result.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sgmf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig11_sgmf");
+    g.sample_size(10);
+    for app in ["NN", "KMEANS"] {
+        let bench = build(app);
+        g.bench_function(format!("sgmf/{app}"), |b| {
+            b.iter(|| {
+                let mut l = SgmfLauncher::default();
+                bench.run(&mut l).expect("sgmf run");
+                l.result.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    // Table 2 shape: compiling each kernel (place & route dominates).
+    let grid = vgiw_compiler::GridSpec::paper();
+    let kernel = vgiw_kernels::cfd::compute_flux_kernel();
+    c.bench_function("compile/cfd_compute_flux", |b| {
+        b.iter(|| vgiw_compiler::compile(&kernel, &grid).expect("compiles"))
+    });
+}
+
+fn build(app: &str) -> vgiw_kernels::Benchmark {
+    match app {
+        "NN" => vgiw_kernels::nn::build(1),
+        "KMEANS" => vgiw_kernels::kmeans::build(1),
+        "GE" => vgiw_kernels::ge::build(1),
+        _ => unreachable!(),
+    }
+}
+
+criterion_group!(benches, bench_vgiw, bench_simt, bench_sgmf, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage: `cargo run --release -p vgiw-bench --bin experiments -- [what]`
+//! where `what` is one of `all` (default), `table1`, `table2`, `fig3`,
+//! the optional second argument scales workloads (default 1; larger
+//! values amortize reconfiguration like Rodinia-scale inputs). Also: `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `config-overhead`,
+//! `mappability`.
+
+use vgiw_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    match what {
+        "table1" => print!("{}", report::table1()),
+        "table2" => print!("{}", report::table2(&vgiw_kernels::suite(scale))),
+        "mappability" => print!("{}", report::mappability(&vgiw_kernels::suite(scale))),
+        "ablations" => print!("{}", report::ablations(scale)),
+        "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
+            eprintln!("running suite (scale {scale})...");
+            let results = report::run_suite(scale);
+            let text = match what {
+                "fig3" => report::fig3(&results),
+                "fig7" => report::fig7(&results),
+                "fig8" => report::fig8(&results),
+                "fig9" => report::fig9(&results),
+                "fig10" => report::fig10(&results),
+                "fig11" => report::fig11(&results),
+                _ => report::config_overhead(&results),
+            };
+            print!("{text}");
+        }
+        "all" => {
+            print!("{}", report::table1());
+            println!();
+            let benches = vgiw_kernels::suite(scale);
+            print!("{}", report::table2(&benches));
+            println!();
+            print!("{}", report::mappability(&benches));
+            println!();
+            eprintln!("running suite on all machines (scale {scale})...");
+            let results = report::run_suite(scale);
+            for text in [
+                report::fig3(&results),
+                report::fig7(&results),
+                report::fig8(&results),
+                report::fig9(&results),
+                report::fig10(&results),
+                report::fig11(&results),
+                report::config_overhead(&results),
+            ] {
+                print!("{text}");
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness: machine launchers, per-figure experiment runners
+//! and the `experiments` binary that regenerates every table and figure
+//! of the paper's evaluation (see DESIGN.md §5 for the index).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{measure, AppResult, MachineResult, SgmfLauncher, SimtLauncher, VgiwLauncher};

@@ -1,0 +1,340 @@
+//! Experiment runners: one function per paper table/figure, each printing
+//! the same rows/series the paper reports.
+
+use crate::harness::{geomean, measure, AppResult};
+use vgiw_core::VgiwConfig;
+use vgiw_kernels::Benchmark;
+use vgiw_sgmf::is_mappable;
+use vgiw_simt::SimtConfig;
+
+/// Runs the whole suite once and returns per-app results.
+pub fn run_suite(scale: u32) -> Vec<AppResult> {
+    vgiw_kernels::suite(scale).iter().map(measure).collect()
+}
+
+/// Table 1: the system configuration.
+pub fn table1() -> String {
+    let v = VgiwConfig::default();
+    let s = SimtConfig::default();
+    let cap = v.grid.capacity();
+    let mut out = String::new();
+    out.push_str("Table 1: VGIW system configuration\n");
+    out.push_str(&format!(
+        "  VGIW core           {} interconnected func./LDST/control units\n",
+        v.grid.num_units()
+    ));
+    out.push_str(&format!("  Functional units    {cap}\n"));
+    out.push_str(&format!(
+        "  Reconfiguration     {} cycles/block (2 waves x {} + overhead)\n",
+        v.config_cycles,
+        v.grid.config_wave_cycles()
+    ));
+    out.push_str(&format!(
+        "  L1                  {}KB, {} banks, {}B/line, {}-way ({:?}/{:?})\n",
+        v.l1.geometry.size_bytes / 1024,
+        v.l1.geometry.banks,
+        v.l1.geometry.line_bytes,
+        v.l1.geometry.ways,
+        v.l1.write_policy,
+        v.l1.alloc_policy,
+    ));
+    out.push_str(&format!(
+        "  LVC                 {}KB, {} banks\n",
+        v.lvc.geometry.size_bytes / 1024,
+        v.lvc.geometry.banks
+    ));
+    out.push_str(&format!(
+        "  L2                  {}KB, {} banks, {}B/line, {}-way\n",
+        v.shared.l2_geometry.size_bytes / 1024,
+        v.shared.l2_geometry.banks,
+        v.shared.l2_geometry.line_bytes,
+        v.shared.l2_geometry.ways,
+    ));
+    out.push_str(&format!(
+        "  GDDR5 DRAM          {} banks/channel, {} channels\n",
+        v.shared.dram_banks_per_channel, v.shared.dram_channels
+    ));
+    out.push_str(&format!(
+        "  Fermi SM baseline   {} lanes, {} resident warps, {} schedulers ({:?} L1)\n",
+        s.warp_size, s.max_warps, s.issue_width, s.l1.write_policy
+    ));
+    out
+}
+
+/// Table 2: the benchmark suite with kernel block counts.
+pub fn table2(benches: &[Benchmark]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: benchmark suite (kernel: #basic blocks)\n");
+    for b in benches {
+        let kernels: Vec<String> = b
+            .kernel_summary()
+            .into_iter()
+            .map(|(name, blocks)| format!("{name}({blocks})"))
+            .collect();
+        out.push_str(&format!(
+            "  {:<8} {:<22} {}\n",
+            b.app,
+            b.domain,
+            kernels.join(", ")
+        ));
+    }
+    out
+}
+
+/// Figure 3: LVC accesses as a fraction of GPGPU RF accesses.
+pub fn fig3(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: LVC accesses / GPGPU RF accesses (lower = less traffic)\n");
+    for r in results {
+        out.push_str(&format!("  {:<8} {:>8.3}\n", r.app, r.lvc_rf_ratio()));
+    }
+    // Arithmetic mean: kernels whose only crossing value is the thread
+    // index have *zero* LVC traffic, which a geometric mean cannot absorb.
+    let n = results.len().max(1) as f64;
+    let avg = results.iter().map(AppResult::lvc_rf_ratio).sum::<f64>() / n;
+    out.push_str(&format!(
+        "  AVG      {avg:>8.3}   (arithmetic mean; paper: ~0.1)\n"
+    ));
+    out
+}
+
+/// Figure 7: VGIW speedup over the Fermi-like SM.
+pub fn fig7(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: VGIW speedup over Fermi (x)\n");
+    for r in results {
+        out.push_str(&format!("  {:<8} {:>7.2}x\n", r.app, r.speedup_vs_fermi()));
+    }
+    let avg = geomean(results.iter().map(AppResult::speedup_vs_fermi));
+    out.push_str(&format!(
+        "  AVG      {avg:>7.2}x  (paper: ~3x average, 0.9x-11x range)\n"
+    ));
+    out
+}
+
+/// Figure 8: VGIW speedup over SGMF on the mappable subset.
+pub fn fig8(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8: VGIW speedup over SGMF (mappable subset)\n");
+    let mut sub = Vec::new();
+    for r in results {
+        match r.speedup_vs_sgmf() {
+            Some(s) => {
+                out.push_str(&format!("  {:<8} {:>7.2}x\n", r.app, s));
+                sub.push(s);
+            }
+            None => {
+                let why = r.sgmf.as_ref().err().cloned().unwrap_or_default();
+                out.push_str(&format!("  {:<8}     n/a  ({why})\n", r.app));
+            }
+        }
+    }
+    if sub.is_empty() {
+        out.push_str("  AVG          n/a  (no SGMF-mappable apps)\n");
+    } else {
+        let avg = geomean(sub);
+        out.push_str(&format!(
+            "  AVG      {avg:>7.2}x  (paper: ~1.45x average, 0.4x-3.1x range)\n"
+        ));
+    }
+    out
+}
+
+/// Figure 9: VGIW energy efficiency over Fermi (system level).
+pub fn fig9(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 9: VGIW energy efficiency over Fermi (x, system level)\n");
+    for r in results {
+        out.push_str(&format!("  {:<8} {:>7.2}x\n", r.app, r.efficiency_vs_fermi()));
+    }
+    let avg = geomean(results.iter().map(AppResult::efficiency_vs_fermi));
+    out.push_str(&format!(
+        "  AVG      {avg:>7.2}x  (paper: ~1.75x average, 0.7x-7x range)\n"
+    ));
+    out
+}
+
+/// Figure 10: efficiency over Fermi at system/die/core levels.
+pub fn fig10(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10: VGIW/Fermi energy efficiency by level\n");
+    out.push_str("  app       core     die     system\n");
+    let mut cores = Vec::new();
+    let mut dies = Vec::new();
+    let mut systems = Vec::new();
+    for r in results {
+        let (c, d, s) = r.efficiency_levels();
+        out.push_str(&format!("  {:<8} {c:>6.2}x {d:>6.2}x {s:>7.2}x\n", r.app));
+        cores.push(c);
+        dies.push(d);
+        systems.push(s);
+    }
+    out.push_str(&format!(
+        "  AVG      {:>6.2}x {:>6.2}x {:>7.2}x  (paper: core > die > system)\n",
+        geomean(cores),
+        geomean(dies),
+        geomean(systems)
+    ));
+    out
+}
+
+/// Figure 11: VGIW energy efficiency over SGMF on the mappable subset.
+pub fn fig11(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 11: VGIW energy efficiency over SGMF (mappable subset)\n");
+    let mut sub = Vec::new();
+    for r in results {
+        match r.efficiency_vs_sgmf() {
+            Some(s) => {
+                out.push_str(&format!("  {:<8} {:>7.2}x\n", r.app, s));
+                sub.push(s);
+            }
+            None => out.push_str(&format!("  {:<8}     n/a\n", r.app)),
+        }
+    }
+    if sub.is_empty() {
+        out.push_str("  AVG          n/a  (no SGMF-mappable apps)\n");
+    } else {
+        let avg = geomean(sub);
+        out.push_str(&format!(
+            "  AVG      {avg:>7.2}x  (paper: ~1.33x average)\n"
+        ));
+    }
+    out
+}
+
+/// §3.2: reconfiguration overhead as a fraction of runtime.
+pub fn config_overhead(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Reconfiguration overhead (fraction of VGIW runtime)\n");
+    let mut fracs: Vec<f64> = Vec::new();
+    for r in results {
+        let f = r.config_overhead();
+        out.push_str(&format!(
+            "  {:<8} {:>8.4}%  ({} configs)\n",
+            r.app,
+            f * 100.0,
+            r.vgiw.block_executions
+        ));
+        fracs.push(f);
+    }
+    fracs.sort_by(|a, b| a.partial_cmp(b).expect("fractions are finite"));
+    let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+    let median = match fracs.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => fracs[n / 2],
+        n => (fracs[n / 2 - 1] + fracs[n / 2]) / 2.0,
+    };
+    out.push_str(&format!(
+        "  AVG {:.3}%  MEDIAN {:.3}%  (paper: avg 0.18%, median < 0.1%)\n",
+        mean * 100.0,
+        median * 100.0
+    ));
+    out
+}
+
+/// SGMF mappability report (which kernels the SGMF baseline can host).
+pub fn mappability(benches: &[Benchmark]) -> String {
+    let grid = vgiw_compiler::GridSpec::paper();
+    let mut out = String::new();
+    out.push_str("SGMF kernel mappability (whole-kernel static dataflow)\n");
+    for b in benches {
+        for k in &b.kernels {
+            let ok = is_mappable(k, &grid);
+            out.push_str(&format!(
+                "  {:<8} {:<24} {}\n",
+                b.app,
+                k.name,
+                if ok { "mappable" } else { "NOT mappable" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_table_values() {
+        let t = table1();
+        assert!(t.contains("108"));
+        assert!(t.contains("64KB"));
+        assert!(t.contains("768KB"));
+    }
+
+    #[test]
+    fn table2_lists_every_app() {
+        let benches = vgiw_kernels::suite(1);
+        let t = table2(&benches);
+        for app in vgiw_kernels::app_names() {
+            assert!(t.contains(app), "missing {app} in table 2");
+        }
+    }
+}
+
+/// Ablations over the design knobs DESIGN.md §6 calls out, on a
+/// representative compute kernel (HOTSPOT) and memory kernel (NN).
+pub fn ablations(scale: u32) -> String {
+    use vgiw_kernels::{hotspot, nn};
+    let mut out = String::new();
+    out.push_str("Ablations (VGIW cycles; lower is better)\n");
+
+    let run = |cfg: VgiwConfig, bench: &Benchmark| -> u64 {
+        let mut l = crate::harness::VgiwLauncher::new(cfg);
+        bench.run(&mut l).expect("ablation run");
+        l.result.cycles
+    };
+
+    for (name, bench) in [("HOTSPOT", hotspot::build(scale)), ("NN", nn::build(scale))] {
+        out.push_str(&format!("  {name}\n"));
+
+        // Replication on/off (paper: key throughput contributor).
+        for reps in [1u32, 8] {
+            let mut c = VgiwConfig::default();
+            c.max_replicas = reps;
+            out.push_str(&format!(
+                "    replicas={reps:<3} {:>10} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // Token buffer depth (virtual channels).
+        for ch in [16u32, 64, 256] {
+            let mut c = VgiwConfig::default();
+            c.fabric.channels_per_unit = ch;
+            out.push_str(&format!(
+                "    channels={ch:<4} {:>9} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // Reconfiguration cost.
+        for cc in [34u64, 340] {
+            let mut c = VgiwConfig::default();
+            c.config_cycles = cc;
+            out.push_str(&format!(
+                "    config_cycles={cc:<4} {:>5} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // CVT capacity (thread tiling).
+        for bits in [8 * 1024u64, 256 * 1024] {
+            let mut c = VgiwConfig::default();
+            c.cvt_bits = bits;
+            out.push_str(&format!(
+                "    cvt_bits={bits:<7} {:>7} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // LVC size.
+        for kb in [16u32, 64] {
+            let mut c = VgiwConfig::default();
+            c.lvc.geometry.size_bytes = kb * 1024;
+            out.push_str(&format!(
+                "    lvc={kb}KB        {:>9} cycles\n",
+                run(c, &bench)
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,227 @@
+//! The top-level VGIW compilation driver and its output artifact.
+//!
+//! [`compile`] runs the whole §3.1 pipeline: capacity-driven block
+//! splitting, scheduling-order renumbering, live value allocation,
+//! per-block dataflow graph lowering, replica packing and place & route.
+//! The resulting [`CompiledKernel`] is what the basic block scheduler loads
+//! at launch time.
+
+use crate::dfg::{build_block_dfg, Dfg};
+use crate::grid::{GridSpec, UNIT_KINDS};
+use crate::liveness::{self, Liveness};
+use crate::place::{place, Placement};
+use crate::split::{split_to_fit, SplitError};
+use std::error::Error;
+use std::fmt;
+use vgiw_ir::{BlockId, Kernel};
+
+/// Hard cap on replicas of one block (each replica consumes an initiator
+/// and a terminator CVU; 16 CVUs bound this at 8 anyway).
+pub const MAX_REPLICAS: u32 = 8;
+
+/// One basic block, lowered and mapped.
+#[derive(Clone, Debug)]
+pub struct CompiledBlock {
+    /// The block's dataflow graph (one replica's worth of nodes).
+    pub dfg: Dfg,
+    /// One placement per replica mapped onto the grid (disjoint units).
+    pub replicas: Vec<Placement>,
+}
+
+impl CompiledBlock {
+    /// Number of replicas mapped.
+    pub fn num_replicas(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+}
+
+/// A kernel compiled for the VGIW core.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// The (possibly split and renumbered) kernel the blocks came from.
+    pub kernel: Kernel,
+    /// Per-block artifacts, indexed by [`BlockId`].
+    pub blocks: Vec<CompiledBlock>,
+    /// Liveness/live-value allocation shared by all blocks.
+    pub liveness: Liveness,
+}
+
+impl CompiledKernel {
+    /// Number of live value slots in the LVC-backed matrix.
+    pub fn num_live_values(&self) -> u32 {
+        self.liveness.num_live_values
+    }
+
+    /// The compiled artifact for `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn block(&self, block: BlockId) -> &CompiledBlock {
+        &self.blocks[block.index()]
+    }
+}
+
+/// Compilation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// Block splitting could not make the kernel fit the grid.
+    Split(SplitError),
+    /// A block that passed the capacity check failed place & route (would
+    /// indicate an internal inconsistency).
+    PlacementFailed {
+        /// The offending block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Split(e) => write!(f, "block splitting failed: {e}"),
+            CompileError::PlacementFailed { block } => {
+                write!(f, "place & route failed for {block}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Split(e) => Some(e),
+            CompileError::PlacementFailed { .. } => None,
+        }
+    }
+}
+
+impl From<SplitError> for CompileError {
+    fn from(e: SplitError) -> CompileError {
+        CompileError::Split(e)
+    }
+}
+
+/// Compiles a kernel for the given grid.
+///
+/// # Errors
+/// Returns [`CompileError`] when the kernel cannot be made to fit.
+pub fn compile(kernel: &Kernel, grid: &GridSpec) -> Result<CompiledKernel, CompileError> {
+    let kernel = split_to_fit(kernel, grid)?;
+    let liveness = liveness::analyze(&kernel);
+    let capacity = grid.capacity();
+
+    let mut blocks = Vec::with_capacity(kernel.num_blocks());
+    for i in 0..kernel.num_blocks() {
+        let block = BlockId(i as u32);
+        let dfg = build_block_dfg(&kernel, block, &liveness);
+        let counts = dfg.kind_counts();
+        debug_assert!(counts.fits_in(&capacity), "split_to_fit guarantees fit");
+
+        // Replica count: how many copies fit, by the scarcest unit kind
+        // ("for small basic blocks, the compiler includes multiple replicas
+        // of a block's graph", §3.1).
+        let mut max_replicas = MAX_REPLICAS;
+        for kind in UNIT_KINDS {
+            let used = counts.get(kind);
+            if used > 0 {
+                max_replicas = max_replicas.min(capacity.get(kind) / used);
+            }
+        }
+        debug_assert!(max_replicas >= 1);
+
+        let mut free = vec![true; grid.num_units()];
+        let mut replicas = Vec::new();
+        for _ in 0..max_replicas {
+            match place(&dfg, grid, &mut free) {
+                Some(p) => replicas.push(p),
+                None => break,
+            }
+        }
+        if replicas.is_empty() {
+            return Err(CompileError::PlacementFailed { block });
+        }
+        blocks.push(CompiledBlock { dfg, replicas });
+    }
+
+    Ok(CompiledKernel { kernel, blocks, liveness })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::KernelBuilder;
+
+    fn saxpy() -> Kernel {
+        let mut b = KernelBuilder::new("saxpy", 4); // x, y, a, n
+        let tid = b.thread_id();
+        let n = b.param(3);
+        let c = b.lt_u(tid, n);
+        b.if_(c, |b| {
+            let xbase = b.param(0);
+            let ybase = b.param(1);
+            let a = b.param(2);
+            let xa = b.add(xbase, tid);
+            let x = b.load(xa);
+            let ya = b.add(ybase, tid);
+            let y = b.load(ya);
+            let v = b.fma(a, x, y);
+            b.store(ya, v);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn compile_saxpy() {
+        let grid = GridSpec::paper();
+        let ck = compile(&saxpy(), &grid).expect("saxpy must compile");
+        assert_eq!(ck.blocks.len(), ck.kernel.num_blocks());
+        // The only value crossing into the then-block is the thread index,
+        // which the initiator rebroadcasts — no LVC slots needed.
+        assert_eq!(ck.num_live_values(), 0);
+        // Small blocks should be replicated.
+        for cb in &ck.blocks {
+            assert!(cb.num_replicas() >= 2, "small blocks should replicate");
+            // Replicas occupy disjoint units.
+            let mut seen = std::collections::HashSet::new();
+            for r in &cb.replicas {
+                for &u in &r.node_unit {
+                    assert!(seen.insert(u), "replicas overlap on {u:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_count_respects_scarcest_resource() {
+        // A block with 9 loads can have at most one replica (16 LDST units,
+        // 9*2 = 18 > 16).
+        let mut b = KernelBuilder::new("loady", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let mut acc = tid;
+        for i in 0..9u32 {
+            let off = b.const_u32(i * 64);
+            let a = b.add(base, off);
+            let v = b.load(a);
+            acc = b.add(acc, v);
+        }
+        let out = b.add(base, tid);
+        b.store(out, acc);
+        let k = b.finish();
+        let ck = compile(&k, &GridSpec::paper()).unwrap();
+        // 9 loads + 1 store = 10 LDST nodes per replica; 16/10 = 1.
+        assert_eq!(ck.blocks[0].num_replicas(), 1);
+    }
+
+    #[test]
+    fn trivial_kernel_gets_max_replicas() {
+        let mut b = KernelBuilder::new("t", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let a = b.add(base, tid);
+        b.store(a, tid);
+        let k = b.finish();
+        let ck = compile(&k, &GridSpec::paper()).unwrap();
+        // init+term (2 CVU), 1 ALU, 1 LDST per replica -> CVU bound = 8.
+        assert_eq!(ck.blocks[0].num_replicas(), MAX_REPLICAS);
+    }
+}

@@ -1,0 +1,938 @@
+//! Per-basic-block dataflow graph construction.
+//!
+//! Each basic block becomes a *graph instruction word*: a DAG of operation
+//! nodes whose edges are direct unit-to-unit token routes on the MT-CGRF.
+//! Construction implements the paper's §3.1/§3.5 lowering:
+//!
+//! * registers local to the block become direct dataflow edges;
+//! * registers crossing block boundaries become [`LvLoad`]/[`LvStore`]
+//!   nodes talking to the live value cache ([`DfgOp::LvLoad`]);
+//! * constants and kernel parameters fold into unit configuration
+//!   registers (static operands);
+//! * per-thread memory ordering (stores vs. earlier accesses) is enforced
+//!   with split/join units, exactly as described for the SJUs;
+//! * every replica gets one initiator CVU ([`DfgOp::Init`]) that emits the
+//!   thread ID and one terminator CVU ([`DfgOp::Term`]) that resolves the
+//!   next block;
+//! * fanout beyond the interconnect degree is extended with split nodes.
+//!
+//! Every node fires **exactly once per thread**, which gives the fabric a
+//! deterministic completion condition (all sink nodes fired).
+//!
+//! [`LvLoad`]: DfgOp::LvLoad
+//! [`LvStore`]: DfgOp::LvStore
+
+use crate::grid::UnitKind;
+use crate::liveness::{Liveness, LiveValueId};
+use std::collections::HashMap;
+use vgiw_ir::{BinaryOp, BlockId, Inst, Kernel, OpClass, Operand, Reg, Terminator, UnaryOp, Word};
+
+/// Maximum token-buffer operand ports per unit (paper §3.5: "up to three
+/// operands").
+pub const MAX_PORTS: usize = 3;
+
+/// Maximum direct consumers of one producer before split nodes are needed
+/// (each unit talks to its four nearest units/switch groups).
+pub const MAX_FANOUT: usize = 4;
+
+/// Index of a node within a [`Dfg`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A value feeding a node port: another node's output, or a static operand
+/// baked into the consuming unit's configuration register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValSrc {
+    /// The output of another node (a real token route).
+    Node(NodeId),
+    /// A compile-time immediate.
+    Imm(Word),
+    /// A launch parameter, resolved when the grid is configured.
+    Param(u8),
+}
+
+impl ValSrc {
+    /// The producing node, if this is a dynamic edge.
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            ValSrc::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether this port receives a token at runtime.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, ValSrc::Node(_))
+    }
+}
+
+/// Branch targets of a terminator node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TermTargets {
+    /// Successor when the predicate is true (or the only successor).
+    pub taken: Option<BlockId>,
+    /// Successor when the predicate is false.
+    pub not_taken: Option<BlockId>,
+}
+
+impl TermTargets {
+    /// A terminator that ends the thread.
+    pub const EXIT: TermTargets = TermTargets { taken: None, not_taken: None };
+
+    /// An unconditional jump.
+    pub fn jump(to: BlockId) -> TermTargets {
+        TermTargets { taken: Some(to), not_taken: None }
+    }
+
+    /// A two-way branch.
+    pub fn branch(taken: BlockId, not_taken: BlockId) -> TermTargets {
+        TermTargets { taken: Some(taken), not_taken: Some(not_taken) }
+    }
+}
+
+/// The operation a DFG node performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DfgOp {
+    /// One-operand ALU/FPU op. Ports: `[src]`.
+    Unary(UnaryOp),
+    /// Two-operand ALU/FPU op. Ports: `[lhs, rhs]`.
+    Binary(BinaryOp),
+    /// Conditional move. Ports: `[cond, on_true, on_false]`.
+    Select,
+    /// Float multiply-add. Ports: `[a, b, c]`.
+    Fma,
+    /// Global memory load. Ports: `[addr]`; optional trigger orders it
+    /// after earlier stores.
+    Load,
+    /// Global memory store. Ports: `[addr, value]` or `[addr, value, gate]`;
+    /// with a gate port, the store executes only if the gate token is
+    /// nonzero (ordering joins always emit 1; SGMF predication gates with
+    /// the block predicate).
+    Store,
+    /// Live value load from the LVC. Trigger-only (fires per thread).
+    LvLoad(LiveValueId),
+    /// Live value store to the LVC. Ports: `[value]`; optional trigger
+    /// orders it after this block's `LvLoad` of the same slot.
+    LvStore(LiveValueId),
+    /// Thread initiator CVU: no inputs; its output token carries the
+    /// thread ID.
+    Init,
+    /// Thread terminator CVU. Ports: `[cond]` for a branch, trigger-only
+    /// otherwise.
+    Term(TermTargets),
+    /// Control join (SJU): emits `1` once all its 1–3 inputs arrived.
+    Join,
+    /// Pass-through join (SJU): emits port 0's value once all inputs
+    /// arrived (merges a predicate with ordering tokens).
+    JoinPass,
+    /// Fanout extender (SJU): forwards its input token.
+    Split,
+}
+
+impl DfgOp {
+    /// The physical unit kind executing this operation.
+    pub fn unit_kind(self) -> UnitKind {
+        match self {
+            DfgOp::Unary(op) => class_kind(op.class()),
+            DfgOp::Binary(op) => class_kind(op.class()),
+            DfgOp::Select | DfgOp::Fma => UnitKind::Alu,
+            DfgOp::Load | DfgOp::Store => UnitKind::LdSt,
+            DfgOp::LvLoad(_) | DfgOp::LvStore(_) => UnitKind::Lvu,
+            DfgOp::Init | DfgOp::Term(_) => UnitKind::Cvu,
+            DfgOp::Join | DfgOp::JoinPass | DfgOp::Split => UnitKind::SplitJoin,
+        }
+    }
+
+    /// Whether the node has side effects / is a sink whose completion the
+    /// fabric must track.
+    pub fn is_sink(self) -> bool {
+        matches!(self, DfgOp::Store | DfgOp::LvStore(_) | DfgOp::Term(_))
+    }
+}
+
+fn class_kind(class: OpClass) -> UnitKind {
+    match class {
+        OpClass::IntAlu | OpClass::FpAlu => UnitKind::Alu,
+        OpClass::Special => UnitKind::Scu,
+    }
+}
+
+/// A node in a dataflow graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DfgNode {
+    /// The operation.
+    pub op: DfgOp,
+    /// Semantic input ports, in operand order.
+    pub inputs: Vec<ValSrc>,
+    /// Optional ordering/firing trigger (a token whose value is ignored).
+    pub trigger: Option<NodeId>,
+    /// Static addends folded into a memory node's address computation —
+    /// the paper's §3.5 "configuration registers that carry ... any static
+    /// parameters". `addr = port0 + Σ offsets`, resolved at configure
+    /// time. Only Load/Store nodes use this.
+    pub offsets: Vec<ValSrc>,
+}
+
+impl DfgNode {
+    /// Number of token-receiving ports (dynamic inputs plus trigger).
+    pub fn dynamic_ports(&self) -> usize {
+        self.inputs.iter().filter(|i| i.is_dynamic()).count() + usize::from(self.trigger.is_some())
+    }
+
+    /// Total ports occupied in the token buffer (all semantic inputs —
+    /// static ones occupy configuration, not buffer — plus trigger). Used
+    /// for the ≤ 3 port check.
+    pub fn token_ports(&self) -> usize {
+        self.dynamic_ports()
+    }
+
+    /// The port index tokens from `trigger` arrive on (one past the
+    /// semantic dynamic ports).
+    pub fn trigger_port(&self) -> u8 {
+        self.inputs.len() as u8
+    }
+}
+
+/// A dataflow graph for one basic block (or, for SGMF, a whole kernel).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dfg {
+    /// The source block, or `None` for an if-converted whole-kernel graph.
+    pub block: Option<BlockId>,
+    /// Nodes; [`NodeId`] indexes this vector.
+    pub nodes: Vec<DfgNode>,
+    /// The initiator node.
+    pub init: NodeId,
+    /// Terminator nodes. Exactly one for block DFGs; the if-converted SGMF
+    /// graph also has exactly one (the exit).
+    pub term: NodeId,
+}
+
+impl Dfg {
+    /// Per-unit-kind node counts (for capacity checks and replication).
+    pub fn kind_counts(&self) -> crate::grid::KindCounts {
+        let mut c = crate::grid::KindCounts::default();
+        for n in &self.nodes {
+            c.add(n.op.unit_kind(), 1);
+        }
+        c
+    }
+
+    /// Consumer lists: for every node, the `(consumer, port)` pairs its
+    /// output token is routed to. Port indices address the consumer's
+    /// dynamic ports; the trigger arrives on [`DfgNode::trigger_port`].
+    pub fn consumers(&self) -> Vec<Vec<(NodeId, u8)>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let consumer = NodeId(i as u32);
+            for (port, src) in node.inputs.iter().enumerate() {
+                if let ValSrc::Node(p) = src {
+                    out[p.index()].push((consumer, port as u8));
+                }
+            }
+            if let Some(t) = node.trigger {
+                out[t.index()].push((consumer, node.trigger_port()));
+            }
+        }
+        out
+    }
+
+    /// Number of sink nodes (stores, LV stores, terminators): the per-thread
+    /// completion count the fabric waits for.
+    pub fn num_sinks(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.op.is_sink()).count() as u32
+    }
+
+    /// Longest path through the graph in nodes, a proxy for pipeline ramp
+    /// depth. The graph is a DAG; this is computed by DP over a
+    /// topological order.
+    pub fn critical_path_len(&self) -> u32 {
+        let consumers = self.consumers();
+        let n = self.nodes.len();
+        let mut indeg = vec![0u32; n];
+        for cons in &consumers {
+            for &(c, _) in cons {
+                indeg[c.index()] += 1;
+            }
+        }
+        let mut depth = vec![1u32; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut best = 1;
+        while let Some(v) = stack.pop() {
+            for &(c, _) in &consumers[v] {
+                let cand = depth[v] + 1;
+                if cand > depth[c.index()] {
+                    depth[c.index()] = cand;
+                }
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    stack.push(c.index());
+                    best = best.max(depth[c.index()]);
+                }
+            }
+            best = best.max(depth[v]);
+        }
+        best
+    }
+
+    /// Checks DFG invariants (port limits, fanout limits, edge sanity,
+    /// acyclicity via [`Dfg::critical_path_len`]'s topological sweep).
+    ///
+    /// # Panics
+    /// Panics on violation; these are compiler bugs, not user errors.
+    pub fn assert_valid(&self) {
+        let consumers = self.consumers();
+        for (i, node) in self.nodes.iter().enumerate() {
+            assert!(
+                node.token_ports() <= MAX_PORTS,
+                "node {i} ({:?}) uses {} token ports (max {MAX_PORTS})",
+                node.op,
+                node.token_ports()
+            );
+            assert!(
+                node.inputs.len() <= MAX_PORTS,
+                "node {i} has {} semantic inputs",
+                node.inputs.len()
+            );
+            let needs_firing = !matches!(node.op, DfgOp::Init);
+            if needs_firing {
+                assert!(
+                    node.dynamic_ports() > 0,
+                    "node {i} ({:?}) would never fire (no dynamic inputs)",
+                    node.op
+                );
+            }
+            for src in &node.inputs {
+                if let ValSrc::Node(p) = src {
+                    assert!(p.index() < self.nodes.len(), "node {i} reads invalid node");
+                }
+            }
+        }
+        for (i, cons) in consumers.iter().enumerate() {
+            assert!(
+                cons.len() <= MAX_FANOUT,
+                "node {i} has fanout {} (max {MAX_FANOUT})",
+                cons.len()
+            );
+        }
+        // Acyclicity: the topological sweep must reach every node.
+        let mut indeg = vec![0u32; self.nodes.len()];
+        for cons in &consumers {
+            for &(c, _) in cons {
+                indeg[c.index()] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = stack.pop() {
+            seen += 1;
+            for &(c, _) in &consumers[v] {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    stack.push(c.index());
+                }
+            }
+        }
+        assert_eq!(seen, self.nodes.len(), "dataflow graph has a cycle");
+    }
+}
+
+/// Incremental DFG builder shared by the per-block lowering here and the
+/// SGMF if-converter.
+pub(crate) struct DfgBuilder {
+    pub nodes: Vec<DfgNode>,
+    pub init: NodeId,
+}
+
+impl DfgBuilder {
+    pub fn new() -> DfgBuilder {
+        let init =
+            DfgNode { op: DfgOp::Init, inputs: Vec::new(), trigger: None, offsets: Vec::new() };
+        DfgBuilder { nodes: vec![init], init: NodeId(0) }
+    }
+
+    pub fn push(&mut self, op: DfgOp, inputs: Vec<ValSrc>, trigger: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(DfgNode { op, inputs, trigger, offsets: Vec::new() });
+        id
+    }
+
+    /// Ensures the node will fire once per thread: if it has no dynamic
+    /// ports, gives it an initiator trigger. If all three semantic ports
+    /// are static (so there is no room for a trigger), reroutes the first
+    /// port through a `Mov` node.
+    pub fn ensure_fires(&mut self, id: NodeId) {
+        if self.nodes[id.index()].dynamic_ports() > 0 {
+            return;
+        }
+        if self.nodes[id.index()].inputs.len() >= MAX_PORTS {
+            let first = self.nodes[id.index()].inputs[0];
+            let mov = self.push(DfgOp::Unary(UnaryOp::Mov), vec![first], Some(self.init));
+            self.nodes[id.index()].inputs[0] = ValSrc::Node(mov);
+        } else {
+            let init = self.init;
+            self.nodes[id.index()].trigger = Some(init);
+        }
+    }
+
+    /// Builds a join tree over `preds` (emitting the constant 1), returning
+    /// the root join node, for store-ordering gates.
+    pub fn join_of(&mut self, mut preds: Vec<NodeId>) -> NodeId {
+        assert!(!preds.is_empty(), "join of nothing");
+        loop {
+            if preds.len() == 1 && matches!(self.nodes[preds[0].index()].op, DfgOp::Join) {
+                return preds[0];
+            }
+            if preds.len() <= MAX_PORTS {
+                let inputs = preds.iter().map(|&p| ValSrc::Node(p)).collect();
+                return self.push(DfgOp::Join, inputs, None);
+            }
+            let mut next = Vec::new();
+            for chunk in preds.chunks(MAX_PORTS) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let inputs = chunk.iter().map(|&p| ValSrc::Node(p)).collect();
+                    next.push(self.push(DfgOp::Join, inputs, None));
+                }
+            }
+            preds = next;
+        }
+    }
+
+    /// Inserts split nodes so no producer exceeds [`MAX_FANOUT`] consumers.
+    pub fn limit_fanout(&mut self) {
+        loop {
+            // Recompute consumers; find the first offender.
+            let mut cons: Vec<Vec<(NodeId, u8)>> = vec![Vec::new(); self.nodes.len()];
+            for (i, node) in self.nodes.iter().enumerate() {
+                for (port, src) in node.inputs.iter().enumerate() {
+                    if let ValSrc::Node(p) = src {
+                        cons[p.index()].push((NodeId(i as u32), port as u8));
+                    }
+                }
+                if let Some(t) = node.trigger {
+                    let port = node.trigger_port();
+                    cons[t.index()].push((NodeId(i as u32), port));
+                }
+            }
+            let offender = (0..self.nodes.len()).find(|&i| cons[i].len() > MAX_FANOUT);
+            let Some(off) = offender else { return };
+            // Keep the first MAX_FANOUT - 1 consumers direct; everything
+            // else goes through a new split node (which may itself be split
+            // on the next iteration).
+            let producer = NodeId(off as u32);
+            let split = self.push(DfgOp::Split, vec![ValSrc::Node(producer)], None);
+            let moved: Vec<(NodeId, u8)> = cons[off]
+                .iter()
+                .copied()
+                .filter(|&(c, _)| c != split)
+                .skip(MAX_FANOUT - 1)
+                .collect();
+            for (consumer, port) in moved {
+                let node = &mut self.nodes[consumer.index()];
+                if (port as usize) < node.inputs.len() {
+                    debug_assert_eq!(node.inputs[port as usize], ValSrc::Node(producer));
+                    node.inputs[port as usize] = ValSrc::Node(split);
+                } else {
+                    debug_assert_eq!(node.trigger, Some(producer));
+                    node.trigger = Some(split);
+                }
+            }
+        }
+    }
+
+    pub fn finish(mut self, block: Option<BlockId>, term: NodeId) -> Dfg {
+        // Folding exposes dead adds, and removing them exposes further
+        // folds (chained base+offset addresses), so iterate to fixpoint.
+        let mut term = term;
+        for _ in 0..4 {
+            let folded = self.fold_addresses();
+            let (t, removed) = self.eliminate_dead(term);
+            term = t;
+            if !folded && !removed {
+                break;
+            }
+        }
+        self.limit_fanout();
+        let dfg = Dfg { block, nodes: self.nodes, init: self.init, term };
+        dfg.assert_valid();
+        dfg
+    }
+
+    fn consumers_of(&self) -> Vec<Vec<(NodeId, u8)>> {
+        let mut cons: Vec<Vec<(NodeId, u8)>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (port, src) in node.inputs.iter().enumerate() {
+                if let ValSrc::Node(p) = src {
+                    cons[p.index()].push((NodeId(i as u32), port as u8));
+                }
+            }
+            if let Some(t) = node.trigger {
+                let port = node.trigger_port();
+                cons[t.index()].push((NodeId(i as u32), port));
+            }
+        }
+        cons
+    }
+
+    /// Folds `Add(static, x)` feeding a memory node's address port into
+    /// the node's configuration (base+offset addressing), iterating
+    /// through add chains (up to two static addends).
+    fn fold_addresses(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let cons = self.consumers_of();
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if !matches!(self.nodes[i].op, DfgOp::Load | DfgOp::Store) {
+                    continue;
+                }
+                if self.nodes[i].offsets.len() >= 2 {
+                    continue;
+                }
+                let ValSrc::Node(p) = self.nodes[i].inputs[0] else { continue };
+                let producer = &self.nodes[p.index()];
+                if !matches!(producer.op, DfgOp::Binary(BinaryOp::Add)) {
+                    continue;
+                }
+                // Only fold adds whose sole consumer is this address port.
+                if cons[p.index()].len() != 1 {
+                    continue;
+                }
+                let (a, b2) = (producer.inputs[0], producer.inputs[1]);
+                let (stat, dynv) = match (a.is_dynamic(), b2.is_dynamic()) {
+                    (false, true) => (a, b2),
+                    (true, false) => (b2, a),
+                    (false, false) => (a, b2), // fully static address
+                    (true, true) => continue,
+                };
+                self.nodes[i].inputs[0] = dynv;
+                self.nodes[i].offsets.push(stat);
+                // If the address became fully static the node may have
+                // lost its only dynamic port; re-arm its firing trigger.
+                if self.nodes[i].dynamic_ports() == 0 {
+                    let init = self.init;
+                    self.nodes[i].trigger = Some(init);
+                }
+                changed = true;
+                any = true;
+            }
+            if !changed {
+                return any;
+            }
+        }
+    }
+
+    /// Removes nodes whose output is never consumed (dead address adds and
+    /// other dead code), remapping node IDs. Returns the remapped `term`
+    /// and whether anything was removed.
+    fn eliminate_dead(&mut self, term: NodeId) -> (NodeId, bool) {
+        let mut removed_any = false;
+        loop {
+            let cons = self.consumers_of();
+            let dead: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| {
+                    cons[i].is_empty()
+                        && !self.nodes[i].op.is_sink()
+                        && !matches!(self.nodes[i].op, DfgOp::Init)
+                })
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            removed_any = true;
+            let mut remap: Vec<Option<u32>> = vec![None; self.nodes.len()];
+            let mut kept = Vec::with_capacity(self.nodes.len() - dead.len());
+            for (i, node) in self.nodes.drain(..).enumerate() {
+                if dead.binary_search(&i).is_err() {
+                    remap[i] = Some(kept.len() as u32);
+                    kept.push(node);
+                }
+            }
+            for node in &mut kept {
+                for src in &mut node.inputs {
+                    if let ValSrc::Node(n) = src {
+                        *src = ValSrc::Node(NodeId(remap[n.index()].expect("live input")));
+                    }
+                }
+                if let Some(t) = node.trigger {
+                    node.trigger = Some(NodeId(remap[t.index()].expect("live trigger")));
+                }
+            }
+            self.nodes = kept;
+            self.init = NodeId(remap[self.init.index()].expect("init is never dead"));
+        }
+        // term is a sink and thus never removed, but its index may shift;
+        // recompute by scanning (exactly one Term node exists per graph in
+        // block DFGs; for safety find the node equal to the remembered id
+        // via the remap chain — simplest is to locate the LAST Term node).
+        let term_idx = self
+            .nodes
+            .iter()
+            .rposition(|n| matches!(n.op, DfgOp::Term(_)))
+            .expect("terminator survives dead-code elimination");
+        let _ = term;
+        (NodeId(term_idx as u32), removed_any)
+    }
+}
+
+/// Lowers one basic block into its dataflow graph.
+///
+/// `liveness` determines which registers are loaded from / stored to the
+/// LVC at block boundaries.
+pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> Dfg {
+    let mut b = DfgBuilder::new();
+    let bb = kernel.block(block);
+
+    // Live-in registers that are read before written: LVC loads, fired per
+    // thread by the initiator. Registers that always hold the thread index
+    // are rebroadcast by the initiator itself (§3.5) instead of using the
+    // LVC.
+    let mut reg_val: HashMap<Reg, ValSrc> = HashMap::new();
+    let mut lv_load_node: HashMap<LiveValueId, NodeId> = HashMap::new();
+    for r in 0..kernel.num_regs {
+        let reg = Reg(r);
+        if liveness.is_tid(reg) {
+            let init = b.init;
+            reg_val.insert(reg, ValSrc::Node(init));
+        }
+    }
+    for reg in liveness.lvc_loads(block) {
+        let slot = liveness.slot(reg).expect("lvc load of unallocated register");
+        let init = b.init;
+        let node = b.push(DfgOp::LvLoad(slot), Vec::new(), Some(init));
+        reg_val.insert(reg, ValSrc::Node(node));
+        lv_load_node.insert(slot, node);
+    }
+
+    let resolve = |reg_val: &HashMap<Reg, ValSrc>, op: Operand| -> ValSrc {
+        match op {
+            Operand::Imm(w) => ValSrc::Imm(w),
+            Operand::Reg(r) => reg_val.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO)),
+        }
+    };
+
+    // Per-thread memory ordering state.
+    let mut last_store: Option<NodeId> = None;
+    let mut loads_since_store: Vec<NodeId> = Vec::new();
+
+    for inst in &bb.insts {
+        match *inst {
+            Inst::Const { dst, value } => {
+                reg_val.insert(dst, ValSrc::Imm(value));
+            }
+            Inst::Param { dst, index } => {
+                reg_val.insert(dst, ValSrc::Param(index));
+            }
+            Inst::ThreadId { dst } => {
+                let init = b.init;
+                reg_val.insert(dst, ValSrc::Node(init));
+            }
+            Inst::Unary { dst, op: UnaryOp::Mov, src } => {
+                // Copy propagation: a Mov is just an alias.
+                let v = resolve(&reg_val, src);
+                reg_val.insert(dst, v);
+            }
+            Inst::Unary { dst, op, src } => {
+                let v = resolve(&reg_val, src);
+                let n = b.push(DfgOp::Unary(op), vec![v], None);
+                b.ensure_fires(n);
+                reg_val.insert(dst, ValSrc::Node(n));
+            }
+            Inst::Binary { dst, op, lhs, rhs } => {
+                let l = resolve(&reg_val, lhs);
+                let r = resolve(&reg_val, rhs);
+                let n = b.push(DfgOp::Binary(op), vec![l, r], None);
+                b.ensure_fires(n);
+                reg_val.insert(dst, ValSrc::Node(n));
+            }
+            Inst::Select { dst, cond, on_true, on_false } => {
+                let c = resolve(&reg_val, cond);
+                let t = resolve(&reg_val, on_true);
+                let f = resolve(&reg_val, on_false);
+                let n = b.push(DfgOp::Select, vec![c, t, f], None);
+                b.ensure_fires(n);
+                reg_val.insert(dst, ValSrc::Node(n));
+            }
+            Inst::Fma { dst, a, b: bb2, c } => {
+                let x = resolve(&reg_val, a);
+                let y = resolve(&reg_val, bb2);
+                let z = resolve(&reg_val, c);
+                let n = b.push(DfgOp::Fma, vec![x, y, z], None);
+                b.ensure_fires(n);
+                reg_val.insert(dst, ValSrc::Node(n));
+            }
+            Inst::Load { dst, addr } => {
+                let a = resolve(&reg_val, addr);
+                let n = b.push(DfgOp::Load, vec![a], last_store);
+                b.ensure_fires(n);
+                reg_val.insert(dst, ValSrc::Node(n));
+                loads_since_store.push(n);
+            }
+            Inst::Store { addr, value } => {
+                let a = resolve(&reg_val, addr);
+                let v = resolve(&reg_val, value);
+                let mut preds = loads_since_store.clone();
+                if let Some(s) = last_store {
+                    preds.push(s);
+                }
+                let gate = if preds.is_empty() { None } else { Some(b.join_of(preds)) };
+                let mut inputs = vec![a, v];
+                if let Some(g) = gate {
+                    inputs.push(ValSrc::Node(g));
+                }
+                let n = b.push(DfgOp::Store, inputs, None);
+                b.ensure_fires(n);
+                last_store = Some(n);
+                loads_since_store.clear();
+            }
+        }
+    }
+
+    // LVC stores for registers defined here and live out.
+    for reg in liveness.lvc_stores(block) {
+        let slot = liveness.slot(reg).expect("lvc store of unallocated register");
+        let value = reg_val.get(&reg).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
+        // Order after this block's LvLoad of the same slot, if any (the
+        // store must not overtake the load for the same thread).
+        let trigger = match value {
+            ValSrc::Node(_) => {
+                // If the value transitively depends on the load this is
+                // redundant but harmless; detecting dependence would cost
+                // more than the token. Only add when a load exists and the
+                // value is not the load itself.
+                match lv_load_node.get(&slot) {
+                    Some(&ld) if value != ValSrc::Node(ld) => Some(ld),
+                    _ => None,
+                }
+            }
+            _ => lv_load_node.get(&slot).copied(),
+        };
+        let n = b.push(DfgOp::LvStore(slot), vec![value], trigger);
+        b.ensure_fires(n);
+    }
+
+    // Terminator.
+    let targets = match bb.term {
+        Terminator::Jump(t) => TermTargets::jump(t),
+        Terminator::Branch { taken, not_taken, .. } => TermTargets::branch(taken, not_taken),
+        Terminator::Exit => TermTargets::EXIT,
+    };
+    let term = match bb.term {
+        Terminator::Branch { cond, .. } => {
+            let c = resolve(&reg_val, cond);
+            let n = b.push(DfgOp::Term(targets), vec![c], None);
+            b.ensure_fires(n);
+            n
+        }
+        _ => {
+            let init = b.init;
+            b.push(DfgOp::Term(targets), Vec::new(), Some(init))
+        }
+    };
+
+    b.finish(Some(block), term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness;
+    use vgiw_ir::KernelBuilder;
+
+    fn lower_all(k: &Kernel) -> Vec<Dfg> {
+        let lv = liveness::analyze(k);
+        (0..k.num_blocks())
+            .map(|i| build_block_dfg(k, BlockId(i as u32), &lv))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_lowering_shapes() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.mul(tid, tid);
+        b.store(addr, v);
+        let k = b.finish();
+        let dfgs = lower_all(&k);
+        assert_eq!(dfgs.len(), 1);
+        let d = &dfgs[0];
+        // init, mul, store, term = 4 nodes; the address add folds into the
+        // store's base+offset configuration (its base is the static param,
+        // its dynamic input the thread ID); no LVU, no joins.
+        assert_eq!(d.nodes.len(), 4);
+        let counts = d.kind_counts();
+        assert_eq!(counts.get(UnitKind::Lvu), 0);
+        assert_eq!(counts.get(UnitKind::Alu), 1);
+        assert_eq!(counts.get(UnitKind::LdSt), 1);
+        assert_eq!(counts.get(UnitKind::Cvu), 2);
+        assert_eq!(d.num_sinks(), 2); // store + term
+        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).expect("store");
+        assert_eq!(store.offsets.len(), 1, "base folds into the unit config");
+    }
+
+    #[test]
+    fn params_and_consts_fold_into_configuration() {
+        let mut b = KernelBuilder::new("k", 1);
+        let base = b.param(0);
+        let five = b.const_u32(5);
+        let addr = b.add(base, five); // both inputs static!
+        let tid = b.thread_id();
+        b.store(addr, tid);
+        let k = b.finish();
+        let d = &lower_all(&k)[0];
+        // The fully-static address folds into the store's configuration:
+        // no add node survives, and the store keeps an initiator-triggered
+        // or tid-fed firing path.
+        assert!(
+            !d.nodes.iter().any(|n| matches!(n.op, DfgOp::Binary(BinaryOp::Add))),
+            "static address add must fold away"
+        );
+        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).expect("store");
+        assert_eq!(store.offsets.len(), 1);
+        assert!(store.dynamic_ports() > 0, "the store must still fire per thread");
+    }
+
+    #[test]
+    fn store_load_ordering_uses_joins() {
+        // load a; load b; store c; load d; store e
+        let mut b = KernelBuilder::new("k", 0);
+        let a0 = b.const_u32(0);
+        let a1 = b.const_u32(1);
+        let a2 = b.const_u32(2);
+        let a3 = b.const_u32(3);
+        let a4 = b.const_u32(4);
+        let x = b.load(a0);
+        let y = b.load(a1);
+        let s = b.add(x, y);
+        b.store(a2, s);
+        let z = b.load(a3);
+        b.store(a4, z);
+        let k = b.finish();
+        let d = &lower_all(&k)[0];
+        // First store: joins the two loads. Second store: gate is the
+        // single load after the first store + the first store -> join of 2.
+        let joins = d.nodes.iter().filter(|n| matches!(n.op, DfgOp::Join)).count();
+        assert_eq!(joins, 2, "expected 2 join nodes, graph: {:?}", d.nodes);
+        // The load after the store must carry the store as its trigger.
+        let stores: Vec<usize> = d
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, DfgOp::Store))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(stores.len(), 2);
+        let first_store = NodeId(stores[0] as u32);
+        assert!(
+            d.nodes
+                .iter()
+                .any(|n| matches!(n.op, DfgOp::Load) && n.trigger == Some(first_store)),
+            "the post-store load must be order-triggered by the first store"
+        );
+    }
+
+    #[test]
+    fn cross_block_values_become_lv_nodes() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        b.if_(c, |b| {
+            let one = b.const_u32(1);
+            b.store(addr, one);
+        });
+        let k = b.finish();
+        let dfgs = lower_all(&k);
+        // Entry block stores `addr` (and tid if live); then-block loads it.
+        let entry = &dfgs[0];
+        let then = &dfgs[1];
+        assert!(
+            entry.nodes.iter().any(|n| matches!(n.op, DfgOp::LvStore(_))),
+            "entry must store live values"
+        );
+        assert!(
+            then.nodes.iter().any(|n| matches!(n.op, DfgOp::LvLoad(_))),
+            "then-block must load live values"
+        );
+        // The branch terminator consumes the condition.
+        let term = &entry.nodes[entry.term.index()];
+        assert_eq!(term.inputs.len(), 1);
+        match term.op {
+            DfgOp::Term(t) => {
+                assert!(t.taken.is_some() && t.not_taken.is_some());
+            }
+            _ => panic!("terminator node has wrong op"),
+        }
+    }
+
+    #[test]
+    fn fanout_is_limited_by_splits() {
+        // One value consumed by many stores -> split tree.
+        let mut b = KernelBuilder::new("k", 0);
+        let tid = b.thread_id();
+        for i in 0..12u32 {
+            let a = b.const_u32(i);
+            b.store(a, tid);
+        }
+        let k = b.finish();
+        let d = &lower_all(&k)[0];
+        let consumers = d.consumers();
+        for (i, cons) in consumers.iter().enumerate() {
+            assert!(
+                cons.len() <= MAX_FANOUT,
+                "node {i} has fanout {}",
+                cons.len()
+            );
+        }
+        assert!(
+            d.nodes.iter().any(|n| matches!(n.op, DfgOp::Split)),
+            "wide fanout must introduce split nodes"
+        );
+    }
+
+    #[test]
+    fn critical_path_is_positive_and_bounded() {
+        let mut b = KernelBuilder::new("k", 0);
+        let tid = b.thread_id();
+        let mut v = tid;
+        for _ in 0..6 {
+            v = b.add(v, tid);
+        }
+        let a0 = b.const_u32(0);
+        b.store(a0, v);
+        let k = b.finish();
+        let d = &lower_all(&k)[0];
+        let cp = d.critical_path_len();
+        // init -> 6 adds -> store = at least 8 nodes on the path.
+        assert!(cp >= 8, "critical path {cp}");
+        assert!(cp as usize <= d.nodes.len());
+    }
+
+    #[test]
+    fn empty_block_is_init_plus_term() {
+        let mut b = KernelBuilder::new("k", 0);
+        let t = b.thread_id();
+        let one = b.const_u32(1);
+        let c = b.lt_u(t, one);
+        b.if_else(c, |_| {}, |_| {});
+        let k = b.finish();
+        let dfgs = lower_all(&k);
+        // Then/else blocks are empty: init + term only.
+        for d in &dfgs[1..3] {
+            assert_eq!(d.nodes.len(), 2, "empty block should be init+term");
+            assert_eq!(d.nodes[d.term.index()].trigger, Some(d.init));
+        }
+    }
+}

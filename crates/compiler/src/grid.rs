@@ -1,0 +1,445 @@
+//! The MT-CGRF grid floorplan and interconnect distance model.
+//!
+//! The paper's VGIW core (Table 1) has 108 interconnected units: 32 combined
+//! FPU-ALU compute units, 12 special compute units (SCU), 16 load/store
+//! units, 16 live value units, 16 split/join units and 16 control vector
+//! units. Memory-facing units (LDST, LVU) sit on the grid perimeter next to
+//! the L1/LVC crossbars (§3.5).
+//!
+//! The interconnect is a folded hypercube (§3.5): each unit reaches its four
+//! nearest units and four nearest switches, and switches additionally reach
+//! the switches at Manhattan distance two — giving one-cycle hops, low
+//! diameter and perimeter/interior connectivity equalization. We model it
+//! as an explicit graph over units and switches and precompute all-pairs
+//! unit-to-unit hop distances with BFS.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The kind of functional unit at a grid position.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnitKind {
+    /// Combined FPU-ALU compute unit (pipelined ops).
+    Alu,
+    /// Special compute unit (non-pipelined div/sqrt/transcendental).
+    Scu,
+    /// Load/store unit (L1-facing, perimeter).
+    LdSt,
+    /// Live value unit (LVC-facing, perimeter).
+    Lvu,
+    /// Split/join unit.
+    SplitJoin,
+    /// Control vector unit (thread initiator/terminator).
+    Cvu,
+}
+
+/// All unit kinds, for iteration.
+pub const UNIT_KINDS: [UnitKind; 6] = [
+    UnitKind::Alu,
+    UnitKind::Scu,
+    UnitKind::LdSt,
+    UnitKind::Lvu,
+    UnitKind::SplitJoin,
+    UnitKind::Cvu,
+];
+
+/// Index of a physical unit in the grid.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UnitId(pub u32);
+
+impl UnitId {
+    /// The unit index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-kind unit counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KindCounts {
+    counts: [u32; 6],
+}
+
+impl KindCounts {
+    fn kind_index(kind: UnitKind) -> usize {
+        match kind {
+            UnitKind::Alu => 0,
+            UnitKind::Scu => 1,
+            UnitKind::LdSt => 2,
+            UnitKind::Lvu => 3,
+            UnitKind::SplitJoin => 4,
+            UnitKind::Cvu => 5,
+        }
+    }
+
+    /// The count for `kind`.
+    pub fn get(&self, kind: UnitKind) -> u32 {
+        self.counts[Self::kind_index(kind)]
+    }
+
+    /// Mutable count for `kind`.
+    pub fn get_mut(&mut self, kind: UnitKind) -> &mut u32 {
+        &mut self.counts[Self::kind_index(kind)]
+    }
+
+    /// Increments the count for `kind`.
+    pub fn add(&mut self, kind: UnitKind, n: u32) {
+        *self.get_mut(kind) += n;
+    }
+
+    /// Total across all kinds.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether every per-kind count in `self` is ≤ the one in `capacity`.
+    pub fn fits_in(&self, capacity: &KindCounts) -> bool {
+        UNIT_KINDS.iter().all(|&k| self.get(k) <= capacity.get(k))
+    }
+}
+
+impl fmt::Display for KindCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alu={} scu={} ldst={} lvu={} sj={} cvu={}",
+            self.get(UnitKind::Alu),
+            self.get(UnitKind::Scu),
+            self.get(UnitKind::LdSt),
+            self.get(UnitKind::Lvu),
+            self.get(UnitKind::SplitJoin),
+            self.get(UnitKind::Cvu),
+        )
+    }
+}
+
+/// A physical grid of functional units plus its interconnect distances.
+#[derive(Clone)]
+pub struct GridSpec {
+    width: u32,
+    height: u32,
+    kinds: Vec<UnitKind>,
+    /// All-pairs hop distance between units (row-major `u * n + v`).
+    hops: Vec<u8>,
+}
+
+impl GridSpec {
+    /// The paper's Table-1 grid: 12×9 = 108 units with memory-facing units
+    /// on the perimeter.
+    pub fn paper() -> GridSpec {
+        GridSpec::with_floorplan(12, 9, &default_floorplan(12, 9))
+    }
+
+    /// Builds a grid from an explicit floorplan (`kinds[y * width + x]`).
+    ///
+    /// # Panics
+    /// Panics if `kinds.len() != width * height`.
+    pub fn with_floorplan(width: u32, height: u32, kinds: &[UnitKind]) -> GridSpec {
+        assert_eq!(kinds.len() as u32, width * height, "floorplan size mismatch");
+        let hops = compute_hops(width, height);
+        GridSpec { width, height, kinds: kinds.to_vec(), hops }
+    }
+
+    /// Grid width in units.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in units.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of units.
+    pub fn num_units(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of unit `u`.
+    pub fn kind(&self, u: UnitId) -> UnitKind {
+        self.kinds[u.index()]
+    }
+
+    /// The `(x, y)` position of unit `u`.
+    pub fn position(&self, u: UnitId) -> (u32, u32) {
+        (u.0 % self.width, u.0 / self.width)
+    }
+
+    /// All units of the given kind.
+    pub fn units_of_kind(&self, kind: UnitKind) -> Vec<UnitId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == kind)
+            .map(|(i, _)| UnitId(i as u32))
+            .collect()
+    }
+
+    /// Per-kind capacity of the grid.
+    pub fn capacity(&self) -> KindCounts {
+        let mut c = KindCounts::default();
+        for &k in &self.kinds {
+            c.add(k, 1);
+        }
+        c
+    }
+
+    /// Interconnect hop count between two units (each hop is one cycle).
+    pub fn hop_distance(&self, a: UnitId, b: UnitId) -> u32 {
+        self.hops[a.index() * self.num_units() + b.index()] as u32
+    }
+
+    /// The number of cycles one configuration wave takes to cross the grid:
+    /// `ceil(sqrt(#units))`, per §3.2 (the paper's 108-unit prototype
+    /// reports 11 cycles per wave, two waves per reconfiguration).
+    pub fn config_wave_cycles(&self) -> u64 {
+        (self.num_units() as f64).sqrt().ceil() as u64
+    }
+}
+
+impl fmt::Debug for GridSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GridSpec {{ {}x{}, {} }}", self.width, self.height, self.capacity())
+    }
+}
+
+/// The default 108-unit floorplan: LDST and LVU alternating on the
+/// perimeter (next to the banked L1 / LVC crossbars), CVUs split between
+/// the remaining perimeter cells and the interior edge, ALU/SCU/SJU inside.
+fn default_floorplan(width: u32, height: u32) -> Vec<UnitKind> {
+    let n = (width * height) as usize;
+    let mut kinds = vec![None; n];
+    let is_perimeter = |x: u32, y: u32| x == 0 || y == 0 || x == width - 1 || y == height - 1;
+
+    // Perimeter positions in clockwise order starting at (0,0).
+    let mut perimeter = Vec::new();
+    for x in 0..width {
+        perimeter.push((x, 0));
+    }
+    for y in 1..height {
+        perimeter.push((width - 1, y));
+    }
+    for x in (0..width - 1).rev() {
+        perimeter.push((x, height - 1));
+    }
+    for y in (1..height - 1).rev() {
+        perimeter.push((0, y));
+    }
+    debug_assert_eq!(perimeter.len() as u32, 2 * (width + height) - 4);
+
+    // Interleave LDST and LVU around the perimeter so both cache crossbars
+    // see spatially spread clients; CVUs take the leftover perimeter cells.
+    let mut ldst = 16;
+    let mut lvu = 16;
+    let mut cvu = 16;
+    for (i, &(x, y)) in perimeter.iter().enumerate() {
+        let idx = (y * width + x) as usize;
+        let kind = if ldst > 0 && i % 2 == 0 {
+            ldst -= 1;
+            UnitKind::LdSt
+        } else if lvu > 0 && i % 2 == 1 {
+            lvu -= 1;
+            UnitKind::Lvu
+        } else if ldst > 0 {
+            ldst -= 1;
+            UnitKind::LdSt
+        } else if lvu > 0 {
+            lvu -= 1;
+            UnitKind::Lvu
+        } else {
+            cvu -= 1;
+            UnitKind::Cvu
+        };
+        kinds[idx] = Some(kind);
+    }
+
+    // Interior: remaining CVUs first (nearest the perimeter ring), then SJU,
+    // SCU and ALU filling inward.
+    let mut remaining: Vec<(u32, u32)> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| (x, y)))
+        .filter(|&(x, y)| !is_perimeter(x, y))
+        .collect();
+    // Order interior cells by distance from center so ALUs cluster centrally
+    // and helper units sit near the ring.
+    let cx = (width - 1) as f64 / 2.0;
+    let cy = (height - 1) as f64 / 2.0;
+    remaining.sort_by(|a, b| {
+        let da = (a.0 as f64 - cx).abs() + (a.1 as f64 - cy).abs();
+        let db = (b.0 as f64 - cx).abs() + (b.1 as f64 - cy).abs();
+        db.partial_cmp(&da).unwrap()
+    });
+
+    let mut sju = 16;
+    let mut scu = 12;
+    let mut alu = 32;
+    for (x, y) in remaining {
+        let idx = (y * width + x) as usize;
+        let kind = if cvu > 0 {
+            cvu -= 1;
+            UnitKind::Cvu
+        } else if sju > 0 {
+            sju -= 1;
+            UnitKind::SplitJoin
+        } else if scu > 0 {
+            scu -= 1;
+            UnitKind::Scu
+        } else {
+            debug_assert!(alu > 0, "floorplan unit budget exhausted");
+            alu -= 1;
+            UnitKind::Alu
+        };
+        kinds[idx] = Some(kind);
+    }
+    debug_assert_eq!(alu, 0, "floorplan must consume exactly 32 ALUs");
+    kinds.into_iter().map(|k| k.expect("every cell assigned")).collect()
+}
+
+/// Builds the folded-hypercube-style interconnect graph and returns the
+/// all-pairs unit-to-unit BFS hop distances.
+///
+/// Graph construction: units at integer positions; one switch per unit
+/// co-located with it. Unit→unit links to the 4 nearest neighbours;
+/// unit→switch links to its own switch and the 4 diagonal switches;
+/// switch→switch links to the 4 switches at Manhattan distance 2 (the
+/// folded "express" links). Every link is one cycle.
+fn compute_hops(width: u32, height: u32) -> Vec<u8> {
+    let n = (width * height) as usize;
+    // Node numbering: 0..n units, n..2n switches.
+    let total = 2 * n;
+    let idx = |x: u32, y: u32| (y * width + x) as usize;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut connect = |a: usize, b: usize| {
+        adj[a].push(b);
+        adj[b].push(a);
+    };
+    for y in 0..height {
+        for x in 0..width {
+            let u = idx(x, y);
+            let s = n + u;
+            // Unit to its co-located switch.
+            connect(u, s);
+            // Unit to 4 nearest units.
+            if x + 1 < width {
+                connect(u, idx(x + 1, y));
+            }
+            if y + 1 < height {
+                connect(u, idx(x, y + 1));
+            }
+            // Unit to the 4 nearest (diagonal) switches.
+            for (dx, dy) in [(1i64, 1i64), (1, -1), (-1, 1), (-1, -1)] {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx >= 0 && ny >= 0 && (nx as u32) < width && (ny as u32) < height {
+                    let sw = n + idx(nx as u32, ny as u32);
+                    if u < sw {
+                        connect(u, sw);
+                    }
+                }
+            }
+            // Switch express links: Manhattan distance 2.
+            for (dx, dy) in [(2i64, 0i64), (0, 2), (1, 1), (1, -1)] {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx >= 0 && ny >= 0 && (nx as u32) < width && (ny as u32) < height {
+                    connect(s, n + idx(nx as u32, ny as u32));
+                }
+            }
+        }
+    }
+
+    let mut hops = vec![0u8; n * n];
+    let mut dist = vec![u32::MAX; total];
+    let mut queue = VecDeque::new();
+    for src in 0..n {
+        dist.fill(u32::MAX);
+        dist[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v] {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for dst in 0..n {
+            hops[src * n + dst] = dist[dst].min(u8::MAX as u32) as u8;
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_table1_counts() {
+        let g = GridSpec::paper();
+        assert_eq!(g.num_units(), 108);
+        let cap = g.capacity();
+        assert_eq!(cap.get(UnitKind::Alu), 32);
+        assert_eq!(cap.get(UnitKind::Scu), 12);
+        assert_eq!(cap.get(UnitKind::LdSt), 16);
+        assert_eq!(cap.get(UnitKind::Lvu), 16);
+        assert_eq!(cap.get(UnitKind::SplitJoin), 16);
+        assert_eq!(cap.get(UnitKind::Cvu), 16);
+        assert_eq!(cap.total(), 108);
+    }
+
+    #[test]
+    fn memory_units_live_on_the_perimeter() {
+        let g = GridSpec::paper();
+        for kind in [UnitKind::LdSt, UnitKind::Lvu] {
+            for u in g.units_of_kind(kind) {
+                let (x, y) = g.position(u);
+                assert!(
+                    x == 0 || y == 0 || x == g.width() - 1 || y == g.height() - 1,
+                    "{kind:?} at ({x},{y}) is not on the perimeter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distances_are_sane() {
+        let g = GridSpec::paper();
+        let a = UnitId(0);
+        assert_eq!(g.hop_distance(a, a), 0);
+        // Horizontal neighbour: one hop.
+        assert_eq!(g.hop_distance(UnitId(0), UnitId(1)), 1);
+        // Symmetric.
+        let b = UnitId(50);
+        assert_eq!(g.hop_distance(a, b), g.hop_distance(b, a));
+        // Express links keep the diameter small: corner to corner on a
+        // 12x9 grid should be well under the Manhattan distance of 19.
+        let corner = UnitId((g.num_units() - 1) as u32);
+        let d = g.hop_distance(a, corner);
+        assert!(d <= 12, "diameter too large: {d}");
+        assert!(d >= 4, "diameter suspiciously small: {d}");
+    }
+
+    #[test]
+    fn config_wave_cycles_matches_paper() {
+        // sqrt(108) = 10.39 -> 11 cycles per wave, as in §3.2.
+        assert_eq!(GridSpec::paper().config_wave_cycles(), 11);
+    }
+
+    #[test]
+    fn kind_counts_fit() {
+        let mut a = KindCounts::default();
+        a.add(UnitKind::Alu, 30);
+        let cap = GridSpec::paper().capacity();
+        assert!(a.fits_in(&cap));
+        a.add(UnitKind::Alu, 10);
+        assert!(!a.fits_in(&cap));
+    }
+
+    #[test]
+    fn units_of_kind_partition_the_grid() {
+        let g = GridSpec::paper();
+        let total: usize = UNIT_KINDS.iter().map(|&k| g.units_of_kind(k).len()).sum();
+        assert_eq!(total, g.num_units());
+    }
+}

@@ -1,0 +1,484 @@
+//! If-conversion: lowering a whole kernel into one predicated dataflow
+//! graph for the SGMF baseline.
+//!
+//! SGMF "maps all the paths through a control flow graph onto its MT-CGRF
+//! core ... effectively executing all thread control flows in parallel"
+//! (§2, Figure 1c). We reproduce that by if-converting the kernel: every
+//! block's operations appear in a single DAG, guarded by the block's
+//! predicate; values merging at control joins go through select nodes;
+//! stores are gated by their block predicate (a predicated-off store still
+//! *fires* — occupying its unit — but suppresses the write, which is
+//! exactly the resource underutilization the paper attributes to SGMF).
+//!
+//! Kernels with loops, or whose converted graph exceeds the fabric
+//! capacity, are not SGMF-mappable — the paper's evaluation likewise
+//! compares "the subset of kernels that can be mapped to the SGMF cores".
+
+use crate::dfg::{Dfg, DfgBuilder, DfgOp, NodeId, TermTargets, ValSrc};
+use crate::grid::GridSpec;
+use crate::liveness;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vgiw_ir::{BinaryOp, BlockId, Inst, Kernel, Operand, Reg, Terminator, UnaryOp, Word};
+
+/// Why a kernel cannot run on SGMF.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IfConvertError {
+    /// The control flow graph has a loop (back edge).
+    HasLoop,
+    /// The predicated whole-kernel graph does not fit the grid.
+    TooLarge {
+        /// Nodes required, for diagnostics.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for IfConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IfConvertError::HasLoop => write!(f, "kernel has loops; SGMF mapping unsupported"),
+            IfConvertError::TooLarge { nodes } => {
+                write!(f, "if-converted graph ({nodes} nodes) exceeds fabric capacity")
+            }
+        }
+    }
+}
+
+impl Error for IfConvertError {}
+
+/// If-converts `kernel` into a single predicated DFG and checks it fits
+/// `grid`.
+///
+/// # Errors
+/// Returns [`IfConvertError`] for loops or capacity overflow.
+pub fn if_convert(kernel: &Kernel, grid: &GridSpec) -> Result<Dfg, IfConvertError> {
+    if vgiw_ir::cfg::has_loops(kernel) {
+        return Err(IfConvertError::HasLoop);
+    }
+    // Work on the reachable subgraph only: hand-built kernels may carry
+    // unreachable blocks, which would otherwise hit the "no predecessors"
+    // merge assertion. Renumbering also restores RPO order, which the
+    // forward pass below relies on.
+    let pruned;
+    let kernel = if vgiw_ir::cfg::reverse_post_order(kernel).len() != kernel.num_blocks() {
+        let mut k = kernel.clone();
+        vgiw_ir::cfg::renumber_rpo(&mut k);
+        pruned = k;
+        &pruned
+    } else {
+        kernel
+    };
+
+    let mut b = DfgBuilder::new();
+    let nb = kernel.num_blocks();
+    // Liveness bounds the merge work: only registers live into a join
+    // block need select nodes (dead paths' values are simply dropped).
+    let live = liveness::analyze(kernel);
+
+    // Block predicates and per-block-exit register maps, filled in RPO
+    // (block IDs are already RPO after the builder/renumber pass).
+    let mut block_pred: Vec<Option<ValSrc>> = vec![None; nb]; // None until computed
+    let mut exit_vals: Vec<Option<HashMap<Reg, ValSrc>>> = vec![None; nb];
+    // Branch condition value of each block (for edge predicates).
+    let mut branch_cond: Vec<Option<ValSrc>> = vec![None; nb];
+
+    // Global conservative memory ordering across the whole graph.
+    let mut last_store: Option<NodeId> = None;
+    let mut loads_since_store: Vec<NodeId> = Vec::new();
+
+    let preds_of = vgiw_ir::cfg::predecessors(kernel);
+
+    for i in 0..nb {
+        let block = BlockId(i as u32);
+        let bb = kernel.block(block);
+
+        // ---- merge predecessor state -----------------------------------
+        let (pred, mut reg_val) = if i == 0 {
+            (ValSrc::Imm(Word::ONE), HashMap::new())
+        } else {
+            let mut incoming: Vec<(ValSrc, &HashMap<Reg, ValSrc>)> = Vec::new();
+            for &p in &preds_of[i] {
+                let p_pred = block_pred[p.index()].expect("RPO processes preds first");
+                let p_vals = exit_vals[p.index()].as_ref().expect("preds first");
+                let edge_pred = edge_predicate(&mut b, kernel, p, block, p_pred, &branch_cond);
+                incoming.push((edge_pred, p_vals));
+            }
+            merge_incoming(&mut b, incoming, &live.live_in[i])
+        };
+        block_pred[i] = Some(pred);
+
+        // ---- lower the block body, predicated --------------------------
+        let resolve = |reg_val: &HashMap<Reg, ValSrc>, op: Operand| -> ValSrc {
+            match op {
+                Operand::Imm(w) => ValSrc::Imm(w),
+                Operand::Reg(r) => reg_val.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO)),
+            }
+        };
+
+        for inst in &bb.insts {
+            match *inst {
+                Inst::Const { dst, value } => {
+                    reg_val.insert(dst, ValSrc::Imm(value));
+                }
+                Inst::Param { dst, index } => {
+                    reg_val.insert(dst, ValSrc::Param(index));
+                }
+                Inst::ThreadId { dst } => {
+                    let init = b.init;
+                    reg_val.insert(dst, ValSrc::Node(init));
+                }
+                Inst::Unary { dst, op: UnaryOp::Mov, src } => {
+                    let v = resolve(&reg_val, src);
+                    reg_val.insert(dst, v);
+                }
+                Inst::Unary { dst, op, src } => {
+                    let v = resolve(&reg_val, src);
+                    let n = b.push(DfgOp::Unary(op), vec![v], None);
+                    b.ensure_fires(n);
+                    reg_val.insert(dst, ValSrc::Node(n));
+                }
+                Inst::Binary { dst, op, lhs, rhs } => {
+                    let l = resolve(&reg_val, lhs);
+                    let r = resolve(&reg_val, rhs);
+                    let n = b.push(DfgOp::Binary(op), vec![l, r], None);
+                    b.ensure_fires(n);
+                    reg_val.insert(dst, ValSrc::Node(n));
+                }
+                Inst::Select { dst, cond, on_true, on_false } => {
+                    let c = resolve(&reg_val, cond);
+                    let t = resolve(&reg_val, on_true);
+                    let f = resolve(&reg_val, on_false);
+                    let n = b.push(DfgOp::Select, vec![c, t, f], None);
+                    b.ensure_fires(n);
+                    reg_val.insert(dst, ValSrc::Node(n));
+                }
+                Inst::Fma { dst, a, b: bb2, c } => {
+                    let x = resolve(&reg_val, a);
+                    let y = resolve(&reg_val, bb2);
+                    let z = resolve(&reg_val, c);
+                    let n = b.push(DfgOp::Fma, vec![x, y, z], None);
+                    b.ensure_fires(n);
+                    reg_val.insert(dst, ValSrc::Node(n));
+                }
+                Inst::Load { dst, addr } => {
+                    // Loads execute unconditionally (out-of-range addresses
+                    // read as zero in this machine, so a predicated-off
+                    // load is harmless — its value is masked by selects).
+                    let a = resolve(&reg_val, addr);
+                    let n = b.push(DfgOp::Load, vec![a], last_store);
+                    b.ensure_fires(n);
+                    reg_val.insert(dst, ValSrc::Node(n));
+                    loads_since_store.push(n);
+                }
+                Inst::Store { addr, value } => {
+                    let a = resolve(&reg_val, addr);
+                    let v = resolve(&reg_val, value);
+                    let mut order = loads_since_store.clone();
+                    if let Some(s) = last_store {
+                        order.push(s);
+                    }
+                    let gate = store_gate(&mut b, pred, order);
+                    let mut inputs = vec![a, v];
+                    if let Some(g) = gate {
+                        inputs.push(g);
+                    }
+                    let n = b.push(DfgOp::Store, inputs, None);
+                    b.ensure_fires(n);
+                    last_store = Some(n);
+                    loads_since_store.clear();
+                }
+            }
+        }
+        branch_cond[i] = match bb.term {
+            Terminator::Branch { cond, .. } => Some(resolve(&reg_val, cond)),
+            _ => None,
+        };
+        exit_vals[i] = Some(reg_val);
+    }
+
+    // Single exit terminator fired per thread.
+    let init = b.init;
+    let term = b.push(DfgOp::Term(TermTargets::EXIT), Vec::new(), Some(init));
+    let dfg = b.finish(None, term);
+
+    if !dfg.kind_counts().fits_in(&grid.capacity()) {
+        return Err(IfConvertError::TooLarge { nodes: dfg.nodes.len() });
+    }
+    Ok(dfg)
+}
+
+/// The predicate of edge `from -> to`: `pred(from)` combined with the
+/// branch condition when `from` ends in a two-way branch.
+fn edge_predicate(
+    b: &mut DfgBuilder,
+    kernel: &Kernel,
+    from: BlockId,
+    to: BlockId,
+    from_pred: ValSrc,
+    branch_cond: &[Option<ValSrc>],
+) -> ValSrc {
+    match kernel.block(from).term {
+        Terminator::Jump(_) => from_pred,
+        // A degenerate branch with both sides on the same target is an
+        // unconditional edge: the condition must not gate it.
+        Terminator::Branch { taken, not_taken, .. } if taken == not_taken => from_pred,
+        Terminator::Branch { taken, not_taken, .. } => {
+            let cond = branch_cond[from.index()].expect("branch cond lowered");
+            // Normalize the condition to 0/1 for And-composition: any
+            // nonzero word is true, so compare != 0.
+            let cond01 = normalize_pred(b, cond);
+            let edge_cond = if to == taken {
+                cond01
+            } else {
+                debug_assert_eq!(to, not_taken);
+                let n = b.push(
+                    DfgOp::Binary(BinaryOp::CmpEq),
+                    vec![cond01, ValSrc::Imm(Word::ZERO)],
+                    None,
+                );
+                b.ensure_fires(n);
+                ValSrc::Node(n)
+            };
+            and_preds(b, from_pred, edge_cond)
+        }
+        Terminator::Exit => from_pred, // unreachable: exits have no successors
+    }
+}
+
+fn normalize_pred(b: &mut DfgBuilder, v: ValSrc) -> ValSrc {
+    match v {
+        ValSrc::Imm(w) => ValSrc::Imm(Word::from_bool(w.as_bool())),
+        _ => {
+            let n = b.push(
+                DfgOp::Binary(BinaryOp::CmpNe),
+                vec![v, ValSrc::Imm(Word::ZERO)],
+                None,
+            );
+            b.ensure_fires(n);
+            ValSrc::Node(n)
+        }
+    }
+}
+
+fn and_preds(b: &mut DfgBuilder, x: ValSrc, y: ValSrc) -> ValSrc {
+    match (x, y) {
+        (ValSrc::Imm(w), other) if w.as_bool() => other,
+        (other, ValSrc::Imm(w)) if w.as_bool() => other,
+        (ValSrc::Imm(w), _) | (_, ValSrc::Imm(w)) if !w.as_bool() => ValSrc::Imm(Word::ZERO),
+        _ => {
+            let n = b.push(DfgOp::Binary(BinaryOp::And), vec![x, y], None);
+            b.ensure_fires(n);
+            ValSrc::Node(n)
+        }
+    }
+}
+
+fn or_preds(b: &mut DfgBuilder, x: ValSrc, y: ValSrc) -> ValSrc {
+    match (x, y) {
+        (ValSrc::Imm(w), other) if !w.as_bool() => other,
+        (other, ValSrc::Imm(w)) if !w.as_bool() => other,
+        (ValSrc::Imm(w), _) | (_, ValSrc::Imm(w)) if w.as_bool() => ValSrc::Imm(Word::ONE),
+        _ => {
+            let n = b.push(DfgOp::Binary(BinaryOp::Or), vec![x, y], None);
+            b.ensure_fires(n);
+            ValSrc::Node(n)
+        }
+    }
+}
+
+/// Merges incoming `(edge predicate, exit value map)` pairs at a control
+/// join: the block predicate is the OR of edge predicates; register values
+/// that differ across paths become selects keyed by the edge predicates.
+fn merge_incoming(
+    b: &mut DfgBuilder,
+    incoming: Vec<(ValSrc, &HashMap<Reg, ValSrc>)>,
+    live_in: &std::collections::BTreeSet<Reg>,
+) -> (ValSrc, HashMap<Reg, ValSrc>) {
+    assert!(!incoming.is_empty(), "non-entry block with no predecessors");
+    let mut pred = incoming[0].0;
+    for &(p, _) in &incoming[1..] {
+        pred = or_preds(b, pred, p);
+    }
+
+    // Only registers live into the join block need merging.
+    let mut regs: Vec<Reg> = incoming
+        .iter()
+        .flat_map(|(_, m)| m.keys().copied())
+        .filter(|r| live_in.contains(r))
+        .collect();
+    regs.sort_unstable();
+    regs.dedup();
+
+    let mut merged = HashMap::new();
+    for r in regs {
+        let mut val = incoming[0].1.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
+        for &(edge_pred, m) in &incoming[1..] {
+            let v = m.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
+            if v != val {
+                // val = edge_pred ? v : val
+                let n = b.push(DfgOp::Select, vec![edge_pred, v, val], None);
+                b.ensure_fires(n);
+                val = ValSrc::Node(n);
+            }
+        }
+        merged.insert(r, val);
+    }
+    (pred, merged)
+}
+
+/// Builds the gate input of a predicated store: combines the block
+/// predicate with ordering tokens. Returns `None` when the store is both
+/// unconditional and unordered.
+fn store_gate(b: &mut DfgBuilder, pred: ValSrc, order: Vec<NodeId>) -> Option<ValSrc> {
+    let is_true = matches!(pred, ValSrc::Imm(w) if w.as_bool());
+    match (is_true, order.is_empty()) {
+        (true, true) => None,
+        (true, false) => Some(ValSrc::Node(b.join_of(order))),
+        (false, true) => Some(pred),
+        (false, false) => {
+            // JoinPass: passes the predicate (port 0) once ordering tokens
+            // arrived. Collapse the ordering side first if it is wide.
+            let order_tok = if order.len() <= 2 && order.len() + 1 <= crate::dfg::MAX_PORTS {
+                order
+            } else {
+                vec![b.join_of(order)]
+            };
+            let mut inputs = vec![pred];
+            inputs.extend(order_tok.into_iter().map(ValSrc::Node));
+            let n = b.push(DfgOp::JoinPass, inputs, None);
+            b.ensure_fires(n);
+            Some(ValSrc::Node(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::KernelBuilder;
+
+    fn grid() -> GridSpec {
+        GridSpec::paper()
+    }
+
+    #[test]
+    fn straight_line_converts() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let a = b.add(base, tid);
+        b.store(a, tid);
+        let k = b.finish();
+        let d = if_convert(&k, &grid()).expect("must convert");
+        // No selects or predication needed.
+        assert!(!d.nodes.iter().any(|n| matches!(n.op, DfgOp::Select)));
+        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).unwrap();
+        assert_eq!(store.inputs.len(), 2, "unconditional store is ungated");
+    }
+
+    #[test]
+    fn divergent_stores_are_gated() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        b.if_else(
+            c,
+            |b| {
+                let v = b.const_u32(1);
+                b.store(addr, v);
+            },
+            |b| {
+                let v = b.const_u32(9);
+                b.store(addr, v);
+            },
+        );
+        let k = b.finish();
+        let d = if_convert(&k, &grid()).unwrap();
+        let gated = d
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DfgOp::Store) && n.inputs.len() == 3)
+            .count();
+        assert_eq!(gated, 2, "both divergent stores must carry a gate");
+        // No LVC traffic in SGMF: live values travel as direct edges.
+        assert!(!d.nodes.iter().any(|n| matches!(n.op, DfgOp::LvLoad(_) | DfgOp::LvStore(_))));
+    }
+
+    #[test]
+    fn merged_values_become_selects() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        let zero = b.const_u32(0);
+        let v = b.var(zero);
+        b.if_else(
+            c,
+            |b| {
+                let x = b.mul(tid, tid);
+                b.set(v, x);
+            },
+            |b| {
+                let one = b.const_u32(1);
+                let x = b.add(tid, one);
+                b.set(v, x);
+            },
+        );
+        let addr = b.add(base, tid);
+        let val = b.get(v);
+        b.store(addr, val);
+        let k = b.finish();
+        let d = if_convert(&k, &grid()).unwrap();
+        assert!(
+            d.nodes.iter().any(|n| matches!(n.op, DfgOp::Select)),
+            "control-merged value needs a select"
+        );
+    }
+
+    #[test]
+    fn loops_are_rejected() {
+        let mut b = KernelBuilder::new("k", 0);
+        let zero = b.const_u32(0);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                let ten = b.const_u32(10);
+                b.lt_u(iv, ten)
+            },
+            |b| {
+                let iv = b.get(i);
+                let one = b.const_u32(1);
+                let n = b.add(iv, one);
+                b.set(i, n);
+            },
+        );
+        let k = b.finish();
+        assert_eq!(if_convert(&k, &grid()), Err(IfConvertError::HasLoop));
+    }
+
+    #[test]
+    fn oversized_kernels_are_rejected() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let mut acc = tid;
+        for i in 0..200u32 {
+            let c = b.const_u32(i);
+            let t = b.add(acc, c);
+            acc = b.mul(t, tid);
+        }
+        let a = b.add(base, tid);
+        b.store(a, acc);
+        let k = b.finish();
+        assert!(matches!(
+            if_convert(&k, &grid()),
+            Err(IfConvertError::TooLarge { .. })
+        ));
+    }
+}

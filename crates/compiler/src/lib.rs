@@ -1,0 +1,35 @@
+//! The VGIW compiler: lowers `vgiw-ir` kernels onto the MT-CGRF grid.
+//!
+//! Pipeline (paper section 3.1):
+//!
+//! 1. [`split::split_to_fit`] — capacity-driven basic block splitting, the
+//!    mechanism that lets VGIW run kernels of any size;
+//! 2. block renumbering in scheduling order (entry = 0, back edges to
+//!    smaller IDs) via `vgiw_ir::cfg::renumber_rpo`;
+//! 3. [`liveness::analyze`] — live value allocation for the LVC;
+//! 4. [`dfg::build_block_dfg`] — per-block dataflow graph lowering with
+//!    LVU, split/join and CVU node insertion;
+//! 5. replica packing and [`place::place`] — place & route on the folded
+//!    hypercube interconnect.
+//!
+//! [`compile`] drives the whole pipeline. [`ifconvert::if_convert`]
+//! additionally lowers whole kernels into single predicated graphs for the
+//! SGMF baseline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dfg;
+pub mod grid;
+pub mod ifconvert;
+pub mod liveness;
+pub mod place;
+pub mod split;
+
+mod config;
+
+pub use config::{compile, CompileError, CompiledBlock, CompiledKernel, MAX_REPLICAS};
+pub use dfg::{Dfg, DfgNode, DfgOp, NodeId, TermTargets, ValSrc, MAX_FANOUT, MAX_PORTS};
+pub use grid::{GridSpec, KindCounts, UnitId, UnitKind, UNIT_KINDS};
+pub use liveness::{Liveness, LiveValueId};
+pub use place::Placement;

@@ -1,0 +1,303 @@
+//! Register liveness and live value allocation.
+//!
+//! The VGIW compiler "assigns a live value ID for each intermediate value
+//! that crosses block boundaries ... The mapping process is similar to
+//! traditional register allocation" (§3.1). We compute classic backward
+//! liveness over the kernel's registers; every register that is live into
+//! any block gets a [`LiveValueId`] and will be communicated through the
+//! live value cache, while block-local registers stay as direct dataflow
+//! edges inside the MT-CGRF.
+
+use std::collections::BTreeSet;
+use vgiw_ir::{BlockId, Kernel, Reg};
+
+/// Identifier of a live value slot in the LVC-backed live value matrix.
+///
+/// At runtime, thread `t`'s copy of live value `l` lives at word address
+/// `matrix_base + l * num_threads + t` (the paper's 2-D array indexed by
+/// live value ID and thread ID, §2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LiveValueId(pub u32);
+
+impl LiveValueId {
+    /// The slot index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of liveness analysis over one kernel.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers that always hold the thread index (defined only by
+    /// `ThreadId` or copies of such registers). They never use the LVC:
+    /// every block's initiator CVU re-broadcasts the thread coordinates
+    /// (§3.5), exactly like the hardware.
+    pub tid_regs: Vec<bool>,
+    /// `live_in[b]`: registers live at entry of block `b`.
+    pub live_in: Vec<BTreeSet<Reg>>,
+    /// `live_out[b]`: registers live at exit of block `b`.
+    pub live_out: Vec<BTreeSet<Reg>>,
+    /// `upward_exposed[b]`: registers read in `b` before any write in `b`.
+    pub upward_exposed: Vec<BTreeSet<Reg>>,
+    /// `defs[b]`: registers written in `b`.
+    pub defs: Vec<BTreeSet<Reg>>,
+    /// Live value slot for each register, or `None` for block-local regs.
+    pub slot_of_reg: Vec<Option<LiveValueId>>,
+    /// Number of allocated live value slots.
+    pub num_live_values: u32,
+}
+
+impl Liveness {
+    /// The live value slot assigned to `reg`, if it crosses blocks.
+    pub fn slot(&self, reg: Reg) -> Option<LiveValueId> {
+        self.slot_of_reg[reg.index()]
+    }
+
+    /// Whether `reg` always holds the thread index (no LVC needed).
+    pub fn is_tid(&self, reg: Reg) -> bool {
+        self.tid_regs[reg.index()]
+    }
+
+    /// Registers that must be loaded from the LVC at entry to `block`
+    /// (live-in *and* read before written there; tid-aliased registers
+    /// come from the initiator instead).
+    pub fn lvc_loads(&self, block: BlockId) -> impl Iterator<Item = Reg> + '_ {
+        self.upward_exposed[block.index()]
+            .iter()
+            .copied()
+            .filter(move |r| self.live_in[block.index()].contains(r) && !self.is_tid(*r))
+    }
+
+    /// Registers whose final in-block definition must be stored to the LVC
+    /// at `block` (defined there *and* live out; tid-aliased registers are
+    /// never stored).
+    pub fn lvc_stores(&self, block: BlockId) -> impl Iterator<Item = Reg> + '_ {
+        self.defs[block.index()]
+            .iter()
+            .copied()
+            .filter(move |r| self.live_out[block.index()].contains(r) && !self.is_tid(*r))
+    }
+}
+
+/// Computes backward liveness and allocates live value IDs.
+pub fn analyze(kernel: &Kernel) -> Liveness {
+    let nb = kernel.num_blocks();
+    let mut upward_exposed = vec![BTreeSet::new(); nb];
+    let mut defs = vec![BTreeSet::new(); nb];
+
+    for (id, block) in kernel.iter_blocks() {
+        let b = id.index();
+        for inst in &block.insts {
+            inst.for_each_use(|r| {
+                if !defs[b].contains(&r) {
+                    upward_exposed[b].insert(r);
+                }
+            });
+            if let Some(d) = inst.dst() {
+                defs[b].insert(d);
+            }
+        }
+        if let Some(r) = block.term.use_reg() {
+            if !defs[b].contains(&r) {
+                upward_exposed[b].insert(r);
+            }
+        }
+    }
+
+    let mut live_in: Vec<BTreeSet<Reg>> = upward_exposed.clone();
+    let mut live_out: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); nb];
+
+    // Iterate to fixpoint (backward problem; RPO-reversed order converges
+    // fast on reducible CFGs).
+    let rpo = vgiw_ir::cfg::reverse_post_order(kernel);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in rpo.iter().rev() {
+            let b = id.index();
+            let mut out = BTreeSet::new();
+            for succ in kernel.block(id).term.successors() {
+                out.extend(live_in[succ.index()].iter().copied());
+            }
+            if out != live_out[b] {
+                live_out[b] = out;
+                changed = true;
+            }
+            let mut inn = upward_exposed[b].clone();
+            for &r in &live_out[b] {
+                if !defs[b].contains(&r) {
+                    inn.insert(r);
+                }
+            }
+            if inn != live_in[b] {
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    let tid_regs = tid_aliases(kernel);
+
+    // A register crosses block boundaries iff it is live into any block;
+    // tid-aliased registers are rebroadcast by the initiator instead.
+    let mut slot_of_reg = vec![None; kernel.num_regs as usize];
+    let mut next = 0u32;
+    for li in &live_in {
+        for &r in li {
+            if slot_of_reg[r.index()].is_none() && !tid_regs[r.index()] {
+                slot_of_reg[r.index()] = Some(LiveValueId(next));
+                next += 1;
+            }
+        }
+    }
+
+    Liveness {
+        tid_regs,
+        live_in,
+        live_out,
+        upward_exposed,
+        defs,
+        slot_of_reg,
+        num_live_values: next,
+    }
+}
+
+/// Registers whose every definition is `ThreadId` or a copy of another
+/// tid-aliased register (fixpoint over `Mov` chains).
+fn tid_aliases(kernel: &Kernel) -> Vec<bool> {
+    use vgiw_ir::{Inst, Operand, UnaryOp};
+    let n = kernel.num_regs as usize;
+    // Least fixpoint from below: a register becomes tid-aliased only once
+    // *every* definition of it is `ThreadId` or a copy of an
+    // already-tid-aliased register. Starting from `false` means cycles of
+    // copies with no `ThreadId` root (e.g. `x = mov y; y = mov x`)
+    // correctly stay non-aliased.
+    let mut is_tid = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in 0..n {
+            if is_tid[r] {
+                continue;
+            }
+            let mut any_def = false;
+            let mut all_tid = true;
+            for (_, block) in kernel.iter_blocks() {
+                for inst in &block.insts {
+                    if inst.dst() != Some(vgiw_ir::Reg(r as u32)) {
+                        continue;
+                    }
+                    any_def = true;
+                    let ok = match *inst {
+                        Inst::ThreadId { .. } => true,
+                        Inst::Unary { op: UnaryOp::Mov, src: Operand::Reg(s), .. } => {
+                            is_tid[s.index()]
+                        }
+                        _ => false,
+                    };
+                    all_tid &= ok;
+                }
+            }
+            if any_def && all_tid {
+                is_tid[r] = true;
+                changed = true;
+            }
+        }
+    }
+    is_tid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::KernelBuilder;
+
+    #[test]
+    fn straight_line_kernel_has_no_live_values() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.mul(tid, tid);
+        b.store(addr, v);
+        let k = b.finish();
+        let lv = analyze(&k);
+        assert_eq!(lv.num_live_values, 0);
+        assert!(lv.slot_of_reg.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn values_crossing_an_if_get_slots() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid); // crosses into the then-block
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        b.if_(c, |b| {
+            let v = b.const_u32(1);
+            b.store(addr, v);
+        });
+        let k = b.finish();
+        let lv = analyze(&k);
+        // `addr` is live into the then-block.
+        assert!(lv.num_live_values >= 1);
+        let then_block = BlockId(1);
+        let loads: Vec<Reg> = lv.lvc_loads(then_block).collect();
+        assert!(!loads.is_empty(), "then-block must load the address from the LVC");
+        // The entry block must store it.
+        let stores: Vec<Reg> = lv.lvc_stores(BlockId(0)).collect();
+        assert_eq!(stores, loads);
+    }
+
+    #[test]
+    fn loop_carried_variables_are_live() {
+        let mut b = KernelBuilder::new("k", 0);
+        let zero = b.const_u32(0);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                let ten = b.const_u32(10);
+                b.lt_u(iv, ten)
+            },
+            |b| {
+                let iv = b.get(i);
+                let one = b.const_u32(1);
+                let n = b.add(iv, one);
+                b.set(i, n);
+            },
+        );
+        let k = b.finish();
+        let lv = analyze(&k);
+        assert!(lv.num_live_values >= 1, "loop induction variable must be a live value");
+        // Some block (the rotated loop body) must both load and store the
+        // induction variable.
+        let body = (0..k.num_blocks())
+            .map(|i| BlockId(i as u32))
+            .find(|&b| lv.lvc_loads(b).count() >= 1 && lv.lvc_stores(b).count() >= 1);
+        assert!(body.is_some(), "rotated loop body must round-trip the LVC");
+    }
+
+    #[test]
+    fn block_local_values_do_not_get_slots() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        b.if_(c, |b| {
+            // Everything here is block-local.
+            let t2 = b.mul(tid, tid);
+            let t3 = b.add(t2, t2);
+            let addr = b.add(base, tid);
+            b.store(addr, t3);
+        });
+        let k = b.finish();
+        let lv = analyze(&k);
+        // tid and base cross (used in the then-block), but t2/t3/addr do not.
+        let crossing = lv.slot_of_reg.iter().filter(|s| s.is_some()).count();
+        assert_eq!(crossing as u32, lv.num_live_values);
+        assert!(lv.num_live_values <= 3, "only tid/base/cond may cross, got {}", lv.num_live_values);
+    }
+}

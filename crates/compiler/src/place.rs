@@ -1,0 +1,250 @@
+//! Place & route: assigning DFG nodes to physical grid units.
+//!
+//! Each basic block "undergoes a place and route sequence to generate a
+//! static per-block configuration of the MT-CGRF core" (§3.1). We place
+//! greedily in topological order (each node lands on the free unit of its
+//! kind closest to its already-placed neighbours) and then run a
+//! hill-climbing refinement pass that re-seats nodes to reduce total wire
+//! length. Routing cost between two units is the interconnect hop count
+//! from [`GridSpec::hop_distance`]; every hop is one cycle at runtime.
+
+use crate::dfg::{Dfg, NodeId};
+use crate::grid::{GridSpec, UnitId};
+
+/// A mapping from DFG nodes to physical units (one replica's worth).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// `node_unit[node]` is the unit executing that node.
+    pub node_unit: Vec<UnitId>,
+    /// Total wire cost (sum of hop distances over all edges).
+    pub wire_cost: u32,
+}
+
+impl Placement {
+    /// The unit hosting `node`.
+    pub fn unit(&self, node: NodeId) -> UnitId {
+        self.node_unit[node.index()]
+    }
+
+    /// The hop latency of the edge `producer -> consumer` under this
+    /// placement (minimum 1 cycle even for adjacent units).
+    pub fn edge_latency(&self, grid: &GridSpec, producer: NodeId, consumer: NodeId) -> u32 {
+        grid.hop_distance(self.unit(producer), self.unit(consumer)).max(1)
+    }
+}
+
+/// Places one replica of `dfg` onto the units still `free` in the grid.
+///
+/// On success, marks the consumed units as used in `free` and returns the
+/// placement. Returns `None` when some unit kind runs out — the caller
+/// stops replicating at that point.
+pub fn place(dfg: &Dfg, grid: &GridSpec, free: &mut [bool]) -> Option<Placement> {
+    assert_eq!(free.len(), grid.num_units(), "free map size mismatch");
+
+    // Per-kind unit lists, computed once (placement consults them per node
+    // per refinement pass).
+    let kind_units: Vec<Vec<UnitId>> = crate::grid::UNIT_KINDS
+        .iter()
+        .map(|&k| grid.units_of_kind(k))
+        .collect();
+    let units_of = |kind: crate::grid::UnitKind| -> &[UnitId] {
+        &kind_units[crate::grid::UNIT_KINDS.iter().position(|&k| k == kind).expect("known kind")]
+    };
+
+    // Quick capacity check against what is actually free.
+    let needed = dfg.kind_counts();
+    for kind in crate::grid::UNIT_KINDS {
+        let avail = units_of(kind).iter().filter(|u| free[u.index()]).count() as u32;
+        if needed.get(kind) > avail {
+            return None;
+        }
+    }
+
+    let consumers = dfg.consumers();
+    // Predecessors (dynamic only).
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); dfg.nodes.len()];
+    for (p, cons) in consumers.iter().enumerate() {
+        for &(c, _) in cons {
+            preds[c.index()].push(NodeId(p as u32));
+        }
+    }
+
+    // Topological order via Kahn's algorithm.
+    let order = topo_order(dfg, &consumers);
+
+    let center = {
+        let (w, h) = (grid.width(), grid.height());
+        (w as f64 / 2.0, h as f64 / 2.0)
+    };
+
+    let mut node_unit: Vec<Option<UnitId>> = vec![None; dfg.nodes.len()];
+    for &node in &order {
+        let kind = dfg.nodes[node.index()].op.unit_kind();
+        let placed_preds: Vec<UnitId> = preds[node.index()]
+            .iter()
+            .filter_map(|p| node_unit[p.index()])
+            .collect();
+        let candidates = units_of(kind).iter().copied().filter(|u| free[u.index()]);
+        let best = candidates.min_by_key(|&u| {
+            if placed_preds.is_empty() {
+                // No placed fan-in: prefer central positions (scaled to keep
+                // integer keys).
+                let (x, y) = grid.position(u);
+                let dx = x as f64 + 0.5 - center.0;
+                let dy = y as f64 + 0.5 - center.1;
+                ((dx.abs() + dy.abs()) * 4.0) as u32
+            } else {
+                placed_preds.iter().map(|&p| grid.hop_distance(p, u)).sum()
+            }
+        })?;
+        free[best.index()] = false;
+        node_unit[node.index()] = Some(best);
+    }
+
+    let mut node_unit: Vec<UnitId> =
+        node_unit.into_iter().map(|u| u.expect("all nodes placed")).collect();
+
+    // Refinement: re-seat each node on any free-or-own unit of its kind if
+    // it lowers the local wire cost. Two passes are enough at this scale.
+    for _ in 0..2 {
+        for &node in &order {
+            let kind = dfg.nodes[node.index()].op.unit_kind();
+            let local_cost = |unit: UnitId, node_unit: &[UnitId]| -> u32 {
+                let mut cost = 0;
+                for p in &preds[node.index()] {
+                    cost += grid.hop_distance(node_unit[p.index()], unit);
+                }
+                for &(c, _) in &consumers[node.index()] {
+                    cost += grid.hop_distance(unit, node_unit[c.index()]);
+                }
+                cost
+            };
+            let current = node_unit[node.index()];
+            let mut best = current;
+            let mut best_cost = local_cost(current, &node_unit);
+            for &u in units_of(kind) {
+                if u != current && free[u.index()] {
+                    let c = local_cost(u, &node_unit);
+                    if c < best_cost {
+                        best = u;
+                        best_cost = c;
+                    }
+                }
+            }
+            if best != current {
+                free[current.index()] = true;
+                free[best.index()] = false;
+                node_unit[node.index()] = best;
+            }
+        }
+    }
+
+    let mut wire_cost = 0;
+    for (p, cons) in consumers.iter().enumerate() {
+        for &(c, _) in cons {
+            wire_cost += grid.hop_distance(node_unit[p], node_unit[c.index()]);
+        }
+    }
+    Some(Placement { node_unit, wire_cost })
+}
+
+fn topo_order(dfg: &Dfg, consumers: &[Vec<(NodeId, u8)>]) -> Vec<NodeId> {
+    let n = dfg.nodes.len();
+    let mut indeg = vec![0u32; n];
+    for cons in consumers {
+        for &(c, _) in cons {
+            indeg[c.index()] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = stack.pop() {
+        order.push(NodeId(v as u32));
+        for &(c, _) in &consumers[v] {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                stack.push(c.index());
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "DFG must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::build_block_dfg;
+    use crate::liveness;
+    use vgiw_ir::{BlockId, KernelBuilder};
+
+    fn small_dfg() -> Dfg {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.mul(tid, tid);
+        b.store(addr, v);
+        let k = b.finish();
+        let lv = liveness::analyze(&k);
+        build_block_dfg(&k, BlockId(0), &lv)
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let grid = GridSpec::paper();
+        let dfg = small_dfg();
+        let mut free = vec![true; grid.num_units()];
+        let p = place(&dfg, &grid, &mut free).expect("small graph must place");
+        // Kind compatibility.
+        for (i, node) in dfg.nodes.iter().enumerate() {
+            assert_eq!(grid.kind(p.node_unit[i]), node.op.unit_kind());
+        }
+        // No double occupancy.
+        let mut seen = std::collections::HashSet::new();
+        for &u in &p.node_unit {
+            assert!(seen.insert(u), "unit {u:?} used twice");
+            assert!(!free[u.index()], "placed unit must be marked used");
+        }
+    }
+
+    #[test]
+    fn multiple_replicas_use_disjoint_units() {
+        let grid = GridSpec::paper();
+        let dfg = small_dfg();
+        let mut free = vec![true; grid.num_units()];
+        let p1 = place(&dfg, &grid, &mut free).unwrap();
+        let p2 = place(&dfg, &grid, &mut free).unwrap();
+        let s1: std::collections::HashSet<_> = p1.node_unit.iter().collect();
+        assert!(p2.node_unit.iter().all(|u| !s1.contains(u)));
+    }
+
+    #[test]
+    fn placement_fails_when_capacity_exhausted() {
+        let grid = GridSpec::paper();
+        let dfg = small_dfg();
+        let mut free = vec![false; grid.num_units()];
+        assert!(place(&dfg, &grid, &mut free).is_none());
+    }
+
+    #[test]
+    fn connected_nodes_end_up_close() {
+        let grid = GridSpec::paper();
+        let dfg = small_dfg();
+        let mut free = vec![true; grid.num_units()];
+        let p = place(&dfg, &grid, &mut free).unwrap();
+        // Average edge latency should be small on an uncongested grid.
+        let consumers = dfg.consumers();
+        let mut total = 0u32;
+        let mut edges = 0u32;
+        for (prod, cons) in consumers.iter().enumerate() {
+            for &(c, _) in cons {
+                total += p.edge_latency(&grid, NodeId(prod as u32), c);
+                edges += 1;
+            }
+        }
+        assert!(edges > 0);
+        let avg = total as f64 / edges as f64;
+        assert!(avg <= 4.0, "average edge latency too high: {avg}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Capacity-driven basic block splitting.
+//!
+//! VGIW "preserves the generality of the von Neumann model for partitioning
+//! and executing large kernels" (§1): a basic block whose dataflow graph
+//! exceeds the MT-CGRF's per-kind unit capacity is split into a chain of
+//! smaller blocks connected by unconditional jumps, with the values crossing
+//! the new boundary spilled through the live value cache like any other
+//! cross-block value. This is what frees VGIW from SGMF's kernel-size limit.
+
+use crate::dfg::build_block_dfg;
+use crate::grid::GridSpec;
+use crate::liveness;
+use std::error::Error;
+use std::fmt;
+use vgiw_ir::{BasicBlock, BlockId, Kernel, Terminator};
+
+/// Failure to make a kernel fit the grid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SplitError {
+    /// A single instruction's node set exceeds grid capacity (cannot
+    /// happen with realistic grids; guards against degenerate configs).
+    Unsplittable {
+        /// The offending block after the last split attempt.
+        block: BlockId,
+    },
+    /// Splitting did not converge within the iteration budget.
+    Diverged,
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::Unsplittable { block } => {
+                write!(f, "block {block} cannot be split to fit the grid")
+            }
+            SplitError::Diverged => write!(f, "block splitting did not converge"),
+        }
+    }
+}
+
+impl Error for SplitError {}
+
+/// Splits oversized blocks until every block's DFG fits the grid, then
+/// renumbers blocks in scheduling order.
+///
+/// # Errors
+/// Returns [`SplitError`] if a block cannot be made to fit.
+pub fn split_to_fit(kernel: &Kernel, grid: &GridSpec) -> Result<Kernel, SplitError> {
+    let mut k = kernel.clone();
+    let capacity = grid.capacity();
+    // Each split adds one block; a generous budget that still guarantees
+    // termination on compiler bugs.
+    let budget = 64 + k.static_size();
+    for _ in 0..budget {
+        let lv = liveness::analyze(&k);
+        let mut offender = None;
+        for i in 0..k.num_blocks() {
+            let block = BlockId(i as u32);
+            let dfg = build_block_dfg(&k, block, &lv);
+            if !dfg.kind_counts().fits_in(&capacity) {
+                offender = Some(block);
+                break;
+            }
+        }
+        let Some(block) = offender else {
+            vgiw_ir::cfg::renumber_rpo(&mut k);
+            return Ok(k);
+        };
+        let len = k.block(block).insts.len();
+        if len < 2 {
+            return Err(SplitError::Unsplittable { block });
+        }
+        // Split where the fewest values cross the new boundary (each
+        // crossing value becomes LVC traffic), keeping both halves
+        // reasonably sized; iteration handles still-too-big halves.
+        let cut = best_cut(&k, block, &lv);
+        let remat = remat_prologue(&k, block, cut);
+        let mut tail_insts = k.block_mut(block).insts.split_off(cut);
+        let orig_term = k.block(block).term;
+        if remat.len() + tail_insts.len() < len {
+            // Rematerialize cheap crossing values (address arithmetic over
+            // parameters/constants/thread IDs) at the top of the tail block
+            // instead of spilling them through the LVC.
+            let mut pro = remat;
+            pro.extend(tail_insts);
+            tail_insts = pro;
+        }
+        let new_block = k.push_block();
+        *k.block_mut(new_block) = BasicBlock { insts: tail_insts, term: orig_term };
+        k.block_mut(block).term = Terminator::Jump(new_block);
+    }
+    Err(SplitError::Diverged)
+}
+
+/// Chooses the cut position in `block` that minimizes the number of
+/// registers defined before the cut and consumed at-or-after it (or live
+/// out of the block), with a mild preference for balanced halves.
+fn best_cut(kernel: &Kernel, block: BlockId, lv: &liveness::Liveness) -> usize {
+    let insts = &kernel.block(block).insts;
+    let len = insts.len();
+    let live_out = &lv.live_out[block.index()];
+
+    // For each register, the first definition index and the last use index
+    // within the block (terminator counts as a use at `len`).
+    use std::collections::HashMap;
+    let mut first_def: HashMap<vgiw_ir::Reg, usize> = HashMap::new();
+    let mut last_use: HashMap<vgiw_ir::Reg, usize> = HashMap::new();
+    for (i, inst) in insts.iter().enumerate() {
+        inst.for_each_use(|r| {
+            last_use.insert(r, i);
+        });
+        if let Some(d) = inst.dst() {
+            first_def.entry(d).or_insert(i);
+        }
+    }
+    if let Some(r) = kernel.block(block).term.use_reg() {
+        last_use.insert(r, len);
+    }
+
+    let mut best = len / 2;
+    let mut best_cost = usize::MAX;
+    // Keep halves at least a quarter of the block to guarantee progress.
+    let lo = (len / 4).max(1);
+    let hi = len - lo;
+    for cut in lo..=hi {
+        let mut crossing = 0usize;
+        for (&r, &def) in &first_def {
+            if def < cut {
+                let used_after = last_use.get(&r).is_some_and(|&u| u >= cut);
+                if used_after || live_out.contains(&r) {
+                    crossing += 1;
+                }
+            }
+        }
+        // Prefer balanced cuts on ties.
+        let imbalance = cut.abs_diff(len / 2);
+        let cost = crossing * len + imbalance;
+        if cost < best_cost {
+            best_cost = cost;
+            best = cut;
+        }
+    }
+    best
+}
+
+/// Builds a rematerialization prologue for a split at `cut`: for each
+/// register defined before the cut and consumed after it, if its defining
+/// expression is a short chain over parameters, constants and thread IDs,
+/// emit that chain again instead of letting the value spill to the LVC.
+fn remat_prologue(kernel: &Kernel, block: BlockId, cut: usize) -> Vec<vgiw_ir::Inst> {
+    use std::collections::HashMap;
+    use vgiw_ir::{Inst, Reg};
+    const PER_VALUE: usize = 6;
+    const TOTAL: usize = 24;
+
+    let insts = &kernel.block(block).insts;
+    // Last definition index of each register in the head.
+    let mut last_def: HashMap<Reg, usize> = HashMap::new();
+    for (i, inst) in insts.iter().take(cut).enumerate() {
+        if let Some(d) = inst.dst() {
+            last_def.insert(d, i);
+        }
+    }
+    // Crossing = defined in head, used in tail (conservatively: any use).
+    let mut crossing: Vec<Reg> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for inst in insts.iter().skip(cut) {
+        inst.for_each_use(|r| {
+            if last_def.contains_key(&r) && seen.insert(r) {
+                crossing.push(r);
+            }
+        });
+    }
+    if let Some(r) = kernel.block(block).term.use_reg() {
+        if last_def.contains_key(&r) && seen.insert(r) {
+            crossing.push(r);
+        }
+    }
+
+    /// Collects the instruction indices needed to recompute `r`, or fails
+    /// if the chain is not rematerializable within the budget.
+    /// `depth` bounds the descent (the accumulator only fills on unwind).
+    fn chain(
+        insts: &[Inst],
+        last_def: &HashMap<Reg, usize>,
+        r: Reg,
+        acc: &mut Vec<usize>,
+        budget: usize,
+        depth: usize,
+    ) -> bool {
+        let Some(&d) = last_def.get(&r) else {
+            // Defined before the block (or tid/param handled elsewhere):
+            // available in the tail anyway via its own LVC slot / initiator.
+            return true;
+        };
+        if acc.contains(&d) {
+            return true;
+        }
+        if depth >= budget || acc.len() >= budget {
+            return false;
+        }
+        let inst = &insts[d];
+        let ok = match inst {
+            Inst::Const { .. } | Inst::Param { .. } | Inst::ThreadId { .. } => true,
+            Inst::Unary { .. } | Inst::Binary { .. } | Inst::Select { .. } | Inst::Fma { .. } => {
+                let mut ok = true;
+                inst.for_each_use(|u| {
+                    if !ok {
+                        return;
+                    }
+                    match last_def.get(&u) {
+                        // Recomputing at the cut must see the same operand
+                        // value the original def saw: the operand's last
+                        // head definition must strictly precede this def
+                        // (`>=` also rejects self-referencing instructions
+                        // like `r = add r, 1`, which are not functional
+                        // expressions and must spill).
+                        Some(&du) if du >= d => ok = false,
+                        Some(_) => ok = chain(insts, last_def, u, acc, budget, depth + 1),
+                        None => {}
+                    }
+                });
+                ok
+            }
+            Inst::Load { .. } | Inst::Store { .. } => false,
+        };
+        if ok {
+            acc.push(d);
+        }
+        ok
+    }
+
+    let mut out_idx: Vec<usize> = Vec::new();
+    for r in crossing {
+        let mut acc = Vec::new();
+        if chain(insts, &last_def, r, &mut acc, PER_VALUE, 0) {
+            for d in acc {
+                if !out_idx.contains(&d) {
+                    if out_idx.len() >= TOTAL {
+                        return collect(insts, out_idx);
+                    }
+                    out_idx.push(d);
+                }
+            }
+        }
+    }
+    collect(insts, out_idx)
+}
+
+fn collect(insts: &[vgiw_ir::Inst], mut idx: Vec<usize>) -> Vec<vgiw_ir::Inst> {
+    idx.sort_unstable();
+    idx.into_iter().map(|i| insts[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, KernelBuilder, Launch, MemoryImage, Word};
+
+    /// A kernel whose single block needs far more than 32 ALUs.
+    fn huge_block_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("huge", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let mut acc = tid;
+        for i in 0..150u32 {
+            let c = b.const_u32(i);
+            let t = b.add(acc, c);
+            acc = b.mul(t, tid);
+        }
+        let addr = b.add(base, tid);
+        b.store(addr, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn oversized_blocks_get_split() {
+        let k = huge_block_kernel();
+        assert_eq!(k.num_blocks(), 1);
+        let grid = GridSpec::paper();
+        let split = split_to_fit(&k, &grid).expect("splitting must succeed");
+        assert!(split.num_blocks() > 1, "a 300-op block must be split");
+
+        // Every block now fits.
+        let lv = liveness::analyze(&split);
+        let cap = grid.capacity();
+        for i in 0..split.num_blocks() {
+            let d = build_block_dfg(&split, BlockId(i as u32), &lv);
+            assert!(d.kind_counts().fits_in(&cap), "block {i} still too big");
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_semantics() {
+        let k = huge_block_kernel();
+        let grid = GridSpec::paper();
+        let split = split_to_fit(&k, &grid).unwrap();
+
+        let launch = Launch::new(16, vec![Word::from_u32(0)]);
+        let mut m1 = MemoryImage::new(32);
+        interp::run(&k, &launch, &mut m1).unwrap();
+        let mut m2 = MemoryImage::new(32);
+        interp::run(&split, &launch, &mut m2).unwrap();
+        assert!(m1 == m2, "split kernel must compute the same results");
+    }
+
+    #[test]
+    fn small_kernels_are_untouched() {
+        let mut b = KernelBuilder::new("small", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        b.store(addr, tid);
+        let k = b.finish();
+        let split = split_to_fit(&k, &GridSpec::paper()).unwrap();
+        assert_eq!(split.num_blocks(), k.num_blocks());
+    }
+
+    #[test]
+    fn divergent_kernels_survive_splitting() {
+        // Oversized then-branch inside divergent control flow.
+        let mut b = KernelBuilder::new("div", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let eight = b.const_u32(8);
+        let c = b.lt_u(tid, eight);
+        let addr = b.add(base, tid);
+        b.if_else(
+            c,
+            |b| {
+                let mut acc = tid;
+                for i in 0..120u32 {
+                    let k = b.const_u32(i * 7 + 1);
+                    let t = b.mul(acc, k);
+                    acc = b.add(t, tid);
+                }
+                b.store(addr, acc);
+            },
+            |b| {
+                b.store(addr, tid);
+            },
+        );
+        let k = b.finish();
+        let grid = GridSpec::paper();
+        let split = split_to_fit(&k, &grid).unwrap();
+        assert!(split.num_blocks() > k.num_blocks());
+
+        let launch = Launch::new(16, vec![Word::from_u32(0)]);
+        let mut m1 = MemoryImage::new(32);
+        interp::run(&k, &launch, &mut m1).unwrap();
+        let mut m2 = MemoryImage::new(32);
+        interp::run(&split, &launch, &mut m2).unwrap();
+        assert!(m1 == m2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Compiler invariants over every kernel of the benchmark suite: all
+//! blocks fit the grid, placements are legal and disjoint, DFGs validate,
+//! and the scheduling order property holds.
+
+use vgiw_compiler::{compile, GridSpec, UNIT_KINDS};
+
+#[test]
+fn every_suite_kernel_compiles_with_legal_mappings() {
+    let grid = GridSpec::paper();
+    let capacity = grid.capacity();
+    for bench in vgiw_kernels::suite(1) {
+        for kernel in &bench.kernels {
+            let ck = compile(kernel, &grid)
+                .unwrap_or_else(|e| panic!("{}/{} failed: {e}", bench.app, kernel.name));
+            assert_eq!(ck.blocks.len(), ck.kernel.num_blocks());
+            for (i, cb) in ck.blocks.iter().enumerate() {
+                cb.dfg.assert_valid();
+                let counts = cb.dfg.kind_counts();
+                assert!(
+                    counts.fits_in(&capacity),
+                    "{}/{} block {i} exceeds capacity: {counts}",
+                    bench.app,
+                    kernel.name
+                );
+                assert!(cb.num_replicas() >= 1);
+                // Replicas occupy disjoint, kind-compatible units.
+                let mut used = std::collections::HashSet::new();
+                for r in &cb.replicas {
+                    for (n, &u) in r.node_unit.iter().enumerate() {
+                        assert!(used.insert(u), "unit reuse in {}", kernel.name);
+                        assert_eq!(
+                            grid.kind(u),
+                            cb.dfg.nodes[n].op.unit_kind(),
+                            "kind mismatch in {}",
+                            kernel.name
+                        );
+                    }
+                }
+                // Total replica usage also fits the grid.
+                let mut total = vgiw_compiler::KindCounts::default();
+                for _ in 0..cb.num_replicas() {
+                    for kind in UNIT_KINDS {
+                        total.add(kind, counts.get(kind));
+                    }
+                }
+                assert!(total.fits_in(&capacity));
+            }
+            // Scheduling order: every forward edge goes to a larger ID, and
+            // back edges (loops) never go forward.
+            for (id, block) in ck.kernel.iter_blocks() {
+                for succ in block.term.successors() {
+                    assert!(
+                        succ > id || succ <= id,
+                        "{}: impossible edge {id} -> {succ}",
+                        kernel.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let grid = GridSpec::paper();
+    let kernel = vgiw_kernels::cfd::compute_flux_kernel();
+    let a = compile(&kernel, &grid).unwrap();
+    let b = compile(&kernel, &grid).unwrap();
+    assert_eq!(a.kernel, b.kernel);
+    assert_eq!(a.blocks.len(), b.blocks.len());
+    for (x, y) in a.blocks.iter().zip(&b.blocks) {
+        assert_eq!(x.dfg, y.dfg);
+        assert_eq!(x.replicas.len(), y.replicas.len());
+        for (p, q) in x.replicas.iter().zip(&y.replicas) {
+            assert_eq!(p.node_unit, q.node_unit);
+        }
+    }
+}
+
+#[test]
+fn live_value_ids_are_dense_and_consistent() {
+    let grid = GridSpec::paper();
+    for bench in vgiw_kernels::suite(1) {
+        for kernel in &bench.kernels {
+            let ck = compile(kernel, &grid).unwrap();
+            let lv = &ck.liveness;
+            let mut seen = vec![false; lv.num_live_values as usize];
+            for slot in lv.slot_of_reg.iter().flatten() {
+                assert!(slot.index() < lv.num_live_values as usize);
+                seen[slot.index()] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "live value IDs must be dense");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the compiler: random structured kernels must always
+//! compile to legal, capacity-respecting, acyclic mappings, and splitting
+//! must preserve interpreter semantics.
+
+use proptest::prelude::*;
+use vgiw_compiler::{compile, GridSpec};
+use vgiw_ir::{interp, BinaryOp, Kernel, KernelBuilder, Launch, MemoryImage, Val, Word};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Arith(u8, usize, usize),
+    Load(usize),
+    Store(usize, usize),
+    If(usize, Vec<Op>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0u8..8, any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| Op::Arith(o, a, b)),
+        any::<usize>().prop_map(Op::Load),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Store(a, b)),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        (any::<usize>(), prop::collection::vec(inner, 1..5))
+            .prop_map(|(c, body)| Op::If(c, body))
+    })
+}
+
+fn build(ops: &[Op]) -> Kernel {
+    fn emit(b: &mut KernelBuilder, tid: Val, ops: &[Op], pool: &mut Vec<Val>) {
+        for op in ops {
+            match op {
+                Op::Arith(o, x, y) => {
+                    let ops = [
+                        BinaryOp::Add,
+                        BinaryOp::Sub,
+                        BinaryOp::Mul,
+                        BinaryOp::Xor,
+                        BinaryOp::FAdd,
+                        BinaryOp::FMul,
+                        BinaryOp::MinU,
+                        BinaryOp::ShrL,
+                    ];
+                    let l = pool[x % pool.len()];
+                    let r = pool[y % pool.len()];
+                    let v = b.binary(ops[*o as usize % ops.len()], l, r);
+                    pool.push(v);
+                }
+                Op::Load(a) => {
+                    let addr0 = pool[a % pool.len()];
+                    let hi = b.const_u32(0x80);
+                    let h = b.and(addr0, hi);
+                    let lo = b.const_u32(0x3F);
+                    let l = b.and(tid, lo);
+                    let addr = b.or(h, l);
+                    let v = b.load(addr);
+                    pool.push(v);
+                }
+                Op::Store(a, v) => {
+                    let addr0 = pool[a % pool.len()];
+                    let hi = b.const_u32(0x80);
+                    let h = b.and(addr0, hi);
+                    let lo = b.const_u32(0x3F);
+                    let l = b.and(tid, lo);
+                    let addr = b.or(h, l);
+                    let val = pool[v % pool.len()];
+                    b.store(addr, val);
+                }
+                Op::If(c, body) => {
+                    let cv = pool[c % pool.len()];
+                    let one = b.const_u32(1);
+                    let bit = b.and(cv, one);
+                    let mut inner = pool.clone();
+                    b.if_(bit, |b| emit(b, tid, body, &mut inner));
+                }
+            }
+        }
+    }
+    let mut b = KernelBuilder::new("prop", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let mut pool = vec![tid, base];
+    emit(&mut b, tid, ops, &mut pool);
+    let last = *pool.last().expect("non-empty");
+    let m = b.const_u32(0x3F);
+    let a = b.and(tid, m);
+    b.store(a, last);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_kernels_compile_legally(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let kernel = build(&ops);
+        let grid = GridSpec::paper();
+        let capacity = grid.capacity();
+        let ck = compile(&kernel, &grid).expect("compiles");
+        for cb in &ck.blocks {
+            cb.dfg.assert_valid();
+            prop_assert!(cb.dfg.kind_counts().fits_in(&capacity));
+            prop_assert!(cb.num_replicas() >= 1);
+        }
+        // Split + renumbered kernel preserves semantics.
+        let launch = Launch::new(17, vec![Word::from_u32(128)]);
+        let mut m1 = MemoryImage::new(256);
+        interp::run(&kernel, &launch, &mut m1).expect("orig");
+        let mut m2 = MemoryImage::new(256);
+        interp::run(&ck.kernel, &launch, &mut m2).expect("split");
+        prop_assert!(m1 == m2, "splitting changed semantics");
+    }
+}

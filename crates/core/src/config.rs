@@ -1,0 +1,108 @@
+//! VGIW processor configuration (the paper's Table 1).
+
+use vgiw_compiler::GridSpec;
+use vgiw_fabric::FabricConfig;
+use vgiw_mem::{L1Config, SharedConfig};
+
+/// Complete configuration of one VGIW core plus its memory system.
+#[derive(Clone, Debug)]
+pub struct VgiwConfig {
+    /// The MT-CGRF grid (Table 1: 108 units).
+    pub grid: GridSpec,
+    /// Fabric sizing/timing.
+    pub fabric: FabricConfig,
+    /// Data L1 (write-back, write-allocate, §3.6).
+    pub l1: L1Config,
+    /// Live value cache (64KB banked cache backed by L2, §3.4).
+    pub lvc: L1Config,
+    /// Shared L2 + DRAM.
+    pub shared: SharedConfig,
+    /// CVT capacity in bits; bounds the thread tile size
+    /// (`tile = cvt_bits / #blocks`, §3.2).
+    pub cvt_bits: u64,
+    /// Cycles to reconfigure the grid between blocks. The paper's
+    /// prototype: two configuration waves of `ceil(sqrt(108)) = 11` cycles
+    /// plus reset/drain overhead = 34 cycles (§3.2); configurations
+    /// themselves are prefetched into a FIFO during execution.
+    pub config_cycles: u64,
+    /// Upper bound on block replicas used (ablation knob; the compiler may
+    /// map fewer).
+    pub max_replicas: u32,
+    /// Safety valve: abort runs exceeding this many core cycles.
+    pub cycle_limit: u64,
+}
+
+impl Default for VgiwConfig {
+    fn default() -> VgiwConfig {
+        let grid = GridSpec::paper();
+        let config_cycles = 2 * grid.config_wave_cycles() + 12; // = 34
+        VgiwConfig {
+            grid,
+            fabric: FabricConfig::default(),
+            l1: L1Config::vgiw_l1(),
+            lvc: L1Config::lvc(),
+            shared: SharedConfig::fermi_like(),
+            cvt_bits: 256 * 1024, // 32KB CVT
+            config_cycles,
+            max_replicas: 8,
+            cycle_limit: 2_000_000_000,
+        }
+    }
+}
+
+impl VgiwConfig {
+    /// The paper's tile-size rule: the CVT must hold one bit per
+    /// (block, thread), so a kernel with more blocks gets smaller tiles;
+    /// and the tile's live-value footprint must fit the LVC so spilling to
+    /// L2 "is generally prevented by thread tiling" (§3.4). Tiles are
+    /// also capped at 2^16 threads by the 16-bit base thread ID in batch
+    /// packets and kept 64-aligned for word-aligned batches; 64 threads is
+    /// also the floor — a CVT configured below 64 bits per block is under
+    /// the hardware's one-word-per-vector minimum and is rounded up.
+    pub fn tile_threads(&self, num_blocks: usize, num_live_values: u32) -> u32 {
+        let by_cvt = (self.cvt_bits / num_blocks.max(1) as u64).min(1 << 16) as u32;
+        let lvc_words = self.lvc.geometry.size_bytes / 4;
+        let by_lvc = if num_live_values == 0 {
+            u32::MAX
+        } else {
+            lvc_words / num_live_values
+        };
+        (by_cvt.min(by_lvc) & !63).max(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = VgiwConfig::default();
+        assert_eq!(c.grid.num_units(), 108);
+        assert_eq!(c.config_cycles, 34, "paper §3.2 reports 34-cycle reconfiguration");
+        assert_eq!(c.l1.geometry.size_bytes, 64 * 1024);
+        assert_eq!(c.shared.l2_geometry.size_bytes, 768 * 1024);
+    }
+
+    #[test]
+    fn tile_size_shrinks_with_block_count() {
+        let c = VgiwConfig::default();
+        let small_kernel = c.tile_threads(2, 0);
+        let big_kernel = c.tile_threads(27, 0);
+        assert!(small_kernel > big_kernel, "{small_kernel} vs {big_kernel}");
+        assert_eq!(small_kernel % 64, 0);
+        assert!(big_kernel >= 64);
+        assert!(small_kernel <= 1 << 16);
+    }
+
+    #[test]
+    fn tile_size_bounded_by_lvc_footprint() {
+        let c = VgiwConfig::default();
+        let lvc_words = c.lvc.geometry.size_bytes / 4;
+        // 16 live values: the tile must keep the matrix inside the LVC.
+        let t = c.tile_threads(2, 16);
+        assert!(t * 16 <= lvc_words);
+        // No live values: the CVT is the only bound.
+        assert_eq!(c.tile_threads(2, 0), 1 << 16);
+    }
+}

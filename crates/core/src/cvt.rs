@@ -1,0 +1,233 @@
+//! The control vector table (CVT).
+//!
+//! The CVT "associates each basic block ID with a bit vector that is
+//! indexed by thread IDs. A set bit indicates that the corresponding thread
+//! ID should execute that basic block next" (§3.3). It is banked, delivers
+//! 64-bit words, and uses a read-and-reset policy so streaming a block's
+//! threads clears its vector without a second write port.
+//!
+//! Thread IDs here are *tile-relative*: the finite CVT capacity is what
+//! forces thread tiling (§3.2).
+
+use vgiw_ir::BlockId;
+
+/// A `⟨base thread ID, 64-bit bitmap⟩` thread batch packet, the unit of
+/// communication between the BBS and the control vector units (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadBatch {
+    /// First thread ID covered by the bitmap (tile-relative).
+    pub base: u32,
+    /// Bit `i` set means thread `base + i` is in the batch.
+    pub bitmap: u64,
+}
+
+impl ThreadBatch {
+    /// Iterates over the thread IDs present in the batch.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let base = self.base;
+        let bitmap = self.bitmap;
+        (0..64u32).filter_map(move |i| {
+            if bitmap & (1 << i) != 0 {
+                Some(base + i)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of threads in the batch.
+    pub fn len(&self) -> u32 {
+        self.bitmap.count_ones()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap == 0
+    }
+}
+
+/// CVT access statistics (64-bit word operations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CvtStats {
+    /// Words read (and reset) while streaming batches to the core.
+    pub word_reads: u64,
+    /// Words OR-updated from terminator batch packets.
+    pub word_writes: u64,
+}
+
+/// The control vector table for one thread tile.
+#[derive(Clone, Debug)]
+pub struct Cvt {
+    /// `vectors[block][word]`.
+    vectors: Vec<Vec<u64>>,
+    tile_threads: u32,
+    /// Per-block set-bit counts, so emptiness checks are O(1).
+    counts: Vec<u32>,
+    stats: CvtStats,
+}
+
+impl Cvt {
+    /// Creates a CVT for `num_blocks` blocks and `tile_threads` threads.
+    pub fn new(num_blocks: usize, tile_threads: u32) -> Cvt {
+        let words = tile_threads.div_ceil(64) as usize;
+        Cvt {
+            vectors: vec![vec![0u64; words]; num_blocks],
+            tile_threads,
+            counts: vec![0; num_blocks],
+            stats: CvtStats::default(),
+        }
+    }
+
+    /// Total storage in bits (capacity actually allocated).
+    pub fn storage_bits(&self) -> u64 {
+        (self.vectors.len() * self.vectors.first().map_or(0, Vec::len)) as u64 * 64
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> CvtStats {
+        self.stats
+    }
+
+    /// Marks every thread of the tile as pending on the entry block.
+    pub fn arm_entry(&mut self) {
+        let block = BlockId::ENTRY.index();
+        for (w, word) in self.vectors[block].iter_mut().enumerate() {
+            let lo = (w as u32) * 64;
+            let n = (self.tile_threads - lo.min(self.tile_threads)).min(64);
+            *word = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            self.stats.word_writes += 1;
+        }
+        self.counts[block] = self.tile_threads;
+    }
+
+    /// ORs a terminator batch into `block`'s vector (§3.2: "The BBS updates
+    /// the CVT by OR-ing the bitmaps received from the core").
+    ///
+    /// # Panics
+    /// Panics if the batch covers threads outside the tile.
+    pub fn or_batch(&mut self, block: BlockId, batch: ThreadBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        assert_eq!(batch.base % 64, 0, "batches are word-aligned");
+        let w = (batch.base / 64) as usize;
+        let vec = &mut self.vectors[block.index()];
+        assert!(w < vec.len(), "batch outside tile");
+        let newly = batch.bitmap & !vec[w];
+        vec[w] |= batch.bitmap;
+        self.counts[block.index()] += newly.count_ones();
+        self.stats.word_writes += 1;
+    }
+
+    /// Whether any thread is pending on `block`.
+    pub fn is_pending(&self, block: BlockId) -> bool {
+        self.counts[block.index()] > 0
+    }
+
+    /// Number of threads pending on `block`.
+    pub fn pending_count(&self, block: BlockId) -> u32 {
+        self.counts[block.index()]
+    }
+
+    /// The smallest block ID with a nonempty vector — the paper's hardware
+    /// scheduling policy (§3.1).
+    pub fn next_block(&self) -> Option<BlockId> {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Reads **and resets** `block`'s vector, returning it as batch packets
+    /// (one per nonzero 64-bit word).
+    pub fn take_batches(&mut self, block: BlockId) -> Vec<ThreadBatch> {
+        let vec = &mut self.vectors[block.index()];
+        let mut batches = Vec::new();
+        for (w, word) in vec.iter_mut().enumerate() {
+            self.stats.word_reads += 1;
+            if *word != 0 {
+                batches.push(ThreadBatch { base: (w as u32) * 64, bitmap: *word });
+                *word = 0;
+            }
+        }
+        self.counts[block.index()] = 0;
+        batches
+    }
+
+    /// Total pending threads across all blocks.
+    pub fn total_pending(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_entry_sets_exactly_tile_threads() {
+        let mut cvt = Cvt::new(3, 100);
+        cvt.arm_entry();
+        assert_eq!(cvt.pending_count(BlockId(0)), 100);
+        let batches = cvt.take_batches(BlockId(0));
+        let total: u32 = batches.iter().map(ThreadBatch::len).sum();
+        assert_eq!(total, 100);
+        // Read-and-reset: now empty.
+        assert!(!cvt.is_pending(BlockId(0)));
+        assert_eq!(cvt.next_block(), None);
+    }
+
+    #[test]
+    fn or_batch_accumulates_and_dedups() {
+        let mut cvt = Cvt::new(2, 128);
+        cvt.or_batch(BlockId(1), ThreadBatch { base: 64, bitmap: 0b1010 });
+        cvt.or_batch(BlockId(1), ThreadBatch { base: 64, bitmap: 0b0110 });
+        assert_eq!(cvt.pending_count(BlockId(1)), 3); // bits 1,2,3
+        let batches = cvt.take_batches(BlockId(1));
+        assert_eq!(batches.len(), 1);
+        let tids: Vec<u32> = batches[0].iter().collect();
+        assert_eq!(tids, vec![65, 66, 67]);
+    }
+
+    #[test]
+    fn next_block_picks_smallest() {
+        let mut cvt = Cvt::new(4, 64);
+        cvt.or_batch(BlockId(3), ThreadBatch { base: 0, bitmap: 1 });
+        cvt.or_batch(BlockId(1), ThreadBatch { base: 0, bitmap: 2 });
+        assert_eq!(cvt.next_block(), Some(BlockId(1)));
+        cvt.take_batches(BlockId(1));
+        assert_eq!(cvt.next_block(), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn a_thread_lives_in_one_vector_at_a_time() {
+        // The workflow: take from one vector, or into another.
+        let mut cvt = Cvt::new(2, 64);
+        cvt.arm_entry();
+        let batches = cvt.take_batches(BlockId(0));
+        for b in &batches {
+            cvt.or_batch(BlockId(1), *b);
+        }
+        assert_eq!(cvt.total_pending(), 64);
+        assert_eq!(cvt.pending_count(BlockId(1)), 64);
+        assert_eq!(cvt.pending_count(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn stats_count_word_ops() {
+        let mut cvt = Cvt::new(2, 256); // 4 words per vector
+        cvt.arm_entry();
+        assert_eq!(cvt.stats().word_writes, 4);
+        cvt.take_batches(BlockId(0));
+        assert_eq!(cvt.stats().word_reads, 4);
+    }
+
+    #[test]
+    fn batch_iteration() {
+        let b = ThreadBatch { base: 128, bitmap: 0b1001 };
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![128, 131]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(ThreadBatch { base: 0, bitmap: 0 }.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! The VGIW processor — the paper's primary contribution.
+//!
+//! A hybrid dataflow/von Neumann GPGPU core: basic blocks execute as
+//! dataflow graphs on the MT-CGRF (`vgiw-fabric`), while a von Neumann
+//! basic block scheduler (BBS) sequences blocks using per-block thread
+//! vectors in the control vector table ([`Cvt`]). Control flow coalescing
+//! falls out of this organization: all threads waiting on a block — no
+//! matter which control path brought them there — run in one configured
+//! pass over the fabric.
+//!
+//! Entry point: [`VgiwProcessor::run`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod cvt;
+mod processor;
+mod stats;
+
+pub use config::VgiwConfig;
+pub use cvt::{Cvt, CvtStats, ThreadBatch};
+pub use processor::{VgiwError, VgiwProcessor};
+pub use stats::VgiwRunStats;

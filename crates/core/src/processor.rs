@@ -1,0 +1,495 @@
+//! The VGIW processor: basic block scheduler, control vector table, live
+//! value cache and MT-CGRF core, wired to the banked memory hierarchy.
+//!
+//! Execution follows §2/§3: threads are tiled to fit the CVT; within a
+//! tile, the BBS repeatedly picks the smallest block ID with a nonempty
+//! control vector, reconfigures the fabric with that block's (replicated)
+//! dataflow graph, streams the pending threads through it, and ORs the
+//! terminator batches back into the CVT, until every thread has exited.
+//!
+//! Live values travel through a memory-resident matrix indexed by
+//! `(live value ID, thread ID)` and cached by the LVC, which shares the L2
+//! with the data L1 (§3.4).
+
+use crate::config::VgiwConfig;
+use crate::cvt::{Cvt, ThreadBatch};
+use crate::stats::VgiwRunStats;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vgiw_compiler::{compile, CompileError, CompiledKernel};
+use vgiw_fabric::{Fabric, FabricEnv, MemReqId, Retired};
+use vgiw_mem::MemSystem;
+use vgiw_ir::{BlockId, Kernel, Launch, MemoryImage, Word};
+
+/// VGIW execution failure.
+#[derive(Debug)]
+pub enum VgiwError {
+    /// The kernel could not be compiled for the grid.
+    Compile(CompileError),
+    /// The run exceeded the configured cycle limit (runaway kernel).
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for VgiwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VgiwError::Compile(e) => write!(f, "compilation failed: {e}"),
+            VgiwError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+        }
+    }
+}
+
+impl Error for VgiwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VgiwError::Compile(e) => Some(e),
+            VgiwError::CycleLimit { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for VgiwError {
+    fn from(e: CompileError) -> VgiwError {
+        VgiwError::Compile(e)
+    }
+}
+
+/// Bridges the fabric to the memory hierarchy and the functional state.
+///
+/// Live values are architecturally memory-mapped (the paper's 2-D matrix
+/// backed by the L2); the *timing* path models exactly that — LVC port,
+/// L2 backing, spill traffic — using addresses in a reserved region past
+/// the application image. The *functional* storage is a dedicated buffer
+/// so that stray application stores can never alias the matrix (a real
+/// machine would fault such accesses).
+struct VgiwEnv<'a> {
+    image: &'a mut MemoryImage,
+    mem: &'a mut MemSystem,
+    lv_values: &'a mut Vec<Word>,
+    lv_base: u32,
+    /// Row stride of the live value matrix, padded so consecutive live
+    /// value rows land on different LVC banks (a thread's values would
+    /// otherwise all hit one bank and serialize).
+    lv_stride: u32,
+    tile_base: u32,
+    tile_threads: u32,
+}
+
+/// Pads the live-value row stride to a multiple of the LVC line (16
+/// words) plus one line, making the per-row line stride odd — coprime
+/// with the bank count, so one thread's values cycle through all banks.
+fn lv_stride(tile_threads: u32) -> u32 {
+    tile_threads.div_ceil(16) * 16 + 16
+}
+
+impl VgiwEnv<'_> {
+    fn lv_addr(&self, lv: u32, tid: u32) -> u32 {
+        debug_assert!(tid >= self.tile_base && tid - self.tile_base < self.tile_threads);
+        self.lv_base + lv * self.lv_stride + (tid - self.tile_base)
+    }
+
+    fn lv_index(&self, lv: u32, tid: u32) -> usize {
+        (lv * self.lv_stride + (tid - self.tile_base)) as usize
+    }
+}
+
+impl FabricEnv for VgiwEnv<'_> {
+    fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool {
+        self.mem.access(0, addr_words, is_store, req)
+    }
+
+    fn issue_lv(&mut self, req: MemReqId, lv: u32, tid: u32, is_store: bool) -> bool {
+        let addr = self.lv_addr(lv, tid);
+        self.mem.access(1, addr, is_store, req)
+    }
+
+    fn mem_read(&mut self, addr_words: u32) -> Word {
+        self.image.read_wrapped(addr_words)
+    }
+
+    fn mem_write(&mut self, addr_words: u32, value: Word) {
+        self.image.write_wrapped(addr_words, value);
+    }
+
+    fn lv_read(&mut self, lv: u32, tid: u32) -> Word {
+        let i = self.lv_index(lv, tid);
+        self.lv_values[i]
+    }
+
+    fn lv_write(&mut self, lv: u32, tid: u32, value: Word) {
+        let i = self.lv_index(lv, tid);
+        self.lv_values[i] = value;
+    }
+}
+
+/// A VGIW core with its private L1/LVC and shared L2/DRAM.
+///
+/// The machine persists across launches: caches stay warm, like hardware.
+///
+/// ```
+/// use vgiw_core::VgiwProcessor;
+/// use vgiw_ir::{KernelBuilder, Launch, MemoryImage, Word};
+///
+/// let mut b = KernelBuilder::new("triple", 1);
+/// let tid = b.thread_id();
+/// let base = b.param(0);
+/// let addr = b.add(base, tid);
+/// let three = b.const_u32(3);
+/// let v = b.mul(tid, three);
+/// b.store(addr, v);
+/// let kernel = b.finish();
+///
+/// let mut proc = VgiwProcessor::default();
+/// let mut mem = MemoryImage::new(256);
+/// let base = mem.alloc(128);
+/// let launch = Launch::new(128, vec![Word::from_u32(base)]);
+/// let stats = proc.run(&kernel, &launch, &mut mem)?;
+/// assert_eq!(mem.read(base + 41).as_u32(), 123);
+/// assert!(stats.cycles > 0);
+/// # Ok::<(), vgiw_core::VgiwError>(())
+/// ```
+pub struct VgiwProcessor {
+    config: VgiwConfig,
+    fabric: Fabric,
+    mem: MemSystem,
+}
+
+impl Default for VgiwProcessor {
+    fn default() -> VgiwProcessor {
+        VgiwProcessor::new(VgiwConfig::default())
+    }
+}
+
+impl VgiwProcessor {
+    /// Builds a processor from a configuration.
+    pub fn new(config: VgiwConfig) -> VgiwProcessor {
+        let fabric = Fabric::new(config.grid.clone(), config.fabric);
+        let mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
+        VgiwProcessor { config, fabric, mem }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VgiwConfig {
+        &self.config
+    }
+
+    /// Compiles and runs `kernel` to completion, mutating `image`.
+    ///
+    /// # Errors
+    /// Returns [`VgiwError`] on compilation failure or cycle-limit abort.
+    pub fn run(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<VgiwRunStats, VgiwError> {
+        let compiled = compile(kernel, &self.config.grid)?;
+        self.run_compiled(&compiled, launch, image)
+    }
+
+    /// Runs an already-compiled kernel (compile once, launch many).
+    ///
+    /// # Errors
+    /// Returns [`VgiwError::CycleLimit`] on runaway kernels.
+    pub fn run_compiled(
+        &mut self,
+        compiled: &CompiledKernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<VgiwRunStats, VgiwError> {
+        let nb = compiled.kernel.num_blocks();
+        let lv_count = compiled.num_live_values();
+        let tile_cap = self.config.tile_threads(nb, lv_count);
+
+        // Live value matrix: functional storage in a dedicated buffer;
+        // timing addresses in a reserved region past the application image
+        // (see `VgiwEnv`).
+        let lv_base = image.len() as u32;
+        let stride = lv_stride(tile_cap);
+        let mut lv_values = vec![Word::ZERO; (lv_count * stride) as usize];
+
+        self.fabric.reset_stats();
+        let cycles_at_start = self.fabric.cycle();
+        let mut stats = VgiwRunStats {
+            cycles: 0,
+            compute_cycles: 0,
+            config_cycles: 0,
+            block_executions: 0,
+            tiles: 0,
+            batches_to_core: 0,
+            batches_from_core: 0,
+            cvt: crate::cvt::CvtStats::default(),
+            fabric: vgiw_fabric::FabricStats::default(),
+            mem: vgiw_mem::MemStats::new(2),
+            num_blocks: nb as u32,
+            num_live_values: lv_count,
+            entry_replicas: compiled
+                .blocks
+                .first()
+                .map_or(0, |b| b.num_replicas().min(self.config.max_replicas)),
+        };
+        let mem_stats_before = self.mem.stats().clone();
+
+        let mut tile_base = 0u32;
+        while tile_base < launch.num_threads {
+            let tile_threads = tile_cap.min(launch.num_threads - tile_base);
+            stats.tiles += 1;
+
+            // Zero this tile's live value matrix (fresh per-thread state).
+            lv_values.fill(Word::ZERO);
+
+            let mut cvt = Cvt::new(nb, tile_threads);
+            cvt.arm_entry();
+
+            while let Some(block) = cvt.next_block() {
+                stats.block_executions += 1;
+                stats.config_cycles += self.config.config_cycles;
+
+                let cb = compiled.block(block);
+                let n_reps = (cb.replicas.len() as u32).min(self.config.max_replicas) as usize;
+                self.fabric
+                    .configure(&cb.dfg, &cb.replicas[..n_reps], &launch.params);
+
+                for batch in cvt.take_batches(block) {
+                    stats.batches_to_core += 1;
+                    for rel in batch.iter() {
+                        self.fabric.inject(tile_base + rel);
+                    }
+                }
+
+                // Per-terminator batch packers: (replica, target) -> batch.
+                let mut packers: HashMap<(u32, u32), ThreadBatch> = HashMap::new();
+
+                while !self.fabric.is_drained() {
+                    {
+                        let mut env = VgiwEnv {
+                            image,
+                            mem: &mut self.mem,
+                            lv_values: &mut lv_values,
+                            lv_base,
+                            lv_stride: stride,
+                            tile_base,
+                            tile_threads,
+                        };
+                        self.fabric.tick(&mut env);
+                    }
+                    self.mem.tick();
+                    for id in self.mem.drain_responses() {
+                        self.fabric.on_mem_response(id);
+                    }
+                    for r in self.fabric.drain_retired() {
+                        pack_retire(
+                            &mut packers,
+                            &mut cvt,
+                            &mut stats.batches_from_core,
+                            tile_base,
+                            r,
+                        );
+                    }
+                    let elapsed = self.fabric.cycle() - cycles_at_start + stats.config_cycles;
+                    if elapsed > self.config.cycle_limit {
+                        // Abort mid-drain: the fabric still holds threads
+                        // and unanswered memory requests, so rebuild both
+                        // (the processor is documented as reusable across
+                        // launches and must stay so after an abort).
+                        self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
+                        self.mem =
+                            MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
+                        return Err(VgiwError::CycleLimit { limit: self.config.cycle_limit });
+                    }
+                }
+                for ((_, target), batch) in packers.drain() {
+                    if !batch.is_empty() {
+                        stats.batches_from_core += 1;
+                        cvt.or_batch(BlockId(target), batch);
+                    }
+                }
+            }
+            let cvt_stats = cvt.stats();
+            stats.cvt.word_reads += cvt_stats.word_reads;
+            stats.cvt.word_writes += cvt_stats.word_writes;
+            tile_base += tile_threads;
+        }
+
+        stats.compute_cycles = self.fabric.cycle() - cycles_at_start;
+        stats.cycles = stats.compute_cycles + stats.config_cycles;
+        stats.fabric = *self.fabric.stats();
+        stats.mem = self.mem.stats().delta_since(&mem_stats_before);
+        Ok(stats)
+    }
+}
+
+/// Emulates the terminator CVU's batch packing: consecutive retires to the
+/// same `(replica, target)` with the same 64-aligned base share one packet;
+/// a base change flushes the open packet (§3.5).
+fn pack_retire(
+    packers: &mut HashMap<(u32, u32), ThreadBatch>,
+    cvt: &mut Cvt,
+    batches_from_core: &mut u64,
+    tile_base: u32,
+    r: Retired,
+) {
+    let Some(target) = r.target else { return };
+    let rel = r.tid - tile_base;
+    let base = rel & !63;
+    let bit = 1u64 << (rel - base);
+    let key = (r.replica, target.0);
+    match packers.get_mut(&key) {
+        Some(batch) if batch.base == base => {
+            batch.bitmap |= bit;
+        }
+        Some(batch) => {
+            *batches_from_core += 1;
+            cvt.or_batch(target, *batch);
+            *batch = ThreadBatch { base, bitmap: bit };
+        }
+        None => {
+            packers.insert(key, ThreadBatch { base, bitmap: bit });
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, KernelBuilder};
+
+    fn check_against_interp(kernel: &Kernel, launch: &Launch, mem_words: usize) -> VgiwRunStats {
+        let mut expect = MemoryImage::new(mem_words);
+        interp::run(kernel, launch, &mut expect).unwrap();
+
+        let mut got = MemoryImage::new(mem_words);
+        let mut proc = VgiwProcessor::default();
+        let stats = proc.run(kernel, launch, &mut got).expect("run must succeed");
+
+        // Compare only the words the app owns; the LV matrix lives beyond
+        // high_water in `got`.
+        for a in 0..mem_words as u32 {
+            assert_eq!(
+                got.read(a),
+                expect.read(a),
+                "memory diverged at word {a} for kernel {}",
+                kernel.name
+            );
+        }
+        stats
+    }
+
+    #[test]
+    fn divergent_kernel_runs_correctly() {
+        let mut b = KernelBuilder::new("div", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let parity = b.rem_u(tid, two);
+        b.if_else(
+            parity,
+            |b| {
+                let v = b.mul(tid, tid);
+                b.store(addr, v);
+            },
+            |b| {
+                let seven = b.const_u32(7);
+                let v = b.add(tid, seven);
+                b.store(addr, v);
+            },
+        );
+        let k = b.finish();
+        let launch = Launch::new(200, vec![Word::from_u32(0)]);
+        let stats = check_against_interp(&k, &launch, 256);
+        assert_eq!(stats.num_blocks, 4);
+        assert_eq!(stats.block_executions, 4); // each block once, one tile
+        assert!(stats.config_overhead() < 0.3);
+        assert!(stats.fabric.threads_injected >= 200);
+    }
+
+    #[test]
+    fn loop_kernel_runs_correctly() {
+        let mut b = KernelBuilder::new("looped", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let eight = b.const_u32(8);
+        let bound = b.rem_u(tid, eight);
+        let zero = b.const_u32(0);
+        let acc = b.var(zero);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, bound)
+            },
+            |b| {
+                let iv = b.get(i);
+                let a = b.get(acc);
+                let t = b.mul(iv, iv);
+                let s = b.add(a, t);
+                b.set(acc, s);
+                let one = b.const_u32(1);
+                let n = b.add(iv, one);
+                b.set(i, n);
+            },
+        );
+        let addr = b.add(base, tid);
+        let a = b.get(acc);
+        b.store(addr, a);
+        let k = b.finish();
+        let launch = Launch::new(96, vec![Word::from_u32(0)]);
+        let stats = check_against_interp(&k, &launch, 128);
+        // The loop body must have been configured multiple times.
+        assert!(stats.block_executions > stats.num_blocks as u64);
+        assert!(stats.lvc_accesses() > 0, "loop-carried values go through the LVC");
+    }
+
+    #[test]
+    fn tiling_splits_large_launches() {
+        let mut cfg = VgiwConfig::default();
+        cfg.cvt_bits = 256; // tiny CVT -> tile = 64 threads for 2 blocks
+        let mut b = KernelBuilder::new("tiled", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let one = b.const_u32(1);
+        let c = b.lt_u(tid, b.imm(Word::from_u32(1000)));
+        b.if_(c, |b| {
+            let v = b.add(tid, one);
+            b.store(addr, v);
+        });
+        let k = b.finish();
+
+        let mut expect = MemoryImage::new(256);
+        let launch = Launch::new(192, vec![Word::from_u32(0)]);
+        interp::run(&k, &launch, &mut expect).unwrap();
+
+        let mut got = MemoryImage::new(256);
+        let mut proc = VgiwProcessor::new(cfg);
+        let stats = proc.run(&k, &launch, &mut got).unwrap();
+        assert!(stats.tiles >= 3, "192 threads over 64-thread tiles");
+        for a in 0..256u32 {
+            assert_eq!(got.read(a), expect.read(a));
+        }
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaways() {
+        let mut cfg = VgiwConfig::default();
+        cfg.cycle_limit = 5_000;
+        let mut b = KernelBuilder::new("spin", 0);
+        let one = b.const_u32(1);
+        let t = b.var(one);
+        b.while_(
+            |b| b.get(t),
+            |_| {},
+        );
+        let k = b.finish();
+        let mut proc = VgiwProcessor::new(cfg);
+        let mut mem = MemoryImage::new(16);
+        let err = proc.run(&k, &Launch::new(4, vec![]), &mut mem).unwrap_err();
+        assert!(matches!(err, VgiwError::CycleLimit { .. }));
+    }
+}

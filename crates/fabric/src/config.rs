@@ -1,0 +1,63 @@
+//! Fabric timing and sizing parameters.
+
+/// Compute latencies per operation class, in core cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpLatencies {
+    /// Integer ALU ops (pipelined, single cycle).
+    pub int_alu: u32,
+    /// Pipelined FP ops (add/mul/fma/compare/convert).
+    pub fp_alu: u32,
+    /// Non-pipelined special ops (div/sqrt/exp/log) — occupies an SCU
+    /// instance for this long.
+    pub special: u32,
+    /// Split/join units.
+    pub split_join: u32,
+    /// Control vector units (initiate/terminate).
+    pub cvu: u32,
+}
+
+impl Default for OpLatencies {
+    fn default() -> OpLatencies {
+        OpLatencies { int_alu: 1, fp_alu: 4, special: 16, split_join: 1, cvu: 1 }
+    }
+}
+
+/// Sizing and timing of the MT-CGRF fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FabricConfig {
+    /// Virtual execution channels per unit — the token buffer depth that
+    /// bounds threads in flight per replica (§3.5).
+    pub channels_per_unit: u32,
+    /// Parallel instances inside each SCU (§3.5 "multiple instances of the
+    /// circuits that implement the non-pipelined operations").
+    pub scu_instances: u32,
+    /// Reservation buffer entries per LDST/LVU unit: outstanding memory
+    /// operations that may complete out of order (§3.5).
+    pub reservation_entries: u32,
+    /// Compute latencies.
+    pub latencies: OpLatencies,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            channels_per_unit: 256,
+            scu_instances: 16,
+            reservation_entries: 256,
+            latencies: OpLatencies::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FabricConfig::default();
+        assert!(c.channels_per_unit >= 1);
+        assert!(c.scu_instances >= 1);
+        assert!(c.latencies.special > c.latencies.fp_alu);
+    }
+}

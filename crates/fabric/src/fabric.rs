@@ -1,0 +1,761 @@
+//! Token-level simulation of the multithreaded coarse-grained
+//! reconfigurable fabric (MT-CGRF).
+//!
+//! The fabric is configured with one basic block's dataflow graph (possibly
+//! replicated) and then streams threads through it:
+//!
+//! * each unit owns a token buffer indexed by *virtual execution channel*;
+//!   a thread occupies one channel of every unit in its replica while in
+//!   flight (§3.5);
+//! * a buffer entry fires when all its operand tokens have arrived
+//!   (dynamic dataflow firing rule); each unit fires at most one entry per
+//!   cycle;
+//! * edge latency is the interconnect hop count between the placed units;
+//! * LDST/LVU units issue to the memory system through bounded reservation
+//!   buffers, letting threads complete out of order and overtake stalled
+//!   ones;
+//! * SCUs serialize on a pool of non-pipelined instances;
+//! * initiator CVUs inject one thread per cycle; terminator CVUs resolve
+//!   each thread's next block and retire it toward the scheduler.
+//!
+//! Every node fires exactly once per thread (the compiler guarantees this
+//! by construction), which gives an exact completion condition: a channel
+//! is recycled when all nodes fired for its thread and no memory response
+//! is outstanding.
+
+use crate::config::FabricConfig;
+use crate::stats::FabricStats;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use vgiw_compiler::{Dfg, DfgOp, GridSpec, NodeId, Placement, UnitKind, ValSrc};
+use vgiw_ir::{eval_fma, eval_select, BlockId, OpClass, Word};
+
+/// Request identifier used between the fabric and its memory environment.
+pub type MemReqId = u64;
+
+/// The fabric's window to the memory system and functional state.
+///
+/// Functional data moves at *issue* time (kernels are data-parallel, so no
+/// cross-thread ordering is needed); the request/response pair models
+/// timing only. The environment must later hand each accepted request ID
+/// back to [`Fabric::on_mem_response`].
+pub trait FabricEnv {
+    /// Issues a global-memory access for the 32-bit word at `addr_words`.
+    /// Returns `false` if the cache cannot accept it this cycle.
+    fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool;
+    /// Issues a live-value access for `(lv, tid)`.
+    /// Returns `false` if the LVC cannot accept it this cycle.
+    fn issue_lv(&mut self, req: MemReqId, lv: u32, tid: u32, is_store: bool) -> bool;
+    /// Functional global-memory read (total: out-of-range reads zero).
+    fn mem_read(&mut self, addr_words: u32) -> Word;
+    /// Functional global-memory write (total: out-of-range writes drop).
+    fn mem_write(&mut self, addr_words: u32, value: Word);
+    /// Functional live-value read.
+    fn lv_read(&mut self, lv: u32, tid: u32) -> Word;
+    /// Functional live-value write.
+    fn lv_write(&mut self, lv: u32, tid: u32, value: Word);
+}
+
+/// A thread retired by a terminator CVU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Retired {
+    /// Which replica's terminator produced it (for batch accounting).
+    pub replica: u32,
+    /// The thread ID.
+    pub tid: u32,
+    /// The next block the thread must execute, or `None` on kernel exit.
+    pub target: Option<BlockId>,
+}
+
+const WHEEL: usize = 128;
+
+#[derive(Clone, Copy, Debug)]
+struct Delivery {
+    replica: u32,
+    node: u32,
+    port: u8,
+    channel: u32,
+    value: Word,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingMem {
+    replica: u32,
+    node: u32,
+    channel: u32,
+    /// Loaded value (for loads / LV loads); ignored for stores.
+    value: Word,
+}
+
+#[derive(Clone, Debug)]
+struct NodeRt {
+    op: DfgOp,
+    kind: UnitKind,
+    latency: u32,
+    /// Semantic port count.
+    n_sem: u8,
+    /// Static values for semantic ports (resolved params/immediates).
+    static_vals: [Option<Word>; 3],
+    /// Resolved static address addend for Load/Store nodes (base+offset
+    /// addressing held in the unit's configuration registers).
+    addr_offset: u32,
+    /// Bitmask of token ports that must arrive before firing.
+    needed_mask: u8,
+}
+
+#[derive(Clone, Copy, Default)]
+struct BufEntry {
+    arrived: u8,
+    vals: [Word; 4],
+}
+
+#[derive(Clone, Copy)]
+struct ChannelState {
+    tid: u32,
+    remaining_fires: u32,
+    pending_mem: u32,
+}
+
+struct Replica {
+    /// Token buffers: `buf[node][channel]`.
+    buf: Vec<Vec<BufEntry>>,
+    channels: Vec<Option<ChannelState>>,
+    free_channels: Vec<u32>,
+    /// Ready channels per node.
+    ready: Vec<VecDeque<u32>>,
+    /// SCU instance busy-until times (empty for non-SCU nodes).
+    scu_busy: Vec<Vec<u64>>,
+    /// Outstanding memory ops per node (LDST/LVU reservation occupancy).
+    reservation: Vec<u32>,
+    /// Per-node consumer table: `(consumer, port, edge latency)`.
+    edges: Vec<Vec<(u32, u8, u32)>>,
+}
+
+/// The MT-CGRF fabric simulator. See the module-level documentation.
+pub struct Fabric {
+    grid: GridSpec,
+    cfg: FabricConfig,
+    nodes: Vec<NodeRt>,
+    init: u32,
+    replicas: Vec<Replica>,
+    wheel: Vec<Vec<Delivery>>,
+    wheel_count: usize,
+    cycle: u64,
+    inject_queue: VecDeque<u32>,
+    /// Nodes with nonempty ready queues: `(replica, node)`; deduplicated
+    /// with `in_active`.
+    active: VecDeque<(u32, u32)>,
+    in_active: Vec<Vec<bool>>,
+    pending_mem: HashMap<MemReqId, PendingMem>,
+    next_req: MemReqId,
+    retired: Vec<Retired>,
+    active_channels: u32,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates an unconfigured fabric over `grid`.
+    pub fn new(grid: GridSpec, cfg: FabricConfig) -> Fabric {
+        Fabric {
+            grid,
+            cfg,
+            nodes: Vec::new(),
+            init: 0,
+            replicas: Vec::new(),
+            wheel: vec![Vec::new(); WHEEL],
+            wheel_count: 0,
+            cycle: 0,
+            inject_queue: VecDeque::new(),
+            active: VecDeque::new(),
+            in_active: Vec::new(),
+            pending_mem: HashMap::new(),
+            next_req: 0,
+            retired: Vec::new(),
+            active_channels: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The physical grid this fabric models.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// The fabric sizing/timing configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics (across configurations, until reset).
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats::default();
+    }
+
+    /// Current fabric cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of replicas currently configured.
+    pub fn num_replicas(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    /// Configures the fabric with `dfg`, one copy per placement in
+    /// `placements`. `params` resolves `ValSrc::Param` static operands.
+    ///
+    /// # Panics
+    /// Panics if the fabric still has threads in flight, if a placement
+    /// does not match the DFG, or if a parameter index is out of range.
+    pub fn configure(&mut self, dfg: &Dfg, placements: &[Placement], params: &[Word]) {
+        assert!(self.is_drained(), "reconfiguring a fabric with threads in flight");
+        assert!(!placements.is_empty(), "need at least one replica");
+        let lat = self.cfg.latencies;
+
+        self.nodes.clear();
+        self.init = dfg.init.0;
+        let consumers = dfg.consumers();
+
+        for node in &dfg.nodes {
+            let kind = node.op.unit_kind();
+            let latency = match node.op {
+                DfgOp::Unary(op) => class_latency(op.class(), &lat),
+                DfgOp::Binary(op) => class_latency(op.class(), &lat),
+                DfgOp::Select => lat.int_alu,
+                DfgOp::Fma => lat.fp_alu,
+                DfgOp::Load | DfgOp::Store => 1, // plus memory time
+                DfgOp::LvLoad(_) | DfgOp::LvStore(_) => 1,
+                DfgOp::Init | DfgOp::Term(_) => lat.cvu,
+                DfgOp::Join | DfgOp::JoinPass | DfgOp::Split => lat.split_join,
+            };
+            let mut static_vals = [None; 3];
+            let mut needed_mask = 0u8;
+            for (p, src) in node.inputs.iter().enumerate() {
+                match *src {
+                    ValSrc::Node(_) => needed_mask |= 1 << p,
+                    ValSrc::Imm(w) => static_vals[p] = Some(w),
+                    ValSrc::Param(idx) => {
+                        let w = *params
+                            .get(idx as usize)
+                            .unwrap_or_else(|| panic!("missing launch parameter {idx}"));
+                        static_vals[p] = Some(w);
+                    }
+                }
+            }
+            if node.trigger.is_some() {
+                needed_mask |= 1 << node.trigger_port();
+            }
+            let mut addr_offset = 0u32;
+            for off in &node.offsets {
+                let v = match *off {
+                    ValSrc::Imm(w) => w.as_u32(),
+                    ValSrc::Param(idx) => params
+                        .get(idx as usize)
+                        .unwrap_or_else(|| panic!("missing launch parameter {idx}"))
+                        .as_u32(),
+                    ValSrc::Node(_) => unreachable!("offsets are static by construction"),
+                };
+                addr_offset = addr_offset.wrapping_add(v);
+            }
+            self.nodes.push(NodeRt {
+                op: node.op,
+                kind,
+                latency,
+                n_sem: node.inputs.len() as u8,
+                static_vals,
+                addr_offset,
+                needed_mask,
+            });
+        }
+
+        let n = dfg.nodes.len();
+        let ch = self.cfg.channels_per_unit as usize;
+        self.replicas = placements
+            .iter()
+            .map(|p| {
+                assert_eq!(p.node_unit.len(), n, "placement/DFG mismatch");
+                let edges: Vec<Vec<(u32, u8, u32)>> = consumers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cons)| {
+                        cons.iter()
+                            .map(|&(c, port)| {
+                                let hops = p.edge_latency(&self.grid, NodeId(i as u32), c);
+                                (c.0, port, hops)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Replica {
+                    buf: vec![vec![BufEntry::default(); ch]; n],
+                    channels: vec![None; ch],
+                    free_channels: (0..ch as u32).rev().collect(),
+                    ready: vec![VecDeque::new(); n],
+                    scu_busy: dfg
+                        .nodes
+                        .iter()
+                        .map(|nd| {
+                            if nd.op.unit_kind() == UnitKind::Scu {
+                                vec![0u64; self.cfg.scu_instances as usize]
+                            } else {
+                                Vec::new()
+                            }
+                        })
+                        .collect(),
+                    reservation: vec![0; n],
+                    edges,
+                }
+            })
+            .collect();
+        self.in_active = vec![vec![false; n]; placements.len()];
+        self.active.clear();
+    }
+
+    /// Queues a thread for injection (the BBS streaming thread batches).
+    pub fn inject(&mut self, tid: u32) {
+        self.inject_queue.push_back(tid);
+    }
+
+    /// Threads waiting to enter the fabric.
+    pub fn pending_injections(&self) -> usize {
+        self.inject_queue.len()
+    }
+
+    /// Whether the fabric could accept more injected threads without the
+    /// queue growing (a free channel exists on some replica).
+    pub fn has_free_channel(&self) -> bool {
+        self.replicas.iter().any(|r| !r.free_channels.is_empty())
+    }
+
+    /// Threads retired since the last drain.
+    pub fn drain_retired(&mut self) -> Vec<Retired> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// True when no thread is in flight and nothing is queued.
+    pub fn is_drained(&self) -> bool {
+        self.active_channels == 0
+            && self.inject_queue.is_empty()
+            && self.wheel_count == 0
+            && self.pending_mem.is_empty()
+    }
+
+    /// Completes a memory request previously accepted by the environment.
+    pub fn on_mem_response(&mut self, req: MemReqId) {
+        let Some(p) = self.pending_mem.remove(&req) else {
+            panic!("response for unknown memory request {req}");
+        };
+        let node = &self.nodes[p.node as usize];
+        let is_load = matches!(node.op, DfgOp::Load | DfgOp::LvLoad(_));
+        let unit_latency = node.latency;
+        if is_load {
+            // The unit's own pipeline stage applies on top of the memory
+            // response, matching the store paths.
+            self.deliver_outputs(p.replica, p.node, p.channel, p.value, unit_latency);
+        }
+        // Stores delivered their ordering token at issue time (once the
+        // banked cache accepts an access, per-address ordering is
+        // maintained by in-order bank service); the response only frees
+        // the reservation entry and completes the sink.
+        self.release_reservation(p.replica, p.node);
+        let ch = self.replicas[p.replica as usize].channels[p.channel as usize]
+            .as_mut()
+            .expect("response for a freed channel");
+        ch.pending_mem -= 1;
+        self.maybe_free_channel(p.replica, p.channel);
+    }
+
+    /// Advances one cycle: lands due tokens, injects threads, fires ready
+    /// entries.
+    pub fn tick(&mut self, env: &mut dyn FabricEnv) {
+        self.cycle += 1;
+        self.stats.busy_cycles += 1;
+
+        // 1. Land deliveries due this cycle.
+        let slot = (self.cycle % WHEEL as u64) as usize;
+        let due = std::mem::take(&mut self.wheel[slot]);
+        self.wheel_count -= due.len();
+        for d in due {
+            self.land(d);
+        }
+
+        // 2. Inject up to one thread per replica.
+        for r in 0..self.replicas.len() {
+            if self.inject_queue.is_empty() {
+                break;
+            }
+            let Some(&channel) = self.replicas[r].free_channels.last() else { continue };
+            let tid = self.inject_queue.pop_front().expect("checked non-empty");
+            self.replicas[r].free_channels.pop();
+            self.replicas[r].channels[channel as usize] = Some(ChannelState {
+                tid,
+                remaining_fires: self.nodes.len() as u32,
+                pending_mem: 0,
+            });
+            self.active_channels += 1;
+            self.stats.threads_injected += 1;
+            // The initiator fires immediately: its output token carries the
+            // thread ID.
+            self.count_fire(self.init as usize, r as u32, channel);
+            let lat = self.nodes[self.init as usize].latency;
+            self.deliver_outputs(r as u32, self.init, channel, Word::from_u32(tid), lat);
+        }
+
+        // 3. Fire ready entries: one per (replica, node) per cycle.
+        let n_active = self.active.len();
+        for _ in 0..n_active {
+            let Some((r, node)) = self.active.pop_front() else { break };
+            self.in_active[r as usize][node as usize] = false;
+            self.try_fire(r, node, env);
+            if !self.replicas[r as usize].ready[node as usize].is_empty()
+                && !self.in_active[r as usize][node as usize]
+            {
+                self.in_active[r as usize][node as usize] = true;
+                self.active.push_back((r, node));
+            }
+        }
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn land(&mut self, d: Delivery) {
+        self.stats.tokens_delivered += 1;
+        let entry = &mut self.replicas[d.replica as usize].buf[d.node as usize][d.channel as usize];
+        debug_assert_eq!(
+            entry.arrived & (1 << d.port),
+            0,
+            "duplicate token on node {} port {} channel {}",
+            d.node,
+            d.port,
+            d.channel
+        );
+        entry.arrived |= 1 << d.port;
+        entry.vals[d.port as usize] = d.value;
+        let needed = self.nodes[d.node as usize].needed_mask;
+        if entry.arrived & needed == needed {
+            self.replicas[d.replica as usize].ready[d.node as usize].push_back(d.channel);
+            if !self.in_active[d.replica as usize][d.node as usize] {
+                self.in_active[d.replica as usize][d.node as usize] = true;
+                self.active.push_back((d.replica, d.node));
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: u64, d: Delivery) {
+        let dist = at.saturating_sub(self.cycle);
+        // A hard error beats silent token reordering: the wheel must cover
+        // the largest compute latency + hop distance a configuration can
+        // produce (128 cycles is ample for the supported configs).
+        assert!(
+            dist > 0 && (dist as usize) < WHEEL,
+            "delivery distance {dist} exceeds the timing wheel; reduce \
+             latencies or enlarge WHEEL"
+        );
+        let slot = (at % WHEEL as u64) as usize;
+        self.wheel[slot].push(d);
+        self.wheel_count += 1;
+    }
+
+    /// Sends `value` from `node` to all its consumers, `extra` cycles after
+    /// now (compute latency), plus per-edge hop latency.
+    fn deliver_outputs(&mut self, replica: u32, node: u32, channel: u32, value: Word, extra: u32) {
+        let edges = std::mem::take(&mut self.replicas[replica as usize].edges[node as usize]);
+        for &(consumer, port, hops) in &edges {
+            self.stats.hop_traversals += hops as u64;
+            let at = self.cycle + extra as u64 + hops as u64;
+            self.schedule(at, Delivery { replica, node: consumer, port, channel, value });
+        }
+        self.replicas[replica as usize].edges[node as usize] = edges;
+    }
+
+    fn count_fire(&mut self, node: usize, replica: u32, channel: u32) {
+        self.stats.firings += 1;
+        match self.nodes[node].kind {
+            UnitKind::Alu => match self.nodes[node].op {
+                DfgOp::Binary(op) if op.class() == OpClass::FpAlu => self.stats.fp_ops += 1,
+                DfgOp::Unary(op) if op.class() == OpClass::FpAlu => self.stats.fp_ops += 1,
+                DfgOp::Fma => self.stats.fp_ops += 1,
+                _ => self.stats.int_alu_ops += 1,
+            },
+            UnitKind::Scu => self.stats.special_ops += 1,
+            UnitKind::SplitJoin => self.stats.split_join_ops += 1,
+            _ => {}
+        }
+        let ch = self.replicas[replica as usize].channels[channel as usize]
+            .as_mut()
+            .expect("firing on a freed channel");
+        ch.remaining_fires -= 1;
+    }
+
+    fn maybe_free_channel(&mut self, replica: u32, channel: u32) {
+        let rep = &mut self.replicas[replica as usize];
+        let Some(ch) = rep.channels[channel as usize] else { return };
+        if ch.remaining_fires == 0 && ch.pending_mem == 0 {
+            rep.channels[channel as usize] = None;
+            rep.free_channels.push(channel);
+            self.active_channels -= 1;
+        }
+    }
+
+    /// Resolves the value of semantic port `p` for a firing.
+    fn port_val(&self, node: usize, entry: &BufEntry, p: usize) -> Word {
+        match self.nodes[node].static_vals[p] {
+            Some(w) => w,
+            None => entry.vals[p],
+        }
+    }
+
+    fn try_fire(&mut self, replica: u32, node: u32, env: &mut dyn FabricEnv) {
+        let r = replica as usize;
+        let n = node as usize;
+        let Some(&channel) = self.replicas[r].ready[n].front() else { return };
+        let entry = self.replicas[r].buf[n][channel as usize];
+        let op = self.nodes[n].op;
+        let n_sem = self.nodes[n].n_sem as usize;
+        let latency = self.nodes[n].latency;
+        let tid = self.replicas[r].channels[channel as usize]
+            .expect("ready entry on freed channel")
+            .tid;
+
+        // Memory-facing nodes may have to retry. A predicated-off store
+        // issues no memory operation, so it must not block on a full
+        // reservation buffer.
+        let suppressed_store = matches!(op, DfgOp::Store)
+            && n_sem == 3
+            && !entry.vals[2].as_bool()
+            && self.nodes[n].static_vals[2].is_none();
+        match op {
+            DfgOp::Load | DfgOp::Store | DfgOp::LvLoad(_) | DfgOp::LvStore(_)
+                if !suppressed_store =>
+            {
+                if self.replicas[r].reservation[n] >= self.cfg.reservation_entries {
+                    self.stats.mem_retry_cycles += 1;
+                    return;
+                }
+            }
+            DfgOp::Unary(u) if u.class() == OpClass::Special => {
+                if !self.scu_instance_free(r, n) {
+                    return;
+                }
+            }
+            DfgOp::Binary(b) if b.class() == OpClass::Special => {
+                if !self.scu_instance_free(r, n) {
+                    return;
+                }
+            }
+            _ => {}
+        }
+
+        match op {
+            DfgOp::Init => unreachable!("initiators fire via injection"),
+            DfgOp::Unary(u) => {
+                let v = u.eval(self.port_val(n, &entry, 0));
+                self.finish_fire(r, n, channel);
+                if u.class() == OpClass::Special {
+                    self.occupy_scu(r, n, latency);
+                }
+                self.deliver_outputs(replica, node, channel, v, latency);
+            }
+            DfgOp::Binary(b) => {
+                let v = b.eval(self.port_val(n, &entry, 0), self.port_val(n, &entry, 1));
+                self.finish_fire(r, n, channel);
+                if b.class() == OpClass::Special {
+                    self.occupy_scu(r, n, latency);
+                }
+                self.deliver_outputs(replica, node, channel, v, latency);
+            }
+            DfgOp::Select => {
+                let v = eval_select(
+                    self.port_val(n, &entry, 0),
+                    self.port_val(n, &entry, 1),
+                    self.port_val(n, &entry, 2),
+                );
+                self.finish_fire(r, n, channel);
+                self.deliver_outputs(replica, node, channel, v, latency);
+            }
+            DfgOp::Fma => {
+                let v = eval_fma(
+                    self.port_val(n, &entry, 0),
+                    self.port_val(n, &entry, 1),
+                    self.port_val(n, &entry, 2),
+                );
+                self.finish_fire(r, n, channel);
+                self.deliver_outputs(replica, node, channel, v, latency);
+            }
+            DfgOp::Join => {
+                self.finish_fire(r, n, channel);
+                self.deliver_outputs(replica, node, channel, Word::ONE, latency);
+            }
+            DfgOp::JoinPass | DfgOp::Split => {
+                let v = self.port_val(n, &entry, 0);
+                self.finish_fire(r, n, channel);
+                self.deliver_outputs(replica, node, channel, v, latency);
+            }
+            DfgOp::Load => {
+                let addr = self
+                    .port_val(n, &entry, 0)
+                    .as_u32()
+                    .wrapping_add(self.nodes[n].addr_offset);
+                let req = self.next_req;
+                if !env.issue_mem(req, addr, false) {
+                    self.stats.mem_retry_cycles += 1;
+                    return;
+                }
+                self.next_req += 1;
+                let value = env.mem_read(addr);
+                self.begin_mem(r, n, channel, req, value);
+                self.finish_fire(r, n, channel);
+                self.stats.mem_loads += 1;
+            }
+            DfgOp::Store => {
+                let gate_ok = if n_sem == 3 {
+                    self.port_val(n, &entry, 2).as_bool()
+                } else {
+                    true
+                };
+                if gate_ok {
+                    let addr = self
+                        .port_val(n, &entry, 0)
+                        .as_u32()
+                        .wrapping_add(self.nodes[n].addr_offset);
+                    let value = self.port_val(n, &entry, 1);
+                    let req = self.next_req;
+                    if !env.issue_mem(req, addr, true) {
+                        self.stats.mem_retry_cycles += 1;
+                        return;
+                    }
+                    self.next_req += 1;
+                    env.mem_write(addr, value);
+                    self.begin_mem(r, n, channel, req, Word::ZERO);
+                    self.finish_fire(r, n, channel);
+                    self.stats.mem_stores += 1;
+                    // Ordering token released at issue (see on_mem_response).
+                    self.deliver_outputs(replica, node, channel, Word::ONE, latency);
+                } else {
+                    // Predicated-off store: fires (occupying the unit) but
+                    // suppresses the write; ordering consumers still get
+                    // their token.
+                    self.finish_fire(r, n, channel);
+                    self.stats.suppressed_stores += 1;
+                    self.deliver_outputs(replica, node, channel, Word::ONE, latency);
+                }
+            }
+            DfgOp::LvLoad(lv) => {
+                let req = self.next_req;
+                if !env.issue_lv(req, lv.0, tid, false) {
+                    self.stats.mem_retry_cycles += 1;
+                    return;
+                }
+                self.next_req += 1;
+                let value = env.lv_read(lv.0, tid);
+                self.begin_mem(r, n, channel, req, value);
+                self.finish_fire(r, n, channel);
+                self.stats.lv_loads += 1;
+            }
+            DfgOp::LvStore(lv) => {
+                let value = self.port_val(n, &entry, 0);
+                let req = self.next_req;
+                if !env.issue_lv(req, lv.0, tid, true) {
+                    self.stats.mem_retry_cycles += 1;
+                    return;
+                }
+                self.next_req += 1;
+                env.lv_write(lv.0, tid, value);
+                self.begin_mem(r, n, channel, req, Word::ZERO);
+                self.finish_fire(r, n, channel);
+                self.stats.lv_stores += 1;
+                // Ordering token released at issue (see on_mem_response).
+                self.deliver_outputs(replica, node, channel, Word::ONE, latency);
+            }
+            DfgOp::Term(targets) => {
+                let target = match (targets.taken, targets.not_taken) {
+                    (Some(t), Some(f)) => {
+                        if self.port_val(n, &entry, 0).as_bool() {
+                            Some(t)
+                        } else {
+                            Some(f)
+                        }
+                    }
+                    (Some(t), None) => Some(t),
+                    _ => None,
+                };
+                self.finish_fire(r, n, channel);
+                self.stats.threads_retired += 1;
+                self.retired.push(Retired { replica, tid, target });
+            }
+        }
+    }
+
+    /// Pops the fired channel from the ready queue, clears its buffer entry
+    /// and accounts the firing.
+    fn finish_fire(&mut self, r: usize, n: usize, channel: u32) {
+        let popped = self.replicas[r].ready[n].pop_front();
+        debug_assert_eq!(popped, Some(channel));
+        self.replicas[r].buf[n][channel as usize] = BufEntry::default();
+        self.count_fire(n, r as u32, channel);
+        // A channel whose last fire just happened (and has no outstanding
+        // memory) can be recycled; memory ops call begin_mem before this,
+        // and compute outputs, if any, imply unfired consumers.
+        self.maybe_free_channel(r as u32, channel);
+    }
+
+    fn begin_mem(&mut self, r: usize, n: usize, channel: u32, req: MemReqId, value: Word) {
+        self.replicas[r].reservation[n] += 1;
+        self.replicas[r].channels[channel as usize]
+            .as_mut()
+            .expect("mem op on freed channel")
+            .pending_mem += 1;
+        self.pending_mem.insert(
+            req,
+            PendingMem { replica: r as u32, node: n as u32, channel, value },
+        );
+    }
+
+    fn scu_instance_free(&self, r: usize, n: usize) -> bool {
+        self.replicas[r].scu_busy[n].iter().any(|&b| b <= self.cycle)
+    }
+
+    fn occupy_scu(&mut self, r: usize, n: usize, latency: u32) {
+        let now = self.cycle;
+        let slot = self.replicas[r].scu_busy[n]
+            .iter_mut()
+            .find(|b| **b <= now)
+            .expect("caller checked scu_instance_free");
+        *slot = now + latency as u64;
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Fabric {{ {} nodes x {} replicas, cycle {}, {} active channels }}",
+            self.nodes.len(),
+            self.replicas.len(),
+            self.cycle,
+            self.active_channels
+        )
+    }
+}
+
+impl Fabric {
+    /// Releases reservation-buffer occupancy when a response arrives.
+    fn release_reservation(&mut self, replica: u32, node: u32) {
+        let slot = &mut self.replicas[replica as usize].reservation[node as usize];
+        debug_assert!(*slot > 0);
+        *slot -= 1;
+    }
+}
+
+fn class_latency(class: OpClass, lat: &crate::config::OpLatencies) -> u32 {
+    match class {
+        OpClass::IntAlu => lat.int_alu,
+        OpClass::FpAlu => lat.fp_alu,
+        OpClass::Special => lat.special,
+    }
+}

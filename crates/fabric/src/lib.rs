@@ -1,0 +1,20 @@
+//! The multithreaded coarse-grained reconfigurable fabric (MT-CGRF).
+//!
+//! This crate simulates the paper's execution core at token level: units
+//! with virtual-channel token buffers, static per-block configurations from
+//! the `vgiw-compiler` place & route, dynamic (tagged-token) dataflow
+//! firing, bounded LDST reservation buffers, SCU instance pools and CVU
+//! thread initiation/termination. See [`Fabric`] for the simulation API
+//! and [`FabricEnv`] for the memory-system binding.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod fabric;
+mod stats;
+pub mod test_env;
+
+pub use config::{FabricConfig, OpLatencies};
+pub use fabric::{Fabric, FabricEnv, MemReqId, Retired};
+pub use stats::FabricStats;

@@ -1,0 +1,90 @@
+//! Fabric execution statistics, consumed by reports and the energy model.
+
+/// Event counters accumulated while streaming threads through the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FabricStats {
+    /// Integer ALU operations executed.
+    pub int_alu_ops: u64,
+    /// Pipelined FP operations executed.
+    pub fp_ops: u64,
+    /// Non-pipelined special operations executed.
+    pub special_ops: u64,
+    /// Split/join firings.
+    pub split_join_ops: u64,
+    /// Initiator firings (threads injected).
+    pub threads_injected: u64,
+    /// Terminator firings (threads retired).
+    pub threads_retired: u64,
+    /// Global memory loads issued.
+    pub mem_loads: u64,
+    /// Global memory stores issued (suppressed stores excluded).
+    pub mem_stores: u64,
+    /// Stores suppressed by a false gate (SGMF predication waste).
+    pub suppressed_stores: u64,
+    /// Live value loads issued.
+    pub lv_loads: u64,
+    /// Live value stores issued.
+    pub lv_stores: u64,
+    /// Tokens delivered into token buffers.
+    pub tokens_delivered: u64,
+    /// Sum over tokens of the hop distance they travelled.
+    pub hop_traversals: u64,
+    /// Cycles a ready memory operation was held back by a full reservation
+    /// buffer or a rejected cache access.
+    pub mem_retry_cycles: u64,
+    /// Total firings (any node).
+    pub firings: u64,
+    /// Cycles the fabric ticked while executing this configuration.
+    pub busy_cycles: u64,
+}
+
+impl FabricStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.int_alu_ops += other.int_alu_ops;
+        self.fp_ops += other.fp_ops;
+        self.special_ops += other.special_ops;
+        self.split_join_ops += other.split_join_ops;
+        self.threads_injected += other.threads_injected;
+        self.threads_retired += other.threads_retired;
+        self.mem_loads += other.mem_loads;
+        self.mem_stores += other.mem_stores;
+        self.suppressed_stores += other.suppressed_stores;
+        self.lv_loads += other.lv_loads;
+        self.lv_stores += other.lv_stores;
+        self.tokens_delivered += other.tokens_delivered;
+        self.hop_traversals += other.hop_traversals;
+        self.mem_retry_cycles += other.mem_retry_cycles;
+        self.firings += other.firings;
+        self.busy_cycles += other.busy_cycles;
+    }
+
+    /// Average functional-unit utilization: firings per unit per cycle.
+    pub fn utilization(&self, num_units: usize) -> f64 {
+        if self.busy_cycles == 0 {
+            return 0.0;
+        }
+        self.firings as f64 / (self.busy_cycles as f64 * num_units as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = FabricStats { int_alu_ops: 2, firings: 5, ..FabricStats::default() };
+        let b = FabricStats { int_alu_ops: 3, firings: 1, ..FabricStats::default() };
+        a.merge(&b);
+        assert_eq!(a.int_alu_ops, 5);
+        assert_eq!(a.firings, 6);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = FabricStats { firings: 54, busy_cycles: 1, ..FabricStats::default() };
+        assert_eq!(s.utilization(108), 0.5);
+        assert_eq!(FabricStats::default().utilization(108), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! A simple fixed-latency [`FabricEnv`] for tests and examples.
+//!
+//! Global memory and the live value matrix are plain arrays; every accepted
+//! request completes after a fixed delay. Useful to exercise the fabric
+//! without the full `vgiw-mem` hierarchy (the real VGIW processor in
+//! `vgiw-core` wires the fabric to the banked caches instead).
+
+use crate::fabric::{FabricEnv, MemReqId};
+use std::collections::VecDeque;
+use vgiw_ir::{MemoryImage, Word};
+
+/// Fixed-latency memory environment backed by a [`MemoryImage`].
+#[derive(Debug)]
+pub struct FixedLatencyEnv {
+    /// The global memory image.
+    pub mem: MemoryImage,
+    /// Live value matrix, indexed `lv * num_threads + tid`.
+    pub lv: Vec<Word>,
+    num_threads: u32,
+    latency: u64,
+    in_flight: VecDeque<(u64, MemReqId)>,
+    now: u64,
+    /// Total LVC accesses issued (loads + stores).
+    pub lv_accesses: u64,
+    /// Total global memory accesses issued.
+    pub mem_accesses: u64,
+}
+
+impl FixedLatencyEnv {
+    /// Creates an environment with the given completion `latency`.
+    pub fn new(mem: MemoryImage, num_live_values: u32, num_threads: u32, latency: u64) -> Self {
+        FixedLatencyEnv {
+            mem,
+            lv: vec![Word::ZERO; (num_live_values * num_threads) as usize],
+            num_threads,
+            latency,
+            in_flight: VecDeque::new(),
+            now: 0,
+            lv_accesses: 0,
+            mem_accesses: 0,
+        }
+    }
+
+    /// Advances time and returns the requests completing this cycle.
+    pub fn tick(&mut self) -> Vec<MemReqId> {
+        self.now += 1;
+        let mut done = Vec::new();
+        while let Some(&(t, req)) = self.in_flight.front() {
+            if t > self.now {
+                break;
+            }
+            self.in_flight.pop_front();
+            done.push(req);
+        }
+        done
+    }
+}
+
+impl FabricEnv for FixedLatencyEnv {
+    fn issue_mem(&mut self, req: MemReqId, _addr_words: u32, _is_store: bool) -> bool {
+        self.mem_accesses += 1;
+        self.in_flight.push_back((self.now + self.latency, req));
+        true
+    }
+
+    fn issue_lv(&mut self, req: MemReqId, _lv: u32, _tid: u32, _is_store: bool) -> bool {
+        self.lv_accesses += 1;
+        self.in_flight.push_back((self.now + self.latency, req));
+        true
+    }
+
+    fn mem_read(&mut self, addr_words: u32) -> Word {
+        self.mem.read_wrapped(addr_words)
+    }
+
+    fn mem_write(&mut self, addr_words: u32, value: Word) {
+        self.mem.write_wrapped(addr_words, value);
+    }
+
+    fn lv_read(&mut self, lv: u32, tid: u32) -> Word {
+        self.lv[(lv * self.num_threads + tid) as usize]
+    }
+
+    fn lv_write(&mut self, lv: u32, tid: u32, value: Word) {
+        self.lv[(lv * self.num_threads + tid) as usize] = value;
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end fabric tests: compile kernels, stream threads through the
+//! fabric block by block (a miniature basic block scheduler), and check
+//! bit-exact agreement with the reference interpreter.
+
+use vgiw_compiler::ifconvert::if_convert;
+use vgiw_compiler::{compile, GridSpec};
+use vgiw_fabric::test_env::FixedLatencyEnv;
+use vgiw_fabric::{Fabric, FabricConfig};
+use vgiw_ir::{interp, Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Runs a compiled kernel on the fabric with a miniature block scheduler:
+/// smallest nonempty block vector first, full drain between blocks.
+fn run_on_fabric(
+    kernel: &Kernel,
+    launch: &Launch,
+    mem: MemoryImage,
+    replica_cap: usize,
+) -> (MemoryImage, u64) {
+    let grid = GridSpec::paper();
+    let ck = compile(kernel, &grid).expect("kernel must compile");
+    let threads = launch.num_threads;
+    let mut env = FixedLatencyEnv::new(mem, ck.num_live_values(), threads, 8);
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+
+    let nb = ck.kernel.num_blocks();
+    let mut vectors: Vec<Vec<bool>> = vec![vec![false; threads as usize]; nb];
+    vectors[0].fill(true);
+
+    let mut guard = 0;
+    loop {
+        let Some(block) = vectors.iter().position(|v| v.iter().any(|&b| b)) else {
+            break;
+        };
+        guard += 1;
+        assert!(guard < 100_000, "scheduler livelock");
+        let cb = &ck.blocks[block];
+        let replicas = &cb.replicas[..cb.replicas.len().min(replica_cap)];
+        fabric.configure(&cb.dfg, replicas, &launch.params);
+        for (tid, slot) in vectors[block].iter_mut().enumerate() {
+            if *slot {
+                *slot = false;
+                fabric.inject(tid as u32);
+            }
+        }
+        let mut spin = 0u64;
+        while !fabric.is_drained() {
+            fabric.tick(&mut env);
+            for req in env.tick() {
+                fabric.on_mem_response(req);
+            }
+            for r in fabric.drain_retired() {
+                if let Some(t) = r.target {
+                    vectors[t.index()][r.tid as usize] = true;
+                }
+            }
+            spin += 1;
+            assert!(spin < 10_000_000, "fabric failed to drain block {block}");
+        }
+    }
+    (env.mem, fabric.cycle())
+}
+
+fn reference(kernel: &Kernel, launch: &Launch, mem: &MemoryImage) -> MemoryImage {
+    let mut m = mem.clone();
+    interp::run(kernel, launch, &mut m).expect("interpreter must succeed");
+    m
+}
+
+fn squares_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("squares", 2);
+    let tid = b.thread_id();
+    let out = b.param(0);
+    let n = b.param(1);
+    let c = b.lt_u(tid, n);
+    b.if_(c, |b| {
+        let sq = b.mul(tid, tid);
+        let addr = b.add(out, tid);
+        b.store(addr, sq);
+    });
+    b.finish()
+}
+
+#[test]
+fn straight_line_matches_interpreter() {
+    let mut b = KernelBuilder::new("k", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    let three = b.const_u32(3);
+    let v = b.mul(tid, three);
+    b.store(addr, v);
+    let k = b.finish();
+
+    let launch = Launch::new(64, vec![Word::from_u32(0)]);
+    let mem = MemoryImage::new(128);
+    let expect = reference(&k, &launch, &mem);
+    let (got, cycles) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect, "fabric memory differs from interpreter");
+    assert!(cycles > 0);
+}
+
+#[test]
+fn divergent_kernel_matches_interpreter() {
+    let k = squares_kernel();
+    let launch = Launch::new(100, vec![Word::from_u32(0), Word::from_u32(60)]);
+    let mem = MemoryImage::new(256);
+    let expect = reference(&k, &launch, &mem);
+    let (got, _) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect);
+}
+
+#[test]
+fn nested_divergence_matches_interpreter() {
+    // The paper's Figure-1 control shape.
+    let mut b = KernelBuilder::new("fig1", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    let three = b.const_u32(3);
+    let c1 = b.rem_u(tid, three);
+    let z = b.const_u32(0);
+    let is0 = b.eq(c1, z);
+    b.if_else(
+        is0,
+        |b| {
+            let v = b.mul(tid, tid);
+            b.store(addr, v);
+        },
+        |b| {
+            let five = b.const_u32(5);
+            let c2 = b.lt_u(tid, five);
+            b.if_else(
+                c2,
+                |b| {
+                    let v = b.add(tid, tid);
+                    b.store(addr, v);
+                },
+                |b| {
+                    let seven = b.const_u32(7);
+                    let v = b.add(tid, seven);
+                    b.store(addr, v);
+                },
+            );
+        },
+    );
+    let k = b.finish();
+    let launch = Launch::new(64, vec![Word::from_u32(0)]);
+    let mem = MemoryImage::new(128);
+    let expect = reference(&k, &launch, &mem);
+    let (got, _) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect);
+}
+
+#[test]
+fn loop_kernel_matches_interpreter() {
+    // out[tid] = sum(0..tid%7)
+    let mut b = KernelBuilder::new("loopy", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let seven = b.const_u32(7);
+    let bound = b.rem_u(tid, seven);
+    let zero = b.const_u32(0);
+    let acc = b.var(zero);
+    let i = b.var(zero);
+    b.while_(
+        |b| {
+            let iv = b.get(i);
+            b.lt_u(iv, bound)
+        },
+        |b| {
+            let iv = b.get(i);
+            let a = b.get(acc);
+            let s = b.add(a, iv);
+            b.set(acc, s);
+            let one = b.const_u32(1);
+            let n = b.add(iv, one);
+            b.set(i, n);
+        },
+    );
+    let addr = b.add(base, tid);
+    let a = b.get(acc);
+    b.store(addr, a);
+    let k = b.finish();
+
+    let launch = Launch::new(48, vec![Word::from_u32(0)]);
+    let mem = MemoryImage::new(64);
+    let expect = reference(&k, &launch, &mem);
+    let (got, _) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect);
+}
+
+#[test]
+fn memory_ordering_within_thread_holds() {
+    // Each thread: store x; load x; store y=loaded+1 — needs joins.
+    let mut b = KernelBuilder::new("order", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let a0 = b.add(base, tid);
+    let v0 = b.mul(tid, tid);
+    b.store(a0, v0);
+    let loaded = b.load(a0);
+    let one = b.const_u32(1);
+    let v1 = b.add(loaded, one);
+    let sixty4 = b.const_u32(64);
+    let a1 = b.add(a0, sixty4);
+    b.store(a1, v1);
+    let k = b.finish();
+
+    let launch = Launch::new(32, vec![Word::from_u32(0)]);
+    let mem = MemoryImage::new(256);
+    let expect = reference(&k, &launch, &mem);
+    let (got, _) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect);
+}
+
+#[test]
+fn replication_improves_throughput() {
+    let k = squares_kernel();
+    let launch = Launch::new(512, vec![Word::from_u32(0), Word::from_u32(512)]);
+    let (_, cycles_1) = run_on_fabric(&k, &launch, MemoryImage::new(1024), 1);
+    let (_, cycles_8) = run_on_fabric(&k, &launch, MemoryImage::new(1024), 8);
+    assert!(
+        cycles_8 * 2 < cycles_1,
+        "8 replicas ({cycles_8} cycles) should be much faster than 1 ({cycles_1})"
+    );
+}
+
+#[test]
+fn sgmf_predicated_graph_matches_interpreter() {
+    let k = squares_kernel();
+    let grid = GridSpec::paper();
+    let dfg = if_convert(&k, &grid).expect("squares is SGMF-mappable");
+
+    let launch = Launch::new(64, vec![Word::from_u32(0), Word::from_u32(40)]);
+    let mem = MemoryImage::new(128);
+    let expect = reference(&k, &launch, &mem);
+
+    // Place one copy of the whole-kernel graph.
+    let mut free = vec![true; grid.num_units()];
+    let placement = vgiw_compiler::place::place(&dfg, &grid, &mut free).expect("fits");
+    let mut env = FixedLatencyEnv::new(mem, 0, launch.num_threads, 8);
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    fabric.configure(&dfg, &[placement], &launch.params);
+    for tid in 0..launch.num_threads {
+        fabric.inject(tid);
+    }
+    let mut spin = 0u64;
+    while !fabric.is_drained() {
+        fabric.tick(&mut env);
+        for req in env.tick() {
+            fabric.on_mem_response(req);
+        }
+        fabric.drain_retired();
+        spin += 1;
+        assert!(spin < 10_000_000, "SGMF graph failed to drain");
+    }
+    assert!(env.mem == expect, "SGMF predicated execution diverged");
+    // Threads 40..64 must have suppressed their stores.
+    assert_eq!(fabric.stats().suppressed_stores, 24);
+}
+
+#[test]
+fn lvc_traffic_is_much_lower_than_total_traffic() {
+    // Compute-heavy divergent kernel: most values stay inside blocks.
+    let mut b = KernelBuilder::new("heavy", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let two = b.const_u32(2);
+    let parity = b.rem_u(tid, two);
+    let addr = b.add(base, tid);
+    b.if_else(
+        parity,
+        |b| {
+            let mut v = tid;
+            for _ in 0..10 {
+                let t = b.mul(v, v);
+                v = b.add(t, tid);
+            }
+            b.store(addr, v);
+        },
+        |b| {
+            let mut v = tid;
+            for _ in 0..10 {
+                v = b.add(v, v);
+            }
+            b.store(addr, v);
+        },
+    );
+    let k = b.finish();
+    let launch = Launch::new(128, vec![Word::from_u32(0)]);
+    let mem = MemoryImage::new(256);
+    let expect = reference(&k, &launch, &mem);
+    let (got, _) = run_on_fabric(&k, &launch, mem, 8);
+    assert!(got == expect);
+}

@@ -1,0 +1,251 @@
+//! Targeted behavioural tests of the fabric's microarchitectural
+//! mechanisms: channel recycling, out-of-order completion, reservation
+//! back-pressure, SCU instance pools and statistics accounting.
+
+use vgiw_compiler::{compile, GridSpec};
+use vgiw_fabric::test_env::FixedLatencyEnv;
+use vgiw_fabric::{Fabric, FabricConfig, FabricEnv, MemReqId};
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, UnaryOp, Word};
+
+fn simple_store_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("k", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    b.store(addr, tid);
+    b.finish()
+}
+
+fn drain(
+    fabric: &mut Fabric,
+    env: &mut FixedLatencyEnv,
+    limit: u64,
+) -> Vec<vgiw_fabric::Retired> {
+    let mut retired = Vec::new();
+    let mut spin = 0;
+    while !fabric.is_drained() {
+        fabric.tick(env);
+        for req in env.tick() {
+            fabric.on_mem_response(req);
+        }
+        retired.extend(fabric.drain_retired());
+        spin += 1;
+        assert!(spin < limit, "fabric failed to drain");
+    }
+    retired
+}
+
+#[test]
+fn channels_recycle_for_more_threads_than_buffer_entries() {
+    let grid = GridSpec::paper();
+    let ck = compile(&simple_store_kernel(), &grid).unwrap();
+    let mut cfg = FabricConfig::default();
+    cfg.channels_per_unit = 4; // tiny buffers: forces recycling
+    let mut fabric = Fabric::new(grid, cfg);
+    let mut env = FixedLatencyEnv::new(MemoryImage::new(4096), 0, 2048, 12);
+
+    let cb = &ck.blocks[0];
+    fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+    for tid in 0..2048 {
+        fabric.inject(tid);
+    }
+    let retired = drain(&mut fabric, &mut env, 2_000_000);
+    assert_eq!(retired.len(), 2048);
+    assert_eq!(fabric.stats().threads_injected, 2048);
+    assert_eq!(fabric.stats().threads_retired, 2048);
+    for t in 0..2048u32 {
+        assert_eq!(env.mem.read(t).as_u32(), t, "thread {t} store lost");
+    }
+}
+
+#[test]
+fn threads_complete_out_of_order_past_stalled_ones() {
+    // A latency-heavy environment: with many channels, later-injected
+    // threads can retire before earlier ones whose memory is in flight.
+    let grid = GridSpec::paper();
+    // Kernel: out[tid] = in[tid] (load then store) — per-thread latency is
+    // dominated by memory.
+    let mut b = KernelBuilder::new("copy", 2);
+    let tid = b.thread_id();
+    let src = b.param(0);
+    let dst = b.param(1);
+    let sa = b.add(src, tid);
+    let v = b.load(sa);
+    let da = b.add(dst, tid);
+    b.store(da, v);
+    let k = b.finish();
+    let ck = compile(&k, &grid).unwrap();
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    let mut env = FixedLatencyEnv::new(MemoryImage::new(2048), 0, 512, 40);
+    let cb = &ck.blocks[0];
+    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO, Word::from_u32(512)]);
+    for tid in 0..512 {
+        fabric.inject(tid);
+    }
+    let retired = drain(&mut fabric, &mut env, 2_000_000);
+    assert_eq!(retired.len(), 512);
+    // All correct regardless of completion order.
+    for t in 0..512u32 {
+        assert_eq!(env.mem.read(512 + t), env.mem.read(t));
+    }
+}
+
+/// An environment that rejects the first `reject_n` issue attempts, to
+/// exercise the retry path.
+struct RejectingEnv {
+    inner: FixedLatencyEnv,
+    rejects_left: u32,
+}
+
+impl FabricEnv for RejectingEnv {
+    fn issue_mem(&mut self, req: MemReqId, addr: u32, is_store: bool) -> bool {
+        if self.rejects_left > 0 {
+            self.rejects_left -= 1;
+            return false;
+        }
+        self.inner.issue_mem(req, addr, is_store)
+    }
+    fn issue_lv(&mut self, req: MemReqId, lv: u32, tid: u32, is_store: bool) -> bool {
+        self.inner.issue_lv(req, lv, tid, is_store)
+    }
+    fn mem_read(&mut self, a: u32) -> Word {
+        self.inner.mem_read(a)
+    }
+    fn mem_write(&mut self, a: u32, v: Word) {
+        self.inner.mem_write(a, v)
+    }
+    fn lv_read(&mut self, lv: u32, tid: u32) -> Word {
+        self.inner.lv_read(lv, tid)
+    }
+    fn lv_write(&mut self, lv: u32, tid: u32, v: Word) {
+        self.inner.lv_write(lv, tid, v)
+    }
+}
+
+#[test]
+fn rejected_memory_issues_are_retried() {
+    let grid = GridSpec::paper();
+    let ck = compile(&simple_store_kernel(), &grid).unwrap();
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    let mut env = RejectingEnv {
+        inner: FixedLatencyEnv::new(MemoryImage::new(256), 0, 64, 6),
+        rejects_left: 100,
+    };
+    let cb = &ck.blocks[0];
+    fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+    for tid in 0..64 {
+        fabric.inject(tid);
+    }
+    let mut spin = 0;
+    while !fabric.is_drained() {
+        fabric.tick(&mut env);
+        for req in env.inner.tick() {
+            fabric.on_mem_response(req);
+        }
+        fabric.drain_retired();
+        spin += 1;
+        assert!(spin < 100_000);
+    }
+    assert!(fabric.stats().mem_retry_cycles >= 100, "retries must be counted");
+    for t in 0..64u32 {
+        assert_eq!(env.inner.mem.read(t).as_u32(), t);
+    }
+}
+
+#[test]
+fn scu_instances_limit_nonpipelined_throughput() {
+    // A sqrt-only kernel: SCU instance count bounds throughput.
+    let mut b = KernelBuilder::new("roots", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let f = b.u2f(tid);
+    let r = b.unary(UnaryOp::FSqrt, f);
+    let addr = b.add(base, tid);
+    b.store(addr, r);
+    let k = b.finish();
+    let grid = GridSpec::paper();
+    let ck = compile(&k, &grid).unwrap();
+
+    let run = |instances: u32| -> u64 {
+        let mut cfg = FabricConfig::default();
+        cfg.scu_instances = instances;
+        let mut fabric = Fabric::new(GridSpec::paper(), cfg);
+        let mut env = FixedLatencyEnv::new(MemoryImage::new(1024), 0, 512, 4);
+        let cb = &ck.blocks[0];
+        fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+        for tid in 0..512 {
+            fabric.inject(tid);
+        }
+        drain(&mut fabric, &mut env, 2_000_000);
+        fabric.cycle()
+    };
+
+    let slow = run(1);
+    let fast = run(16);
+    assert!(
+        fast * 2 < slow,
+        "16 SCU instances ({fast}) should be much faster than 1 ({slow})"
+    );
+}
+
+#[test]
+fn stats_account_every_thread_and_token() {
+    let grid = GridSpec::paper();
+    let ck = compile(&simple_store_kernel(), &grid).unwrap();
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    let mut env = FixedLatencyEnv::new(MemoryImage::new(512), 0, 128, 4);
+    let cb = &ck.blocks[0];
+    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO]);
+    for tid in 0..128 {
+        fabric.inject(tid);
+    }
+    drain(&mut fabric, &mut env, 1_000_000);
+    let s = fabric.stats();
+    assert_eq!(s.threads_injected, 128);
+    assert_eq!(s.threads_retired, 128);
+    assert_eq!(s.mem_stores, 128);
+    assert_eq!(s.mem_loads, 0);
+    // Every node fires exactly once per thread.
+    assert_eq!(s.firings % 128, 0);
+    assert!(s.tokens_delivered > 0 && s.hop_traversals >= s.tokens_delivered);
+    assert!(s.utilization(108) > 0.0 && s.utilization(108) <= 1.0);
+}
+
+#[test]
+fn reconfiguration_between_blocks_is_clean() {
+    // Configure A, run; configure B, run; memory effects of both visible.
+    let grid = GridSpec::paper();
+    let ck = compile(&simple_store_kernel(), &grid).unwrap();
+
+    let mut b = KernelBuilder::new("k2", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    let hundred = b.const_u32(100);
+    let v = b.add(tid, hundred);
+    b.store(addr, v);
+    let k2 = b.finish();
+    let ck2 = compile(&k2, &grid).unwrap();
+
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    let mut env = FixedLatencyEnv::new(MemoryImage::new(512), 0, 64, 4);
+
+    let cb = &ck.blocks[0];
+    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO]);
+    for tid in 0..32 {
+        fabric.inject(tid);
+    }
+    drain(&mut fabric, &mut env, 100_000);
+
+    let cb2 = &ck2.blocks[0];
+    fabric.configure(&cb2.dfg, &cb2.replicas, &[Word::from_u32(64)]);
+    for tid in 0..32 {
+        fabric.inject(tid);
+    }
+    drain(&mut fabric, &mut env, 100_000);
+
+    for t in 0..32u32 {
+        assert_eq!(env.mem.read(t).as_u32(), t);
+        assert_eq!(env.mem.read(64 + t).as_u32(), t + 100);
+    }
+}

@@ -1,0 +1,528 @@
+//! A structured-control-flow builder for kernels.
+//!
+//! [`KernelBuilder`] plays the role of the CUDA-C frontend in the paper's
+//! toolchain: benchmark kernels are written against this API and lowered to
+//! the block-based IR that the VGIW compiler, the SIMT baseline and the
+//! SGMF baseline all consume.
+//!
+//! The builder produces *structured* control flow (if/else and while loops),
+//! which guarantees reducible CFGs — the same property CUDA-derived SSA has
+//! — and assigns block IDs in reverse post-order on [`KernelBuilder::finish`]
+//! so the hardware block scheduler's smallest-ID-first policy is valid.
+//!
+//! ```
+//! use vgiw_ir::{KernelBuilder, Launch, MemoryImage, Word, interp};
+//!
+//! // out[tid] = tid < n ? tid * tid : 0
+//! let mut b = KernelBuilder::new("squares", 2); // params: out base, n
+//! let tid = b.thread_id();
+//! let n = b.param(1);
+//! let out = b.param(0);
+//! let in_range = b.lt_u(tid, n);
+//! b.if_(in_range, |b| {
+//!     let sq = b.mul(tid, tid);
+//!     let addr = b.add(out, tid);
+//!     b.store(addr, sq);
+//! });
+//! let kernel = b.finish();
+//!
+//! let mut mem = MemoryImage::new(16);
+//! let launch = Launch::new(8, vec![Word::from_u32(0), Word::from_u32(8)]);
+//! interp::run(&kernel, &launch, &mut mem).unwrap();
+//! assert_eq!(mem.read(5).as_u32(), 25);
+//! ```
+
+use crate::inst::{BlockId, Inst, Operand, Reg, Terminator};
+use crate::kernel::Kernel;
+use crate::types::{BinaryOp, UnaryOp, Word};
+
+/// A value usable as an instruction operand: a register produced by a prior
+/// instruction, or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Val(pub(crate) Operand);
+
+impl From<Val> for Operand {
+    fn from(v: Val) -> Operand {
+        v.0
+    }
+}
+
+/// A mutable per-thread variable: a pinned register that [`KernelBuilder::set`]
+/// may reassign, used for loop-carried and control-merged values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Var(Reg);
+
+/// Builds a [`Kernel`] with structured control flow.
+///
+/// See the module-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    cur: BlockId,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel with `num_params` launch parameters.
+    pub fn new(name: impl Into<String>, num_params: u8) -> KernelBuilder {
+        KernelBuilder { kernel: Kernel::new(name, num_params), cur: BlockId::ENTRY }
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        let cur = self.cur;
+        self.kernel.block_mut(cur).insts.push(inst);
+    }
+
+    fn emit_def(&mut self, make: impl FnOnce(Reg) -> Inst) -> Val {
+        let dst = self.kernel.fresh_reg();
+        self.emit(make(dst));
+        Val(Operand::Reg(dst))
+    }
+
+    /// An immediate word value.
+    pub fn imm(&self, w: impl Into<Word>) -> Val {
+        Val(Operand::Imm(w.into()))
+    }
+
+    /// An immediate unsigned integer.
+    pub fn const_u32(&self, v: u32) -> Val {
+        self.imm(Word::from_u32(v))
+    }
+
+    /// An immediate signed integer.
+    pub fn const_i32(&self, v: i32) -> Val {
+        self.imm(Word::from_i32(v))
+    }
+
+    /// An immediate float.
+    pub fn const_f32(&self, v: f32) -> Val {
+        self.imm(Word::from_f32(v))
+    }
+
+    /// The global thread index.
+    pub fn thread_id(&mut self) -> Val {
+        self.emit_def(|dst| Inst::ThreadId { dst })
+    }
+
+    /// Kernel parameter `index` (a launch-time constant).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for the declared parameter count.
+    pub fn param(&mut self, index: u8) -> Val {
+        assert!(
+            index < self.kernel.num_params,
+            "parameter index {index} out of range (kernel has {})",
+            self.kernel.num_params
+        );
+        self.emit_def(|dst| Inst::Param { dst, index })
+    }
+
+    /// Emits `op(src)`.
+    pub fn unary(&mut self, op: UnaryOp, src: Val) -> Val {
+        self.emit_def(|dst| Inst::Unary { dst, op, src: src.0 })
+    }
+
+    /// Emits `op(lhs, rhs)`.
+    pub fn binary(&mut self, op: BinaryOp, lhs: Val, rhs: Val) -> Val {
+        self.emit_def(|dst| Inst::Binary { dst, op, lhs: lhs.0, rhs: rhs.0 })
+    }
+
+    /// Emits `cond ? on_true : on_false`.
+    pub fn select(&mut self, cond: Val, on_true: Val, on_false: Val) -> Val {
+        self.emit_def(|dst| Inst::Select {
+            dst,
+            cond: cond.0,
+            on_true: on_true.0,
+            on_false: on_false.0,
+        })
+    }
+
+    /// Emits the float fused multiply-add `a * b + c`.
+    pub fn fma(&mut self, a: Val, b: Val, c: Val) -> Val {
+        self.emit_def(|dst| Inst::Fma { dst, a: a.0, b: b.0, c: c.0 })
+    }
+
+    /// Emits `memory[addr]`.
+    pub fn load(&mut self, addr: Val) -> Val {
+        self.emit_def(|dst| Inst::Load { dst, addr: addr.0 })
+    }
+
+    /// Emits `memory[addr] = value`.
+    pub fn store(&mut self, addr: Val, value: Val) {
+        self.emit(Inst::Store { addr: addr.0, value: value.0 });
+    }
+
+    /// Declares a mutable variable initialized to `init`.
+    pub fn var(&mut self, init: Val) -> Var {
+        let dst = self.kernel.fresh_reg();
+        self.emit(Inst::Unary { dst, op: UnaryOp::Mov, src: init.0 });
+        Var(dst)
+    }
+
+    /// Reads a variable's current value.
+    pub fn get(&self, var: Var) -> Val {
+        Val(Operand::Reg(var.0))
+    }
+
+    /// Assigns `value` to `var`.
+    pub fn set(&mut self, var: Var, value: Val) {
+        self.emit(Inst::Unary { dst: var.0, op: UnaryOp::Mov, src: value.0 });
+    }
+
+    // ---- arithmetic conveniences -------------------------------------------
+
+    /// Integer `lhs + rhs`.
+    pub fn add(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::Add, lhs, rhs)
+    }
+    /// Integer `lhs - rhs`.
+    pub fn sub(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::Sub, lhs, rhs)
+    }
+    /// Integer `lhs * rhs`.
+    pub fn mul(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::Mul, lhs, rhs)
+    }
+    /// Unsigned `lhs / rhs`.
+    pub fn div_u(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::DivU, lhs, rhs)
+    }
+    /// Unsigned `lhs % rhs`.
+    pub fn rem_u(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::RemU, lhs, rhs)
+    }
+    /// Unsigned `lhs < rhs` predicate.
+    pub fn lt_u(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::CmpLtU, lhs, rhs)
+    }
+    /// Signed `lhs < rhs` predicate.
+    pub fn lt_s(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::CmpLtS, lhs, rhs)
+    }
+    /// Unsigned `lhs <= rhs` predicate.
+    pub fn le_u(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::CmpLeU, lhs, rhs)
+    }
+    /// `lhs == rhs` predicate.
+    pub fn eq(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::CmpEq, lhs, rhs)
+    }
+    /// `lhs != rhs` predicate.
+    pub fn ne(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::CmpNe, lhs, rhs)
+    }
+    /// Bitwise and.
+    pub fn and(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::And, lhs, rhs)
+    }
+    /// Bitwise or.
+    pub fn or(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::Or, lhs, rhs)
+    }
+    /// Shift left.
+    pub fn shl(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::Shl, lhs, rhs)
+    }
+    /// Float `lhs + rhs`.
+    pub fn fadd(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::FAdd, lhs, rhs)
+    }
+    /// Float `lhs - rhs`.
+    pub fn fsub(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::FSub, lhs, rhs)
+    }
+    /// Float `lhs * rhs`.
+    pub fn fmul(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::FMul, lhs, rhs)
+    }
+    /// Float `lhs / rhs`.
+    pub fn fdiv(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::FDiv, lhs, rhs)
+    }
+    /// Float `lhs < rhs` predicate.
+    pub fn flt(&mut self, lhs: Val, rhs: Val) -> Val {
+        self.binary(BinaryOp::FCmpLt, lhs, rhs)
+    }
+    /// Float square root.
+    pub fn fsqrt(&mut self, v: Val) -> Val {
+        self.unary(UnaryOp::FSqrt, v)
+    }
+    /// Signed int to float.
+    pub fn i2f(&mut self, v: Val) -> Val {
+        self.unary(UnaryOp::I2F, v)
+    }
+    /// Unsigned int to float.
+    pub fn u2f(&mut self, v: Val) -> Val {
+        self.unary(UnaryOp::U2F, v)
+    }
+    /// Float to signed int.
+    pub fn f2i(&mut self, v: Val) -> Val {
+        self.unary(UnaryOp::F2I, v)
+    }
+
+    // ---- structured control flow -------------------------------------------
+
+    fn seal(&mut self, term: Terminator) {
+        let cur = self.cur;
+        self.kernel.block_mut(cur).term = term;
+    }
+
+    fn start_block(&mut self) -> BlockId {
+        self.kernel.push_block()
+    }
+
+    /// Runs `then` only for threads where `cond` is true.
+    pub fn if_(&mut self, cond: Val, then: impl FnOnce(&mut KernelBuilder)) {
+        let then_bb = self.start_block();
+        let merge_bb = self.start_block();
+        self.seal(Terminator::Branch { cond: cond.0, taken: then_bb, not_taken: merge_bb });
+        self.cur = then_bb;
+        then(self);
+        self.seal(Terminator::Jump(merge_bb));
+        self.cur = merge_bb;
+    }
+
+    /// Two-sided conditional.
+    pub fn if_else(
+        &mut self,
+        cond: Val,
+        then: impl FnOnce(&mut KernelBuilder),
+        otherwise: impl FnOnce(&mut KernelBuilder),
+    ) {
+        let then_bb = self.start_block();
+        let else_bb = self.start_block();
+        let merge_bb = self.start_block();
+        self.seal(Terminator::Branch { cond: cond.0, taken: then_bb, not_taken: else_bb });
+        self.cur = then_bb;
+        then(self);
+        self.seal(Terminator::Jump(merge_bb));
+        self.cur = else_bb;
+        otherwise(self);
+        self.seal(Terminator::Jump(merge_bb));
+        self.cur = merge_bb;
+    }
+
+    /// A while loop, emitted in rotated (do-while) form, as production
+    /// compilers do: the condition is evaluated once before entering the
+    /// loop (guarding the first iteration) and then re-evaluated at the
+    /// *end of the body*, which branches back to itself. `cond` is
+    /// therefore **invoked twice**, emitting two copies of the condition
+    /// code; it must be a pure emission closure (same instructions each
+    /// call), which every comparison-style condition is. One basic block
+    /// per iteration instead of a separate header execution — on VGIW this
+    /// halves the per-iteration scheduling/reconfiguration work.
+    pub fn while_(
+        &mut self,
+        mut cond: impl FnMut(&mut KernelBuilder) -> Val,
+        body: impl FnOnce(&mut KernelBuilder),
+    ) {
+        let body_bb = self.start_block();
+        let exit_bb = self.start_block();
+        let c0 = cond(self);
+        self.seal(Terminator::Branch { cond: c0.0, taken: body_bb, not_taken: exit_bb });
+        self.cur = body_bb;
+        body(self);
+        let c = cond(self);
+        self.seal(Terminator::Branch { cond: c.0, taken: body_bb, not_taken: exit_bb });
+        self.cur = exit_bb;
+    }
+
+    /// A counted loop `for i in start..end` (unsigned compare, step 1).
+    /// The body receives the induction value.
+    pub fn for_range(
+        &mut self,
+        start: Val,
+        end: Val,
+        body: impl FnOnce(&mut KernelBuilder, Val),
+    ) {
+        let i = self.var(start);
+        self.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, end)
+            },
+            |b| {
+                let iv = b.get(i);
+                body(b, iv);
+                let iv = b.get(i);
+                let one = b.const_u32(1);
+                let next = b.add(iv, one);
+                b.set(i, next);
+            },
+        );
+    }
+
+    /// Finishes the kernel: seals the current block with `exit`, renumbers
+    /// blocks in reverse post-order (the paper's scheduling order), and
+    /// verifies structural invariants.
+    ///
+    /// # Panics
+    /// Panics if the built kernel fails verification; that indicates a bug
+    /// in the builder or in hand-emitted instructions.
+    pub fn finish(mut self) -> Kernel {
+        self.seal(Terminator::Exit);
+        let mut kernel = self.kernel;
+        crate::cfg::renumber_rpo(&mut kernel);
+        if let Err(e) = crate::verify::verify(&kernel) {
+            panic!("KernelBuilder produced an invalid kernel: {e}");
+        }
+        kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::kernel::Launch;
+    use crate::mem_image::MemoryImage;
+
+    fn run_kernel(k: &Kernel, threads: u32, params: Vec<Word>, mem_words: usize) -> MemoryImage {
+        let mut mem = MemoryImage::new(mem_words);
+        interp::run(k, &Launch::new(threads, params), &mut mem).unwrap();
+        mem
+    }
+
+    #[test]
+    fn straight_line_store() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let three = b.const_u32(3);
+        let v = b.mul(tid, three);
+        b.store(addr, v);
+        let k = b.finish();
+        assert_eq!(k.num_blocks(), 1);
+        let mem = run_kernel(&k, 4, vec![Word::from_u32(0)], 8);
+        assert_eq!(mem.read(2).as_u32(), 6);
+    }
+
+    #[test]
+    fn if_else_diverges() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let two = b.const_u32(2);
+        let even = b.rem_u(tid, two);
+        let is_odd = b.ne(even, b.const_u32(0));
+        let addr = b.add(base, tid);
+        b.if_else(
+            is_odd,
+            |b| {
+                let v = b.const_u32(111);
+                b.store(addr, v);
+            },
+            |b| {
+                let v = b.const_u32(222);
+                b.store(addr, v);
+            },
+        );
+        let k = b.finish();
+        assert_eq!(k.num_blocks(), 4);
+        let mem = run_kernel(&k, 4, vec![Word::from_u32(0)], 8);
+        assert_eq!(mem.read(0).as_u32(), 222);
+        assert_eq!(mem.read(1).as_u32(), 111);
+        assert_eq!(mem.read(3).as_u32(), 111);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // out[tid] = sum(0..tid)
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let zero = b.const_u32(0);
+        let acc = b.var(zero);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, tid)
+            },
+            |b| {
+                let iv = b.get(i);
+                let a = b.get(acc);
+                let sum = b.add(a, iv);
+                b.set(acc, sum);
+                let one = b.const_u32(1);
+                let next = b.add(iv, one);
+                b.set(i, next);
+            },
+        );
+        let addr = b.add(base, tid);
+        let result = b.get(acc);
+        b.store(addr, result);
+        let k = b.finish();
+        let mem = run_kernel(&k, 6, vec![Word::from_u32(0)], 8);
+        assert_eq!(mem.read(5).as_u32(), 10); // 0+1+2+3+4
+        assert_eq!(mem.read(0).as_u32(), 0);
+    }
+
+    #[test]
+    fn for_range_counts() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let zero = b.const_u32(0);
+        let acc = b.var(zero);
+        let four = b.const_u32(4);
+        b.for_range(zero, four, |b, iv| {
+            let a = b.get(acc);
+            let t = b.mul(iv, tid);
+            let s = b.add(a, t);
+            b.set(acc, s);
+        });
+        let addr = b.add(base, tid);
+        let result = b.get(acc);
+        b.store(addr, result);
+        let k = b.finish();
+        let mem = run_kernel(&k, 3, vec![Word::from_u32(0)], 8);
+        assert_eq!(mem.read(2).as_u32(), 12); // (0+1+2+3)*2
+    }
+
+    #[test]
+    fn nested_conditionals_match_paper_figure_1() {
+        // The paper's running example: BB1 -> {BB2 | BB3 -> {BB4 | BB5}} -> BB6.
+        let mut b = KernelBuilder::new("fig1", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let three = b.const_u32(3);
+        let c1 = b.lt_u(tid, three);
+        b.if_else(
+            c1,
+            |b| {
+                let v = b.const_u32(2);
+                b.store(addr, v);
+            },
+            |b| {
+                let five = b.const_u32(5);
+                let c2 = b.lt_u(tid, five);
+                b.if_else(
+                    c2,
+                    |b| {
+                        let v = b.const_u32(4);
+                        b.store(addr, v);
+                    },
+                    |b| {
+                        let v = b.const_u32(5);
+                        b.store(addr, v);
+                    },
+                );
+            },
+        );
+        let k = b.finish();
+        assert_eq!(k.num_blocks(), 7); // entry + 5 + merge-of-inner folded in
+        let mem = run_kernel(&k, 8, vec![Word::from_u32(0)], 8);
+        assert_eq!(mem.read(0).as_u32(), 2);
+        assert_eq!(mem.read(4).as_u32(), 4);
+        assert_eq!(mem.read(7).as_u32(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index")]
+    fn param_out_of_range_panics() {
+        let mut b = KernelBuilder::new("k", 1);
+        let _ = b.param(1);
+    }
+}

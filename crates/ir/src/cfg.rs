@@ -1,0 +1,309 @@
+//! Control-flow-graph analyses: successors/predecessors, reverse post-order
+//! renumbering, back-edge detection and immediate post-dominators.
+//!
+//! Block renumbering implements the paper's compile-time scheduling pass
+//! (§3.1): blocks are assigned IDs such that the entry is `0`, forward
+//! control flow goes to larger IDs, and loop back-edges go to smaller IDs.
+//! The hardware basic-block scheduler then simply selects the smallest block
+//! ID with a nonempty thread vector.
+//!
+//! Immediate post-dominators drive the SIMT baseline's reconvergence stack.
+
+use crate::inst::{BlockId, Terminator};
+use crate::kernel::Kernel;
+
+/// Predecessor lists for every block.
+pub fn predecessors(kernel: &Kernel) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); kernel.num_blocks()];
+    for (id, block) in kernel.iter_blocks() {
+        for succ in block.term.successors() {
+            preds[succ.index()].push(id);
+        }
+    }
+    preds
+}
+
+/// The blocks reachable from the entry, in reverse post-order.
+///
+/// The DFS visits the `not_taken` successor before the `taken` successor, so
+/// that loop bodies (the taken side of a loop header's branch) appear
+/// *before* the loop exit in the resulting order. This matches the paper's
+/// intent: the scheduler drains loop iterations before running epilogues,
+/// keeping the number of reconfigurations proportional to the number of
+/// basic blocks rather than loop trip counts.
+pub fn reverse_post_order(kernel: &Kernel) -> Vec<BlockId> {
+    let n = kernel.num_blocks();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+    visited[BlockId::ENTRY.index()] = true;
+    while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+        // Successors ordered not_taken-first.
+        let succs: Vec<BlockId> = match kernel.block(block).term {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch { taken, not_taken, .. } => vec![not_taken, taken],
+            Terminator::Exit => vec![],
+        };
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(block);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Renumbers blocks in reverse post-order and drops unreachable blocks.
+///
+/// After this pass, `BlockId(i)` is the `i`-th block in scheduling order and
+/// [`BlockId::ENTRY`] is the entry block, as the paper's compiler guarantees.
+pub fn renumber_rpo(kernel: &mut Kernel) {
+    let order = reverse_post_order(kernel);
+    let mut remap = vec![None; kernel.num_blocks()];
+    for (new_idx, old) in order.iter().enumerate() {
+        remap[old.index()] = Some(BlockId(new_idx as u32));
+    }
+    let mut new_blocks = Vec::with_capacity(order.len());
+    for old in &order {
+        let mut block = std::mem::take(kernel.block_mut(*old));
+        block.term.map_targets(|t| {
+            remap[t.index()].expect("reachable block jumps to unreachable block")
+        });
+        new_blocks.push(block);
+    }
+    kernel.blocks = new_blocks;
+}
+
+/// Back edges `(from, to)`: edges whose target does not come after the
+/// source in RPO numbering (i.e. loop edges, once [`renumber_rpo`] ran).
+pub fn back_edges(kernel: &Kernel) -> Vec<(BlockId, BlockId)> {
+    let mut edges = Vec::new();
+    for (id, block) in kernel.iter_blocks() {
+        for succ in block.term.successors() {
+            if succ <= id {
+                edges.push((id, succ));
+            }
+        }
+    }
+    edges
+}
+
+/// Whether the kernel contains any loop.
+pub fn has_loops(kernel: &Kernel) -> bool {
+    !back_edges(kernel).is_empty()
+}
+
+/// Immediate post-dominators, used by the SIMT baseline to pick
+/// reconvergence points for divergent branches.
+///
+/// Returns `ipdom[b]`: the immediate post-dominator of block `b`, or `None`
+/// for blocks that exit directly (their post-dominator is the virtual sink).
+///
+/// Uses the Cooper–Harvey–Kennedy iterative algorithm on the reverse CFG
+/// with a virtual sink that all `Exit` blocks lead to.
+pub fn immediate_post_dominators(kernel: &Kernel) -> Vec<Option<BlockId>> {
+    let n = kernel.num_blocks();
+    let sink = n; // virtual sink index
+    // Reverse-graph predecessors of b = successors of b in the real CFG
+    // (plus sink for exits).
+    let mut rsucc: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (id, block) in kernel.iter_blocks() {
+        let succs: Vec<usize> = block.term.successors().map(|s| s.index()).collect();
+        if succs.is_empty() {
+            rsucc[id.index()].push(sink);
+        } else {
+            rsucc[id.index()] = succs;
+        }
+    }
+
+    // Post-order of the *reverse* CFG from the sink equals... simplest:
+    // iterate in reverse RPO of the forward graph, which is a valid
+    // quasi-topological order of the reverse graph for reducible CFGs.
+    let order: Vec<usize> = reverse_post_order(kernel)
+        .into_iter()
+        .map(|b| b.index())
+        .rev()
+        .collect();
+
+    const UNDEF: usize = usize::MAX;
+    let mut idom = vec![UNDEF; n + 1];
+    idom[sink] = sink;
+
+    // Index of each node in `order`, sink gets the highest priority.
+    let mut order_pos = vec![UNDEF; n + 1];
+    for (i, &b) in order.iter().enumerate() {
+        order_pos[b] = i + 1;
+    }
+    order_pos[sink] = 0;
+
+    let intersect = |idom: &[usize], order_pos: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while order_pos[a] > order_pos[b] {
+                a = idom[a];
+            }
+            while order_pos[b] > order_pos[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            // "Predecessors" in the reverse graph are the CFG successors.
+            let mut new_idom = UNDEF;
+            for &p in &rsucc[b] {
+                if idom[p] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    intersect(&idom, &order_pos, new_idom, p)
+                };
+            }
+            if new_idom != UNDEF && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    (0..n)
+        .map(|b| {
+            let d = idom[b];
+            if d == UNDEF || d == sink {
+                None
+            } else {
+                Some(BlockId(d as u32))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::inst::{Operand, Reg};
+    use crate::types::BinaryOp;
+
+    fn diamond() -> Kernel {
+        let mut b = KernelBuilder::new("d", 0);
+        let tid = b.thread_id();
+        let two = b.const_u32(2);
+        let c = b.lt_u(tid, two);
+        b.if_else(c, |_| {}, |_| {});
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_of_diamond() {
+        let k = diamond();
+        assert_eq!(k.num_blocks(), 4);
+        // After renumbering in finish(): entry=0, then/else = 1,2, merge=3.
+        let preds = predecessors(&k);
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[3].len(), 2);
+        assert!(back_edges(&k).is_empty());
+        assert!(!has_loops(&k));
+    }
+
+    #[test]
+    fn loops_have_back_edges_to_smaller_ids() {
+        let mut b = KernelBuilder::new("l", 0);
+        let tid = b.thread_id();
+        let i = b.var(tid);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                let ten = b.const_u32(10);
+                b.lt_u(iv, ten)
+            },
+            |b| {
+                let iv = b.get(i);
+                let one = b.const_u32(1);
+                let n = b.add(iv, one);
+                b.set(i, n);
+            },
+        );
+        let k = b.finish();
+        let edges = back_edges(&k);
+        assert_eq!(edges.len(), 1);
+        let (from, to) = edges[0];
+        // Rotated loops branch back to their own body block.
+        assert!(to <= from, "back edge must not go forward");
+        assert_eq!(to, from, "rotated loop bodies are self-loops");
+        assert!(has_loops(&k));
+        // The body's branch must target itself (taken) before the exit.
+        if let Terminator::Branch { taken, not_taken, .. } = k.block(from).term {
+            assert_eq!(taken, from);
+            assert!(taken < not_taken, "body {taken} should precede exit {not_taken}");
+        } else {
+            panic!("loop body should end in a branch");
+        }
+    }
+
+    #[test]
+    fn ipdom_of_diamond_is_merge() {
+        let k = diamond();
+        let ipdom = immediate_post_dominators(&k);
+        let merge = BlockId(3);
+        assert_eq!(ipdom[0], Some(merge)); // entry reconverges at merge
+        assert_eq!(ipdom[1], Some(merge));
+        assert_eq!(ipdom[2], Some(merge));
+        assert_eq!(ipdom[3], None); // merge exits
+    }
+
+    #[test]
+    fn ipdom_of_nested_conditionals() {
+        // Figure-1 shape: entry -> {bb2 | bb3 -> {bb4|bb5} -> inner} -> outer.
+        let mut b = KernelBuilder::new("f", 0);
+        let tid = b.thread_id();
+        let three = b.const_u32(3);
+        let c1 = b.lt_u(tid, three);
+        b.if_else(
+            c1,
+            |_| {},
+            |b| {
+                let tid2 = b.thread_id();
+                let five = b.const_u32(5);
+                let c2 = b.lt_u(tid2, five);
+                b.if_else(c2, |_| {}, |_| {});
+            },
+        );
+        let k = b.finish();
+        let ipdom = immediate_post_dominators(&k);
+        // The entry's ipdom must be the final merge block (the last in RPO).
+        let last = BlockId((k.num_blocks() - 1) as u32);
+        assert_eq!(ipdom[0], Some(last));
+    }
+
+    #[test]
+    fn renumber_drops_unreachable() {
+        let mut k = Kernel::new("u", 0);
+        let dead = k.push_block(); // never referenced
+        assert_eq!(dead.index(), 1);
+        let r = k.fresh_reg();
+        k.block_mut(BlockId::ENTRY).insts.push(crate::inst::Inst::Binary {
+            dst: r,
+            op: BinaryOp::Add,
+            lhs: Operand::Imm(1u32.into()),
+            rhs: Operand::Imm(2u32.into()),
+        });
+        renumber_rpo(&mut k);
+        assert_eq!(k.num_blocks(), 1);
+        assert_eq!(k.block(BlockId::ENTRY).insts.len(), 1);
+        let _ = Reg(0);
+    }
+}

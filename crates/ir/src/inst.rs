@@ -1,0 +1,338 @@
+//! Instructions, operands and block terminators.
+
+use crate::types::{BinaryOp, OpClass, UnaryOp, Word};
+use std::fmt;
+
+/// A virtual register index.
+///
+/// Registers are per-thread mutable variables. The IR is deliberately
+/// *not* SSA: a register may be assigned in several blocks, and the VGIW
+/// compiler later decides which registers cross block boundaries and must
+/// live in the live value cache (the paper's "similar to traditional
+/// register allocation" pass).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register index as a usize, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic block index within a kernel.
+///
+/// After [`crate::cfg::renumber_rpo`], block IDs equal the paper's
+/// scheduling order: the entry block is `0`, forward edges go to larger IDs
+/// and loop back-edges go to smaller IDs, so the hardware scheduler can
+/// simply pick the smallest nonempty control vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The kernel entry block (reserved ID 0, as in the paper).
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// The block index as a usize, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction input: either a register or an immediate baked into the
+/// instruction (and, on the fabric, into the unit's configuration register).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// A compile-time immediate.
+    Imm(Word),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Word> for Operand {
+    fn from(w: Word) -> Operand {
+        Operand::Imm(w)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+/// A non-terminator instruction.
+///
+/// Memory addresses are **word** addresses into the flat global memory
+/// image; the timing models translate them to byte addresses (x4) when
+/// indexing caches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // variant docs describe every field inline
+pub enum Inst {
+    /// `dst = value`.
+    Const { dst: Reg, value: Word },
+    /// `dst = kernel parameter[index]` (launch-time constant).
+    Param { dst: Reg, index: u8 },
+    /// `dst = global thread index`.
+    ThreadId { dst: Reg },
+    /// `dst = op(src)`.
+    Unary { dst: Reg, op: UnaryOp, src: Operand },
+    /// `dst = op(lhs, rhs)`.
+    Binary { dst: Reg, op: BinaryOp, lhs: Operand, rhs: Operand },
+    /// `dst = cond ? on_true : on_false`.
+    Select { dst: Reg, cond: Operand, on_true: Operand, on_false: Operand },
+    /// `dst = a * b + c` (float).
+    Fma { dst: Reg, a: Operand, b: Operand, c: Operand },
+    /// `dst = memory[addr]`.
+    Load { dst: Reg, addr: Operand },
+    /// `memory[addr] = value`.
+    Store { addr: Operand, value: Operand },
+}
+
+impl Inst {
+    /// The register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Inst::Const { dst, .. }
+            | Inst::Param { dst, .. }
+            | Inst::ThreadId { dst }
+            | Inst::Unary { dst, .. }
+            | Inst::Binary { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Fma { dst, .. }
+            | Inst::Load { dst, .. } => Some(dst),
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Calls `f` for every register-reading operand, in operand order.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        let mut visit = |op: Operand| {
+            if let Operand::Reg(r) = op {
+                f(r);
+            }
+        };
+        match *self {
+            Inst::Const { .. } | Inst::Param { .. } | Inst::ThreadId { .. } => {}
+            Inst::Unary { src, .. } => visit(src),
+            Inst::Binary { lhs, rhs, .. } => {
+                visit(lhs);
+                visit(rhs);
+            }
+            Inst::Select { cond, on_true, on_false, .. } => {
+                visit(cond);
+                visit(on_true);
+                visit(on_false);
+            }
+            Inst::Fma { a, b, c, .. } => {
+                visit(a);
+                visit(b);
+                visit(c);
+            }
+            Inst::Load { addr, .. } => visit(addr),
+            Inst::Store { addr, value } => {
+                visit(addr);
+                visit(value);
+            }
+        }
+    }
+
+    /// All register-reading operands, in operand order.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Whether this instruction touches memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// The compute resource class this instruction occupies, or `None` for
+    /// instructions that compile away into configuration (constants,
+    /// parameters) or map to non-compute units (memory, thread ID).
+    pub fn op_class(&self) -> Option<OpClass> {
+        match *self {
+            Inst::Unary { op, .. } => Some(op.class()),
+            Inst::Binary { op, .. } => Some(op.class()),
+            Inst::Select { .. } => Some(OpClass::IntAlu),
+            Inst::Fma { .. } => Some(OpClass::FpAlu),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Param { dst, index } => write!(f, "{dst} = param {index}"),
+            Inst::ThreadId { dst } => write!(f, "{dst} = tid"),
+            Inst::Unary { dst, op, src } => write!(f, "{dst} = {op:?} {src}"),
+            Inst::Binary { dst, op, lhs, rhs } => write!(f, "{dst} = {op:?} {lhs}, {rhs}"),
+            Inst::Select { dst, cond, on_true, on_false } => {
+                write!(f, "{dst} = select {cond} ? {on_true} : {on_false}")
+            }
+            Inst::Fma { dst, a, b, c } => write!(f, "{dst} = fma {a}, {b}, {c}"),
+            Inst::Load { dst, addr } => write!(f, "{dst} = load [{addr}]"),
+            Inst::Store { addr, value } => write!(f, "store [{addr}] = {value}"),
+        }
+    }
+}
+
+/// A basic block terminator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // variant docs describe every field inline
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a predicate operand.
+    Branch {
+        /// Predicate: nonzero takes `taken`.
+        cond: Operand,
+        /// Successor when the predicate is true.
+        taken: BlockId,
+        /// Successor when the predicate is false.
+        not_taken: BlockId,
+    },
+    /// Thread completes the kernel.
+    Exit,
+}
+
+impl Terminator {
+    /// The successor block IDs (0, 1 or 2 of them).
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match *self {
+            Terminator::Jump(t) => (Some(t), None),
+            Terminator::Branch { taken, not_taken, .. } => (Some(taken), Some(not_taken)),
+            Terminator::Exit => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The register read by the terminator, if any.
+    pub fn use_reg(&self) -> Option<Reg> {
+        match *self {
+            Terminator::Branch { cond, .. } => cond.reg(),
+            _ => None,
+        }
+    }
+
+    /// Rewrites successor block IDs through `map`.
+    pub fn map_targets(&mut self, mut map: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(t) => *t = map(*t),
+            Terminator::Branch { taken, not_taken, .. } => {
+                *taken = map(*taken);
+                *not_taken = map(*not_taken);
+            }
+            Terminator::Exit => {}
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch { cond, taken, not_taken } => {
+                write!(f, "branch {cond} ? {taken} : {not_taken}")
+            }
+            Terminator::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_uses() {
+        let i = Inst::Binary {
+            dst: Reg(3),
+            op: BinaryOp::Add,
+            lhs: Operand::Reg(Reg(1)),
+            rhs: Operand::Imm(Word::from_u32(7)),
+        };
+        assert_eq!(i.dst(), Some(Reg(3)));
+        assert_eq!(i.uses(), vec![Reg(1)]);
+
+        let s = Inst::Store {
+            addr: Operand::Reg(Reg(1)),
+            value: Operand::Reg(Reg(2)),
+        };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.uses(), vec![Reg(1), Reg(2)]);
+        assert!(s.is_memory());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: Operand::Reg(Reg(0)),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        let succ: Vec<_> = t.successors().collect();
+        assert_eq!(succ, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Exit.successors().count(), 0);
+        assert_eq!(
+            Terminator::Jump(BlockId(5)).successors().collect::<Vec<_>>(),
+            vec![BlockId(5)]
+        );
+    }
+
+    #[test]
+    fn map_targets_rewrites() {
+        let mut t = Terminator::Branch {
+            cond: Operand::Reg(Reg(0)),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        t.map_targets(|b| BlockId(b.0 + 10));
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(11), BlockId(12)]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Load { dst: Reg(1), addr: Operand::Reg(Reg(0)) };
+        assert_eq!(i.to_string(), "r1 = load [r0]");
+        assert_eq!(Terminator::Exit.to_string(), "exit");
+    }
+}

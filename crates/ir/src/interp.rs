@@ -1,0 +1,260 @@
+//! Reference interpreter.
+//!
+//! Executes a kernel thread-by-thread with ordinary sequential semantics.
+//! Every architectural model in this repository (VGIW, SIMT, SGMF) must
+//! leave global memory bit-identical to this interpreter; the integration
+//! and property test suites enforce that.
+//!
+//! Because threads in the evaluated kernels are data-parallel (the paper's
+//! premise), executing them in thread-ID order is a valid serialization.
+
+use crate::inst::{BlockId, Inst, Operand, Terminator};
+use crate::kernel::{Kernel, Launch};
+use crate::mem_image::MemoryImage;
+use crate::types::{eval_fma, eval_select, Word};
+use std::error::Error;
+use std::fmt;
+
+/// Default per-thread dynamic instruction budget before the interpreter
+/// declares a runaway loop.
+pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// Interpreter failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// A thread exceeded the dynamic step budget (probably an infinite loop).
+    StepLimit {
+        /// The offending thread.
+        thread: u32,
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// An `Inst::Param` referenced a parameter the launch did not provide.
+    MissingParam {
+        /// The referenced parameter index.
+        index: u8,
+        /// How many parameters the launch provided.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit { thread, limit } => {
+                write!(f, "thread {thread} exceeded step limit {limit}")
+            }
+            InterpError::MissingParam { index, provided } => {
+                write!(f, "parameter {index} requested but launch provides {provided}")
+            }
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Dynamic execution statistics, used by tests and by back-of-envelope
+/// comparisons against the timing models.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct InterpStats {
+    /// Dynamic instructions executed (bodies only, not terminators).
+    pub dyn_insts: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Per-block execution counts, summed over threads.
+    pub block_visits: Vec<u64>,
+}
+
+impl InterpStats {
+    fn new(num_blocks: usize) -> InterpStats {
+        InterpStats { block_visits: vec![0; num_blocks], ..InterpStats::default() }
+    }
+}
+
+/// Runs `kernel` for every thread of `launch` against `mem`, with the
+/// default step limit.
+///
+/// # Errors
+/// Returns [`InterpError`] if a thread exceeds the step budget or reads a
+/// missing parameter.
+pub fn run(kernel: &Kernel, launch: &Launch, mem: &mut MemoryImage) -> Result<InterpStats, InterpError> {
+    run_with_limit(kernel, launch, mem, DEFAULT_STEP_LIMIT)
+}
+
+/// Runs with an explicit per-thread dynamic step budget.
+///
+/// The budget is charged block-at-a-time *before* a block executes, so a
+/// thread may be rejected up to one block short of the literal limit; the
+/// limit is a runaway guard, not an exact instruction count.
+///
+/// # Errors
+/// Returns [`InterpError`] if a thread exceeds the step budget or reads a
+/// missing parameter.
+pub fn run_with_limit(
+    kernel: &Kernel,
+    launch: &Launch,
+    mem: &mut MemoryImage,
+    step_limit: u64,
+) -> Result<InterpStats, InterpError> {
+    let mut stats = InterpStats::new(kernel.num_blocks());
+    let mut regs = vec![Word::ZERO; kernel.num_regs as usize];
+    for tid in 0..launch.num_threads {
+        regs.fill(Word::ZERO);
+        run_thread(kernel, launch, mem, tid, &mut regs, step_limit, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+fn run_thread(
+    kernel: &Kernel,
+    launch: &Launch,
+    mem: &mut MemoryImage,
+    tid: u32,
+    regs: &mut [Word],
+    step_limit: u64,
+    stats: &mut InterpStats,
+) -> Result<(), InterpError> {
+    let mut block = BlockId::ENTRY;
+    let mut steps: u64 = 0;
+    loop {
+        stats.block_visits[block.index()] += 1;
+        let bb = kernel.block(block);
+        steps += bb.insts.len() as u64 + 1;
+        if steps > step_limit {
+            return Err(InterpError::StepLimit { thread: tid, limit: step_limit });
+        }
+        for inst in &bb.insts {
+            exec_inst(inst, launch, mem, tid, regs, stats)?;
+        }
+        stats.dyn_insts += bb.insts.len() as u64;
+        match bb.term {
+            Terminator::Jump(t) => block = t,
+            Terminator::Branch { cond, taken, not_taken } => {
+                block = if read(cond, regs).as_bool() { taken } else { not_taken };
+            }
+            Terminator::Exit => return Ok(()),
+        }
+    }
+}
+
+#[inline]
+fn read(op: Operand, regs: &[Word]) -> Word {
+    match op {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(w) => w,
+    }
+}
+
+#[inline]
+fn exec_inst(
+    inst: &Inst,
+    launch: &Launch,
+    mem: &mut MemoryImage,
+    tid: u32,
+    regs: &mut [Word],
+    stats: &mut InterpStats,
+) -> Result<(), InterpError> {
+    match *inst {
+        Inst::Const { dst, value } => regs[dst.index()] = value,
+        Inst::Param { dst, index } => {
+            let v = launch.params.get(index as usize).copied().ok_or(
+                InterpError::MissingParam { index, provided: launch.params.len() },
+            )?;
+            regs[dst.index()] = v;
+        }
+        Inst::ThreadId { dst } => regs[dst.index()] = Word::from_u32(tid),
+        Inst::Unary { dst, op, src } => regs[dst.index()] = op.eval(read(src, regs)),
+        Inst::Binary { dst, op, lhs, rhs } => {
+            regs[dst.index()] = op.eval(read(lhs, regs), read(rhs, regs));
+        }
+        Inst::Select { dst, cond, on_true, on_false } => {
+            regs[dst.index()] =
+                eval_select(read(cond, regs), read(on_true, regs), read(on_false, regs));
+        }
+        Inst::Fma { dst, a, b, c } => {
+            regs[dst.index()] = eval_fma(read(a, regs), read(b, regs), read(c, regs));
+        }
+        Inst::Load { dst, addr } => {
+            stats.loads += 1;
+            regs[dst.index()] = mem.read_wrapped(read(addr, regs).as_u32());
+        }
+        Inst::Store { addr, value } => {
+            stats.stores += 1;
+            mem.write_wrapped(read(addr, regs).as_u32(), read(value, regs));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let mut b = KernelBuilder::new("spin", 0);
+        b.while_(|b| b.const_u32(1), |_| {});
+        let k = b.finish();
+        let mut mem = MemoryImage::new(1);
+        let err = run_with_limit(&k, &Launch::new(1, vec![]), &mut mem, 1000).unwrap_err();
+        assert!(matches!(err, InterpError::StepLimit { thread: 0, .. }));
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let mut b = KernelBuilder::new("p", 2);
+        let v = b.param(1);
+        let addr = b.const_u32(0);
+        b.store(addr, v);
+        let k = b.finish();
+        let mut mem = MemoryImage::new(1);
+        let err = run(&k, &Launch::new(1, vec![Word::ZERO]), &mut mem).unwrap_err();
+        assert_eq!(err, InterpError::MissingParam { index: 1, provided: 1 });
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut b = KernelBuilder::new("s", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.load(addr);
+        let one = b.const_u32(1);
+        let v1 = b.add(v, one);
+        b.store(addr, v1);
+        let k = b.finish();
+        let mut mem = MemoryImage::new(8);
+        let stats = run(&k, &Launch::new(4, vec![Word::ZERO]), &mut mem).unwrap();
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.stores, 4);
+        assert_eq!(stats.block_visits, vec![4]);
+        assert_eq!(mem.read(3).as_u32(), 1);
+    }
+
+    #[test]
+    fn threads_see_fresh_registers() {
+        // Thread 0 writes a register; thread 1 must not observe it.
+        let mut b = KernelBuilder::new("fresh", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let zero = b.const_u32(0);
+        let acc = b.var(zero);
+        let is_zero = b.eq(tid, zero);
+        b.if_(is_zero, |b| {
+            let v = b.const_u32(99);
+            b.set(acc, v);
+        });
+        let addr = b.add(base, tid);
+        let a = b.get(acc);
+        b.store(addr, a);
+        let k = b.finish();
+        let mut mem = MemoryImage::new(4);
+        run(&k, &Launch::new(2, vec![Word::ZERO]), &mut mem).unwrap();
+        assert_eq!(mem.read(0).as_u32(), 99);
+        assert_eq!(mem.read(1).as_u32(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Kernels: control-flow graphs of basic blocks.
+
+use crate::inst::{BlockId, Inst, Reg, Terminator};
+use std::fmt;
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BasicBlock {
+    /// The straight-line body.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Default for Terminator {
+    fn default() -> Terminator {
+        Terminator::Exit
+    }
+}
+
+impl BasicBlock {
+    /// Creates an empty block terminated by `exit`.
+    pub fn new() -> BasicBlock {
+        BasicBlock { insts: Vec::new(), term: Terminator::Exit }
+    }
+
+    /// Number of instructions including the terminator.
+    pub fn len_with_term(&self) -> usize {
+        self.insts.len() + 1
+    }
+}
+
+/// A data-parallel kernel: a CFG over [`BasicBlock`]s, executed by every
+/// thread of a launch from block [`BlockId::ENTRY`] until `exit`.
+///
+/// ```
+/// use vgiw_ir::{KernelBuilder, BinaryOp};
+///
+/// // out[tid] = a[tid] + b[tid]
+/// let mut b = KernelBuilder::new("vadd", 3);
+/// let tid = b.thread_id();
+/// let pa = b.param(0);
+/// let pb = b.param(1);
+/// let pout = b.param(2);
+/// let aa = b.add(pa, tid);
+/// let a = b.load(aa);
+/// let ab = b.add(pb, tid);
+/// let v = b.load(ab);
+/// let sum = b.binary(BinaryOp::Add, a, v);
+/// let dst = b.add(pout, tid);
+/// b.store(dst, sum);
+/// let kernel = b.finish();
+/// assert_eq!(kernel.num_blocks(), 1);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Kernel {
+    /// Human-readable kernel name (used in reports).
+    pub name: String,
+    /// Number of virtual registers (all `Reg` indices are `< num_regs`).
+    pub num_regs: u32,
+    /// Number of launch parameters.
+    pub num_params: u8,
+    /// Blocks, indexed by [`BlockId`]. Block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel with a single `exit` block.
+    pub fn new(name: impl Into<String>, num_params: u8) -> Kernel {
+        Kernel {
+            name: name.into(),
+            num_regs: 0,
+            num_params,
+            blocks: vec![BasicBlock::new()],
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block with the given ID.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs in ID order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Appends a new empty block and returns its ID.
+    pub fn push_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::new());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Total static instruction count (bodies plus terminators).
+    pub fn static_size(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len_with_term).sum()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel {}({} params, {} regs) {{",
+            self.name, self.num_params, self.num_regs
+        )?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", block.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// Launch-time inputs to a kernel: the grid size and parameter values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Launch {
+    /// Number of data-parallel threads.
+    pub num_threads: u32,
+    /// Parameter values, indexed by `Inst::Param`'s `index`.
+    pub params: Vec<crate::types::Word>,
+}
+
+impl Launch {
+    /// Creates a launch descriptor.
+    pub fn new(num_threads: u32, params: Vec<crate::types::Word>) -> Launch {
+        Launch { num_threads, params }
+    }
+
+    /// The value of parameter `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: u8) -> crate::types::Word {
+        self.params[index as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Word;
+
+    #[test]
+    fn kernel_construction() {
+        let mut k = Kernel::new("t", 1);
+        assert_eq!(k.num_blocks(), 1);
+        let r = k.fresh_reg();
+        assert_eq!(r, Reg(0));
+        let b1 = k.push_block();
+        assert_eq!(b1, BlockId(1));
+        k.block_mut(BlockId::ENTRY).term = Terminator::Jump(b1);
+        assert_eq!(k.block(BlockId::ENTRY).term, Terminator::Jump(b1));
+        assert_eq!(k.static_size(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let k = Kernel::new("show", 0);
+        let s = k.to_string();
+        assert!(s.contains("kernel show"));
+        assert!(s.contains("exit"));
+    }
+
+    #[test]
+    fn launch_params() {
+        let l = Launch::new(64, vec![Word::from_u32(7)]);
+        assert_eq!(l.param(0).as_u32(), 7);
+        assert_eq!(l.num_threads, 64);
+    }
+}

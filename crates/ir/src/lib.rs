@@ -1,0 +1,66 @@
+//! Kernel intermediate representation for the VGIW reproduction.
+//!
+//! This crate is the common substrate of the whole repository: a small,
+//! CUDA-like, data-parallel kernel IR that the VGIW processor
+//! (`vgiw-core`), the Fermi-like SIMT baseline (`vgiw-simt`) and the SGMF
+//! baseline (`vgiw-sgmf`) all execute, and that the VGIW compiler
+//! (`vgiw-compiler`) lowers onto the reconfigurable fabric.
+//!
+//! The design follows the paper's toolchain (§3.1/§4): kernels are
+//! partitioned into basic blocks over a register machine; registers that
+//! cross block boundaries later become *live values*; block IDs encode the
+//! compile-time scheduling order.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use vgiw_ir::{KernelBuilder, Launch, MemoryImage, Word, interp};
+//!
+//! // A divergent kernel: out[tid] = tid odd ? 3*tid+1 : tid/2
+//! let mut b = KernelBuilder::new("collatz_step", 2);
+//! let tid = b.thread_id();
+//! let out = b.param(0);
+//! let one = b.const_u32(1);
+//! let bit = b.and(tid, one);
+//! let addr = b.add(out, tid);
+//! b.if_else(
+//!     bit,
+//!     |b| {
+//!         let three = b.const_u32(3);
+//!         let t = b.mul(tid, three);
+//!         let v = b.add(t, one);
+//!         b.store(addr, v);
+//!     },
+//!     |b| {
+//!         let two = b.const_u32(2);
+//!         let v = b.div_u(tid, two);
+//!         b.store(addr, v);
+//!     },
+//! );
+//! let kernel = b.finish();
+//!
+//! let mut mem = MemoryImage::new(8);
+//! let launch = Launch::new(8, vec![Word::from_u32(0), Word::from_u32(8)]);
+//! let stats = interp::run(&kernel, &launch, &mut mem)?;
+//! assert_eq!(mem.read(7).as_u32(), 22);
+//! assert_eq!(stats.stores, 8);
+//! # Ok::<(), vgiw_ir::interp::InterpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+pub mod cfg;
+mod inst;
+pub mod interp;
+mod kernel;
+mod mem_image;
+mod types;
+pub mod verify;
+
+pub use builder::{KernelBuilder, Val, Var};
+pub use inst::{BlockId, Inst, Operand, Reg, Terminator};
+pub use kernel::{BasicBlock, Kernel, Launch};
+pub use mem_image::MemoryImage;
+pub use types::{eval_fma, eval_select, BinaryOp, OpClass, UnaryOp, Word};

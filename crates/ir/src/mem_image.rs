@@ -1,0 +1,230 @@
+//! The flat global memory image shared by all architectural models.
+//!
+//! Addresses in the IR are **word addresses** (each word is 32 bits). The
+//! timing models translate them to byte addresses when indexing caches and
+//! DRAM. A [`MemoryImage`] also provides a tiny bump allocator so benchmark
+//! host code can lay out its arrays without hand-picking addresses.
+
+use crate::types::Word;
+use std::fmt;
+
+/// Flat, word-addressed global memory.
+///
+/// Out-of-bounds accesses are errors in the strict accessors and
+/// hardware-defined in the `*_wrapped` accessors used by the simulators
+/// (reads return 0, writes are dropped) so a badly-written kernel cannot
+/// crash a simulation run.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MemoryImage {
+    words: Vec<Word>,
+    next_free: u32,
+}
+
+impl MemoryImage {
+    /// Creates a zeroed memory of `num_words` 32-bit words.
+    pub fn new(num_words: usize) -> MemoryImage {
+        MemoryImage { words: vec![Word::ZERO; num_words], next_free: 0 }
+    }
+
+    /// Total capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of bounds. Use [`MemoryImage::read_wrapped`]
+    /// in simulators.
+    pub fn read(&self, addr: u32) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of bounds.
+    pub fn write(&mut self, addr: u32, value: Word) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Reads with hardware-defined out-of-bounds behaviour (returns zero).
+    pub fn read_wrapped(&self, addr: u32) -> Word {
+        self.words.get(addr as usize).copied().unwrap_or(Word::ZERO)
+    }
+
+    /// Writes with hardware-defined out-of-bounds behaviour (dropped).
+    pub fn write_wrapped(&mut self, addr: u32, value: Word) {
+        if let Some(w) = self.words.get_mut(addr as usize) {
+            *w = value;
+        }
+    }
+
+    /// Reads a float at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of bounds.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        self.read(addr).as_f32()
+    }
+
+    /// Writes a float at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of bounds.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write(addr, Word::from_f32(value));
+    }
+
+    /// Allocates `num_words` words and returns the base word address.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit.
+    pub fn alloc(&mut self, num_words: u32) -> u32 {
+        let base = self.next_free;
+        let end = base.checked_add(num_words).expect("allocation overflows address space");
+        assert!(
+            (end as usize) <= self.words.len(),
+            "memory image exhausted: want {} words at {}, capacity {}",
+            num_words,
+            base,
+            self.words.len()
+        );
+        self.next_free = end;
+        base
+    }
+
+    /// Allocates and initializes a region from `values`.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit.
+    pub fn alloc_init(&mut self, values: &[Word]) -> u32 {
+        let base = self.alloc(values.len() as u32);
+        for (i, v) in values.iter().enumerate() {
+            self.words[base as usize + i] = *v;
+        }
+        base
+    }
+
+    /// Allocates and initializes a region of floats.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit.
+    pub fn alloc_f32(&mut self, values: &[f32]) -> u32 {
+        let words: Vec<Word> = values.iter().map(|&v| Word::from_f32(v)).collect();
+        self.alloc_init(&words)
+    }
+
+    /// Allocates and initializes a region of unsigned integers.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit.
+    pub fn alloc_u32(&mut self, values: &[u32]) -> u32 {
+        let words: Vec<Word> = values.iter().map(|&v| Word::from_u32(v)).collect();
+        self.alloc_init(&words)
+    }
+
+    /// A slice view of `len` words starting at `base`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (including ranges whose end
+    /// would overflow the 32-bit address space).
+    pub fn slice(&self, base: u32, len: u32) -> &[Word] {
+        &self.words[base as usize..base as usize + len as usize]
+    }
+
+    /// Copies `len` floats starting at `base` into a vector.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_f32_slice(&self, base: u32, len: u32) -> Vec<f32> {
+        self.slice(base, len).iter().map(|w| w.as_f32()).collect()
+    }
+
+    /// Copies `len` unsigned integers starting at `base` into a vector.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_u32_slice(&self, base: u32, len: u32) -> Vec<u32> {
+        self.slice(base, len).iter().map(|w| w.as_u32()).collect()
+    }
+
+    /// First never-allocated word address (useful to reserve fresh space,
+    /// e.g. for the live-value matrix).
+    pub fn high_water(&self) -> u32 {
+        self.next_free
+    }
+
+    /// Grows the memory to at least `num_words` capacity, zero-filling.
+    pub fn ensure_capacity(&mut self, num_words: usize) {
+        if self.words.len() < num_words {
+            self.words.resize(num_words, Word::ZERO);
+        }
+    }
+}
+
+impl fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemoryImage {{ {} words, {} allocated }}",
+            self.words.len(),
+            self.next_free
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = MemoryImage::new(8);
+        m.write(3, Word::from_u32(77));
+        assert_eq!(m.read(3).as_u32(), 77);
+        m.write_f32(4, 2.5);
+        assert_eq!(m.read_f32(4), 2.5);
+    }
+
+    #[test]
+    fn wrapped_accessors_are_total() {
+        let mut m = MemoryImage::new(2);
+        assert_eq!(m.read_wrapped(100), Word::ZERO);
+        m.write_wrapped(100, Word::ONE); // dropped, no panic
+        assert_eq!(m.read_wrapped(1), Word::ZERO);
+    }
+
+    #[test]
+    fn allocator_is_bump() {
+        let mut m = MemoryImage::new(16);
+        let a = m.alloc(4);
+        let b = m.alloc_f32(&[1.0, 2.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 4);
+        assert_eq!(m.read_f32(5), 2.0);
+        assert_eq!(m.high_water(), 6);
+        assert_eq!(m.read_f32_slice(b, 2), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory image exhausted")]
+    fn alloc_overflow_panics() {
+        let mut m = MemoryImage::new(2);
+        m.alloc(3);
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut m = MemoryImage::new(2);
+        m.ensure_capacity(10);
+        assert_eq!(m.len(), 10);
+        m.ensure_capacity(5); // no shrink
+        assert_eq!(m.len(), 10);
+    }
+}

@@ -1,0 +1,430 @@
+//! Scalar value representation and operator semantics.
+//!
+//! Every value flowing through a VGIW machine — register contents, dataflow
+//! tokens, live values, memory words — is a 32-bit [`Word`]. Integer
+//! operations interpret the bits as `u32`/`i32`; floating-point operations
+//! interpret them as IEEE-754 `f32` (via bit casts), exactly like a 32-bit
+//! datapath would. Predicates are materialized as `0`/`1` words.
+
+use std::fmt;
+
+/// A 32-bit machine word, the unit of all data in the simulated machines.
+///
+/// `Word` deliberately has no intrinsic type; instructions decide how to
+/// interpret the bits, mirroring hardware.
+///
+/// ```
+/// use vgiw_ir::Word;
+/// let w = Word::from_f32(1.5);
+/// assert_eq!(w.as_f32(), 1.5);
+/// assert_eq!(Word::from_i32(-1).as_u32(), u32::MAX);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u32);
+
+impl Word {
+    /// The zero word (also the canonical `false` predicate).
+    pub const ZERO: Word = Word(0);
+    /// The canonical `true` predicate.
+    pub const ONE: Word = Word(1);
+
+    /// Builds a word from an unsigned integer.
+    pub fn from_u32(v: u32) -> Word {
+        Word(v)
+    }
+
+    /// Builds a word from a signed integer (two's complement bits).
+    pub fn from_i32(v: i32) -> Word {
+        Word(v as u32)
+    }
+
+    /// Builds a word from a float (IEEE-754 bits).
+    pub fn from_f32(v: f32) -> Word {
+        Word(v.to_bits())
+    }
+
+    /// Builds the canonical predicate word for a boolean.
+    pub fn from_bool(v: bool) -> Word {
+        Word(v as u32)
+    }
+
+    /// The bits as an unsigned integer.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The bits as a signed integer.
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// The bits as an IEEE-754 float.
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// Predicate interpretation: any nonzero word is true.
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u32> for Word {
+    fn from(v: u32) -> Word {
+        Word(v)
+    }
+}
+
+impl From<i32> for Word {
+    fn from(v: i32) -> Word {
+        Word::from_i32(v)
+    }
+}
+
+impl From<f32> for Word {
+    fn from(v: f32) -> Word {
+        Word::from_f32(v)
+    }
+}
+
+impl From<bool> for Word {
+    fn from(v: bool) -> Word {
+        Word::from_bool(v)
+    }
+}
+
+/// Two-operand operations.
+///
+/// Comparison operators produce canonical predicates (`0` or `1`).
+/// Integer division and remainder by zero produce `0` (a hardware-defined
+/// result, so simulation never faults).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinaryOp {
+    /// Wrapping integer addition.
+    Add,
+    /// Wrapping integer subtraction.
+    Sub,
+    /// Wrapping integer multiplication.
+    Mul,
+    /// Signed integer division (0 on divide-by-zero or overflow).
+    DivS,
+    /// Unsigned integer division (0 on divide-by-zero).
+    DivU,
+    /// Unsigned remainder (0 on divide-by-zero).
+    RemU,
+    /// Signed minimum.
+    MinS,
+    /// Signed maximum.
+    MaxS,
+    /// Unsigned minimum.
+    MinU,
+    /// Unsigned maximum.
+    MaxU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 5 bits).
+    Shl,
+    /// Logical shift right (shift amount masked to 5 bits).
+    ShrL,
+    /// Arithmetic shift right (shift amount masked to 5 bits).
+    ShrA,
+    /// Integer equality.
+    CmpEq,
+    /// Integer inequality.
+    CmpNe,
+    /// Signed less-than.
+    CmpLtS,
+    /// Signed less-or-equal.
+    CmpLeS,
+    /// Unsigned less-than.
+    CmpLtU,
+    /// Unsigned less-or-equal.
+    CmpLeU,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division.
+    FDiv,
+    /// Float minimum, computed as `a < b ? a : b` (a NaN in either operand
+    /// therefore yields `b`, like a comparator-mux datapath — not IEEE
+    /// minNum semantics).
+    FMin,
+    /// Float maximum, computed as `a > b ? a : b` (same NaN caveat).
+    FMax,
+    /// Float less-than (canonical predicate).
+    FCmpLt,
+    /// Float less-or-equal (canonical predicate).
+    FCmpLe,
+    /// Float equality (canonical predicate).
+    FCmpEq,
+}
+
+/// One-operand operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    /// Copy (used to assign mutable IR variables).
+    Mov,
+    /// Bitwise not.
+    Not,
+    /// Integer negation (wrapping).
+    Neg,
+    /// Float negation.
+    FNeg,
+    /// Float absolute value.
+    FAbs,
+    /// Float square root.
+    FSqrt,
+    /// Float `e^x`.
+    FExp,
+    /// Float natural logarithm.
+    FLog,
+    /// Signed integer to float.
+    I2F,
+    /// Unsigned integer to float.
+    U2F,
+    /// Float to signed integer (saturating, NaN -> 0).
+    F2I,
+}
+
+/// The execution resource class an operation occupies, used both by the
+/// compiler's place & route (unit type selection) and by the timing models.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Single-cycle integer ALU work (pipelined compute unit).
+    IntAlu,
+    /// Pipelined floating-point work (compute unit, multi-cycle latency).
+    FpAlu,
+    /// Non-pipelined work (division, square root, transcendental) that
+    /// occupies a special compute unit (SCU) instance for its full latency.
+    Special,
+}
+
+impl BinaryOp {
+    /// The resource class of this operation.
+    pub fn class(self) -> OpClass {
+        use BinaryOp::*;
+        match self {
+            DivS | DivU | RemU | FDiv => OpClass::Special,
+            FAdd | FSub | FMul | FMin | FMax | FCmpLt | FCmpLe | FCmpEq => OpClass::FpAlu,
+            _ => OpClass::IntAlu,
+        }
+    }
+
+    /// Evaluates the operation on two words.
+    pub fn eval(self, a: Word, b: Word) -> Word {
+        use BinaryOp::*;
+        match self {
+            Add => Word(a.0.wrapping_add(b.0)),
+            Sub => Word(a.0.wrapping_sub(b.0)),
+            Mul => Word(a.0.wrapping_mul(b.0)),
+            DivS => Word::from_i32(a.as_i32().checked_div(b.as_i32()).unwrap_or(0)),
+            DivU => Word(a.0.checked_div(b.0).unwrap_or(0)),
+            RemU => Word(a.0.checked_rem(b.0).unwrap_or(0)),
+            MinS => Word::from_i32(a.as_i32().min(b.as_i32())),
+            MaxS => Word::from_i32(a.as_i32().max(b.as_i32())),
+            MinU => Word(a.0.min(b.0)),
+            MaxU => Word(a.0.max(b.0)),
+            And => Word(a.0 & b.0),
+            Or => Word(a.0 | b.0),
+            Xor => Word(a.0 ^ b.0),
+            Shl => Word(a.0.wrapping_shl(b.0 & 31)),
+            ShrL => Word(a.0.wrapping_shr(b.0 & 31)),
+            ShrA => Word::from_i32(a.as_i32().wrapping_shr(b.0 & 31)),
+            CmpEq => Word::from_bool(a.0 == b.0),
+            CmpNe => Word::from_bool(a.0 != b.0),
+            CmpLtS => Word::from_bool(a.as_i32() < b.as_i32()),
+            CmpLeS => Word::from_bool(a.as_i32() <= b.as_i32()),
+            CmpLtU => Word::from_bool(a.0 < b.0),
+            CmpLeU => Word::from_bool(a.0 <= b.0),
+            FAdd => Word::from_f32(a.as_f32() + b.as_f32()),
+            FSub => Word::from_f32(a.as_f32() - b.as_f32()),
+            FMul => Word::from_f32(a.as_f32() * b.as_f32()),
+            FDiv => Word::from_f32(a.as_f32() / b.as_f32()),
+            FMin => {
+                let (x, y) = (a.as_f32(), b.as_f32());
+                Word::from_f32(if x < y { x } else { y })
+            }
+            FMax => {
+                let (x, y) = (a.as_f32(), b.as_f32());
+                Word::from_f32(if x > y { x } else { y })
+            }
+            FCmpLt => Word::from_bool(a.as_f32() < b.as_f32()),
+            FCmpLe => Word::from_bool(a.as_f32() <= b.as_f32()),
+            FCmpEq => Word::from_bool(a.as_f32() == b.as_f32()),
+        }
+    }
+}
+
+impl UnaryOp {
+    /// The resource class of this operation.
+    pub fn class(self) -> OpClass {
+        use UnaryOp::*;
+        match self {
+            FSqrt | FExp | FLog => OpClass::Special,
+            FNeg | FAbs | I2F | U2F | F2I => OpClass::FpAlu,
+            Mov | Not | Neg => OpClass::IntAlu,
+        }
+    }
+
+    /// Evaluates the operation on a word.
+    pub fn eval(self, a: Word) -> Word {
+        use UnaryOp::*;
+        match self {
+            Mov => a,
+            Not => Word(!a.0),
+            Neg => Word::from_i32(a.as_i32().wrapping_neg()),
+            FNeg => Word::from_f32(-a.as_f32()),
+            FAbs => Word::from_f32(a.as_f32().abs()),
+            FSqrt => Word::from_f32(a.as_f32().sqrt()),
+            FExp => Word::from_f32(a.as_f32().exp()),
+            FLog => Word::from_f32(a.as_f32().ln()),
+            I2F => Word::from_f32(a.as_i32() as f32),
+            U2F => Word::from_f32(a.0 as f32),
+            F2I => Word::from_i32(a.as_f32() as i32),
+        }
+    }
+}
+
+/// Evaluates the fused multiply-add `a * b + c` on float words.
+pub fn eval_fma(a: Word, b: Word, c: Word) -> Word {
+    // The datapath computes an unfused multiply-then-add (two roundings),
+    // matching what the interpreter, SIMT core and fabric all do.
+    Word::from_f32(a.as_f32() * b.as_f32() + c.as_f32())
+}
+
+/// Evaluates `cond ? on_true : on_false`.
+pub fn eval_select(cond: Word, on_true: Word, on_false: Word) -> Word {
+    if cond.as_bool() {
+        on_true
+    } else {
+        on_false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trips() {
+        assert_eq!(Word::from_f32(3.25).as_f32(), 3.25);
+        assert_eq!(Word::from_i32(-7).as_i32(), -7);
+        assert_eq!(Word::from_u32(42).as_u32(), 42);
+        assert!(Word::from_bool(true).as_bool());
+        assert!(!Word::ZERO.as_bool());
+    }
+
+    #[test]
+    fn wrapping_integer_arithmetic() {
+        let max = Word::from_u32(u32::MAX);
+        assert_eq!(BinaryOp::Add.eval(max, Word::ONE), Word::ZERO);
+        assert_eq!(
+            BinaryOp::Mul.eval(Word::from_u32(1 << 31), Word::from_u32(2)),
+            Word::ZERO
+        );
+        assert_eq!(
+            BinaryOp::Sub.eval(Word::ZERO, Word::ONE).as_i32(),
+            -1i32
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(BinaryOp::DivU.eval(Word::from_u32(5), Word::ZERO), Word::ZERO);
+        assert_eq!(BinaryOp::DivS.eval(Word::from_i32(-5), Word::ZERO), Word::ZERO);
+        assert_eq!(BinaryOp::RemU.eval(Word::from_u32(5), Word::ZERO), Word::ZERO);
+        // i32::MIN / -1 overflows; hardware-defined to 0 here.
+        assert_eq!(
+            BinaryOp::DivS.eval(Word::from_i32(i32::MIN), Word::from_i32(-1)),
+            Word::ZERO
+        );
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compares() {
+        let neg = Word::from_i32(-1);
+        let one = Word::ONE;
+        assert_eq!(BinaryOp::CmpLtS.eval(neg, one), Word::ONE);
+        assert_eq!(BinaryOp::CmpLtU.eval(neg, one), Word::ZERO);
+        assert_eq!(BinaryOp::MinS.eval(neg, one), neg);
+        assert_eq!(BinaryOp::MinU.eval(neg, one), one);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(
+            BinaryOp::Shl.eval(Word::ONE, Word::from_u32(33)),
+            Word::from_u32(2)
+        );
+        assert_eq!(
+            BinaryOp::ShrA.eval(Word::from_i32(-8), Word::from_u32(1)).as_i32(),
+            -4
+        );
+        assert_eq!(
+            BinaryOp::ShrL.eval(Word::from_i32(-8), Word::from_u32(1)).as_u32(),
+            0x7FFF_FFFC
+        );
+    }
+
+    #[test]
+    fn float_ops() {
+        let a = Word::from_f32(2.0);
+        let b = Word::from_f32(0.5);
+        assert_eq!(BinaryOp::FMul.eval(a, b).as_f32(), 1.0);
+        assert_eq!(BinaryOp::FDiv.eval(a, b).as_f32(), 4.0);
+        assert_eq!(UnaryOp::FSqrt.eval(Word::from_f32(9.0)).as_f32(), 3.0);
+        assert_eq!(BinaryOp::FCmpLt.eval(b, a), Word::ONE);
+        assert_eq!(eval_fma(a, b, Word::from_f32(1.0)).as_f32(), 2.0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(UnaryOp::I2F.eval(Word::from_i32(-3)).as_f32(), -3.0);
+        assert_eq!(UnaryOp::U2F.eval(Word::from_u32(3)).as_f32(), 3.0);
+        assert_eq!(UnaryOp::F2I.eval(Word::from_f32(-3.7)).as_i32(), -3);
+        // Saturating conversion, NaN -> 0.
+        assert_eq!(UnaryOp::F2I.eval(Word::from_f32(f32::NAN)).as_i32(), 0);
+        assert_eq!(
+            UnaryOp::F2I.eval(Word::from_f32(1e30)).as_i32(),
+            i32::MAX
+        );
+    }
+
+    #[test]
+    fn op_classes() {
+        assert_eq!(BinaryOp::Add.class(), OpClass::IntAlu);
+        assert_eq!(BinaryOp::FAdd.class(), OpClass::FpAlu);
+        assert_eq!(BinaryOp::FDiv.class(), OpClass::Special);
+        assert_eq!(UnaryOp::FSqrt.class(), OpClass::Special);
+        assert_eq!(UnaryOp::Mov.class(), OpClass::IntAlu);
+    }
+
+    #[test]
+    fn select_semantics() {
+        let a = Word::from_u32(10);
+        let b = Word::from_u32(20);
+        assert_eq!(eval_select(Word::ONE, a, b), a);
+        assert_eq!(eval_select(Word::ZERO, a, b), b);
+        // Any nonzero word is a true predicate.
+        assert_eq!(eval_select(Word::from_u32(0xFF), a, b), a);
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural verification of kernels.
+
+use crate::inst::{BlockId, Reg};
+use crate::kernel::Kernel;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`verify`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A register index is out of range for `Kernel::num_regs`.
+    RegOutOfRange {
+        /// The offending register.
+        reg: Reg,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A terminator targets a nonexistent block.
+    BadTarget {
+        /// The referenced block ID.
+        target: BlockId,
+        /// The block whose terminator is bad.
+        block: BlockId,
+    },
+    /// A parameter index exceeds `Kernel::num_params`.
+    ParamOutOfRange {
+        /// The referenced parameter index.
+        index: u8,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A block is unreachable from the entry.
+    Unreachable {
+        /// The unreachable block.
+        block: BlockId,
+    },
+    /// The kernel has no blocks at all.
+    Empty,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::RegOutOfRange { reg, block } => {
+                write!(f, "register {reg} out of range in {block}")
+            }
+            VerifyError::BadTarget { target, block } => {
+                write!(f, "terminator of {block} targets nonexistent {target}")
+            }
+            VerifyError::ParamOutOfRange { index, block } => {
+                write!(f, "parameter {index} out of range in {block}")
+            }
+            VerifyError::Unreachable { block } => write!(f, "{block} is unreachable"),
+            VerifyError::Empty => write!(f, "kernel has no blocks"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks structural invariants: register and parameter indices in range,
+/// terminator targets valid, all blocks reachable from the entry.
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
+    if kernel.blocks.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    let nb = kernel.num_blocks() as u32;
+    for (id, block) in kernel.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(dst) = inst.dst() {
+                if dst.0 >= kernel.num_regs {
+                    return Err(VerifyError::RegOutOfRange { reg: dst, block: id });
+                }
+            }
+            let mut bad = None;
+            inst.for_each_use(|r| {
+                if r.0 >= kernel.num_regs && bad.is_none() {
+                    bad = Some(r);
+                }
+            });
+            if let Some(reg) = bad {
+                return Err(VerifyError::RegOutOfRange { reg, block: id });
+            }
+            if let crate::inst::Inst::Param { index, .. } = *inst {
+                if index >= kernel.num_params {
+                    return Err(VerifyError::ParamOutOfRange { index, block: id });
+                }
+            }
+        }
+        if let Some(reg) = block.term.use_reg() {
+            if reg.0 >= kernel.num_regs {
+                return Err(VerifyError::RegOutOfRange { reg, block: id });
+            }
+        }
+        for target in block.term.successors() {
+            if target.0 >= nb {
+                return Err(VerifyError::BadTarget { target, block: id });
+            }
+        }
+    }
+    // Reachability.
+    let reachable = crate::cfg::reverse_post_order(kernel);
+    if reachable.len() != kernel.num_blocks() {
+        let mut seen = vec![false; kernel.num_blocks()];
+        for b in reachable {
+            seen[b.index()] = true;
+        }
+        let block = BlockId(seen.iter().position(|&s| !s).unwrap() as u32);
+        return Err(VerifyError::Unreachable { block });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand, Terminator};
+    use crate::types::BinaryOp;
+
+    #[test]
+    fn valid_kernel_passes() {
+        let k = Kernel::new("ok", 0);
+        assert_eq!(verify(&k), Ok(()));
+    }
+
+    #[test]
+    fn bad_register_detected() {
+        let mut k = Kernel::new("bad", 0);
+        k.blocks[0].insts.push(Inst::Binary {
+            dst: Reg(5),
+            op: BinaryOp::Add,
+            lhs: Operand::Imm(1u32.into()),
+            rhs: Operand::Imm(2u32.into()),
+        });
+        assert!(matches!(verify(&k), Err(VerifyError::RegOutOfRange { reg: Reg(5), .. })));
+    }
+
+    #[test]
+    fn bad_target_detected() {
+        let mut k = Kernel::new("bad", 0);
+        k.blocks[0].term = Terminator::Jump(BlockId(9));
+        assert!(matches!(verify(&k), Err(VerifyError::BadTarget { target: BlockId(9), .. })));
+    }
+
+    #[test]
+    fn bad_param_detected() {
+        let mut k = Kernel::new("bad", 0);
+        let r = k.fresh_reg();
+        k.blocks[0].insts.push(Inst::Param { dst: r, index: 3 });
+        assert!(matches!(verify(&k), Err(VerifyError::ParamOutOfRange { index: 3, .. })));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut k = Kernel::new("bad", 0);
+        k.push_block();
+        assert!(matches!(verify(&k), Err(VerifyError::Unreachable { block: BlockId(1) })));
+    }
+}

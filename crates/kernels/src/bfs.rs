@@ -1,0 +1,350 @@
+//! BFS — breadth-first search, `Kernel` and `Kernel2` (Graph Algorithms,
+//! Table 2).
+//!
+//! Level-synchronous frontier expansion: `Kernel` visits each frontier
+//! node's edges (a data-dependent loop plus visited checks — heavy,
+//! irregular divergence), `Kernel2` promotes the updating mask and raises
+//! the host's continuation flag. The host relaunches both until no node
+//! was updated, reading the flag from memory between launches.
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Nodes at scale 1.
+pub const BASE_NODES: u32 = 1024;
+
+/// Builds the frontier-expansion kernel (`Kernel` in Table 2, 8 blocks).
+///
+/// Params: `0` = node edge-start array, `1` = node edge-count array,
+/// `2` = edges array, `3` = mask, `4` = updating mask, `5` = visited,
+/// `6` = cost, `7` = n.
+pub fn kernel1() -> Kernel {
+    let mut b = KernelBuilder::new("Kernel", 8);
+    let tid = b.thread_id();
+    let n = b.param(7);
+    let in_range = b.lt_u(tid, n);
+    b.if_(in_range, |b| {
+        let mask_base = b.param(3);
+        let ma = b.add(mask_base, tid);
+        let my_mask = b.load(ma);
+        b.if_(my_mask, |b| {
+            let zero = b.const_u32(0);
+            b.store(ma, zero);
+            let starts = b.param(0);
+            let counts = b.param(1);
+            let edges = b.param(2);
+            let updating = b.param(4);
+            let visited = b.param(5);
+            let cost_base = b.param(6);
+            let sa = b.add(starts, tid);
+            let start = b.load(sa);
+            let ca = b.add(counts, tid);
+            let count = b.load(ca);
+            let end = b.add(start, count);
+            let my_cost_addr = b.add(cost_base, tid);
+            let my_cost = b.load(my_cost_addr);
+            let one = b.const_u32(1);
+            let next_cost = b.add(my_cost, one);
+            let e = b.var(start);
+            b.while_(
+                |b| {
+                    let ev = b.get(e);
+                    b.lt_u(ev, end)
+                },
+                |b| {
+                    let ev = b.get(e);
+                    let ea = b.add(edges, ev);
+                    let nb = b.load(ea);
+                    let va = b.add(visited, nb);
+                    let seen = b.load(va);
+                    let zero2 = b.const_u32(0);
+                    let unseen = b.eq(seen, zero2);
+                    b.if_(unseen, |b| {
+                        let cna = b.add(cost_base, nb);
+                        b.store(cna, next_cost);
+                        let ua = b.add(updating, nb);
+                        let one2 = b.const_u32(1);
+                        b.store(ua, one2);
+                    });
+                    let one3 = b.const_u32(1);
+                    let ne = b.add(ev, one3);
+                    b.set(e, ne);
+                },
+            );
+        });
+    });
+    b.finish()
+}
+
+/// Builds the mask-promotion kernel (`Kernel2` in Table 2, 3 blocks).
+///
+/// Params: `0` = mask, `1` = updating mask, `2` = visited, `3` = stop
+/// flag address, `4` = n.
+pub fn kernel2() -> Kernel {
+    let mut b = KernelBuilder::new("Kernel2", 5);
+    let tid = b.thread_id();
+    let n = b.param(4);
+    let in_range = b.lt_u(tid, n);
+    b.if_(in_range, |b| {
+        let updating = b.param(1);
+        let ua = b.add(updating, tid);
+        let upd = b.load(ua);
+        b.if_(upd, |b| {
+            let mask = b.param(0);
+            let visited = b.param(2);
+            let stop = b.param(3);
+            let one = b.const_u32(1);
+            let ma = b.add(mask, tid);
+            b.store(ma, one);
+            let va = b.add(visited, tid);
+            b.store(va, one);
+            b.store(stop, one);
+            let zero = b.const_u32(0);
+            b.store(ua, zero);
+        });
+    });
+    b.finish()
+}
+
+/// Builds the BFS benchmark (`BASE_NODES × scale` nodes, ~4 edges/node).
+pub fn build(scale: u32) -> Benchmark {
+    let n = BASE_NODES * scale.max(1);
+    let mut r = util::rng(0xBF5);
+
+    // Random graph with skewed degrees (1..32, power-law-ish like real BFS
+    // inputs): high degree variance is what makes warp lanes serialize on
+    // the frontier-expansion loop. A small fraction of long-range edges
+    // keeps several BFS levels while defeating memory locality, as real
+    // graphs do.
+    let mut starts = Vec::with_capacity(n as usize);
+    let mut counts = Vec::with_capacity(n as usize);
+    let mut edges: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let roll = util::random_u32(&mut r, 1, 100)[0];
+        let deg = if roll < 60 {
+            1 + util::random_u32(&mut r, 1, 3)[0] // most nodes: 1-3 edges
+        } else if roll < 90 {
+            4 + util::random_u32(&mut r, 1, 8)[0] // some: 4-11
+        } else {
+            12 + util::random_u32(&mut r, 1, 20)[0] // hubs: 12-31
+        };
+        starts.push(edges.len() as u32);
+        counts.push(deg);
+        for _ in 0..deg {
+            let local = util::random_u32(&mut r, 1, 4)[0] != 0;
+            let span = if local { 64.min(n) } else { n };
+            let nb = (i + 1 + util::random_u32(&mut r, 1, span)[0]) % n;
+            edges.push(nb);
+        }
+    }
+    let m = edges.len() as u32;
+
+    let words = (2 * n + m + 4 * n + 16) as usize;
+    let mut mem = MemoryImage::new(words);
+    let starts_base = mem.alloc_u32(&starts);
+    let counts_base = mem.alloc_u32(&counts);
+    let edges_base = mem.alloc_u32(&edges);
+    let mask_base = mem.alloc(n);
+    let updating_base = mem.alloc(n);
+    let visited_base = mem.alloc(n);
+    let cost_base = mem.alloc(n);
+    let stop_addr = mem.alloc(1);
+
+    // Source node 0: masked, visited, cost 0.
+    mem.write(mask_base, Word::ONE);
+    mem.write(visited_base, Word::ONE);
+
+    let k1 = kernel1();
+    let k2 = kernel2();
+    let kernels = vec![k1.clone(), k2.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            if iterations > n {
+                return Err("BFS did not converge".to_string());
+            }
+            mem.write(stop_addr, Word::ZERO);
+            launcher.launch(
+                &k1,
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(starts_base),
+                        Word::from_u32(counts_base),
+                        Word::from_u32(edges_base),
+                        Word::from_u32(mask_base),
+                        Word::from_u32(updating_base),
+                        Word::from_u32(visited_base),
+                        Word::from_u32(cost_base),
+                        Word::from_u32(n),
+                    ],
+                ),
+                mem,
+            )?;
+            launcher.launch(
+                &k2,
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(mask_base),
+                        Word::from_u32(updating_base),
+                        Word::from_u32(visited_base),
+                        Word::from_u32(stop_addr),
+                        Word::from_u32(n),
+                    ],
+                ),
+                mem,
+            )?;
+            if !mem.read(stop_addr).as_bool() {
+                return Ok(());
+            }
+        }
+    };
+
+    Benchmark::new(
+        "BFS",
+        "Graph Algorithms",
+        "Breadth-first search (level-synchronous frontier expansion)",
+        true,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn bfs_verifies_on_interp() {
+        let b = build(1);
+        assert_eq!(b.kernels.len(), 2);
+        assert!(b.kernels[0].num_blocks() >= 7, "Kernel is control-heavy");
+        assert!(b.kernels[1].num_blocks() >= 3);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn bfs_levels_are_consistent() {
+        // Independently recompute BFS levels on the host and compare.
+        let n = BASE_NODES;
+        let mut r = util::rng(0xBF5);
+        let mut starts = Vec::new();
+        let mut counts = Vec::new();
+        let mut edges: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let roll = util::random_u32(&mut r, 1, 100)[0];
+            let deg = if roll < 60 {
+                1 + util::random_u32(&mut r, 1, 3)[0]
+            } else if roll < 90 {
+                4 + util::random_u32(&mut r, 1, 8)[0]
+            } else {
+                12 + util::random_u32(&mut r, 1, 20)[0]
+            };
+            starts.push(edges.len() as u32);
+            counts.push(deg);
+            for _ in 0..deg {
+                let local = util::random_u32(&mut r, 1, 4)[0] != 0;
+                let span = if local { 64.min(n) } else { n };
+                let nb = (i + 1 + util::random_u32(&mut r, 1, span)[0]) % n;
+                edges.push(nb);
+            }
+        }
+        // Host BFS.
+        let mut level = vec![u32::MAX; n as usize];
+        level[0] = 0;
+        let mut frontier = vec![0u32];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let s = starts[u as usize];
+                let c = counts[u as usize];
+                for e in s..s + c {
+                    let v = edges[e as usize] as usize;
+                    if level[v] == u32::MAX {
+                        level[v] = level[u as usize] + 1;
+                        next.push(v as u32);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // Device BFS.
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        let mut launcher = InterpLauncher;
+        let mut run_mem = b.initial_memory();
+        let _ = &mut run_mem;
+        // Use the public driver via run(); then read cost from a fresh
+        // execution (run() uses an internal copy, so re-execute here).
+        // Reconstruct cost addresses from the build layout:
+        let m = edges.len() as u32;
+        // Execute the same driver through the Benchmark by replaying it.
+        b.run(&mut launcher).unwrap();
+        // Replay manually to obtain the final memory.
+        let k1 = kernel1();
+        let k2 = kernel2();
+        let mask_base = 2 * n + m;
+        let updating_base = mask_base + n;
+        let visited_base = updating_base + n;
+        let cost_base = visited_base + n;
+        let stop_addr = cost_base + n;
+        use crate::suite::Launcher;
+        loop {
+            mem.write(stop_addr, Word::ZERO);
+            InterpLauncher
+                .launch(
+                    &k1,
+                    &Launch::new(
+                        n,
+                        vec![
+                            Word::from_u32(0),
+                            Word::from_u32(n),
+                            Word::from_u32(2 * n),
+                            Word::from_u32(mask_base),
+                            Word::from_u32(updating_base),
+                            Word::from_u32(visited_base),
+                            Word::from_u32(cost_base),
+                            Word::from_u32(n),
+                        ],
+                    ),
+                    &mut mem,
+                )
+                .unwrap();
+            InterpLauncher
+                .launch(
+                    &k2,
+                    &Launch::new(
+                        n,
+                        vec![
+                            Word::from_u32(mask_base),
+                            Word::from_u32(updating_base),
+                            Word::from_u32(visited_base),
+                            Word::from_u32(stop_addr),
+                            Word::from_u32(n),
+                        ],
+                    ),
+                    &mut mem,
+                )
+                .unwrap();
+            if !mem.read(stop_addr).as_bool() {
+                break;
+            }
+        }
+        for v in 0..n {
+            if level[v as usize] != u32::MAX {
+                assert_eq!(
+                    mem.read(cost_base + v).as_u32(),
+                    level[v as usize],
+                    "level mismatch at node {v}"
+                );
+            }
+        }
+    }
+}

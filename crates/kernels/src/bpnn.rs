@@ -1,0 +1,223 @@
+//! BPNN — backpropagation neural network training (Pattern Recognition,
+//! Table 2).
+//!
+//! `layerforward` computes the hidden activations (per-unit dot product
+//! over all inputs, then a sigmoid through the SCU's exp); the port folds
+//! the original's shared-memory reduction tree into a strided accumulation
+//! loop with a tail-handling branch, keeping it loop- and branch-dense.
+//! `adjust_weights` applies the momentum-SGD update, one weight per
+//! thread (3 blocks).
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Input units at scale 1.
+pub const BASE_IN: u32 = 256;
+/// Hidden units.
+pub const HIDDEN: u32 = 32;
+
+/// `layerforward`: hidden unit `j` accumulates `Σ_i w[i][j]·x[i]` in two
+/// strided passes (even/odd interleave with a merge branch, standing in
+/// for the original's reduction tree), then applies
+/// `1 / (1 + exp(-sum))`.
+///
+/// Params: `0` = inputs x, `1` = weights (row i = input, col j = hidden),
+/// `2` = hidden out, `3` = n inputs.
+pub fn layerforward_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("layerforward", 4);
+    let tid = b.thread_id();
+    let hidden = b.const_u32(HIDDEN);
+    let guard = b.lt_u(tid, hidden);
+    b.if_(guard, |b| {
+        let xs = b.param(0);
+        let w = b.param(1);
+        let out = b.param(2);
+        let n = b.param(3);
+        let zerof = b.const_f32(0.0);
+        let even = b.var(zerof);
+        let odd = b.var(zerof);
+        let zero = b.const_u32(0);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, n)
+            },
+            |b| {
+                let iv = b.get(i);
+                let xa = b.add(xs, iv);
+                let x = b.load(xa);
+                let row = b.mul(iv, hidden);
+                let wrow = b.add(w, row);
+                let wa = b.add(wrow, tid);
+                let wv = b.load(wa);
+                // Interleaved even/odd partial sums (reduction-tree
+                // stand-in), predicated with selects as nvcc would.
+                let one = b.const_u32(1);
+                let bit = b.and(iv, one);
+                let cur_o = b.get(odd);
+                let cur_e = b.get(even);
+                let acc_o = b.fma(wv, x, cur_o);
+                let acc_e = b.fma(wv, x, cur_e);
+                let no = b.select(bit, acc_o, cur_o);
+                let ne = b.select(bit, cur_e, acc_e);
+                b.set(odd, no);
+                b.set(even, ne);
+                let next = b.add(iv, one);
+                b.set(i, next);
+            },
+        );
+        let e = b.get(even);
+        let o = b.get(odd);
+        let sum = b.fadd(e, o);
+        // sigmoid(sum) = 1 / (1 + exp(-sum))
+        let neg = b.unary(vgiw_ir::UnaryOp::FNeg, sum);
+        let ex = b.unary(vgiw_ir::UnaryOp::FExp, neg);
+        let onef = b.const_f32(1.0);
+        let den = b.fadd(onef, ex);
+        let act = b.fdiv(onef, den);
+        let oa = b.add(out, tid);
+        b.store(oa, act);
+    });
+    b.finish()
+}
+
+/// `adjust_weights`: `w[i][j] += η·δ[j]·x[i] + μ·old_dw[i][j]`, storing
+/// the applied delta back as the new momentum term.
+///
+/// Params: `0` = weights, `1` = old deltas, `2` = per-hidden-unit delta array,
+/// `3` = x inputs, `4` = n inputs.
+pub fn adjust_weights_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("adjust_weights", 5);
+    let tid = b.thread_id();
+    let n = b.param(4);
+    let hidden = b.const_u32(HIDDEN);
+    let total = b.mul(n, hidden);
+    let guard = b.lt_u(tid, total);
+    b.if_(guard, |b| {
+        let w = b.param(0);
+        let oldw = b.param(1);
+        let delta = b.param(2);
+        let xs = b.param(3);
+        let i = b.div_u(tid, hidden);
+        let j = b.rem_u(tid, hidden);
+        let da = b.add(delta, j);
+        let d = b.load(da);
+        let xa = b.add(xs, i);
+        let x = b.load(xa);
+        let owa = b.add(oldw, tid);
+        let ow = b.load(owa);
+        let eta = b.const_f32(0.3);
+        let momentum = b.const_f32(0.3);
+        let dx = b.fmul(d, x);
+        let term1 = b.fmul(eta, dx);
+        let upd = b.fma(momentum, ow, term1);
+        let wa = b.add(w, tid);
+        let wv = b.load(wa);
+        let nw = b.fadd(wv, upd);
+        b.store(wa, nw);
+        b.store(owa, upd);
+    });
+    b.finish()
+}
+
+/// Builds the BPNN benchmark (`BASE_IN × scale` input units).
+pub fn build(scale: u32) -> Benchmark {
+    let n_in = BASE_IN * scale.max(1);
+    let mut r = util::rng(0xB9);
+    let x = util::random_f32(&mut r, n_in as usize, 0.0, 1.0);
+    let w = util::random_f32(&mut r, (n_in * HIDDEN) as usize, -0.5, 0.5);
+    let delta = util::random_f32(&mut r, HIDDEN as usize, -0.1, 0.1);
+
+    let mut mem = MemoryImage::new((2 * n_in * HIDDEN + n_in + 2 * HIDDEN + 64) as usize);
+    let x_base = mem.alloc_f32(&x);
+    let w_base = mem.alloc_f32(&w);
+    let oldw_base = mem.alloc(n_in * HIDDEN);
+    let delta_base = mem.alloc_f32(&delta);
+    let hidden_base = mem.alloc(HIDDEN);
+
+    let forward = layerforward_kernel();
+    let adjust = adjust_weights_kernel();
+    let kernels = vec![adjust.clone(), forward.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        launcher.launch(
+            &forward,
+            &Launch::new(
+                HIDDEN,
+                vec![
+                    Word::from_u32(x_base),
+                    Word::from_u32(w_base),
+                    Word::from_u32(hidden_base),
+                    Word::from_u32(n_in),
+                ],
+            ),
+            mem,
+        )?;
+        launcher.launch(
+            &adjust,
+            &Launch::new(
+                n_in * HIDDEN,
+                vec![
+                    Word::from_u32(w_base),
+                    Word::from_u32(oldw_base),
+                    Word::from_u32(delta_base),
+                    Word::from_u32(x_base),
+                    Word::from_u32(n_in),
+                ],
+            ),
+            mem,
+        )
+    };
+
+    Benchmark::new(
+        "BPNN",
+        "Pattern Recognition",
+        "Training of a neural network (layerforward + adjust_weights)",
+        false,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn bpnn_verifies_on_interp() {
+        let b = build(1);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn activations_are_sigmoid_bounded() {
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        use crate::suite::Launcher;
+        let n = BASE_IN;
+        let hidden_base = n + 2 * n * HIDDEN + HIDDEN;
+        InterpLauncher
+            .launch(
+                &b.kernels[1],
+                &Launch::new(
+                    HIDDEN,
+                    vec![
+                        Word::from_u32(0),
+                        Word::from_u32(n),
+                        Word::from_u32(hidden_base),
+                        Word::from_u32(n),
+                    ],
+                ),
+                &mut mem,
+            )
+            .unwrap();
+        for j in 0..HIDDEN {
+            let a = mem.read_f32(hidden_base + j);
+            assert!((0.0..=1.0).contains(&a), "activation {a} out of range");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! CFD — computational fluid dynamics solver (Fluid Dynamics, Table 2).
+//!
+//! An euler3d-style finite-volume solver over an unstructured-ish mesh
+//! with four neighbours per cell. Four kernels, matching Table 2's shape:
+//! `initialize_variables` (1 block), `compute_step_factor` (guarded, 2–3
+//! blocks), `time_step` (1 block) and `compute_flux` (neighbour-type
+//! branching; the heaviest kernel, whose large blocks exercise the VGIW
+//! compiler's capacity-driven splitting).
+//!
+//! Five conserved variables per cell (density, 3× momentum, energy),
+//! stored AoS (`variables[cell*5 + j]`).
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Val, Word};
+
+/// Cells at scale 1.
+pub const BASE_CELLS: u32 = 1024;
+/// Row width of the synthetic mesh (neighbours are ±1, ±ROW).
+pub const ROW: u32 = 64;
+/// Wall-boundary sentinel in the neighbour array.
+pub const WALL: u32 = 0xFFFF_FFFF;
+/// Far-field boundary sentinel.
+pub const FAR_FIELD: u32 = 0xFFFF_FFFE;
+/// Variables per cell.
+pub const NVAR: u32 = 5;
+
+/// `initialize_variables`: `variables[i*5+j] = ff_variable[j]` (1 block).
+///
+/// Params: `0` = variables base, `1..=5` = the five far-field values.
+pub fn initialize_variables_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("initialize_variables", 6);
+    let tid = b.thread_id();
+    let vars = b.param(0);
+    let five = b.const_u32(NVAR);
+    let base = b.mul(tid, five);
+    let cell = b.add(vars, base);
+    for j in 0..NVAR {
+        let v = b.param(1 + j as u8);
+        let off = b.const_u32(j);
+        let a = b.add(cell, off);
+        b.store(a, v);
+    }
+    b.finish()
+}
+
+/// `compute_step_factor`: local CFL time-step bound per cell.
+///
+/// Params: `0` = variables, `1` = areas, `2` = step factors, `3` = n.
+pub fn compute_step_factor_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("compute_step_factor", 4);
+    let tid = b.thread_id();
+    let n = b.param(3);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let vars = b.param(0);
+        let areas = b.param(1);
+        let out = b.param(2);
+        let five = b.const_u32(NVAR);
+        let base0 = b.mul(tid, five);
+        let cell = b.add(vars, base0);
+        let density = b.load(cell);
+        let one_w = b.const_u32(1);
+        let a1 = b.add(cell, one_w);
+        let mx = b.load(a1);
+        let two_w = b.const_u32(2);
+        let a2 = b.add(cell, two_w);
+        let my = b.load(a2);
+        let three_w = b.const_u32(3);
+        let a3 = b.add(cell, three_w);
+        let mz = b.load(a3);
+        let four_w = b.const_u32(4);
+        let a4 = b.add(cell, four_w);
+        let energy = b.load(a4);
+
+        let inv_d = b.fdiv(b.const_f32(1.0), density);
+        let vx = b.fmul(mx, inv_d);
+        let vy = b.fmul(my, inv_d);
+        let vz = b.fmul(mz, inv_d);
+        let vx2 = b.fmul(vx, vx);
+        let s1 = b.fma(vy, vy, vx2);
+        let speed_sqd = b.fma(vz, vz, s1);
+        // pressure = 0.4 * (energy - 0.5 * density * speed²)
+        let half = b.const_f32(0.5);
+        let hd = b.fmul(half, density);
+        let ke = b.fmul(hd, speed_sqd);
+        let inner = b.fsub(energy, ke);
+        let gm1 = b.const_f32(0.4);
+        let pressure = b.fmul(gm1, inner);
+        // speed of sound = sqrt(1.4 * p / density)
+        let gamma = b.const_f32(1.4);
+        let gp = b.fmul(gamma, pressure);
+        let gpd = b.fmul(gp, inv_d);
+        let c = b.fsqrt(gpd);
+        let speed = b.fsqrt(speed_sqd);
+        let denom_v = b.fadd(speed, c);
+        let aa = b.add(areas, tid);
+        let area = b.load(aa);
+        let sq_area = b.fsqrt(area);
+        let denom = b.fmul(sq_area, denom_v);
+        let sf = b.fdiv(half, denom);
+        let oa = b.add(out, tid);
+        b.store(oa, sf);
+    });
+    b.finish()
+}
+
+/// Loads the five variables of a cell whose AoS base address is `cell`.
+fn load_vars(b: &mut KernelBuilder, cell: Val) -> [Val; 5] {
+    let mut out = [cell; 5];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let off = b.const_u32(j as u32);
+        let a = b.add(cell, off);
+        *slot = b.load(a);
+    }
+    out
+}
+
+/// `compute_flux`: accumulate per-cell flux over four neighbours with
+/// internal / wall / far-field cases (the Table 2 "compute_flux(12)"
+/// control structure, neighbour loop unrolled as in the fixed-degree
+/// Rodinia mesh).
+///
+/// Params: `0` = variables, `1` = neighbours (n×4), `2` = fluxes out,
+/// `3` = n, `4..=8` = far-field flux contributions.
+pub fn compute_flux_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("compute_flux", 9);
+    let tid = b.thread_id();
+    let n = b.param(3);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let vars = b.param(0);
+        let nbs = b.param(1);
+        let fluxes = b.param(2);
+        let five = b.const_u32(NVAR);
+        let my_base = b.mul(tid, five);
+        let my_cell = b.add(vars, my_base);
+        let my = load_vars(b, my_cell);
+
+        // Flux accumulators (live values across the neighbour branches).
+        let zero = b.const_f32(0.0);
+        let acc: Vec<_> = (0..NVAR).map(|_| b.var(zero)).collect();
+
+        let four = b.const_u32(4);
+        let nb_row = b.mul(tid, four);
+        let nb_base = b.add(nbs, nb_row);
+        let smoothing = b.const_f32(0.2);
+        let weight = b.const_f32(0.25);
+
+        for k in 0..4u32 {
+            let ko = b.const_u32(k);
+            let na = b.add(nb_base, ko);
+            let nb = b.load(na);
+            let wall = b.const_u32(WALL);
+            let is_wall = b.eq(nb, wall);
+            b.if_else(
+                is_wall,
+                |b| {
+                    // Wall: only the pressure term pushes back (simplified:
+                    // reflect momentum).
+                    for j in 1..4 {
+                        let cur = b.get(acc[j]);
+                        let term = b.fmul(smoothing, my[j]);
+                        let nv = b.fsub(cur, term);
+                        b.set(acc[j], nv);
+                    }
+                },
+                |b| {
+                    let ff = b.const_u32(FAR_FIELD);
+                    let is_ff = b.eq(nb, ff);
+                    b.if_else(
+                        is_ff,
+                        |b| {
+                            // Far field: constant inflow contribution.
+                            for j in 0..NVAR as usize {
+                                let ffv = b.param(4 + j as u8);
+                                let cur = b.get(acc[j]);
+                                let nv = b.fadd(cur, ffv);
+                                b.set(acc[j], nv);
+                            }
+                        },
+                        |b| {
+                            // Internal neighbour: central difference with
+                            // smoothing.
+                            let nb_b = b.mul(nb, five);
+                            let nb_cell = b.add(vars, nb_b);
+                            let theirs = load_vars(b, nb_cell);
+                            for j in 0..NVAR as usize {
+                                let sum = b.fadd(my[j], theirs[j]);
+                                let avg = b.fmul(weight, sum);
+                                let diff = b.fsub(my[j], theirs[j]);
+                                let sm = b.fmul(smoothing, diff);
+                                let term = b.fsub(avg, sm);
+                                let cur = b.get(acc[j]);
+                                let nv = b.fadd(cur, term);
+                                b.set(acc[j], nv);
+                            }
+                        },
+                    );
+                },
+            );
+        }
+
+        let out_base = b.add(fluxes, my_base);
+        for j in 0..NVAR as usize {
+            let off = b.const_u32(j as u32);
+            let oa = b.add(out_base, off);
+            let v = b.get(acc[j]);
+            b.store(oa, v);
+        }
+    });
+    b.finish()
+}
+
+/// `time_step`: `variables[i][j] += factor[i] * fluxes[i][j]` (1 block).
+///
+/// Params: `0` = variables, `1` = step factors, `2` = fluxes.
+pub fn time_step_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("time_step", 3);
+    let tid = b.thread_id();
+    let vars = b.param(0);
+    let factors = b.param(1);
+    let fluxes = b.param(2);
+    let fa = b.add(factors, tid);
+    let factor = b.load(fa);
+    let five = b.const_u32(NVAR);
+    let base = b.mul(tid, five);
+    let vcell = b.add(vars, base);
+    let fcell = b.add(fluxes, base);
+    for j in 0..NVAR {
+        let off = b.const_u32(j);
+        let va = b.add(vcell, off);
+        let v = b.load(va);
+        let fa2 = b.add(fcell, off);
+        let f = b.load(fa2);
+        let nv = b.fma(factor, f, v);
+        b.store(va, nv);
+    }
+    b.finish()
+}
+
+/// Builds the CFD benchmark (`BASE_CELLS × scale` cells, 2 solver
+/// iterations).
+pub fn build(scale: u32) -> Benchmark {
+    let n = BASE_CELLS * scale.max(1);
+    let mut r = util::rng(0xCFD);
+    let areas = util::random_f32(&mut r, n as usize, 0.5, 2.0);
+
+    // Mesh: ±1 and ±ROW neighbours; left edge is a wall, right edge far
+    // field, vertical wrap-around.
+    let mut neighbors = Vec::with_capacity((n * 4) as usize);
+    for i in 0..n {
+        let col = i % ROW;
+        neighbors.push(if col == 0 { WALL } else { i - 1 });
+        neighbors.push(if col == ROW - 1 { FAR_FIELD } else { i + 1 });
+        neighbors.push(if i >= ROW { i - ROW } else { WALL });
+        neighbors.push(if i + ROW < n { i + ROW } else { FAR_FIELD });
+    }
+
+    let mut mem = MemoryImage::new((2 * NVAR * n + 4 * n + 2 * n + 64) as usize);
+    let vars_base = mem.alloc(NVAR * n);
+    let nb_base = mem.alloc_u32(&neighbors);
+    let flux_base = mem.alloc(NVAR * n);
+    let areas_base = mem.alloc_f32(&areas);
+    let sf_base = mem.alloc(n);
+
+    let ff = [1.0f32, 0.3, 0.1, 0.0, 2.5]; // far-field state
+    let ff_flux = [0.05f32, 0.02, 0.01, 0.0, 0.08];
+
+    let init = initialize_variables_kernel();
+    let step = compute_step_factor_kernel();
+    let flux = compute_flux_kernel();
+    let tstep = time_step_kernel();
+    let kernels = vec![init.clone(), step.clone(), flux.clone(), tstep.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        let mut init_params = vec![Word::from_u32(vars_base)];
+        init_params.extend(ff.iter().map(|&v| Word::from_f32(v)));
+        launcher.launch(&init, &Launch::new(n, init_params), mem)?;
+        for _ in 0..2 {
+            launcher.launch(
+                &step,
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(vars_base),
+                        Word::from_u32(areas_base),
+                        Word::from_u32(sf_base),
+                        Word::from_u32(n),
+                    ],
+                ),
+                mem,
+            )?;
+            let mut flux_params = vec![
+                Word::from_u32(vars_base),
+                Word::from_u32(nb_base),
+                Word::from_u32(flux_base),
+                Word::from_u32(n),
+            ];
+            flux_params.extend(ff_flux.iter().map(|&v| Word::from_f32(v)));
+            launcher.launch(&flux, &Launch::new(n, flux_params), mem)?;
+            launcher.launch(
+                &tstep,
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(vars_base),
+                        Word::from_u32(sf_base),
+                        Word::from_u32(flux_base),
+                    ],
+                ),
+                mem,
+            )?;
+        }
+        Ok(())
+    };
+
+    Benchmark::new(
+        "CFD",
+        "Fluid Dynamics",
+        "Computational fluid dynamics solver (euler3d-style finite volume)",
+        true,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn cfd_verifies_on_interp() {
+        let b = build(1);
+        assert_eq!(b.kernels.len(), 4);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn kernel_shapes_match_table2() {
+        assert_eq!(initialize_variables_kernel().num_blocks(), 1);
+        assert!(compute_step_factor_kernel().num_blocks() <= 3);
+        assert_eq!(time_step_kernel().num_blocks(), 1);
+        let flux = compute_flux_kernel();
+        assert!(
+            (9..=33).contains(&flux.num_blocks()),
+            "compute_flux should be control-heavy, got {}",
+            flux.num_blocks()
+        );
+    }
+}

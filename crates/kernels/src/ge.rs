@@ -1,0 +1,228 @@
+//! GE — Gaussian elimination, `Fan1` and `Fan2` kernels (Linear Algebra,
+//! Table 2).
+//!
+//! The host iterates over pivot rows; `Fan1` computes the multiplier
+//! column, `Fan2` updates the trailing submatrix (and the RHS vector on
+//! its first column). Both kernels are loop-free (guards only), matching
+//! the paper's block counts of 2 and 5 and the SGMF-mappable subset.
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Matrix dimension at scale 1.
+pub const BASE_N: u32 = 24;
+
+/// Builds `Fan1`: `m[i][t] = a[i][t] / a[t][t]` for rows `i > t`.
+///
+/// Params: `0` = m base, `1` = a base, `2` = n, `3` = t.
+pub fn fan1_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("Fan1", 4);
+    let tid = b.thread_id();
+    let n = b.param(2);
+    let t = b.param(3);
+    let one = b.const_u32(1);
+    let t1 = b.add(t, one);
+    let bound = b.sub(n, t1);
+    let guard = b.lt_u(tid, bound);
+    b.if_(guard, |b| {
+        let m_base = b.param(0);
+        let a_base = b.param(1);
+        let row = b.add(t1, tid);
+        let row_off = b.mul(row, n);
+        let at = b.add(row_off, t);
+        let aa = b.add(a_base, at);
+        let num = b.load(aa);
+        let diag_off = b.mul(t, n);
+        let dd = b.add(diag_off, t);
+        let da = b.add(a_base, dd);
+        let den = b.load(da);
+        let q = b.fdiv(num, den);
+        let ma = b.add(m_base, at);
+        b.store(ma, q);
+    });
+    b.finish()
+}
+
+/// Builds `Fan2`: `a[i][j] -= m[i][t] * a[t][j]`, plus the RHS update
+/// `b[i] -= m[i][t] * b[t]` on the first column.
+///
+/// Threads are a flattened `(n-t-1) × (n-t)` grid.
+/// Params: `0` = m, `1` = a, `2` = b(rhs), `3` = n, `4` = t.
+pub fn fan2_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("Fan2", 5);
+    let tid = b.thread_id();
+    let n = b.param(3);
+    let t = b.param(4);
+    let one = b.const_u32(1);
+    let t1 = b.add(t, one);
+    let rows = b.sub(n, t1); // n - t - 1
+    let cols = b.sub(n, t); // n - t
+    let total = b.mul(rows, cols);
+    let guard = b.lt_u(tid, total);
+    b.if_(guard, |b| {
+        let m_base = b.param(0);
+        let a_base = b.param(1);
+        let rhs_base = b.param(2);
+        let x = b.div_u(tid, cols); // row offset
+        let y = b.rem_u(tid, cols); // col offset
+        let row = b.add(t1, x);
+        let col = b.add(t, y);
+        let row_off = b.mul(row, n);
+        let mt = b.add(row_off, t);
+        let ma = b.add(m_base, mt);
+        let mult = b.load(ma);
+        let pivot_off = b.mul(t, n);
+        let pj = b.add(pivot_off, col);
+        let pa = b.add(a_base, pj);
+        let pivot_v = b.load(pa);
+        let ij = b.add(row_off, col);
+        let ia = b.add(a_base, ij);
+        let cur = b.load(ia);
+        let prod = b.fmul(mult, pivot_v);
+        let nv = b.fsub(cur, prod);
+        b.store(ia, nv);
+        // First column thread also updates the RHS vector.
+        let zero = b.const_u32(0);
+        let first = b.eq(y, zero);
+        b.if_(first, |b| {
+            let ra = b.add(rhs_base, row);
+            let rv = b.load(ra);
+            let rta = b.add(rhs_base, t);
+            let rt = b.load(rta);
+            let p2 = b.fmul(mult, rt);
+            let nr = b.fsub(rv, p2);
+            b.store(ra, nr);
+        });
+    });
+    b.finish()
+}
+
+/// Builds the GE benchmark (matrix `BASE_N × scale` per side).
+pub fn build(scale: u32) -> Benchmark {
+    let n = BASE_N * scale.max(1);
+    let mut r = util::rng(0x4745);
+    // Diagonally dominant matrix keeps the elimination numerically tame.
+    let mut a = util::random_f32(&mut r, (n * n) as usize, 1.0, 2.0);
+    for i in 0..n {
+        a[(i * n + i) as usize] += n as f32;
+    }
+    let rhs = util::random_f32(&mut r, n as usize, 0.0, 10.0);
+
+    let mut mem = MemoryImage::new((2 * n * n + n + 64) as usize);
+    let a_base = mem.alloc_f32(&a);
+    let m_base = mem.alloc(n * n);
+    let rhs_base = mem.alloc_f32(&rhs);
+
+    let fan1 = fan1_kernel();
+    let fan2 = fan2_kernel();
+    let kernels = vec![fan1.clone(), fan2.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        for t in 0..n - 1 {
+            let threads1 = n - t - 1;
+            launcher.launch(
+                &fan1,
+                &Launch::new(
+                    threads1,
+                    vec![
+                        Word::from_u32(m_base),
+                        Word::from_u32(a_base),
+                        Word::from_u32(n),
+                        Word::from_u32(t),
+                    ],
+                ),
+                mem,
+            )?;
+            let threads2 = (n - t - 1) * (n - t);
+            launcher.launch(
+                &fan2,
+                &Launch::new(
+                    threads2,
+                    vec![
+                        Word::from_u32(m_base),
+                        Word::from_u32(a_base),
+                        Word::from_u32(rhs_base),
+                        Word::from_u32(n),
+                        Word::from_u32(t),
+                    ],
+                ),
+                mem,
+            )?;
+        }
+        Ok(())
+    };
+
+    Benchmark::new(
+        "GE",
+        "Linear Algebra",
+        "Gaussian elimination (Fan1/Fan2 forward elimination)",
+        false,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn ge_verifies_on_interp() {
+        let b = build(1);
+        assert_eq!(b.kernels.len(), 2);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn elimination_zeroes_subdiagonal() {
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        let n = BASE_N;
+        let fan1 = fan1_kernel();
+        let fan2 = fan2_kernel();
+        for t in 0..n - 1 {
+            InterpLauncher
+                .launch(
+                    &fan1,
+                    &Launch::new(
+                        n - t - 1,
+                        vec![
+                            Word::from_u32(n * n),
+                            Word::from_u32(0),
+                            Word::from_u32(n),
+                            Word::from_u32(t),
+                        ],
+                    ),
+                    &mut mem,
+                )
+                .unwrap();
+            InterpLauncher
+                .launch(
+                    &fan2,
+                    &Launch::new(
+                        (n - t - 1) * (n - t),
+                        vec![
+                            Word::from_u32(n * n),
+                            Word::from_u32(0),
+                            Word::from_u32(2 * n * n),
+                            Word::from_u32(n),
+                            Word::from_u32(t),
+                        ],
+                    ),
+                    &mut mem,
+                )
+                .unwrap();
+        }
+        // Sub-diagonal entries must be (near) zero relative to the
+        // dominant diagonal.
+        for i in 1..n {
+            for j in 0..i {
+                let v = mem.read_f32(i * n + j).abs();
+                assert!(v < 1e-2, "a[{i}][{j}] = {v} not eliminated");
+            }
+        }
+    }
+}

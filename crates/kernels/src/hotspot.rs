@@ -1,0 +1,209 @@
+//! HOTSPOT — thermal simulation (Physics Simulation, Table 2).
+//!
+//! Each thread updates one cell of the temperature grid from its four
+//! neighbours and its power dissipation. Boundary handling is done with
+//! explicit branches per direction (as in the Rodinia kernel's guarded
+//! neighbour indexing), making `hotspot_kernel` the most control-dense
+//! kernel in the suite — Table 2 lists 27 basic blocks.
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Grid side at scale 1 (grid is SIDE × SIDE).
+pub const BASE_SIDE: u32 = 48;
+
+/// Builds `hotspot_kernel`.
+///
+/// Params: `0` = temp in, `1` = power, `2` = temp out, `3` = rows,
+/// `4` = cols, `5` = Rx⁻¹, `6` = Ry⁻¹, `7` = Rz⁻¹ (amb coupling),
+/// `8` = step/capacitance.
+pub fn hotspot_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("hotspot_kernel", 9);
+    let tid = b.thread_id();
+    let rows = b.param(3);
+    let cols = b.param(4);
+    let total = b.mul(rows, cols);
+    let guard = b.lt_u(tid, total);
+    b.if_(guard, |b| {
+        let temp_in = b.param(0);
+        let power = b.param(1);
+        let temp_out = b.param(2);
+        let rx1 = b.param(5);
+        let ry1 = b.param(6);
+        let rz1 = b.param(7);
+        let sdc = b.param(8);
+
+        let r = b.div_u(tid, cols);
+        let c = b.rem_u(tid, cols);
+        let ta = b.add(temp_in, tid);
+        let t = b.load(ta);
+        let pa = b.add(power, tid);
+        let p = b.load(pa);
+
+        // Boundary cells mirror their own temperature (adiabatic edge) by
+        // clamping the neighbour index — selects, not branches, exactly
+        // like the Rodinia kernel's MIN/MAX neighbour indexing (nvcc
+        // if-converts these tiny conditionals).
+        let zero = b.const_u32(0);
+        let one = b.const_u32(1);
+
+        let has_n = b.lt_u(zero, r);
+        let na = b.sub(tid, cols);
+        let n_idx = b.select(has_n, na, tid);
+        let naa = b.add(temp_in, n_idx);
+        let nv = b.load(naa);
+
+        let r1 = b.add(r, one);
+        let has_s = b.lt_u(r1, rows);
+        let sa = b.add(tid, cols);
+        let s_idx = b.select(has_s, sa, tid);
+        let saa = b.add(temp_in, s_idx);
+        let sv = b.load(saa);
+
+        let has_w = b.lt_u(zero, c);
+        let wa = b.sub(tid, one);
+        let w_idx = b.select(has_w, wa, tid);
+        let waa = b.add(temp_in, w_idx);
+        let wv = b.load(waa);
+
+        let c1 = b.add(c, one);
+        let has_e = b.lt_u(c1, cols);
+        let ea = b.add(tid, one);
+        let e_idx = b.select(has_e, ea, tid);
+        let eaa = b.add(temp_in, e_idx);
+        let ev = b.load(eaa);
+
+        // delta = sdc * (p + (n + s - 2t)·Ry' + (e + w - 2t)·Rx'
+        //                + (amb - t)·Rz')
+        let amb = b.const_f32(80.0);
+        let two = b.const_f32(2.0);
+        let t2 = b.fmul(two, t);
+        let ns = b.fadd(nv, sv);
+        let ns2 = b.fsub(ns, t2);
+        let vert = b.fmul(ns2, ry1);
+        let ew = b.fadd(ev, wv);
+        let ew2 = b.fsub(ew, t2);
+        let horiz = b.fmul(ew2, rx1);
+        let ambd = b.fsub(amb, t);
+        let ambt = b.fmul(ambd, rz1);
+        let s1 = b.fadd(p, vert);
+        let s2 = b.fadd(s1, horiz);
+        let s3 = b.fadd(s2, ambt);
+        let delta = b.fmul(sdc, s3);
+        let out_v = b.fadd(t, delta);
+        let oa = b.add(temp_out, tid);
+        b.store(oa, out_v);
+    });
+    b.finish()
+}
+
+/// Builds the HOTSPOT benchmark (grid side `BASE_SIDE × scale`, so cell
+/// count grows quadratically in `scale`; 4 ping-pong iterations).
+pub fn build(scale: u32) -> Benchmark {
+    let side = BASE_SIDE * scale.max(1);
+    let n = side * side;
+    let mut r = util::rng(0x407);
+    let temp = util::random_f32(&mut r, n as usize, 40.0, 90.0);
+    let power = util::random_f32(&mut r, n as usize, 0.0, 0.5);
+
+    let mut mem = MemoryImage::new((3 * n + 64) as usize);
+    let temp_a = mem.alloc_f32(&temp);
+    let power_base = mem.alloc_f32(&power);
+    let temp_b = mem.alloc(n);
+
+    let kernel = hotspot_kernel();
+    let kernels = vec![kernel.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        let mut src = temp_a;
+        let mut dst = temp_b;
+        for _ in 0..4 {
+            launcher.launch(
+                &kernel,
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(src),
+                        Word::from_u32(power_base),
+                        Word::from_u32(dst),
+                        Word::from_u32(side),
+                        Word::from_u32(side),
+                        Word::from_f32(0.06),
+                        Word::from_f32(0.10),
+                        Word::from_f32(0.04),
+                        Word::from_f32(0.3),
+                    ],
+                ),
+                mem,
+            )?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        Ok(())
+    };
+
+    Benchmark::new(
+        "HOTSPOT",
+        "Physics Simulation",
+        "Thermal simulation tool (5-point stencil with boundary branches)",
+        false,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn hotspot_verifies_on_interp() {
+        let b = build(1);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn kernel_uses_clamped_neighbours() {
+        // Like the Rodinia kernel (MIN/MAX indexing), the stencil body is
+        // select-based: only the thread guard branches.
+        let k = hotspot_kernel();
+        assert!(k.num_blocks() <= 3, "got {} blocks", k.num_blocks());
+    }
+
+    #[test]
+    fn temperatures_stay_bounded() {
+        // A diffusion step cannot escape the [min(temp,amb), max] envelope
+        // by much given small coupling constants.
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        use crate::suite::Launcher;
+        let side = BASE_SIDE;
+        let n = side * side;
+        InterpLauncher
+            .launch(
+                &b.kernels[0],
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(0),
+                        Word::from_u32(n),
+                        Word::from_u32(2 * n),
+                        Word::from_u32(side),
+                        Word::from_u32(side),
+                        Word::from_f32(0.06),
+                        Word::from_f32(0.10),
+                        Word::from_f32(0.04),
+                        Word::from_f32(0.3),
+                    ],
+                ),
+                &mut mem,
+            )
+            .unwrap();
+        for i in 0..n {
+            let t = mem.read_f32(2 * n + i);
+            assert!((20.0..120.0).contains(&t), "cell {i} escaped: {t}");
+        }
+    }
+}

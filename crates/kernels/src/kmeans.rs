@@ -1,0 +1,104 @@
+//! KMEANS — the `invert_mapping` kernel (Data Mining, Table 2).
+//!
+//! Transposes the point array from row-major (point-major) to
+//! column-major (feature-major) layout, one point per thread. The Rodinia
+//! kernel's feature loop has a small fixed trip count, which the port
+//! unrolls — leaving the paper's 3 basic blocks (guard + body + exit) and
+//! making the kernel SGMF-mappable. Strided stores make it memory-bound.
+
+use crate::suite::{single_launch, Benchmark};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Number of features per point (Rodinia uses small constant counts).
+pub const FEATURES: u32 = 4;
+
+/// Builds `invert_mapping`.
+///
+/// Params: `0` = input base (row-major n×F), `1` = output base
+/// (column-major F×n), `2` = n.
+pub fn invert_mapping_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("invert_mapping", 3);
+    let tid = b.thread_id();
+    let n = b.param(2);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let input = b.param(0);
+        let output = b.param(1);
+        let nf = b.const_u32(FEATURES);
+        let row = b.mul(tid, nf);
+        let in_row = b.add(input, row);
+        for f in 0..FEATURES {
+            let fo = b.const_u32(f);
+            let ia = b.add(in_row, fo);
+            let v = b.load(ia);
+            let col = b.mul(fo, n);
+            let oc = b.add(output, col);
+            let oa = b.add(oc, tid);
+            b.store(oa, v);
+        }
+    });
+    b.finish()
+}
+
+/// Builds the KMEANS benchmark (points = 2048 × scale).
+pub fn build(scale: u32) -> Benchmark {
+    let n = 2048 * scale.max(1);
+    let mut r = util::rng(0x4B4D);
+    let points = util::random_f32(&mut r, (n * FEATURES) as usize, 0.0, 100.0);
+
+    let mut mem = MemoryImage::new((2 * n * FEATURES + 64) as usize);
+    let input = mem.alloc_f32(&points);
+    let output = mem.alloc(n * FEATURES);
+
+    let launch = Launch::new(
+        n,
+        vec![Word::from_u32(input), Word::from_u32(output), Word::from_u32(n)],
+    );
+    single_launch(
+        "KMEANS",
+        "Data Mining",
+        "Clustering algorithm (invert_mapping layout transpose)",
+        true,
+        invert_mapping_kernel(),
+        mem,
+        launch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn kmeans_verifies_on_interp() {
+        let b = build(1);
+        assert!(b.kernels[0].num_blocks() == 3, "guard + body + exit");
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn transpose_is_correct() {
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        use crate::suite::Launcher;
+        let n = 2048u32;
+        let launch = Launch::new(
+            n,
+            vec![
+                Word::from_u32(0),
+                Word::from_u32(n * FEATURES),
+                Word::from_u32(n),
+            ],
+        );
+        InterpLauncher.launch(&b.kernels[0], &launch, &mut mem).unwrap();
+        // out[f*n + i] == in[i*F + f]
+        for &(i, f) in &[(0u32, 0u32), (7, 3), (100, 1)] {
+            assert_eq!(
+                mem.read(n * FEATURES + f * n + i),
+                mem.read(i * FEATURES + f),
+            );
+        }
+    }
+}

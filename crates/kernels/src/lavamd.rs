@@ -1,0 +1,195 @@
+//! LAVAMD — molecular dynamics particle interactions (Molecular Dynamics,
+//! Table 2).
+//!
+//! Particles live in boxes; each thread computes the force on one
+//! particle by looping over its own box and its neighbour boxes, and over
+//! the particles inside each, with a cutoff branch and an `exp()` in the
+//! inner kernel — the loop nest + conditional structure that gives
+//! `kernel_gpu_cuda` its 21 blocks in Table 2, and the SCU-heavy math
+//! that makes it compute-bound.
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Particles per box.
+pub const PER_BOX: u32 = 8;
+/// Boxes at scale 1 (Rodinia runs thousands of boxes; 4096 particles keep
+/// the per-iteration barrier drain amortized while staying fast to simulate).
+pub const BASE_BOXES: u32 = 512;
+/// Neighbour boxes examined per box (self + 2 neighbours in a ring).
+pub const NEIGHBORS: u32 = 3;
+
+/// Builds `kernel_gpu_cuda`.
+///
+/// Params: `0` = positions x, `1` = y, `2` = z, `3` = charge, `4` = force
+/// out (xyz interleaved), `5` = number of boxes, `6` = cutoff² (f32).
+pub fn kernel_gpu_cuda() -> Kernel {
+    let mut b = KernelBuilder::new("kernel_gpu_cuda", 7);
+    let tid = b.thread_id();
+    let nboxes = b.param(5);
+    let per_box = b.const_u32(PER_BOX);
+    let total = b.mul(nboxes, per_box);
+    let guard = b.lt_u(tid, total);
+    b.if_(guard, |b| {
+        let xs = b.param(0);
+        let ys = b.param(1);
+        let zs = b.param(2);
+        let qs = b.param(3);
+        let force = b.param(4);
+        let cutoff2 = b.param(6);
+
+        let my_box = b.div_u(tid, per_box);
+        let xa = b.add(xs, tid);
+        let px = b.load(xa);
+        let ya = b.add(ys, tid);
+        let py = b.load(ya);
+        let za = b.add(zs, tid);
+        let pz = b.load(za);
+
+        let zerof = b.const_f32(0.0);
+        let fx = b.var(zerof);
+        let fy = b.var(zerof);
+        let fz = b.var(zerof);
+
+        // Loop over neighbour boxes (ring topology: box-1, box, box+1).
+        let zero = b.const_u32(0);
+        let nnb = b.const_u32(NEIGHBORS);
+        b.for_range(zero, nnb, |b, k| {
+            // nb_box = (my_box + nboxes + k - 1) % nboxes
+            let mb = b.add(my_box, nboxes);
+            let mbk = b.add(mb, k);
+            let one = b.const_u32(1);
+            let mbk1 = b.sub(mbk, one);
+            let nb_box = b.rem_u(mbk1, nboxes);
+            let base = b.mul(nb_box, per_box);
+            // Loop over that box's particles (kept rolled: an unrolled body
+            // splits into many LVC-heavy blocks on this fabric).
+            let zero2 = b.const_u32(0);
+            let pb = b.const_u32(PER_BOX);
+            b.for_range(zero2, pb, |b, p| {
+                let other = b.add(base, p);
+                let oxa = b.add(xs, other);
+                let ox = b.load(oxa);
+                let oya = b.add(ys, other);
+                let oy = b.load(oya);
+                let oza = b.add(zs, other);
+                let oz = b.load(oza);
+                let dx = b.fsub(px, ox);
+                let dy = b.fsub(py, oy);
+                let dz = b.fsub(pz, oz);
+                let dx2 = b.fmul(dx, dx);
+                let s1 = b.fma(dy, dy, dx2);
+                let r2 = b.fma(dz, dz, s1);
+                // Screened interaction: w = q · exp(-r²) (keeps the SCU
+                // busy like the original's exp(2·a2·r²) term); the cutoff
+                // is applied as predication — nvcc if-converts this tiny
+                // conditional, so the port does too.
+                let within = b.flt(r2, cutoff2);
+                let qa = b.add(qs, other);
+                let q = b.load(qa);
+                let nr2 = b.unary(vgiw_ir::UnaryOp::FNeg, r2);
+                let e = b.unary(vgiw_ir::UnaryOp::FExp, nr2);
+                let w_raw = b.fmul(q, e);
+                let zero_w = b.const_f32(0.0);
+                let w = b.select(within, w_raw, zero_w);
+                let cfx = b.get(fx);
+                let nfx = b.fma(w, dx, cfx);
+                b.set(fx, nfx);
+                let cfy = b.get(fy);
+                let nfy = b.fma(w, dy, cfy);
+                b.set(fy, nfy);
+                let cfz = b.get(fz);
+                let nfz = b.fma(w, dz, cfz);
+                b.set(fz, nfz);
+            });
+        });
+
+        let three = b.const_u32(3);
+        let fbase = b.mul(tid, three);
+        let fo = b.add(force, fbase);
+        let vx = b.get(fx);
+        b.store(fo, vx);
+        let one = b.const_u32(1);
+        let fo1 = b.add(fo, one);
+        let vy = b.get(fy);
+        b.store(fo1, vy);
+        let two = b.const_u32(2);
+        let fo2 = b.add(fo, two);
+        let vz = b.get(fz);
+        b.store(fo2, vz);
+    });
+    b.finish()
+}
+
+/// Builds the LAVAMD benchmark (`BASE_BOXES × scale` boxes).
+pub fn build(scale: u32) -> Benchmark {
+    let nboxes = BASE_BOXES * scale.max(1);
+    let n = nboxes * PER_BOX;
+    let mut r = util::rng(0x1A7A);
+    let xs = util::random_f32(&mut r, n as usize, 0.0, 10.0);
+    let ys = util::random_f32(&mut r, n as usize, 0.0, 10.0);
+    let zs = util::random_f32(&mut r, n as usize, 0.0, 10.0);
+    let qs = util::random_f32(&mut r, n as usize, 0.1, 1.0);
+
+    let mut mem = MemoryImage::new((7 * n + 64) as usize);
+    let xs_base = mem.alloc_f32(&xs);
+    let ys_base = mem.alloc_f32(&ys);
+    let zs_base = mem.alloc_f32(&zs);
+    let qs_base = mem.alloc_f32(&qs);
+    let force_base = mem.alloc(3 * n);
+
+    let kernel = kernel_gpu_cuda();
+    let kernels = vec![kernel.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        launcher.launch(
+            &kernel,
+            &Launch::new(
+                n,
+                vec![
+                    Word::from_u32(xs_base),
+                    Word::from_u32(ys_base),
+                    Word::from_u32(zs_base),
+                    Word::from_u32(qs_base),
+                    Word::from_u32(force_base),
+                    Word::from_u32(nboxes),
+                    Word::from_f32(9.0),
+                ],
+            ),
+            mem,
+        )
+    };
+
+    Benchmark::new(
+        "LAVAMD",
+        "Molecular Dynamics",
+        "Calculation of particle potential/position (cutoff N-body in boxes)",
+        false,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn lavamd_verifies_on_interp() {
+        let b = build(1);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn kernel_is_loop_heavy() {
+        let k = kernel_gpu_cuda();
+        assert!(
+            k.num_blocks() >= 6,
+            "expected nested neighbour/particle loops, got {} blocks",
+            k.num_blocks()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Rodinia-like benchmark suite for the VGIW reproduction (Table 2).
+//!
+//! Every application from the paper's Table 2 is ported to the `vgiw-ir`
+//! builder DSL with a synthetic workload generator and a golden output
+//! computed on the reference interpreter. The ports preserve each
+//! kernel's control structure (block counts close to Table 2), arithmetic
+//! mix and memory access pattern; shared-memory/barrier constructs are
+//! replaced by multi-launch phases (documented per app and in DESIGN.md).
+//!
+//! Use [`suite`] for the full benchmark list and
+//! [`Benchmark::run`] with a machine-specific
+//! [`Launcher`] to execute one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod bpnn;
+pub mod cfd;
+pub mod ge;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lavamd;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pf;
+pub mod sm;
+mod suite;
+pub mod util;
+
+pub use suite::{single_launch, Benchmark, Driver, InterpLauncher, Launcher};
+
+/// Builds the full Table-2 suite at the given scale (1 = default sizes).
+pub fn suite(scale: u32) -> Vec<Benchmark> {
+    vec![
+        bfs::build(scale),
+        kmeans::build(scale),
+        cfd::build(scale),
+        lud::build(scale),
+        ge::build(scale),
+        hotspot::build(scale),
+        lavamd::build(scale),
+        nn::build(scale),
+        pf::build(scale),
+        bpnn::build(scale),
+        nw::build(scale),
+        sm::build(scale),
+    ]
+}
+
+/// Application names in suite order.
+pub fn app_names() -> Vec<&'static str> {
+    vec![
+        "BFS", "KMEANS", "CFD", "LUD", "GE", "HOTSPOT", "LAVAMD", "NN", "PF", "BPNN", "NW", "SM",
+    ]
+}

@@ -1,0 +1,234 @@
+//! PF — particle filter `normalize_weights` (Medical Imaging, Table 2).
+//!
+//! Three launches replace the original's shared-memory reduction (our
+//! machines expose no scratchpad/barriers — see DESIGN.md): strided
+//! partial sums, a single-thread final reduction, then the per-particle
+//! normalization with its `u == 0` special case (the guard structure
+//! behind Table 2's 5 blocks).
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Particles at scale 1.
+pub const BASE_PARTICLES: u32 = 4096;
+/// Partial-sum workers.
+pub const WORKERS: u32 = 64;
+
+/// `partial_sums`: worker `w` sums `weights[w], weights[w+W], ...`.
+///
+/// Params: `0` = weights, `1` = partials out, `2` = n.
+pub fn partial_sums_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("partial_sums", 3);
+    let tid = b.thread_id();
+    let n = b.param(2);
+    let workers = b.const_u32(WORKERS);
+    let guard = b.lt_u(tid, workers);
+    b.if_(guard, |b| {
+        let weights = b.param(0);
+        let partials = b.param(1);
+        let zerof = b.const_f32(0.0);
+        let acc = b.var(zerof);
+        let i = b.var(tid);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, n)
+            },
+            |b| {
+                let iv = b.get(i);
+                let wa = b.add(weights, iv);
+                let w = b.load(wa);
+                let cur = b.get(acc);
+                let s = b.fadd(cur, w);
+                b.set(acc, s);
+                let next = b.add(iv, workers);
+                b.set(i, next);
+            },
+        );
+        let pa = b.add(partials, tid);
+        let v = b.get(acc);
+        b.store(pa, v);
+    });
+    b.finish()
+}
+
+/// `final_sum`: thread 0 reduces the partials into `sum_addr`.
+///
+/// Params: `0` = partials, `1` = sum address.
+pub fn final_sum_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("final_sum", 2);
+    let tid = b.thread_id();
+    let zero = b.const_u32(0);
+    let is0 = b.eq(tid, zero);
+    b.if_(is0, |b| {
+        let partials = b.param(0);
+        let out = b.param(1);
+        let zerof = b.const_f32(0.0);
+        let acc = b.var(zerof);
+        let zero2 = b.const_u32(0);
+        let workers = b.const_u32(WORKERS);
+        b.for_range(zero2, workers, |b, i| {
+            let pa = b.add(partials, i);
+            let v = b.load(pa);
+            let cur = b.get(acc);
+            let s = b.fadd(cur, v);
+            b.set(acc, s);
+        });
+        let v = b.get(acc);
+        b.store(out, v);
+    });
+    b.finish()
+}
+
+/// `normalize_weights`: `w[i] /= sum`, with a degenerate-sum special case
+/// (threads reset to uniform weights when the sum underflows) — the
+/// divergent structure of the Table 2 kernel. Loop-free: in the paper's
+/// SGMF-mappable subset.
+///
+/// Params: `0` = weights, `1` = sum address, `2` = n.
+pub fn normalize_weights_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("normalize_weights", 3);
+    let tid = b.thread_id();
+    let n = b.param(2);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let weights = b.param(0);
+        let sum_addr = b.param(1);
+        let sum = b.load(sum_addr);
+        let eps = b.const_f32(1e-12);
+        let degenerate = b.flt(sum, eps);
+        let wa = b.add(weights, tid);
+        b.if_else(
+            degenerate,
+            |b| {
+                // Reset to uniform.
+                let onef = b.const_f32(1.0);
+                let nf = b.u2f(n);
+                let u = b.fdiv(onef, nf);
+                b.store(wa, u);
+            },
+            |b| {
+                let w = b.load(wa);
+                let nw = b.fdiv(w, sum);
+                b.store(wa, nw);
+            },
+        );
+    });
+    b.finish()
+}
+
+/// Builds the PF benchmark (`BASE_PARTICLES × scale` particles).
+pub fn build(scale: u32) -> Benchmark {
+    let n = BASE_PARTICLES * scale.max(1);
+    let mut r = util::rng(0x9F);
+    let weights = util::random_f32(&mut r, n as usize, 0.0, 1.0);
+
+    let mut mem = MemoryImage::new((n + WORKERS + 8) as usize);
+    let w_base = mem.alloc_f32(&weights);
+    let partials_base = mem.alloc(WORKERS);
+    let sum_addr = mem.alloc(1);
+
+    let partial = partial_sums_kernel();
+    let final_k = final_sum_kernel();
+    let normalize = normalize_weights_kernel();
+    let kernels = vec![normalize.clone(), partial.clone(), final_k.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        launcher.launch(
+            &partial,
+            &Launch::new(
+                WORKERS,
+                vec![
+                    Word::from_u32(w_base),
+                    Word::from_u32(partials_base),
+                    Word::from_u32(n),
+                ],
+            ),
+            mem,
+        )?;
+        launcher.launch(
+            &final_k,
+            &Launch::new(
+                1,
+                vec![Word::from_u32(partials_base), Word::from_u32(sum_addr)],
+            ),
+            mem,
+        )?;
+        launcher.launch(
+            &normalize,
+            &Launch::new(
+                n,
+                vec![
+                    Word::from_u32(w_base),
+                    Word::from_u32(sum_addr),
+                    Word::from_u32(n),
+                ],
+            ),
+            mem,
+        )
+    };
+
+    Benchmark::new(
+        "PF",
+        "Medical Imaging",
+        "Particle filter target estimator (weight normalization)",
+        true,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn pf_verifies_on_interp() {
+        let b = build(1);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn weights_sum_to_one_after_normalization() {
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        use crate::suite::Launcher;
+        let n = BASE_PARTICLES;
+        InterpLauncher
+            .launch(
+                &b.kernels[1],
+                &Launch::new(
+                    WORKERS,
+                    vec![Word::from_u32(0), Word::from_u32(n), Word::from_u32(n)],
+                ),
+                &mut mem,
+            )
+            .unwrap();
+        InterpLauncher
+            .launch(
+                &b.kernels[2],
+                &Launch::new(1, vec![Word::from_u32(n), Word::from_u32(n + WORKERS)]),
+                &mut mem,
+            )
+            .unwrap();
+        InterpLauncher
+            .launch(
+                &b.kernels[0],
+                &Launch::new(
+                    n,
+                    vec![
+                        Word::from_u32(0),
+                        Word::from_u32(n + WORKERS),
+                        Word::from_u32(n),
+                    ],
+                ),
+                &mut mem,
+            )
+            .unwrap();
+        let total: f64 = (0..n).map(|i| mem.read_f32(i) as f64).sum();
+        assert!((total - 1.0).abs() < 1e-3, "weights sum to {total}");
+    }
+}

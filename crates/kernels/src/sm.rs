@@ -1,0 +1,157 @@
+//! SM — streamcluster `compute_cost` (Data Mining, Table 2).
+//!
+//! Each thread evaluates whether opening a candidate center lowers its
+//! point's assignment cost: weighted squared distance against the current
+//! cost, with a conditional reassignment — the guard + compare + update
+//! branch structure behind Table 2's 6 blocks. Loop-free (dimensions
+//! unrolled), so it is in the SGMF-mappable subset.
+
+use crate::suite::{Benchmark, Launcher};
+use crate::util;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+
+/// Point dimensionality (unrolled).
+pub const DIM: u32 = 4;
+/// Points at scale 1.
+pub const BASE_POINTS: u32 = 2048;
+
+/// Builds `compute_cost`.
+///
+/// Params: `0` = points (n×DIM), `1` = weights, `2` = cost array,
+/// `3` = assign array, `4` = n, `5` = candidate center index,
+/// `6..(6+DIM)` = candidate center coordinates.
+pub fn compute_cost_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("compute_cost", (6 + DIM) as u8);
+    let tid = b.thread_id();
+    let n = b.param(4);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let points = b.param(0);
+        let weights = b.param(1);
+        let costs = b.param(2);
+        let assigns = b.param(3);
+        let center = b.param(5);
+        let dim = b.const_u32(DIM);
+        let row = b.mul(tid, dim);
+        let base = b.add(points, row);
+        // Unrolled squared distance.
+        let mut d2 = b.const_f32(0.0);
+        for k in 0..DIM {
+            let ko = b.const_u32(k);
+            let pa = b.add(base, ko);
+            let p = b.load(pa);
+            let c = b.param((6 + k) as u8);
+            let diff = b.fsub(p, c);
+            d2 = b.fma(diff, diff, d2);
+        }
+        let wa = b.add(weights, tid);
+        let w = b.load(wa);
+        let new_cost = b.fmul(d2, w);
+        let ca = b.add(costs, tid);
+        let cur = b.load(ca);
+        let better = b.flt(new_cost, cur);
+        b.if_(better, |b| {
+            b.store(ca, new_cost);
+            let aa = b.add(assigns, tid);
+            b.store(aa, center);
+        });
+    });
+    b.finish()
+}
+
+/// Builds the SM benchmark (`BASE_POINTS × scale` points, 6 candidate
+/// centers evaluated in sequence).
+pub fn build(scale: u32) -> Benchmark {
+    let n = BASE_POINTS * scale.max(1);
+    let mut r = util::rng(0x57C);
+    let points = util::random_f32(&mut r, (n * DIM) as usize, 0.0, 100.0);
+    let weights = util::random_f32(&mut r, n as usize, 0.5, 2.0);
+    let centers = util::random_f32(&mut r, (6 * DIM) as usize, 0.0, 100.0);
+
+    let mut mem = MemoryImage::new(((DIM + 3) * n + 64) as usize);
+    let p_base = mem.alloc_f32(&points);
+    let w_base = mem.alloc_f32(&weights);
+    let cost_base = mem.alloc(n);
+    let assign_base = mem.alloc(n);
+    for i in 0..n {
+        mem.write(cost_base + i, Word::from_f32(f32::MAX));
+        mem.write(assign_base + i, Word::from_u32(u32::MAX));
+    }
+
+    let kernel = compute_cost_kernel();
+    let kernels = vec![kernel.clone()];
+
+    let driver = move |mem: &mut MemoryImage, launcher: &mut dyn Launcher| {
+        for c in 0..6u32 {
+            let mut params = vec![
+                Word::from_u32(p_base),
+                Word::from_u32(w_base),
+                Word::from_u32(cost_base),
+                Word::from_u32(assign_base),
+                Word::from_u32(n),
+                Word::from_u32(c),
+            ];
+            for k in 0..DIM {
+                params.push(Word::from_f32(centers[(c * DIM + k) as usize]));
+            }
+            launcher.launch(&kernel, &Launch::new(n, params), mem)?;
+        }
+        Ok(())
+    };
+
+    Benchmark::new(
+        "SM",
+        "Data Mining",
+        "Clustering algorithm (streamcluster assignment cost)",
+        false,
+        kernels,
+        mem,
+        Box::new(driver),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::InterpLauncher;
+
+    #[test]
+    fn sm_verifies_on_interp() {
+        let b = build(1);
+        b.run(&mut InterpLauncher).unwrap();
+    }
+
+    #[test]
+    fn every_point_gets_assigned() {
+        let b = build(1);
+        let mut mem = b.initial_memory();
+        use crate::suite::Launcher;
+        let n = BASE_POINTS;
+        let mut r = util::rng(0x57C);
+        let _points = util::random_f32(&mut r, (n * DIM) as usize, 0.0, 100.0);
+        let _weights = util::random_f32(&mut r, n as usize, 0.5, 2.0);
+        let centers = util::random_f32(&mut r, (6 * DIM) as usize, 0.0, 100.0);
+        let cost_base = n * DIM + n;
+        let assign_base = cost_base + n;
+        for c in 0..6u32 {
+            let mut params = vec![
+                Word::from_u32(0),
+                Word::from_u32(n * DIM),
+                Word::from_u32(cost_base),
+                Word::from_u32(assign_base),
+                Word::from_u32(n),
+                Word::from_u32(c),
+            ];
+            for k in 0..DIM {
+                params.push(Word::from_f32(centers[(c * DIM + k) as usize]));
+            }
+            InterpLauncher
+                .launch(&b.kernels[0], &Launch::new(n, params), &mut mem)
+                .unwrap();
+        }
+        for i in 0..n {
+            assert!(mem.read(assign_base + i).as_u32() < 6, "point {i} unassigned");
+            assert!(mem.read_f32(cost_base + i) < f32::MAX);
+        }
+    }
+}

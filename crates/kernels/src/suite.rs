@@ -1,0 +1,208 @@
+//! The benchmark framework: portable app descriptions that any of the
+//! architectural models can execute.
+//!
+//! A [`Benchmark`] owns its initial memory image, its kernels, and a
+//! *driver* — host-side code that sequences kernel launches (possibly
+//! data-dependently, e.g. BFS relaunches until the frontier is empty).
+//! The driver talks to a [`Launcher`], implemented by the experiment
+//! harness once per machine (interpreter, VGIW, Fermi-like SIMT, SGMF).
+//!
+//! Functional correctness is enforced with a *golden image*: at
+//! construction, the driver runs on the reference interpreter; every
+//! machine's final memory must match it bit-for-bit.
+
+use vgiw_ir::{interp, Kernel, Launch, MemoryImage};
+
+/// Executes kernel launches on some machine.
+pub trait Launcher {
+    /// Runs one kernel launch against `mem`.
+    ///
+    /// # Errors
+    /// Returns a human-readable error if the machine rejects or fails the
+    /// launch (e.g. SGMF unmappability).
+    fn launch(&mut self, kernel: &Kernel, launch: &Launch, mem: &mut MemoryImage)
+        -> Result<(), String>;
+}
+
+/// A launcher backed by the reference interpreter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InterpLauncher;
+
+impl Launcher for InterpLauncher {
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mem: &mut MemoryImage,
+    ) -> Result<(), String> {
+        interp::run(kernel, launch, mem).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+/// Host-side driver: sequences launches, may read memory between them.
+pub type Driver = Box<dyn Fn(&mut MemoryImage, &mut dyn Launcher) -> Result<(), String> + Send + Sync>;
+
+/// One benchmark: kernels + input data + host driver + golden output.
+pub struct Benchmark {
+    /// Application name (Table 2), e.g. `"BFS"`.
+    pub app: &'static str,
+    /// Application domain (Table 2), e.g. `"Graph Algorithms"`.
+    pub domain: &'static str,
+    /// Short description (Table 2).
+    pub description: &'static str,
+    /// Whether the paper's analysis classifies it as memory-bound (§5).
+    pub memory_bound: bool,
+    /// The kernels, for Table 2 reporting (name + block count).
+    pub kernels: Vec<Kernel>,
+    mem: MemoryImage,
+    driver: Driver,
+    golden: MemoryImage,
+}
+
+impl Benchmark {
+    /// Builds a benchmark and computes its golden image on the reference
+    /// interpreter.
+    ///
+    /// # Panics
+    /// Panics if the driver fails on the interpreter — that is a bug in
+    /// the benchmark itself.
+    pub fn new(
+        app: &'static str,
+        domain: &'static str,
+        description: &'static str,
+        memory_bound: bool,
+        kernels: Vec<Kernel>,
+        mem: MemoryImage,
+        driver: Driver,
+    ) -> Benchmark {
+        let mut golden = mem.clone();
+        driver(&mut golden, &mut InterpLauncher)
+            .unwrap_or_else(|e| panic!("benchmark {app} fails on the interpreter: {e}"));
+        Benchmark { app, domain, description, memory_bound, kernels, mem, driver, golden }
+    }
+
+    /// Runs the benchmark on `launcher` and verifies the result against
+    /// the golden image.
+    ///
+    /// # Errors
+    /// Returns an error if a launch fails or the final memory mismatches.
+    pub fn run(&self, launcher: &mut dyn Launcher) -> Result<(), String> {
+        let mut mem = self.mem.clone();
+        (self.driver)(&mut mem, launcher)?;
+        self.verify(&mem)
+    }
+
+    /// Checks a final memory image against the golden output.
+    ///
+    /// # Errors
+    /// Returns the first mismatching word.
+    pub fn verify(&self, mem: &MemoryImage) -> Result<(), String> {
+        for addr in 0..self.golden.len() as u32 {
+            if mem.read_wrapped(addr) != self.golden.read(addr) {
+                return Err(format!(
+                    "{}: memory mismatch at word {addr}: got {}, want {}",
+                    self.app,
+                    mem.read_wrapped(addr),
+                    self.golden.read(addr)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy of the initial memory image (for custom experiments).
+    pub fn initial_memory(&self) -> MemoryImage {
+        self.mem.clone()
+    }
+
+    /// Per-kernel block counts, for the Table 2 dump.
+    pub fn kernel_summary(&self) -> Vec<(String, usize)> {
+        self.kernels
+            .iter()
+            .map(|k| (k.name.clone(), k.num_blocks()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Benchmark({}, {} kernels)", self.app, self.kernels.len())
+    }
+}
+
+/// Convenience: a single-kernel, single-launch benchmark (used for the
+/// SGMF-comparable kernel subset of Figures 8 and 11).
+pub fn single_launch(
+    app: &'static str,
+    domain: &'static str,
+    description: &'static str,
+    memory_bound: bool,
+    kernel: Kernel,
+    mem: MemoryImage,
+    launch: Launch,
+) -> Benchmark {
+    let k = kernel.clone();
+    Benchmark::new(
+        app,
+        domain,
+        description,
+        memory_bound,
+        vec![kernel],
+        mem,
+        Box::new(move |mem, launcher| launcher.launch(&k, &launch, mem)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{KernelBuilder, Word};
+
+    fn trivial() -> Benchmark {
+        let mut b = KernelBuilder::new("t", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        b.store(addr, tid);
+        let kernel = b.finish();
+        let mut mem = MemoryImage::new(64);
+        let base = mem.alloc(32);
+        single_launch(
+            "TRIVIAL",
+            "Testing",
+            "writes tid",
+            false,
+            kernel,
+            mem,
+            Launch::new(32, vec![Word::from_u32(base)]),
+        )
+    }
+
+    #[test]
+    fn golden_round_trip() {
+        let b = trivial();
+        let mut launcher = InterpLauncher;
+        b.run(&mut launcher).expect("interp must match its own golden");
+    }
+
+    #[test]
+    fn verify_rejects_corruption() {
+        let b = trivial();
+        let mut bad = b.initial_memory();
+        assert!(b.verify(&bad).is_err(), "initial memory should not verify");
+        let mut launcher = InterpLauncher;
+        (b.driver)(&mut bad, &mut launcher).unwrap();
+        assert!(b.verify(&bad).is_ok());
+        bad.write(3, Word::from_u32(999));
+        assert!(b.verify(&bad).is_err());
+    }
+
+    #[test]
+    fn kernel_summary_names_blocks() {
+        let b = trivial();
+        let s = b.kernel_summary();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, "t");
+        assert_eq!(s[0].1, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared workload-generation helpers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for workload generation (fixed seed per app so the
+/// golden image is stable).
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` floats uniform in `[lo, hi)`.
+pub fn random_f32(rng: &mut SmallRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` unsigned integers uniform in `[0, bound)`.
+pub fn random_u32(rng: &mut SmallRng, n: usize, bound: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = random_f32(&mut rng(7), 4, 0.0, 1.0);
+        let b = random_f32(&mut rng(7), 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let v = random_u32(&mut rng(3), 100, 10);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+}

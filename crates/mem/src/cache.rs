@@ -1,0 +1,239 @@
+//! Set-associative tag arrays with LRU replacement.
+//!
+//! [`CacheArray`] is a pure state machine over cache *lines* (no data — the
+//! functional image lives in `vgiw_ir::MemoryImage`); the timing hierarchy
+//! in [`crate::hierarchy`] composes banks of these arrays with ports, MSHRs
+//! and DRAM contention.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes (across all banks).
+    pub size_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Number of independently-ported banks.
+    pub banks: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets per bank.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets_per_bank(&self) -> u32 {
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(self.size_bytes % self.line_bytes, 0, "size must be a multiple of line");
+        let per_bank = lines / self.banks;
+        assert_eq!(lines % self.banks, 0, "lines must divide evenly across banks");
+        assert_eq!(per_bank % self.ways, 0, "lines per bank must divide by ways");
+        per_bank / self.ways
+    }
+
+    /// The line index (line-granular address) of a byte address.
+    pub fn line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr / self.line_bytes as u64
+    }
+
+    /// The bank servicing a line (line-interleaved banking).
+    pub fn bank_of(&self, line: u64) -> u32 {
+        (line % self.banks as u64) as u32
+    }
+}
+
+/// Outcome of a cache fill: the victim line that was evicted, if any, and
+/// whether it was dirty (needs writeback).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eviction {
+    /// The evicted line index.
+    pub line: u64,
+    /// Whether the victim held modified data.
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// One bank's tag array: set-associative, true-LRU.
+#[derive(Clone, Debug)]
+pub struct CacheArray {
+    sets: Vec<Vec<Way>>,
+    num_sets: u32,
+    bank_stride: u32,
+    tick: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty array with `num_sets` sets of `ways` ways.
+    ///
+    /// Lines arriving at a banked array are already bank-filtered (all have
+    /// the same `line % banks`); `bank_stride` is that bank count, folded
+    /// out of the line index before set selection. Use `1` for an unbanked
+    /// array.
+    ///
+    /// # Panics
+    /// Panics if `num_sets`, `ways` or `bank_stride` is zero.
+    pub fn new(num_sets: u32, ways: u32, bank_stride: u32) -> CacheArray {
+        assert!(num_sets > 0 && ways > 0, "cache must have sets and ways");
+        assert!(bank_stride > 0, "bank stride must be positive");
+        CacheArray {
+            sets: vec![
+                vec![Way { line: 0, valid: false, dirty: false, lru: 0 }; ways as usize];
+                num_sets as usize
+            ],
+            num_sets,
+            bank_stride,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / self.bank_stride as u64) % self.num_sets as u64) as usize
+    }
+
+    /// Looks up a line; on hit, updates LRU and (if `mark_dirty`) the dirty
+    /// bit. Returns whether the line was present.
+    pub fn access(&mut self, line: u64, mark_dirty: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.lru = tick;
+                if mark_dirty {
+                    way.dirty = true;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checks presence without touching LRU or dirty state.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.valid && w.line == line)
+    }
+
+    /// Installs a line (after a miss), evicting the LRU victim if the set is
+    /// full. The new line's dirty bit is set from `dirty`.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        // If the line is somehow already present (e.g. a racing fill), just
+        // refresh it.
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.lru = tick;
+                way.dirty |= dirty;
+                return None;
+            }
+        }
+        // Prefer an invalid way.
+        if let Some(way) = self.sets[set].iter_mut().find(|w| !w.valid) {
+            *way = Way { line, valid: true, dirty, lru: tick };
+            return None;
+        }
+        // Evict LRU.
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("sets are never empty");
+        let evicted = Eviction { line: victim.line, dirty: victim.dirty };
+        *victim = Way { line, valid: true, dirty, lru: tick };
+        Some(evicted)
+    }
+
+    /// Invalidates a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.line == line {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_math() {
+        // The paper's L1: 64KB, 32 banks, 128B lines, 4-way.
+        let g = CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, banks: 32 };
+        assert_eq!(g.sets_per_bank(), 4);
+        assert_eq!(g.line_of(256), 2);
+        assert_eq!(g.bank_of(33), 1);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = CacheArray::new(4, 2, 1);
+        assert!(!c.access(10, false));
+        assert_eq!(c.fill(10, false), None);
+        assert!(c.access(10, false));
+        assert!(c.probe(10));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = CacheArray::new(1, 2, 1);
+        c.fill(1, false);
+        c.fill(2, false);
+        c.access(1, false); // 2 is now LRU
+        let ev = c.fill(3, false).unwrap();
+        assert_eq!(ev.line, 2);
+        assert!(!ev.dirty);
+        assert!(c.probe(1) && c.probe(3) && !c.probe(2));
+    }
+
+    #[test]
+    fn dirty_victims_are_reported() {
+        let mut c = CacheArray::new(1, 1, 1);
+        c.fill(1, false);
+        c.access(1, true); // dirty it
+        let ev = c.fill(2, false).unwrap();
+        assert_eq!(ev, Eviction { line: 1, dirty: true });
+    }
+
+    #[test]
+    fn fill_of_present_line_is_idempotent() {
+        let mut c = CacheArray::new(1, 2, 1);
+        c.fill(1, true);
+        assert_eq!(c.fill(1, false), None);
+        let ev = c.fill(2, false);
+        assert_eq!(ev, None);
+        // Line 1 must still be dirty.
+        // Line 1 was refreshed before line 2 was installed, so it is LRU;
+        // its dirty bit from the first fill must have survived the refresh.
+        let ev = c.fill(3, false).unwrap();
+        assert_eq!(ev, Eviction { line: 1, dirty: true });
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = CacheArray::new(2, 1, 1);
+        c.fill(4, true);
+        assert_eq!(c.invalidate(4), Some(true));
+        assert_eq!(c.invalidate(4), None);
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "sets and ways")]
+    fn zero_geometry_panics() {
+        let _ = CacheArray::new(0, 1, 1);
+    }
+}

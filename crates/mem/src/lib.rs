@@ -1,0 +1,22 @@
+//! GPU memory hierarchy for the VGIW reproduction.
+//!
+//! Implements the paper's Table-1 memory system: a banked L1 (64KB, 32
+//! banks, 128B lines, 4-way), an optional second L1-level port for the live
+//! value cache, a shared 768KB 6-bank L2 and a 6-channel, 16-bank-per-channel
+//! GDDR5 timing model. VGIW uses write-back/write-allocate L1 policies,
+//! Fermi write-through/write-no-allocate (paper section 3.6).
+//!
+//! The hierarchy is timing-only: functional data lives in
+//! `vgiw_ir::MemoryImage` inside the processor models. See [`MemSystem`]
+//! for the request/response protocol.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+mod hierarchy;
+mod stats;
+
+pub use cache::{CacheArray, CacheGeometry, Eviction};
+pub use hierarchy::{AllocPolicy, L1Config, MemSystem, PortId, ReqId, SharedConfig, WritePolicy};
+pub use stats::{DramStats, LevelStats, MemStats};

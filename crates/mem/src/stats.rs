@@ -1,0 +1,115 @@
+//! Access statistics, consumed by the reports and the energy model.
+
+/// Counters for one cache level or port.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LevelStats {
+    /// Requests accepted (including MSHR merges).
+    pub accesses: u64,
+    /// Of which stores.
+    pub stores: u64,
+    /// Tag hits.
+    pub hits: u64,
+    /// Primary misses (one per in-flight line).
+    pub misses: u64,
+    /// Requests merged into an in-flight miss.
+    pub mshr_merges: u64,
+    /// Requests rejected (port backlog or MSHRs full); the client retried.
+    pub rejects: u64,
+    /// Lines installed.
+    pub fills: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Hit rate over accepted requests that did a tag lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
+    }
+}
+
+/// DRAM traffic counters.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DramStats {
+    /// Line reads.
+    pub reads: u64,
+    /// Line writes (write-through traffic and L2 writebacks).
+    pub writes: u64,
+}
+
+/// Statistics for an entire [`crate::MemSystem`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemStats {
+    /// One entry per L1-level port (data L1 first, then e.g. the LVC).
+    pub port: Vec<LevelStats>,
+    /// The shared L2.
+    pub l2: LevelStats,
+    /// DRAM traffic.
+    pub dram: DramStats,
+}
+
+impl MemStats {
+    /// Zeroed statistics for `num_ports` L1-level ports.
+    pub fn new(num_ports: usize) -> MemStats {
+        MemStats {
+            port: vec![LevelStats::default(); num_ports],
+            l2: LevelStats::default(),
+            dram: DramStats::default(),
+        }
+    }
+
+    /// The counters accumulated since `before` was captured (all fields).
+    ///
+    /// # Panics
+    /// Panics if the port counts differ.
+    pub fn delta_since(&self, before: &MemStats) -> MemStats {
+        assert_eq!(self.port.len(), before.port.len(), "port count mismatch");
+        let level = |a: &LevelStats, b: &LevelStats| LevelStats {
+            accesses: a.accesses - b.accesses,
+            stores: a.stores - b.stores,
+            hits: a.hits - b.hits,
+            misses: a.misses - b.misses,
+            mshr_merges: a.mshr_merges - b.mshr_merges,
+            rejects: a.rejects - b.rejects,
+            fills: a.fills - b.fills,
+            writebacks: a.writebacks - b.writebacks,
+        };
+        MemStats {
+            port: self
+                .port
+                .iter()
+                .zip(&before.port)
+                .map(|(a, b)| level(a, b))
+                .collect(),
+            l2: level(&self.l2, &before.l2),
+            dram: DramStats {
+                reads: self.dram.reads - before.dram.reads,
+                writes: self.dram.writes - before.dram.writes,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        let s = LevelStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = LevelStats { hits: 3, misses: 1, ..LevelStats::default() };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn mem_stats_shape() {
+        let s = MemStats::new(2);
+        assert_eq!(s.port.len(), 2);
+        assert_eq!(s.dram.reads, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! GPUWattch-style event-based energy model for the three machines.
+//!
+//! Energy = Σ (event count × per-event energy) + static power × cycles,
+//! evaluated from the statistics each processor model collects. The paper
+//! compares energy *per unit of work* (§5: `work/energy`); since all
+//! machines execute the same kernel on the same data, the efficiency ratio
+//! between two machines is simply the inverse ratio of their total
+//! energies.
+//!
+//! Breakdown levels follow Figure 10: **core** (compute engine, including
+//! RF / LVC / CVT), **die** (core + L1 + L2 + memory controller /
+//! interconnect) and **system** (die + DRAM).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod tables;
+
+pub use tables::EnergyTable;
+
+use vgiw_core::VgiwRunStats;
+use vgiw_mem::MemStats;
+use vgiw_sgmf::SgmfRunStats;
+use vgiw_simt::SimtRunStats;
+
+/// Energy totals (picojoules) at the paper's three reporting levels.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EnergyBreakdown {
+    /// Compute engine: datapath + control + core-local storage.
+    pub core: f64,
+    /// L1-level caches (data L1 and, for VGIW, the LVC array dynamic part
+    /// is counted in core; this is the transaction side).
+    pub l1: f64,
+    /// Shared L2.
+    pub l2: f64,
+    /// DRAM dynamic + background.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Core-level total (Figure 10 "core").
+    pub fn core_level(&self) -> f64 {
+        self.core
+    }
+
+    /// Die-level total (Figure 10 "die"): core + caches.
+    pub fn die_level(&self) -> f64 {
+        self.core + self.l1 + self.l2
+    }
+
+    /// System-level total (Figure 10 "system"): die + DRAM.
+    pub fn system_level(&self) -> f64 {
+        self.die_level() + self.dram
+    }
+}
+
+/// The energy model: an [`EnergyTable`] applied to run statistics.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EnergyModel {
+    /// Per-event energies.
+    pub table: EnergyTable,
+}
+
+impl EnergyModel {
+    /// A model with the default table.
+    pub fn new() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    fn mem_energy(&self, mem: &MemStats, cycles: u64) -> (f64, f64, f64) {
+        let t = &self.table;
+        let l1_txns: u64 = mem.port.iter().map(|p| p.accesses + p.fills).sum();
+        let l1 = l1_txns as f64 * t.l1_access + cycles as f64 * t.die_static * 0.5;
+        let l2 = (mem.l2.accesses + mem.l2.fills) as f64 * t.l2_access
+            + cycles as f64 * t.die_static * 0.5;
+        let dram = (mem.dram.reads + mem.dram.writes) as f64 * t.dram_access
+            + cycles as f64 * t.dram_static;
+        (l1, l2, dram)
+    }
+
+    /// Energy of a VGIW run.
+    pub fn vgiw(&self, s: &VgiwRunStats) -> EnergyBreakdown {
+        let t = &self.table;
+        let f = &s.fabric;
+        let datapath = f.int_alu_ops as f64 * t.int_op
+            + f.fp_ops as f64 * t.fp_op
+            + f.special_ops as f64 * t.sfu_op;
+        let transport = f.tokens_delivered as f64 * t.token_buffer
+            + f.hop_traversals as f64 * t.hop
+            + f.split_join_ops as f64 * t.split_join
+            + (f.threads_injected + f.threads_retired) as f64 * t.cvu_event;
+        let lvc = (f.lv_loads + f.lv_stores) as f64 * t.lvc_access;
+        let cvt = (s.cvt.word_reads + s.cvt.word_writes) as f64 * t.cvt_word;
+        let config =
+            s.block_executions as f64 * 108.0 * t.config_per_unit;
+        let core = datapath + transport + lvc + cvt + config
+            + s.cycles as f64 * t.core_static;
+        // The LVC's cache-transaction side is charged like an L1 port via
+        // mem.port[1] inside mem_energy.
+        let (l1, l2, dram) = self.mem_energy(&s.mem, s.cycles);
+        EnergyBreakdown { core, l1, l2, dram }
+    }
+
+    /// Energy of a Fermi-like SIMT run.
+    pub fn simt(&self, s: &SimtRunStats) -> EnergyBreakdown {
+        let t = &self.table;
+        let datapath = s.lane_int_ops as f64 * t.int_op
+            + s.lane_fp_ops as f64 * t.fp_op
+            + s.lane_sfu_ops as f64 * t.sfu_op;
+        let frontend = s.warp_insts as f64 * t.warp_frontend;
+        let rf = (s.rf_reads + s.rf_writes) as f64 * t.rf_access;
+        let core = datapath + frontend + rf + s.cycles as f64 * t.core_static;
+        let (l1, l2, dram) = self.mem_energy(&s.mem, s.cycles);
+        EnergyBreakdown { core, l1, l2, dram }
+    }
+
+    /// Energy of an SGMF run.
+    pub fn sgmf(&self, s: &SgmfRunStats) -> EnergyBreakdown {
+        let t = &self.table;
+        let f = &s.fabric;
+        let datapath = f.int_alu_ops as f64 * t.int_op
+            + f.fp_ops as f64 * t.fp_op
+            + f.special_ops as f64 * t.sfu_op;
+        let transport = f.tokens_delivered as f64 * t.token_buffer
+            + f.hop_traversals as f64 * t.hop
+            + f.split_join_ops as f64 * t.split_join
+            + (f.threads_injected + f.threads_retired) as f64 * t.cvu_event;
+        let config = 108.0 * t.config_per_unit; // configured once
+        let core = datapath + transport + config + s.cycles as f64 * t.core_static;
+        let (l1, l2, dram) = self.mem_energy(&s.mem, s.cycles);
+        EnergyBreakdown { core, l1, l2, dram }
+    }
+}
+
+/// Energy-efficiency ratio of `b` relative to `a` at system level:
+/// `> 1` means `a` is more efficient (uses less energy for the same work).
+pub fn efficiency_ratio(a: &EnergyBreakdown, b: &EnergyBreakdown) -> f64 {
+    b.system_level() / a.system_level()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{KernelBuilder, Launch, MemoryImage, Word};
+
+    fn sample_kernel() -> vgiw_ir::Kernel {
+        let mut b = KernelBuilder::new("e", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let sq = b.mul(tid, tid);
+        let f = b.u2f(sq);
+        let r = b.fsqrt(f);
+        let v = b.f2i(r);
+        b.store(addr, v);
+        b.finish()
+    }
+
+    #[test]
+    fn energies_are_positive_and_ordered() {
+        let k = sample_kernel();
+        let launch = Launch::new(256, vec![Word::from_u32(0)]);
+        let model = EnergyModel::new();
+
+        let mut m1 = MemoryImage::new(512);
+        let mut vgiw = vgiw_core::VgiwProcessor::default();
+        let vs = vgiw.run(&k, &launch, &mut m1).unwrap();
+        let ve = model.vgiw(&vs);
+
+        let mut m2 = MemoryImage::new(512);
+        let mut simt = vgiw_simt::SimtProcessor::default();
+        let ss = simt.run(&k, &launch, &mut m2).unwrap();
+        let se = model.simt(&ss);
+
+        for e in [&ve, &se] {
+            assert!(e.core > 0.0 && e.l1 > 0.0 && e.dram > 0.0);
+            assert!(e.system_level() > e.die_level());
+            assert!(e.die_level() > e.core_level());
+        }
+        // Same work, so efficiency ratio is energy ratio.
+        let ratio = efficiency_ratio(&ve, &se);
+        assert!(ratio.is_finite() && ratio > 0.0);
+    }
+
+    #[test]
+    fn breakdown_levels_accumulate() {
+        let e = EnergyBreakdown { core: 1.0, l1: 2.0, l2: 3.0, dram: 4.0 };
+        assert_eq!(e.core_level(), 1.0);
+        assert_eq!(e.die_level(), 6.0);
+        assert_eq!(e.system_level(), 10.0);
+    }
+}

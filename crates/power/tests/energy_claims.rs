@@ -1,0 +1,91 @@
+//! Tests of the energy model's comparative claims — the drivers behind
+//! Figures 9–11.
+
+use vgiw_core::VgiwProcessor;
+use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+use vgiw_power::{efficiency_ratio, EnergyModel, EnergyTable};
+use vgiw_simt::SimtProcessor;
+
+fn compute_kernel() -> Kernel {
+    // FP-dense, low memory traffic: the VGIW-friendly profile.
+    let mut b = KernelBuilder::new("compute", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let mut v = b.u2f(tid);
+    for _ in 0..12 {
+        let t = b.fmul(v, v);
+        let half = b.const_f32(0.5);
+        v = b.fma(t, half, v);
+    }
+    let addr = b.add(base, tid);
+    b.store(addr, v);
+    b.finish()
+}
+
+#[test]
+fn fermi_core_energy_is_frontend_and_rf_dominated() {
+    // The paper's premise ([3,4]): pipeline + RF are a large share of the
+    // von Neumann core energy. Verify the model reflects it.
+    let k = compute_kernel();
+    let launch = Launch::new(1024, vec![Word::from_u32(0)]);
+    let mut mem = MemoryImage::new(2048);
+    let mut p = SimtProcessor::default();
+    let stats = p.run(&k, &launch, &mut mem).unwrap();
+
+    let t = EnergyTable::default();
+    let frontend_rf =
+        stats.warp_insts as f64 * t.warp_frontend + stats.rf_accesses() as f64 * t.rf_access;
+    let datapath = stats.lane_int_ops as f64 * t.int_op
+        + stats.lane_fp_ops as f64 * t.fp_op
+        + stats.lane_sfu_ops as f64 * t.sfu_op;
+    let share = frontend_rf / (frontend_rf + datapath);
+    assert!(
+        (0.15..0.75).contains(&share),
+        "frontend+RF share should be a large minority of dynamic core energy, got {share}"
+    );
+}
+
+#[test]
+fn vgiw_wins_core_energy_on_compute_kernels() {
+    let k = compute_kernel();
+    let launch = Launch::new(2048, vec![Word::from_u32(0)]);
+    let model = EnergyModel::new();
+
+    let mut m1 = MemoryImage::new(4096);
+    let mut vgiw = VgiwProcessor::default();
+    let vs = vgiw.run(&k, &launch, &mut m1).unwrap();
+    let ve = model.vgiw(&vs);
+
+    let mut m2 = MemoryImage::new(4096);
+    let mut simt = SimtProcessor::default();
+    let ss = simt.run(&k, &launch, &mut m2).unwrap();
+    let se = model.simt(&ss);
+
+    assert!(
+        se.core_level() > ve.core_level(),
+        "dataflow core should beat von Neumann core on FP-dense work: fermi {} vs vgiw {}",
+        se.core_level(),
+        ve.core_level()
+    );
+    let r = efficiency_ratio(&ve, &se);
+    assert!(r.is_finite() && r > 0.0);
+}
+
+#[test]
+fn static_energy_scales_with_cycles() {
+    let k = compute_kernel();
+    let model = EnergyModel::new();
+    let run = |threads: u32| {
+        let mut mem = MemoryImage::new(32768);
+        let mut p = VgiwProcessor::default();
+        let s = p
+            .run(&k, &Launch::new(threads, vec![Word::from_u32(0)]), &mut mem)
+            .unwrap();
+        (s.cycles, model.vgiw(&s).system_level())
+    };
+    let (c1, e1) = run(256);
+    let (c2, e2) = run(4096);
+    assert!(c2 > c1 && e2 > e1, "more work costs more time and energy");
+    // Energy per thread should not explode with scale (fixed costs amortize).
+    assert!(e2 / 16.0 < e1 * 2.0);
+}

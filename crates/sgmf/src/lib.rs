@@ -1,0 +1,318 @@
+//! The SGMF (single-graph multiple-flows) dataflow GPGPU baseline.
+//!
+//! SGMF statically maps *all* control paths of a kernel onto the MT-CGRF
+//! at once (§2, Figure 1c): the whole kernel is if-converted into one
+//! predicated dataflow graph, configured once, and every thread flows
+//! through every node — predicated-off stores still occupy their units,
+//! which is the resource underutilization VGIW eliminates. There is no
+//! live value cache (values travel as direct edges) and no reconfiguration
+//! during the run.
+//!
+//! SGMF cannot execute kernels whose graph exceeds the fabric, and this
+//! reproduction's if-converter additionally excludes kernels with loops —
+//! matching the paper's evaluation, which compares only "the subset of
+//! kernels that can be mapped to the SGMF cores".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::error::Error;
+use std::fmt;
+use vgiw_compiler::ifconvert::{if_convert, IfConvertError};
+use vgiw_compiler::{place, Dfg, GridSpec, Placement};
+use vgiw_fabric::{Fabric, FabricConfig, FabricEnv, FabricStats, MemReqId};
+use vgiw_ir::{Kernel, Launch, MemoryImage, Word};
+use vgiw_mem::{L1Config, MemStats, MemSystem, SharedConfig};
+
+/// SGMF processor configuration: the same fabric and Table-1 memory system
+/// as VGIW, minus the LVC and CVT.
+#[derive(Clone, Debug)]
+pub struct SgmfConfig {
+    /// The MT-CGRF grid.
+    pub grid: GridSpec,
+    /// Fabric sizing/timing.
+    pub fabric: FabricConfig,
+    /// L1 data cache.
+    pub l1: L1Config,
+    /// Shared L2 + DRAM.
+    pub shared: SharedConfig,
+    /// One-time configuration cost in cycles.
+    pub config_cycles: u64,
+    /// Upper bound on whole-graph replicas.
+    pub max_replicas: u32,
+    /// Safety valve for runaway kernels.
+    pub cycle_limit: u64,
+}
+
+impl Default for SgmfConfig {
+    fn default() -> SgmfConfig {
+        let grid = GridSpec::paper();
+        let config_cycles = 2 * grid.config_wave_cycles() + 12;
+        SgmfConfig {
+            grid,
+            fabric: FabricConfig::default(),
+            l1: L1Config::vgiw_l1(),
+            shared: SharedConfig::fermi_like(),
+            config_cycles,
+            max_replicas: 8,
+            cycle_limit: 2_000_000_000,
+        }
+    }
+}
+
+/// Why SGMF could not run a kernel.
+#[derive(Debug)]
+pub enum SgmfError {
+    /// The kernel is not mappable (loops or capacity).
+    Unmappable(IfConvertError),
+    /// Even a single replica failed place & route.
+    PlacementFailed,
+    /// Runaway kernel.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SgmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgmfError::Unmappable(e) => write!(f, "kernel not SGMF-mappable: {e}"),
+            SgmfError::PlacementFailed => write!(f, "place & route failed"),
+            SgmfError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+        }
+    }
+}
+
+impl Error for SgmfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgmfError::Unmappable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Run statistics for one SGMF execution.
+#[derive(Clone, Debug)]
+pub struct SgmfRunStats {
+    /// Total cycles including the one-time configuration.
+    pub cycles: u64,
+    /// Whole-graph replicas mapped.
+    pub replicas: u32,
+    /// Nodes in the predicated graph.
+    pub graph_nodes: u32,
+    /// Fabric event counters.
+    pub fabric: FabricStats,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+}
+
+/// Checks whether a kernel is SGMF-mappable without running it.
+pub fn is_mappable(kernel: &Kernel, grid: &GridSpec) -> bool {
+    if_convert(kernel, grid).is_ok()
+}
+
+struct SgmfEnv<'a> {
+    image: &'a mut MemoryImage,
+    mem: &'a mut MemSystem,
+}
+
+impl FabricEnv for SgmfEnv<'_> {
+    fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool {
+        self.mem.access(0, addr_words, is_store, req)
+    }
+
+    fn issue_lv(&mut self, _req: MemReqId, _lv: u32, _tid: u32, _is_store: bool) -> bool {
+        unreachable!("SGMF graphs have no live value nodes")
+    }
+
+    fn mem_read(&mut self, addr_words: u32) -> Word {
+        self.image.read_wrapped(addr_words)
+    }
+
+    fn mem_write(&mut self, addr_words: u32, value: Word) {
+        self.image.write_wrapped(addr_words, value);
+    }
+
+    fn lv_read(&mut self, _lv: u32, _tid: u32) -> Word {
+        unreachable!("SGMF graphs have no live value nodes")
+    }
+
+    fn lv_write(&mut self, _lv: u32, _tid: u32, _value: Word) {
+        unreachable!("SGMF graphs have no live value nodes")
+    }
+}
+
+/// The SGMF processor.
+pub struct SgmfProcessor {
+    config: SgmfConfig,
+    fabric: Fabric,
+    mem: MemSystem,
+}
+
+impl Default for SgmfProcessor {
+    fn default() -> SgmfProcessor {
+        SgmfProcessor::new(SgmfConfig::default())
+    }
+}
+
+impl SgmfProcessor {
+    /// Builds a processor from a configuration.
+    pub fn new(config: SgmfConfig) -> SgmfProcessor {
+        let fabric = Fabric::new(config.grid.clone(), config.fabric);
+        let mem = MemSystem::new(vec![config.l1], config.shared);
+        SgmfProcessor { config, fabric, mem }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SgmfConfig {
+        &self.config
+    }
+
+    /// If-converts, maps and runs `kernel` for every thread of `launch`.
+    ///
+    /// # Errors
+    /// Returns [`SgmfError`] for unmappable kernels or runaway executions.
+    pub fn run(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<SgmfRunStats, SgmfError> {
+        let dfg = if_convert(kernel, &self.config.grid).map_err(SgmfError::Unmappable)?;
+        let placements = self.map(&dfg)?;
+
+        self.fabric.reset_stats();
+        let start = self.fabric.cycle();
+        let mem_before = self.mem.stats().clone();
+        self.fabric.configure(&dfg, &placements, &launch.params);
+        for tid in 0..launch.num_threads {
+            self.fabric.inject(tid);
+        }
+        while !self.fabric.is_drained() {
+            {
+                let mut env = SgmfEnv { image, mem: &mut self.mem };
+                self.fabric.tick(&mut env);
+            }
+            self.mem.tick();
+            for id in self.mem.drain_responses() {
+                self.fabric.on_mem_response(id);
+            }
+            self.fabric.drain_retired();
+            if self.fabric.cycle() - start > self.config.cycle_limit {
+                return Err(SgmfError::CycleLimit { limit: self.config.cycle_limit });
+            }
+        }
+
+        Ok(SgmfRunStats {
+            cycles: self.fabric.cycle() - start + self.config.config_cycles,
+            replicas: placements.len() as u32,
+            graph_nodes: dfg.nodes.len() as u32,
+            fabric: *self.fabric.stats(),
+            mem: self.mem.stats().delta_since(&mem_before),
+        })
+    }
+
+    fn map(&self, dfg: &Dfg) -> Result<Vec<Placement>, SgmfError> {
+        let mut free = vec![true; self.config.grid.num_units()];
+        let mut placements = Vec::new();
+        for _ in 0..self.config.max_replicas {
+            match place::place(dfg, &self.config.grid, &mut free) {
+                Some(p) => placements.push(p),
+                None => break,
+            }
+        }
+        if placements.is_empty() {
+            return Err(SgmfError::PlacementFailed);
+        }
+        Ok(placements)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, KernelBuilder};
+
+    fn divergent_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("div", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let parity = b.rem_u(tid, two);
+        b.if_else(
+            parity,
+            |b| {
+                let v = b.mul(tid, tid);
+                b.store(addr, v);
+            },
+            |b| {
+                let five = b.const_u32(5);
+                let v = b.add(tid, five);
+                b.store(addr, v);
+            },
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn sgmf_matches_interpreter() {
+        let k = divergent_kernel();
+        let launch = Launch::new(150, vec![Word::from_u32(0)]);
+        let mut expect = MemoryImage::new(256);
+        interp::run(&k, &launch, &mut expect).unwrap();
+        let mut got = MemoryImage::new(256);
+        let mut proc = SgmfProcessor::default();
+        let stats = proc.run(&k, &launch, &mut got).unwrap();
+        assert!(got == expect);
+        // Half the stores on each side are suppressed.
+        assert_eq!(stats.fabric.suppressed_stores, 150);
+        assert!(stats.replicas >= 1);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn loops_are_not_mappable() {
+        let mut b = KernelBuilder::new("loopy", 0);
+        let zero = b.const_u32(0);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                let ten = b.const_u32(10);
+                b.lt_u(iv, ten)
+            },
+            |b| {
+                let iv = b.get(i);
+                let one = b.const_u32(1);
+                let n = b.add(iv, one);
+                b.set(i, n);
+            },
+        );
+        let k = b.finish();
+        assert!(!is_mappable(&k, &GridSpec::paper()));
+        let mut proc = SgmfProcessor::default();
+        let mut mem = MemoryImage::new(16);
+        assert!(matches!(
+            proc.run(&k, &Launch::new(4, vec![]), &mut mem),
+            Err(SgmfError::Unmappable(_))
+        ));
+    }
+
+    #[test]
+    fn sgmf_wastes_units_on_divergence() {
+        // With an if/else, every thread fires BOTH sides' compute nodes;
+        // total firings per thread exceed what the thread's own path needs.
+        let k = divergent_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = SgmfProcessor::default();
+        let stats = proc.run(&k, &launch, &mut mem).unwrap();
+        // Each thread executes one mul and one add even though its path
+        // needs only one of them; plus the suppressed stores.
+        assert!(stats.fabric.firings as f64 / 64.0 > stats.graph_nodes as f64 * 0.99);
+    }
+}

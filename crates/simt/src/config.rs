@@ -1,0 +1,82 @@
+//! SIMT (Fermi-like) SM configuration.
+
+use vgiw_mem::{L1Config, SharedConfig};
+
+/// Configuration of the von Neumann baseline SM.
+///
+/// Mirrors an NVIDIA Fermi streaming multiprocessor at the fidelity the
+/// comparison needs: 32 lanes in lockstep, up to 48 resident warps, two
+/// warp schedulers, a 16-wide LD/ST group, a 4-wide SFU group, and the
+/// write-through/write-no-allocate L1 of §3.6.
+#[derive(Clone, Debug)]
+pub struct SimtConfig {
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Resident warps per SM (Fermi: 48 = 1536 threads).
+    pub max_warps: u32,
+    /// Warp instructions issued per cycle (Fermi: 2 schedulers).
+    pub issue_width: u32,
+    /// Scoreboard latency of integer ALU results (Fermi dependent-issue
+    /// latency is ~18 cycles).
+    pub int_latency: u64,
+    /// Scoreboard latency of FP results.
+    pub fp_latency: u64,
+    /// Scoreboard latency of SFU (div/sqrt/transcendental) results.
+    pub sfu_latency: u64,
+    /// Cycles a warp's SFU instruction occupies the SFU group
+    /// (32 lanes / 4 SFUs = 8).
+    pub sfu_occupancy: u64,
+    /// Cycles a warp's ALU/FPU instruction occupies one of the two
+    /// 16-lane execution groups (32 lanes / 16 cores = 2) — a Fermi SM has
+    /// 32 CUDA cores total, so peak ALU throughput is 32 lane-ops/cycle.
+    pub alu_occupancy: u64,
+    /// Number of 16-lane ALU execution groups (Fermi: 2).
+    pub alu_groups: u32,
+    /// Cycles a warp's memory instruction occupies the LD/ST group
+    /// (32 lanes / 16 units = 2).
+    pub ldst_occupancy: u64,
+    /// Memory transactions the LSU can start per cycle (Fermi: one
+    /// 128-byte L1 access per cycle).
+    pub txns_per_cycle: u32,
+    /// L1 configuration (write-through, no-allocate).
+    pub l1: L1Config,
+    /// Shared L2 + DRAM.
+    pub shared: SharedConfig,
+    /// Safety valve for runaway kernels.
+    pub cycle_limit: u64,
+}
+
+impl Default for SimtConfig {
+    fn default() -> SimtConfig {
+        SimtConfig {
+            warp_size: 32,
+            max_warps: 48,
+            issue_width: 2,
+            int_latency: 18,
+            fp_latency: 18,
+            sfu_latency: 30,
+            sfu_occupancy: 8,
+            alu_occupancy: 2,
+            alu_groups: 2,
+            ldst_occupancy: 2,
+            txns_per_cycle: 1,
+            l1: L1Config::fermi_l1(),
+            shared: SharedConfig::fermi_like(),
+            cycle_limit: 2_000_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_mem::WritePolicy;
+
+    #[test]
+    fn default_is_fermi_shaped() {
+        let c = SimtConfig::default();
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.max_warps, 48);
+        assert_eq!(c.l1.write_policy, WritePolicy::WriteThrough);
+    }
+}

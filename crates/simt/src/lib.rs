@@ -1,0 +1,20 @@
+//! The von Neumann SIMT baseline (NVIDIA-Fermi-like SM).
+//!
+//! Executes the same `vgiw-ir` kernels as the VGIW core, but with warp
+//! lockstep, a SIMT reconvergence stack driven by immediate post-dominators,
+//! a per-warp scoreboard, memory coalescing, and the write-through L1 of
+//! the paper's §3.6 — the baseline against which Figures 3, 7, 9 and 10
+//! are measured.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod processor;
+mod stack;
+mod stats;
+
+pub use config::SimtConfig;
+pub use processor::{SimtError, SimtProcessor};
+pub use stack::{LaneMask, SimtStack, StackEntry};
+pub use stats::SimtRunStats;

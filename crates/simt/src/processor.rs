@@ -1,0 +1,689 @@
+//! The von Neumann SIMT streaming multiprocessor.
+//!
+//! Functional-and-timing combined model: warps execute the IR in lockstep
+//! under SIMT-stack divergence handling, a per-warp scoreboard enforces
+//! register dependencies, a greedy-then-oldest scheduler issues up to two
+//! warp instructions per cycle, SFU and LD/ST group occupancy is modelled,
+//! and memory instructions are coalesced into 128-byte transactions before
+//! entering the banked L1 (Fermi coalesces; VGIW does not — §5).
+
+use crate::config::SimtConfig;
+use crate::stack::SimtStack;
+use crate::stats::SimtRunStats;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vgiw_ir::{
+    cfg, eval_fma, eval_select, BlockId, Inst, Kernel, Launch, MemoryImage, OpClass, Operand,
+    Reg, Terminator, Word,
+};
+use vgiw_mem::MemSystem;
+
+/// SIMT execution failure.
+#[derive(Debug)]
+pub enum SimtError {
+    /// The run exceeded the configured cycle limit.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimtError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+        }
+    }
+}
+
+impl Error for SimtError {}
+
+struct Warp {
+    /// Global thread ID of lane 0.
+    base_tid: u32,
+    stack: SimtStack,
+    /// Instruction index within the current block.
+    idx: u32,
+    /// Per-lane registers: `regs[lane * num_regs + reg]`.
+    regs: Vec<Word>,
+    /// Registers with in-flight writes.
+    pending: Vec<bool>,
+    pending_count: u32,
+    /// Per-register count of outstanding load transactions; the register
+    /// stays scoreboard-pending until its count returns to zero.
+    load_outstanding: Vec<u32>,
+    /// Memory transactions waiting to be accepted by the L1.
+    txn_queue: Vec<u32>,
+    /// Destination of the transactions in `txn_queue` (`None` for stores).
+    txn_dst: Option<Reg>,
+    txn_is_store: bool,
+    finished: bool,
+}
+
+impl Warp {
+    fn blocked_on_mem_issue(&self) -> bool {
+        !self.txn_queue.is_empty()
+    }
+}
+
+/// The SIMT processor (one SM plus its memory system).
+///
+/// Like [`vgiw_core::VgiwProcessor`](https://docs.rs), the machine persists
+/// across launches so caches stay warm.
+pub struct SimtProcessor {
+    config: SimtConfig,
+    mem: MemSystem,
+}
+
+impl Default for SimtProcessor {
+    fn default() -> SimtProcessor {
+        SimtProcessor::new(SimtConfig::default())
+    }
+}
+
+impl SimtProcessor {
+    /// Builds a processor from a configuration.
+    pub fn new(config: SimtConfig) -> SimtProcessor {
+        let mem = MemSystem::new(vec![config.l1], config.shared);
+        SimtProcessor { config, mem }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimtConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` to completion, mutating `image`.
+    ///
+    /// # Errors
+    /// Returns [`SimtError::CycleLimit`] on runaway kernels.
+    pub fn run(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<SimtRunStats, SimtError> {
+        let cfg = self.config.clone();
+        let ipdom = cfg::immediate_post_dominators(kernel);
+        let warp_size = cfg.warp_size;
+        let num_regs = kernel.num_regs as usize;
+        let total_warps = launch.num_threads.div_ceil(warp_size);
+
+        let mut stats = SimtRunStats::default();
+        let mem_before = self.mem.stats().clone();
+
+        // Warps live in stable slots (in-flight memory transactions and
+        // writeback events reference them by index); `active` models the
+        // SM's resident-warp limit.
+        let mut next_warp = 0u32;
+        let mut warps: Vec<Warp> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+        let refill = |warps: &mut Vec<Warp>, active: &mut Vec<usize>, next_warp: &mut u32| {
+            while (active.len() as u32) < cfg.max_warps && *next_warp < total_warps {
+                let base_tid = *next_warp * warp_size;
+                let lanes = (launch.num_threads - base_tid).min(warp_size);
+                let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+                warps.push(Warp {
+                    base_tid,
+                    stack: SimtStack::new(mask),
+                    idx: 0,
+                    regs: vec![Word::ZERO; warp_size as usize * num_regs],
+                    pending: vec![false; num_regs],
+                    pending_count: 0,
+                    load_outstanding: vec![0; num_regs],
+                    txn_queue: Vec::new(),
+                    txn_dst: None,
+                    txn_is_store: false,
+                    finished: false,
+                });
+                active.push(warps.len() - 1);
+                *next_warp += 1;
+            }
+        };
+        refill(&mut warps, &mut active, &mut next_warp);
+
+        // Scoreboard completion events and memory transaction bookkeeping.
+        let mut wb_events: Vec<(u64, usize, Reg)> = Vec::new();
+        let mut txn_owner: HashMap<u64, (usize, Option<Reg>)> = HashMap::new();
+        let mut next_req: u64 = 0;
+        let mut cycle: u64 = 0;
+        let mut sfu_busy_until: u64 = 0;
+        let mut ldst_busy_until: u64 = 0;
+        let mut alu_busy_until: Vec<u64> = vec![0; cfg.alu_groups as usize];
+        let mut last_issued: usize = 0;
+
+        while next_warp < total_warps || !active.is_empty() {
+            cycle += 1;
+            if cycle > cfg.cycle_limit {
+                return Err(SimtError::CycleLimit { limit: cfg.cycle_limit });
+            }
+
+            // Writebacks due this cycle.
+            wb_events.retain(|&(t, w, r)| {
+                if t <= cycle {
+                    if warps[w].pending[r.index()] {
+                        warps[w].pending[r.index()] = false;
+                        warps[w].pending_count -= 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Memory system.
+            self.mem.tick();
+            for id in self.mem.drain_responses() {
+                if let Some((w, dst)) = txn_owner.remove(&id) {
+                    if let Some(dst) = dst {
+                        let warp = &mut warps[w];
+                        warp.load_outstanding[dst.index()] -= 1;
+                        // The register completes only when no transaction of
+                        // its load is in flight *or still waiting to enter
+                        // the cache* (early responses must not release the
+                        // scoreboard while siblings are queued).
+                        let still_queued =
+                            warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
+                        if warp.load_outstanding[dst.index()] == 0
+                            && !still_queued
+                            && warp.pending[dst.index()]
+                        {
+                            warp.pending[dst.index()] = false;
+                            warp.pending_count -= 1;
+                        }
+                    }
+                }
+            }
+
+            // Push queued transactions into the L1.
+            let mut pushed = 0;
+            for &w in &active {
+                if pushed >= cfg.txns_per_cycle {
+                    break;
+                }
+                while let Some(&addr) = warps[w].txn_queue.last() {
+                    if pushed >= cfg.txns_per_cycle {
+                        break;
+                    }
+                    let req = next_req;
+                    if self.mem.access(0, addr, warps[w].txn_is_store, req) {
+                        next_req += 1;
+                        warps[w].txn_queue.pop();
+                        let dst = warps[w].txn_dst;
+                        if let Some(d) = dst {
+                            warps[w].load_outstanding[d.index()] += 1;
+                        }
+                        txn_owner.insert(req, (w, dst));
+                        stats.mem_transactions += 1;
+                        pushed += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            // Issue up to `issue_width` warp instructions (greedy-then-oldest:
+            // resume the last-issued warp first, then scan from oldest).
+            let n = active.len();
+            let mut issued = 0;
+            let scan_base = last_issued;
+            for k in 0..n {
+                if issued >= cfg.issue_width {
+                    break;
+                }
+                let pos = (scan_base + k) % n;
+                let w = active[pos];
+                if self.try_issue(
+                    w,
+                    &mut warps,
+                    kernel,
+                    launch,
+                    image,
+                    &ipdom,
+                    cycle,
+                    &mut sfu_busy_until,
+                    &mut ldst_busy_until,
+                    &mut alu_busy_until,
+                    &mut wb_events,
+                    &mut stats,
+                ) {
+                    issued += 1;
+                    last_issued = pos;
+                }
+            }
+
+            // Retire finished warps from the resident set; bring in the
+            // next wave. A finished warp with outstanding store traffic
+            // keeps its slot (stable index) but frees a resident slot.
+            if active.iter().any(|&w| warps[w].finished) {
+                active.retain(|&w| !warps[w].finished);
+                refill(&mut warps, &mut active, &mut next_warp);
+                last_issued = 0;
+            }
+        }
+
+        stats.cycles = cycle;
+        stats.mem = self.mem.stats().delta_since(&mem_before);
+        Ok(stats)
+    }
+
+    /// Attempts to issue the next instruction of warp `w`. Returns whether
+    /// an instruction was issued.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &mut self,
+        w: usize,
+        warps: &mut [Warp],
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+        ipdom: &[Option<BlockId>],
+        cycle: u64,
+        sfu_busy_until: &mut u64,
+        ldst_busy_until: &mut u64,
+        alu_busy_until: &mut [u64],
+        wb_events: &mut Vec<(u64, usize, Reg)>,
+        stats: &mut SimtRunStats,
+    ) -> bool {
+        let cfg = &self.config;
+        let warp = &mut warps[w];
+        if warp.finished || warp.blocked_on_mem_issue() {
+            return false;
+        }
+        let Some(top) = warp.stack.top().copied() else {
+            warp.finished = true;
+            return false;
+        };
+        let block = kernel.block(top.block);
+        let mask = top.mask;
+
+        // Fetch the next instruction or terminator.
+        if (warp.idx as usize) < block.insts.len() {
+            let inst = block.insts[warp.idx as usize];
+            // Scoreboard: RAW and WAW hazards.
+            let mut blocked = false;
+            if warp.pending_count > 0 {
+                inst.for_each_use(|r| blocked |= warp.pending[r.index()]);
+                if let Some(d) = inst.dst() {
+                    blocked |= warp.pending[d.index()];
+                }
+            }
+            if blocked {
+                return false;
+            }
+            // Structural hazards.
+            let class = inst.op_class();
+            let mut alu_group: Option<usize> = None;
+            match class {
+                Some(OpClass::Special) => {
+                    if *sfu_busy_until > cycle {
+                        return false;
+                    }
+                }
+                _ if inst.is_memory() => {
+                    if *ldst_busy_until > cycle {
+                        return false;
+                    }
+                }
+                Some(OpClass::IntAlu) | Some(OpClass::FpAlu) => {
+                    alu_group = alu_busy_until.iter().position(|&b| b <= cycle);
+                    if alu_group.is_none() {
+                        return false;
+                    }
+                }
+                None => {}
+            }
+
+            // Issue: functional execution + timing bookkeeping.
+            stats.warp_insts += 1;
+            count_rf(&inst, mask, stats);
+            let lanes = mask.count_ones() as u64;
+            match class {
+                Some(OpClass::IntAlu) => stats.lane_int_ops += lanes,
+                // Memory lanes are charged via lane_loads/lane_stores and
+                // the cache counters; Const/Param/ThreadId/Mov-class
+                // bookkeeping counts as integer datapath work.
+                None if !inst.is_memory() => stats.lane_int_ops += lanes,
+                None => {}
+                Some(OpClass::FpAlu) => stats.lane_fp_ops += lanes,
+                Some(OpClass::Special) => stats.lane_sfu_ops += lanes,
+            }
+
+            match inst {
+                Inst::Load { dst, addr } => {
+                    stats.lane_loads += lanes;
+                    let mut lines = Vec::new();
+                    for lane in lanes_of(mask) {
+                        let a = read_op(warp, lane, addr).as_u32();
+                        let v = image.read_wrapped(a);
+                        write_reg(warp, lane, dst, v);
+                        push_line(&mut lines, a);
+                    }
+                    // Memory access replay: a divergent (uncoalesced) warp
+                    // access re-issues through the LSU once per transaction.
+                    *ldst_busy_until = cycle + cfg.ldst_occupancy * lines.len() as u64;
+                    warp.txn_queue = lines;
+                    warp.txn_is_store = false;
+                    warp.txn_dst = Some(dst);
+                    if !warp.pending[dst.index()] {
+                        warp.pending[dst.index()] = true;
+                        warp.pending_count += 1;
+                    }
+                }
+                Inst::Store { addr, value } => {
+                    stats.lane_stores += lanes;
+                    let mut lines = Vec::new();
+                    for lane in lanes_of(mask) {
+                        let a = read_op(warp, lane, addr).as_u32();
+                        let v = read_op(warp, lane, value);
+                        image.write_wrapped(a, v);
+                        push_line(&mut lines, a);
+                    }
+                    *ldst_busy_until = cycle + cfg.ldst_occupancy * lines.len() as u64;
+                    warp.txn_queue = lines;
+                    warp.txn_is_store = true;
+                    warp.txn_dst = None;
+                }
+                _ => {
+                    // Pure compute: execute per lane, schedule the writeback.
+                    for lane in lanes_of(mask) {
+                        exec_lane(warp, lane, &inst, launch);
+                    }
+                    if let Some(g) = alu_group {
+                        alu_busy_until[g] = cycle + cfg.alu_occupancy;
+                    }
+                    if let Some(dst) = inst.dst() {
+                        let lat = match class {
+                            Some(OpClass::FpAlu) => cfg.fp_latency,
+                            Some(OpClass::Special) => {
+                                *sfu_busy_until = cycle + cfg.sfu_occupancy;
+                                cfg.sfu_latency
+                            }
+                            _ => cfg.int_latency,
+                        };
+                        if !warp.pending[dst.index()] {
+                            warp.pending[dst.index()] = true;
+                            warp.pending_count += 1;
+                        }
+                        wb_events.push((cycle + lat, w, dst));
+                    }
+                }
+            }
+            warp.idx += 1;
+            true
+        } else {
+            // Terminator. Branch conditions must clear the scoreboard.
+            match block.term {
+                Terminator::Jump(t) => {
+                    stats.warp_insts += 1;
+                    warp.stack.jump(t);
+                    warp.idx = 0;
+                    true
+                }
+                Terminator::Exit => {
+                    stats.warp_insts += 1;
+                    warp.stack.exit();
+                    warp.idx = 0;
+                    if warp.stack.is_empty() {
+                        warp.finished = true;
+                    }
+                    true
+                }
+                Terminator::Branch { cond, taken, not_taken } => {
+                    if let Some(r) = cond.reg() {
+                        if warp.pending[r.index()] {
+                            return false;
+                        }
+                    }
+                    stats.warp_insts += 1;
+                    stats.branches += 1;
+                    count_rf_operand(cond, stats);
+                    let mut taken_mask = 0u32;
+                    for lane in lanes_of(mask) {
+                        if read_op(warp, lane, cond).as_bool() {
+                            taken_mask |= 1 << lane;
+                        }
+                    }
+                    if taken_mask != 0 && taken_mask != mask {
+                        stats.divergent_branches += 1;
+                    }
+                    let rpc = ipdom[top.block.index()];
+                    warp.stack.branch(taken, not_taken, taken_mask, rpc);
+                    warp.idx = 0;
+                    true
+                }
+            }
+        }
+    }
+}
+
+fn lanes_of(mask: u32) -> impl Iterator<Item = u32> {
+    (0..32u32).filter(move |l| mask & (1 << l) != 0)
+}
+
+fn reg_slot(warp: &Warp, lane: u32, reg: Reg) -> usize {
+    lane as usize * warp.pending.len() + reg.index()
+}
+
+fn read_reg(warp: &Warp, lane: u32, reg: Reg) -> Word {
+    warp.regs[reg_slot(warp, lane, reg)]
+}
+
+fn write_reg(warp: &mut Warp, lane: u32, reg: Reg, v: Word) {
+    let slot = reg_slot(warp, lane, reg);
+    warp.regs[slot] = v;
+}
+
+fn read_op(warp: &Warp, lane: u32, op: Operand) -> Word {
+    match op {
+        Operand::Reg(r) => read_reg(warp, lane, r),
+        Operand::Imm(w) => w,
+    }
+}
+
+fn exec_lane(warp: &mut Warp, lane: u32, inst: &Inst, launch: &Launch) {
+    match *inst {
+        Inst::Const { dst, value } => write_reg(warp, lane, dst, value),
+        Inst::Param { dst, index } => {
+            let v = launch.params.get(index as usize).copied().unwrap_or(Word::ZERO);
+            write_reg(warp, lane, dst, v);
+        }
+        Inst::ThreadId { dst } => {
+            write_reg(warp, lane, dst, Word::from_u32(warp.base_tid + lane));
+        }
+        Inst::Unary { dst, op, src } => {
+            let v = op.eval(read_op(warp, lane, src));
+            write_reg(warp, lane, dst, v);
+        }
+        Inst::Binary { dst, op, lhs, rhs } => {
+            let v = op.eval(read_op(warp, lane, lhs), read_op(warp, lane, rhs));
+            write_reg(warp, lane, dst, v);
+        }
+        Inst::Select { dst, cond, on_true, on_false } => {
+            let v = eval_select(
+                read_op(warp, lane, cond),
+                read_op(warp, lane, on_true),
+                read_op(warp, lane, on_false),
+            );
+            write_reg(warp, lane, dst, v);
+        }
+        Inst::Fma { dst, a, b, c } => {
+            let v = eval_fma(
+                read_op(warp, lane, a),
+                read_op(warp, lane, b),
+                read_op(warp, lane, c),
+            );
+            write_reg(warp, lane, dst, v);
+        }
+        Inst::Load { .. } | Inst::Store { .. } => unreachable!("memory handled by caller"),
+    }
+}
+
+/// Coalescing: collapse a lane address into 128-byte (32-word) segments.
+fn push_line(lines: &mut Vec<u32>, addr_words: u32) {
+    let seg = addr_words & !31;
+    if !lines.contains(&seg) {
+        lines.push(seg);
+    }
+}
+
+/// Register file access counting: one access per warp per register operand
+/// (the paper's Figure 3 counts "a single access for an entire warp").
+fn count_rf(inst: &Inst, _mask: u32, stats: &mut SimtRunStats) {
+    inst.for_each_use(|_| stats.rf_reads += 1);
+    if inst.dst().is_some() {
+        stats.rf_writes += 1;
+    }
+}
+
+fn count_rf_operand(op: Operand, stats: &mut SimtRunStats) {
+    if op.reg().is_some() {
+        stats.rf_reads += 1;
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, KernelBuilder};
+
+    fn check(kernel: &Kernel, launch: &Launch, mem_words: usize) -> SimtRunStats {
+        let mut expect = MemoryImage::new(mem_words);
+        interp::run(kernel, launch, &mut expect).unwrap();
+        let mut got = MemoryImage::new(mem_words);
+        let mut proc = SimtProcessor::default();
+        let stats = proc.run(kernel, launch, &mut got).unwrap();
+        assert!(got == expect, "SIMT memory diverged for {}", kernel.name);
+        stats
+    }
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.mul(tid, tid);
+        b.store(addr, v);
+        let k = b.finish();
+        let stats = check(&k, &Launch::new(256, vec![Word::from_u32(0)]), 512);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.divergent_branches, 0);
+        assert!(stats.rf_reads > 0 && stats.rf_writes > 0);
+    }
+
+    #[test]
+    fn divergent_kernel_masks_lanes() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let parity = b.rem_u(tid, two);
+        b.if_else(
+            parity,
+            |b| {
+                let v = b.mul(tid, tid);
+                b.store(addr, v);
+            },
+            |b| {
+                let nine = b.const_u32(9);
+                let v = b.add(tid, nine);
+                b.store(addr, v);
+            },
+        );
+        let k = b.finish();
+        let stats = check(&k, &Launch::new(128, vec![Word::from_u32(0)]), 256);
+        assert!(stats.divergent_branches > 0, "odd/even split must diverge");
+    }
+
+    #[test]
+    fn loops_with_variable_trip_counts() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let five = b.const_u32(5);
+        let bound = b.rem_u(tid, five);
+        let zero = b.const_u32(0);
+        let acc = b.var(zero);
+        let i = b.var(zero);
+        b.while_(
+            |b| {
+                let iv = b.get(i);
+                b.lt_u(iv, bound)
+            },
+            |b| {
+                let iv = b.get(i);
+                let a = b.get(acc);
+                let s = b.add(a, iv);
+                b.set(acc, s);
+                let one = b.const_u32(1);
+                let nx = b.add(iv, one);
+                b.set(i, nx);
+            },
+        );
+        let addr = b.add(base, tid);
+        let a = b.get(acc);
+        b.store(addr, a);
+        let k = b.finish();
+        let stats = check(&k, &Launch::new(100, vec![Word::from_u32(0)]), 128);
+        assert!(stats.divergent_branches > 0, "variable trip counts diverge");
+    }
+
+    #[test]
+    fn coalescing_reduces_transactions() {
+        // Unit-stride addresses: 32 lanes -> 4 transactions of 32 words.
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        b.store(addr, tid);
+        let k = b.finish();
+        let mut proc = SimtProcessor::default();
+        let mut mem = MemoryImage::new(256);
+        let stats = proc
+            .run(&k, &Launch::new(128, vec![Word::from_u32(0)]), &mut mem)
+            .unwrap();
+        // 128 threads x 1 store, unit stride: 128/32 = 4 segments.
+        assert_eq!(stats.mem_transactions, 4);
+        assert_eq!(stats.lane_stores, 128);
+    }
+
+    #[test]
+    fn strided_access_defeats_coalescing() {
+        // Stride-32: every lane its own segment.
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let s = b.const_u32(32);
+        let off = b.mul(tid, s);
+        let addr = b.add(base, off);
+        b.store(addr, tid);
+        let k = b.finish();
+        let mut proc = SimtProcessor::default();
+        let mut mem = MemoryImage::new(64 * 64);
+        let stats = proc
+            .run(&k, &Launch::new(64, vec![Word::from_u32(0)]), &mut mem)
+            .unwrap();
+        assert_eq!(stats.mem_transactions, 64);
+    }
+
+    #[test]
+    fn rf_counts_follow_operands() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id(); // write
+        let base = b.param(0); // write
+        let addr = b.add(base, tid); // 2 reads, 1 write
+        b.store(addr, tid); // 2 reads
+        let k = b.finish();
+        let mut proc = SimtProcessor::default();
+        let mut mem = MemoryImage::new(64);
+        let stats = proc
+            .run(&k, &Launch::new(32, vec![Word::from_u32(0)]), &mut mem)
+            .unwrap();
+        assert_eq!(stats.rf_reads, 4);
+        assert_eq!(stats.rf_writes, 3);
+    }
+}

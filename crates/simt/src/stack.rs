@@ -1,0 +1,235 @@
+//! The SIMT reconvergence stack.
+//!
+//! Von Neumann GPGPUs execute warps in lockstep and handle control
+//! divergence with a per-warp stack of `(pc, reconvergence pc, mask)`
+//! entries (§2, Figure 1b): a divergent branch replaces the top of stack
+//! with an entry parked at the immediate post-dominator and pushes one
+//! entry per branch side; reaching the reconvergence point pops.
+
+use vgiw_ir::BlockId;
+
+/// A lane mask within a warp (bit `i` = lane `i` active).
+pub type LaneMask = u32;
+
+/// One stack entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackEntry {
+    /// The block this entry executes next (instruction index is tracked by
+    /// the warp, not the stack).
+    pub block: BlockId,
+    /// Reconvergence block: reaching it pops this entry.
+    pub rpc: Option<BlockId>,
+    /// Active lanes.
+    pub mask: LaneMask,
+}
+
+/// The per-warp SIMT stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimtStack {
+    entries: Vec<StackEntry>,
+}
+
+impl SimtStack {
+    /// A fresh stack: all of `mask` starts at the kernel entry block.
+    pub fn new(mask: LaneMask) -> SimtStack {
+        SimtStack {
+            entries: vec![StackEntry { block: BlockId::ENTRY, rpc: None, mask }],
+        }
+    }
+
+    /// The active entry.
+    pub fn top(&self) -> Option<&StackEntry> {
+        self.entries.last()
+    }
+
+    /// Whether all lanes have exited.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current depth (for statistics).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The top entry's active lanes, or 0 when finished.
+    pub fn active_mask(&self) -> LaneMask {
+        self.top().map_or(0, |e| e.mask)
+    }
+
+    /// Retires the top entry's lanes (they executed `exit`).
+    pub fn exit(&mut self) {
+        self.entries.pop();
+    }
+
+    /// Moves the top entry to `target`, popping on reconvergence.
+    ///
+    /// Several nested regions can reconverge at the same block, so popping
+    /// cascades while the arriving block equals successive entries' rpc.
+    pub fn jump(&mut self, target: BlockId) {
+        let top = self.entries.last_mut().expect("jump on empty stack");
+        top.block = target;
+        self.pop_reconverged(target);
+    }
+
+    fn pop_reconverged(&mut self, at: BlockId) {
+        // Pop entries that have arrived at their reconvergence point; the
+        // entry below is parked at the same block and resumes (its mask is
+        // the union by construction).
+        while let Some(e) = self.entries.last() {
+            if e.rpc == Some(at) && e.block == at {
+                // The next entry is either the sibling branch side (which
+                // now executes) or, once all siblings popped, the parent
+                // parked at `at` with the merged mask.
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Resolves a two-way branch at the top entry.
+    ///
+    /// `taken_mask` must be a subset of the active mask. `rpc` is the
+    /// branch block's immediate post-dominator. Returns the block the warp
+    /// executes next.
+    pub fn branch(
+        &mut self,
+        taken: BlockId,
+        not_taken: BlockId,
+        taken_mask: LaneMask,
+        rpc: Option<BlockId>,
+    ) -> BlockId {
+        let top = *self.entries.last().expect("branch on empty stack");
+        debug_assert_eq!(taken_mask & !top.mask, 0, "taken lanes must be active");
+        let nt_mask = top.mask & !taken_mask;
+
+        if nt_mask == 0 {
+            self.jump(taken);
+            return self.top().expect("non-empty after uniform branch").block;
+        }
+        if taken_mask == 0 {
+            self.jump(not_taken);
+            return self.top().expect("non-empty after uniform branch").block;
+        }
+
+        // Divergence: park the merged entry at the reconvergence point and
+        // push the divergent sides (taken executes first, matching common
+        // hardware). A side whose target *is* the reconvergence point has
+        // no private work — its lanes simply wait in the parked parent, so
+        // pushing it would double-execute the join block.
+        let parent = self.entries.last_mut().expect("checked non-empty");
+        match rpc {
+            Some(r) => {
+                parent.block = r;
+                // parent.rpc unchanged; parent.mask unchanged (union).
+                if not_taken != r {
+                    self.entries
+                        .push(StackEntry { block: not_taken, rpc: Some(r), mask: nt_mask });
+                }
+                if taken != r {
+                    self.entries
+                        .push(StackEntry { block: taken, rpc: Some(r), mask: taken_mask });
+                }
+            }
+            None => {
+                // No common post-dominator before exit: the sides never
+                // re-merge; replace the parent entirely.
+                let parent_rpc = parent.rpc;
+                self.entries.pop();
+                self.entries.push(StackEntry { block: not_taken, rpc: parent_rpc, mask: nt_mask });
+                self.entries.push(StackEntry { block: taken, rpc: parent_rpc, mask: taken_mask });
+            }
+        }
+        self.top().expect("divergent branch leaves entries").block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_branch_does_not_push() {
+        let mut s = SimtStack::new(0xF);
+        let b = s.branch(BlockId(1), BlockId(2), 0xF, Some(BlockId(3)));
+        assert_eq!(b, BlockId(1));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.active_mask(), 0xF);
+    }
+
+    #[test]
+    fn divergent_branch_pushes_both_sides() {
+        let mut s = SimtStack::new(0xF);
+        let b = s.branch(BlockId(1), BlockId(2), 0b0011, Some(BlockId(3)));
+        assert_eq!(b, BlockId(1));
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.active_mask(), 0b0011); // taken side first
+
+        // Taken side reaches the reconvergence point: pop to the else side.
+        s.jump(BlockId(3));
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.active_mask(), 0b1100);
+        assert_eq!(s.top().unwrap().block, BlockId(2));
+
+        // Else side reconverges too: merged entry resumes with full mask.
+        s.jump(BlockId(3));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.active_mask(), 0xF);
+        assert_eq!(s.top().unwrap().block, BlockId(3));
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut s = SimtStack::new(0xFF);
+        // Outer: lanes 0-3 taken to 1, 4-7 to 2, reconverge at 6.
+        s.branch(BlockId(1), BlockId(2), 0x0F, Some(BlockId(6)));
+        assert_eq!(s.active_mask(), 0x0F);
+        // Inner (within block 1): lanes 0-1 to 3, lanes 2-3 to 4, rpc 5.
+        s.branch(BlockId(3), BlockId(4), 0x03, Some(BlockId(5)));
+        assert_eq!(s.depth(), 5);
+        assert_eq!(s.active_mask(), 0x03);
+        s.jump(BlockId(5)); // inner taken side merges
+        assert_eq!(s.active_mask(), 0x0C);
+        s.jump(BlockId(5)); // inner else merges -> back to 0x0F at block 5
+        assert_eq!(s.active_mask(), 0x0F);
+        assert_eq!(s.top().unwrap().block, BlockId(5));
+        s.jump(BlockId(6)); // outer taken side reaches outer rpc
+        assert_eq!(s.active_mask(), 0xF0);
+        assert_eq!(s.top().unwrap().block, BlockId(2));
+        s.jump(BlockId(6));
+        assert_eq!(s.active_mask(), 0xFF);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn exit_pops_until_empty() {
+        let mut s = SimtStack::new(0b11);
+        s.branch(BlockId(1), BlockId(2), 0b01, None);
+        assert_eq!(s.depth(), 2);
+        s.exit(); // taken lanes exit
+        assert_eq!(s.active_mask(), 0b10);
+        s.exit();
+        assert!(s.is_empty());
+        assert_eq!(s.active_mask(), 0);
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_entry() {
+        let mut s = SimtStack::new(0b11);
+        // Loop header at 1, body 2, exit 3; rpc of the header branch is 3.
+        s.jump(BlockId(1));
+        s.branch(BlockId(2), BlockId(3), 0b11, Some(BlockId(3)));
+        assert_eq!(s.depth(), 1, "uniform loop branch needs no push");
+        s.jump(BlockId(1)); // back edge
+        // One lane leaves the loop, one stays.
+        s.branch(BlockId(2), BlockId(3), 0b01, Some(BlockId(3)));
+        assert_eq!(s.active_mask(), 0b01);
+        s.jump(BlockId(1));
+        let b = s.branch(BlockId(2), BlockId(3), 0, Some(BlockId(3)));
+        // Last lane leaves: jump to 3 pops to the parked entry at 3.
+        assert_eq!(b, BlockId(3));
+        assert_eq!(s.active_mask(), 0b11);
+        assert_eq!(s.depth(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! SIMT run statistics.
+
+use vgiw_mem::MemStats;
+
+/// Everything measured during one [`crate::SimtProcessor::run`].
+#[derive(Clone, Debug)]
+pub struct SimtRunStats {
+    /// Total core cycles.
+    pub cycles: u64,
+    /// Warp instructions issued (fetch/decode/schedule events).
+    pub warp_insts: u64,
+    /// Active-lane integer ALU operations.
+    pub lane_int_ops: u64,
+    /// Active-lane FP operations.
+    pub lane_fp_ops: u64,
+    /// Active-lane SFU operations.
+    pub lane_sfu_ops: u64,
+    /// Active-lane loads.
+    pub lane_loads: u64,
+    /// Active-lane stores.
+    pub lane_stores: u64,
+    /// Register file accesses: reads (one per warp per register operand).
+    pub rf_reads: u64,
+    /// Register file writes (one per warp per destination).
+    pub rf_writes: u64,
+    /// Coalesced memory transactions issued to the L1.
+    pub mem_transactions: u64,
+    /// Branch terminators executed.
+    pub branches: u64,
+    /// Of which divergent (mixed outcome within the warp).
+    pub divergent_branches: u64,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+}
+
+impl Default for SimtRunStats {
+    fn default() -> SimtRunStats {
+        SimtRunStats {
+            cycles: 0,
+            warp_insts: 0,
+            lane_int_ops: 0,
+            lane_fp_ops: 0,
+            lane_sfu_ops: 0,
+            lane_loads: 0,
+            lane_stores: 0,
+            rf_reads: 0,
+            rf_writes: 0,
+            mem_transactions: 0,
+            branches: 0,
+            divergent_branches: 0,
+            mem: MemStats::new(1),
+        }
+    }
+}
+
+impl SimtRunStats {
+    /// Total register file accesses (Figure 3's denominator).
+    pub fn rf_accesses(&self) -> u64 {
+        self.rf_reads + self.rf_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_accesses_sums() {
+        let s = SimtRunStats { rf_reads: 3, rf_writes: 2, ..SimtRunStats::default() };
+        assert_eq!(s.rf_accesses(), 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Behavioural tests of the SIMT baseline's microarchitecture: occupancy
+//! waves, divergence serialization cost, replay cost of uncoalesced
+//! access, and scoreboard-driven latency exposure.
+
+use vgiw_ir::{interp, Kernel, KernelBuilder, Launch, MemoryImage, Word};
+use vgiw_simt::{SimtConfig, SimtProcessor};
+
+fn run(kernel: &Kernel, launch: &Launch, words: usize) -> vgiw_simt::SimtRunStats {
+    let mut expect = MemoryImage::new(words);
+    interp::run(kernel, launch, &mut expect).unwrap();
+    let mut got = MemoryImage::new(words);
+    let mut p = SimtProcessor::default();
+    let stats = p.run(kernel, launch, &mut got).unwrap();
+    assert!(got == expect, "functional divergence");
+    stats
+}
+
+/// Kernel whose threads loop `tid % spread` times.
+fn variable_loop_kernel(spread: u32) -> Kernel {
+    let mut b = KernelBuilder::new("vloop", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let sp = b.const_u32(spread);
+    let bound = b.rem_u(tid, sp);
+    let zero = b.const_u32(0);
+    let acc = b.var(zero);
+    b.for_range(zero, bound, |b, i| {
+        let a = b.get(acc);
+        let s = b.add(a, i);
+        b.set(acc, s);
+    });
+    let addr = b.add(base, tid);
+    let a = b.get(acc);
+    b.store(addr, a);
+    b.finish()
+}
+
+#[test]
+fn divergent_loops_serialize_lockstep_warps() {
+    // A warp runs as long as its longest lane: uniform trip counts finish
+    // faster than the same *total* work spread with high variance.
+    let uniform = {
+        // Every thread loops exactly 16 times.
+        let mut b = KernelBuilder::new("u", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let zero = b.const_u32(0);
+        let sixteen = b.const_u32(16);
+        let acc = b.var(zero);
+        b.for_range(zero, sixteen, |b, i| {
+            let a = b.get(acc);
+            let s = b.add(a, i);
+            b.set(acc, s);
+        });
+        let addr = b.add(base, tid);
+        let a = b.get(acc);
+        b.store(addr, a);
+        b.finish()
+    };
+    let launch = Launch::new(1024, vec![Word::from_u32(0)]);
+    let s_uniform = run(&uniform, &launch, 2048);
+
+    // Variable 0..32 trips: same mean (16) but lockstep pays the max.
+    let varied = variable_loop_kernel(32);
+    let s_varied = run(&varied, &launch, 2048);
+    assert!(
+        s_varied.cycles as f64 > s_uniform.cycles as f64 * 1.3,
+        "divergent loops ({}) should cost clearly more than uniform ({})",
+        s_varied.cycles,
+        s_uniform.cycles
+    );
+    assert!(s_varied.divergent_branches > 0);
+}
+
+#[test]
+fn uncoalesced_access_pays_replay() {
+    let strided = |stride: u32| {
+        let mut b = KernelBuilder::new("s", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let st = b.const_u32(stride);
+        let off = b.mul(tid, st);
+        let addr = b.add(base, off);
+        b.store(addr, tid);
+        b.finish()
+    };
+    let launch = Launch::new(512, vec![Word::from_u32(0)]);
+    let s1 = run(&strided(1), &launch, 1024);
+    let s32 = run(&strided(32), &launch, 512 * 32 + 64);
+    assert!(s32.mem_transactions > 4 * s1.mem_transactions);
+    assert!(
+        s32.cycles > s1.cycles * 2,
+        "stride-32 ({}) must pay replays over unit stride ({})",
+        s32.cycles,
+        s1.cycles
+    );
+}
+
+#[test]
+fn more_resident_warps_hide_latency() {
+    let kernel = {
+        let mut b = KernelBuilder::new("lat", 2);
+        let tid = b.thread_id();
+        let src = b.param(0);
+        let dst = b.param(1);
+        let sa = b.add(src, tid);
+        let v = b.load(sa);
+        let one = b.const_u32(1);
+        let v1 = b.add(v, one);
+        let da = b.add(dst, tid);
+        b.store(da, v1);
+        b.finish()
+    };
+    let launch = Launch::new(2048, vec![Word::from_u32(0), Word::from_u32(2048)]);
+    let cycles_with = |warps: u32| {
+        let mut cfg = SimtConfig::default();
+        cfg.max_warps = warps;
+        let mut p = SimtProcessor::new(cfg);
+        let mut mem = MemoryImage::new(4096 + 64);
+        p.run(&kernel, &launch, &mut mem).unwrap().cycles
+    };
+    let few = cycles_with(2);
+    let many = cycles_with(48);
+    assert!(
+        many * 2 < few,
+        "48 warps ({many}) should hide far more latency than 2 ({few})"
+    );
+}
+
+#[test]
+fn warp_instruction_counts_scale_with_divergence() {
+    // Under divergence both sides issue (with masks), so warp instruction
+    // counts exceed the converged equivalent.
+    let diverged = {
+        let mut b = KernelBuilder::new("d", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let one = b.const_u32(1);
+        let bit = b.and(tid, one);
+        let addr = b.add(base, tid);
+        b.if_else(
+            bit,
+            |b| {
+                let x = b.mul(tid, tid);
+                let y = b.add(x, tid);
+                b.store(addr, y);
+            },
+            |b| {
+                let x = b.add(tid, tid);
+                let y = b.mul(x, tid);
+                b.store(addr, y);
+            },
+        );
+        b.finish()
+    };
+    let launch = Launch::new(256, vec![Word::from_u32(0)]);
+    let s = run(&diverged, &launch, 512);
+    // 8 warps, all divergent: both sides issue per warp.
+    assert_eq!(s.divergent_branches, 8);
+    assert!(s.lane_stores == 256);
+}
+
+#[test]
+fn partial_final_warp_is_masked_correctly() {
+    let mut b = KernelBuilder::new("partial", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    b.store(addr, tid);
+    let k = b.finish();
+    // 70 threads = 2 full warps + 6 lanes.
+    let s = run(&k, &Launch::new(70, vec![Word::from_u32(0)]), 128);
+    assert_eq!(s.lane_stores, 70);
+}

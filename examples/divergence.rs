@@ -1,0 +1,122 @@
+//! The paper's Figure-1 scenario: a nested conditional executed by
+//! divergent threads, compared across all three execution models.
+//!
+//! Reproduces the qualitative story: the von Neumann GPGPU masks lanes
+//! (paying for both branch sides in time), SGMF maps every path spatially
+//! (paying in wasted units), and VGIW coalesces each block's threads
+//! (paying for neither).
+//!
+//! ```sh
+//! cargo run --release --example divergence
+//! ```
+
+use vgiw::core::VgiwProcessor;
+use vgiw::ir::{Kernel, KernelBuilder, Launch, MemoryImage, Word};
+use vgiw::sgmf::SgmfProcessor;
+use vgiw::simt::SimtProcessor;
+
+/// Figure 1a: BB1 -> {BB2 | BB3 -> {BB4 | BB5}} -> BB6.
+fn figure1_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("figure1", 2);
+    let tid = b.thread_id();
+    let out = b.param(0);
+    let addr = b.add(out, tid);
+    // BB1: every thread does some common work.
+    let c0 = b.mul(tid, tid);
+    let eight = b.const_u32(8);
+    let r = b.rem_u(tid, eight);
+    let three = b.const_u32(3);
+    let cond1 = b.lt_u(r, three); // threads 0,1,2 mod 8 -> BB2
+    b.if_else(
+        cond1,
+        |b| {
+            // BB2
+            let five = b.const_u32(5);
+            let v = b.mul(c0, five);
+            b.store(addr, v);
+        },
+        |b| {
+            // BB3
+            let six = b.const_u32(6);
+            let cond2 = b.lt_u(r, six); // 3,4,5 -> BB4 ; 6,7 -> BB5
+            let c1 = b.add(c0, r);
+            b.if_else(
+                cond2,
+                |b| {
+                    // BB4
+                    let two = b.const_u32(2);
+                    let v = b.mul(c1, two);
+                    b.store(addr, v);
+                },
+                |b| {
+                    // BB5
+                    let seven = b.const_u32(7);
+                    let v = b.add(c1, seven);
+                    b.store(addr, v);
+                },
+            );
+        },
+    );
+    // BB6 is the merge/exit block.
+    b.finish()
+}
+
+fn main() {
+    let kernel = figure1_kernel();
+    println!(
+        "Figure 1 kernel: {} basic blocks (BB1..BB6 structure)\n",
+        kernel.num_blocks()
+    );
+
+    let threads = 4096u32;
+    let mk = || {
+        let mut mem = MemoryImage::new(2 * threads as usize);
+        let base = mem.alloc(threads);
+        (mem, Launch::new(threads, vec![Word::from_u32(base), Word::from_u32(threads)]))
+    };
+
+    // VGIW: control flow coalescing.
+    let (mut mem_v, launch) = mk();
+    let mut vgiw = VgiwProcessor::default();
+    let vs = vgiw.run(&kernel, &launch, &mut mem_v).expect("vgiw");
+
+    // Fermi-like SIMT: lane masking.
+    let (mut mem_s, launch_s) = mk();
+    let mut simt = SimtProcessor::default();
+    let ss = simt.run(&kernel, &launch_s, &mut mem_s).expect("simt");
+
+    // SGMF: spatial mapping of all paths.
+    let (mut mem_g, launch_g) = mk();
+    let mut sgmf = SgmfProcessor::default();
+    let gs = sgmf.run(&kernel, &launch_g, &mut mem_g).expect("sgmf");
+
+    // All three agree functionally.
+    for a in 0..threads {
+        assert_eq!(mem_v.read(a), mem_s.read(a));
+        assert_eq!(mem_v.read(a), mem_g.read(a));
+    }
+    println!("all three machines produced identical memory\n");
+
+    println!("--- timing (cycles, same work) ---");
+    println!("VGIW  (coalescing):      {:>9}", vs.cycles);
+    println!("Fermi (lane masking):    {:>9}", ss.cycles);
+    println!("SGMF  (spatial paths):   {:>9}", gs.cycles);
+
+    println!("\n--- divergence costs, made visible ---");
+    println!(
+        "Fermi divergent branches:   {} of {}",
+        ss.divergent_branches, ss.branches
+    );
+    println!(
+        "SGMF suppressed stores:     {} (threads firing stores their path never needed)",
+        gs.fabric.suppressed_stores
+    );
+    println!(
+        "VGIW configurations:        {} (one per basic block, NOT per control path)",
+        vs.block_executions
+    );
+    println!(
+        "VGIW threads coalesced:     {} injections across {} blocks",
+        vs.fabric.threads_injected, vs.num_blocks
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a kernel with the DSL, run it on the VGIW processor,
+//! and inspect the run statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vgiw::core::VgiwProcessor;
+use vgiw::ir::{KernelBuilder, Launch, MemoryImage, Word};
+
+fn main() {
+    // out[tid] = tid odd ? 3*tid + 1 : tid / 2   (a divergent kernel)
+    let mut b = KernelBuilder::new("collatz_step", 2);
+    let tid = b.thread_id();
+    let out = b.param(0);
+    let one = b.const_u32(1);
+    let odd = b.and(tid, one);
+    let addr = b.add(out, tid);
+    b.if_else(
+        odd,
+        |b| {
+            let three = b.const_u32(3);
+            let t = b.mul(tid, three);
+            let v = b.add(t, one);
+            b.store(addr, v);
+        },
+        |b| {
+            let two = b.const_u32(2);
+            let v = b.div_u(tid, two);
+            b.store(addr, v);
+        },
+    );
+    let kernel = b.finish();
+    println!("kernel IR:\n{kernel}");
+
+    let threads = 4096u32;
+    let mut mem = MemoryImage::new(2 * threads as usize);
+    let out_base = mem.alloc(threads);
+    let launch = Launch::new(threads, vec![Word::from_u32(out_base), Word::from_u32(threads)]);
+
+    let mut proc = VgiwProcessor::default();
+    let stats = proc.run(&kernel, &launch, &mut mem).expect("kernel runs");
+
+    println!("spot check: f(7) = {}", mem.read(out_base + 7).as_u32());
+    assert_eq!(mem.read(out_base + 7).as_u32(), 22);
+    assert_eq!(mem.read(out_base + 8).as_u32(), 4);
+
+    println!("\n--- VGIW run statistics ---");
+    println!("blocks in kernel:        {}", stats.num_blocks);
+    println!("grid configurations:     {}", stats.block_executions);
+    println!("total cycles:            {}", stats.cycles);
+    println!(
+        "reconfiguration:         {} cycles ({:.3}% of runtime)",
+        stats.config_cycles,
+        stats.config_overhead() * 100.0
+    );
+    println!("thread tiles:            {}", stats.tiles);
+    println!("live value slots:        {}", stats.num_live_values);
+    println!("LVC accesses:            {}", stats.lvc_accesses());
+    println!("threads through fabric:  {}", stats.fabric.threads_injected);
+    println!("tokens transported:      {}", stats.fabric.tokens_delivered);
+    println!(
+        "L1 hit rate:             {:.1}%",
+        stats.mem.port[0].hit_rate() * 100.0
+    );
+}

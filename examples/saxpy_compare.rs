@@ -1,0 +1,114 @@
+//! SAXPY on all three machines, with an energy comparison.
+//!
+//! A compute-regular kernel with a bounds guard — the friendly case for
+//! every architecture — showing how to use the public APIs together with
+//! the energy model.
+//!
+//! ```sh
+//! cargo run --release --example saxpy_compare
+//! ```
+
+use vgiw::core::VgiwProcessor;
+use vgiw::ir::{interp, Kernel, KernelBuilder, Launch, MemoryImage, Word};
+use vgiw::power::EnergyModel;
+use vgiw::sgmf::SgmfProcessor;
+use vgiw::simt::SimtProcessor;
+
+/// y[i] = a*x[i] + y[i] for i < n.
+fn saxpy() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy", 4); // x, y, a, n
+    let tid = b.thread_id();
+    let n = b.param(3);
+    let guard = b.lt_u(tid, n);
+    b.if_(guard, |b| {
+        let xb = b.param(0);
+        let yb = b.param(1);
+        let a = b.param(2);
+        let xa = b.add(xb, tid);
+        let x = b.load(xa);
+        let ya = b.add(yb, tid);
+        let y = b.load(ya);
+        let v = b.fma(a, x, y);
+        b.store(ya, v);
+    });
+    b.finish()
+}
+
+fn main() {
+    let kernel = saxpy();
+    let n = 8192u32;
+
+    let build_mem = || {
+        let mut mem = MemoryImage::new(3 * n as usize);
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let y: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let xb = mem.alloc_f32(&x);
+        let yb = mem.alloc_f32(&y);
+        let launch = Launch::new(
+            n,
+            vec![
+                Word::from_u32(xb),
+                Word::from_u32(yb),
+                Word::from_f32(2.0),
+                Word::from_u32(n),
+            ],
+        );
+        (mem, launch, yb)
+    };
+
+    // Golden result from the interpreter.
+    let (mut golden, launch, yb) = build_mem();
+    interp::run(&kernel, &launch, &mut golden).expect("interp");
+
+    let model = EnergyModel::new();
+
+    let (mut m, l, _) = build_mem();
+    let mut vgiw = VgiwProcessor::default();
+    let vs = vgiw.run(&kernel, &l, &mut m).expect("vgiw");
+    assert_eq!(m.read(yb + 100), golden.read(yb + 100));
+    let ve = model.vgiw(&vs);
+
+    let (mut m, l, _) = build_mem();
+    let mut simt = SimtProcessor::default();
+    let ss = simt.run(&kernel, &l, &mut m).expect("simt");
+    assert_eq!(m.read(yb + 100), golden.read(yb + 100));
+    let se = model.simt(&ss);
+
+    let (mut m, l, _) = build_mem();
+    let mut sgmf = SgmfProcessor::default();
+    let gs = sgmf.run(&kernel, &l, &mut m).expect("sgmf");
+    assert_eq!(m.read(yb + 100), golden.read(yb + 100));
+    let ge = model.sgmf(&gs);
+
+    println!("saxpy, n = {n}: y[100] = {}", golden.read_f32(yb + 100));
+    println!("\n{:<22} {:>12} {:>16}", "machine", "cycles", "energy (nJ, sys)");
+    println!(
+        "{:<22} {:>12} {:>16.1}",
+        "VGIW",
+        vs.cycles,
+        ve.system_level() / 1000.0
+    );
+    println!(
+        "{:<22} {:>12} {:>16.1}",
+        "Fermi-like SIMT",
+        ss.cycles,
+        se.system_level() / 1000.0
+    );
+    println!(
+        "{:<22} {:>12} {:>16.1}",
+        "SGMF",
+        gs.cycles,
+        ge.system_level() / 1000.0
+    );
+
+    println!(
+        "\nVGIW vs Fermi: {:.2}x speedup, {:.2}x energy efficiency",
+        ss.cycles as f64 / vs.cycles as f64,
+        se.system_level() / ve.system_level()
+    );
+    println!(
+        "VGIW vs SGMF:  {:.2}x speedup, {:.2}x energy efficiency",
+        gs.cycles as f64 / vs.cycles as f64,
+        ge.system_level() / ve.system_level()
+    );
+}

@@ -1,0 +1,17 @@
+//! Facade crate for the VGIW reproduction.
+//!
+//! Re-exports the public API of every subsystem crate so examples, tests and
+//! downstream users can depend on a single `vgiw` crate. See the workspace
+//! `README.md` and `DESIGN.md` for the architecture overview.
+
+#![warn(missing_docs)]
+
+pub use vgiw_compiler as compiler;
+pub use vgiw_core as core;
+pub use vgiw_fabric as fabric;
+pub use vgiw_ir as ir;
+pub use vgiw_kernels as kernels;
+pub use vgiw_mem as mem;
+pub use vgiw_power as power;
+pub use vgiw_sgmf as sgmf;
+pub use vgiw_simt as simt;

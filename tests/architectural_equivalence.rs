@@ -1,0 +1,88 @@
+//! Cross-crate integration tests: every machine must leave memory
+//! bit-identical to the reference interpreter on every suite benchmark.
+//!
+//! These are the repository's strongest functional guarantees: they
+//! exercise the full stack (builder → compiler → fabric/SM → memory
+//! hierarchy) on real application control flow.
+
+use vgiw::kernels::{self, Benchmark};
+use vgiw_bench::{SgmfLauncher, SimtLauncher, VgiwLauncher};
+
+fn check_vgiw(bench: &Benchmark) {
+    let mut l = VgiwLauncher::default();
+    bench
+        .run(&mut l)
+        .unwrap_or_else(|e| panic!("VGIW diverged on {}: {e}", bench.app));
+    assert!(l.result.cycles > 0);
+}
+
+fn check_simt(bench: &Benchmark) {
+    let mut l = SimtLauncher::default();
+    bench
+        .run(&mut l)
+        .unwrap_or_else(|e| panic!("SIMT diverged on {}: {e}", bench.app));
+    assert!(l.result.cycles > 0);
+}
+
+macro_rules! equivalence_tests {
+    ($($name:ident => $builder:path),* $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn vgiw_matches_interpreter() {
+                    check_vgiw(&$builder(1));
+                }
+
+                #[test]
+                fn simt_matches_interpreter() {
+                    check_simt(&$builder(1));
+                }
+            }
+        )*
+    };
+}
+
+equivalence_tests! {
+    bfs => kernels::bfs::build,
+    kmeans => kernels::kmeans::build,
+    cfd => kernels::cfd::build,
+    lud => kernels::lud::build,
+    ge => kernels::ge::build,
+    hotspot => kernels::hotspot::build,
+    lavamd => kernels::lavamd::build,
+    nn => kernels::nn::build,
+    pf => kernels::pf::build,
+    bpnn => kernels::bpnn::build,
+    nw => kernels::nw::build,
+    sm => kernels::sm::build,
+}
+
+/// SGMF must agree wherever it can map the kernel, and fail cleanly where
+/// it cannot.
+#[test]
+fn sgmf_matches_or_declines() {
+    let mut mappable = 0;
+    for bench in kernels::suite(1) {
+        let mut l = SgmfLauncher::default();
+        match bench.run(&mut l) {
+            Ok(()) => {
+                mappable += 1;
+                assert!(l.result.cycles > 0);
+            }
+            Err(e) => {
+                assert!(
+                    e.contains("not SGMF-mappable") || e.contains("loops")
+                        || e.contains("capacity"),
+                    "{}: unexpected SGMF failure: {e}",
+                    bench.app
+                );
+            }
+        }
+    }
+    assert!(
+        mappable >= 3,
+        "the SGMF-comparable subset should contain several apps, got {mappable}"
+    );
+}

@@ -1,0 +1,256 @@
+//! Property-based architectural equivalence: random structured kernels on
+//! random inputs must leave identical memory on the interpreter, the VGIW
+//! processor, the SIMT baseline and (when mappable) SGMF.
+//!
+//! The generator covers arithmetic, loads/stores (address-masked into the
+//! image), nested if/else, and bounded counted loops — the whole IR
+//! surface the suite uses.
+
+use proptest::prelude::*;
+use vgiw::compiler::GridSpec;
+use vgiw::core::VgiwProcessor;
+use vgiw::ir::{interp, BinaryOp, Kernel, KernelBuilder, Launch, MemoryImage, Val, Word};
+use vgiw::sgmf::{is_mappable, SgmfProcessor};
+use vgiw::simt::SimtProcessor;
+
+const MEM_WORDS: u32 = 512;
+/// High bits of an address come from the generated value...
+const ADDR_HI_MASK: u32 = 0x180;
+/// ...and the low bits are the thread ID, so every thread touches only its
+/// own slots. Cross-thread races are order-dependent by construction
+/// (the interpreter serializes threads; the machines interleave them), and
+/// the paper's data-parallel premise excludes them — as do the suite's
+/// kernels.
+
+/// A generated statement.
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// `pool.push(op(pool[a], pool[b]))`
+    Binary(u8, usize, usize),
+    /// `mem[pool[a] & MASK] = pool[b]`
+    Store(usize, usize),
+    /// `pool.push(mem[pool[a] & MASK])`
+    Load(usize),
+    /// `if pool[c] & 1 { then } else { else }`
+    IfElse(usize, Vec<Stmt>, Vec<Stmt>),
+    /// `for i in 0..(pool[c] % 4) { body }`
+    Loop(usize, Vec<Stmt>),
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0u8..12, any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Stmt::Binary(op, a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Stmt::Store(a, b)),
+        any::<usize>().prop_map(Stmt::Load),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (any::<usize>(), prop::collection::vec(inner.clone(), 1..4),
+             prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, t, e)| Stmt::IfElse(c, t, e)),
+            (any::<usize>(), prop::collection::vec(inner, 1..4))
+                .prop_map(|(c, b)| Stmt::Loop(c, b)),
+        ]
+    })
+}
+
+fn binop(code: u8) -> BinaryOp {
+    match code % 12 {
+        0 => BinaryOp::Add,
+        1 => BinaryOp::Sub,
+        2 => BinaryOp::Mul,
+        3 => BinaryOp::And,
+        4 => BinaryOp::Or,
+        5 => BinaryOp::Xor,
+        6 => BinaryOp::Shl,
+        7 => BinaryOp::ShrL,
+        8 => BinaryOp::CmpLtU,
+        9 => BinaryOp::MinS,
+        10 => BinaryOp::DivU,
+        _ => BinaryOp::RemU,
+    }
+}
+
+fn emit(
+    b: &mut KernelBuilder,
+    tid: Val,
+    stmts: &[Stmt],
+    pool: &mut Vec<Val>,
+    loop_budget: &mut u32,
+) {
+    // addr = (v & HI) | (tid & 0x7F): thread-private slots.
+    let mask = |b: &mut KernelBuilder, v: Val| {
+        let hi_m = b.const_u32(ADDR_HI_MASK);
+        let hi = b.and(v, hi_m);
+        let lo_m = b.const_u32(0x7F);
+        let lo = b.and(tid, lo_m);
+        b.or(hi, lo)
+    };
+    for s in stmts {
+        match s {
+            Stmt::Binary(op, a, c) => {
+                let x = pool[a % pool.len()];
+                let y = pool[c % pool.len()];
+                let v = b.binary(binop(*op), x, y);
+                pool.push(v);
+            }
+            Stmt::Store(a, vsel) => {
+                let addr = pool[a % pool.len()];
+                let val = pool[vsel % pool.len()];
+                let ad = mask(b, addr);
+                b.store(ad, val);
+            }
+            Stmt::Load(a) => {
+                let addr = pool[a % pool.len()];
+                let ad = mask(b, addr);
+                let v = b.load(ad);
+                pool.push(v);
+            }
+            Stmt::IfElse(c, t, e) => {
+                let cv = pool[c % pool.len()];
+                let one = b.const_u32(1);
+                let bit = b.and(cv, one);
+                // Values defined inside the branches must not leak into the
+                // merged pool (they would be undefined on the other path),
+                // so each side gets a scoped clone.
+                let snapshot = pool.clone();
+                let mut then_pool = snapshot.clone();
+                let mut else_pool = snapshot;
+                let mut lb_t = *loop_budget;
+                let mut lb_e = *loop_budget;
+                b.if_else(
+                    bit,
+                    |b| emit(b, tid, t, &mut then_pool, &mut lb_t),
+                    |b| emit(b, tid, e, &mut else_pool, &mut lb_e),
+                );
+                *loop_budget = lb_t.min(lb_e);
+            }
+            Stmt::Loop(c, body) => {
+                if *loop_budget == 0 {
+                    continue; // keep the total trip count bounded
+                }
+                *loop_budget -= 1;
+                let cv = pool[c % pool.len()];
+                let four = b.const_u32(4);
+                let bound = b.rem_u(cv, four);
+                let zero = b.const_u32(0);
+                let mut body_pool = pool.clone();
+                let mut lb = *loop_budget;
+                b.for_range(zero, bound, |b, i| {
+                    body_pool.push(i);
+                    emit(b, tid, body, &mut body_pool, &mut lb);
+                });
+                *loop_budget = lb;
+            }
+        }
+    }
+}
+
+fn build_kernel(stmts: &[Stmt]) -> Kernel {
+    let mut b = KernelBuilder::new("prop", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let c7 = b.const_u32(7);
+    let mut pool = vec![tid, base, c7];
+    let mut loop_budget = 3u32;
+    emit(&mut b, tid, stmts, &mut pool, &mut loop_budget);
+    // Always store something observable (thread-private slot).
+    let last = *pool.last().expect("pool is never empty");
+    let m = b.const_u32(0x7F);
+    let a0 = b.and(tid, m);
+    b.store(a0, last);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn vgiw_and_simt_match_interpreter(
+        stmts in prop::collection::vec(stmt_strategy(2), 1..8),
+        threads in 1u32..80,
+    ) {
+        let kernel = build_kernel(&stmts);
+        let launch = Launch::new(threads, vec![Word::from_u32(64)]);
+
+        let mut golden = MemoryImage::new(MEM_WORDS as usize);
+        interp::run(&kernel, &launch, &mut golden).expect("interp");
+
+        let mut got_v = MemoryImage::new(MEM_WORDS as usize);
+        let mut vgiw = VgiwProcessor::default();
+        vgiw.run(&kernel, &launch, &mut got_v).expect("vgiw");
+        for a in 0..MEM_WORDS {
+            prop_assert_eq!(got_v.read(a), golden.read(a), "vgiw word {}", a);
+        }
+
+        let mut got_s = MemoryImage::new(MEM_WORDS as usize);
+        let mut simt = SimtProcessor::default();
+        simt.run(&kernel, &launch, &mut got_s).expect("simt");
+        for a in 0..MEM_WORDS {
+            prop_assert_eq!(got_s.read(a), golden.read(a), "simt word {}", a);
+        }
+
+        if is_mappable(&kernel, &GridSpec::paper()) {
+            let mut got_g = MemoryImage::new(MEM_WORDS as usize);
+            let mut sgmf = SgmfProcessor::default();
+            sgmf.run(&kernel, &launch, &mut got_g).expect("sgmf");
+            for a in 0..MEM_WORDS {
+                prop_assert_eq!(got_g.read(a), golden.read(a), "sgmf word {}", a);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// CVT invariant: however batches move threads around, each thread is
+    /// registered in at most one vector, and none are lost.
+    #[test]
+    fn cvt_conserves_threads(
+        moves in prop::collection::vec((0usize..4, 0usize..4), 0..40),
+        tile in 1u32..200,
+    ) {
+        use vgiw::core::Cvt;
+        let mut cvt = Cvt::new(4, tile);
+        cvt.arm_entry();
+        let mut total = tile;
+        for (from, to) in moves {
+            let from_id = vgiw::ir::BlockId(from as u32);
+            let to_id = vgiw::ir::BlockId(to as u32);
+            let batches = cvt.take_batches(from_id);
+            if from == to || to == 0 {
+                // Dropping threads at an exit: they leave the machine.
+                total -= batches.iter().map(|b| b.len()).sum::<u32>();
+            } else {
+                for b in batches {
+                    cvt.or_batch(to_id, b);
+                }
+            }
+            prop_assert_eq!(cvt.total_pending(), total);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Batch packets round-trip thread IDs exactly.
+    #[test]
+    fn thread_batches_round_trip(base_word in 0u32..100, bits in any::<u64>()) {
+        use vgiw::core::ThreadBatch;
+        let batch = ThreadBatch { base: base_word * 64, bitmap: bits };
+        let tids: Vec<u32> = batch.iter().collect();
+        prop_assert_eq!(tids.len() as u32, batch.len());
+        let mut rebuilt = 0u64;
+        for t in &tids {
+            prop_assert!(*t >= batch.base && *t < batch.base + 64);
+            rebuilt |= 1 << (t - batch.base);
+        }
+        prop_assert_eq!(rebuilt, bits);
+    }
+}
