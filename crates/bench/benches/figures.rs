@@ -1,65 +1,77 @@
-//! Criterion benches wrapping scaled-down versions of each figure's
-//! workload, so the harness itself is continuously exercised:
-//! one bench per paper artifact (Fig 3/7/9/10 share the VGIW-vs-Fermi
-//! sweep; Fig 8/11 the VGIW-vs-SGMF sweep).
+//! Micro-benchmarks wrapping scaled-down versions of each figure's
+//! workload, so the harness itself is continuously exercised: one bench
+//! per paper artifact (Fig 3/7/9/10 share the VGIW-vs-Fermi sweep; Fig
+//! 8/11 the VGIW-vs-SGMF sweep).
+//!
+//! This is a dependency-free timing harness (`cargo bench -p vgiw-bench`):
+//! the CI sandbox builds offline, so criterion is not available. Each
+//! bench reports min/mean wall time over a fixed number of iterations —
+//! enough to catch order-of-magnitude regressions; `BENCH_perf.json`
+//! (see `experiments perf`) carries the tracked numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 use vgiw_bench::{SgmfLauncher, SimtLauncher, VgiwLauncher};
 
-fn bench_vgiw(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fig3_vgiw");
-    g.sample_size(10);
-    for app in ["NN", "KMEANS", "GE"] {
-        let bench = build(app);
-        g.bench_function(format!("vgiw/{app}"), |b| {
-            b.iter(|| {
-                let mut l = VgiwLauncher::default();
-                bench.run(&mut l).expect("vgiw run");
-                l.result.cycles
-            })
-        });
+const ITERS: usize = 3;
+
+fn time<F: FnMut() -> u64>(name: &str, mut f: F) {
+    // One warmup, then ITERS timed runs.
+    let mut check = f();
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        check = check.max(f());
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
     }
-    g.finish();
+    println!(
+        "{name:<28} min {best:>9.4}s  mean {:>9.4}s  ({check} cycles)",
+        total / ITERS as f64
+    );
 }
 
-fn bench_simt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fig9_fermi");
-    g.sample_size(10);
+fn bench_vgiw() {
     for app in ["NN", "KMEANS", "GE"] {
         let bench = build(app);
-        g.bench_function(format!("fermi/{app}"), |b| {
-            b.iter(|| {
-                let mut l = SimtLauncher::default();
-                bench.run(&mut l).expect("simt run");
-                l.result.cycles
-            })
+        time(&format!("fig7_fig3/vgiw/{app}"), || {
+            let mut l = VgiwLauncher::default();
+            bench.run(&mut l).expect("vgiw run");
+            l.result.cycles
         });
     }
-    g.finish();
 }
 
-fn bench_sgmf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_fig11_sgmf");
-    g.sample_size(10);
+fn bench_simt() {
+    for app in ["NN", "KMEANS", "GE"] {
+        let bench = build(app);
+        time(&format!("fig7_fig9/fermi/{app}"), || {
+            let mut l = SimtLauncher::default();
+            bench.run(&mut l).expect("simt run");
+            l.result.cycles
+        });
+    }
+}
+
+fn bench_sgmf() {
     for app in ["NN", "KMEANS"] {
         let bench = build(app);
-        g.bench_function(format!("sgmf/{app}"), |b| {
-            b.iter(|| {
-                let mut l = SgmfLauncher::default();
-                bench.run(&mut l).expect("sgmf run");
-                l.result.cycles
-            })
+        time(&format!("fig8_fig11/sgmf/{app}"), || {
+            let mut l = SgmfLauncher::default();
+            bench.run(&mut l).expect("sgmf run");
+            l.result.cycles
         });
     }
-    g.finish();
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     // Table 2 shape: compiling each kernel (place & route dominates).
     let grid = vgiw_compiler::GridSpec::paper();
     let kernel = vgiw_kernels::cfd::compute_flux_kernel();
-    c.bench_function("compile/cfd_compute_flux", |b| {
-        b.iter(|| vgiw_compiler::compile(&kernel, &grid).expect("compiles"))
+    time("compile/cfd_compute_flux", || {
+        let ck = vgiw_compiler::compile(&kernel, &grid).expect("compiles");
+        ck.blocks.len() as u64
     });
 }
 
@@ -72,5 +84,9 @@ fn build(app: &str) -> vgiw_kernels::Benchmark {
     }
 }
 
-criterion_group!(benches, bench_vgiw, bench_simt, bench_sgmf, bench_compiler);
-criterion_main!(benches);
+fn main() {
+    bench_vgiw();
+    bench_simt();
+    bench_sgmf();
+    bench_compiler();
+}

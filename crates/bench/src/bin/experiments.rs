@@ -1,26 +1,60 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `cargo run --release -p vgiw-bench --bin experiments -- [what]`
+//! Usage: `cargo run --release -p vgiw-bench --bin experiments -- [what] [scale] [--jobs N]`
 //! where `what` is one of `all` (default), `table1`, `table2`, `fig3`,
-//! the optional second argument scales workloads (default 1; larger
-//! values amortize reconfiguration like Rodinia-scale inputs). Also: `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `config-overhead`,
-//! `mappability`.
+//! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `config-overhead`,
+//! `mappability`, `ablations` or `perf`. The optional second argument
+//! scales workloads (default 1; larger values amortize reconfiguration
+//! like Rodinia-scale inputs).
+//!
+//! `--jobs N` runs each (benchmark, machine) pair on a pool of N worker
+//! threads (default: all host threads); results are identical to the
+//! serial run. `perf` times the suite serially and in parallel, prints a
+//! simulator-performance report and writes `BENCH_perf.json`.
 
 use vgiw_bench::report;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut jobs: Option<usize> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let v = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+            jobs = Some(v);
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let what = positional.first().map(String::as_str).unwrap_or("all");
+    let scale: u32 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
 
     match what {
         "table1" => print!("{}", report::table1()),
         "table2" => print!("{}", report::table2(&vgiw_kernels::suite(scale))),
         "mappability" => print!("{}", report::mappability(&vgiw_kernels::suite(scale))),
         "ablations" => print!("{}", report::ablations(scale)),
+        "perf" => {
+            eprintln!("timing suite (scale {scale}): serial, then {jobs} jobs...");
+            let perf = vgiw_bench::measure_perf(scale, jobs);
+            print!("{}", perf.summary());
+            let path = "BENCH_perf.json";
+            std::fs::write(path, perf.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
         "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
-            eprintln!("running suite (scale {scale})...");
-            let results = report::run_suite(scale);
+            eprintln!("running suite (scale {scale}, {jobs} jobs)...");
+            let results = report::run_suite_jobs(scale, jobs);
             let text = match what {
                 "fig3" => report::fig3(&results),
                 "fig7" => report::fig7(&results),
@@ -40,8 +74,8 @@ fn main() {
             println!();
             print!("{}", report::mappability(&benches));
             println!();
-            eprintln!("running suite on all machines (scale {scale})...");
-            let results = report::run_suite(scale);
+            eprintln!("running suite on all machines (scale {scale}, {jobs} jobs)...");
+            let results = report::run_suite_jobs(scale, jobs);
             for text in [
                 report::fig3(&results),
                 report::fig7(&results),

@@ -7,6 +7,9 @@
 //! paper's per-kernel measurements).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 use vgiw_compiler::CompiledKernel;
 use vgiw_core::{VgiwConfig, VgiwProcessor, VgiwRunStats};
 use vgiw_ir::{Kernel, Launch, MemoryImage};
@@ -16,7 +19,7 @@ use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
 use vgiw_simt::{SimtConfig, SimtProcessor};
 
 /// Totals accumulated while one machine runs one benchmark.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct MachineResult {
     /// Total cycles over all launches.
     pub cycles: u64,
@@ -32,6 +35,8 @@ pub struct MachineResult {
     pub block_executions: u64,
     /// Launch count.
     pub launches: u64,
+    /// Total threads launched.
+    pub threads: u64,
 }
 
 impl MachineResult {
@@ -55,6 +60,9 @@ pub struct VgiwLauncher {
     pub result: MachineResult,
     /// Per-launch stats, for detailed reports.
     pub runs: Vec<VgiwRunStats>,
+    /// Wall-clock seconds spent compiling kernels (the rest of a launch's
+    /// wall time is simulation).
+    pub compile_s: f64,
 }
 
 impl VgiwLauncher {
@@ -66,6 +74,7 @@ impl VgiwLauncher {
             compiled: HashMap::new(),
             result: MachineResult::default(),
             runs: Vec::new(),
+            compile_s: 0.0,
         }
     }
 }
@@ -84,8 +93,10 @@ impl Launcher for VgiwLauncher {
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
         if !self.compiled.contains_key(&kernel.name) {
+            let t0 = Instant::now();
             let ck = vgiw_compiler::compile(kernel, &self.proc.config().grid)
                 .map_err(|e| e.to_string())?;
+            self.compile_s += t0.elapsed().as_secs_f64();
             self.compiled.insert(kernel.name.clone(), ck);
         }
         let ck = &self.compiled[&kernel.name];
@@ -98,6 +109,7 @@ impl Launcher for VgiwLauncher {
         self.result.config_cycles += stats.config_cycles;
         self.result.block_executions += stats.block_executions;
         self.result.launches += 1;
+        self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.vgiw(&stats));
         self.runs.push(stats);
         Ok(())
@@ -136,10 +148,14 @@ impl Launcher for SimtLauncher {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        let stats = self.proc.run(kernel, launch, mem).map_err(|e| e.to_string())?;
+        let stats = self
+            .proc
+            .run(kernel, launch, mem)
+            .map_err(|e| e.to_string())?;
         self.result.cycles += stats.cycles;
         self.result.rf_accesses += stats.rf_accesses();
         self.result.launches += 1;
+        self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.simt(&stats));
         Ok(())
     }
@@ -177,9 +193,13 @@ impl Launcher for SgmfLauncher {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        let stats = self.proc.run(kernel, launch, mem).map_err(|e| e.to_string())?;
+        let stats = self
+            .proc
+            .run(kernel, launch, mem)
+            .map_err(|e| e.to_string())?;
         self.result.cycles += stats.cycles;
         self.result.launches += 1;
+        self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.sgmf(&stats));
         Ok(())
     }
@@ -245,38 +265,226 @@ impl AppResult {
     }
 }
 
+/// The three simulated machines, as job identifiers for the worker pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineKind {
+    /// The paper's VGIW core.
+    Vgiw,
+    /// The Fermi-like SIMT baseline.
+    Simt,
+    /// The SGMF (static dataflow) baseline.
+    Sgmf,
+}
+
+impl MachineKind {
+    /// Machine name as used in reports and `BENCH_perf.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Vgiw => "vgiw",
+            MachineKind::Simt => "simt",
+            MachineKind::Sgmf => "sgmf",
+        }
+    }
+}
+
+/// Wall-clock and throughput record for one (benchmark, machine) run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachinePerf {
+    /// Seconds spent compiling kernels (VGIW only; zero elsewhere).
+    pub compile_s: f64,
+    /// Seconds spent simulating (total wall time minus compilation).
+    pub simulate_s: f64,
+    /// Simulated cycles retired during those seconds.
+    pub cycles: u64,
+    /// Threads launched during those seconds.
+    pub threads: u64,
+}
+
+impl MachinePerf {
+    /// Simulated cycles per wall-clock second of simulation.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.simulate_s.max(1e-12)
+    }
+
+    /// Threads retired per wall-clock second of simulation.
+    pub fn threads_per_sec(&self) -> f64 {
+        self.threads as f64 / self.simulate_s.max(1e-12)
+    }
+}
+
+/// Per-benchmark wall-clock records across the machines.
+#[derive(Clone, Copy, Debug)]
+pub struct AppPerf {
+    /// Application name.
+    pub app: &'static str,
+    /// VGIW timing.
+    pub vgiw: MachinePerf,
+    /// SIMT timing.
+    pub simt: MachinePerf,
+    /// SGMF timing (absent when the app is not SGMF-mappable).
+    pub sgmf: Option<MachinePerf>,
+}
+
+/// Runs one benchmark on one machine (functional verification included)
+/// and times it.
+///
+/// # Panics
+/// Panics if VGIW or the SIMT baseline fail: those must run everything.
+/// SGMF unmappability is the one reportable error.
+pub fn measure_machine(
+    bench: &Benchmark,
+    kind: MachineKind,
+) -> (Result<MachineResult, String>, MachinePerf) {
+    let t0 = Instant::now();
+    let (result, compile_s) = match kind {
+        MachineKind::Vgiw => {
+            let mut vgiw = VgiwLauncher::default();
+            bench
+                .run(&mut vgiw)
+                .unwrap_or_else(|e| panic!("VGIW failed on {}: {e}", bench.app));
+            (Ok(vgiw.result), vgiw.compile_s)
+        }
+        MachineKind::Simt => {
+            let mut simt = SimtLauncher::default();
+            bench
+                .run(&mut simt)
+                .unwrap_or_else(|e| panic!("SIMT failed on {}: {e}", bench.app));
+            (Ok(simt.result), 0.0)
+        }
+        MachineKind::Sgmf => {
+            let mut sgmf = SgmfLauncher::default();
+            let r = match bench.run(&mut sgmf) {
+                Ok(()) => Ok(sgmf.result),
+                // Unmappability is the expected, reportable outcome;
+                // anything else (e.g. a golden-image mismatch) is a
+                // simulator bug and must not be silently folded into the
+                // "n/a" rows.
+                Err(e) if e.contains("not SGMF-mappable") => Err(e),
+                Err(e) => panic!("SGMF failed functionally on {}: {e}", bench.app),
+            };
+            (r, 0.0)
+        }
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (cycles, threads) = match &result {
+        Ok(r) => (r.cycles, r.threads),
+        Err(_) => (0, 0),
+    };
+    let perf = MachinePerf {
+        compile_s,
+        simulate_s: (wall_s - compile_s).max(0.0),
+        cycles,
+        threads,
+    };
+    (result, perf)
+}
+
 /// Runs one benchmark on all three machines (functional verification
 /// included — any mismatch against the golden image is an error).
 ///
 /// # Panics
 /// Panics if VGIW or the SIMT baseline fail: those must run everything.
 pub fn measure(bench: &Benchmark) -> AppResult {
-    let mut vgiw = VgiwLauncher::default();
-    bench
-        .run(&mut vgiw)
-        .unwrap_or_else(|e| panic!("VGIW failed on {}: {e}", bench.app));
+    measure_with_perf(bench).0
+}
 
-    let mut simt = SimtLauncher::default();
-    bench
-        .run(&mut simt)
-        .unwrap_or_else(|e| panic!("SIMT failed on {}: {e}", bench.app));
-
-    let mut sgmf = SgmfLauncher::default();
-    let sgmf_result = match bench.run(&mut sgmf) {
-        Ok(()) => Ok(sgmf.result),
-        // Unmappability is the expected, reportable outcome; anything else
-        // (e.g. a golden-image mismatch) is a simulator bug and must not be
-        // silently folded into the "n/a" rows.
-        Err(e) if e.contains("not SGMF-mappable") => Err(e),
-        Err(e) => panic!("SGMF failed functionally on {}: {e}", bench.app),
-    };
-
-    AppResult {
+/// [`measure`], also returning wall-clock records.
+pub fn measure_with_perf(bench: &Benchmark) -> (AppResult, AppPerf) {
+    let (vgiw, vgiw_p) = measure_machine(bench, MachineKind::Vgiw);
+    let (simt, simt_p) = measure_machine(bench, MachineKind::Simt);
+    let (sgmf, sgmf_p) = measure_machine(bench, MachineKind::Sgmf);
+    let result = AppResult {
         app: bench.app,
-        vgiw: vgiw.result,
-        simt: simt.result,
-        sgmf: sgmf_result,
+        vgiw: vgiw.expect("VGIW result is infallible by construction"),
+        simt: simt.expect("SIMT result is infallible by construction"),
+        sgmf,
+    };
+    let perf = AppPerf {
+        app: bench.app,
+        vgiw: vgiw_p,
+        simt: simt_p,
+        sgmf: result.sgmf.as_ref().ok().map(|_| sgmf_p),
+    };
+    (result, perf)
+}
+
+const MACHINES: [MachineKind; 3] = [MachineKind::Vgiw, MachineKind::Simt, MachineKind::Sgmf];
+
+/// Runs the whole suite, each (benchmark, machine) pair as one job on a
+/// pool of `jobs` worker threads (`jobs <= 1` runs serially on the
+/// calling thread). Results are assembled in benchmark order, so the
+/// output is identical no matter how many workers raced through the
+/// job list (regression-tested).
+///
+/// # Panics
+/// Propagates any worker panic (a machine failing functionally).
+pub fn measure_suite(benches: &[Benchmark], jobs: usize) -> Vec<AppResult> {
+    measure_suite_with_perf(benches, jobs).0
+}
+
+/// [`measure_suite`], also returning per-app wall-clock records.
+pub fn measure_suite_with_perf(
+    benches: &[Benchmark],
+    jobs: usize,
+) -> (Vec<AppResult>, Vec<AppPerf>) {
+    // Benchmark-major job order: a worker claiming job i runs benchmark
+    // i / 3 on machine i % 3.
+    let job_list: Vec<(usize, MachineKind)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(b, _)| MACHINES.iter().map(move |&m| (b, m)))
+        .collect();
+
+    type JobOut = (Result<MachineResult, String>, MachinePerf);
+    let slots: Vec<Mutex<Option<JobOut>>> = job_list.iter().map(|_| Mutex::new(None)).collect();
+
+    let workers = jobs.min(job_list.len());
+    if workers <= 1 {
+        for (slot, &(b, m)) in slots.iter().zip(&job_list) {
+            *slot.lock().expect("job slot poisoned") = Some(measure_machine(&benches[b], m));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(b, m)) = job_list.get(i) else {
+                        break;
+                    };
+                    let out = measure_machine(&benches[b], m);
+                    *slots[i].lock().expect("job slot poisoned") = Some(out);
+                });
+            }
+        });
     }
+
+    let mut out = slots.into_iter().map(|s| {
+        s.into_inner()
+            .expect("job slot poisoned")
+            .expect("every job slot is filled before the pool joins")
+    });
+    let mut results = Vec::with_capacity(benches.len());
+    let mut perfs = Vec::with_capacity(benches.len());
+    for bench in benches {
+        let (vgiw, vgiw_p) = out.next().expect("one VGIW job per benchmark");
+        let (simt, simt_p) = out.next().expect("one SIMT job per benchmark");
+        let (sgmf, sgmf_p) = out.next().expect("one SGMF job per benchmark");
+        let sgmf_perf = sgmf.as_ref().ok().map(|_| sgmf_p);
+        results.push(AppResult {
+            app: bench.app,
+            vgiw: vgiw.expect("VGIW result is infallible by construction"),
+            simt: simt.expect("SIMT result is infallible by construction"),
+            sgmf,
+        });
+        perfs.push(AppPerf {
+            app: bench.app,
+            vgiw: vgiw_p,
+            simt: simt_p,
+            sgmf: sgmf_perf,
+        });
+    }
+    (results, perfs)
 }
 
 /// Geometric mean helper (the paper reports averages over kernels).

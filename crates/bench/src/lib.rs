@@ -6,6 +6,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod perf;
 pub mod report;
 
-pub use harness::{measure, AppResult, MachineResult, SgmfLauncher, SimtLauncher, VgiwLauncher};
+pub use harness::{
+    measure, measure_machine, measure_suite, measure_suite_with_perf, AppPerf, AppResult,
+    MachineKind, MachinePerf, MachineResult, SgmfLauncher, SimtLauncher, VgiwLauncher,
+};
+pub use perf::{measure_perf, SuitePerf};

@@ -1,0 +1,218 @@
+//! Simulator-performance observability: wall-clock per phase, simulated
+//! cycles per second, and serial-vs-parallel suite timing, emitted as a
+//! human-readable report and as `BENCH_perf.json` (hand-rolled JSON; the
+//! build is offline and carries no serde).
+
+use crate::harness::{measure_suite_with_perf, AppPerf, MachinePerf};
+use std::time::Instant;
+
+/// Timing of one full suite run: serial, then on a `jobs`-wide pool.
+#[derive(Debug)]
+pub struct SuitePerf {
+    /// Workload scale factor.
+    pub scale: u32,
+    /// Worker-pool width used for the parallel run.
+    pub jobs: usize,
+    /// Wall-clock seconds of the serial (`jobs = 1`) suite run.
+    pub serial_wall_s: f64,
+    /// Wall-clock seconds of the parallel suite run.
+    pub parallel_wall_s: f64,
+    /// Per-app per-machine records from the serial run (uncontended, so
+    /// per-machine rates are not skewed by core sharing).
+    pub apps: Vec<AppPerf>,
+}
+
+/// Runs the suite twice — serially and on `jobs` workers — timing both.
+///
+/// # Panics
+/// Panics if the parallel run's statistics differ from the serial run's:
+/// that would mean the worker pool changed simulation results.
+pub fn measure_perf(scale: u32, jobs: usize) -> SuitePerf {
+    let benches = vgiw_kernels::suite(scale);
+
+    let t0 = Instant::now();
+    let (serial_results, apps) = measure_suite_with_perf(&benches, 1);
+    let serial_wall_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (parallel_results, _) = measure_suite_with_perf(&benches, jobs);
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+
+    for (s, p) in serial_results.iter().zip(&parallel_results) {
+        assert!(
+            s.vgiw == p.vgiw && s.simt == p.simt && s.sgmf == p.sgmf,
+            "parallel run changed results on {}",
+            s.app
+        );
+    }
+
+    SuitePerf {
+        scale,
+        jobs,
+        serial_wall_s,
+        parallel_wall_s,
+        apps,
+    }
+}
+
+impl SuitePerf {
+    /// Parallel speedup over the serial run.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_s / self.parallel_wall_s.max(1e-12)
+    }
+
+    /// Total compile seconds across all apps (serial run).
+    pub fn compile_s(&self) -> f64 {
+        self.machines().map(|(_, _, m)| m.compile_s).sum()
+    }
+
+    /// Total simulate seconds across all apps (serial run).
+    pub fn simulate_s(&self) -> f64 {
+        self.machines().map(|(_, _, m)| m.simulate_s).sum()
+    }
+
+    fn machines(&self) -> impl Iterator<Item = (&'static str, &'static str, MachinePerf)> + '_ {
+        self.apps.iter().flat_map(|a| {
+            [
+                ("vgiw", Some(a.vgiw)),
+                ("simt", Some(a.simt)),
+                ("sgmf", a.sgmf),
+            ]
+            .into_iter()
+            .filter_map(move |(name, m)| m.map(|m| (a.app, name, m)))
+        })
+    }
+
+    /// The human-readable report.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Simulator performance (scale {}, {} worker jobs)\n",
+            self.scale, self.jobs
+        ));
+        out.push_str(&format!(
+            "  suite wall-clock    serial {:.3}s  parallel {:.3}s  speedup {:.2}x\n",
+            self.serial_wall_s,
+            self.parallel_wall_s,
+            self.speedup()
+        ));
+        out.push_str(&format!(
+            "  phases (serial)     compile {:.3}s  simulate {:.3}s\n",
+            self.compile_s(),
+            self.simulate_s()
+        ));
+        out.push_str("  app      machine   sim-cycles/s   threads/s   compile_s  simulate_s\n");
+        for (app, machine, m) in self.machines() {
+            out.push_str(&format!(
+                "  {app:<8} {machine:<6} {:>13.0} {:>11.0}   {:>9.4} {:>11.4}\n",
+                m.cycles_per_sec(),
+                m.threads_per_sec(),
+                m.compile_s,
+                m.simulate_s,
+            ));
+        }
+        out
+    }
+
+    /// The `BENCH_perf.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"host_threads\": {},\n",
+            std::thread::available_parallelism().map_or(1, usize::from)
+        ));
+        out.push_str(&format!(
+            "  \"serial_wall_s\": {},\n",
+            json_f64(self.serial_wall_s)
+        ));
+        out.push_str(&format!(
+            "  \"parallel_wall_s\": {},\n",
+            json_f64(self.parallel_wall_s)
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {},\n",
+            json_f64(self.speedup())
+        ));
+        out.push_str(&format!(
+            "  \"phases\": {{ \"compile_s\": {}, \"simulate_s\": {} }},\n",
+            json_f64(self.compile_s()),
+            json_f64(self.simulate_s())
+        ));
+        out.push_str("  \"machines\": [\n");
+        let rows: Vec<String> = self
+            .machines()
+            .map(|(app, machine, m)| {
+                format!(
+                    "    {{ \"app\": \"{app}\", \"machine\": \"{machine}\", \
+                     \"compile_s\": {}, \"simulate_s\": {}, \
+                     \"cycles\": {}, \"threads\": {}, \
+                     \"cycles_per_sec\": {}, \"threads_per_sec\": {} }}",
+                    json_f64(m.compile_s),
+                    json_f64(m.simulate_s),
+                    m.cycles,
+                    m.threads,
+                    json_f64(m.cycles_per_sec()),
+                    json_f64(m.threads_per_sec()),
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Formats a finite f64 as a JSON number (shortest round-trip form).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::AppPerf;
+
+    fn sample() -> SuitePerf {
+        let m = MachinePerf {
+            compile_s: 0.25,
+            simulate_s: 1.0,
+            cycles: 1000,
+            threads: 64,
+        };
+        SuitePerf {
+            scale: 1,
+            jobs: 4,
+            serial_wall_s: 4.0,
+            parallel_wall_s: 1.0,
+            apps: vec![AppPerf {
+                app: "NN",
+                vgiw: m,
+                simt: m,
+                sgmf: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let p = sample();
+        let j = p.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"parallel_speedup\": 4.0"));
+        assert!(j.contains("\"machine\": \"vgiw\""));
+        // sgmf is unmappable here: exactly two machine rows.
+        assert_eq!(j.matches("\"app\"").count(), 2);
+    }
+
+    #[test]
+    fn summary_reports_phases() {
+        let s = sample().summary();
+        assert!(s.contains("compile 0.500s"), "{s}");
+        assert!(s.contains("speedup 4.00x"), "{s}");
+    }
+}

@@ -1,15 +1,22 @@
 //! Experiment runners: one function per paper table/figure, each printing
 //! the same rows/series the paper reports.
 
-use crate::harness::{geomean, measure, AppResult};
+use crate::harness::{geomean, measure_suite, AppResult};
 use vgiw_core::VgiwConfig;
 use vgiw_kernels::Benchmark;
 use vgiw_sgmf::is_mappable;
 use vgiw_simt::SimtConfig;
 
-/// Runs the whole suite once and returns per-app results.
+/// Runs the whole suite serially and returns per-app results.
 pub fn run_suite(scale: u32) -> Vec<AppResult> {
-    vgiw_kernels::suite(scale).iter().map(measure).collect()
+    run_suite_jobs(scale, 1)
+}
+
+/// Runs the whole suite on `jobs` worker threads; each (benchmark,
+/// machine) pair is one job, and results come back in benchmark order
+/// regardless of `jobs` (bit-identical to serial, regression-tested).
+pub fn run_suite_jobs(scale: u32, jobs: usize) -> Vec<AppResult> {
+    measure_suite(&vgiw_kernels::suite(scale), jobs)
 }
 
 /// Table 1: the system configuration.
@@ -145,7 +152,11 @@ pub fn fig9(results: &[AppResult]) -> String {
     let mut out = String::new();
     out.push_str("Figure 9: VGIW energy efficiency over Fermi (x, system level)\n");
     for r in results {
-        out.push_str(&format!("  {:<8} {:>7.2}x\n", r.app, r.efficiency_vs_fermi()));
+        out.push_str(&format!(
+            "  {:<8} {:>7.2}x\n",
+            r.app,
+            r.efficiency_vs_fermi()
+        ));
     }
     let avg = geomean(results.iter().map(AppResult::efficiency_vs_fermi));
     out.push_str(&format!(
@@ -252,6 +263,77 @@ pub fn mappability(benches: &[Benchmark]) -> String {
     out
 }
 
+/// Ablations over the design knobs DESIGN.md §6 calls out, on a
+/// representative compute kernel (HOTSPOT) and memory kernel (NN).
+pub fn ablations(scale: u32) -> String {
+    use vgiw_kernels::{hotspot, nn};
+    let mut out = String::new();
+    out.push_str("Ablations (VGIW cycles; lower is better)\n");
+
+    let run = |cfg: VgiwConfig, bench: &Benchmark| -> u64 {
+        let mut l = crate::harness::VgiwLauncher::new(cfg);
+        bench.run(&mut l).expect("ablation run");
+        l.result.cycles
+    };
+
+    for (name, bench) in [("HOTSPOT", hotspot::build(scale)), ("NN", nn::build(scale))] {
+        out.push_str(&format!("  {name}\n"));
+
+        // Replication on/off (paper: key throughput contributor).
+        for reps in [1u32, 8] {
+            let c = VgiwConfig {
+                max_replicas: reps,
+                ..VgiwConfig::default()
+            };
+            out.push_str(&format!(
+                "    replicas={reps:<3} {:>10} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // Token buffer depth (virtual channels).
+        for ch in [16u32, 64, 256] {
+            let mut c = VgiwConfig::default();
+            c.fabric.channels_per_unit = ch;
+            out.push_str(&format!(
+                "    channels={ch:<4} {:>9} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // Reconfiguration cost.
+        for cc in [34u64, 340] {
+            let c = VgiwConfig {
+                config_cycles: cc,
+                ..VgiwConfig::default()
+            };
+            out.push_str(&format!(
+                "    config_cycles={cc:<4} {:>5} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // CVT capacity (thread tiling).
+        for bits in [8 * 1024u64, 256 * 1024] {
+            let c = VgiwConfig {
+                cvt_bits: bits,
+                ..VgiwConfig::default()
+            };
+            out.push_str(&format!(
+                "    cvt_bits={bits:<7} {:>7} cycles\n",
+                run(c, &bench)
+            ));
+        }
+        // LVC size.
+        for kb in [16u32, 64] {
+            let mut c = VgiwConfig::default();
+            c.lvc.geometry.size_bytes = kb * 1024;
+            out.push_str(&format!(
+                "    lvc={kb}KB        {:>9} cycles\n",
+                run(c, &bench)
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,69 +354,4 @@ mod tests {
             assert!(t.contains(app), "missing {app} in table 2");
         }
     }
-}
-
-/// Ablations over the design knobs DESIGN.md §6 calls out, on a
-/// representative compute kernel (HOTSPOT) and memory kernel (NN).
-pub fn ablations(scale: u32) -> String {
-    use vgiw_kernels::{hotspot, nn};
-    let mut out = String::new();
-    out.push_str("Ablations (VGIW cycles; lower is better)\n");
-
-    let run = |cfg: VgiwConfig, bench: &Benchmark| -> u64 {
-        let mut l = crate::harness::VgiwLauncher::new(cfg);
-        bench.run(&mut l).expect("ablation run");
-        l.result.cycles
-    };
-
-    for (name, bench) in [("HOTSPOT", hotspot::build(scale)), ("NN", nn::build(scale))] {
-        out.push_str(&format!("  {name}\n"));
-
-        // Replication on/off (paper: key throughput contributor).
-        for reps in [1u32, 8] {
-            let mut c = VgiwConfig::default();
-            c.max_replicas = reps;
-            out.push_str(&format!(
-                "    replicas={reps:<3} {:>10} cycles\n",
-                run(c, &bench)
-            ));
-        }
-        // Token buffer depth (virtual channels).
-        for ch in [16u32, 64, 256] {
-            let mut c = VgiwConfig::default();
-            c.fabric.channels_per_unit = ch;
-            out.push_str(&format!(
-                "    channels={ch:<4} {:>9} cycles\n",
-                run(c, &bench)
-            ));
-        }
-        // Reconfiguration cost.
-        for cc in [34u64, 340] {
-            let mut c = VgiwConfig::default();
-            c.config_cycles = cc;
-            out.push_str(&format!(
-                "    config_cycles={cc:<4} {:>5} cycles\n",
-                run(c, &bench)
-            ));
-        }
-        // CVT capacity (thread tiling).
-        for bits in [8 * 1024u64, 256 * 1024] {
-            let mut c = VgiwConfig::default();
-            c.cvt_bits = bits;
-            out.push_str(&format!(
-                "    cvt_bits={bits:<7} {:>7} cycles\n",
-                run(c, &bench)
-            ));
-        }
-        // LVC size.
-        for kb in [16u32, 64] {
-            let mut c = VgiwConfig::default();
-            c.lvc.geometry.size_bytes = kb * 1024;
-            out.push_str(&format!(
-                "    lvc={kb}KB        {:>9} cycles\n",
-                run(c, &bench)
-            ));
-        }
-    }
-    out
 }

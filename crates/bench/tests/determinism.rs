@@ -1,0 +1,86 @@
+//! Regression tests for the two simulator-speed features that must not
+//! change simulation results: the parallel measurement pool and the idle
+//! fast-forward.
+
+use vgiw_bench::harness::{measure_suite, VgiwLauncher};
+use vgiw_bench::SgmfLauncher;
+use vgiw_core::VgiwConfig;
+use vgiw_kernels::Benchmark;
+use vgiw_sgmf::SgmfConfig;
+
+/// A small but representative slice of the suite: NN (SGMF-mappable,
+/// memory-bound), HOTSPOT (SGMF-mappable, compute), BFS (multi-launch,
+/// data-dependent driver, not SGMF-mappable).
+fn subset() -> Vec<Benchmark> {
+    vec![
+        vgiw_kernels::nn::build(1),
+        vgiw_kernels::hotspot::build(1),
+        vgiw_kernels::bfs::build(1),
+    ]
+}
+
+#[test]
+fn parallel_pool_matches_serial_bit_for_bit() {
+    let benches = subset();
+    let serial = measure_suite(&benches, 1);
+    let parallel = measure_suite(&benches, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.app, p.app);
+        assert_eq!(s.vgiw, p.vgiw, "VGIW stats diverge on {}", s.app);
+        assert_eq!(s.simt, p.simt, "SIMT stats diverge on {}", s.app);
+        assert_eq!(s.sgmf, p.sgmf, "SGMF stats diverge on {}", s.app);
+    }
+}
+
+#[test]
+fn vgiw_fast_forward_changes_no_stats() {
+    for bench in subset() {
+        let mut on = VgiwLauncher::default();
+        bench.run(&mut on).expect("fast-forward run");
+
+        let cfg = VgiwConfig {
+            fast_forward: false,
+            ..VgiwConfig::default()
+        };
+        let mut off = VgiwLauncher::new(cfg);
+        bench.run(&mut off).expect("cycle-by-cycle run");
+
+        assert_eq!(
+            on.result, off.result,
+            "fast-forward changed VGIW stats on {}",
+            bench.app
+        );
+        assert_eq!(on.runs.len(), off.runs.len());
+        for (a, b) in on.runs.iter().zip(&off.runs) {
+            assert_eq!(
+                a.cycles, b.cycles,
+                "per-launch cycles diverge on {}",
+                bench.app
+            );
+            assert_eq!(a.block_executions, b.block_executions);
+        }
+    }
+}
+
+#[test]
+fn sgmf_fast_forward_changes_no_stats() {
+    // NN and HOTSPOT are SGMF-mappable.
+    for bench in [vgiw_kernels::nn::build(1), vgiw_kernels::hotspot::build(1)] {
+        let mut on = SgmfLauncher::default();
+        bench.run(&mut on).expect("fast-forward run");
+
+        let cfg = SgmfConfig {
+            fast_forward: false,
+            ..SgmfConfig::default()
+        };
+        let mut off = SgmfLauncher::new(cfg);
+        bench.run(&mut off).expect("cycle-by-cycle run");
+
+        assert_eq!(
+            on.result, off.result,
+            "fast-forward changed SGMF stats on {}",
+            bench.app
+        );
+    }
+}

@@ -121,9 +121,9 @@ pub fn compile(kernel: &Kernel, grid: &GridSpec) -> Result<CompiledKernel, Compi
         // of a block's graph", §3.1).
         let mut max_replicas = MAX_REPLICAS;
         for kind in UNIT_KINDS {
-            let used = counts.get(kind);
-            if used > 0 {
-                max_replicas = max_replicas.min(capacity.get(kind) / used);
+            // checked_div: a kind the block does not use imposes no bound.
+            if let Some(fit) = capacity.get(kind).checked_div(counts.get(kind)) {
+                max_replicas = max_replicas.min(fit);
             }
         }
         debug_assert!(max_replicas >= 1);
@@ -142,7 +142,11 @@ pub fn compile(kernel: &Kernel, grid: &GridSpec) -> Result<CompiledKernel, Compi
         blocks.push(CompiledBlock { dfg, replicas });
     }
 
-    Ok(CompiledKernel { kernel, blocks, liveness })
+    Ok(CompiledKernel {
+        kernel,
+        blocks,
+        liveness,
+    })
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! [`LvStore`]: DfgOp::LvStore
 
 use crate::grid::UnitKind;
-use crate::liveness::{Liveness, LiveValueId};
+use crate::liveness::{LiveValueId, Liveness};
 use std::collections::HashMap;
 use vgiw_ir::{BinaryOp, BlockId, Inst, Kernel, OpClass, Operand, Reg, Terminator, UnaryOp, Word};
 
@@ -84,16 +84,25 @@ pub struct TermTargets {
 
 impl TermTargets {
     /// A terminator that ends the thread.
-    pub const EXIT: TermTargets = TermTargets { taken: None, not_taken: None };
+    pub const EXIT: TermTargets = TermTargets {
+        taken: None,
+        not_taken: None,
+    };
 
     /// An unconditional jump.
     pub fn jump(to: BlockId) -> TermTargets {
-        TermTargets { taken: Some(to), not_taken: None }
+        TermTargets {
+            taken: Some(to),
+            not_taken: None,
+        }
     }
 
     /// A two-way branch.
     pub fn branch(taken: BlockId, not_taken: BlockId) -> TermTargets {
-        TermTargets { taken: Some(taken), not_taken: Some(not_taken) }
+        TermTargets {
+            taken: Some(taken),
+            not_taken: Some(not_taken),
+        }
     }
 }
 
@@ -352,14 +361,26 @@ pub(crate) struct DfgBuilder {
 
 impl DfgBuilder {
     pub fn new() -> DfgBuilder {
-        let init =
-            DfgNode { op: DfgOp::Init, inputs: Vec::new(), trigger: None, offsets: Vec::new() };
-        DfgBuilder { nodes: vec![init], init: NodeId(0) }
+        let init = DfgNode {
+            op: DfgOp::Init,
+            inputs: Vec::new(),
+            trigger: None,
+            offsets: Vec::new(),
+        };
+        DfgBuilder {
+            nodes: vec![init],
+            init: NodeId(0),
+        }
     }
 
     pub fn push(&mut self, op: DfgOp, inputs: Vec<ValSrc>, trigger: Option<NodeId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(DfgNode { op, inputs, trigger, offsets: Vec::new() });
+        self.nodes.push(DfgNode {
+            op,
+            inputs,
+            trigger,
+            offsets: Vec::new(),
+        });
         id
     }
 
@@ -461,7 +482,12 @@ impl DfgBuilder {
             }
         }
         self.limit_fanout();
-        let dfg = Dfg { block, nodes: self.nodes, init: self.init, term };
+        let dfg = Dfg {
+            block,
+            nodes: self.nodes,
+            init: self.init,
+            term,
+        };
         dfg.assert_valid();
         dfg
     }
@@ -497,7 +523,9 @@ impl DfgBuilder {
                 if self.nodes[i].offsets.len() >= 2 {
                     continue;
                 }
-                let ValSrc::Node(p) = self.nodes[i].inputs[0] else { continue };
+                let ValSrc::Node(p) = self.nodes[i].inputs[0] else {
+                    continue;
+                };
                 let producer = &self.nodes[p.index()];
                 if !matches!(producer.op, DfgOp::Binary(BinaryOp::Add)) {
                     continue;
@@ -605,7 +633,9 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
         }
     }
     for reg in liveness.lvc_loads(block) {
-        let slot = liveness.slot(reg).expect("lvc load of unallocated register");
+        let slot = liveness
+            .slot(reg)
+            .expect("lvc load of unallocated register");
         let init = b.init;
         let node = b.push(DfgOp::LvLoad(slot), Vec::new(), Some(init));
         reg_val.insert(reg, ValSrc::Node(node));
@@ -635,7 +665,11 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
                 let init = b.init;
                 reg_val.insert(dst, ValSrc::Node(init));
             }
-            Inst::Unary { dst, op: UnaryOp::Mov, src } => {
+            Inst::Unary {
+                dst,
+                op: UnaryOp::Mov,
+                src,
+            } => {
                 // Copy propagation: a Mov is just an alias.
                 let v = resolve(&reg_val, src);
                 reg_val.insert(dst, v);
@@ -653,7 +687,12 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
                 b.ensure_fires(n);
                 reg_val.insert(dst, ValSrc::Node(n));
             }
-            Inst::Select { dst, cond, on_true, on_false } => {
+            Inst::Select {
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
                 let c = resolve(&reg_val, cond);
                 let t = resolve(&reg_val, on_true);
                 let f = resolve(&reg_val, on_false);
@@ -683,7 +722,11 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
                 if let Some(s) = last_store {
                     preds.push(s);
                 }
-                let gate = if preds.is_empty() { None } else { Some(b.join_of(preds)) };
+                let gate = if preds.is_empty() {
+                    None
+                } else {
+                    Some(b.join_of(preds))
+                };
                 let mut inputs = vec![a, v];
                 if let Some(g) = gate {
                     inputs.push(ValSrc::Node(g));
@@ -698,8 +741,13 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
 
     // LVC stores for registers defined here and live out.
     for reg in liveness.lvc_stores(block) {
-        let slot = liveness.slot(reg).expect("lvc store of unallocated register");
-        let value = reg_val.get(&reg).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
+        let slot = liveness
+            .slot(reg)
+            .expect("lvc store of unallocated register");
+        let value = reg_val
+            .get(&reg)
+            .copied()
+            .unwrap_or(ValSrc::Imm(Word::ZERO));
         // Order after this block's LvLoad of the same slot, if any (the
         // store must not overtake the load for the same thread).
         let trigger = match value {
@@ -722,7 +770,9 @@ pub fn build_block_dfg(kernel: &Kernel, block: BlockId, liveness: &Liveness) -> 
     // Terminator.
     let targets = match bb.term {
         Terminator::Jump(t) => TermTargets::jump(t),
-        Terminator::Branch { taken, not_taken, .. } => TermTargets::branch(taken, not_taken),
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => TermTargets::branch(taken, not_taken),
         Terminator::Exit => TermTargets::EXIT,
     };
     let term = match bb.term {
@@ -776,7 +826,11 @@ mod tests {
         assert_eq!(counts.get(UnitKind::LdSt), 1);
         assert_eq!(counts.get(UnitKind::Cvu), 2);
         assert_eq!(d.num_sinks(), 2); // store + term
-        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).expect("store");
+        let store = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DfgOp::Store))
+            .expect("store");
         assert_eq!(store.offsets.len(), 1, "base folds into the unit config");
     }
 
@@ -794,12 +848,21 @@ mod tests {
         // no add node survives, and the store keeps an initiator-triggered
         // or tid-fed firing path.
         assert!(
-            !d.nodes.iter().any(|n| matches!(n.op, DfgOp::Binary(BinaryOp::Add))),
+            !d.nodes
+                .iter()
+                .any(|n| matches!(n.op, DfgOp::Binary(BinaryOp::Add))),
             "static address add must fold away"
         );
-        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).expect("store");
+        let store = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DfgOp::Store))
+            .expect("store");
         assert_eq!(store.offsets.len(), 1);
-        assert!(store.dynamic_ports() > 0, "the store must still fire per thread");
+        assert!(
+            store.dynamic_ports() > 0,
+            "the store must still fire per thread"
+        );
     }
 
     #[test]
@@ -821,7 +884,11 @@ mod tests {
         let d = &lower_all(&k)[0];
         // First store: joins the two loads. Second store: gate is the
         // single load after the first store + the first store -> join of 2.
-        let joins = d.nodes.iter().filter(|n| matches!(n.op, DfgOp::Join)).count();
+        let joins = d
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DfgOp::Join))
+            .count();
         assert_eq!(joins, 2, "expected 2 join nodes, graph: {:?}", d.nodes);
         // The load after the store must carry the store as its trigger.
         let stores: Vec<usize> = d
@@ -859,7 +926,10 @@ mod tests {
         let entry = &dfgs[0];
         let then = &dfgs[1];
         assert!(
-            entry.nodes.iter().any(|n| matches!(n.op, DfgOp::LvStore(_))),
+            entry
+                .nodes
+                .iter()
+                .any(|n| matches!(n.op, DfgOp::LvStore(_))),
             "entry must store live values"
         );
         assert!(

@@ -135,9 +135,18 @@ impl GridSpec {
     /// # Panics
     /// Panics if `kinds.len() != width * height`.
     pub fn with_floorplan(width: u32, height: u32, kinds: &[UnitKind]) -> GridSpec {
-        assert_eq!(kinds.len() as u32, width * height, "floorplan size mismatch");
+        assert_eq!(
+            kinds.len() as u32,
+            width * height,
+            "floorplan size mismatch"
+        );
         let hops = compute_hops(width, height);
-        GridSpec { width, height, kinds: kinds.to_vec(), hops }
+        GridSpec {
+            width,
+            height,
+            kinds: kinds.to_vec(),
+            hops,
+        }
     }
 
     /// Grid width in units.
@@ -199,7 +208,13 @@ impl GridSpec {
 
 impl fmt::Debug for GridSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GridSpec {{ {}x{}, {} }}", self.width, self.height, self.capacity())
+        write!(
+            f,
+            "GridSpec {{ {}x{}, {} }}",
+            self.width,
+            self.height,
+            self.capacity()
+        )
     }
 }
 
@@ -291,7 +306,10 @@ fn default_floorplan(width: u32, height: u32) -> Vec<UnitKind> {
         kinds[idx] = Some(kind);
     }
     debug_assert_eq!(alu, 0, "floorplan must consume exactly 32 ALUs");
-    kinds.into_iter().map(|k| k.expect("every cell assigned")).collect()
+    kinds
+        .into_iter()
+        .map(|k| k.expect("every cell assigned"))
+        .collect()
 }
 
 /// Builds the folded-hypercube-style interconnect graph and returns the

@@ -39,7 +39,10 @@ impl fmt::Display for IfConvertError {
         match self {
             IfConvertError::HasLoop => write!(f, "kernel has loops; SGMF mapping unsupported"),
             IfConvertError::TooLarge { nodes } => {
-                write!(f, "if-converted graph ({nodes} nodes) exceeds fabric capacity")
+                write!(
+                    f,
+                    "if-converted graph ({nodes} nodes) exceeds fabric capacity"
+                )
             }
         }
     }
@@ -128,7 +131,11 @@ pub fn if_convert(kernel: &Kernel, grid: &GridSpec) -> Result<Dfg, IfConvertErro
                     let init = b.init;
                     reg_val.insert(dst, ValSrc::Node(init));
                 }
-                Inst::Unary { dst, op: UnaryOp::Mov, src } => {
+                Inst::Unary {
+                    dst,
+                    op: UnaryOp::Mov,
+                    src,
+                } => {
                     let v = resolve(&reg_val, src);
                     reg_val.insert(dst, v);
                 }
@@ -145,7 +152,12 @@ pub fn if_convert(kernel: &Kernel, grid: &GridSpec) -> Result<Dfg, IfConvertErro
                     b.ensure_fires(n);
                     reg_val.insert(dst, ValSrc::Node(n));
                 }
-                Inst::Select { dst, cond, on_true, on_false } => {
+                Inst::Select {
+                    dst,
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     let c = resolve(&reg_val, cond);
                     let t = resolve(&reg_val, on_true);
                     let f = resolve(&reg_val, on_false);
@@ -203,7 +215,9 @@ pub fn if_convert(kernel: &Kernel, grid: &GridSpec) -> Result<Dfg, IfConvertErro
     let dfg = b.finish(None, term);
 
     if !dfg.kind_counts().fits_in(&grid.capacity()) {
-        return Err(IfConvertError::TooLarge { nodes: dfg.nodes.len() });
+        return Err(IfConvertError::TooLarge {
+            nodes: dfg.nodes.len(),
+        });
     }
     Ok(dfg)
 }
@@ -222,8 +236,12 @@ fn edge_predicate(
         Terminator::Jump(_) => from_pred,
         // A degenerate branch with both sides on the same target is an
         // unconditional edge: the condition must not gate it.
-        Terminator::Branch { taken, not_taken, .. } if taken == not_taken => from_pred,
-        Terminator::Branch { taken, not_taken, .. } => {
+        Terminator::Branch {
+            taken, not_taken, ..
+        } if taken == not_taken => from_pred,
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => {
             let cond = branch_cond[from.index()].expect("branch cond lowered");
             // Normalize the condition to 0/1 for And-composition: any
             // nonzero word is true, so compare != 0.
@@ -312,7 +330,11 @@ fn merge_incoming(
 
     let mut merged = HashMap::new();
     for r in regs {
-        let mut val = incoming[0].1.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
+        let mut val = incoming[0]
+            .1
+            .get(&r)
+            .copied()
+            .unwrap_or(ValSrc::Imm(Word::ZERO));
         for &(edge_pred, m) in &incoming[1..] {
             let v = m.get(&r).copied().unwrap_or(ValSrc::Imm(Word::ZERO));
             if v != val {
@@ -339,7 +361,7 @@ fn store_gate(b: &mut DfgBuilder, pred: ValSrc, order: Vec<NodeId>) -> Option<Va
         (false, false) => {
             // JoinPass: passes the predicate (port 0) once ordering tokens
             // arrived. Collapse the ordering side first if it is wide.
-            let order_tok = if order.len() <= 2 && order.len() + 1 <= crate::dfg::MAX_PORTS {
+            let order_tok = if order.len() <= 2 && order.len() < crate::dfg::MAX_PORTS {
                 order
             } else {
                 vec![b.join_of(order)]
@@ -373,7 +395,11 @@ mod tests {
         let d = if_convert(&k, &grid()).expect("must convert");
         // No selects or predication needed.
         assert!(!d.nodes.iter().any(|n| matches!(n.op, DfgOp::Select)));
-        let store = d.nodes.iter().find(|n| matches!(n.op, DfgOp::Store)).unwrap();
+        let store = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, DfgOp::Store))
+            .unwrap();
         assert_eq!(store.inputs.len(), 2, "unconditional store is ungated");
     }
 
@@ -405,7 +431,10 @@ mod tests {
             .count();
         assert_eq!(gated, 2, "both divergent stores must carry a gate");
         // No LVC traffic in SGMF: live values travel as direct edges.
-        assert!(!d.nodes.iter().any(|n| matches!(n.op, DfgOp::LvLoad(_) | DfgOp::LvStore(_))));
+        assert!(!d
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, DfgOp::LvLoad(_) | DfgOp::LvStore(_))));
     }
 
     #[test]

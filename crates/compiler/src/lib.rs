@@ -31,5 +31,5 @@ mod config;
 pub use config::{compile, CompileError, CompiledBlock, CompiledKernel, MAX_REPLICAS};
 pub use dfg::{Dfg, DfgNode, DfgOp, NodeId, TermTargets, ValSrc, MAX_FANOUT, MAX_PORTS};
 pub use grid::{GridSpec, KindCounts, UnitId, UnitKind, UNIT_KINDS};
-pub use liveness::{Liveness, LiveValueId};
+pub use liveness::{LiveValueId, Liveness};
 pub use place::Placement;

@@ -190,9 +190,11 @@ fn tid_aliases(kernel: &Kernel) -> Vec<bool> {
                     any_def = true;
                     let ok = match *inst {
                         Inst::ThreadId { .. } => true,
-                        Inst::Unary { op: UnaryOp::Mov, src: Operand::Reg(s), .. } => {
-                            is_tid[s.index()]
-                        }
+                        Inst::Unary {
+                            op: UnaryOp::Mov,
+                            src: Operand::Reg(s),
+                            ..
+                        } => is_tid[s.index()],
                         _ => false,
                     };
                     all_tid &= ok;
@@ -244,7 +246,10 @@ mod tests {
         assert!(lv.num_live_values >= 1);
         let then_block = BlockId(1);
         let loads: Vec<Reg> = lv.lvc_loads(then_block).collect();
-        assert!(!loads.is_empty(), "then-block must load the address from the LVC");
+        assert!(
+            !loads.is_empty(),
+            "then-block must load the address from the LVC"
+        );
         // The entry block must store it.
         let stores: Vec<Reg> = lv.lvc_stores(BlockId(0)).collect();
         assert_eq!(stores, loads);
@@ -270,7 +275,10 @@ mod tests {
         );
         let k = b.finish();
         let lv = analyze(&k);
-        assert!(lv.num_live_values >= 1, "loop induction variable must be a live value");
+        assert!(
+            lv.num_live_values >= 1,
+            "loop induction variable must be a live value"
+        );
         // Some block (the rotated loop body) must both load and store the
         // induction variable.
         let body = (0..k.num_blocks())
@@ -298,6 +306,10 @@ mod tests {
         // tid and base cross (used in the then-block), but t2/t3/addr do not.
         let crossing = lv.slot_of_reg.iter().filter(|s| s.is_some()).count();
         assert_eq!(crossing as u32, lv.num_live_values);
-        assert!(lv.num_live_values <= 3, "only tid/base/cond may cross, got {}", lv.num_live_values);
+        assert!(
+            lv.num_live_values <= 3,
+            "only tid/base/cond may cross, got {}",
+            lv.num_live_values
+        );
     }
 }

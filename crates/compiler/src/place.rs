@@ -29,7 +29,8 @@ impl Placement {
     /// The hop latency of the edge `producer -> consumer` under this
     /// placement (minimum 1 cycle even for adjacent units).
     pub fn edge_latency(&self, grid: &GridSpec, producer: NodeId, consumer: NodeId) -> u32 {
-        grid.hop_distance(self.unit(producer), self.unit(consumer)).max(1)
+        grid.hop_distance(self.unit(producer), self.unit(consumer))
+            .max(1)
     }
 }
 
@@ -48,7 +49,10 @@ pub fn place(dfg: &Dfg, grid: &GridSpec, free: &mut [bool]) -> Option<Placement>
         .map(|&k| grid.units_of_kind(k))
         .collect();
     let units_of = |kind: crate::grid::UnitKind| -> &[UnitId] {
-        &kind_units[crate::grid::UNIT_KINDS.iter().position(|&k| k == kind).expect("known kind")]
+        &kind_units[crate::grid::UNIT_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known kind")]
     };
 
     // Quick capacity check against what is actually free.
@@ -101,8 +105,10 @@ pub fn place(dfg: &Dfg, grid: &GridSpec, free: &mut [bool]) -> Option<Placement>
         node_unit[node.index()] = Some(best);
     }
 
-    let mut node_unit: Vec<UnitId> =
-        node_unit.into_iter().map(|u| u.expect("all nodes placed")).collect();
+    let mut node_unit: Vec<UnitId> = node_unit
+        .into_iter()
+        .map(|u| u.expect("all nodes placed"))
+        .collect();
 
     // Refinement: re-seat each node on any free-or-own unit of its kind if
     // it lowers the local wire cost. Two passes are enough at this scale.
@@ -145,7 +151,10 @@ pub fn place(dfg: &Dfg, grid: &GridSpec, free: &mut [bool]) -> Option<Placement>
             wire_cost += grid.hop_distance(node_unit[p], node_unit[c.index()]);
         }
     }
-    Some(Placement { node_unit, wire_cost })
+    Some(Placement {
+        node_unit,
+        wire_cost,
+    })
 }
 
 fn topo_order(dfg: &Dfg, consumers: &[Vec<(NodeId, u8)>]) -> Vec<NodeId> {

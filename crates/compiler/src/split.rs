@@ -86,7 +86,10 @@ pub fn split_to_fit(kernel: &Kernel, grid: &GridSpec) -> Result<Kernel, SplitErr
             tail_insts = pro;
         }
         let new_block = k.push_block();
-        *k.block_mut(new_block) = BasicBlock { insts: tail_insts, term: orig_term };
+        *k.block_mut(new_block) = BasicBlock {
+            insts: tail_insts,
+            term: orig_term,
+        };
         k.block_mut(block).term = Terminator::Jump(new_block);
     }
     Err(SplitError::Diverged)

@@ -1,10 +1,14 @@
 //! Property tests for the compiler: random structured kernels must always
 //! compile to legal, capacity-respecting, acyclic mappings, and splitting
 //! must preserve interpreter semantics.
+//!
+//! Randomness comes from the workspace's own deterministic SplitMix64
+//! generator (no external proptest dependency — the CI sandbox builds
+//! offline), so every failure is reproducible from the printed seed.
 
-use proptest::prelude::*;
 use vgiw_compiler::{compile, GridSpec};
 use vgiw_ir::{interp, BinaryOp, Kernel, KernelBuilder, Launch, MemoryImage, Val, Word};
+use vgiw_kernels::util::SplitMix64;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,16 +18,27 @@ enum Op {
     If(usize, Vec<Op>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let leaf = prop_oneof![
-        (0u8..8, any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| Op::Arith(o, a, b)),
-        any::<usize>().prop_map(Op::Load),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Store(a, b)),
-    ];
-    leaf.prop_recursive(2, 16, 4, |inner| {
-        (any::<usize>(), prop::collection::vec(inner, 1..5))
-            .prop_map(|(c, body)| Op::If(c, body))
-    })
+/// Generates a random op list shaped like the old proptest strategy:
+/// arithmetic/load/store leaves plus up to `depth` levels of nested `if`s.
+fn gen_ops(r: &mut SplitMix64, len: usize, depth: u32) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let roll = r.gen_range_u32(if depth > 0 { 4 } else { 3 });
+            match roll {
+                0 => Op::Arith(
+                    r.next_u32() as u8,
+                    r.next_u32() as usize,
+                    r.next_u32() as usize,
+                ),
+                1 => Op::Load(r.next_u32() as usize),
+                2 => Op::Store(r.next_u32() as usize, r.next_u32() as usize),
+                _ => {
+                    let body_len = 1 + r.gen_range_u32(4) as usize;
+                    Op::If(r.next_u32() as usize, gen_ops(r, body_len, depth - 1))
+                }
+            }
+        })
+        .collect()
 }
 
 fn build(ops: &[Op]) -> Kernel {
@@ -88,19 +103,25 @@ fn build(ops: &[Op]) -> Kernel {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    #[test]
-    fn random_kernels_compile_legally(ops in prop::collection::vec(op_strategy(), 1..24)) {
+#[test]
+fn random_kernels_compile_legally() {
+    let grid = GridSpec::paper();
+    let capacity = grid.capacity();
+    for case in 0..48u64 {
+        let seed = 0xC0FFEE ^ (case * 0x9E37_79B9);
+        let mut r = SplitMix64::new(seed);
+        let len = 1 + r.gen_range_u32(23) as usize;
+        let ops = gen_ops(&mut r, len, 2);
         let kernel = build(&ops);
-        let grid = GridSpec::paper();
-        let capacity = grid.capacity();
-        let ck = compile(&kernel, &grid).expect("compiles");
+        let ck =
+            compile(&kernel, &grid).unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
         for cb in &ck.blocks {
             cb.dfg.assert_valid();
-            prop_assert!(cb.dfg.kind_counts().fits_in(&capacity));
-            prop_assert!(cb.num_replicas() >= 1);
+            assert!(
+                cb.dfg.kind_counts().fits_in(&capacity),
+                "seed {seed}: block exceeds grid capacity"
+            );
+            assert!(cb.num_replicas() >= 1, "seed {seed}: no replicas");
         }
         // Split + renumbered kernel preserves semantics.
         let launch = Launch::new(17, vec![Word::from_u32(128)]);
@@ -108,6 +129,6 @@ proptest! {
         interp::run(&kernel, &launch, &mut m1).expect("orig");
         let mut m2 = MemoryImage::new(256);
         interp::run(&ck.kernel, &launch, &mut m2).expect("split");
-        prop_assert!(m1 == m2, "splitting changed semantics");
+        assert!(m1 == m2, "seed {seed}: splitting changed semantics");
     }
 }

@@ -30,6 +30,11 @@ pub struct VgiwConfig {
     pub max_replicas: u32,
     /// Safety valve: abort runs exceeding this many core cycles.
     pub cycle_limit: u64,
+    /// Skip idle simulation cycles in one step when the fabric is
+    /// quiescent and only a scheduled token or memory completion is
+    /// pending. Purely a simulator-speed knob: cycle counts and all
+    /// statistics are identical either way (regression-tested).
+    pub fast_forward: bool,
 }
 
 impl Default for VgiwConfig {
@@ -46,6 +51,7 @@ impl Default for VgiwConfig {
             config_cycles,
             max_replicas: 8,
             cycle_limit: 2_000_000_000,
+            fast_forward: true,
         }
     }
 }
@@ -62,11 +68,8 @@ impl VgiwConfig {
     pub fn tile_threads(&self, num_blocks: usize, num_live_values: u32) -> u32 {
         let by_cvt = (self.cvt_bits / num_blocks.max(1) as u64).min(1 << 16) as u32;
         let lvc_words = self.lvc.geometry.size_bytes / 4;
-        let by_lvc = if num_live_values == 0 {
-            u32::MAX
-        } else {
-            lvc_words / num_live_values
-        };
+        // checked_div: no live values means the LVC imposes no bound.
+        let by_lvc = lvc_words.checked_div(num_live_values).unwrap_or(u32::MAX);
         (by_cvt.min(by_lvc) & !63).max(64)
     }
 }
@@ -79,7 +82,10 @@ mod tests {
     fn default_matches_table1() {
         let c = VgiwConfig::default();
         assert_eq!(c.grid.num_units(), 108);
-        assert_eq!(c.config_cycles, 34, "paper §3.2 reports 34-cycle reconfiguration");
+        assert_eq!(
+            c.config_cycles, 34,
+            "paper §3.2 reports 34-cycle reconfiguration"
+        );
         assert_eq!(c.l1.geometry.size_bytes, 64 * 1024);
         assert_eq!(c.shared.l2_geometry.size_bytes, 768 * 1024);
     }

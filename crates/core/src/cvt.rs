@@ -146,7 +146,10 @@ impl Cvt {
         for (w, word) in vec.iter_mut().enumerate() {
             self.stats.word_reads += 1;
             if *word != 0 {
-                batches.push(ThreadBatch { base: (w as u32) * 64, bitmap: *word });
+                batches.push(ThreadBatch {
+                    base: (w as u32) * 64,
+                    bitmap: *word,
+                });
                 *word = 0;
             }
         }
@@ -180,8 +183,20 @@ mod tests {
     #[test]
     fn or_batch_accumulates_and_dedups() {
         let mut cvt = Cvt::new(2, 128);
-        cvt.or_batch(BlockId(1), ThreadBatch { base: 64, bitmap: 0b1010 });
-        cvt.or_batch(BlockId(1), ThreadBatch { base: 64, bitmap: 0b0110 });
+        cvt.or_batch(
+            BlockId(1),
+            ThreadBatch {
+                base: 64,
+                bitmap: 0b1010,
+            },
+        );
+        cvt.or_batch(
+            BlockId(1),
+            ThreadBatch {
+                base: 64,
+                bitmap: 0b0110,
+            },
+        );
         assert_eq!(cvt.pending_count(BlockId(1)), 3); // bits 1,2,3
         let batches = cvt.take_batches(BlockId(1));
         assert_eq!(batches.len(), 1);
@@ -224,7 +239,10 @@ mod tests {
 
     #[test]
     fn batch_iteration() {
-        let b = ThreadBatch { base: 128, bitmap: 0b1001 };
+        let b = ThreadBatch {
+            base: 128,
+            bitmap: 0b1001,
+        };
         assert_eq!(b.iter().collect::<Vec<_>>(), vec![128, 131]);
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());

@@ -19,14 +19,17 @@ use std::error::Error;
 use std::fmt;
 use vgiw_compiler::{compile, CompileError, CompiledKernel};
 use vgiw_fabric::{Fabric, FabricEnv, MemReqId, Retired};
-use vgiw_mem::MemSystem;
 use vgiw_ir::{BlockId, Kernel, Launch, MemoryImage, Word};
+use vgiw_mem::MemSystem;
 
 /// VGIW execution failure.
 #[derive(Debug)]
 pub enum VgiwError {
     /// The kernel could not be compiled for the grid.
     Compile(CompileError),
+    /// A compiled block could not be loaded onto the fabric (e.g. its
+    /// timing envelope exceeds the maximum timing wheel).
+    Configure(String),
     /// The run exceeded the configured cycle limit (runaway kernel).
     CycleLimit {
         /// The limit that was hit.
@@ -38,6 +41,7 @@ impl fmt::Display for VgiwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VgiwError::Compile(e) => write!(f, "compilation failed: {e}"),
+            VgiwError::Configure(msg) => write!(f, "fabric configuration rejected: {msg}"),
             VgiwError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
         }
     }
@@ -47,6 +51,7 @@ impl Error for VgiwError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             VgiwError::Compile(e) => Some(e),
+            VgiwError::Configure(_) => None,
             VgiwError::CycleLimit { .. } => None,
         }
     }
@@ -169,7 +174,11 @@ impl VgiwProcessor {
     pub fn new(config: VgiwConfig) -> VgiwProcessor {
         let fabric = Fabric::new(config.grid.clone(), config.fabric);
         let mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
-        VgiwProcessor { config, fabric, mem }
+        VgiwProcessor {
+            config,
+            fabric,
+            mem,
+        }
     }
 
     /// The active configuration.
@@ -234,6 +243,12 @@ impl VgiwProcessor {
         };
         let mem_stats_before = self.mem.stats().clone();
 
+        // Per-cycle drain buffers and the per-terminator batch packers,
+        // recycled across the whole run.
+        let mut resp_buf: Vec<MemReqId> = Vec::new();
+        let mut retire_buf: Vec<Retired> = Vec::new();
+        let mut packers: HashMap<(u32, u32), ThreadBatch> = HashMap::new();
+
         let mut tile_base = 0u32;
         while tile_base < launch.num_threads {
             let tile_threads = tile_cap.min(launch.num_threads - tile_base);
@@ -252,7 +267,8 @@ impl VgiwProcessor {
                 let cb = compiled.block(block);
                 let n_reps = (cb.replicas.len() as u32).min(self.config.max_replicas) as usize;
                 self.fabric
-                    .configure(&cb.dfg, &cb.replicas[..n_reps], &launch.params);
+                    .configure(&cb.dfg, &cb.replicas[..n_reps], &launch.params)
+                    .map_err(VgiwError::Configure)?;
 
                 for batch in cvt.take_batches(block) {
                     stats.batches_to_core += 1;
@@ -261,10 +277,34 @@ impl VgiwProcessor {
                     }
                 }
 
-                // Per-terminator batch packers: (replica, target) -> batch.
-                let mut packers: HashMap<(u32, u32), ThreadBatch> = HashMap::new();
+                // Per-terminator batch packing: (replica, target) -> batch
+                // (drained empty at the end of each block execution).
+                debug_assert!(packers.is_empty());
 
                 while !self.fabric.is_drained() {
+                    // Idle fast-forward: when nothing can fire or inject,
+                    // jump both clocks to one cycle before the earliest
+                    // scheduled token landing or memory completion. Stalled
+                    // retries keep the fabric non-quiescent, so retry
+                    // accounting is unaffected; skipped cycles are idle by
+                    // construction and every statistic stays cycle-exact.
+                    if self.config.fast_forward && self.fabric.is_quiescent() {
+                        let now = self.fabric.cycle();
+                        debug_assert_eq!(now, self.mem.now(), "clocks out of lockstep");
+                        let next =
+                            match (self.fabric.next_wheel_event(), self.mem.next_event_time()) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, None) => a,
+                                (None, b) => b,
+                            };
+                        if let Some(t) = next {
+                            if t > now + 1 {
+                                let k = t - now - 1;
+                                self.fabric.advance_idle(k);
+                                self.mem.advance_idle(k);
+                            }
+                        }
+                    }
                     {
                         let mut env = VgiwEnv {
                             image,
@@ -278,10 +318,12 @@ impl VgiwProcessor {
                         self.fabric.tick(&mut env);
                     }
                     self.mem.tick();
-                    for id in self.mem.drain_responses() {
+                    self.mem.drain_responses_into(&mut resp_buf);
+                    for id in resp_buf.drain(..) {
                         self.fabric.on_mem_response(id);
                     }
-                    for r in self.fabric.drain_retired() {
+                    self.fabric.drain_retired_into(&mut retire_buf);
+                    for r in retire_buf.drain(..) {
                         pack_retire(
                             &mut packers,
                             &mut cvt,
@@ -297,9 +339,13 @@ impl VgiwProcessor {
                         // (the processor is documented as reusable across
                         // launches and must stay so after an abort).
                         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
-                        self.mem =
-                            MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
-                        return Err(VgiwError::CycleLimit { limit: self.config.cycle_limit });
+                        self.mem = MemSystem::new(
+                            vec![self.config.l1, self.config.lvc],
+                            self.config.shared,
+                        );
+                        return Err(VgiwError::CycleLimit {
+                            limit: self.config.cycle_limit,
+                        });
                     }
                 }
                 for ((_, target), batch) in packers.drain() {
@@ -353,7 +399,6 @@ fn pack_retire(
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,7 +410,9 @@ mod tests {
 
         let mut got = MemoryImage::new(mem_words);
         let mut proc = VgiwProcessor::default();
-        let stats = proc.run(kernel, launch, &mut got).expect("run must succeed");
+        let stats = proc
+            .run(kernel, launch, &mut got)
+            .expect("run must succeed");
 
         // Compare only the words the app owns; the LV matrix lives beyond
         // high_water in `got`.
@@ -443,13 +490,19 @@ mod tests {
         let stats = check_against_interp(&k, &launch, 128);
         // The loop body must have been configured multiple times.
         assert!(stats.block_executions > stats.num_blocks as u64);
-        assert!(stats.lvc_accesses() > 0, "loop-carried values go through the LVC");
+        assert!(
+            stats.lvc_accesses() > 0,
+            "loop-carried values go through the LVC"
+        );
     }
 
     #[test]
     fn tiling_splits_large_launches() {
-        let mut cfg = VgiwConfig::default();
-        cfg.cvt_bits = 256; // tiny CVT -> tile = 64 threads for 2 blocks
+        // Tiny CVT -> tile = 64 threads for 2 blocks.
+        let cfg = VgiwConfig {
+            cvt_bits: 256,
+            ..VgiwConfig::default()
+        };
         let mut b = KernelBuilder::new("tiled", 1);
         let tid = b.thread_id();
         let base = b.param(0);
@@ -477,15 +530,14 @@ mod tests {
 
     #[test]
     fn cycle_limit_catches_runaways() {
-        let mut cfg = VgiwConfig::default();
-        cfg.cycle_limit = 5_000;
+        let cfg = VgiwConfig {
+            cycle_limit: 5_000,
+            ..VgiwConfig::default()
+        };
         let mut b = KernelBuilder::new("spin", 0);
         let one = b.const_u32(1);
         let t = b.var(one);
-        b.while_(
-            |b| b.get(t),
-            |_| {},
-        );
+        b.while_(|b| b.get(t), |_| {});
         let k = b.finish();
         let mut proc = VgiwProcessor::new(cfg);
         let mut mem = MemoryImage::new(16);

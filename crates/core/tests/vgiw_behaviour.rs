@@ -4,7 +4,12 @@
 use vgiw_core::{VgiwConfig, VgiwProcessor};
 use vgiw_ir::{interp, Kernel, KernelBuilder, Launch, MemoryImage, Word};
 
-fn check(kernel: &Kernel, launch: &Launch, words: usize, cfg: VgiwConfig) -> vgiw_core::VgiwRunStats {
+fn check(
+    kernel: &Kernel,
+    launch: &Launch,
+    words: usize,
+    cfg: VgiwConfig,
+) -> vgiw_core::VgiwRunStats {
     let mut expect = MemoryImage::new(words);
     interp::run(kernel, launch, &mut expect).unwrap();
     let mut got = MemoryImage::new(words);
@@ -58,8 +63,18 @@ fn configurations_scale_with_blocks_not_paths() {
     // The Figure 1 claim: reconfigurations depend on the number of basic
     // blocks, not the number of control paths or the thread count.
     let k = figure1_kernel();
-    let small = check(&k, &Launch::new(64, vec![Word::from_u32(0)]), 128, VgiwConfig::default());
-    let large = check(&k, &Launch::new(2048, vec![Word::from_u32(0)]), 4096, VgiwConfig::default());
+    let small = check(
+        &k,
+        &Launch::new(64, vec![Word::from_u32(0)]),
+        128,
+        VgiwConfig::default(),
+    );
+    let large = check(
+        &k,
+        &Launch::new(2048, vec![Word::from_u32(0)]),
+        4096,
+        VgiwConfig::default(),
+    );
     assert_eq!(small.block_executions, k.num_blocks() as u64);
     assert_eq!(large.block_executions, k.num_blocks() as u64);
 }
@@ -100,7 +115,12 @@ fn loop_iterations_rearm_the_same_block() {
     let a = b.get(acc);
     b.store(addr, a);
     let k = b.finish();
-    let stats = check(&k, &Launch::new(256, vec![Word::from_u32(0)]), 512, VgiwConfig::default());
+    let stats = check(
+        &k,
+        &Launch::new(256, vec![Word::from_u32(0)]),
+        512,
+        VgiwConfig::default(),
+    );
     // Rotated loop: max trip count is 3, so the body block re-executes up
     // to 3 times; total configurations stay far below threads.
     assert!(stats.block_executions >= k.num_blocks() as u64);
@@ -156,7 +176,12 @@ fn smallest_block_id_scheduling_order() {
     // block_executions == num_blocks (order is enforced by construction of
     // the CVT next_block policy, validated indirectly by correctness).
     let k = figure1_kernel();
-    let stats = check(&k, &Launch::new(128, vec![Word::from_u32(0)]), 256, VgiwConfig::default());
+    let stats = check(
+        &k,
+        &Launch::new(128, vec![Word::from_u32(0)]),
+        256,
+        VgiwConfig::default(),
+    );
     assert_eq!(stats.tiles, 1);
     assert_eq!(stats.block_executions, k.num_blocks() as u64);
 }
@@ -164,7 +189,12 @@ fn smallest_block_id_scheduling_order() {
 #[test]
 fn config_overhead_shrinks_with_thread_count() {
     let k = figure1_kernel();
-    let small = check(&k, &Launch::new(128, vec![Word::from_u32(0)]), 256, VgiwConfig::default());
+    let small = check(
+        &k,
+        &Launch::new(128, vec![Word::from_u32(0)]),
+        256,
+        VgiwConfig::default(),
+    );
     let large = check(
         &k,
         &Launch::new(8192, vec![Word::from_u32(0)]),
@@ -187,7 +217,12 @@ fn config_overhead_shrinks_with_thread_count() {
 #[test]
 fn batches_are_word_aligned_and_complete() {
     let k = figure1_kernel();
-    let stats = check(&k, &Launch::new(1000, vec![Word::from_u32(0)]), 2048, VgiwConfig::default());
+    let stats = check(
+        &k,
+        &Launch::new(1000, vec![Word::from_u32(0)]),
+        2048,
+        VgiwConfig::default(),
+    );
     assert!(stats.batches_to_core >= stats.block_executions);
     assert!(stats.cvt.word_reads > 0 && stats.cvt.word_writes > 0);
 }

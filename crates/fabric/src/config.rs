@@ -18,7 +18,13 @@ pub struct OpLatencies {
 
 impl Default for OpLatencies {
     fn default() -> OpLatencies {
-        OpLatencies { int_alu: 1, fp_alu: 4, special: 16, split_join: 1, cvu: 1 }
+        OpLatencies {
+            int_alu: 1,
+            fp_alu: 4,
+            special: 16,
+            split_join: 1,
+            cvu: 1,
+        }
     }
 }
 

@@ -25,7 +25,6 @@
 
 use crate::config::FabricConfig;
 use crate::stats::FabricStats;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use vgiw_compiler::{Dfg, DfgOp, GridSpec, NodeId, Placement, UnitKind, ValSrc};
 use vgiw_ir::{eval_fma, eval_select, BlockId, OpClass, Word};
@@ -67,7 +66,13 @@ pub struct Retired {
     pub target: Option<BlockId>,
 }
 
-const WHEEL: usize = 128;
+/// Minimum timing-wheel length (a power of two). [`Fabric::configure`]
+/// grows the wheel to cover the configuration's worst-case delivery
+/// distance, so `schedule` never overflows at runtime.
+const MIN_WHEEL: usize = 128;
+/// Hard cap on the timing wheel. A configuration whose worst-case
+/// latency + hop distance exceeds this is rejected at configure time.
+const MAX_WHEEL: usize = 1 << 16;
 
 #[derive(Clone, Copy, Debug)]
 struct Delivery {
@@ -117,8 +122,10 @@ struct ChannelState {
 }
 
 struct Replica {
-    /// Token buffers: `buf[node][channel]`.
-    buf: Vec<Vec<BufEntry>>,
+    /// Token buffers, one flat row-major arena: entry for `(node, channel)`
+    /// lives at `node * channels_per_unit + channel`. One allocation per
+    /// replica instead of one per node.
+    buf: Vec<BufEntry>,
     channels: Vec<Option<ChannelState>>,
     free_channels: Vec<u32>,
     /// Ready channels per node.
@@ -127,8 +134,11 @@ struct Replica {
     scu_busy: Vec<Vec<u64>>,
     /// Outstanding memory ops per node (LDST/LVU reservation occupancy).
     reservation: Vec<u32>,
-    /// Per-node consumer table: `(consumer, port, edge latency)`.
-    edges: Vec<Vec<(u32, u8, u32)>>,
+    /// Consumer table in CSR form: node `i`'s consumers are
+    /// `edge_data[edge_start[i]..edge_start[i + 1]]` as
+    /// `(consumer, port, edge latency)` triples.
+    edge_start: Vec<u32>,
+    edge_data: Vec<(u32, u8, u32)>,
 }
 
 /// The MT-CGRF fabric simulator. See the module-level documentation.
@@ -138,16 +148,24 @@ pub struct Fabric {
     nodes: Vec<NodeRt>,
     init: u32,
     replicas: Vec<Replica>,
+    /// Timing wheel; length is a power of two sized by `configure`.
     wheel: Vec<Vec<Delivery>>,
+    wheel_mask: u64,
     wheel_count: usize,
     cycle: u64,
     inject_queue: VecDeque<u32>,
     /// Nodes with nonempty ready queues: `(replica, node)`; deduplicated
     /// with `in_active`.
     active: VecDeque<(u32, u32)>,
-    in_active: Vec<Vec<bool>>,
-    pending_mem: HashMap<MemReqId, PendingMem>,
-    next_req: MemReqId,
+    /// Flat dedup bitmap for `active`: `replica * nodes.len() + node`.
+    in_active: Vec<bool>,
+    /// Outstanding memory requests as a free-list slab: the request ID *is*
+    /// the slot index, so issue and response are both O(1) with no hashing
+    /// and no per-request allocation. A slot is recycled only after its
+    /// response has been consumed, so IDs never collide in flight.
+    pending_mem: Vec<Option<PendingMem>>,
+    pending_free: Vec<u32>,
+    pending_count: usize,
     retired: Vec<Retired>,
     active_channels: u32,
     stats: FabricStats,
@@ -162,14 +180,16 @@ impl Fabric {
             nodes: Vec::new(),
             init: 0,
             replicas: Vec::new(),
-            wheel: vec![Vec::new(); WHEEL],
+            wheel: vec![Vec::new(); MIN_WHEEL],
+            wheel_mask: MIN_WHEEL as u64 - 1,
             wheel_count: 0,
             cycle: 0,
             inject_queue: VecDeque::new(),
             active: VecDeque::new(),
             in_active: Vec::new(),
-            pending_mem: HashMap::new(),
-            next_req: 0,
+            pending_mem: Vec::new(),
+            pending_free: Vec::new(),
+            pending_count: 0,
             retired: Vec::new(),
             active_channels: 0,
             stats: FabricStats::default(),
@@ -209,11 +229,26 @@ impl Fabric {
     /// Configures the fabric with `dfg`, one copy per placement in
     /// `placements`. `params` resolves `ValSrc::Param` static operands.
     ///
+    /// Validates the configuration's timing envelope: the timing wheel is
+    /// resized to cover the worst-case compute latency + hop distance, and
+    /// a configuration that cannot be covered (or that contains a
+    /// zero-latency edge, which the token pipeline cannot represent) is
+    /// rejected with a descriptive error instead of tripping a runtime
+    /// assertion mid-simulation.
+    ///
     /// # Panics
     /// Panics if the fabric still has threads in flight, if a placement
     /// does not match the DFG, or if a parameter index is out of range.
-    pub fn configure(&mut self, dfg: &Dfg, placements: &[Placement], params: &[Word]) {
-        assert!(self.is_drained(), "reconfiguring a fabric with threads in flight");
+    pub fn configure(
+        &mut self,
+        dfg: &Dfg,
+        placements: &[Placement],
+        params: &[Word],
+    ) -> Result<(), String> {
+        assert!(
+            self.is_drained(),
+            "reconfiguring a fabric with threads in flight"
+        );
         assert!(!placements.is_empty(), "need at least one replica");
         let lat = self.cfg.latencies;
 
@@ -275,45 +310,118 @@ impl Fabric {
 
         let n = dfg.nodes.len();
         let ch = self.cfg.channels_per_unit as usize;
-        self.replicas = placements
-            .iter()
-            .map(|p| {
-                assert_eq!(p.node_unit.len(), n, "placement/DFG mismatch");
-                let edges: Vec<Vec<(u32, u8, u32)>> = consumers
-                    .iter()
-                    .enumerate()
-                    .map(|(i, cons)| {
-                        cons.iter()
-                            .map(|&(c, port)| {
-                                let hops = p.edge_latency(&self.grid, NodeId(i as u32), c);
-                                (c.0, port, hops)
-                            })
-                            .collect()
-                    })
-                    .collect();
-                Replica {
-                    buf: vec![vec![BufEntry::default(); ch]; n],
-                    channels: vec![None; ch],
-                    free_channels: (0..ch as u32).rev().collect(),
-                    ready: vec![VecDeque::new(); n],
-                    scu_busy: dfg
-                        .nodes
-                        .iter()
-                        .map(|nd| {
-                            if nd.op.unit_kind() == UnitKind::Scu {
-                                vec![0u64; self.cfg.scu_instances as usize]
-                            } else {
-                                Vec::new()
-                            }
-                        })
-                        .collect(),
-                    reservation: vec![0; n],
-                    edges,
+        // Reconfiguration happens once per block execution — squarely on
+        // the hot path for control-heavy kernels — so replica storage is
+        // reset in place rather than reallocated. A drained fabric leaves
+        // every token buffer entry cleared (each fire resets its entry),
+        // every channel freed, every ready queue empty and every
+        // reservation at zero, so most resets are resizes over
+        // already-clean memory.
+        self.replicas.truncate(placements.len());
+        while self.replicas.len() < placements.len() {
+            self.replicas.push(Replica {
+                buf: Vec::new(),
+                channels: Vec::new(),
+                free_channels: Vec::new(),
+                ready: Vec::new(),
+                scu_busy: Vec::new(),
+                reservation: Vec::new(),
+                edge_start: Vec::new(),
+                edge_data: Vec::new(),
+            });
+        }
+        // Worst-case delivery distance (compute latency + interconnect
+        // hops) across every edge of every placement, used to size the
+        // timing wheel below.
+        let mut max_dist: u64 = 0;
+        for (rep, p) in self.replicas.iter_mut().zip(placements) {
+            assert_eq!(p.node_unit.len(), n, "placement/DFG mismatch");
+            debug_assert!(
+                rep.buf.iter().all(|e| e.arrived == 0),
+                "drained buf not clean"
+            );
+            rep.buf.resize(n * ch, BufEntry::default());
+            debug_assert!(rep.channels.iter().all(Option::is_none));
+            rep.channels.resize(ch, None);
+            rep.free_channels.clear();
+            rep.free_channels.extend((0..ch as u32).rev());
+            debug_assert!(rep.ready.iter().all(VecDeque::is_empty));
+            rep.ready.truncate(n);
+            while rep.ready.len() < n {
+                rep.ready.push(VecDeque::new());
+            }
+            rep.scu_busy.clear();
+            rep.scu_busy.extend(self.nodes.iter().map(|nd| {
+                if nd.kind == UnitKind::Scu {
+                    vec![0u64; self.cfg.scu_instances as usize]
+                } else {
+                    Vec::new()
                 }
-            })
-            .collect();
-        self.in_active = vec![vec![false; n]; placements.len()];
+            }));
+            debug_assert!(rep.reservation.iter().all(|&r| r == 0));
+            rep.reservation.clear();
+            rep.reservation.resize(n, 0);
+            rep.edge_start.clear();
+            rep.edge_data.clear();
+            for (i, cons) in consumers.iter().enumerate() {
+                rep.edge_start.push(rep.edge_data.len() as u32);
+                let latency = self.nodes[i].latency as u64;
+                for &(c, port) in cons {
+                    let hops = p.edge_latency(&self.grid, NodeId(i as u32), c);
+                    max_dist = max_dist.max(latency + hops as u64);
+                    rep.edge_data.push((c.0, port, hops));
+                }
+            }
+            rep.edge_start.push(rep.edge_data.len() as u32);
+        }
+        self.size_wheel(max_dist)?;
+        debug_assert!(
+            self.in_active.iter().all(|&b| !b),
+            "active residue after drain"
+        );
+        self.in_active.clear();
+        self.in_active.resize(n * placements.len(), false);
         self.active.clear();
+        Ok(())
+    }
+
+    /// Grows the timing wheel (always a power of two, never shrunk — slot
+    /// buffers keep their capacity across configurations) so every delivery
+    /// distance in `[1, max_dist]` fits, or rejects the configuration.
+    fn size_wheel(&mut self, max_dist: u64) -> Result<(), String> {
+        // A delivery distance of zero would land a token in the slot being
+        // drained; the pipeline model requires every edge to take ≥ 1 cycle.
+        if self.nodes.iter().enumerate().any(|(i, nd)| {
+            nd.latency == 0 && {
+                let any_zero_hop = self.replicas.iter().any(|rep| {
+                    let s = rep.edge_start[i] as usize;
+                    let e = rep.edge_start[i + 1] as usize;
+                    rep.edge_data[s..e].iter().any(|&(_, _, hops)| hops == 0)
+                });
+                any_zero_hop
+            }
+        }) {
+            return Err(
+                "configuration has a zero-latency edge (0-cycle op feeding a \
+                 same-unit consumer); every token must take at least one cycle"
+                    .to_string(),
+            );
+        }
+        let needed = (max_dist + 1).max(MIN_WHEEL as u64);
+        if needed > MAX_WHEEL as u64 {
+            return Err(format!(
+                "worst-case delivery distance {max_dist} cycles exceeds the \
+                 maximum timing wheel of {MAX_WHEEL}; reduce op latencies or \
+                 the grid diameter"
+            ));
+        }
+        let len = needed.next_power_of_two() as usize;
+        if len > self.wheel.len() {
+            debug_assert_eq!(self.wheel_count, 0, "resizing a non-empty wheel");
+            self.wheel.resize_with(len, Vec::new);
+        }
+        self.wheel_mask = self.wheel.len() as u64 - 1;
+        Ok(())
     }
 
     /// Queues a thread for injection (the BBS streaming thread batches).
@@ -337,19 +445,63 @@ impl Fabric {
         std::mem::take(&mut self.retired)
     }
 
+    /// Appends threads retired since the last drain to `out`, recycling the
+    /// caller's buffer instead of allocating a fresh `Vec` per cycle.
+    pub fn drain_retired_into(&mut self, out: &mut Vec<Retired>) {
+        out.append(&mut self.retired);
+    }
+
     /// True when no thread is in flight and nothing is queued.
     pub fn is_drained(&self) -> bool {
         self.active_channels == 0
             && self.inject_queue.is_empty()
             && self.wheel_count == 0
-            && self.pending_mem.is_empty()
+            && self.pending_count == 0
+    }
+
+    /// True when ticking the fabric can do no work until an in-flight token
+    /// lands or a memory response arrives: no node is ready (or retrying a
+    /// stalled memory issue), and no queued thread has a channel to enter.
+    /// Idle cycles in this state are safe to fast-forward.
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_empty() && (self.inject_queue.is_empty() || !self.has_free_channel())
+    }
+
+    /// Absolute cycle at which the earliest in-flight token lands, if any.
+    pub fn next_wheel_event(&self) -> Option<u64> {
+        if self.wheel_count == 0 {
+            return None;
+        }
+        (1..=self.wheel.len() as u64)
+            .map(|d| self.cycle + d)
+            .find(|at| !self.wheel[(at & self.wheel_mask) as usize].is_empty())
+    }
+
+    /// Jumps the clock forward by `k` idle cycles in one step. The caller
+    /// must have established quiescence ([`Fabric::is_quiescent`]) and that
+    /// no wheel event lands in the skipped range; statistics stay
+    /// cycle-exact because an idle `tick` would only have advanced
+    /// `busy_cycles`.
+    pub fn advance_idle(&mut self, k: u64) {
+        debug_assert!(
+            self.is_quiescent(),
+            "fast-forwarding a non-quiescent fabric"
+        );
+        self.cycle += k;
+        self.stats.busy_cycles += k;
     }
 
     /// Completes a memory request previously accepted by the environment.
     pub fn on_mem_response(&mut self, req: MemReqId) {
-        let Some(p) = self.pending_mem.remove(&req) else {
+        let Some(p) = self
+            .pending_mem
+            .get_mut(req as usize)
+            .and_then(Option::take)
+        else {
             panic!("response for unknown memory request {req}");
         };
+        self.pending_free.push(req as u32);
+        self.pending_count -= 1;
         let node = &self.nodes[p.node as usize];
         let is_load = matches!(node.op, DfgOp::Load | DfgOp::LvLoad(_));
         let unit_latency = node.latency;
@@ -376,12 +528,21 @@ impl Fabric {
         self.cycle += 1;
         self.stats.busy_cycles += 1;
 
-        // 1. Land deliveries due this cycle.
-        let slot = (self.cycle % WHEEL as u64) as usize;
-        let due = std::mem::take(&mut self.wheel[slot]);
-        self.wheel_count -= due.len();
-        for d in due {
-            self.land(d);
+        // 1. Land deliveries due this cycle. The slot buffer is taken,
+        //    drained and handed back so its capacity is reused every wheel
+        //    revolution: deliveries always target a *future* slot (distance
+        //    ≥ 1, enforced at configure time), so nothing lands in `slot`
+        //    while it is detached.
+        let slot = (self.cycle & self.wheel_mask) as usize;
+        if !self.wheel[slot].is_empty() {
+            let mut due = std::mem::take(&mut self.wheel[slot]);
+            self.wheel_count -= due.len();
+            for &d in due.iter() {
+                self.land(d);
+            }
+            due.clear();
+            debug_assert!(self.wheel[slot].is_empty());
+            self.wheel[slot] = due;
         }
 
         // 2. Inject up to one thread per replica.
@@ -389,7 +550,9 @@ impl Fabric {
             if self.inject_queue.is_empty() {
                 break;
             }
-            let Some(&channel) = self.replicas[r].free_channels.last() else { continue };
+            let Some(&channel) = self.replicas[r].free_channels.last() else {
+                continue;
+            };
             let tid = self.inject_queue.pop_front().expect("checked non-empty");
             self.replicas[r].free_channels.pop();
             self.replicas[r].channels[channel as usize] = Some(ChannelState {
@@ -409,13 +572,14 @@ impl Fabric {
         // 3. Fire ready entries: one per (replica, node) per cycle.
         let n_active = self.active.len();
         for _ in 0..n_active {
-            let Some((r, node)) = self.active.pop_front() else { break };
-            self.in_active[r as usize][node as usize] = false;
+            let Some((r, node)) = self.active.pop_front() else {
+                break;
+            };
+            let ia = r as usize * self.nodes.len() + node as usize;
+            self.in_active[ia] = false;
             self.try_fire(r, node, env);
-            if !self.replicas[r as usize].ready[node as usize].is_empty()
-                && !self.in_active[r as usize][node as usize]
-            {
-                self.in_active[r as usize][node as usize] = true;
+            if !self.replicas[r as usize].ready[node as usize].is_empty() && !self.in_active[ia] {
+                self.in_active[ia] = true;
                 self.active.push_back((r, node));
             }
         }
@@ -423,9 +587,16 @@ impl Fabric {
 
     // ---- internals ------------------------------------------------------
 
+    /// Flat index of `(node, channel)` in a replica's token-buffer arena.
+    #[inline]
+    fn buf_idx(&self, node: u32, channel: u32) -> usize {
+        node as usize * self.cfg.channels_per_unit as usize + channel as usize
+    }
+
     fn land(&mut self, d: Delivery) {
         self.stats.tokens_delivered += 1;
-        let entry = &mut self.replicas[d.replica as usize].buf[d.node as usize][d.channel as usize];
+        let idx = self.buf_idx(d.node, d.channel);
+        let entry = &mut self.replicas[d.replica as usize].buf[idx];
         debug_assert_eq!(
             entry.arrived & (1 << d.port),
             0,
@@ -439,38 +610,40 @@ impl Fabric {
         let needed = self.nodes[d.node as usize].needed_mask;
         if entry.arrived & needed == needed {
             self.replicas[d.replica as usize].ready[d.node as usize].push_back(d.channel);
-            if !self.in_active[d.replica as usize][d.node as usize] {
-                self.in_active[d.replica as usize][d.node as usize] = true;
+            let ia = d.replica as usize * self.nodes.len() + d.node as usize;
+            if !self.in_active[ia] {
+                self.in_active[ia] = true;
                 self.active.push_back((d.replica, d.node));
             }
         }
     }
 
-    fn schedule(&mut self, at: u64, d: Delivery) {
-        let dist = at.saturating_sub(self.cycle);
-        // A hard error beats silent token reordering: the wheel must cover
-        // the largest compute latency + hop distance a configuration can
-        // produce (128 cycles is ample for the supported configs).
-        assert!(
-            dist > 0 && (dist as usize) < WHEEL,
-            "delivery distance {dist} exceeds the timing wheel; reduce \
-             latencies or enlarge WHEEL"
-        );
-        let slot = (at % WHEEL as u64) as usize;
-        self.wheel[slot].push(d);
-        self.wheel_count += 1;
-    }
-
     /// Sends `value` from `node` to all its consumers, `extra` cycles after
-    /// now (compute latency), plus per-edge hop latency.
+    /// now (compute latency), plus per-edge hop latency. The wheel is sized
+    /// at configure time to cover every possible distance, so scheduling is
+    /// a plain push — no overflow check on the hot path.
     fn deliver_outputs(&mut self, replica: u32, node: u32, channel: u32, value: Word, extra: u32) {
-        let edges = std::mem::take(&mut self.replicas[replica as usize].edges[node as usize]);
-        for &(consumer, port, hops) in &edges {
+        let rep = &self.replicas[replica as usize];
+        let start = rep.edge_start[node as usize] as usize;
+        let end = rep.edge_start[node as usize + 1] as usize;
+        for &(consumer, port, hops) in &rep.edge_data[start..end] {
             self.stats.hop_traversals += hops as u64;
-            let at = self.cycle + extra as u64 + hops as u64;
-            self.schedule(at, Delivery { replica, node: consumer, port, channel, value });
+            let dist = extra as u64 + hops as u64;
+            debug_assert!(
+                dist > 0 && dist < self.wheel.len() as u64,
+                "delivery distance {dist} escaped configure-time validation"
+            );
+            let at = self.cycle + dist;
+            let slot = (at & self.wheel_mask) as usize;
+            self.wheel[slot].push(Delivery {
+                replica,
+                node: consumer,
+                port,
+                channel,
+                value,
+            });
+            self.wheel_count += 1;
         }
-        self.replicas[replica as usize].edges[node as usize] = edges;
     }
 
     fn count_fire(&mut self, node: usize, replica: u32, channel: u32) {
@@ -494,7 +667,9 @@ impl Fabric {
 
     fn maybe_free_channel(&mut self, replica: u32, channel: u32) {
         let rep = &mut self.replicas[replica as usize];
-        let Some(ch) = rep.channels[channel as usize] else { return };
+        let Some(ch) = rep.channels[channel as usize] else {
+            return;
+        };
         if ch.remaining_fires == 0 && ch.pending_mem == 0 {
             rep.channels[channel as usize] = None;
             rep.free_channels.push(channel);
@@ -513,8 +688,10 @@ impl Fabric {
     fn try_fire(&mut self, replica: u32, node: u32, env: &mut dyn FabricEnv) {
         let r = replica as usize;
         let n = node as usize;
-        let Some(&channel) = self.replicas[r].ready[n].front() else { return };
-        let entry = self.replicas[r].buf[n][channel as usize];
+        let Some(&channel) = self.replicas[r].ready[n].front() else {
+            return;
+        };
+        let entry = self.replicas[r].buf[self.buf_idx(node, channel)];
         let op = self.nodes[n].op;
         let n_sem = self.nodes[n].n_sem as usize;
         let latency = self.nodes[n].latency;
@@ -531,22 +708,17 @@ impl Fabric {
             && self.nodes[n].static_vals[2].is_none();
         match op {
             DfgOp::Load | DfgOp::Store | DfgOp::LvLoad(_) | DfgOp::LvStore(_)
-                if !suppressed_store =>
+                if !suppressed_store
+                    && self.replicas[r].reservation[n] >= self.cfg.reservation_entries =>
             {
-                if self.replicas[r].reservation[n] >= self.cfg.reservation_entries {
-                    self.stats.mem_retry_cycles += 1;
-                    return;
-                }
+                self.stats.mem_retry_cycles += 1;
+                return;
             }
-            DfgOp::Unary(u) if u.class() == OpClass::Special => {
-                if !self.scu_instance_free(r, n) {
-                    return;
-                }
+            DfgOp::Unary(u) if u.class() == OpClass::Special && !self.scu_instance_free(r, n) => {
+                return;
             }
-            DfgOp::Binary(b) if b.class() == OpClass::Special => {
-                if !self.scu_instance_free(r, n) {
-                    return;
-                }
+            DfgOp::Binary(b) if b.class() == OpClass::Special && !self.scu_instance_free(r, n) => {
+                return;
             }
             _ => {}
         }
@@ -601,12 +773,11 @@ impl Fabric {
                     .port_val(n, &entry, 0)
                     .as_u32()
                     .wrapping_add(self.nodes[n].addr_offset);
-                let req = self.next_req;
+                let req = self.peek_req();
                 if !env.issue_mem(req, addr, false) {
                     self.stats.mem_retry_cycles += 1;
                     return;
                 }
-                self.next_req += 1;
                 let value = env.mem_read(addr);
                 self.begin_mem(r, n, channel, req, value);
                 self.finish_fire(r, n, channel);
@@ -624,12 +795,11 @@ impl Fabric {
                         .as_u32()
                         .wrapping_add(self.nodes[n].addr_offset);
                     let value = self.port_val(n, &entry, 1);
-                    let req = self.next_req;
+                    let req = self.peek_req();
                     if !env.issue_mem(req, addr, true) {
                         self.stats.mem_retry_cycles += 1;
                         return;
                     }
-                    self.next_req += 1;
                     env.mem_write(addr, value);
                     self.begin_mem(r, n, channel, req, Word::ZERO);
                     self.finish_fire(r, n, channel);
@@ -646,12 +816,11 @@ impl Fabric {
                 }
             }
             DfgOp::LvLoad(lv) => {
-                let req = self.next_req;
+                let req = self.peek_req();
                 if !env.issue_lv(req, lv.0, tid, false) {
                     self.stats.mem_retry_cycles += 1;
                     return;
                 }
-                self.next_req += 1;
                 let value = env.lv_read(lv.0, tid);
                 self.begin_mem(r, n, channel, req, value);
                 self.finish_fire(r, n, channel);
@@ -659,12 +828,11 @@ impl Fabric {
             }
             DfgOp::LvStore(lv) => {
                 let value = self.port_val(n, &entry, 0);
-                let req = self.next_req;
+                let req = self.peek_req();
                 if !env.issue_lv(req, lv.0, tid, true) {
                     self.stats.mem_retry_cycles += 1;
                     return;
                 }
-                self.next_req += 1;
                 env.lv_write(lv.0, tid, value);
                 self.begin_mem(r, n, channel, req, Word::ZERO);
                 self.finish_fire(r, n, channel);
@@ -686,7 +854,11 @@ impl Fabric {
                 };
                 self.finish_fire(r, n, channel);
                 self.stats.threads_retired += 1;
-                self.retired.push(Retired { replica, tid, target });
+                self.retired.push(Retired {
+                    replica,
+                    tid,
+                    target,
+                });
             }
         }
     }
@@ -696,12 +868,23 @@ impl Fabric {
     fn finish_fire(&mut self, r: usize, n: usize, channel: u32) {
         let popped = self.replicas[r].ready[n].pop_front();
         debug_assert_eq!(popped, Some(channel));
-        self.replicas[r].buf[n][channel as usize] = BufEntry::default();
+        let idx = self.buf_idx(n as u32, channel);
+        self.replicas[r].buf[idx] = BufEntry::default();
         self.count_fire(n, r as u32, channel);
         // A channel whose last fire just happened (and has no outstanding
         // memory) can be recycled; memory ops call begin_mem before this,
         // and compute outputs, if any, imply unfired consumers.
         self.maybe_free_channel(r as u32, channel);
+    }
+
+    /// Request ID the next accepted memory op will use: the first free slab
+    /// slot, or a fresh slot at the end. Committed by `begin_mem` once the
+    /// environment accepts the issue.
+    fn peek_req(&self) -> MemReqId {
+        match self.pending_free.last() {
+            Some(&slot) => slot as MemReqId,
+            None => self.pending_mem.len() as MemReqId,
+        }
     }
 
     fn begin_mem(&mut self, r: usize, n: usize, channel: u32, req: MemReqId, value: Word) {
@@ -710,14 +893,28 @@ impl Fabric {
             .as_mut()
             .expect("mem op on freed channel")
             .pending_mem += 1;
-        self.pending_mem.insert(
-            req,
-            PendingMem { replica: r as u32, node: n as u32, channel, value },
-        );
+        let p = PendingMem {
+            replica: r as u32,
+            node: n as u32,
+            channel,
+            value,
+        };
+        let slot = req as usize;
+        if slot == self.pending_mem.len() {
+            self.pending_mem.push(Some(p));
+        } else {
+            let popped = self.pending_free.pop();
+            debug_assert_eq!(popped, Some(req as u32));
+            debug_assert!(self.pending_mem[slot].is_none());
+            self.pending_mem[slot] = Some(p);
+        }
+        self.pending_count += 1;
     }
 
     fn scu_instance_free(&self, r: usize, n: usize) -> bool {
-        self.replicas[r].scu_busy[n].iter().any(|&b| b <= self.cycle)
+        self.replicas[r].scu_busy[n]
+            .iter()
+            .any(|&b| b <= self.cycle)
     }
 
     fn occupy_scu(&mut self, r: usize, n: usize, latency: u32) {

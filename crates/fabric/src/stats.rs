@@ -74,8 +74,16 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = FabricStats { int_alu_ops: 2, firings: 5, ..FabricStats::default() };
-        let b = FabricStats { int_alu_ops: 3, firings: 1, ..FabricStats::default() };
+        let mut a = FabricStats {
+            int_alu_ops: 2,
+            firings: 5,
+            ..FabricStats::default()
+        };
+        let b = FabricStats {
+            int_alu_ops: 3,
+            firings: 1,
+            ..FabricStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.int_alu_ops, 5);
         assert_eq!(a.firings, 6);
@@ -83,7 +91,11 @@ mod tests {
 
     #[test]
     fn utilization_bounds() {
-        let s = FabricStats { firings: 54, busy_cycles: 1, ..FabricStats::default() };
+        let s = FabricStats {
+            firings: 54,
+            busy_cycles: 1,
+            ..FabricStats::default()
+        };
         assert_eq!(s.utilization(108), 0.5);
         assert_eq!(FabricStats::default().utilization(108), 0.0);
     }

@@ -27,15 +27,14 @@ fn run_on_fabric(
     vectors[0].fill(true);
 
     let mut guard = 0;
-    loop {
-        let Some(block) = vectors.iter().position(|v| v.iter().any(|&b| b)) else {
-            break;
-        };
+    while let Some(block) = vectors.iter().position(|v| v.iter().any(|&b| b)) {
         guard += 1;
         assert!(guard < 100_000, "scheduler livelock");
         let cb = &ck.blocks[block];
         let replicas = &cb.replicas[..cb.replicas.len().min(replica_cap)];
-        fabric.configure(&cb.dfg, replicas, &launch.params);
+        fabric
+            .configure(&cb.dfg, replicas, &launch.params)
+            .expect("configure");
         for (tid, slot) in vectors[block].iter_mut().enumerate() {
             if *slot {
                 *slot = false;
@@ -240,7 +239,9 @@ fn sgmf_predicated_graph_matches_interpreter() {
     let placement = vgiw_compiler::place::place(&dfg, &grid, &mut free).expect("fits");
     let mut env = FixedLatencyEnv::new(mem, 0, launch.num_threads, 8);
     let mut fabric = Fabric::new(grid, FabricConfig::default());
-    fabric.configure(&dfg, &[placement], &launch.params);
+    fabric
+        .configure(&dfg, &[placement], &launch.params)
+        .expect("configure");
     for tid in 0..launch.num_threads {
         fabric.inject(tid);
     }

@@ -5,7 +5,7 @@
 use vgiw_compiler::{compile, GridSpec};
 use vgiw_fabric::test_env::FixedLatencyEnv;
 use vgiw_fabric::{Fabric, FabricConfig, FabricEnv, MemReqId};
-use vgiw_ir::{Kernel, KernelBuilder, Launch, MemoryImage, UnaryOp, Word};
+use vgiw_ir::{Kernel, KernelBuilder, MemoryImage, UnaryOp, Word};
 
 fn simple_store_kernel() -> Kernel {
     let mut b = KernelBuilder::new("k", 1);
@@ -16,11 +16,7 @@ fn simple_store_kernel() -> Kernel {
     b.finish()
 }
 
-fn drain(
-    fabric: &mut Fabric,
-    env: &mut FixedLatencyEnv,
-    limit: u64,
-) -> Vec<vgiw_fabric::Retired> {
+fn drain(fabric: &mut Fabric, env: &mut FixedLatencyEnv, limit: u64) -> Vec<vgiw_fabric::Retired> {
     let mut retired = Vec::new();
     let mut spin = 0;
     while !fabric.is_drained() {
@@ -39,13 +35,18 @@ fn drain(
 fn channels_recycle_for_more_threads_than_buffer_entries() {
     let grid = GridSpec::paper();
     let ck = compile(&simple_store_kernel(), &grid).unwrap();
-    let mut cfg = FabricConfig::default();
-    cfg.channels_per_unit = 4; // tiny buffers: forces recycling
+    // Tiny buffers: forces recycling.
+    let cfg = FabricConfig {
+        channels_per_unit: 4,
+        ..FabricConfig::default()
+    };
     let mut fabric = Fabric::new(grid, cfg);
     let mut env = FixedLatencyEnv::new(MemoryImage::new(4096), 0, 2048, 12);
 
     let cb = &ck.blocks[0];
-    fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+    fabric
+        .configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO])
+        .expect("configure");
     for tid in 0..2048 {
         fabric.inject(tid);
     }
@@ -78,7 +79,9 @@ fn threads_complete_out_of_order_past_stalled_ones() {
     let mut fabric = Fabric::new(grid, FabricConfig::default());
     let mut env = FixedLatencyEnv::new(MemoryImage::new(2048), 0, 512, 40);
     let cb = &ck.blocks[0];
-    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO, Word::from_u32(512)]);
+    fabric
+        .configure(&cb.dfg, &cb.replicas, &[Word::ZERO, Word::from_u32(512)])
+        .expect("configure");
     for tid in 0..512 {
         fabric.inject(tid);
     }
@@ -132,7 +135,9 @@ fn rejected_memory_issues_are_retried() {
         rejects_left: 100,
     };
     let cb = &ck.blocks[0];
-    fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+    fabric
+        .configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO])
+        .expect("configure");
     for tid in 0..64 {
         fabric.inject(tid);
     }
@@ -146,7 +151,10 @@ fn rejected_memory_issues_are_retried() {
         spin += 1;
         assert!(spin < 100_000);
     }
-    assert!(fabric.stats().mem_retry_cycles >= 100, "retries must be counted");
+    assert!(
+        fabric.stats().mem_retry_cycles >= 100,
+        "retries must be counted"
+    );
     for t in 0..64u32 {
         assert_eq!(env.inner.mem.read(t).as_u32(), t);
     }
@@ -167,12 +175,16 @@ fn scu_instances_limit_nonpipelined_throughput() {
     let ck = compile(&k, &grid).unwrap();
 
     let run = |instances: u32| -> u64 {
-        let mut cfg = FabricConfig::default();
-        cfg.scu_instances = instances;
+        let cfg = FabricConfig {
+            scu_instances: instances,
+            ..FabricConfig::default()
+        };
         let mut fabric = Fabric::new(GridSpec::paper(), cfg);
         let mut env = FixedLatencyEnv::new(MemoryImage::new(1024), 0, 512, 4);
         let cb = &ck.blocks[0];
-        fabric.configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO]);
+        fabric
+            .configure(&cb.dfg, &cb.replicas[..1], &[Word::ZERO])
+            .expect("configure");
         for tid in 0..512 {
             fabric.inject(tid);
         }
@@ -195,7 +207,9 @@ fn stats_account_every_thread_and_token() {
     let mut fabric = Fabric::new(grid, FabricConfig::default());
     let mut env = FixedLatencyEnv::new(MemoryImage::new(512), 0, 128, 4);
     let cb = &ck.blocks[0];
-    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO]);
+    fabric
+        .configure(&cb.dfg, &cb.replicas, &[Word::ZERO])
+        .expect("configure");
     for tid in 0..128 {
         fabric.inject(tid);
     }
@@ -231,14 +245,18 @@ fn reconfiguration_between_blocks_is_clean() {
     let mut env = FixedLatencyEnv::new(MemoryImage::new(512), 0, 64, 4);
 
     let cb = &ck.blocks[0];
-    fabric.configure(&cb.dfg, &cb.replicas, &[Word::ZERO]);
+    fabric
+        .configure(&cb.dfg, &cb.replicas, &[Word::ZERO])
+        .expect("configure");
     for tid in 0..32 {
         fabric.inject(tid);
     }
     drain(&mut fabric, &mut env, 100_000);
 
     let cb2 = &ck2.blocks[0];
-    fabric.configure(&cb2.dfg, &cb2.replicas, &[Word::from_u32(64)]);
+    fabric
+        .configure(&cb2.dfg, &cb2.replicas, &[Word::from_u32(64)])
+        .expect("configure");
     for tid in 0..32 {
         fabric.inject(tid);
     }

@@ -64,7 +64,10 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Starts a kernel with `num_params` launch parameters.
     pub fn new(name: impl Into<String>, num_params: u8) -> KernelBuilder {
-        KernelBuilder { kernel: Kernel::new(name, num_params), cur: BlockId::ENTRY }
+        KernelBuilder {
+            kernel: Kernel::new(name, num_params),
+            cur: BlockId::ENTRY,
+        }
     }
 
     fn emit(&mut self, inst: Inst) {
@@ -118,12 +121,21 @@ impl KernelBuilder {
 
     /// Emits `op(src)`.
     pub fn unary(&mut self, op: UnaryOp, src: Val) -> Val {
-        self.emit_def(|dst| Inst::Unary { dst, op, src: src.0 })
+        self.emit_def(|dst| Inst::Unary {
+            dst,
+            op,
+            src: src.0,
+        })
     }
 
     /// Emits `op(lhs, rhs)`.
     pub fn binary(&mut self, op: BinaryOp, lhs: Val, rhs: Val) -> Val {
-        self.emit_def(|dst| Inst::Binary { dst, op, lhs: lhs.0, rhs: rhs.0 })
+        self.emit_def(|dst| Inst::Binary {
+            dst,
+            op,
+            lhs: lhs.0,
+            rhs: rhs.0,
+        })
     }
 
     /// Emits `cond ? on_true : on_false`.
@@ -138,7 +150,12 @@ impl KernelBuilder {
 
     /// Emits the float fused multiply-add `a * b + c`.
     pub fn fma(&mut self, a: Val, b: Val, c: Val) -> Val {
-        self.emit_def(|dst| Inst::Fma { dst, a: a.0, b: b.0, c: c.0 })
+        self.emit_def(|dst| Inst::Fma {
+            dst,
+            a: a.0,
+            b: b.0,
+            c: c.0,
+        })
     }
 
     /// Emits `memory[addr]`.
@@ -148,13 +165,20 @@ impl KernelBuilder {
 
     /// Emits `memory[addr] = value`.
     pub fn store(&mut self, addr: Val, value: Val) {
-        self.emit(Inst::Store { addr: addr.0, value: value.0 });
+        self.emit(Inst::Store {
+            addr: addr.0,
+            value: value.0,
+        });
     }
 
     /// Declares a mutable variable initialized to `init`.
     pub fn var(&mut self, init: Val) -> Var {
         let dst = self.kernel.fresh_reg();
-        self.emit(Inst::Unary { dst, op: UnaryOp::Mov, src: init.0 });
+        self.emit(Inst::Unary {
+            dst,
+            op: UnaryOp::Mov,
+            src: init.0,
+        });
         Var(dst)
     }
 
@@ -165,7 +189,11 @@ impl KernelBuilder {
 
     /// Assigns `value` to `var`.
     pub fn set(&mut self, var: Var, value: Val) {
-        self.emit(Inst::Unary { dst: var.0, op: UnaryOp::Mov, src: value.0 });
+        self.emit(Inst::Unary {
+            dst: var.0,
+            op: UnaryOp::Mov,
+            src: value.0,
+        });
     }
 
     // ---- arithmetic conveniences -------------------------------------------
@@ -274,7 +302,11 @@ impl KernelBuilder {
     pub fn if_(&mut self, cond: Val, then: impl FnOnce(&mut KernelBuilder)) {
         let then_bb = self.start_block();
         let merge_bb = self.start_block();
-        self.seal(Terminator::Branch { cond: cond.0, taken: then_bb, not_taken: merge_bb });
+        self.seal(Terminator::Branch {
+            cond: cond.0,
+            taken: then_bb,
+            not_taken: merge_bb,
+        });
         self.cur = then_bb;
         then(self);
         self.seal(Terminator::Jump(merge_bb));
@@ -291,7 +323,11 @@ impl KernelBuilder {
         let then_bb = self.start_block();
         let else_bb = self.start_block();
         let merge_bb = self.start_block();
-        self.seal(Terminator::Branch { cond: cond.0, taken: then_bb, not_taken: else_bb });
+        self.seal(Terminator::Branch {
+            cond: cond.0,
+            taken: then_bb,
+            not_taken: else_bb,
+        });
         self.cur = then_bb;
         then(self);
         self.seal(Terminator::Jump(merge_bb));
@@ -318,22 +354,25 @@ impl KernelBuilder {
         let body_bb = self.start_block();
         let exit_bb = self.start_block();
         let c0 = cond(self);
-        self.seal(Terminator::Branch { cond: c0.0, taken: body_bb, not_taken: exit_bb });
+        self.seal(Terminator::Branch {
+            cond: c0.0,
+            taken: body_bb,
+            not_taken: exit_bb,
+        });
         self.cur = body_bb;
         body(self);
         let c = cond(self);
-        self.seal(Terminator::Branch { cond: c.0, taken: body_bb, not_taken: exit_bb });
+        self.seal(Terminator::Branch {
+            cond: c.0,
+            taken: body_bb,
+            not_taken: exit_bb,
+        });
         self.cur = exit_bb;
     }
 
     /// A counted loop `for i in start..end` (unsigned compare, step 1).
     /// The body receives the induction value.
-    pub fn for_range(
-        &mut self,
-        start: Val,
-        end: Val,
-        body: impl FnOnce(&mut KernelBuilder, Val),
-    ) {
+    pub fn for_range(&mut self, start: Val, end: Val, body: impl FnOnce(&mut KernelBuilder, Val)) {
         let i = self.var(start);
         self.while_(
             |b| {

@@ -42,7 +42,9 @@ pub fn reverse_post_order(kernel: &Kernel) -> Vec<BlockId> {
         // Successors ordered not_taken-first.
         let succs: Vec<BlockId> = match kernel.block(block).term {
             Terminator::Jump(t) => vec![t],
-            Terminator::Branch { taken, not_taken, .. } => vec![not_taken, taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![not_taken, taken],
             Terminator::Exit => vec![],
         };
         if *next < succs.len() {
@@ -74,9 +76,9 @@ pub fn renumber_rpo(kernel: &mut Kernel) {
     let mut new_blocks = Vec::with_capacity(order.len());
     for old in &order {
         let mut block = std::mem::take(kernel.block_mut(*old));
-        block.term.map_targets(|t| {
-            remap[t.index()].expect("reachable block jumps to unreachable block")
-        });
+        block
+            .term
+            .map_targets(|t| remap[t.index()].expect("reachable block jumps to unreachable block"));
         new_blocks.push(block);
     }
     kernel.blocks = new_blocks;
@@ -112,8 +114,8 @@ pub fn has_loops(kernel: &Kernel) -> bool {
 pub fn immediate_post_dominators(kernel: &Kernel) -> Vec<Option<BlockId>> {
     let n = kernel.num_blocks();
     let sink = n; // virtual sink index
-    // Reverse-graph predecessors of b = successors of b in the real CFG
-    // (plus sink for exits).
+                  // Reverse-graph predecessors of b = successors of b in the real CFG
+                  // (plus sink for exits).
     let mut rsucc: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
     for (id, block) in kernel.iter_blocks() {
         let succs: Vec<usize> = block.term.successors().map(|s| s.index()).collect();
@@ -246,9 +248,15 @@ mod tests {
         assert_eq!(to, from, "rotated loop bodies are self-loops");
         assert!(has_loops(&k));
         // The body's branch must target itself (taken) before the exit.
-        if let Terminator::Branch { taken, not_taken, .. } = k.block(from).term {
+        if let Terminator::Branch {
+            taken, not_taken, ..
+        } = k.block(from).term
+        {
             assert_eq!(taken, from);
-            assert!(taken < not_taken, "body {taken} should precede exit {not_taken}");
+            assert!(
+                taken < not_taken,
+                "body {taken} should precede exit {not_taken}"
+            );
         } else {
             panic!("loop body should end in a branch");
         }
@@ -295,12 +303,14 @@ mod tests {
         let dead = k.push_block(); // never referenced
         assert_eq!(dead.index(), 1);
         let r = k.fresh_reg();
-        k.block_mut(BlockId::ENTRY).insts.push(crate::inst::Inst::Binary {
-            dst: r,
-            op: BinaryOp::Add,
-            lhs: Operand::Imm(1u32.into()),
-            rhs: Operand::Imm(2u32.into()),
-        });
+        k.block_mut(BlockId::ENTRY)
+            .insts
+            .push(crate::inst::Inst::Binary {
+                dst: r,
+                op: BinaryOp::Add,
+                lhs: Operand::Imm(1u32.into()),
+                rhs: Operand::Imm(2u32.into()),
+            });
         renumber_rpo(&mut k);
         assert_eq!(k.num_blocks(), 1);
         assert_eq!(k.block(BlockId::ENTRY).insts.len(), 1);

@@ -109,11 +109,26 @@ pub enum Inst {
     /// `dst = op(src)`.
     Unary { dst: Reg, op: UnaryOp, src: Operand },
     /// `dst = op(lhs, rhs)`.
-    Binary { dst: Reg, op: BinaryOp, lhs: Operand, rhs: Operand },
+    Binary {
+        dst: Reg,
+        op: BinaryOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = cond ? on_true : on_false`.
-    Select { dst: Reg, cond: Operand, on_true: Operand, on_false: Operand },
+    Select {
+        dst: Reg,
+        cond: Operand,
+        on_true: Operand,
+        on_false: Operand,
+    },
     /// `dst = a * b + c` (float).
-    Fma { dst: Reg, a: Operand, b: Operand, c: Operand },
+    Fma {
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `dst = memory[addr]`.
     Load { dst: Reg, addr: Operand },
     /// `memory[addr] = value`.
@@ -150,7 +165,12 @@ impl Inst {
                 visit(lhs);
                 visit(rhs);
             }
-            Inst::Select { cond, on_true, on_false, .. } => {
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
                 visit(cond);
                 visit(on_true);
                 visit(on_false);
@@ -202,7 +222,12 @@ impl fmt::Display for Inst {
             Inst::ThreadId { dst } => write!(f, "{dst} = tid"),
             Inst::Unary { dst, op, src } => write!(f, "{dst} = {op:?} {src}"),
             Inst::Binary { dst, op, lhs, rhs } => write!(f, "{dst} = {op:?} {lhs}, {rhs}"),
-            Inst::Select { dst, cond, on_true, on_false } => {
+            Inst::Select {
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
                 write!(f, "{dst} = select {cond} ? {on_true} : {on_false}")
             }
             Inst::Fma { dst, a, b, c } => write!(f, "{dst} = fma {a}, {b}, {c}"),
@@ -213,7 +238,7 @@ impl fmt::Display for Inst {
 }
 
 /// A basic block terminator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 #[allow(missing_docs)] // variant docs describe every field inline
 pub enum Terminator {
     /// Unconditional jump.
@@ -228,6 +253,7 @@ pub enum Terminator {
         not_taken: BlockId,
     },
     /// Thread completes the kernel.
+    #[default]
     Exit,
 }
 
@@ -236,7 +262,9 @@ impl Terminator {
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (a, b) = match *self {
             Terminator::Jump(t) => (Some(t), None),
-            Terminator::Branch { taken, not_taken, .. } => (Some(taken), Some(not_taken)),
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => (Some(taken), Some(not_taken)),
             Terminator::Exit => (None, None),
         };
         a.into_iter().chain(b)
@@ -254,7 +282,9 @@ impl Terminator {
     pub fn map_targets(&mut self, mut map: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jump(t) => *t = map(*t),
-            Terminator::Branch { taken, not_taken, .. } => {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => {
                 *taken = map(*taken);
                 *not_taken = map(*not_taken);
             }
@@ -267,7 +297,11 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Terminator::Jump(t) => write!(f, "jump {t}"),
-            Terminator::Branch { cond, taken, not_taken } => {
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
                 write!(f, "branch {cond} ? {taken} : {not_taken}")
             }
             Terminator::Exit => write!(f, "exit"),
@@ -310,7 +344,9 @@ mod tests {
         assert_eq!(succ, vec![BlockId(1), BlockId(2)]);
         assert_eq!(Terminator::Exit.successors().count(), 0);
         assert_eq!(
-            Terminator::Jump(BlockId(5)).successors().collect::<Vec<_>>(),
+            Terminator::Jump(BlockId(5))
+                .successors()
+                .collect::<Vec<_>>(),
             vec![BlockId(5)]
         );
     }
@@ -331,7 +367,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let i = Inst::Load { dst: Reg(1), addr: Operand::Reg(Reg(0)) };
+        let i = Inst::Load {
+            dst: Reg(1),
+            addr: Operand::Reg(Reg(0)),
+        };
         assert_eq!(i.to_string(), "r1 = load [r0]");
         assert_eq!(Terminator::Exit.to_string(), "exit");
     }

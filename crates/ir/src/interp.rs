@@ -45,7 +45,10 @@ impl fmt::Display for InterpError {
                 write!(f, "thread {thread} exceeded step limit {limit}")
             }
             InterpError::MissingParam { index, provided } => {
-                write!(f, "parameter {index} requested but launch provides {provided}")
+                write!(
+                    f,
+                    "parameter {index} requested but launch provides {provided}"
+                )
             }
         }
     }
@@ -69,7 +72,10 @@ pub struct InterpStats {
 
 impl InterpStats {
     fn new(num_blocks: usize) -> InterpStats {
-        InterpStats { block_visits: vec![0; num_blocks], ..InterpStats::default() }
+        InterpStats {
+            block_visits: vec![0; num_blocks],
+            ..InterpStats::default()
+        }
     }
 }
 
@@ -79,7 +85,11 @@ impl InterpStats {
 /// # Errors
 /// Returns [`InterpError`] if a thread exceeds the step budget or reads a
 /// missing parameter.
-pub fn run(kernel: &Kernel, launch: &Launch, mem: &mut MemoryImage) -> Result<InterpStats, InterpError> {
+pub fn run(
+    kernel: &Kernel,
+    launch: &Launch,
+    mem: &mut MemoryImage,
+) -> Result<InterpStats, InterpError> {
     run_with_limit(kernel, launch, mem, DEFAULT_STEP_LIMIT)
 }
 
@@ -123,7 +133,10 @@ fn run_thread(
         let bb = kernel.block(block);
         steps += bb.insts.len() as u64 + 1;
         if steps > step_limit {
-            return Err(InterpError::StepLimit { thread: tid, limit: step_limit });
+            return Err(InterpError::StepLimit {
+                thread: tid,
+                limit: step_limit,
+            });
         }
         for inst in &bb.insts {
             exec_inst(inst, launch, mem, tid, regs, stats)?;
@@ -131,8 +144,16 @@ fn run_thread(
         stats.dyn_insts += bb.insts.len() as u64;
         match bb.term {
             Terminator::Jump(t) => block = t,
-            Terminator::Branch { cond, taken, not_taken } => {
-                block = if read(cond, regs).as_bool() { taken } else { not_taken };
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                block = if read(cond, regs).as_bool() {
+                    taken
+                } else {
+                    not_taken
+                };
             }
             Terminator::Exit => return Ok(()),
         }
@@ -159,9 +180,15 @@ fn exec_inst(
     match *inst {
         Inst::Const { dst, value } => regs[dst.index()] = value,
         Inst::Param { dst, index } => {
-            let v = launch.params.get(index as usize).copied().ok_or(
-                InterpError::MissingParam { index, provided: launch.params.len() },
-            )?;
+            let v =
+                launch
+                    .params
+                    .get(index as usize)
+                    .copied()
+                    .ok_or(InterpError::MissingParam {
+                        index,
+                        provided: launch.params.len(),
+                    })?;
             regs[dst.index()] = v;
         }
         Inst::ThreadId { dst } => regs[dst.index()] = Word::from_u32(tid),
@@ -169,7 +196,12 @@ fn exec_inst(
         Inst::Binary { dst, op, lhs, rhs } => {
             regs[dst.index()] = op.eval(read(lhs, regs), read(rhs, regs));
         }
-        Inst::Select { dst, cond, on_true, on_false } => {
+        Inst::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => {
             regs[dst.index()] =
                 eval_select(read(cond, regs), read(on_true, regs), read(on_false, regs));
         }
@@ -213,7 +245,13 @@ mod tests {
         let k = b.finish();
         let mut mem = MemoryImage::new(1);
         let err = run(&k, &Launch::new(1, vec![Word::ZERO]), &mut mem).unwrap_err();
-        assert_eq!(err, InterpError::MissingParam { index: 1, provided: 1 });
+        assert_eq!(
+            err,
+            InterpError::MissingParam {
+                index: 1,
+                provided: 1
+            }
+        );
     }
 
     #[test]

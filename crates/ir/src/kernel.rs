@@ -12,16 +12,13 @@ pub struct BasicBlock {
     pub term: Terminator,
 }
 
-impl Default for Terminator {
-    fn default() -> Terminator {
-        Terminator::Exit
-    }
-}
-
 impl BasicBlock {
     /// Creates an empty block terminated by `exit`.
     pub fn new() -> BasicBlock {
-        BasicBlock { insts: Vec::new(), term: Terminator::Exit }
+        BasicBlock {
+            insts: Vec::new(),
+            term: Terminator::Exit,
+        }
     }
 
     /// Number of instructions including the terminator.
@@ -153,7 +150,10 @@ pub struct Launch {
 impl Launch {
     /// Creates a launch descriptor.
     pub fn new(num_threads: u32, params: Vec<crate::types::Word>) -> Launch {
-        Launch { num_threads, params }
+        Launch {
+            num_threads,
+            params,
+        }
     }
 
     /// The value of parameter `index`.

@@ -23,7 +23,10 @@ pub struct MemoryImage {
 impl MemoryImage {
     /// Creates a zeroed memory of `num_words` 32-bit words.
     pub fn new(num_words: usize) -> MemoryImage {
-        MemoryImage { words: vec![Word::ZERO; num_words], next_free: 0 }
+        MemoryImage {
+            words: vec![Word::ZERO; num_words],
+            next_free: 0,
+        }
     }
 
     /// Total capacity in words.
@@ -87,7 +90,9 @@ impl MemoryImage {
     /// Panics if the region does not fit.
     pub fn alloc(&mut self, num_words: u32) -> u32 {
         let base = self.next_free;
-        let end = base.checked_add(num_words).expect("allocation overflows address space");
+        let end = base
+            .checked_add(num_words)
+            .expect("allocation overflows address space");
         assert!(
             (end as usize) <= self.words.len(),
             "memory image exhausted: want {} words at {}, capacity {}",

@@ -341,17 +341,23 @@ mod tests {
             BinaryOp::Mul.eval(Word::from_u32(1 << 31), Word::from_u32(2)),
             Word::ZERO
         );
-        assert_eq!(
-            BinaryOp::Sub.eval(Word::ZERO, Word::ONE).as_i32(),
-            -1i32
-        );
+        assert_eq!(BinaryOp::Sub.eval(Word::ZERO, Word::ONE).as_i32(), -1i32);
     }
 
     #[test]
     fn division_by_zero_is_zero() {
-        assert_eq!(BinaryOp::DivU.eval(Word::from_u32(5), Word::ZERO), Word::ZERO);
-        assert_eq!(BinaryOp::DivS.eval(Word::from_i32(-5), Word::ZERO), Word::ZERO);
-        assert_eq!(BinaryOp::RemU.eval(Word::from_u32(5), Word::ZERO), Word::ZERO);
+        assert_eq!(
+            BinaryOp::DivU.eval(Word::from_u32(5), Word::ZERO),
+            Word::ZERO
+        );
+        assert_eq!(
+            BinaryOp::DivS.eval(Word::from_i32(-5), Word::ZERO),
+            Word::ZERO
+        );
+        assert_eq!(
+            BinaryOp::RemU.eval(Word::from_u32(5), Word::ZERO),
+            Word::ZERO
+        );
         // i32::MIN / -1 overflows; hardware-defined to 0 here.
         assert_eq!(
             BinaryOp::DivS.eval(Word::from_i32(i32::MIN), Word::from_i32(-1)),
@@ -376,11 +382,15 @@ mod tests {
             Word::from_u32(2)
         );
         assert_eq!(
-            BinaryOp::ShrA.eval(Word::from_i32(-8), Word::from_u32(1)).as_i32(),
+            BinaryOp::ShrA
+                .eval(Word::from_i32(-8), Word::from_u32(1))
+                .as_i32(),
             -4
         );
         assert_eq!(
-            BinaryOp::ShrL.eval(Word::from_i32(-8), Word::from_u32(1)).as_u32(),
+            BinaryOp::ShrL
+                .eval(Word::from_i32(-8), Word::from_u32(1))
+                .as_u32(),
             0x7FFF_FFFC
         );
     }
@@ -403,10 +413,7 @@ mod tests {
         assert_eq!(UnaryOp::F2I.eval(Word::from_f32(-3.7)).as_i32(), -3);
         // Saturating conversion, NaN -> 0.
         assert_eq!(UnaryOp::F2I.eval(Word::from_f32(f32::NAN)).as_i32(), 0);
-        assert_eq!(
-            UnaryOp::F2I.eval(Word::from_f32(1e30)).as_i32(),
-            i32::MAX
-        );
+        assert_eq!(UnaryOp::F2I.eval(Word::from_f32(1e30)).as_i32(), i32::MAX);
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
         for inst in &block.insts {
             if let Some(dst) = inst.dst() {
                 if dst.0 >= kernel.num_regs {
-                    return Err(VerifyError::RegOutOfRange { reg: dst, block: id });
+                    return Err(VerifyError::RegOutOfRange {
+                        reg: dst,
+                        block: id,
+                    });
                 }
             }
             let mut bad = None;
@@ -135,14 +138,23 @@ mod tests {
             lhs: Operand::Imm(1u32.into()),
             rhs: Operand::Imm(2u32.into()),
         });
-        assert!(matches!(verify(&k), Err(VerifyError::RegOutOfRange { reg: Reg(5), .. })));
+        assert!(matches!(
+            verify(&k),
+            Err(VerifyError::RegOutOfRange { reg: Reg(5), .. })
+        ));
     }
 
     #[test]
     fn bad_target_detected() {
         let mut k = Kernel::new("bad", 0);
         k.blocks[0].term = Terminator::Jump(BlockId(9));
-        assert!(matches!(verify(&k), Err(VerifyError::BadTarget { target: BlockId(9), .. })));
+        assert!(matches!(
+            verify(&k),
+            Err(VerifyError::BadTarget {
+                target: BlockId(9),
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -150,13 +162,19 @@ mod tests {
         let mut k = Kernel::new("bad", 0);
         let r = k.fresh_reg();
         k.blocks[0].insts.push(Inst::Param { dst: r, index: 3 });
-        assert!(matches!(verify(&k), Err(VerifyError::ParamOutOfRange { index: 3, .. })));
+        assert!(matches!(
+            verify(&k),
+            Err(VerifyError::ParamOutOfRange { index: 3, .. })
+        ));
     }
 
     #[test]
     fn unreachable_detected() {
         let mut k = Kernel::new("bad", 0);
         k.push_block();
-        assert!(matches!(verify(&k), Err(VerifyError::Unreachable { block: BlockId(1) })));
+        assert!(matches!(
+            verify(&k),
+            Err(VerifyError::Unreachable { block: BlockId(1) })
+        ));
     }
 }

@@ -172,11 +172,11 @@ pub fn compute_flux_kernel() -> Kernel {
                         is_ff,
                         |b| {
                             // Far field: constant inflow contribution.
-                            for j in 0..NVAR as usize {
+                            for (j, &a) in acc.iter().enumerate() {
                                 let ffv = b.param(4 + j as u8);
-                                let cur = b.get(acc[j]);
+                                let cur = b.get(a);
                                 let nv = b.fadd(cur, ffv);
-                                b.set(acc[j], nv);
+                                b.set(a, nv);
                             }
                         },
                         |b| {
@@ -202,10 +202,10 @@ pub fn compute_flux_kernel() -> Kernel {
         }
 
         let out_base = b.add(fluxes, my_base);
-        for j in 0..NVAR as usize {
+        for (j, &a) in acc.iter().enumerate() {
             let off = b.const_u32(j as u32);
             let oa = b.add(out_base, off);
-            let v = b.get(acc[j]);
+            let v = b.get(a);
             b.store(oa, v);
         }
     });

@@ -53,7 +53,11 @@ pub fn build(scale: u32) -> Benchmark {
 
     let launch = Launch::new(
         n,
-        vec![Word::from_u32(input), Word::from_u32(output), Word::from_u32(n)],
+        vec![
+            Word::from_u32(input),
+            Word::from_u32(output),
+            Word::from_u32(n),
+        ],
     );
     single_launch(
         "KMEANS",
@@ -92,7 +96,9 @@ mod tests {
                 Word::from_u32(n),
             ],
         );
-        InterpLauncher.launch(&b.kernels[0], &launch, &mut mem).unwrap();
+        InterpLauncher
+            .launch(&b.kernels[0], &launch, &mut mem)
+            .unwrap();
         // out[f*n + i] == in[i*F + f]
         for &(i, f) in &[(0u32, 0u32), (7, 3), (100, 1)] {
             assert_eq!(

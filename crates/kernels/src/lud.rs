@@ -256,7 +256,11 @@ pub fn build(scale: u32) -> Benchmark {
                 &diag,
                 &Launch::new(
                     BS, // a whole (mostly idle) warp, like Rodinia's block
-                    vec![Word::from_u32(a_base), Word::from_u32(n), Word::from_u32(kb)],
+                    vec![
+                        Word::from_u32(a_base),
+                        Word::from_u32(n),
+                        Word::from_u32(kb),
+                    ],
                 ),
                 mem,
             )?;
@@ -338,7 +342,10 @@ mod tests {
             InterpLauncher
                 .launch(
                     &diag,
-                    &Launch::new(BS, vec![Word::from_u32(0), Word::from_u32(n), Word::from_u32(kb)]),
+                    &Launch::new(
+                        BS,
+                        vec![Word::from_u32(0), Word::from_u32(n), Word::from_u32(kb)],
+                    ),
                     &mut mem,
                 )
                 .unwrap();
@@ -367,7 +374,11 @@ mod tests {
             for j in 0..n as usize {
                 let mut sum = 0.0f64;
                 for k in 0..=i.min(j) {
-                    let l = if k == i { 1.0 } else { mem.read_f32((i as u32) * n + k as u32) as f64 };
+                    let l = if k == i {
+                        1.0
+                    } else {
+                        mem.read_f32((i as u32) * n + k as u32) as f64
+                    };
                     let u = mem.read_f32((k as u32) * n + j as u32) as f64;
                     sum += l * u;
                 }

@@ -22,7 +22,11 @@ pub const PENALTY: i32 = 2;
 /// matrix base (n×n similarity scores), `2` = n, `3` = diagonal index d
 /// (cells with i+j == d, 1-based), `4` = number of cells on the diagonal.
 fn needle_kernel(lower_right: bool) -> Kernel {
-    let name = if lower_right { "needle_cuda_shared_2" } else { "needle_cuda_shared_1" };
+    let name = if lower_right {
+        "needle_cuda_shared_2"
+    } else {
+        "needle_cuda_shared_1"
+    };
     let mut b = KernelBuilder::new(name, 5);
     let tid = b.thread_id();
     let cells = b.param(4);

@@ -150,7 +150,10 @@ mod tests {
                 .unwrap();
         }
         for i in 0..n {
-            assert!(mem.read(assign_base + i).as_u32() < 6, "point {i} unassigned");
+            assert!(
+                mem.read(assign_base + i).as_u32() < 6,
+                "point {i} unassigned"
+            );
             assert!(mem.read_f32(cost_base + i) < f32::MAX);
         }
     }

@@ -20,8 +20,12 @@ pub trait Launcher {
     /// # Errors
     /// Returns a human-readable error if the machine rejects or fails the
     /// launch (e.g. SGMF unmappability).
-    fn launch(&mut self, kernel: &Kernel, launch: &Launch, mem: &mut MemoryImage)
-        -> Result<(), String>;
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mem: &mut MemoryImage,
+    ) -> Result<(), String>;
 }
 
 /// A launcher backed by the reference interpreter.
@@ -35,12 +39,15 @@ impl Launcher for InterpLauncher {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        interp::run(kernel, launch, mem).map(|_| ()).map_err(|e| e.to_string())
+        interp::run(kernel, launch, mem)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     }
 }
 
 /// Host-side driver: sequences launches, may read memory between them.
-pub type Driver = Box<dyn Fn(&mut MemoryImage, &mut dyn Launcher) -> Result<(), String> + Send + Sync>;
+pub type Driver =
+    Box<dyn Fn(&mut MemoryImage, &mut dyn Launcher) -> Result<(), String> + Send + Sync>;
 
 /// One benchmark: kernels + input data + host driver + golden output.
 pub struct Benchmark {
@@ -78,7 +85,16 @@ impl Benchmark {
         let mut golden = mem.clone();
         driver(&mut golden, &mut InterpLauncher)
             .unwrap_or_else(|e| panic!("benchmark {app} fails on the interpreter: {e}"));
-        Benchmark { app, domain, description, memory_bound, kernels, mem, driver, golden }
+        Benchmark {
+            app,
+            domain,
+            description,
+            memory_bound,
+            kernels,
+            mem,
+            driver,
+            golden,
+        }
     }
 
     /// Runs the benchmark on `launcher` and verifies the result against
@@ -182,7 +198,8 @@ mod tests {
     fn golden_round_trip() {
         let b = trivial();
         let mut launcher = InterpLauncher;
-        b.run(&mut launcher).expect("interp must match its own golden");
+        b.run(&mut launcher)
+            .expect("interp must match its own golden");
     }
 
     #[test]

@@ -25,10 +25,22 @@ impl CacheGeometry {
     /// Panics if the geometry does not divide evenly.
     pub fn sets_per_bank(&self) -> u32 {
         let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(self.size_bytes % self.line_bytes, 0, "size must be a multiple of line");
+        assert_eq!(
+            self.size_bytes % self.line_bytes,
+            0,
+            "size must be a multiple of line"
+        );
         let per_bank = lines / self.banks;
-        assert_eq!(lines % self.banks, 0, "lines must divide evenly across banks");
-        assert_eq!(per_bank % self.ways, 0, "lines per bank must divide by ways");
+        assert_eq!(
+            lines % self.banks,
+            0,
+            "lines must divide evenly across banks"
+        );
+        assert_eq!(
+            per_bank % self.ways,
+            0,
+            "lines per bank must divide by ways"
+        );
         per_bank / self.ways
     }
 
@@ -85,7 +97,15 @@ impl CacheArray {
         assert!(bank_stride > 0, "bank stride must be positive");
         CacheArray {
             sets: vec![
-                vec![Way { line: 0, valid: false, dirty: false, lru: 0 }; ways as usize];
+                vec![
+                    Way {
+                        line: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    ways as usize
+                ];
                 num_sets as usize
             ],
             num_sets,
@@ -139,7 +159,12 @@ impl CacheArray {
         }
         // Prefer an invalid way.
         if let Some(way) = self.sets[set].iter_mut().find(|w| !w.valid) {
-            *way = Way { line, valid: true, dirty, lru: tick };
+            *way = Way {
+                line,
+                valid: true,
+                dirty,
+                lru: tick,
+            };
             return None;
         }
         // Evict LRU.
@@ -147,8 +172,16 @@ impl CacheArray {
             .iter_mut()
             .min_by_key(|w| w.lru)
             .expect("sets are never empty");
-        let evicted = Eviction { line: victim.line, dirty: victim.dirty };
-        *victim = Way { line, valid: true, dirty, lru: tick };
+        let evicted = Eviction {
+            line: victim.line,
+            dirty: victim.dirty,
+        };
+        *victim = Way {
+            line,
+            valid: true,
+            dirty,
+            lru: tick,
+        };
         Some(evicted)
     }
 
@@ -172,7 +205,12 @@ mod tests {
     #[test]
     fn geometry_math() {
         // The paper's L1: 64KB, 32 banks, 128B lines, 4-way.
-        let g = CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, banks: 32 };
+        let g = CacheGeometry {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            ways: 4,
+            banks: 32,
+        };
         assert_eq!(g.sets_per_bank(), 4);
         assert_eq!(g.line_of(256), 2);
         assert_eq!(g.bank_of(33), 1);
@@ -205,7 +243,13 @@ mod tests {
         c.fill(1, false);
         c.access(1, true); // dirty it
         let ev = c.fill(2, false).unwrap();
-        assert_eq!(ev, Eviction { line: 1, dirty: true });
+        assert_eq!(
+            ev,
+            Eviction {
+                line: 1,
+                dirty: true
+            }
+        );
     }
 
     #[test]
@@ -219,7 +263,13 @@ mod tests {
         // Line 1 was refreshed before line 2 was installed, so it is LRU;
         // its dirty bit from the first fill must have survived the refresh.
         let ev = c.fill(3, false).unwrap();
-        assert_eq!(ev, Eviction { line: 1, dirty: true });
+        assert_eq!(
+            ev,
+            Eviction {
+                line: 1,
+                dirty: true
+            }
+        );
     }
 
     #[test]

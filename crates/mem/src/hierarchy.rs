@@ -16,8 +16,16 @@
 
 use crate::cache::{CacheArray, CacheGeometry};
 use crate::stats::MemStats;
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Length of the event timing wheel (a power of two). Events within one
+/// revolution of `now` go to a wheel slot (O(1) schedule/dispatch, no
+/// allocation after warm-up); farther events — chiefly DRAM completions
+/// behind a deep busy-until backlog — overflow into a small binary heap
+/// and are popped directly when due.
+const EVENT_WHEEL: usize = 256;
+const EVENT_WHEEL_MASK: u64 = EVENT_WHEEL as u64 - 1;
 
 /// Write policy of an L1-level cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,7 +67,12 @@ impl L1Config {
     /// write-allocate.
     pub fn vgiw_l1() -> L1Config {
         L1Config {
-            geometry: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, banks: 32 },
+            geometry: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                banks: 32,
+            },
             write_policy: WritePolicy::WriteBack,
             alloc_policy: AllocPolicy::WriteAllocate,
             hit_latency: 4,
@@ -74,7 +87,12 @@ impl L1Config {
     /// ~2-dozen-cycle hit latency GPGPU-Sim models for Fermi.
     pub fn fermi_l1() -> L1Config {
         L1Config {
-            geometry: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, banks: 1 },
+            geometry: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                banks: 1,
+            },
             write_policy: WritePolicy::WriteThrough,
             alloc_policy: AllocPolicy::WriteNoAllocate,
             hit_latency: 24,
@@ -87,7 +105,12 @@ impl L1Config {
     /// word-granularity lines kept reasonably small.
     pub fn lvc() -> L1Config {
         L1Config {
-            geometry: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 64, ways: 4, banks: 16 },
+            geometry: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 4,
+                banks: 16,
+            },
             write_policy: WritePolicy::WriteBack,
             alloc_policy: AllocPolicy::WriteAllocate,
             hit_latency: 3,
@@ -156,6 +179,7 @@ enum Event {
 }
 
 struct Mshr {
+    line: u64,
     waiters: Vec<ReqId>,
     /// Whether any waiting request is a store (the filled line starts dirty).
     dirty: bool,
@@ -163,9 +187,20 @@ struct Mshr {
 
 struct L1Bank {
     array: CacheArray,
-    /// line -> requests waiting on the in-flight fill.
-    mshrs: HashMap<u64, Mshr>,
+    /// In-flight fills, keyed by line. A bank has at most `mshrs_per_bank`
+    /// (≤ 32) entries, so a linear scan beats hashing — and the fixed
+    /// vector plus the waiter pool below make allocate/merge/fill
+    /// allocation-free in steady state.
+    mshrs: Vec<Mshr>,
+    /// Recycled waiter vectors from completed fills.
+    waiter_pool: Vec<Vec<ReqId>>,
     busy_until: u64,
+}
+
+impl L1Bank {
+    fn mshr_mut(&mut self, line: u64) -> Option<&mut Mshr> {
+        self.mshrs.iter_mut().find(|m| m.line == line)
+    }
 }
 
 struct L1Port {
@@ -204,7 +239,13 @@ pub struct MemSystem {
     shared: SharedConfig,
     dram: Vec<DramChannel>,
     now: u64,
-    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    /// Near events, one slot per cycle of the next `EVENT_WHEEL` cycles.
+    /// Slot buffers are drained in place and keep their capacity.
+    wheel: Vec<Vec<Event>>,
+    wheel_count: usize,
+    /// Events more than one wheel revolution ahead, ordered by
+    /// `(time, sequence)`; dispatched directly when due (wheel first).
+    far_events: BinaryHeap<Reverse<(u64, u64, Event)>>,
     event_seq: u64,
     responses: Vec<ReqId>,
     stats: MemStats,
@@ -224,7 +265,8 @@ impl MemSystem {
                 banks: (0..config.geometry.banks)
                     .map(|_| L1Bank {
                         array: CacheArray::new(sets, config.geometry.ways, config.geometry.banks),
-                        mshrs: HashMap::new(),
+                        mshrs: Vec::with_capacity(config.mshrs_per_bank as usize),
+                        waiter_pool: Vec::new(),
                         busy_until: 0,
                     })
                     .collect(),
@@ -235,7 +277,11 @@ impl MemSystem {
             ports: ports.iter().map(mk_port).collect(),
             l2: (0..shared.l2_geometry.banks)
                 .map(|_| L2Bank {
-                    array: CacheArray::new(l2_sets, shared.l2_geometry.ways, shared.l2_geometry.banks),
+                    array: CacheArray::new(
+                        l2_sets,
+                        shared.l2_geometry.ways,
+                        shared.l2_geometry.banks,
+                    ),
                     busy_until: 0,
                 })
                 .collect(),
@@ -248,7 +294,9 @@ impl MemSystem {
                 })
                 .collect(),
             now: 0,
-            events: BinaryHeap::new(),
+            wheel: (0..EVENT_WHEEL).map(|_| Vec::new()).collect(),
+            wheel_count: 0,
+            far_events: BinaryHeap::new(),
             event_seq: 0,
             responses: Vec::new(),
             stats: MemStats::new(ports.len()),
@@ -266,9 +314,14 @@ impl MemSystem {
     }
 
     fn schedule(&mut self, time: u64, event: Event) {
-        self.event_seq += 1;
         let t = time.max(self.now + 1);
-        self.events.push(Reverse((t, self.event_seq, event)));
+        if t - self.now < EVENT_WHEEL as u64 {
+            self.wheel[(t & EVENT_WHEEL_MASK) as usize].push(event);
+            self.wheel_count += 1;
+        } else {
+            self.event_seq += 1;
+            self.far_events.push(Reverse((t, self.event_seq, event)));
+        }
     }
 
     /// Attempts to issue a memory access on `port` for the 32-bit word at
@@ -294,7 +347,7 @@ impl MemSystem {
             // MSHR merge first: a secondary miss to an in-flight line needs
             // no port slot (the tag lookup already happened for the primary
             // miss), so a backlogged bank must not reject it.
-            if let Some(mshr) = bank.mshrs.get_mut(&line) {
+            if let Some(mshr) = bank.mshr_mut(line) {
                 mshr.waiters.push(id);
                 mshr.dirty |= is_store;
                 self.stats.port[port].accesses += 1;
@@ -326,7 +379,9 @@ impl MemSystem {
 
         if hit {
             let mark_dirty = is_store && config.write_policy == WritePolicy::WriteBack;
-            self.ports[port].banks[bank_idx].array.access(line, mark_dirty);
+            self.ports[port].banks[bank_idx]
+                .array
+                .access(line, mark_dirty);
             self.stats.port[port].hits += 1;
             if is_store && config.write_policy == WritePolicy::WriteThrough {
                 // Write-through traffic into L2 (fire and forget).
@@ -346,10 +401,14 @@ impl MemSystem {
         }
 
         // Primary miss: allocate an MSHR and fetch the line from L2.
-        self.ports[port]
-            .banks[bank_idx]
-            .mshrs
-            .insert(line, Mshr { waiters: vec![id], dirty: is_store });
+        let bank = &mut self.ports[port].banks[bank_idx];
+        let mut waiters = bank.waiter_pool.pop().unwrap_or_default();
+        waiters.push(id);
+        bank.mshrs.push(Mshr {
+            line,
+            waiters,
+            dirty: is_store,
+        });
         let fill_time = self.l2_access(port, line, false, t0);
         self.schedule(fill_time, Event::FillL1 { port, line });
         true
@@ -394,33 +453,88 @@ impl MemSystem {
 
     fn dram_access(&mut self, l2_line: u64, t: u64, is_store: bool) -> u64 {
         let chan_idx = (l2_line % self.shared.dram_channels as u64) as usize;
-        let bank_idx =
-            ((l2_line / self.shared.dram_channels as u64) % self.shared.dram_banks_per_channel as u64) as usize;
+        let bank_idx = ((l2_line / self.shared.dram_channels as u64)
+            % self.shared.dram_banks_per_channel as u64) as usize;
         if is_store {
             self.stats.dram.writes += 1;
         } else {
             self.stats.dram.reads += 1;
         }
         let chan = &mut self.dram[chan_idx];
-        let start = t.max(chan.bus_busy_until).max(chan.bank_busy_until[bank_idx]);
+        let start = t
+            .max(chan.bus_busy_until)
+            .max(chan.bank_busy_until[bank_idx]);
         chan.bus_busy_until = start + self.shared.dram_channel_occupancy;
         chan.bank_busy_until[bank_idx] = start + self.shared.dram_bank_occupancy;
         start + self.shared.dram_latency
     }
 
-    /// Advances the hierarchy by one core cycle, completing due events.
+    /// Advances the hierarchy by one core cycle, completing due events
+    /// (wheel slot first, then due overflow events, each in schedule order).
     pub fn tick(&mut self) {
         self.now += 1;
-        while let Some(&Reverse((t, _, event))) = self.events.peek() {
+        let slot = (self.now & EVENT_WHEEL_MASK) as usize;
+        if !self.wheel[slot].is_empty() {
+            // Drain in place and hand the buffer back: dispatching can only
+            // schedule *future* events (distance ≥ 1), never into this slot.
+            let mut due = std::mem::take(&mut self.wheel[slot]);
+            self.wheel_count -= due.len();
+            for &event in due.iter() {
+                self.dispatch(event);
+            }
+            due.clear();
+            debug_assert!(self.wheel[slot].is_empty());
+            self.wheel[slot] = due;
+        }
+        while let Some(&Reverse((t, _, event))) = self.far_events.peek() {
             if t > self.now {
                 break;
             }
-            self.events.pop();
-            match event {
-                Event::Respond(id) => self.responses.push(id),
-                Event::FillL1 { port, line } => self.fill_l1(port, line),
-            }
+            self.far_events.pop();
+            self.dispatch(event);
         }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Respond(id) => self.responses.push(id),
+            Event::FillL1 { port, line } => self.fill_l1(port, line),
+        }
+    }
+
+    /// Absolute cycle of the earliest pending event, if any. Lets a client
+    /// that is otherwise idle fast-forward to just before the next
+    /// completion instead of ticking through dead cycles.
+    pub fn next_event_time(&self) -> Option<u64> {
+        let far = self.far_events.peek().map(|&Reverse((t, _, _))| t);
+        let near = if self.wheel_count == 0 {
+            None
+        } else {
+            (1..=EVENT_WHEEL as u64)
+                .map(|d| self.now + d)
+                .find(|t| !self.wheel[(t & EVENT_WHEEL_MASK) as usize].is_empty())
+        };
+        match (near, far) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    /// Jumps the clock forward `k` cycles in one step. The caller must
+    /// guarantee no event falls in the skipped range (see
+    /// [`MemSystem::next_event_time`]) and that completed responses have
+    /// been drained; idle cycles carry no other state.
+    pub fn advance_idle(&mut self, k: u64) {
+        debug_assert!(
+            self.responses.is_empty(),
+            "fast-forwarding undrained responses"
+        );
+        debug_assert!(
+            self.next_event_time().is_none_or(|t| t > self.now + k),
+            "fast-forward would skip over a scheduled event"
+        );
+        self.now += k;
     }
 
     fn fill_l1(&mut self, port: usize, line: u64) {
@@ -428,9 +542,11 @@ impl MemSystem {
         let bank_idx = geom.bank_of(line) as usize;
         let hit_lat = self.ports[port].config.hit_latency;
         let bank = &mut self.ports[port].banks[bank_idx];
-        let mshr = bank.mshrs.remove(&line);
-        let (waiters, dirty) = match mshr {
-            Some(m) => (m.waiters, m.dirty),
+        let (mut waiters, dirty) = match bank.mshrs.iter().position(|m| m.line == line) {
+            Some(i) => {
+                let m = bank.mshrs.swap_remove(i);
+                (m.waiters, m.dirty)
+            }
             None => (Vec::new(), false),
         };
         let evicted = bank.array.fill(line, dirty);
@@ -443,9 +559,11 @@ impl MemSystem {
             }
         }
         let respond_at = self.now + hit_lat;
-        for id in waiters {
+        for &id in &waiters {
             self.schedule(respond_at, Event::Respond(id));
         }
+        waiters.clear();
+        self.ports[port].banks[bank_idx].waiter_pool.push(waiters);
     }
 
     /// Returns (and clears) the requests completed since the last call.
@@ -453,9 +571,15 @@ impl MemSystem {
         std::mem::take(&mut self.responses)
     }
 
+    /// Appends the requests completed since the last drain to `out`,
+    /// recycling the caller's buffer instead of allocating per cycle.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<ReqId>) {
+        out.append(&mut self.responses);
+    }
+
     /// Whether any request is still in flight.
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty() && self.responses.is_empty()
+        self.wheel_count == 0 && self.far_events.is_empty() && self.responses.is_empty()
     }
 }
 
@@ -466,7 +590,7 @@ impl std::fmt::Debug for MemSystem {
             "MemSystem {{ ports: {}, cycle: {}, in_flight: {} }}",
             self.ports.len(),
             self.now,
-            self.events.len()
+            self.wheel_count + self.far_events.len()
         )
     }
 }
@@ -498,7 +622,10 @@ mod tests {
         let done = run_until_idle(&mut mem, 10_000);
         assert_eq!(done, vec![1]);
         let miss_time = mem.now();
-        assert!(miss_time > 100, "cold miss should reach DRAM (took {miss_time})");
+        assert!(
+            miss_time > 100,
+            "cold miss should reach DRAM (took {miss_time})"
+        );
 
         // Same line again: must now be an L1 hit, far faster.
         assert!(mem.access(0, 1, false, 2));

@@ -102,7 +102,11 @@ mod tests {
     fn hit_rate_handles_zero() {
         let s = LevelStats::default();
         assert_eq!(s.hit_rate(), 0.0);
-        let s = LevelStats { hits: 3, misses: 1, ..LevelStats::default() };
+        let s = LevelStats {
+            hits: 3,
+            misses: 1,
+            ..LevelStats::default()
+        };
         assert_eq!(s.hit_rate(), 0.75);
     }
 

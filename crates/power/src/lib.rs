@@ -91,10 +91,8 @@ impl EnergyModel {
             + (f.threads_injected + f.threads_retired) as f64 * t.cvu_event;
         let lvc = (f.lv_loads + f.lv_stores) as f64 * t.lvc_access;
         let cvt = (s.cvt.word_reads + s.cvt.word_writes) as f64 * t.cvt_word;
-        let config =
-            s.block_executions as f64 * 108.0 * t.config_per_unit;
-        let core = datapath + transport + lvc + cvt + config
-            + s.cycles as f64 * t.core_static;
+        let config = s.block_executions as f64 * 108.0 * t.config_per_unit;
+        let core = datapath + transport + lvc + cvt + config + s.cycles as f64 * t.core_static;
         // The LVC's cache-transaction side is charged like an L1 port via
         // mem.port[1] inside mem_energy.
         let (l1, l2, dram) = self.mem_energy(&s.mem, s.cycles);
@@ -184,7 +182,12 @@ mod tests {
 
     #[test]
     fn breakdown_levels_accumulate() {
-        let e = EnergyBreakdown { core: 1.0, l1: 2.0, l2: 3.0, dram: 4.0 };
+        let e = EnergyBreakdown {
+            core: 1.0,
+            l1: 2.0,
+            l2: 3.0,
+            dram: 4.0,
+        };
         assert_eq!(e.core_level(), 1.0);
         assert_eq!(e.die_level(), 6.0);
         assert_eq!(e.system_level(), 10.0);

@@ -42,6 +42,10 @@ pub struct SgmfConfig {
     pub max_replicas: u32,
     /// Safety valve for runaway kernels.
     pub cycle_limit: u64,
+    /// Skip idle simulation cycles when only a scheduled token or memory
+    /// completion is pending (simulator-speed knob; statistics are
+    /// identical either way).
+    pub fast_forward: bool,
 }
 
 impl Default for SgmfConfig {
@@ -56,6 +60,7 @@ impl Default for SgmfConfig {
             config_cycles,
             max_replicas: 8,
             cycle_limit: 2_000_000_000,
+            fast_forward: true,
         }
     }
 }
@@ -67,6 +72,9 @@ pub enum SgmfError {
     Unmappable(IfConvertError),
     /// Even a single replica failed place & route.
     PlacementFailed,
+    /// The mapped graph could not be loaded onto the fabric (e.g. its
+    /// timing envelope exceeds the maximum timing wheel).
+    Configure(String),
     /// Runaway kernel.
     CycleLimit {
         /// The limit that was hit.
@@ -79,6 +87,7 @@ impl fmt::Display for SgmfError {
         match self {
             SgmfError::Unmappable(e) => write!(f, "kernel not SGMF-mappable: {e}"),
             SgmfError::PlacementFailed => write!(f, "place & route failed"),
+            SgmfError::Configure(msg) => write!(f, "fabric configuration rejected: {msg}"),
             SgmfError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
         }
     }
@@ -162,7 +171,11 @@ impl SgmfProcessor {
     pub fn new(config: SgmfConfig) -> SgmfProcessor {
         let fabric = Fabric::new(config.grid.clone(), config.fabric);
         let mem = MemSystem::new(vec![config.l1], config.shared);
-        SgmfProcessor { config, fabric, mem }
+        SgmfProcessor {
+            config,
+            fabric,
+            mem,
+        }
     }
 
     /// The active configuration.
@@ -186,22 +199,51 @@ impl SgmfProcessor {
         self.fabric.reset_stats();
         let start = self.fabric.cycle();
         let mem_before = self.mem.stats().clone();
-        self.fabric.configure(&dfg, &placements, &launch.params);
+        self.fabric
+            .configure(&dfg, &placements, &launch.params)
+            .map_err(SgmfError::Configure)?;
         for tid in 0..launch.num_threads {
             self.fabric.inject(tid);
         }
+        let mut resp_buf = Vec::new();
+        let mut retire_buf = Vec::new();
         while !self.fabric.is_drained() {
+            // Idle fast-forward, as in the VGIW processor: skip to one
+            // cycle before the next scheduled event when nothing can fire.
+            if self.config.fast_forward && self.fabric.is_quiescent() {
+                let now = self.fabric.cycle();
+                debug_assert_eq!(now, self.mem.now(), "clocks out of lockstep");
+                let next = match (self.fabric.next_wheel_event(), self.mem.next_event_time()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+                if let Some(t) = next {
+                    if t > now + 1 {
+                        let k = t - now - 1;
+                        self.fabric.advance_idle(k);
+                        self.mem.advance_idle(k);
+                    }
+                }
+            }
             {
-                let mut env = SgmfEnv { image, mem: &mut self.mem };
+                let mut env = SgmfEnv {
+                    image,
+                    mem: &mut self.mem,
+                };
                 self.fabric.tick(&mut env);
             }
             self.mem.tick();
-            for id in self.mem.drain_responses() {
+            self.mem.drain_responses_into(&mut resp_buf);
+            for id in resp_buf.drain(..) {
                 self.fabric.on_mem_response(id);
             }
-            self.fabric.drain_retired();
+            self.fabric.drain_retired_into(&mut retire_buf);
+            retire_buf.clear();
             if self.fabric.cycle() - start > self.config.cycle_limit {
-                return Err(SgmfError::CycleLimit { limit: self.config.cycle_limit });
+                return Err(SgmfError::CycleLimit {
+                    limit: self.config.cycle_limit,
+                });
             }
         }
 
@@ -229,7 +271,6 @@ impl SgmfProcessor {
         Ok(placements)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

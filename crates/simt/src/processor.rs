@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use vgiw_ir::{
-    cfg, eval_fma, eval_select, BlockId, Inst, Kernel, Launch, MemoryImage, OpClass, Operand,
-    Reg, Terminator, Word,
+    cfg, eval_fma, eval_select, BlockId, Inst, Kernel, Launch, MemoryImage, OpClass, Operand, Reg,
+    Terminator, Word,
 };
 use vgiw_mem::MemSystem;
 
@@ -123,7 +123,11 @@ impl SimtProcessor {
             while (active.len() as u32) < cfg.max_warps && *next_warp < total_warps {
                 let base_tid = *next_warp * warp_size;
                 let lanes = (launch.num_threads - base_tid).min(warp_size);
-                let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+                let mask = if lanes == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << lanes) - 1
+                };
                 warps.push(Warp {
                     base_tid,
                     stack: SimtStack::new(mask),
@@ -156,7 +160,9 @@ impl SimtProcessor {
         while next_warp < total_warps || !active.is_empty() {
             cycle += 1;
             if cycle > cfg.cycle_limit {
-                return Err(SimtError::CycleLimit { limit: cfg.cycle_limit });
+                return Err(SimtError::CycleLimit {
+                    limit: cfg.cycle_limit,
+                });
             }
 
             // Writebacks due this cycle.
@@ -175,23 +181,20 @@ impl SimtProcessor {
             // Memory system.
             self.mem.tick();
             for id in self.mem.drain_responses() {
-                if let Some((w, dst)) = txn_owner.remove(&id) {
-                    if let Some(dst) = dst {
-                        let warp = &mut warps[w];
-                        warp.load_outstanding[dst.index()] -= 1;
-                        // The register completes only when no transaction of
-                        // its load is in flight *or still waiting to enter
-                        // the cache* (early responses must not release the
-                        // scoreboard while siblings are queued).
-                        let still_queued =
-                            warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
-                        if warp.load_outstanding[dst.index()] == 0
-                            && !still_queued
-                            && warp.pending[dst.index()]
-                        {
-                            warp.pending[dst.index()] = false;
-                            warp.pending_count -= 1;
-                        }
+                if let Some((w, Some(dst))) = txn_owner.remove(&id) {
+                    let warp = &mut warps[w];
+                    warp.load_outstanding[dst.index()] -= 1;
+                    // The register completes only when no transaction of
+                    // its load is in flight *or still waiting to enter
+                    // the cache* (early responses must not release the
+                    // scoreboard while siblings are queued).
+                    let still_queued = warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
+                    if warp.load_outstanding[dst.index()] == 0
+                        && !still_queued
+                        && warp.pending[dst.index()]
+                    {
+                        warp.pending[dst.index()] = false;
+                        warp.pending_count -= 1;
                     }
                 }
             }
@@ -316,16 +319,10 @@ impl SimtProcessor {
             let class = inst.op_class();
             let mut alu_group: Option<usize> = None;
             match class {
-                Some(OpClass::Special) => {
-                    if *sfu_busy_until > cycle {
-                        return false;
-                    }
-                }
-                _ if inst.is_memory() => {
-                    if *ldst_busy_until > cycle {
-                        return false;
-                    }
-                }
+                Some(OpClass::Special) if *sfu_busy_until > cycle => return false,
+                Some(OpClass::Special) => {}
+                _ if inst.is_memory() && *ldst_busy_until > cycle => return false,
+                _ if inst.is_memory() => {}
                 Some(OpClass::IntAlu) | Some(OpClass::FpAlu) => {
                     alu_group = alu_busy_until.iter().position(|&b| b <= cycle);
                     if alu_group.is_none() {
@@ -430,7 +427,11 @@ impl SimtProcessor {
                     }
                     true
                 }
-                Terminator::Branch { cond, taken, not_taken } => {
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
                     if let Some(r) = cond.reg() {
                         if warp.pending[r.index()] {
                             return false;
@@ -486,7 +487,11 @@ fn exec_lane(warp: &mut Warp, lane: u32, inst: &Inst, launch: &Launch) {
     match *inst {
         Inst::Const { dst, value } => write_reg(warp, lane, dst, value),
         Inst::Param { dst, index } => {
-            let v = launch.params.get(index as usize).copied().unwrap_or(Word::ZERO);
+            let v = launch
+                .params
+                .get(index as usize)
+                .copied()
+                .unwrap_or(Word::ZERO);
             write_reg(warp, lane, dst, v);
         }
         Inst::ThreadId { dst } => {
@@ -500,7 +505,12 @@ fn exec_lane(warp: &mut Warp, lane: u32, inst: &Inst, launch: &Launch) {
             let v = op.eval(read_op(warp, lane, lhs), read_op(warp, lane, rhs));
             write_reg(warp, lane, dst, v);
         }
-        Inst::Select { dst, cond, on_true, on_false } => {
+        Inst::Select {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => {
             let v = eval_select(
                 read_op(warp, lane, cond),
                 read_op(warp, lane, on_true),
@@ -542,7 +552,6 @@ fn count_rf_operand(op: Operand, stats: &mut SimtRunStats) {
         stats.rf_reads += 1;
     }
 }
-
 
 #[cfg(test)]
 mod tests {

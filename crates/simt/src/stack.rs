@@ -33,7 +33,11 @@ impl SimtStack {
     /// A fresh stack: all of `mask` starts at the kernel entry block.
     pub fn new(mask: LaneMask) -> SimtStack {
         SimtStack {
-            entries: vec![StackEntry { block: BlockId::ENTRY, rpc: None, mask }],
+            entries: vec![StackEntry {
+                block: BlockId::ENTRY,
+                rpc: None,
+                mask,
+            }],
         }
     }
 
@@ -124,12 +128,18 @@ impl SimtStack {
                 parent.block = r;
                 // parent.rpc unchanged; parent.mask unchanged (union).
                 if not_taken != r {
-                    self.entries
-                        .push(StackEntry { block: not_taken, rpc: Some(r), mask: nt_mask });
+                    self.entries.push(StackEntry {
+                        block: not_taken,
+                        rpc: Some(r),
+                        mask: nt_mask,
+                    });
                 }
                 if taken != r {
-                    self.entries
-                        .push(StackEntry { block: taken, rpc: Some(r), mask: taken_mask });
+                    self.entries.push(StackEntry {
+                        block: taken,
+                        rpc: Some(r),
+                        mask: taken_mask,
+                    });
                 }
             }
             None => {
@@ -137,8 +147,16 @@ impl SimtStack {
                 // re-merge; replace the parent entirely.
                 let parent_rpc = parent.rpc;
                 self.entries.pop();
-                self.entries.push(StackEntry { block: not_taken, rpc: parent_rpc, mask: nt_mask });
-                self.entries.push(StackEntry { block: taken, rpc: parent_rpc, mask: taken_mask });
+                self.entries.push(StackEntry {
+                    block: not_taken,
+                    rpc: parent_rpc,
+                    mask: nt_mask,
+                });
+                self.entries.push(StackEntry {
+                    block: taken,
+                    rpc: parent_rpc,
+                    mask: taken_mask,
+                });
             }
         }
         self.top().expect("divergent branch leaves entries").block
@@ -222,7 +240,7 @@ mod tests {
         s.branch(BlockId(2), BlockId(3), 0b11, Some(BlockId(3)));
         assert_eq!(s.depth(), 1, "uniform loop branch needs no push");
         s.jump(BlockId(1)); // back edge
-        // One lane leaves the loop, one stays.
+                            // One lane leaves the loop, one stays.
         s.branch(BlockId(2), BlockId(3), 0b01, Some(BlockId(3)));
         assert_eq!(s.active_mask(), 0b01);
         s.jump(BlockId(1));

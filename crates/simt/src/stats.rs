@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn rf_accesses_sums() {
-        let s = SimtRunStats { rf_reads: 3, rf_writes: 2, ..SimtRunStats::default() };
+        let s = SimtRunStats {
+            rf_reads: 3,
+            rf_writes: 2,
+            ..SimtRunStats::default()
+        };
         assert_eq!(s.rf_accesses(), 5);
     }
 }

@@ -113,8 +113,10 @@ fn more_resident_warps_hide_latency() {
     };
     let launch = Launch::new(2048, vec![Word::from_u32(0), Word::from_u32(2048)]);
     let cycles_with = |warps: u32| {
-        let mut cfg = SimtConfig::default();
-        cfg.max_warps = warps;
+        let cfg = SimtConfig {
+            max_warps: warps,
+            ..SimtConfig::default()
+        };
         let mut p = SimtProcessor::new(cfg);
         let mut mem = MemoryImage::new(4096 + 64);
         p.run(&kernel, &launch, &mut mem).unwrap().cycles

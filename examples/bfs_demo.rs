@@ -53,8 +53,13 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    let mut launcher = TracingVgiw { inner: vgiw::core::VgiwProcessor::default(), level: 0 };
-    bench.run(&mut launcher).expect("BFS must verify against the golden image");
+    let mut launcher = TracingVgiw {
+        inner: vgiw::core::VgiwProcessor::default(),
+        level: 0,
+    };
+    bench
+        .run(&mut launcher)
+        .expect("BFS must verify against the golden image");
     println!("\nBFS result verified bit-exact against the reference interpreter.");
     println!("frontier levels executed: {}", launcher.level);
 }

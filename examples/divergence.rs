@@ -72,7 +72,10 @@ fn main() {
     let mk = || {
         let mut mem = MemoryImage::new(2 * threads as usize);
         let base = mem.alloc(threads);
-        (mem, Launch::new(threads, vec![Word::from_u32(base), Word::from_u32(threads)]))
+        (
+            mem,
+            Launch::new(threads, vec![Word::from_u32(base), Word::from_u32(threads)]),
+        )
     };
 
     // VGIW: control flow coalescing.

@@ -36,7 +36,10 @@ fn main() {
     let threads = 4096u32;
     let mut mem = MemoryImage::new(2 * threads as usize);
     let out_base = mem.alloc(threads);
-    let launch = Launch::new(threads, vec![Word::from_u32(out_base), Word::from_u32(threads)]);
+    let launch = Launch::new(
+        threads,
+        vec![Word::from_u32(out_base), Word::from_u32(threads)],
+    );
 
     let mut proc = VgiwProcessor::default();
     let stats = proc.run(&kernel, &launch, &mut mem).expect("kernel runs");

@@ -81,7 +81,10 @@ fn main() {
     let ge = model.sgmf(&gs);
 
     println!("saxpy, n = {n}: y[100] = {}", golden.read_f32(yb + 100));
-    println!("\n{:<22} {:>12} {:>16}", "machine", "cycles", "energy (nJ, sys)");
+    println!(
+        "\n{:<22} {:>12} {:>16}",
+        "machine", "cycles", "energy (nJ, sys)"
+    );
     println!(
         "{:<22} {:>12} {:>16.1}",
         "VGIW",

@@ -73,7 +73,8 @@ fn sgmf_matches_or_declines() {
             }
             Err(e) => {
                 assert!(
-                    e.contains("not SGMF-mappable") || e.contains("loops")
+                    e.contains("not SGMF-mappable")
+                        || e.contains("loops")
                         || e.contains("capacity"),
                     "{}: unexpected SGMF failure: {e}",
                     bench.app

@@ -5,22 +5,26 @@
 //! The generator covers arithmetic, loads/stores (address-masked into the
 //! image), nested if/else, and bounded counted loops — the whole IR
 //! surface the suite uses.
+//!
+//! Randomness comes from the workspace's deterministic SplitMix64
+//! generator (no external proptest dependency — the CI sandbox builds
+//! offline); every failure is reproducible from the printed case seed.
 
-use proptest::prelude::*;
 use vgiw::compiler::GridSpec;
 use vgiw::core::VgiwProcessor;
 use vgiw::ir::{interp, BinaryOp, Kernel, KernelBuilder, Launch, MemoryImage, Val, Word};
 use vgiw::sgmf::{is_mappable, SgmfProcessor};
 use vgiw::simt::SimtProcessor;
+use vgiw_kernels::util::SplitMix64;
 
 const MEM_WORDS: u32 = 512;
 /// High bits of an address come from the generated value...
 const ADDR_HI_MASK: u32 = 0x180;
-/// ...and the low bits are the thread ID, so every thread touches only its
-/// own slots. Cross-thread races are order-dependent by construction
-/// (the interpreter serializes threads; the machines interleave them), and
-/// the paper's data-parallel premise excludes them — as do the suite's
-/// kernels.
+// ...and the low bits are the thread ID, so every thread touches only its
+// own slots. Cross-thread races are order-dependent by construction
+// (the interpreter serializes threads; the machines interleave them), and
+// the paper's data-parallel premise excludes them — as do the suite's
+// kernels.
 
 /// A generated statement.
 #[derive(Clone, Debug)]
@@ -37,21 +41,36 @@ enum Stmt {
     Loop(usize, Vec<Stmt>),
 }
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0u8..12, any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Stmt::Binary(op, a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Stmt::Store(a, b)),
-        any::<usize>().prop_map(Stmt::Load),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (any::<usize>(), prop::collection::vec(inner.clone(), 1..4),
-             prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(c, t, e)| Stmt::IfElse(c, t, e)),
-            (any::<usize>(), prop::collection::vec(inner, 1..4))
-                .prop_map(|(c, b)| Stmt::Loop(c, b)),
-        ]
-    })
+/// Generates `len` random statements with up to `depth` levels of nesting,
+/// mirroring the old proptest strategy's shape.
+fn gen_stmts(r: &mut SplitMix64, len: usize, depth: u32) -> Vec<Stmt> {
+    (0..len)
+        .map(|_| {
+            let roll = r.gen_range_u32(if depth > 0 { 5 } else { 3 });
+            match roll {
+                0 => Stmt::Binary(
+                    r.next_u32() as u8,
+                    r.next_u32() as usize,
+                    r.next_u32() as usize,
+                ),
+                1 => Stmt::Store(r.next_u32() as usize, r.next_u32() as usize),
+                2 => Stmt::Load(r.next_u32() as usize),
+                3 => {
+                    let then_len = 1 + r.gen_range_u32(3) as usize;
+                    let else_len = r.gen_range_u32(3) as usize;
+                    Stmt::IfElse(
+                        r.next_u32() as usize,
+                        gen_stmts(r, then_len, depth - 1),
+                        gen_stmts(r, else_len, depth - 1),
+                    )
+                }
+                _ => {
+                    let body_len = 1 + r.gen_range_u32(3) as usize;
+                    Stmt::Loop(r.next_u32() as usize, gen_stmts(r, body_len, depth - 1))
+                }
+            }
+        })
+        .collect()
 }
 
 fn binop(code: u8) -> BinaryOp {
@@ -162,18 +181,14 @@ fn build_kernel(stmts: &[Stmt]) -> Kernel {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn vgiw_and_simt_match_interpreter(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..8),
-        threads in 1u32..80,
-    ) {
+#[test]
+fn vgiw_and_simt_match_interpreter() {
+    for case in 0..24u64 {
+        let seed = 0xEC0_0515 ^ (case * 0x9E37_79B9);
+        let mut r = SplitMix64::new(seed);
+        let len = 1 + r.gen_range_u32(7) as usize;
+        let stmts = gen_stmts(&mut r, len, 2);
+        let threads = 1 + r.gen_range_u32(79);
         let kernel = build_kernel(&stmts);
         let launch = Launch::new(threads, vec![Word::from_u32(64)]);
 
@@ -184,14 +199,14 @@ proptest! {
         let mut vgiw = VgiwProcessor::default();
         vgiw.run(&kernel, &launch, &mut got_v).expect("vgiw");
         for a in 0..MEM_WORDS {
-            prop_assert_eq!(got_v.read(a), golden.read(a), "vgiw word {}", a);
+            assert_eq!(got_v.read(a), golden.read(a), "seed {seed}: vgiw word {a}");
         }
 
         let mut got_s = MemoryImage::new(MEM_WORDS as usize);
         let mut simt = SimtProcessor::default();
         simt.run(&kernel, &launch, &mut got_s).expect("simt");
         for a in 0..MEM_WORDS {
-            prop_assert_eq!(got_s.read(a), golden.read(a), "simt word {}", a);
+            assert_eq!(got_s.read(a), golden.read(a), "seed {seed}: simt word {a}");
         }
 
         if is_mappable(&kernel, &GridSpec::paper()) {
@@ -199,27 +214,28 @@ proptest! {
             let mut sgmf = SgmfProcessor::default();
             sgmf.run(&kernel, &launch, &mut got_g).expect("sgmf");
             for a in 0..MEM_WORDS {
-                prop_assert_eq!(got_g.read(a), golden.read(a), "sgmf word {}", a);
+                assert_eq!(got_g.read(a), golden.read(a), "seed {seed}: sgmf word {a}");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// CVT invariant: however batches move threads around, each thread is
-    /// registered in at most one vector, and none are lost.
-    #[test]
-    fn cvt_conserves_threads(
-        moves in prop::collection::vec((0usize..4, 0usize..4), 0..40),
-        tile in 1u32..200,
-    ) {
-        use vgiw::core::Cvt;
+/// CVT invariant: however batches move threads around, each thread is
+/// registered in at most one vector, and none are lost.
+#[test]
+fn cvt_conserves_threads() {
+    use vgiw::core::Cvt;
+    for case in 0..64u64 {
+        let seed = 0xCE7_0001 ^ (case * 0x9E37_79B9);
+        let mut r = SplitMix64::new(seed);
+        let tile = 1 + r.gen_range_u32(199);
+        let n_moves = r.gen_range_u32(40) as usize;
         let mut cvt = Cvt::new(4, tile);
         cvt.arm_entry();
         let mut total = tile;
-        for (from, to) in moves {
+        for _ in 0..n_moves {
+            let from = r.gen_range_u32(4) as usize;
+            let to = r.gen_range_u32(4) as usize;
             let from_id = vgiw::ir::BlockId(from as u32);
             let to_id = vgiw::ir::BlockId(to as u32);
             let batches = cvt.take_batches(from_id);
@@ -231,26 +247,31 @@ proptest! {
                     cvt.or_batch(to_id, b);
                 }
             }
-            prop_assert_eq!(cvt.total_pending(), total);
+            assert_eq!(cvt.total_pending(), total, "seed {seed}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// Batch packets round-trip thread IDs exactly.
-    #[test]
-    fn thread_batches_round_trip(base_word in 0u32..100, bits in any::<u64>()) {
-        use vgiw::core::ThreadBatch;
-        let batch = ThreadBatch { base: base_word * 64, bitmap: bits };
+/// Batch packets round-trip thread IDs exactly.
+#[test]
+fn thread_batches_round_trip() {
+    use vgiw::core::ThreadBatch;
+    for case in 0..64u64 {
+        let seed = 0xBA7C_0002 ^ (case * 0x9E37_79B9);
+        let mut r = SplitMix64::new(seed);
+        let base_word = r.gen_range_u32(100);
+        let bits = r.next_u64();
+        let batch = ThreadBatch {
+            base: base_word * 64,
+            bitmap: bits,
+        };
         let tids: Vec<u32> = batch.iter().collect();
-        prop_assert_eq!(tids.len() as u32, batch.len());
+        assert_eq!(tids.len() as u32, batch.len(), "seed {seed}");
         let mut rebuilt = 0u64;
         for t in &tids {
-            prop_assert!(*t >= batch.base && *t < batch.base + 64);
+            assert!(*t >= batch.base && *t < batch.base + 64, "seed {seed}");
             rebuilt |= 1 << (t - batch.base);
         }
-        prop_assert_eq!(rebuilt, bits);
+        assert_eq!(rebuilt, bits, "seed {seed}");
     }
 }
