@@ -14,4 +14,19 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> golden cycle counts (per app, per machine)"
+# Simulated cycle counts are part of the repo's contract: simulator-speed
+# work (event-driven fabric, fast-forward, worker pools) must never change
+# them. Any intentional timing-model change must regenerate this baseline
+# and explain the delta.
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
+done > "$tmp"
+diff golden_cycles.txt "$tmp" || {
+    echo "ci: simulated cycle counts changed (see diff above)" >&2
+    exit 1
+}
+
 echo "ci: OK"

@@ -11,25 +11,54 @@
 //! threads (default: all host threads); results are identical to the
 //! serial run. `perf` times the suite serially and in parallel, prints a
 //! simulator-performance report and writes `BENCH_perf.json`.
+//!
+//! `--only APP` restricts every suite-running mode to one benchmark
+//! (case-insensitive app name, e.g. `--only lavamd`). `--machine M`
+//! (`vgiw`, `simt` or `sgmf`) runs just that machine and prints a per-app
+//! cycle table instead of the cross-machine figures; it combines with
+//! `all` (the default `what`) and `--only`, not with figure or `perf`
+//! modes, which inherently compare machines.
 
+use vgiw_bench::harness::{measure_machine, MachineKind};
 use vgiw_bench::report;
+use vgiw_kernels::Benchmark;
 
 fn main() {
     let mut jobs: Option<usize> = None;
+    let mut only: Option<String> = None;
+    let mut machine: Option<MachineKind> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--jobs" {
-            let v = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--jobs needs a positive integer");
-                std::process::exit(2);
-            });
-            jobs = Some(v);
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+        let mut flag_value = |name: &str| -> Option<String> {
+            if arg == name {
+                Some(args.next().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                }))
+            } else {
+                arg.strip_prefix(name)
+                    .and_then(|r| r.strip_prefix('='))
+                    .map(str::to_string)
+            }
+        };
+        if let Some(v) = flag_value("--jobs") {
             jobs = Some(v.parse().unwrap_or_else(|_| {
                 eprintln!("--jobs needs a positive integer");
                 std::process::exit(2);
             }));
+        } else if let Some(v) = flag_value("--only") {
+            only = Some(v);
+        } else if let Some(v) = flag_value("--machine") {
+            machine = Some(match v.as_str() {
+                "vgiw" => MachineKind::Vgiw,
+                "simt" => MachineKind::Simt,
+                "sgmf" => MachineKind::Sgmf,
+                other => {
+                    eprintln!("--machine must be vgiw, simt or sgmf, not '{other}'");
+                    std::process::exit(2);
+                }
+            });
         } else {
             positional.push(arg);
         }
@@ -38,14 +67,56 @@ fn main() {
     let scale: u32 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
 
+    let filtered = |scale: u32| -> Vec<Benchmark> {
+        let mut benches = vgiw_kernels::suite(scale);
+        if let Some(name) = &only {
+            benches.retain(|b| b.app.eq_ignore_ascii_case(name));
+            if benches.is_empty() {
+                eprintln!("--only {name}: no such app in the suite");
+                std::process::exit(2);
+            }
+        }
+        benches
+    };
+
+    if let Some(kind) = machine {
+        if what != "all" {
+            eprintln!("--machine only combines with 'all' (figure/perf modes compare machines)");
+            std::process::exit(2);
+        }
+        let benches = filtered(scale);
+        eprintln!(
+            "running {} on {} benchmark(s) (scale {scale})...",
+            kind.name(),
+            benches.len()
+        );
+        println!("  app      machine      cycles    launches     threads");
+        for bench in &benches {
+            let (result, _) = measure_machine(bench, kind);
+            match result {
+                Ok(r) => println!(
+                    "  {:<8} {:<6} {:>10} {:>11} {:>11}",
+                    bench.app,
+                    kind.name(),
+                    r.cycles,
+                    r.launches,
+                    r.threads
+                ),
+                Err(e) => println!("  {:<8} {:<6} n/a ({e})", bench.app, kind.name()),
+            }
+        }
+        return;
+    }
+
     match what {
         "table1" => print!("{}", report::table1()),
-        "table2" => print!("{}", report::table2(&vgiw_kernels::suite(scale))),
-        "mappability" => print!("{}", report::mappability(&vgiw_kernels::suite(scale))),
+        "table2" => print!("{}", report::table2(&filtered(scale))),
+        "mappability" => print!("{}", report::mappability(&filtered(scale))),
         "ablations" => print!("{}", report::ablations(scale)),
         "perf" => {
+            let benches = filtered(scale);
             eprintln!("timing suite (scale {scale}): serial, then {jobs} jobs...");
-            let perf = vgiw_bench::measure_perf(scale, jobs);
+            let perf = vgiw_bench::measure_perf_on(&benches, scale, jobs);
             print!("{}", perf.summary());
             let path = "BENCH_perf.json";
             std::fs::write(path, perf.to_json())
@@ -54,7 +125,7 @@ fn main() {
         }
         "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
             eprintln!("running suite (scale {scale}, {jobs} jobs)...");
-            let results = report::run_suite_jobs(scale, jobs);
+            let results = vgiw_bench::harness::measure_suite(&filtered(scale), jobs);
             let text = match what {
                 "fig3" => report::fig3(&results),
                 "fig7" => report::fig7(&results),
@@ -69,13 +140,13 @@ fn main() {
         "all" => {
             print!("{}", report::table1());
             println!();
-            let benches = vgiw_kernels::suite(scale);
+            let benches = filtered(scale);
             print!("{}", report::table2(&benches));
             println!();
             print!("{}", report::mappability(&benches));
             println!();
             eprintln!("running suite on all machines (scale {scale}, {jobs} jobs)...");
-            let results = report::run_suite_jobs(scale, jobs);
+            let results = vgiw_bench::harness::measure_suite(&benches, jobs);
             for text in [
                 report::fig3(&results),
                 report::fig7(&results),

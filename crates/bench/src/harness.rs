@@ -63,6 +63,9 @@ pub struct VgiwLauncher {
     /// Wall-clock seconds spent compiling kernels (the rest of a launch's
     /// wall time is simulation).
     pub compile_s: f64,
+    /// Simulation events processed: node firings plus tokens delivered
+    /// (the units of work of the event-driven fabric core).
+    pub events: u64,
 }
 
 impl VgiwLauncher {
@@ -75,7 +78,13 @@ impl VgiwLauncher {
             result: MachineResult::default(),
             runs: Vec::new(),
             compile_s: 0.0,
+            events: 0,
         }
+    }
+
+    /// Idle cycles the processor fast-forwarded over so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.proc.cycles_skipped()
     }
 }
 
@@ -111,6 +120,7 @@ impl Launcher for VgiwLauncher {
         self.result.launches += 1;
         self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.vgiw(&stats));
+        self.events += stats.fabric.firings + stats.fabric.tokens_delivered;
         self.runs.push(stats);
         Ok(())
     }
@@ -122,6 +132,9 @@ pub struct SimtLauncher {
     model: EnergyModel,
     /// Aggregated results.
     pub result: MachineResult,
+    /// Simulation events processed: warp instructions issued plus memory
+    /// transactions (the SIMT model has no cycle skipping).
+    pub events: u64,
 }
 
 impl SimtLauncher {
@@ -131,6 +144,7 @@ impl SimtLauncher {
             proc: SimtProcessor::new(config),
             model: EnergyModel::new(),
             result: MachineResult::default(),
+            events: 0,
         }
     }
 }
@@ -157,6 +171,7 @@ impl Launcher for SimtLauncher {
         self.result.launches += 1;
         self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.simt(&stats));
+        self.events += stats.warp_insts + stats.mem_transactions;
         Ok(())
     }
 }
@@ -167,6 +182,8 @@ pub struct SgmfLauncher {
     model: EnergyModel,
     /// Aggregated results.
     pub result: MachineResult,
+    /// Simulation events processed: node firings plus tokens delivered.
+    pub events: u64,
 }
 
 impl SgmfLauncher {
@@ -176,7 +193,13 @@ impl SgmfLauncher {
             proc: SgmfProcessor::new(config),
             model: EnergyModel::new(),
             result: MachineResult::default(),
+            events: 0,
         }
+    }
+
+    /// Idle cycles the processor fast-forwarded over so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.proc.cycles_skipped()
     }
 }
 
@@ -201,6 +224,7 @@ impl Launcher for SgmfLauncher {
         self.result.launches += 1;
         self.result.threads += launch.num_threads as u64;
         self.result.add_energy(self.model.sgmf(&stats));
+        self.events += stats.fabric.firings + stats.fabric.tokens_delivered;
         Ok(())
     }
 }
@@ -298,6 +322,12 @@ pub struct MachinePerf {
     pub cycles: u64,
     /// Threads launched during those seconds.
     pub threads: u64,
+    /// Simulation events processed (firings + tokens for the dataflow
+    /// machines; warp instructions + memory transactions for SIMT).
+    pub events: u64,
+    /// Idle cycles the simulator skipped instead of ticking (zero for
+    /// SIMT, which has no cycle skipping).
+    pub cycles_skipped: u64,
 }
 
 impl MachinePerf {
@@ -309,6 +339,11 @@ impl MachinePerf {
     /// Threads retired per wall-clock second of simulation.
     pub fn threads_per_sec(&self) -> f64 {
         self.threads as f64 / self.simulate_s.max(1e-12)
+    }
+
+    /// Simulation events processed per wall-clock second of simulation.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.simulate_s.max(1e-12)
     }
 }
 
@@ -336,20 +371,21 @@ pub fn measure_machine(
     kind: MachineKind,
 ) -> (Result<MachineResult, String>, MachinePerf) {
     let t0 = Instant::now();
-    let (result, compile_s) = match kind {
+    let (result, compile_s, events, cycles_skipped) = match kind {
         MachineKind::Vgiw => {
             let mut vgiw = VgiwLauncher::default();
             bench
                 .run(&mut vgiw)
                 .unwrap_or_else(|e| panic!("VGIW failed on {}: {e}", bench.app));
-            (Ok(vgiw.result), vgiw.compile_s)
+            let skipped = vgiw.cycles_skipped();
+            (Ok(vgiw.result), vgiw.compile_s, vgiw.events, skipped)
         }
         MachineKind::Simt => {
             let mut simt = SimtLauncher::default();
             bench
                 .run(&mut simt)
                 .unwrap_or_else(|e| panic!("SIMT failed on {}: {e}", bench.app));
-            (Ok(simt.result), 0.0)
+            (Ok(simt.result), 0.0, simt.events, 0)
         }
         MachineKind::Sgmf => {
             let mut sgmf = SgmfLauncher::default();
@@ -362,7 +398,8 @@ pub fn measure_machine(
                 Err(e) if e.contains("not SGMF-mappable") => Err(e),
                 Err(e) => panic!("SGMF failed functionally on {}: {e}", bench.app),
             };
-            (r, 0.0)
+            let skipped = sgmf.cycles_skipped();
+            (r, 0.0, sgmf.events, skipped)
         }
     };
     let wall_s = t0.elapsed().as_secs_f64();
@@ -375,6 +412,8 @@ pub fn measure_machine(
         simulate_s: (wall_s - compile_s).max(0.0),
         cycles,
         threads,
+        events,
+        cycles_skipped,
     };
     (result, perf)
 }

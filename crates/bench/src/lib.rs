@@ -13,4 +13,4 @@ pub use harness::{
     measure, measure_machine, measure_suite, measure_suite_with_perf, AppPerf, AppResult,
     MachineKind, MachinePerf, MachineResult, SgmfLauncher, SimtLauncher, VgiwLauncher,
 };
-pub use perf::{measure_perf, SuitePerf};
+pub use perf::{measure_perf, measure_perf_on, SuitePerf};

@@ -13,6 +13,8 @@ pub struct SuitePerf {
     pub scale: u32,
     /// Worker-pool width used for the parallel run.
     pub jobs: usize,
+    /// Hardware threads available to this process (cgroup-aware).
+    pub host_threads: usize,
     /// Wall-clock seconds of the serial (`jobs = 1`) suite run.
     pub serial_wall_s: f64,
     /// Wall-clock seconds of the parallel suite run.
@@ -28,14 +30,22 @@ pub struct SuitePerf {
 /// Panics if the parallel run's statistics differ from the serial run's:
 /// that would mean the worker pool changed simulation results.
 pub fn measure_perf(scale: u32, jobs: usize) -> SuitePerf {
-    let benches = vgiw_kernels::suite(scale);
+    measure_perf_on(&vgiw_kernels::suite(scale), scale, jobs)
+}
+
+/// [`measure_perf`] on an explicit (possibly filtered) benchmark list.
+///
+/// # Panics
+/// As [`measure_perf`].
+pub fn measure_perf_on(benches: &[vgiw_kernels::Benchmark], scale: u32, jobs: usize) -> SuitePerf {
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
 
     let t0 = Instant::now();
-    let (serial_results, apps) = measure_suite_with_perf(&benches, 1);
+    let (serial_results, apps) = measure_suite_with_perf(benches, 1);
     let serial_wall_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let (parallel_results, _) = measure_suite_with_perf(&benches, jobs);
+    let (parallel_results, _) = measure_suite_with_perf(benches, jobs);
     let parallel_wall_s = t1.elapsed().as_secs_f64();
 
     for (s, p) in serial_results.iter().zip(&parallel_results) {
@@ -49,6 +59,7 @@ pub fn measure_perf(scale: u32, jobs: usize) -> SuitePerf {
     SuitePerf {
         scale,
         jobs,
+        host_threads,
         serial_wall_s,
         parallel_wall_s,
         apps,
@@ -56,9 +67,13 @@ pub fn measure_perf(scale: u32, jobs: usize) -> SuitePerf {
 }
 
 impl SuitePerf {
-    /// Parallel speedup over the serial run.
-    pub fn speedup(&self) -> f64 {
-        self.serial_wall_s / self.parallel_wall_s.max(1e-12)
+    /// Parallel speedup over the serial run, or `None` on a single-CPU
+    /// host, where the worker pool cannot actually run concurrently and a
+    /// "speedup" near 1.0 would just be scheduler noise. (The parallel run
+    /// still happens either way: its results-equality assertion is a
+    /// determinism check, not a performance one.)
+    pub fn speedup(&self) -> Option<f64> {
+        (self.host_threads > 1).then(|| self.serial_wall_s / self.parallel_wall_s.max(1e-12))
     }
 
     /// Total compile seconds across all apps (serial run).
@@ -90,23 +105,33 @@ impl SuitePerf {
             "Simulator performance (scale {}, {} worker jobs)\n",
             self.scale, self.jobs
         ));
-        out.push_str(&format!(
-            "  suite wall-clock    serial {:.3}s  parallel {:.3}s  speedup {:.2}x\n",
-            self.serial_wall_s,
-            self.parallel_wall_s,
-            self.speedup()
-        ));
+        match self.speedup() {
+            Some(sp) => out.push_str(&format!(
+                "  suite wall-clock    serial {:.3}s  parallel {:.3}s  speedup {sp:.2}x\n",
+                self.serial_wall_s, self.parallel_wall_s,
+            )),
+            None => out.push_str(&format!(
+                "  suite wall-clock    serial {:.3}s  parallel {:.3}s  \
+                 speedup n/a (single-CPU host)\n",
+                self.serial_wall_s, self.parallel_wall_s,
+            )),
+        }
         out.push_str(&format!(
             "  phases (serial)     compile {:.3}s  simulate {:.3}s\n",
             self.compile_s(),
             self.simulate_s()
         ));
-        out.push_str("  app      machine   sim-cycles/s   threads/s   compile_s  simulate_s\n");
+        out.push_str(
+            "  app      machine   sim-cycles/s   threads/s      events/s  \
+             cycles-skipped   compile_s  simulate_s\n",
+        );
         for (app, machine, m) in self.machines() {
             out.push_str(&format!(
-                "  {app:<8} {machine:<6} {:>13.0} {:>11.0}   {:>9.4} {:>11.4}\n",
+                "  {app:<8} {machine:<6} {:>13.0} {:>11.0} {:>13.0}  {:>14}   {:>9.4} {:>11.4}\n",
                 m.cycles_per_sec(),
                 m.threads_per_sec(),
+                m.events_per_sec(),
+                m.cycles_skipped,
                 m.compile_s,
                 m.simulate_s,
             ));
@@ -120,10 +145,7 @@ impl SuitePerf {
         out.push_str("{\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
-        out.push_str(&format!(
-            "  \"host_threads\": {},\n",
-            std::thread::available_parallelism().map_or(1, usize::from)
-        ));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
         out.push_str(&format!(
             "  \"serial_wall_s\": {},\n",
             json_f64(self.serial_wall_s)
@@ -132,10 +154,15 @@ impl SuitePerf {
             "  \"parallel_wall_s\": {},\n",
             json_f64(self.parallel_wall_s)
         ));
-        out.push_str(&format!(
-            "  \"parallel_speedup\": {},\n",
-            json_f64(self.speedup())
-        ));
+        match self.speedup() {
+            Some(sp) => out.push_str(&format!("  \"parallel_speedup\": {},\n", json_f64(sp))),
+            None => out.push_str(
+                "  \"parallel_speedup\": null,\n  \"parallel_speedup_note\": \
+                 \"suppressed: single-CPU host, the worker pool cannot run \
+                 concurrently so serial-vs-parallel wall time is scheduler \
+                 noise\",\n",
+            ),
+        }
         out.push_str(&format!(
             "  \"phases\": {{ \"compile_s\": {}, \"simulate_s\": {} }},\n",
             json_f64(self.compile_s()),
@@ -149,13 +176,18 @@ impl SuitePerf {
                     "    {{ \"app\": \"{app}\", \"machine\": \"{machine}\", \
                      \"compile_s\": {}, \"simulate_s\": {}, \
                      \"cycles\": {}, \"threads\": {}, \
-                     \"cycles_per_sec\": {}, \"threads_per_sec\": {} }}",
+                     \"events\": {}, \"cycles_skipped\": {}, \
+                     \"cycles_per_sec\": {}, \"threads_per_sec\": {}, \
+                     \"events_per_sec\": {} }}",
                     json_f64(m.compile_s),
                     json_f64(m.simulate_s),
                     m.cycles,
                     m.threads,
+                    m.events,
+                    m.cycles_skipped,
                     json_f64(m.cycles_per_sec()),
                     json_f64(m.threads_per_sec()),
+                    json_f64(m.events_per_sec()),
                 )
             })
             .collect();
@@ -182,10 +214,13 @@ mod tests {
             simulate_s: 1.0,
             cycles: 1000,
             threads: 64,
+            events: 5000,
+            cycles_skipped: 100,
         };
         SuitePerf {
             scale: 1,
             jobs: 4,
+            host_threads: 4,
             serial_wall_s: 4.0,
             parallel_wall_s: 1.0,
             apps: vec![AppPerf {
@@ -214,5 +249,28 @@ mod tests {
         let s = sample().summary();
         assert!(s.contains("compile 0.500s"), "{s}");
         assert!(s.contains("speedup 4.00x"), "{s}");
+    }
+
+    #[test]
+    fn events_and_skips_are_reported() {
+        let p = sample();
+        let j = p.to_json();
+        assert!(j.contains("\"events\": 5000"), "{j}");
+        assert!(j.contains("\"cycles_skipped\": 100"), "{j}");
+        assert!(j.contains("\"events_per_sec\": 5000.0"), "{j}");
+        assert!(p.summary().contains("events/s"));
+    }
+
+    #[test]
+    fn single_cpu_host_suppresses_speedup() {
+        let mut p = sample();
+        p.host_threads = 1;
+        assert_eq!(p.speedup(), None);
+        let j = p.to_json();
+        assert!(j.contains("\"parallel_speedup\": null"), "{j}");
+        assert!(j.contains("single-CPU host"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let s = p.summary();
+        assert!(s.contains("speedup n/a (single-CPU host)"), "{s}");
     }
 }

@@ -1,6 +1,7 @@
-//! Regression tests for the two simulator-speed features that must not
-//! change simulation results: the parallel measurement pool and the idle
-//! fast-forward.
+//! Regression tests for the simulator-speed features that must not change
+//! simulation results: the parallel measurement pool, the idle
+//! fast-forward, and the event-driven fabric core (checked against the
+//! retained dense reference tick).
 
 use vgiw_bench::harness::{measure_suite, VgiwLauncher};
 use vgiw_bench::SgmfLauncher;
@@ -60,6 +61,65 @@ fn vgiw_fast_forward_changes_no_stats() {
             );
             assert_eq!(a.block_executions, b.block_executions);
         }
+    }
+}
+
+#[test]
+fn vgiw_event_core_matches_reference_tick() {
+    for bench in subset() {
+        let mut event = VgiwLauncher::default();
+        bench.run(&mut event).expect("event-driven run");
+
+        let cfg = VgiwConfig {
+            reference_tick: true,
+            // Fast-forward off as well: the reference run is the plainest
+            // possible schedule — dense tick, cycle by cycle.
+            fast_forward: false,
+            ..VgiwConfig::default()
+        };
+        let mut reference = VgiwLauncher::new(cfg);
+        bench.run(&mut reference).expect("reference-tick run");
+
+        assert_eq!(
+            event.result, reference.result,
+            "event-driven core diverges from reference tick on {}",
+            bench.app
+        );
+        assert_eq!(event.runs.len(), reference.runs.len());
+        for (a, b) in event.runs.iter().zip(&reference.runs) {
+            assert_eq!(
+                a.cycles, b.cycles,
+                "per-launch cycles diverge on {}",
+                bench.app
+            );
+            assert_eq!(
+                a.fabric, b.fabric,
+                "fabric statistics diverge on {}",
+                bench.app
+            );
+        }
+    }
+}
+
+#[test]
+fn sgmf_event_core_matches_reference_tick() {
+    for bench in [vgiw_kernels::nn::build(1), vgiw_kernels::hotspot::build(1)] {
+        let mut event = SgmfLauncher::default();
+        bench.run(&mut event).expect("event-driven run");
+
+        let cfg = SgmfConfig {
+            reference_tick: true,
+            fast_forward: false,
+            ..SgmfConfig::default()
+        };
+        let mut reference = SgmfLauncher::new(cfg);
+        bench.run(&mut reference).expect("reference-tick run");
+
+        assert_eq!(
+            event.result, reference.result,
+            "event-driven core diverges from reference tick on {}",
+            bench.app
+        );
     }
 }
 

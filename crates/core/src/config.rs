@@ -35,6 +35,12 @@ pub struct VgiwConfig {
     /// pending. Purely a simulator-speed knob: cycle counts and all
     /// statistics are identical either way (regression-tested).
     pub fast_forward: bool,
+    /// Drive the fabric with the retained dense reference tick instead of
+    /// the event-driven core. Another pure simulator knob: the two schedules
+    /// are equivalence-tested to produce identical retirement order, cycle
+    /// counts and statistics. Exists for regression testing and as an
+    /// executable specification of the timing model.
+    pub reference_tick: bool,
 }
 
 impl Default for VgiwConfig {
@@ -52,6 +58,7 @@ impl Default for VgiwConfig {
             max_replicas: 8,
             cycle_limit: 2_000_000_000,
             fast_forward: true,
+            reference_tick: false,
         }
     }
 }

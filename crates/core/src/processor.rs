@@ -161,6 +161,10 @@ pub struct VgiwProcessor {
     config: VgiwConfig,
     fabric: Fabric,
     mem: MemSystem,
+    /// Idle cycles skipped by fast-forward over the processor's lifetime
+    /// (simulator-efficiency metric; not part of any architectural
+    /// statistic).
+    cycles_skipped: u64,
 }
 
 impl Default for VgiwProcessor {
@@ -172,18 +176,27 @@ impl Default for VgiwProcessor {
 impl VgiwProcessor {
     /// Builds a processor from a configuration.
     pub fn new(config: VgiwConfig) -> VgiwProcessor {
-        let fabric = Fabric::new(config.grid.clone(), config.fabric);
+        let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
+        fabric.set_reference_tick(config.reference_tick);
         let mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
         VgiwProcessor {
             config,
             fabric,
             mem,
+            cycles_skipped: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &VgiwConfig {
         &self.config
+    }
+
+    /// Idle cycles skipped by fast-forward since construction. Purely a
+    /// simulator-efficiency metric: the skipped cycles still advance the
+    /// clocks, so `cycles` figures are unaffected.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
     }
 
     /// Compiles and runs `kernel` to completion, mutating `image`.
@@ -292,7 +305,7 @@ impl VgiwProcessor {
                         let now = self.fabric.cycle();
                         debug_assert_eq!(now, self.mem.now(), "clocks out of lockstep");
                         let next =
-                            match (self.fabric.next_wheel_event(), self.mem.next_event_time()) {
+                            match (self.fabric.next_wheel_event(), self.mem.next_event_cycle()) {
                                 (Some(a), Some(b)) => Some(a.min(b)),
                                 (a, None) => a,
                                 (None, b) => b,
@@ -302,6 +315,7 @@ impl VgiwProcessor {
                                 let k = t - now - 1;
                                 self.fabric.advance_idle(k);
                                 self.mem.advance_idle(k);
+                                self.cycles_skipped += k;
                             }
                         }
                     }
@@ -319,9 +333,8 @@ impl VgiwProcessor {
                     }
                     self.mem.tick();
                     self.mem.drain_responses_into(&mut resp_buf);
-                    for id in resp_buf.drain(..) {
-                        self.fabric.on_mem_response(id);
-                    }
+                    self.fabric.on_mem_responses(&resp_buf);
+                    resp_buf.clear();
                     self.fabric.drain_retired_into(&mut retire_buf);
                     for r in retire_buf.drain(..) {
                         pack_retire(
@@ -339,6 +352,7 @@ impl VgiwProcessor {
                         // (the processor is documented as reusable across
                         // launches and must stay so after an abort).
                         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
+                        self.fabric.set_reference_tick(self.config.reference_tick);
                         self.mem = MemSystem::new(
                             vec![self.config.l1, self.config.lvc],
                             self.config.shared,

@@ -22,6 +22,29 @@
 //! by construction), which gives an exact completion condition: a channel
 //! is recycled when all nodes fired for its thread and no memory response
 //! is outstanding.
+//!
+//! # Event-driven token delivery
+//!
+//! Two tick implementations produce identical cycle counts, statistics and
+//! retirement order (regression-tested against each other):
+//!
+//! * The **reference tick** enqueues one timing-wheel entry per token and
+//!   lands tokens into consumer buffers when due — a direct transcription
+//!   of the hardware's token pipeline.
+//! * The default **event-driven tick** writes each token into the
+//!   consumer's buffer entry immediately, tagged with its arrival cycle
+//!   and a global write sequence number; only the *completion* of an entry
+//!   (its last operand) schedules a wheel event, at the entry's
+//!   ready-to-fire cycle. A landing slot is sorted by the sequence number
+//!   of each entry's latest-arriving token, which reproduces the reference
+//!   tick's ready-queue order exactly (wheel pushes happen in sequence
+//!   order, so slot order *is* completion order there).
+//!
+//! This cuts wheel traffic from one event per token to one per firing and
+//! halves the buffer-arena traffic. An occupancy bitmap over the wheel
+//! makes the next-event query ([`Fabric::next_wheel_event`]) a couple of
+//! word scans instead of a slot walk, which is what lets the driving core
+//! jump the clock over idle stretches cheaply.
 
 use crate::config::FabricConfig;
 use crate::stats::FabricStats;
@@ -74,6 +97,7 @@ const MIN_WHEEL: usize = 128;
 /// latency + hop distance exceeds this is rejected at configure time.
 const MAX_WHEEL: usize = 1 << 16;
 
+/// A token in flight (reference tick only).
 #[derive(Clone, Copy, Debug)]
 struct Delivery {
     replica: u32,
@@ -81,6 +105,20 @@ struct Delivery {
     port: u8,
     channel: u32,
     value: Word,
+}
+
+/// A buffer entry whose last operand has been written (event-driven tick):
+/// at the event's wheel slot, the entry enters its node's ready queue.
+#[derive(Clone, Copy, Debug)]
+struct ReadyEvent {
+    /// `(replica << 16) | node`.
+    target: u32,
+    channel: u32,
+    /// The entry's completion key (see [`BufEntry::key`]); sorting a
+    /// landing slot by it reproduces the reference tick's ready order
+    /// (within one slot all keys share the arrival cycle, so the order is
+    /// the write sequence of each entry's latest-arriving token).
+    key: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -92,33 +130,101 @@ struct PendingMem {
     value: Word,
 }
 
+/// Which statistics counter a firing of this node increments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StatClass {
+    Int,
+    Fp,
+    Special,
+    SplitJoin,
+    Other,
+}
+
 #[derive(Clone, Debug)]
 struct NodeRt {
     op: DfgOp,
-    kind: UnitKind,
     latency: u32,
     /// Semantic port count.
     n_sem: u8,
+    /// Bitmask of token ports that must arrive before firing.
+    needed_mask: u8,
+    /// Counter bucket for firings (folded out of the fire path's match).
+    stat_class: StatClass,
+    /// Whether firings occupy an SCU instance.
+    is_scu: bool,
+    /// Number of consumers (tokens sent per firing).
+    out_deg: u32,
     /// Static values for semantic ports (resolved params/immediates).
     static_vals: [Option<Word>; 3],
     /// Resolved static address addend for Load/Store nodes (base+offset
     /// addressing held in the unit's configuration registers).
     addr_offset: u32,
-    /// Bitmask of token ports that must arrive before firing.
-    needed_mask: u8,
 }
 
+/// One token buffer entry, packed to 32 bytes so two entries share every
+/// cache line of the (large, randomly accessed) buffer arena.
+///
+/// `key` tracks the latest-arriving token for the event-driven tick as
+/// `(arrival_cycle << 32) | write_sequence` — one `max` per token write
+/// keeps the lexicographic maximum of (arrival, sequence), and the packed
+/// comparison is exact because the write sequence resets on every
+/// (drained) reconfiguration and is checked against 32 bits. The
+/// reference tick leaves it at zero.
 #[derive(Clone, Copy, Default)]
 struct BufEntry {
-    arrived: u8,
     vals: [Word; 4],
+    key: u64,
+    arrived: u8,
 }
 
-#[derive(Clone, Copy)]
-struct ChannelState {
-    tid: u32,
-    remaining_fires: u32,
-    pending_mem: u32,
+impl BufEntry {
+    fn is_clear(&self) -> bool {
+        self.arrived == 0 && self.key == 0
+    }
+}
+
+/// Occupancy bitmap over timing-wheel slots: one bit per slot, giving the
+/// next-event query a short word scan instead of a walk over slot buffers.
+#[derive(Default, Debug)]
+struct SlotBitmap {
+    words: Vec<u64>,
+}
+
+impl SlotBitmap {
+    /// Sizes for `slots` (a power of two ≥ 64) and clears all bits.
+    fn reset(&mut self, slots: usize) {
+        debug_assert!(slots.is_power_of_two() && slots >= 64);
+        self.words.clear();
+        self.words.resize(slots / 64, 0);
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize) {
+        self.words[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.words[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// First occupied slot at or after `start`, searching cyclically for
+    /// one full revolution. `None` if the wheel is empty.
+    fn next_from(&self, start: usize) -> Option<usize> {
+        let nw = self.words.len();
+        let sw = start >> 6;
+        let first = self.words[sw] & (!0u64 << (start & 63));
+        if first != 0 {
+            return Some((sw << 6) + first.trailing_zeros() as usize);
+        }
+        for i in 1..=nw {
+            let w = (sw + i) & (nw - 1);
+            if self.words[w] != 0 {
+                return Some((w << 6) + self.words[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
 }
 
 struct Replica {
@@ -126,12 +232,18 @@ struct Replica {
     /// lives at `node * channels_per_unit + channel`. One allocation per
     /// replica instead of one per node.
     buf: Vec<BufEntry>,
-    channels: Vec<Option<ChannelState>>,
+    /// Thread ID per occupied channel (structure-of-arrays channel state).
+    ch_tid: Vec<u32>,
+    /// Per-channel completion word: `(remaining_fires << 32) | pending_mem`.
+    /// Zero means the channel is free (or just finished and recyclable).
+    ch_work: Vec<u64>,
     free_channels: Vec<u32>,
     /// Ready channels per node.
     ready: Vec<VecDeque<u32>>,
     /// SCU instance busy-until times (empty for non-SCU nodes).
     scu_busy: Vec<Vec<u64>>,
+    /// Cached `min(scu_busy[n])` so the fire path checks one word.
+    scu_min_free: Vec<u64>,
     /// Outstanding memory ops per node (LDST/LVU reservation occupancy).
     reservation: Vec<u32>,
     /// Consumer table in CSR form: node `i`'s consumers are
@@ -139,6 +251,9 @@ struct Replica {
     /// `(consumer, port, edge latency)` triples.
     edge_start: Vec<u32>,
     edge_data: Vec<(u32, u8, u32)>,
+    /// Sum of hop latencies over node `i`'s outgoing edges (statistics are
+    /// folded per firing instead of per token).
+    hop_sum: Vec<u64>,
 }
 
 /// The MT-CGRF fabric simulator. See the module-level documentation.
@@ -148,10 +263,20 @@ pub struct Fabric {
     nodes: Vec<NodeRt>,
     init: u32,
     replicas: Vec<Replica>,
-    /// Timing wheel; length is a power of two sized by `configure`.
-    wheel: Vec<Vec<Delivery>>,
+    /// Per-token timing wheel (reference tick); length is a power of two
+    /// sized by `configure`.
+    wheel_tokens: Vec<Vec<Delivery>>,
+    /// Per-completion timing wheel (event-driven tick); same length.
+    wheel_ready: Vec<Vec<ReadyEvent>>,
+    /// Occupancy bitmap over whichever wheel the active mode uses.
+    occ: SlotBitmap,
     wheel_mask: u64,
     wheel_count: usize,
+    /// Global token write counter (event-driven tick ordering source).
+    token_seq: u64,
+    /// Use the naive per-token reference tick instead of the event-driven
+    /// core (testing knob; both are stats- and cycle-identical).
+    reference: bool,
     cycle: u64,
     inject_queue: VecDeque<u32>,
     /// Nodes with nonempty ready queues: `(replica, node)`; deduplicated
@@ -174,15 +299,21 @@ pub struct Fabric {
 impl Fabric {
     /// Creates an unconfigured fabric over `grid`.
     pub fn new(grid: GridSpec, cfg: FabricConfig) -> Fabric {
+        let mut occ = SlotBitmap::default();
+        occ.reset(MIN_WHEEL);
         Fabric {
             grid,
             cfg,
             nodes: Vec::new(),
             init: 0,
             replicas: Vec::new(),
-            wheel: vec![Vec::new(); MIN_WHEEL],
+            wheel_tokens: vec![Vec::new(); MIN_WHEEL],
+            wheel_ready: vec![Vec::new(); MIN_WHEEL],
+            occ,
             wheel_mask: MIN_WHEEL as u64 - 1,
             wheel_count: 0,
+            token_seq: 0,
+            reference: false,
             cycle: 0,
             inject_queue: VecDeque::new(),
             active: VecDeque::new(),
@@ -226,6 +357,23 @@ impl Fabric {
         self.replicas.len() as u32
     }
 
+    /// Selects the naive per-token reference tick (`true`) or the default
+    /// event-driven tick (`false`). Both produce identical cycle counts,
+    /// statistics and retirement order; the reference tick exists as the
+    /// equivalence oracle for tests.
+    ///
+    /// # Panics
+    /// Panics if the fabric has threads or tokens in flight.
+    pub fn set_reference_tick(&mut self, on: bool) {
+        assert!(self.is_drained(), "switching tick mode with work in flight");
+        self.reference = on;
+    }
+
+    /// Whether the naive reference tick is active.
+    pub fn reference_tick(&self) -> bool {
+        self.reference
+    }
+
     /// Configures the fabric with `dfg`, one copy per placement in
     /// `placements`. `params` resolves `ValSrc::Param` static operands.
     ///
@@ -256,7 +404,7 @@ impl Fabric {
         self.init = dfg.init.0;
         let consumers = dfg.consumers();
 
-        for node in &dfg.nodes {
+        for (i, node) in dfg.nodes.iter().enumerate() {
             let kind = node.op.unit_kind();
             let latency = match node.op {
                 DfgOp::Unary(op) => class_latency(op.class(), &lat),
@@ -267,6 +415,17 @@ impl Fabric {
                 DfgOp::LvLoad(_) | DfgOp::LvStore(_) => 1,
                 DfgOp::Init | DfgOp::Term(_) => lat.cvu,
                 DfgOp::Join | DfgOp::JoinPass | DfgOp::Split => lat.split_join,
+            };
+            let stat_class = match kind {
+                UnitKind::Alu => match node.op {
+                    DfgOp::Binary(op) if op.class() == OpClass::FpAlu => StatClass::Fp,
+                    DfgOp::Unary(op) if op.class() == OpClass::FpAlu => StatClass::Fp,
+                    DfgOp::Fma => StatClass::Fp,
+                    _ => StatClass::Int,
+                },
+                UnitKind::Scu => StatClass::Special,
+                UnitKind::SplitJoin => StatClass::SplitJoin,
+                _ => StatClass::Other,
             };
             let mut static_vals = [None; 3];
             let mut needed_mask = 0u8;
@@ -299,16 +458,22 @@ impl Fabric {
             }
             self.nodes.push(NodeRt {
                 op: node.op,
-                kind,
                 latency,
                 n_sem: node.inputs.len() as u8,
+                needed_mask,
+                stat_class,
+                is_scu: kind == UnitKind::Scu,
+                out_deg: consumers[i].len() as u32,
                 static_vals,
                 addr_offset,
-                needed_mask,
             });
         }
 
         let n = dfg.nodes.len();
+        assert!(
+            n < (1 << 16) && placements.len() < (1 << 16),
+            "node/replica counts must fit the 16-bit event key"
+        );
         let ch = self.cfg.channels_per_unit as usize;
         // Reconfiguration happens once per block execution — squarely on
         // the hot path for control-heavy kernels — so replica storage is
@@ -321,13 +486,16 @@ impl Fabric {
         while self.replicas.len() < placements.len() {
             self.replicas.push(Replica {
                 buf: Vec::new(),
-                channels: Vec::new(),
+                ch_tid: Vec::new(),
+                ch_work: Vec::new(),
                 free_channels: Vec::new(),
                 ready: Vec::new(),
                 scu_busy: Vec::new(),
+                scu_min_free: Vec::new(),
                 reservation: Vec::new(),
                 edge_start: Vec::new(),
                 edge_data: Vec::new(),
+                hop_sum: Vec::new(),
             });
         }
         // Worst-case delivery distance (compute latency + interconnect
@@ -336,13 +504,13 @@ impl Fabric {
         let mut max_dist: u64 = 0;
         for (rep, p) in self.replicas.iter_mut().zip(placements) {
             assert_eq!(p.node_unit.len(), n, "placement/DFG mismatch");
-            debug_assert!(
-                rep.buf.iter().all(|e| e.arrived == 0),
-                "drained buf not clean"
-            );
+            debug_assert!(rep.buf.iter().all(BufEntry::is_clear), "drained buf dirty");
             rep.buf.resize(n * ch, BufEntry::default());
-            debug_assert!(rep.channels.iter().all(Option::is_none));
-            rep.channels.resize(ch, None);
+            debug_assert!(rep.ch_work.iter().all(|&w| w == 0));
+            rep.ch_tid.clear();
+            rep.ch_tid.resize(ch, 0);
+            rep.ch_work.clear();
+            rep.ch_work.resize(ch, 0);
             rep.free_channels.clear();
             rep.free_channels.extend((0..ch as u32).rev());
             debug_assert!(rep.ready.iter().all(VecDeque::is_empty));
@@ -352,25 +520,31 @@ impl Fabric {
             }
             rep.scu_busy.clear();
             rep.scu_busy.extend(self.nodes.iter().map(|nd| {
-                if nd.kind == UnitKind::Scu {
+                if nd.is_scu {
                     vec![0u64; self.cfg.scu_instances as usize]
                 } else {
                     Vec::new()
                 }
             }));
+            rep.scu_min_free.clear();
+            rep.scu_min_free.resize(n, 0);
             debug_assert!(rep.reservation.iter().all(|&r| r == 0));
             rep.reservation.clear();
             rep.reservation.resize(n, 0);
             rep.edge_start.clear();
             rep.edge_data.clear();
+            rep.hop_sum.clear();
             for (i, cons) in consumers.iter().enumerate() {
                 rep.edge_start.push(rep.edge_data.len() as u32);
                 let latency = self.nodes[i].latency as u64;
+                let mut hop_sum = 0u64;
                 for &(c, port) in cons {
                     let hops = p.edge_latency(&self.grid, NodeId(i as u32), c);
                     max_dist = max_dist.max(latency + hops as u64);
+                    hop_sum += hops as u64;
                     rep.edge_data.push((c.0, port, hops));
                 }
+                rep.hop_sum.push(hop_sum);
             }
             rep.edge_start.push(rep.edge_data.len() as u32);
         }
@@ -382,6 +556,10 @@ impl Fabric {
         self.in_active.clear();
         self.in_active.resize(n * placements.len(), false);
         self.active.clear();
+        // The wheel is empty and every buffer entry clear (asserted
+        // above), so no in-flight key can compare against a post-reset
+        // sequence number.
+        self.token_seq = 0;
         Ok(())
     }
 
@@ -416,11 +594,15 @@ impl Fabric {
             ));
         }
         let len = needed.next_power_of_two() as usize;
-        if len > self.wheel.len() {
+        if len > self.wheel_tokens.len() {
             debug_assert_eq!(self.wheel_count, 0, "resizing a non-empty wheel");
-            self.wheel.resize_with(len, Vec::new);
+            self.wheel_tokens.resize_with(len, Vec::new);
+            self.wheel_ready.resize_with(len, Vec::new);
         }
-        self.wheel_mask = self.wheel.len() as u64 - 1;
+        if self.occ.words.len() * 64 != self.wheel_tokens.len() {
+            self.occ.reset(self.wheel_tokens.len());
+        }
+        self.wheel_mask = self.wheel_tokens.len() as u64 - 1;
         Ok(())
     }
 
@@ -467,14 +649,17 @@ impl Fabric {
         self.active.is_empty() && (self.inject_queue.is_empty() || !self.has_free_channel())
     }
 
-    /// Absolute cycle at which the earliest in-flight token lands, if any.
+    /// Absolute cycle at which the earliest scheduled wheel event (a token
+    /// landing, or an entry becoming ready) occurs, if any. O(wheel/64)
+    /// worst case via the occupancy bitmap.
     pub fn next_wheel_event(&self) -> Option<u64> {
         if self.wheel_count == 0 {
             return None;
         }
-        (1..=self.wheel.len() as u64)
-            .map(|d| self.cycle + d)
-            .find(|at| !self.wheel[(at & self.wheel_mask) as usize].is_empty())
+        let start = ((self.cycle + 1) & self.wheel_mask) as usize;
+        let slot = self.occ.next_from(start)?;
+        let dist = (slot.wrapping_sub(start) as u64) & self.wheel_mask;
+        Some(self.cycle + 1 + dist)
     }
 
     /// Jumps the clock forward by `k` idle cycles in one step. The caller
@@ -489,6 +674,37 @@ impl Fabric {
         );
         self.cycle += k;
         self.stats.busy_cycles += k;
+    }
+
+    /// Completes a batch of memory requests in order, prefetching each
+    /// request's delivery targets a few responses ahead (response bursts
+    /// write consumer entries scattered across the buffer arena).
+    pub fn on_mem_responses(&mut self, reqs: &[MemReqId]) {
+        const LOOKAHEAD: usize = 8;
+        for (i, &req) in reqs.iter().enumerate() {
+            #[cfg(target_arch = "x86_64")]
+            if let Some(&ahead) = reqs.get(i + LOOKAHEAD) {
+                self.prefetch_response_target(ahead);
+            }
+            self.on_mem_response(req);
+        }
+    }
+
+    /// Issues cache prefetches for the consumer entries a pending memory
+    /// response will write when delivered.
+    #[cfg(target_arch = "x86_64")]
+    fn prefetch_response_target(&self, req: MemReqId) {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        if let Some(Some(p)) = self.pending_mem.get(req as usize) {
+            let rep = &self.replicas[p.replica as usize];
+            let s = rep.edge_start[p.node as usize] as usize;
+            let e = rep.edge_start[p.node as usize + 1] as usize;
+            for &(consumer, _, _) in &rep.edge_data[s..e] {
+                let idx = self.buf_idx(consumer, p.channel);
+                // In bounds by construction; prefetch has no other effect.
+                unsafe { _mm_prefetch(rep.buf.as_ptr().add(idx).cast::<i8>(), _MM_HINT_T0) };
+            }
+        }
     }
 
     /// Completes a memory request previously accepted by the environment.
@@ -515,61 +731,41 @@ impl Fabric {
         // maintained by in-order bank service); the response only frees
         // the reservation entry and completes the sink.
         self.release_reservation(p.replica, p.node);
-        let ch = self.replicas[p.replica as usize].channels[p.channel as usize]
-            .as_mut()
-            .expect("response for a freed channel");
-        ch.pending_mem -= 1;
+        let rep = &mut self.replicas[p.replica as usize];
+        debug_assert!(rep.ch_work[p.channel as usize] & 0xFFFF_FFFF > 0);
+        rep.ch_work[p.channel as usize] -= 1;
         self.maybe_free_channel(p.replica, p.channel);
     }
 
-    /// Advances one cycle: lands due tokens, injects threads, fires ready
+    /// Advances one cycle: lands due events, injects threads, fires ready
     /// entries.
-    pub fn tick(&mut self, env: &mut dyn FabricEnv) {
+    pub fn tick<E: FabricEnv + ?Sized>(&mut self, env: &mut E) {
         self.cycle += 1;
         self.stats.busy_cycles += 1;
 
-        // 1. Land deliveries due this cycle. The slot buffer is taken,
-        //    drained and handed back so its capacity is reused every wheel
-        //    revolution: deliveries always target a *future* slot (distance
+        // 1. Land events due this cycle. The slot buffer is taken, drained
+        //    and handed back so its capacity is reused every wheel
+        //    revolution: events always target a *future* slot (distance
         //    ≥ 1, enforced at configure time), so nothing lands in `slot`
         //    while it is detached.
-        let slot = (self.cycle & self.wheel_mask) as usize;
-        if !self.wheel[slot].is_empty() {
-            let mut due = std::mem::take(&mut self.wheel[slot]);
-            self.wheel_count -= due.len();
-            for &d in due.iter() {
-                self.land(d);
-            }
-            due.clear();
-            debug_assert!(self.wheel[slot].is_empty());
-            self.wheel[slot] = due;
+        if self.reference {
+            self.land_due_reference();
+        } else {
+            self.land_due_event();
         }
 
         // 2. Inject up to one thread per replica.
-        for r in 0..self.replicas.len() {
-            if self.inject_queue.is_empty() {
-                break;
-            }
-            let Some(&channel) = self.replicas[r].free_channels.last() else {
-                continue;
-            };
-            let tid = self.inject_queue.pop_front().expect("checked non-empty");
-            self.replicas[r].free_channels.pop();
-            self.replicas[r].channels[channel as usize] = Some(ChannelState {
-                tid,
-                remaining_fires: self.nodes.len() as u32,
-                pending_mem: 0,
-            });
-            self.active_channels += 1;
-            self.stats.threads_injected += 1;
-            // The initiator fires immediately: its output token carries the
-            // thread ID.
-            self.count_fire(self.init as usize, r as u32, channel);
-            let lat = self.nodes[self.init as usize].latency;
-            self.deliver_outputs(r as u32, self.init, channel, Word::from_u32(tid), lat);
+        if !self.inject_queue.is_empty() {
+            self.inject_threads();
         }
 
-        // 3. Fire ready entries: one per (replica, node) per cycle.
+        // 3. Fire ready entries: one per (replica, node) per cycle. The
+        //    entries about to fire sit at known arena offsets but are
+        //    randomly scattered (the arena outgrows L2 on big kernels), so
+        //    request them all up front and let the fetches overlap the
+        //    firing loop.
+        #[cfg(target_arch = "x86_64")]
+        self.prefetch_ready_fronts();
         let n_active = self.active.len();
         for _ in 0..n_active {
             let Some((r, node)) = self.active.pop_front() else {
@@ -593,8 +789,38 @@ impl Fabric {
         node as usize * self.cfg.channels_per_unit as usize + channel as usize
     }
 
-    fn land(&mut self, d: Delivery) {
-        self.stats.tokens_delivered += 1;
+    /// Issues a cache prefetch for the buffer entry at the front of every
+    /// active ready queue — the entries the firing loop is about to read.
+    #[cfg(target_arch = "x86_64")]
+    fn prefetch_ready_fronts(&self) {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        for &(r, node) in self.active.iter() {
+            let rep = &self.replicas[r as usize];
+            if let Some(&ch) = rep.ready[node as usize].front() {
+                let idx = self.buf_idx(node, ch);
+                // In bounds by construction; prefetch has no other effect.
+                unsafe { _mm_prefetch(rep.buf.as_ptr().add(idx).cast::<i8>(), _MM_HINT_T0) };
+            }
+        }
+    }
+
+    fn land_due_reference(&mut self) {
+        let slot = (self.cycle & self.wheel_mask) as usize;
+        if self.wheel_tokens[slot].is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.wheel_tokens[slot]);
+        self.occ.clear(slot);
+        self.wheel_count -= due.len();
+        for &d in due.iter() {
+            self.land_token(d);
+        }
+        due.clear();
+        debug_assert!(self.wheel_tokens[slot].is_empty());
+        self.wheel_tokens[slot] = due;
+    }
+
+    fn land_token(&mut self, d: Delivery) {
         let idx = self.buf_idx(d.node, d.channel);
         let entry = &mut self.replicas[d.replica as usize].buf[idx];
         debug_assert_eq!(
@@ -618,60 +844,175 @@ impl Fabric {
         }
     }
 
+    fn land_due_event(&mut self) {
+        let slot = (self.cycle & self.wheel_mask) as usize;
+        if self.wheel_ready[slot].is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.wheel_ready[slot]);
+        self.occ.clear(slot);
+        self.wheel_count -= due.len();
+        // Events were pushed when their entry *completed*, which is not
+        // necessarily the order of the completing tokens' write sequence
+        // (an entry can complete on an early-sequence token whose arrival
+        // outlasts later writes). Sorting by that sequence restores the
+        // reference tick's ready order; slots are usually already sorted,
+        // which the pattern-defeating sort exploits.
+        due.sort_unstable_by_key(|e| e.key);
+        let n = self.nodes.len();
+        for ev in due.iter() {
+            let (r, node) = ((ev.target >> 16) as usize, (ev.target & 0xFFFF) as usize);
+            debug_assert!({
+                let e = &self.replicas[r].buf[self.buf_idx(node as u32, ev.channel)];
+                e.arrived & self.nodes[node].needed_mask == self.nodes[node].needed_mask
+            });
+            self.replicas[r].ready[node].push_back(ev.channel);
+            let ia = r * n + node;
+            if !self.in_active[ia] {
+                self.in_active[ia] = true;
+                self.active.push_back((r as u32, node as u32));
+            }
+        }
+        due.clear();
+        debug_assert!(self.wheel_ready[slot].is_empty());
+        self.wheel_ready[slot] = due;
+    }
+
+    fn inject_threads(&mut self) {
+        for r in 0..self.replicas.len() {
+            if self.inject_queue.is_empty() {
+                break;
+            }
+            let Some(&channel) = self.replicas[r].free_channels.last() else {
+                continue;
+            };
+            let tid = self.inject_queue.pop_front().expect("checked non-empty");
+            let rep = &mut self.replicas[r];
+            rep.free_channels.pop();
+            rep.ch_tid[channel as usize] = tid;
+            debug_assert_eq!(rep.ch_work[channel as usize], 0);
+            rep.ch_work[channel as usize] = (self.nodes.len() as u64) << 32;
+            self.active_channels += 1;
+            self.stats.threads_injected += 1;
+            // The initiator fires immediately: its output token carries the
+            // thread ID.
+            self.count_fire(self.init as usize, r as u32, channel);
+            let lat = self.nodes[self.init as usize].latency;
+            self.deliver_outputs(r as u32, self.init, channel, Word::from_u32(tid), lat);
+        }
+    }
+
     /// Sends `value` from `node` to all its consumers, `extra` cycles after
-    /// now (compute latency), plus per-edge hop latency. The wheel is sized
-    /// at configure time to cover every possible distance, so scheduling is
-    /// a plain push — no overflow check on the hot path.
+    /// now (compute latency), plus per-edge hop latency.
+    ///
+    /// Reference tick: one wheel push per token (the wheel is sized at
+    /// configure time to cover every distance, so scheduling is a plain
+    /// push). Event-driven tick: the token is written into the consumer's
+    /// buffer entry immediately, tagged with its arrival cycle; completing
+    /// an entry schedules a single readiness event at the entry's
+    /// latest-arrival cycle.
     fn deliver_outputs(&mut self, replica: u32, node: u32, channel: u32, value: Word, extra: u32) {
-        let rep = &self.replicas[replica as usize];
+        let chans = self.cfg.channels_per_unit as usize;
+        let ri = replica as usize;
+        let rep = &mut self.replicas[ri];
         let start = rep.edge_start[node as usize] as usize;
         let end = rep.edge_start[node as usize + 1] as usize;
-        for &(consumer, port, hops) in &rep.edge_data[start..end] {
-            self.stats.hop_traversals += hops as u64;
+        self.stats.hop_traversals += rep.hop_sum[node as usize];
+        self.stats.tokens_delivered += self.nodes[node as usize].out_deg as u64;
+        if self.reference {
+            for &(consumer, port, hops) in &rep.edge_data[start..end] {
+                let dist = extra as u64 + hops as u64;
+                debug_assert!(
+                    dist > 0 && dist < self.wheel_tokens.len() as u64,
+                    "delivery distance {dist} escaped configure-time validation"
+                );
+                let at = self.cycle + dist;
+                let slot = (at & self.wheel_mask) as usize;
+                self.wheel_tokens[slot].push(Delivery {
+                    replica,
+                    node: consumer,
+                    port,
+                    channel,
+                    value,
+                });
+                self.occ.set(slot);
+                self.wheel_count += 1;
+            }
+            return;
+        }
+        let Fabric {
+            replicas,
+            nodes,
+            wheel_ready,
+            occ,
+            wheel_mask,
+            wheel_count,
+            token_seq,
+            cycle,
+            ..
+        } = self;
+        let rep = &mut replicas[ri];
+        let (edges, buf) = (&rep.edge_data[start..end], &mut rep.buf);
+        for &(consumer, port, hops) in edges {
             let dist = extra as u64 + hops as u64;
             debug_assert!(
-                dist > 0 && dist < self.wheel.len() as u64,
+                dist > 0 && dist < wheel_ready.len() as u64,
                 "delivery distance {dist} escaped configure-time validation"
             );
-            let at = self.cycle + dist;
-            let slot = (at & self.wheel_mask) as usize;
-            self.wheel[slot].push(Delivery {
-                replica,
-                node: consumer,
-                port,
-                channel,
-                value,
-            });
-            self.wheel_count += 1;
+            let at = *cycle + dist;
+            let seq = *token_seq;
+            *token_seq += 1;
+            // The packed key needs 32 bits per half. The sequence resets
+            // at every reconfiguration, so overflowing it would take >4e9
+            // tokens through one configuration; cycles are bounded by the
+            // drivers' cycle limits. Cheap always-on checks, since a
+            // silent wrap would corrupt firing order.
+            assert!(
+                seq >> 32 == 0 && at >> 32 == 0,
+                "token write sequence or cycle exceeds the packed 32-bit key"
+            );
+            let entry = &mut buf[consumer as usize * chans + channel as usize];
+            debug_assert_eq!(
+                entry.arrived & (1 << port),
+                0,
+                "duplicate token on node {consumer} port {port} channel {channel}",
+            );
+            entry.arrived |= 1 << port;
+            entry.vals[port as usize] = value;
+            // Writes happen in increasing sequence, so the packed max
+            // keeps the latest (arrival, sequence) pair.
+            entry.key = entry.key.max(at << 32 | seq);
+            let needed = nodes[consumer as usize].needed_mask;
+            if entry.arrived & needed == needed {
+                let rslot = ((entry.key >> 32) & *wheel_mask) as usize;
+                wheel_ready[rslot].push(ReadyEvent {
+                    target: (replica << 16) | consumer,
+                    channel,
+                    key: entry.key,
+                });
+                occ.set(rslot);
+                *wheel_count += 1;
+            }
         }
     }
 
     fn count_fire(&mut self, node: usize, replica: u32, channel: u32) {
         self.stats.firings += 1;
-        match self.nodes[node].kind {
-            UnitKind::Alu => match self.nodes[node].op {
-                DfgOp::Binary(op) if op.class() == OpClass::FpAlu => self.stats.fp_ops += 1,
-                DfgOp::Unary(op) if op.class() == OpClass::FpAlu => self.stats.fp_ops += 1,
-                DfgOp::Fma => self.stats.fp_ops += 1,
-                _ => self.stats.int_alu_ops += 1,
-            },
-            UnitKind::Scu => self.stats.special_ops += 1,
-            UnitKind::SplitJoin => self.stats.split_join_ops += 1,
-            _ => {}
+        match self.nodes[node].stat_class {
+            StatClass::Int => self.stats.int_alu_ops += 1,
+            StatClass::Fp => self.stats.fp_ops += 1,
+            StatClass::Special => self.stats.special_ops += 1,
+            StatClass::SplitJoin => self.stats.split_join_ops += 1,
+            StatClass::Other => {}
         }
-        let ch = self.replicas[replica as usize].channels[channel as usize]
-            .as_mut()
-            .expect("firing on a freed channel");
-        ch.remaining_fires -= 1;
+        let w = &mut self.replicas[replica as usize].ch_work[channel as usize];
+        debug_assert!(*w >> 32 != 0, "firing on a freed channel");
+        *w -= 1 << 32;
     }
 
     fn maybe_free_channel(&mut self, replica: u32, channel: u32) {
         let rep = &mut self.replicas[replica as usize];
-        let Some(ch) = rep.channels[channel as usize] else {
-            return;
-        };
-        if ch.remaining_fires == 0 && ch.pending_mem == 0 {
-            rep.channels[channel as usize] = None;
+        if rep.ch_work[channel as usize] == 0 {
             rep.free_channels.push(channel);
             self.active_channels -= 1;
         }
@@ -685,19 +1026,30 @@ impl Fabric {
         }
     }
 
-    fn try_fire(&mut self, replica: u32, node: u32, env: &mut dyn FabricEnv) {
+    fn try_fire<E: FabricEnv + ?Sized>(&mut self, replica: u32, node: u32, env: &mut E) {
         let r = replica as usize;
         let n = node as usize;
         let Some(&channel) = self.replicas[r].ready[n].front() else {
             return;
         };
+        // Request the consumer entries this firing will write (in
+        // deliver_outputs, after evaluation) while the operands are read.
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let rep = &self.replicas[r];
+            let s = rep.edge_start[n] as usize;
+            let e = rep.edge_start[n + 1] as usize;
+            for &(consumer, _, _) in &rep.edge_data[s..e] {
+                let idx = self.buf_idx(consumer, channel);
+                // In bounds by construction; prefetch has no other effect.
+                unsafe { _mm_prefetch(rep.buf.as_ptr().add(idx).cast::<i8>(), _MM_HINT_T0) };
+            }
+        }
         let entry = self.replicas[r].buf[self.buf_idx(node, channel)];
         let op = self.nodes[n].op;
         let n_sem = self.nodes[n].n_sem as usize;
         let latency = self.nodes[n].latency;
-        let tid = self.replicas[r].channels[channel as usize]
-            .expect("ready entry on freed channel")
-            .tid;
 
         // Memory-facing nodes may have to retry. A predicated-off store
         // issues no memory operation, so it must not block on a full
@@ -714,10 +1066,9 @@ impl Fabric {
                 self.stats.mem_retry_cycles += 1;
                 return;
             }
-            DfgOp::Unary(u) if u.class() == OpClass::Special && !self.scu_instance_free(r, n) => {
-                return;
-            }
-            DfgOp::Binary(b) if b.class() == OpClass::Special && !self.scu_instance_free(r, n) => {
+            DfgOp::Unary(_) | DfgOp::Binary(_)
+                if self.nodes[n].is_scu && self.replicas[r].scu_min_free[n] > self.cycle =>
+            {
                 return;
             }
             _ => {}
@@ -728,7 +1079,7 @@ impl Fabric {
             DfgOp::Unary(u) => {
                 let v = u.eval(self.port_val(n, &entry, 0));
                 self.finish_fire(r, n, channel);
-                if u.class() == OpClass::Special {
+                if self.nodes[n].is_scu {
                     self.occupy_scu(r, n, latency);
                 }
                 self.deliver_outputs(replica, node, channel, v, latency);
@@ -736,7 +1087,7 @@ impl Fabric {
             DfgOp::Binary(b) => {
                 let v = b.eval(self.port_val(n, &entry, 0), self.port_val(n, &entry, 1));
                 self.finish_fire(r, n, channel);
-                if b.class() == OpClass::Special {
+                if self.nodes[n].is_scu {
                     self.occupy_scu(r, n, latency);
                 }
                 self.deliver_outputs(replica, node, channel, v, latency);
@@ -784,12 +1135,7 @@ impl Fabric {
                 self.stats.mem_loads += 1;
             }
             DfgOp::Store => {
-                let gate_ok = if n_sem == 3 {
-                    self.port_val(n, &entry, 2).as_bool()
-                } else {
-                    true
-                };
-                if gate_ok {
+                if !suppressed_store {
                     let addr = self
                         .port_val(n, &entry, 0)
                         .as_u32()
@@ -816,6 +1162,7 @@ impl Fabric {
                 }
             }
             DfgOp::LvLoad(lv) => {
+                let tid = self.replicas[r].ch_tid[channel as usize];
                 let req = self.peek_req();
                 if !env.issue_lv(req, lv.0, tid, false) {
                     self.stats.mem_retry_cycles += 1;
@@ -827,6 +1174,7 @@ impl Fabric {
                 self.stats.lv_loads += 1;
             }
             DfgOp::LvStore(lv) => {
+                let tid = self.replicas[r].ch_tid[channel as usize];
                 let value = self.port_val(n, &entry, 0);
                 let req = self.peek_req();
                 if !env.issue_lv(req, lv.0, tid, true) {
@@ -841,6 +1189,7 @@ impl Fabric {
                 self.deliver_outputs(replica, node, channel, Word::ONE, latency);
             }
             DfgOp::Term(targets) => {
+                let tid = self.replicas[r].ch_tid[channel as usize];
                 let target = match (targets.taken, targets.not_taken) {
                     (Some(t), Some(f)) => {
                         if self.port_val(n, &entry, 0).as_bool() {
@@ -888,11 +1237,13 @@ impl Fabric {
     }
 
     fn begin_mem(&mut self, r: usize, n: usize, channel: u32, req: MemReqId, value: Word) {
-        self.replicas[r].reservation[n] += 1;
-        self.replicas[r].channels[channel as usize]
-            .as_mut()
-            .expect("mem op on freed channel")
-            .pending_mem += 1;
+        let rep = &mut self.replicas[r];
+        rep.reservation[n] += 1;
+        debug_assert!(
+            rep.ch_work[channel as usize] != 0,
+            "mem op on freed channel"
+        );
+        rep.ch_work[channel as usize] += 1;
         let p = PendingMem {
             replica: r as u32,
             node: n as u32,
@@ -911,19 +1262,16 @@ impl Fabric {
         self.pending_count += 1;
     }
 
-    fn scu_instance_free(&self, r: usize, n: usize) -> bool {
-        self.replicas[r].scu_busy[n]
-            .iter()
-            .any(|&b| b <= self.cycle)
-    }
-
     fn occupy_scu(&mut self, r: usize, n: usize, latency: u32) {
         let now = self.cycle;
-        let slot = self.replicas[r].scu_busy[n]
+        let rep = &mut self.replicas[r];
+        let busy = &mut rep.scu_busy[n];
+        let slot = busy
             .iter_mut()
             .find(|b| **b <= now)
-            .expect("caller checked scu_instance_free");
+            .expect("caller checked scu_min_free");
         *slot = now + latency as u64;
+        rep.scu_min_free[n] = busy.iter().copied().min().expect("SCU pool is non-empty");
     }
 }
 

@@ -41,6 +41,27 @@ impl FixedLatencyEnv {
         }
     }
 
+    /// The cycle at which the next in-flight request completes, if any
+    /// (requests complete in FIFO order at fixed latency).
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.in_flight.front().map(|&(t, _)| t)
+    }
+
+    /// Advances the clock by `k` cycles without completing anything.
+    ///
+    /// The caller must not skip past a scheduled completion (use
+    /// [`FixedLatencyEnv::next_event_cycle`] to bound the skip, as the
+    /// processors' fast-forward does with the real memory hierarchy).
+    pub fn advance_idle(&mut self, k: u64) {
+        debug_assert!(
+            self.in_flight
+                .front()
+                .is_none_or(|&(t, _)| t > self.now + k),
+            "advance_idle skipped past a completion"
+        );
+        self.now += k;
+    }
+
     /// Advances time and returns the requests completing this cycle.
     pub fn tick(&mut self) -> Vec<MemReqId> {
         self.now += 1;

@@ -1,0 +1,312 @@
+//! Equivalence of the event-driven fabric core against the retained dense
+//! reference tick: identical retirement order, cycle counts and statistics
+//! on compiled blocks, with and without idle cycle skipping, including
+//! channel-recycling pressure and reconfiguration after a skipped run.
+
+use vgiw_compiler::{compile, CompiledKernel, GridSpec};
+use vgiw_fabric::test_env::FixedLatencyEnv;
+use vgiw_fabric::{Fabric, FabricConfig, FabricStats, Retired};
+use vgiw_ir::{Kernel, KernelBuilder, MemoryImage, UnaryOp, Word};
+
+fn store_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("store", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    b.store(addr, tid);
+    b.finish()
+}
+
+fn copy_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("copy", 2);
+    let tid = b.thread_id();
+    let src = b.param(0);
+    let dst = b.param(1);
+    let sa = b.add(src, tid);
+    let v = b.load(sa);
+    let da = b.add(dst, tid);
+    b.store(da, v);
+    b.finish()
+}
+
+fn sqrt_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("roots", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let f = b.u2f(tid);
+    let r = b.unary(UnaryOp::FSqrt, f);
+    let addr = b.add(base, tid);
+    b.store(addr, r);
+    b.finish()
+}
+
+fn branchy_kernel() -> Kernel {
+    // Multi-block: retirements carry branch targets.
+    let mut b = KernelBuilder::new("branchy", 1);
+    let tid = b.thread_id();
+    let base = b.param(0);
+    let addr = b.add(base, tid);
+    let hundred = b.const_u32(100);
+    let c = b.lt_u(tid, hundred);
+    b.if_(c, |b| {
+        let one = b.const_u32(1);
+        let v = b.add(tid, one);
+        b.store(addr, v);
+    });
+    b.finish()
+}
+
+/// One complete run of block 0 of `ck`: configure, inject `threads`,
+/// drain. `reference` selects the dense reference tick; `skip` drives the
+/// fabric with processor-style idle fast-forward (only meaningful for the
+/// event-driven core). Returns everything the two schedules must agree on.
+struct RunOut {
+    retired: Vec<Retired>,
+    cycles: u64,
+    stats: FabricStats,
+    mem: MemoryImage,
+    skipped: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    ck: &CompiledKernel,
+    cfg: FabricConfig,
+    params: &[Word],
+    threads: u32,
+    mem_words: u32,
+    latency: u64,
+    reference: bool,
+    skip: bool,
+) -> RunOut {
+    let mut fabric = Fabric::new(GridSpec::paper(), cfg);
+    fabric.set_reference_tick(reference);
+    let mut env = FixedLatencyEnv::new(
+        MemoryImage::new(mem_words as usize),
+        ck.num_live_values(),
+        threads,
+        latency,
+    );
+    let cb = &ck.blocks[0];
+    fabric
+        .configure(&cb.dfg, &cb.replicas, params)
+        .expect("configure");
+    for tid in 0..threads {
+        fabric.inject(tid);
+    }
+
+    let mut retired = Vec::new();
+    let mut skipped = 0u64;
+    let mut spin = 0u64;
+    while !fabric.is_drained() {
+        if skip && fabric.is_quiescent() {
+            let now = fabric.cycle();
+            let next = match (fabric.next_wheel_event(), env.next_event_cycle()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            if let Some(t) = next {
+                if t > now + 1 {
+                    let k = t - now - 1;
+                    fabric.advance_idle(k);
+                    env.advance_idle(k);
+                    skipped += k;
+                }
+            }
+        }
+        fabric.tick(&mut env);
+        for req in env.tick() {
+            fabric.on_mem_response(req);
+        }
+        retired.extend(fabric.drain_retired());
+        spin += 1;
+        assert!(spin < 2_000_000, "fabric failed to drain");
+    }
+    RunOut {
+        retired,
+        cycles: fabric.cycle(),
+        stats: *fabric.stats(),
+        mem: env.mem,
+        skipped,
+    }
+}
+
+/// Runs the reference tick and the event-driven core (dense and skipping)
+/// on the same block and asserts they are indistinguishable.
+fn assert_equivalent(
+    name: &str,
+    ck: &CompiledKernel,
+    cfg: FabricConfig,
+    params: &[Word],
+    threads: u32,
+    latency: u64,
+) {
+    let mem_words = 4 * threads.max(64);
+    let reference = run_block(ck, cfg, params, threads, mem_words, latency, true, false);
+    let dense = run_block(ck, cfg, params, threads, mem_words, latency, false, false);
+    let skipping = run_block(ck, cfg, params, threads, mem_words, latency, false, true);
+
+    for (mode, got) in [("dense", &dense), ("skipping", &skipping)] {
+        assert_eq!(
+            reference.retired, got.retired,
+            "{name}/{mode}: retirement order diverges from reference tick"
+        );
+        assert_eq!(
+            reference.cycles, got.cycles,
+            "{name}/{mode}: cycle count diverges"
+        );
+        assert_eq!(
+            reference.stats, got.stats,
+            "{name}/{mode}: fabric statistics diverge"
+        );
+        for a in 0..mem_words {
+            assert_eq!(
+                reference.mem.read(a),
+                got.mem.read(a),
+                "{name}/{mode}: memory diverges at word {a}"
+            );
+        }
+    }
+    assert_eq!(reference.skipped, 0);
+    assert_eq!(dense.skipped, 0);
+}
+
+#[test]
+fn store_block_matches_reference() {
+    let ck = compile(&store_kernel(), &GridSpec::paper()).unwrap();
+    assert_equivalent("store", &ck, FabricConfig::default(), &[Word::ZERO], 256, 4);
+}
+
+#[test]
+fn memory_bound_block_matches_reference() {
+    // Long latency: retirements complete far out of order and the
+    // skipping drain actually skips.
+    let ck = compile(&copy_kernel(), &GridSpec::paper()).unwrap();
+    assert_equivalent(
+        "copy",
+        &ck,
+        FabricConfig::default(),
+        &[Word::ZERO, Word::from_u32(512)],
+        512,
+        40,
+    );
+}
+
+#[test]
+fn scu_blocked_block_matches_reference() {
+    // SCU occupancy keeps nodes blocked-but-active: the event core must
+    // not skip over their retries.
+    let ck = compile(&sqrt_kernel(), &GridSpec::paper()).unwrap();
+    let cfg = FabricConfig {
+        scu_instances: 1,
+        ..FabricConfig::default()
+    };
+    assert_equivalent("sqrt", &ck, cfg, &[Word::ZERO], 256, 4);
+}
+
+#[test]
+fn branchy_block_matches_reference() {
+    let ck = compile(&branchy_kernel(), &GridSpec::paper()).unwrap();
+    assert_equivalent(
+        "branchy",
+        &ck,
+        FabricConfig::default(),
+        &[Word::ZERO],
+        512,
+        6,
+    );
+}
+
+#[test]
+fn channel_recycling_matches_reference_under_skipping() {
+    // Tiny channel pool with far more threads than channels: entries and
+    // channels are recycled constantly, while long memory latency makes
+    // the skipping drain jump over idle stretches. Channel bookkeeping
+    // must survive both at once.
+    let ck = compile(&store_kernel(), &GridSpec::paper()).unwrap();
+    let cfg = FabricConfig {
+        channels_per_unit: 4,
+        ..FabricConfig::default()
+    };
+    assert_equivalent("recycle", &ck, cfg, &[Word::ZERO], 2048, 12);
+
+    // The skipping run must genuinely have skipped on the memory-bound
+    // kernel, or these tests prove nothing about cycle skipping.
+    let ck = compile(&copy_kernel(), &GridSpec::paper()).unwrap();
+    let out = run_block(
+        &ck,
+        FabricConfig::default(),
+        &[Word::ZERO, Word::from_u32(64)],
+        64,
+        256,
+        40,
+        false,
+        true,
+    );
+    assert!(out.skipped > 0, "fast-forward never engaged");
+}
+
+#[test]
+fn reconfigure_after_skipped_run_is_clean() {
+    // A drained event-driven fabric must leave no residue (wheel slots,
+    // in_active flags, busy channels) that a later configure could trip
+    // over — configure's internal debug assertions check the invariants,
+    // and the second run's results check them in release builds too.
+    let grid = GridSpec::paper();
+    let ck = compile(&copy_kernel(), &grid).unwrap();
+    let ck2 = compile(&store_kernel(), &grid).unwrap();
+
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    let mut env = FixedLatencyEnv::new(MemoryImage::new(1024), 0, 256, 40);
+
+    let drive = |fabric: &mut Fabric, env: &mut FixedLatencyEnv| {
+        let mut spin = 0u64;
+        while !fabric.is_drained() {
+            if fabric.is_quiescent() {
+                let now = fabric.cycle();
+                let next = match (fabric.next_wheel_event(), env.next_event_cycle()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+                if let Some(t) = next {
+                    if t > now + 1 {
+                        fabric.advance_idle(t - now - 1);
+                        env.advance_idle(t - now - 1);
+                    }
+                }
+            }
+            fabric.tick(env);
+            for req in env.tick() {
+                fabric.on_mem_response(req);
+            }
+            fabric.drain_retired();
+            spin += 1;
+            assert!(spin < 2_000_000);
+        }
+    };
+
+    let cb = &ck.blocks[0];
+    fabric
+        .configure(&cb.dfg, &cb.replicas, &[Word::ZERO, Word::from_u32(256)])
+        .expect("configure copy");
+    for tid in 0..256 {
+        fabric.inject(tid);
+    }
+    drive(&mut fabric, &mut env);
+
+    let cb2 = &ck2.blocks[0];
+    fabric
+        .configure(&cb2.dfg, &cb2.replicas, &[Word::from_u32(512)])
+        .expect("configure store after skipped run");
+    for tid in 0..256 {
+        fabric.inject(tid);
+    }
+    drive(&mut fabric, &mut env);
+
+    for t in 0..256u32 {
+        assert_eq!(env.mem.read(256 + t), env.mem.read(t), "copy output");
+        assert_eq!(env.mem.read(512 + t).as_u32(), t, "store output");
+    }
+}

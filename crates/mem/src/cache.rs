@@ -46,12 +46,22 @@ impl CacheGeometry {
 
     /// The line index (line-granular address) of a byte address.
     pub fn line_of(&self, byte_addr: u64) -> u64 {
-        byte_addr / self.line_bytes as u64
+        // Line sizes are powers of two in every modelled machine; the
+        // shift keeps 64-bit division out of the per-access hot path.
+        if self.line_bytes.is_power_of_two() {
+            byte_addr >> self.line_bytes.trailing_zeros()
+        } else {
+            byte_addr / self.line_bytes as u64
+        }
     }
 
     /// The bank servicing a line (line-interleaved banking).
     pub fn bank_of(&self, line: u64) -> u32 {
-        (line % self.banks as u64) as u32
+        if self.banks.is_power_of_two() {
+            (line & (self.banks as u64 - 1)) as u32
+        } else {
+            (line % self.banks as u64) as u32
+        }
     }
 }
 
@@ -74,11 +84,20 @@ struct Way {
 }
 
 /// One bank's tag array: set-associative, true-LRU.
+///
+/// Ways are stored in one flat vector (`set * ways + way`) and the set
+/// index uses precomputed shift/mask when the geometry is a power of two,
+/// keeping the per-access lookup free of pointer chasing and division.
 #[derive(Clone, Debug)]
 pub struct CacheArray {
-    sets: Vec<Vec<Way>>,
+    ways: Vec<Way>,
+    ways_per_set: u32,
     num_sets: u32,
     bank_stride: u32,
+    /// `(stride_shift, set_mask)` when both `bank_stride` and `num_sets`
+    /// are powers of two (every modelled L1/LVC; the 6-banked L2 falls
+    /// back to div/mod).
+    pow2: Option<(u32, u64)>,
     tick: u64,
 }
 
@@ -95,27 +114,38 @@ impl CacheArray {
     pub fn new(num_sets: u32, ways: u32, bank_stride: u32) -> CacheArray {
         assert!(num_sets > 0 && ways > 0, "cache must have sets and ways");
         assert!(bank_stride > 0, "bank stride must be positive");
+        let pow2 = (bank_stride.is_power_of_two() && num_sets.is_power_of_two())
+            .then(|| (bank_stride.trailing_zeros(), num_sets as u64 - 1));
         CacheArray {
-            sets: vec![
-                vec![
-                    Way {
-                        line: 0,
-                        valid: false,
-                        dirty: false,
-                        lru: 0
-                    };
-                    ways as usize
-                ];
-                num_sets as usize
+            ways: vec![
+                Way {
+                    line: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                num_sets as usize * ways as usize
             ],
+            ways_per_set: ways,
             num_sets,
             bank_stride,
+            pow2,
             tick: 0,
         }
     }
 
+    #[inline]
     fn set_index(&self, line: u64) -> usize {
-        ((line / self.bank_stride as u64) % self.num_sets as u64) as usize
+        match self.pow2 {
+            Some((shift, mask)) => ((line >> shift) & mask) as usize,
+            None => ((line / self.bank_stride as u64) % self.num_sets as u64) as usize,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let start = self.set_index(line) * self.ways_per_set as usize;
+        start..start + self.ways_per_set as usize
     }
 
     /// Looks up a line; on hit, updates LRU and (if `mark_dirty`) the dirty
@@ -123,8 +153,8 @@ impl CacheArray {
     pub fn access(&mut self, line: u64, mark_dirty: bool) -> bool {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(line);
-        for way in &mut self.sets[set] {
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
             if way.valid && way.line == line {
                 way.lru = tick;
                 if mark_dirty {
@@ -138,8 +168,38 @@ impl CacheArray {
 
     /// Checks presence without touching LRU or dirty state.
     pub fn probe(&self, line: u64) -> bool {
-        let set = self.set_index(line);
-        self.sets[set].iter().any(|w| w.valid && w.line == line)
+        self.probe_way(line).is_some()
+    }
+
+    /// Checks presence without touching LRU or dirty state, returning the
+    /// hit way's flat index so a later [`CacheArray::touch_way`] can skip
+    /// the tag scan.
+    #[inline]
+    pub fn probe_way(&self, line: u64) -> Option<u32> {
+        let range = self.set_range(line);
+        let start = range.start;
+        self.ways[range]
+            .iter()
+            .position(|w| w.valid && w.line == line)
+            .map(|i| (start + i) as u32)
+    }
+
+    /// Completes a hit found by [`CacheArray::probe_way`]: updates LRU and
+    /// (if `mark_dirty`) the dirty bit of the given way.
+    ///
+    /// # Panics
+    /// Panics (or corrupts LRU state in release builds) if `way` did not
+    /// come from a `probe_way` hit on this array with no intervening
+    /// mutation.
+    #[inline]
+    pub fn touch_way(&mut self, line: u64, way: u32, mark_dirty: bool) {
+        self.tick += 1;
+        let w = &mut self.ways[way as usize];
+        debug_assert!(w.valid && w.line == line, "touch_way on a stale probe");
+        w.lru = self.tick;
+        if mark_dirty {
+            w.dirty = true;
+        }
     }
 
     /// Installs a line (after a miss), evicting the LRU victim if the set is
@@ -147,10 +207,11 @@ impl CacheArray {
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(line);
+        let range = self.set_range(line);
+        let set = &mut self.ways[range];
         // If the line is somehow already present (e.g. a racing fill), just
         // refresh it.
-        for way in &mut self.sets[set] {
+        for way in set.iter_mut() {
             if way.valid && way.line == line {
                 way.lru = tick;
                 way.dirty |= dirty;
@@ -158,7 +219,7 @@ impl CacheArray {
             }
         }
         // Prefer an invalid way.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| !w.valid) {
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
             *way = Way {
                 line,
                 valid: true,
@@ -168,7 +229,7 @@ impl CacheArray {
             return None;
         }
         // Evict LRU.
-        let victim = self.sets[set]
+        let victim = set
             .iter_mut()
             .min_by_key(|w| w.lru)
             .expect("sets are never empty");
@@ -187,8 +248,8 @@ impl CacheArray {
 
     /// Invalidates a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let set = self.set_index(line);
-        for way in &mut self.sets[set] {
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
             if way.valid && way.line == line {
                 way.valid = false;
                 return Some(way.dirty);

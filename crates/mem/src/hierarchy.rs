@@ -242,6 +242,9 @@ pub struct MemSystem {
     /// Near events, one slot per cycle of the next `EVENT_WHEEL` cycles.
     /// Slot buffers are drained in place and keep their capacity.
     wheel: Vec<Vec<Event>>,
+    /// One bit per wheel slot with pending events, so the next-event query
+    /// scans four words instead of 256 slot buffers.
+    wheel_occ: [u64; EVENT_WHEEL / 64],
     wheel_count: usize,
     /// Events more than one wheel revolution ahead, ordered by
     /// `(time, sequence)`; dispatched directly when due (wheel first).
@@ -295,6 +298,7 @@ impl MemSystem {
                 .collect(),
             now: 0,
             wheel: (0..EVENT_WHEEL).map(|_| Vec::new()).collect(),
+            wheel_occ: [0; EVENT_WHEEL / 64],
             wheel_count: 0,
             far_events: BinaryHeap::new(),
             event_seq: 0,
@@ -316,7 +320,9 @@ impl MemSystem {
     fn schedule(&mut self, time: u64, event: Event) {
         let t = time.max(self.now + 1);
         if t - self.now < EVENT_WHEEL as u64 {
-            self.wheel[(t & EVENT_WHEEL_MASK) as usize].push(event);
+            let slot = (t & EVENT_WHEEL_MASK) as usize;
+            self.wheel[slot].push(event);
+            self.wheel_occ[slot >> 6] |= 1 << (slot & 63);
             self.wheel_count += 1;
         } else {
             self.event_seq += 1;
@@ -341,7 +347,8 @@ impl MemSystem {
         let now = self.now;
 
         let bank = &mut self.ports[port].banks[bank_idx];
-        let hit = bank.array.probe(line);
+        let hit_way = bank.array.probe_way(line);
+        let hit = hit_way.is_some();
         let allocates = !is_store || config.alloc_policy == AllocPolicy::WriteAllocate;
         if !hit && allocates {
             // MSHR merge first: a secondary miss to an in-flight line needs
@@ -377,11 +384,11 @@ impl MemSystem {
             self.stats.port[port].stores += 1;
         }
 
-        if hit {
+        if let Some(way) = hit_way {
             let mark_dirty = is_store && config.write_policy == WritePolicy::WriteBack;
             self.ports[port].banks[bank_idx]
                 .array
-                .access(line, mark_dirty);
+                .touch_way(line, way, mark_dirty);
             self.stats.port[port].hits += 1;
             if is_store && config.write_policy == WritePolicy::WriteThrough {
                 // Write-through traffic into L2 (fire and forget).
@@ -478,6 +485,7 @@ impl MemSystem {
             // Drain in place and hand the buffer back: dispatching can only
             // schedule *future* events (distance ≥ 1), never into this slot.
             let mut due = std::mem::take(&mut self.wheel[slot]);
+            self.wheel_occ[slot >> 6] &= !(1 << (slot & 63));
             self.wheel_count -= due.len();
             for &event in due.iter() {
                 self.dispatch(event);
@@ -504,15 +512,33 @@ impl MemSystem {
 
     /// Absolute cycle of the earliest pending event, if any. Lets a client
     /// that is otherwise idle fast-forward to just before the next
-    /// completion instead of ticking through dead cycles.
-    pub fn next_event_time(&self) -> Option<u64> {
+    /// completion instead of ticking through dead cycles. O(1): a short
+    /// word scan over the wheel occupancy bitmap plus a heap peek.
+    pub fn next_event_cycle(&self) -> Option<u64> {
         let far = self.far_events.peek().map(|&Reverse((t, _, _))| t);
         let near = if self.wheel_count == 0 {
             None
         } else {
-            (1..=EVENT_WHEEL as u64)
-                .map(|d| self.now + d)
-                .find(|t| !self.wheel[(t & EVENT_WHEEL_MASK) as usize].is_empty())
+            let start = ((self.now + 1) & EVENT_WHEEL_MASK) as usize;
+            let nw = self.wheel_occ.len();
+            let sw = start >> 6;
+            let mut found = None;
+            let first = self.wheel_occ[sw] & (!0u64 << (start & 63));
+            if first != 0 {
+                found = Some((sw << 6) + first.trailing_zeros() as usize);
+            } else {
+                for i in 1..=nw {
+                    let w = (sw + i) & (nw - 1);
+                    if self.wheel_occ[w] != 0 {
+                        found = Some((w << 6) + self.wheel_occ[w].trailing_zeros() as usize);
+                        break;
+                    }
+                }
+            }
+            found.map(|slot| {
+                let dist = (slot.wrapping_sub(start) as u64) & EVENT_WHEEL_MASK;
+                self.now + 1 + dist
+            })
         };
         match (near, far) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -523,7 +549,7 @@ impl MemSystem {
 
     /// Jumps the clock forward `k` cycles in one step. The caller must
     /// guarantee no event falls in the skipped range (see
-    /// [`MemSystem::next_event_time`]) and that completed responses have
+    /// [`MemSystem::next_event_cycle`]) and that completed responses have
     /// been drained; idle cycles carry no other state.
     pub fn advance_idle(&mut self, k: u64) {
         debug_assert!(
@@ -531,7 +557,7 @@ impl MemSystem {
             "fast-forwarding undrained responses"
         );
         debug_assert!(
-            self.next_event_time().is_none_or(|t| t > self.now + k),
+            self.next_event_cycle().is_none_or(|t| t > self.now + k),
             "fast-forward would skip over a scheduled event"
         );
         self.now += k;

@@ -46,6 +46,10 @@ pub struct SgmfConfig {
     /// completion is pending (simulator-speed knob; statistics are
     /// identical either way).
     pub fast_forward: bool,
+    /// Drive the fabric with the dense reference tick instead of the
+    /// event-driven core (equivalence-tested simulator knob; see
+    /// `vgiw_fabric::Fabric::set_reference_tick`).
+    pub reference_tick: bool,
 }
 
 impl Default for SgmfConfig {
@@ -61,6 +65,7 @@ impl Default for SgmfConfig {
             max_replicas: 8,
             cycle_limit: 2_000_000_000,
             fast_forward: true,
+            reference_tick: false,
         }
     }
 }
@@ -158,6 +163,8 @@ pub struct SgmfProcessor {
     config: SgmfConfig,
     fabric: Fabric,
     mem: MemSystem,
+    /// Idle cycles skipped by fast-forward over the processor's lifetime.
+    cycles_skipped: u64,
 }
 
 impl Default for SgmfProcessor {
@@ -169,18 +176,26 @@ impl Default for SgmfProcessor {
 impl SgmfProcessor {
     /// Builds a processor from a configuration.
     pub fn new(config: SgmfConfig) -> SgmfProcessor {
-        let fabric = Fabric::new(config.grid.clone(), config.fabric);
+        let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
+        fabric.set_reference_tick(config.reference_tick);
         let mem = MemSystem::new(vec![config.l1], config.shared);
         SgmfProcessor {
             config,
             fabric,
             mem,
+            cycles_skipped: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SgmfConfig {
         &self.config
+    }
+
+    /// Idle cycles skipped by fast-forward since construction (simulator
+    /// metric; does not affect the architectural `cycles` figures).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
     }
 
     /// If-converts, maps and runs `kernel` for every thread of `launch`.
@@ -213,7 +228,7 @@ impl SgmfProcessor {
             if self.config.fast_forward && self.fabric.is_quiescent() {
                 let now = self.fabric.cycle();
                 debug_assert_eq!(now, self.mem.now(), "clocks out of lockstep");
-                let next = match (self.fabric.next_wheel_event(), self.mem.next_event_time()) {
+                let next = match (self.fabric.next_wheel_event(), self.mem.next_event_cycle()) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, None) => a,
                     (None, b) => b,
@@ -223,6 +238,7 @@ impl SgmfProcessor {
                         let k = t - now - 1;
                         self.fabric.advance_idle(k);
                         self.mem.advance_idle(k);
+                        self.cycles_skipped += k;
                     }
                 }
             }
@@ -235,9 +251,8 @@ impl SgmfProcessor {
             }
             self.mem.tick();
             self.mem.drain_responses_into(&mut resp_buf);
-            for id in resp_buf.drain(..) {
-                self.fabric.on_mem_response(id);
-            }
+            self.fabric.on_mem_responses(&resp_buf);
+            resp_buf.clear();
             self.fabric.drain_retired_into(&mut retire_buf);
             retire_buf.clear();
             if self.fabric.cycle() - start > self.config.cycle_limit {

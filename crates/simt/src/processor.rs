@@ -10,7 +10,6 @@
 use crate::config::SimtConfig;
 use crate::stack::SimtStack;
 use crate::stats::SimtRunStats;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use vgiw_ir::{
@@ -18,6 +17,68 @@ use vgiw_ir::{
     Terminator, Word,
 };
 use vgiw_mem::MemSystem;
+
+/// Open-addressed map from in-flight memory transaction id to its owning
+/// warp and destination register.
+///
+/// Transaction ids are sequential, and the outstanding window is bounded by
+/// the memory system's queues and MSHRs, so `id & mask` into a ring of slots
+/// almost never collides; a collision (two live ids sharing low bits) grows
+/// the ring. Replaces a `HashMap` on the per-transaction hot path.
+struct TxnSlab {
+    slots: Vec<Option<(u64, usize, Option<Reg>)>>,
+    mask: u64,
+}
+
+impl TxnSlab {
+    fn new() -> TxnSlab {
+        TxnSlab {
+            slots: vec![None; 1024],
+            mask: 1023,
+        }
+    }
+
+    fn insert(&mut self, id: u64, warp: usize, dst: Option<Reg>) {
+        loop {
+            let i = (id & self.mask) as usize;
+            if self.slots[i].is_none() {
+                self.slots[i] = Some((id, warp, dst));
+                return;
+            }
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut cap = self.slots.len() * 2;
+        'retry: loop {
+            let mask = cap as u64 - 1;
+            let mut slots = vec![None; cap];
+            for &e in self.slots.iter().flatten() {
+                let i = (e.0 & mask) as usize;
+                if slots[i].is_some() {
+                    cap *= 2;
+                    continue 'retry;
+                }
+                slots[i] = Some(e);
+            }
+            self.slots = slots;
+            self.mask = mask;
+            return;
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<(usize, Option<Reg>)> {
+        let i = (id & self.mask) as usize;
+        match self.slots[i] {
+            Some((sid, warp, dst)) if sid == id => {
+                self.slots[i] = None;
+                Some((warp, dst))
+            }
+            _ => None,
+        }
+    }
+}
 
 /// SIMT execution failure.
 #[derive(Debug)]
@@ -149,7 +210,7 @@ impl SimtProcessor {
 
         // Scoreboard completion events and memory transaction bookkeeping.
         let mut wb_events: Vec<(u64, usize, Reg)> = Vec::new();
-        let mut txn_owner: HashMap<u64, (usize, Option<Reg>)> = HashMap::new();
+        let mut txn_owner = TxnSlab::new();
         let mut next_req: u64 = 0;
         let mut cycle: u64 = 0;
         let mut sfu_busy_until: u64 = 0;
@@ -181,7 +242,7 @@ impl SimtProcessor {
             // Memory system.
             self.mem.tick();
             for id in self.mem.drain_responses() {
-                if let Some((w, Some(dst))) = txn_owner.remove(&id) {
+                if let Some((w, Some(dst))) = txn_owner.remove(id) {
                     let warp = &mut warps[w];
                     warp.load_outstanding[dst.index()] -= 1;
                     // The register completes only when no transaction of
@@ -217,7 +278,7 @@ impl SimtProcessor {
                         if let Some(d) = dst {
                             warps[w].load_outstanding[d.index()] += 1;
                         }
-                        txn_owner.insert(req, (w, dst));
+                        txn_owner.insert(req, w, dst);
                         stats.mem_transactions += 1;
                         pushed += 1;
                     } else {
