@@ -2,6 +2,10 @@
 # Offline CI: format, lint, build, test. Run from the repo root.
 set -eu
 
+# Wall-clock cap on every test invocation: a hung test (the exact failure
+# mode the robustness layer exists to catch) must fail CI, not wedge it.
+TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -11,8 +15,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test (workspace)"
-cargo test --workspace -q
+echo "==> cargo test (workspace, ${TEST_TIMEOUT}s cap)"
+timeout "$TEST_TIMEOUT" cargo test --workspace -q
+
+echo "==> fault injection (every fault class caught within budget)"
+# Deterministic fault plans — dropped tokens, dropped retirements,
+# dropped/duplicated memory responses, flipped CVT bits, wedged memory
+# systems — must each be caught by the watchdog or an invariant checker
+# and produce a diagnostic naming the stuck resource.
+timeout "$TEST_TIMEOUT" cargo test --release -q -p vgiw-fabric --test fault_injection
+timeout "$TEST_TIMEOUT" cargo test --release -q -p vgiw-core -- watchdog violation conservation
+timeout "$TEST_TIMEOUT" cargo test --release -q -p vgiw-simt -- watchdog violation
+timeout "$TEST_TIMEOUT" cargo test --release -q -p vgiw-sgmf -- watchdog violation conservation
 
 echo "==> golden cycle counts (per app, per machine)"
 # Simulated cycle counts are part of the repo's contract: simulator-speed
@@ -20,12 +34,24 @@ echo "==> golden cycle counts (per app, per machine)"
 # them. Any intentional timing-model change must regenerate this baseline
 # and explain the delta.
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+tmp_checked="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_checked"' EXIT
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
 done > "$tmp"
 diff golden_cycles.txt "$tmp" || {
     echo "ci: simulated cycle counts changed (see diff above)" >&2
+    exit 1
+}
+
+echo "==> golden cycle counts with invariant checks enabled"
+# The watchdog and checkers are pure observers: a clean suite must report
+# zero violations (no false positives) and bit-identical cycle counts.
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" --checks 2>/dev/null
+done > "$tmp_checked"
+diff golden_cycles.txt "$tmp_checked" || {
+    echo "ci: invariant checks perturbed cycle counts or flagged a clean run" >&2
     exit 1
 }
 

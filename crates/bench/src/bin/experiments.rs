@@ -18,18 +18,54 @@
 //! cycle table instead of the cross-machine figures; it combines with
 //! `all` (the default `what`) and `--only`, not with figure or `perf`
 //! modes, which inherently compare machines.
+//!
+//! `--checks` enables the full invariant-checker set (token conservation,
+//! CVT consistency, LV coherence) on every machine; cycle counts are
+//! bit-identical with or without it. Failing apps no longer abort the
+//! suite: remaining rows are produced, a failure table is printed at the
+//! end, and the process exits nonzero.
 
-use vgiw_bench::harness::{measure_machine, MachineKind};
+use vgiw_bench::harness::{
+    measure_machine_outcome, measure_suite_outcomes, AppOutcome, AppResult, MachineKind, RunOutcome,
+};
 use vgiw_bench::report;
 use vgiw_kernels::Benchmark;
+use vgiw_robust::ChecksConfig;
+
+/// Prints a table of every (app, machine) failure; returns whether any
+/// occurred.
+fn report_failures(outcomes: &[AppOutcome]) -> bool {
+    let mut any = false;
+    for o in outcomes {
+        for (machine, error) in o.failures() {
+            if !any {
+                eprintln!("\nFAILURES");
+                any = true;
+            }
+            eprintln!("  {:<8} {:<6} {error}", o.app, machine);
+        }
+    }
+    any
+}
+
+/// Extracts the figure-facing results from the outcomes that produced
+/// them; failed apps are simply absent from the figures.
+fn usable_results(outcomes: &[AppOutcome]) -> Vec<AppResult> {
+    outcomes.iter().filter_map(AppOutcome::result).collect()
+}
 
 fn main() {
     let mut jobs: Option<usize> = None;
     let mut only: Option<String> = None;
     let mut machine: Option<MachineKind> = None;
+    let mut checks = ChecksConfig::default();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if arg == "--checks" {
+            checks = ChecksConfig::full();
+            continue;
+        }
         let mut flag_value = |name: &str| -> Option<String> {
             if arg == name {
                 Some(args.next().unwrap_or_else(|| {
@@ -91,10 +127,11 @@ fn main() {
             benches.len()
         );
         println!("  app      machine      cycles    launches     threads");
+        let mut failed = false;
         for bench in &benches {
-            let (result, _) = measure_machine(bench, kind);
-            match result {
-                Ok(r) => println!(
+            let (outcome, _) = measure_machine_outcome(bench, kind, checks);
+            match outcome {
+                RunOutcome::Ok(r) => println!(
                     "  {:<8} {:<6} {:>10} {:>11} {:>11}",
                     bench.app,
                     kind.name(),
@@ -102,8 +139,23 @@ fn main() {
                     r.launches,
                     r.threads
                 ),
-                Err(e) => println!("  {:<8} {:<6} n/a ({e})", bench.app, kind.name()),
+                RunOutcome::Skipped(e) => {
+                    println!("  {:<8} {:<6} n/a ({e})", bench.app, kind.name())
+                }
+                RunOutcome::Failed(e) => {
+                    println!("  {:<8} {:<6} FAILED", bench.app, kind.name());
+                    eprintln!("  {:<8} {:<6} {e}", bench.app, kind.name());
+                    failed = true;
+                }
+                RunOutcome::Hung(r) => {
+                    println!("  {:<8} {:<6} HUNG", bench.app, kind.name());
+                    eprintln!("  {:<8} {:<6} {r}", bench.app, kind.name());
+                    failed = true;
+                }
             }
+        }
+        if failed {
+            std::process::exit(1);
         }
         return;
     }
@@ -119,13 +171,16 @@ fn main() {
             let perf = vgiw_bench::measure_perf_on(&benches, scale, jobs);
             print!("{}", perf.summary());
             let path = "BENCH_perf.json";
-            std::fs::write(path, perf.to_json())
-                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            if let Err(e) = std::fs::write(path, perf.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
             eprintln!("wrote {path}");
         }
         "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
             eprintln!("running suite (scale {scale}, {jobs} jobs)...");
-            let results = vgiw_bench::harness::measure_suite(&filtered(scale), jobs);
+            let (outcomes, _) = measure_suite_outcomes(&filtered(scale), jobs, checks);
+            let results = usable_results(&outcomes);
             let text = match what {
                 "fig3" => report::fig3(&results),
                 "fig7" => report::fig7(&results),
@@ -136,6 +191,9 @@ fn main() {
                 _ => report::config_overhead(&results),
             };
             print!("{text}");
+            if report_failures(&outcomes) {
+                std::process::exit(1);
+            }
         }
         "all" => {
             print!("{}", report::table1());
@@ -146,7 +204,8 @@ fn main() {
             print!("{}", report::mappability(&benches));
             println!();
             eprintln!("running suite on all machines (scale {scale}, {jobs} jobs)...");
-            let results = vgiw_bench::harness::measure_suite(&benches, jobs);
+            let (outcomes, _) = measure_suite_outcomes(&benches, jobs, checks);
+            let results = usable_results(&outcomes);
             for text in [
                 report::fig3(&results),
                 report::fig7(&results),
@@ -158,6 +217,9 @@ fn main() {
             ] {
                 print!("{text}");
                 println!();
+            }
+            if report_failures(&outcomes) {
+                std::process::exit(1);
             }
         }
         other => {

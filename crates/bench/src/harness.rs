@@ -11,12 +11,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use vgiw_compiler::CompiledKernel;
-use vgiw_core::{VgiwConfig, VgiwProcessor, VgiwRunStats};
+use vgiw_core::{VgiwConfig, VgiwError, VgiwProcessor, VgiwRunStats};
 use vgiw_ir::{Kernel, Launch, MemoryImage};
 use vgiw_kernels::{Benchmark, Launcher};
 use vgiw_power::{EnergyBreakdown, EnergyModel};
-use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
-use vgiw_simt::{SimtConfig, SimtProcessor};
+use vgiw_robust::{ChecksConfig, DeadlockReport};
+use vgiw_sgmf::{SgmfConfig, SgmfError, SgmfProcessor};
+use vgiw_simt::{SimtConfig, SimtError, SimtProcessor};
 
 /// Totals accumulated while one machine runs one benchmark.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -66,6 +67,10 @@ pub struct VgiwLauncher {
     /// Simulation events processed: node firings plus tokens delivered
     /// (the units of work of the event-driven fabric core).
     pub events: u64,
+    /// The deadlock report behind the last launch failure, if the failure
+    /// was a watchdog abort (the stringly [`Launcher`] error channel
+    /// cannot carry it).
+    pub last_deadlock: Option<DeadlockReport>,
 }
 
 impl VgiwLauncher {
@@ -79,6 +84,7 @@ impl VgiwLauncher {
             runs: Vec::new(),
             compile_s: 0.0,
             events: 0,
+            last_deadlock: None,
         }
     }
 
@@ -109,10 +115,12 @@ impl Launcher for VgiwLauncher {
             self.compiled.insert(kernel.name.clone(), ck);
         }
         let ck = &self.compiled[&kernel.name];
-        let stats = self
-            .proc
-            .run_compiled(ck, launch, mem)
-            .map_err(|e| e.to_string())?;
+        let stats = self.proc.run_compiled(ck, launch, mem).map_err(|e| {
+            if let VgiwError::Deadlock(r) = &e {
+                self.last_deadlock = Some((**r).clone());
+            }
+            e.to_string()
+        })?;
         self.result.cycles += stats.cycles;
         self.result.lvc_accesses += stats.lvc_accesses();
         self.result.config_cycles += stats.config_cycles;
@@ -135,6 +143,8 @@ pub struct SimtLauncher {
     /// Simulation events processed: warp instructions issued plus memory
     /// transactions (the SIMT model has no cycle skipping).
     pub events: u64,
+    /// The deadlock report behind the last launch failure, if any.
+    pub last_deadlock: Option<DeadlockReport>,
 }
 
 impl SimtLauncher {
@@ -145,6 +155,7 @@ impl SimtLauncher {
             model: EnergyModel::new(),
             result: MachineResult::default(),
             events: 0,
+            last_deadlock: None,
         }
     }
 }
@@ -162,10 +173,12 @@ impl Launcher for SimtLauncher {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        let stats = self
-            .proc
-            .run(kernel, launch, mem)
-            .map_err(|e| e.to_string())?;
+        let stats = self.proc.run(kernel, launch, mem).map_err(|e| {
+            if let SimtError::Deadlock(r) = &e {
+                self.last_deadlock = Some((**r).clone());
+            }
+            e.to_string()
+        })?;
         self.result.cycles += stats.cycles;
         self.result.rf_accesses += stats.rf_accesses();
         self.result.launches += 1;
@@ -184,6 +197,8 @@ pub struct SgmfLauncher {
     pub result: MachineResult,
     /// Simulation events processed: node firings plus tokens delivered.
     pub events: u64,
+    /// The deadlock report behind the last launch failure, if any.
+    pub last_deadlock: Option<DeadlockReport>,
 }
 
 impl SgmfLauncher {
@@ -194,6 +209,7 @@ impl SgmfLauncher {
             model: EnergyModel::new(),
             result: MachineResult::default(),
             events: 0,
+            last_deadlock: None,
         }
     }
 
@@ -216,10 +232,12 @@ impl Launcher for SgmfLauncher {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        let stats = self
-            .proc
-            .run(kernel, launch, mem)
-            .map_err(|e| e.to_string())?;
+        let stats = self.proc.run(kernel, launch, mem).map_err(|e| {
+            if let SgmfError::Deadlock(r) = &e {
+                self.last_deadlock = Some((**r).clone());
+            }
+            e.to_string()
+        })?;
         self.result.cycles += stats.cycles;
         self.result.launches += 1;
         self.result.threads += launch.num_threads as u64;
@@ -360,52 +378,111 @@ pub struct AppPerf {
     pub sgmf: Option<MachinePerf>,
 }
 
-/// Runs one benchmark on one machine (functional verification included)
-/// and times it.
-///
-/// # Panics
-/// Panics if VGIW or the SIMT baseline fail: those must run everything.
-/// SGMF unmappability is the one reportable error.
-pub fn measure_machine(
+/// What happened when one machine ran one benchmark.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The machine ran the benchmark to completion and verified.
+    Ok(MachineResult),
+    /// The machine declined the benchmark for an expected, reportable
+    /// reason (SGMF unmappability). Not a failure.
+    Skipped(String),
+    /// The machine failed: a typed error, a verification mismatch or a
+    /// caught panic.
+    Failed(String),
+    /// The machine hung and the watchdog aborted it.
+    Hung(Box<DeadlockReport>),
+}
+
+impl RunOutcome {
+    /// The result, if the run completed.
+    pub fn ok(&self) -> Option<&MachineResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A description of the failure, if the run failed or hung
+    /// (`Skipped` is not a failure).
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            RunOutcome::Ok(_) | RunOutcome::Skipped(_) => None,
+            RunOutcome::Failed(e) => Some(e.clone()),
+            RunOutcome::Hung(r) => Some(r.to_string()),
+        }
+    }
+}
+
+/// Runs one benchmark on one machine without panicking: machine errors,
+/// watchdog aborts and even panics inside the simulator come back as
+/// [`RunOutcome`] variants so the rest of a suite keeps running. The
+/// `checks` configuration is threaded into the machine.
+pub fn measure_machine_outcome(
     bench: &Benchmark,
     kind: MachineKind,
-) -> (Result<MachineResult, String>, MachinePerf) {
+    checks: ChecksConfig,
+) -> (RunOutcome, MachinePerf) {
     let t0 = Instant::now();
-    let (result, compile_s, events, cycles_skipped) = match kind {
-        MachineKind::Vgiw => {
-            let mut vgiw = VgiwLauncher::default();
-            bench
-                .run(&mut vgiw)
-                .unwrap_or_else(|e| panic!("VGIW failed on {}: {e}", bench.app));
-            let skipped = vgiw.cycles_skipped();
-            (Ok(vgiw.result), vgiw.compile_s, vgiw.events, skipped)
-        }
-        MachineKind::Simt => {
-            let mut simt = SimtLauncher::default();
-            bench
-                .run(&mut simt)
-                .unwrap_or_else(|e| panic!("SIMT failed on {}: {e}", bench.app));
-            (Ok(simt.result), 0.0, simt.events, 0)
-        }
-        MachineKind::Sgmf => {
-            let mut sgmf = SgmfLauncher::default();
-            let r = match bench.run(&mut sgmf) {
-                Ok(()) => Ok(sgmf.result),
-                // Unmappability is the expected, reportable outcome;
-                // anything else (e.g. a golden-image mismatch) is a
-                // simulator bug and must not be silently folded into the
-                // "n/a" rows.
-                Err(e) if e.contains("not SGMF-mappable") => Err(e),
-                Err(e) => panic!("SGMF failed functionally on {}: {e}", bench.app),
-            };
-            let skipped = sgmf.cycles_skipped();
-            (r, 0.0, sgmf.events, skipped)
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> (Result<MachineResult, String>, Option<DeadlockReport>, f64, u64, u64) {
+            match kind {
+                MachineKind::Vgiw => {
+                    let mut vgiw = VgiwLauncher::new(VgiwConfig {
+                        checks,
+                        ..VgiwConfig::default()
+                    });
+                    let r = bench.run(&mut vgiw).map(|()| vgiw.result);
+                    let skipped = vgiw.cycles_skipped();
+                    (r, vgiw.last_deadlock, vgiw.compile_s, vgiw.events, skipped)
+                }
+                MachineKind::Simt => {
+                    let mut simt = SimtLauncher::new(SimtConfig {
+                        checks,
+                        ..SimtConfig::default()
+                    });
+                    let r = bench.run(&mut simt).map(|()| simt.result);
+                    (r, simt.last_deadlock, 0.0, simt.events, 0)
+                }
+                MachineKind::Sgmf => {
+                    let mut sgmf = SgmfLauncher::new(SgmfConfig {
+                        checks,
+                        ..SgmfConfig::default()
+                    });
+                    let r = bench.run(&mut sgmf).map(|()| sgmf.result);
+                    let skipped = sgmf.cycles_skipped();
+                    (r, sgmf.last_deadlock, 0.0, sgmf.events, skipped)
+                }
+            }
+        },
+    ));
+    let (result, deadlock, compile_s, events, cycles_skipped) = match run {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            (Err(format!("panic: {msg}")), None, 0.0, 0, 0)
         }
     };
+    let outcome = match result {
+        Ok(r) => RunOutcome::Ok(r),
+        Err(_) if deadlock.is_some() => {
+            RunOutcome::Hung(Box::new(deadlock.expect("checked is_some")))
+        }
+        // Unmappability is the expected, reportable outcome for SGMF;
+        // anything else (e.g. a golden-image mismatch) is a failure and
+        // must not be silently folded into the "n/a" rows.
+        Err(e) if kind == MachineKind::Sgmf && e.contains("not SGMF-mappable") => {
+            RunOutcome::Skipped(e)
+        }
+        Err(e) => RunOutcome::Failed(e),
+    };
     let wall_s = t0.elapsed().as_secs_f64();
-    let (cycles, threads) = match &result {
-        Ok(r) => (r.cycles, r.threads),
-        Err(_) => (0, 0),
+    let (cycles, threads) = match outcome.ok() {
+        Some(r) => (r.cycles, r.threads),
+        None => (0, 0),
     };
     let perf = MachinePerf {
         compile_s,
@@ -415,7 +492,80 @@ pub fn measure_machine(
         events,
         cycles_skipped,
     };
+    (outcome, perf)
+}
+
+/// Runs one benchmark on one machine (functional verification included)
+/// and times it.
+///
+/// # Panics
+/// Panics if VGIW or the SIMT baseline fail: those must run everything.
+/// SGMF unmappability is the one reportable error. (The non-panicking
+/// variant is [`measure_machine_outcome`].)
+pub fn measure_machine(
+    bench: &Benchmark,
+    kind: MachineKind,
+) -> (Result<MachineResult, String>, MachinePerf) {
+    let (outcome, perf) = measure_machine_outcome(bench, kind, ChecksConfig::default());
+    let result = match outcome {
+        RunOutcome::Ok(r) => Ok(r),
+        RunOutcome::Skipped(e) => Err(e),
+        RunOutcome::Failed(e) => {
+            panic!("{} failed on {}: {e}", kind.name(), bench.app)
+        }
+        RunOutcome::Hung(r) => panic!("{} hung on {}: {r}", kind.name(), bench.app),
+    };
     (result, perf)
+}
+
+/// Outcomes of one benchmark across all machines — the graceful-degradation
+/// counterpart of [`AppResult`]: a failing machine is recorded, not fatal.
+#[derive(Debug)]
+pub struct AppOutcome {
+    /// Application name.
+    pub app: &'static str,
+    /// VGIW outcome.
+    pub vgiw: RunOutcome,
+    /// Fermi-like SIMT outcome.
+    pub simt: RunOutcome,
+    /// SGMF outcome (`Skipped` for unmappable kernels).
+    pub sgmf: RunOutcome,
+}
+
+impl AppOutcome {
+    /// Converts to the figure-facing [`AppResult`], if every machine
+    /// either completed or (SGMF only) was skipped.
+    pub fn result(&self) -> Option<AppResult> {
+        let vgiw = *self.vgiw.ok()?;
+        let simt = *self.simt.ok()?;
+        let sgmf = match &self.sgmf {
+            RunOutcome::Ok(r) => Ok(*r),
+            RunOutcome::Skipped(e) => Err(e.clone()),
+            RunOutcome::Failed(_) | RunOutcome::Hung(_) => return None,
+        };
+        Some(AppResult {
+            app: self.app,
+            vgiw,
+            simt,
+            sgmf,
+        })
+    }
+
+    /// `(machine name, description)` for every machine that failed or
+    /// hung on this benchmark.
+    pub fn failures(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        for (kind, outcome) in [
+            (MachineKind::Vgiw, &self.vgiw),
+            (MachineKind::Simt, &self.simt),
+            (MachineKind::Sgmf, &self.sgmf),
+        ] {
+            if let Some(e) = outcome.failure() {
+                out.push((kind.name(), e));
+            }
+        }
+        out
+    }
 }
 
 /// Runs one benchmark on all three machines (functional verification
@@ -462,10 +612,41 @@ pub fn measure_suite(benches: &[Benchmark], jobs: usize) -> Vec<AppResult> {
 }
 
 /// [`measure_suite`], also returning per-app wall-clock records.
+///
+/// # Panics
+/// Panics if any machine fails or hangs (SGMF unmappability excepted).
+/// The graceful variant is [`measure_suite_outcomes`].
 pub fn measure_suite_with_perf(
     benches: &[Benchmark],
     jobs: usize,
 ) -> (Vec<AppResult>, Vec<AppPerf>) {
+    let (outcomes, perfs) = measure_suite_outcomes(benches, jobs, ChecksConfig::default());
+    let results = outcomes
+        .iter()
+        .map(|o| {
+            o.result().unwrap_or_else(|| {
+                let failures = o
+                    .failures()
+                    .into_iter()
+                    .map(|(m, e)| format!("{m}: {e}"))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                panic!("{} failed: {failures}", o.app)
+            })
+        })
+        .collect();
+    (results, perfs)
+}
+
+/// Runs the whole suite without aborting on failures: each (benchmark,
+/// machine) job reports a [`RunOutcome`], so one wedged or crashing app
+/// leaves every other row intact. Worker-pool semantics are identical to
+/// [`measure_suite_with_perf`].
+pub fn measure_suite_outcomes(
+    benches: &[Benchmark],
+    jobs: usize,
+    checks: ChecksConfig,
+) -> (Vec<AppOutcome>, Vec<AppPerf>) {
     // Benchmark-major job order: a worker claiming job i runs benchmark
     // i / 3 on machine i % 3.
     let job_list: Vec<(usize, MachineKind)> = benches
@@ -474,13 +655,14 @@ pub fn measure_suite_with_perf(
         .flat_map(|(b, _)| MACHINES.iter().map(move |&m| (b, m)))
         .collect();
 
-    type JobOut = (Result<MachineResult, String>, MachinePerf);
+    type JobOut = (RunOutcome, MachinePerf);
     let slots: Vec<Mutex<Option<JobOut>>> = job_list.iter().map(|_| Mutex::new(None)).collect();
 
     let workers = jobs.min(job_list.len());
     if workers <= 1 {
         for (slot, &(b, m)) in slots.iter().zip(&job_list) {
-            *slot.lock().expect("job slot poisoned") = Some(measure_machine(&benches[b], m));
+            *slot.lock().expect("job slot poisoned") =
+                Some(measure_machine_outcome(&benches[b], m, checks));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -491,7 +673,7 @@ pub fn measure_suite_with_perf(
                     let Some(&(b, m)) = job_list.get(i) else {
                         break;
                     };
-                    let out = measure_machine(&benches[b], m);
+                    let out = measure_machine_outcome(&benches[b], m, checks);
                     *slots[i].lock().expect("job slot poisoned") = Some(out);
                 });
             }
@@ -509,11 +691,11 @@ pub fn measure_suite_with_perf(
         let (vgiw, vgiw_p) = out.next().expect("one VGIW job per benchmark");
         let (simt, simt_p) = out.next().expect("one SIMT job per benchmark");
         let (sgmf, sgmf_p) = out.next().expect("one SGMF job per benchmark");
-        let sgmf_perf = sgmf.as_ref().ok().map(|_| sgmf_p);
-        results.push(AppResult {
+        let sgmf_perf = sgmf.ok().map(|_| sgmf_p);
+        results.push(AppOutcome {
             app: bench.app,
-            vgiw: vgiw.expect("VGIW result is infallible by construction"),
-            simt: simt.expect("SIMT result is infallible by construction"),
+            vgiw,
+            simt,
             sgmf,
         });
         perfs.push(AppPerf {
@@ -548,6 +730,52 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn failed_machine_degrades_gracefully() {
+        // A failing machine must not take down the app row: the outcome
+        // records the failure, `result()` declines, and `failures()`
+        // names machine and cause.
+        let outcome = AppOutcome {
+            app: "synthetic",
+            vgiw: RunOutcome::Failed("verification mismatch".to_string()),
+            simt: RunOutcome::Ok(MachineResult::default()),
+            sgmf: RunOutcome::Skipped("kernel not SGMF-mappable: loop".to_string()),
+        };
+        assert!(outcome.result().is_none());
+        let failures = outcome.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "vgiw");
+        assert!(failures[0].1.contains("verification mismatch"));
+
+        // All-ok (with SGMF skipped) converts; the skip reason survives.
+        let ok = AppOutcome {
+            app: "synthetic",
+            vgiw: RunOutcome::Ok(MachineResult::default()),
+            simt: RunOutcome::Ok(MachineResult::default()),
+            sgmf: RunOutcome::Skipped("kernel not SGMF-mappable: loop".to_string()),
+        };
+        assert!(ok.failures().is_empty());
+        let r = ok.result().expect("convertible");
+        assert!(r.sgmf.unwrap_err().contains("not SGMF-mappable"));
+    }
+
+    #[test]
+    fn suite_outcomes_match_panicking_api() {
+        let bench = vgiw_kernels::nn::build(1);
+        let (outcomes, _) =
+            measure_suite_outcomes(std::slice::from_ref(&bench), 1, ChecksConfig::full());
+        assert_eq!(outcomes.len(), 1);
+        let with_checks = outcomes[0].result().expect("nn runs on all machines");
+        let plain = measure(&bench);
+        // The checkers are pure observers: cycle-identical results.
+        assert_eq!(with_checks.vgiw.cycles, plain.vgiw.cycles);
+        assert_eq!(with_checks.simt.cycles, plain.simt.cycles);
+        assert_eq!(
+            with_checks.sgmf.as_ref().unwrap().cycles,
+            plain.sgmf.as_ref().unwrap().cycles
+        );
     }
 
     #[test]

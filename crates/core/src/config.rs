@@ -1,8 +1,42 @@
 //! VGIW processor configuration (the paper's Table 1).
 
 use vgiw_compiler::GridSpec;
-use vgiw_fabric::FabricConfig;
+use vgiw_fabric::{FabricConfig, FabricFaults};
 use vgiw_mem::{L1Config, SharedConfig};
+use vgiw_robust::{ChecksConfig, ResponseTamper};
+
+/// A deterministic CVT bit-flip fault (state upset in the CVT RAM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CvtFlip {
+    /// Flip when this (0-based) block execution completes.
+    pub after_exec: u64,
+    /// Block vector to flip in.
+    pub block: u32,
+    /// Tile-relative thread bit to flip.
+    pub bit: u32,
+}
+
+/// Deterministic fault plan for one VGIW run (fault-injection tests only;
+/// everything `None`/inactive in normal operation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreFaults {
+    /// Faults injected inside the fabric (dropped tokens / retirements).
+    pub fabric: FabricFaults,
+    /// Tampering applied to the memory response stream between the
+    /// hierarchy and the fabric (drop / duplicate the nth response).
+    pub responses: ResponseTamper,
+    /// Flip one CVT bit after a given block execution.
+    pub flip_cvt_bit: Option<CvtFlip>,
+}
+
+impl CoreFaults {
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        self.fabric != FabricFaults::default()
+            || self.responses.active()
+            || self.flip_cvt_bit.is_some()
+    }
+}
 
 /// Complete configuration of one VGIW core plus its memory system.
 #[derive(Clone, Debug)]
@@ -41,6 +75,12 @@ pub struct VgiwConfig {
     /// counts and statistics. Exists for regression testing and as an
     /// executable specification of the timing model.
     pub reference_tick: bool,
+    /// Robustness layer: watchdog budget and invariant checkers. The
+    /// watchdog and checkers are pure observers — enabling them leaves
+    /// every cycle count bit-identical.
+    pub checks: ChecksConfig,
+    /// Deterministic fault injection (tests only).
+    pub faults: CoreFaults,
 }
 
 impl Default for VgiwConfig {
@@ -59,6 +99,8 @@ impl Default for VgiwConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            checks: ChecksConfig::default(),
+            faults: CoreFaults::default(),
         }
     }
 }

@@ -161,6 +161,84 @@ impl Cvt {
     pub fn total_pending(&self) -> u32 {
         self.counts.iter().sum()
     }
+
+    /// Number of block vectors.
+    pub fn num_blocks(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Threads this tile covers.
+    pub fn tile_threads(&self) -> u32 {
+        self.tile_threads
+    }
+
+    /// Flips one thread's bit in `block`'s vector (fault injection only:
+    /// models a state upset in the CVT RAM). The set-bit count follows the
+    /// storage, as it would in hardware re-deriving it.
+    pub fn flip_bit(&mut self, block: BlockId, rel_tid: u32) {
+        assert!(rel_tid < self.tile_threads, "flip outside tile");
+        let w = (rel_tid / 64) as usize;
+        let mask = 1u64 << (rel_tid % 64);
+        let vec = &mut self.vectors[block.index()];
+        if vec[w] & mask != 0 {
+            vec[w] &= !mask;
+            self.counts[block.index()] -= 1;
+        } else {
+            vec[w] |= mask;
+            self.counts[block.index()] += 1;
+        }
+    }
+
+    /// Verifies the CVT bit-vector invariant: every live thread is armed
+    /// in exactly one block — no thread in two vectors, no bit outside the
+    /// tile, per-block counts matching their vectors, and
+    /// `pending + exited == tile_threads` (every thread is either pending
+    /// somewhere or has exited). Returns a description of the first
+    /// violation found.
+    pub fn check_consistency(&self, exited: u32) -> Result<(), String> {
+        let words = self.tile_threads.div_ceil(64) as usize;
+        for w in 0..words {
+            let mut seen = 0u64;
+            for (b, vec) in self.vectors.iter().enumerate() {
+                let dup = seen & vec[w];
+                if dup != 0 {
+                    let tid = (w as u32) * 64 + dup.trailing_zeros();
+                    return Err(format!(
+                        "thread {tid} is armed in multiple blocks (block {b} and an earlier one)"
+                    ));
+                }
+                seen |= vec[w];
+            }
+            // Bits past the tile in the last word must stay clear.
+            let lo = (w as u32) * 64;
+            let n = (self.tile_threads - lo.min(self.tile_threads)).min(64);
+            let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            if seen & !valid != 0 {
+                let tid = lo + (seen & !valid).trailing_zeros();
+                return Err(format!(
+                    "thread {tid} is armed but outside the {}-thread tile",
+                    self.tile_threads
+                ));
+            }
+        }
+        for (b, vec) in self.vectors.iter().enumerate() {
+            let pop: u32 = vec.iter().map(|w| w.count_ones()).sum();
+            if pop != self.counts[b] {
+                return Err(format!(
+                    "block {b} count {} disagrees with its vector ({pop} bits set)",
+                    self.counts[b]
+                ));
+            }
+        }
+        let pending = self.total_pending();
+        if pending + exited != self.tile_threads {
+            return Err(format!(
+                "{pending} pending + {exited} exited threads != tile of {}",
+                self.tile_threads
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +313,23 @@ mod tests {
         assert_eq!(cvt.stats().word_writes, 4);
         cvt.take_batches(BlockId(0));
         assert_eq!(cvt.stats().word_reads, 4);
+    }
+
+    #[test]
+    fn consistency_check_catches_flipped_bits() {
+        let mut cvt = Cvt::new(3, 100);
+        cvt.arm_entry();
+        assert!(cvt.check_consistency(0).is_ok());
+        // Flip a pending thread into a second block: duplicate arming.
+        cvt.flip_bit(BlockId(2), 17);
+        let err = cvt.check_consistency(0).unwrap_err();
+        assert!(err.contains("thread 17"), "{err}");
+        // Flip it back, then drop a thread entirely: conservation breaks.
+        cvt.flip_bit(BlockId(2), 17);
+        assert!(cvt.check_consistency(0).is_ok());
+        cvt.flip_bit(BlockId(0), 5);
+        let err = cvt.check_consistency(0).unwrap_err();
+        assert!(err.contains("99 pending + 0 exited"), "{err}");
     }
 
     #[test]

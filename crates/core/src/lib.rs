@@ -18,7 +18,7 @@ mod cvt;
 mod processor;
 mod stats;
 
-pub use config::VgiwConfig;
+pub use config::{CoreFaults, CvtFlip, VgiwConfig};
 pub use cvt::{Cvt, CvtStats, ThreadBatch};
 pub use processor::{VgiwError, VgiwProcessor};
 pub use stats::VgiwRunStats;

@@ -18,31 +18,40 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use vgiw_compiler::{compile, CompileError, CompiledKernel};
-use vgiw_fabric::{Fabric, FabricEnv, MemReqId, Retired};
+use vgiw_fabric::{ConfigError, Fabric, FabricEnv, MemReqId, Retired};
 use vgiw_ir::{BlockId, Kernel, Launch, MemoryImage, Word};
 use vgiw_mem::MemSystem;
+use vgiw_robust::{DeadlockReport, InvariantKind, InvariantViolation, StuckResource, Watchdog};
 
 /// VGIW execution failure.
 #[derive(Debug)]
 pub enum VgiwError {
     /// The kernel could not be compiled for the grid.
     Compile(CompileError),
-    /// A compiled block could not be loaded onto the fabric (e.g. its
-    /// timing envelope exceeds the maximum timing wheel).
-    Configure(String),
+    /// A compiled block could not be loaded onto the fabric (e.g. a
+    /// missing launch parameter, or a timing envelope exceeding the
+    /// maximum timing wheel).
+    Configure(ConfigError),
     /// The run exceeded the configured cycle limit (runaway kernel).
     CycleLimit {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The progress watchdog expired: nothing retired, completed or
+    /// fast-forwarded for the configured budget of cycles.
+    Deadlock(Box<DeadlockReport>),
+    /// An invariant checker found corrupted machine state.
+    Invariant(InvariantViolation),
 }
 
 impl fmt::Display for VgiwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VgiwError::Compile(e) => write!(f, "compilation failed: {e}"),
-            VgiwError::Configure(msg) => write!(f, "fabric configuration rejected: {msg}"),
+            VgiwError::Configure(e) => write!(f, "fabric configuration rejected: {e}"),
             VgiwError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+            VgiwError::Deadlock(report) => write!(f, "{report}"),
+            VgiwError::Invariant(v) => write!(f, "{v}"),
         }
     }
 }
@@ -51,8 +60,10 @@ impl Error for VgiwError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             VgiwError::Compile(e) => Some(e),
-            VgiwError::Configure(_) => None,
+            VgiwError::Configure(e) => Some(e),
             VgiwError::CycleLimit { .. } => None,
+            VgiwError::Deadlock(report) => Some(report.as_ref()),
+            VgiwError::Invariant(v) => Some(v),
         }
     }
 }
@@ -60,6 +71,16 @@ impl Error for VgiwError {
 impl From<CompileError> for VgiwError {
     fn from(e: CompileError) -> VgiwError {
         VgiwError::Compile(e)
+    }
+}
+
+impl VgiwError {
+    /// The deadlock report, if this error is a watchdog abort.
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        match self {
+            VgiwError::Deadlock(r) => Some(r),
+            _ => None,
+        }
     }
 }
 
@@ -82,6 +103,12 @@ struct VgiwEnv<'a> {
     lv_stride: u32,
     tile_base: u32,
     tile_threads: u32,
+    /// Live-value coherence shadow (only with `checks.lv_coherence`):
+    /// one written-flag per matrix slot, reset per tile.
+    lv_written: Option<&'a mut [bool]>,
+    /// First read-before-write observed, as `(lv, tid)` (checked by the
+    /// driving loop after each tick).
+    lv_violation: &'a mut Option<(u32, u32)>,
 }
 
 /// Pads the live-value row stride to a multiple of the LVC line (16
@@ -122,11 +149,19 @@ impl FabricEnv for VgiwEnv<'_> {
 
     fn lv_read(&mut self, lv: u32, tid: u32) -> Word {
         let i = self.lv_index(lv, tid);
+        if let Some(written) = &self.lv_written {
+            if !written[i] && self.lv_violation.is_none() {
+                *self.lv_violation = Some((lv, tid));
+            }
+        }
         self.lv_values[i]
     }
 
     fn lv_write(&mut self, lv: u32, tid: u32, value: Word) {
         let i = self.lv_index(lv, tid);
+        if let Some(written) = &mut self.lv_written {
+            written[i] = true;
+        }
         self.lv_values[i] = value;
     }
 }
@@ -190,6 +225,13 @@ impl VgiwProcessor {
     /// The active configuration.
     pub fn config(&self) -> &VgiwConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to disarm fault injection
+    /// between runs). Structural fields (grid, fabric, caches) only take
+    /// effect on the next machine rebuild.
+    pub fn config_mut(&mut self) -> &mut VgiwConfig {
+        &mut self.config
     }
 
     /// Idle cycles skipped by fast-forward since construction. Purely a
@@ -256,6 +298,23 @@ impl VgiwProcessor {
         };
         let mem_stats_before = self.mem.stats().clone();
 
+        // Robustness state: the watchdog observes progress (retirements,
+        // completed memory events, fast-forward skips, firings) and aborts
+        // with a structured report when its budget runs dry; the fault
+        // plan and checkers are inert unless configured.
+        let checks = self.config.checks;
+        let mut watchdog = checks
+            .watchdog_budget
+            .map(|b| Watchdog::new(b, self.fabric.cycle()));
+        let mut tamper = self.config.faults.responses;
+        let flip_fault = self.config.faults.flip_cvt_bit;
+        self.fabric.set_faults(self.config.faults.fabric);
+        let mut exec_count: u64 = 0;
+        let mut last_firings = self.fabric.stats().firings;
+        let mut lv_shadow: Option<Vec<bool>> =
+            checks.lv_coherence.then(|| vec![false; lv_values.len()]);
+        let mut lv_violation: Option<(u32, u32)> = None;
+
         // Per-cycle drain buffers and the per-terminator batch packers,
         // recycled across the whole run.
         let mut resp_buf: Vec<MemReqId> = Vec::new();
@@ -269,6 +328,10 @@ impl VgiwProcessor {
 
             // Zero this tile's live value matrix (fresh per-thread state).
             lv_values.fill(Word::ZERO);
+            if let Some(w) = &mut lv_shadow {
+                w.fill(false);
+            }
+            let mut exited: u32 = 0;
 
             let mut cvt = Cvt::new(nb, tile_threads);
             cvt.arm_entry();
@@ -283,6 +346,8 @@ impl VgiwProcessor {
                     .configure(&cb.dfg, &cb.replicas[..n_reps], &launch.params)
                     .map_err(VgiwError::Configure)?;
 
+                let inj_before = self.fabric.stats().threads_injected;
+                let ret_before = self.fabric.stats().threads_retired;
                 for batch in cvt.take_batches(block) {
                     stats.batches_to_core += 1;
                     for rel in batch.iter() {
@@ -295,6 +360,7 @@ impl VgiwProcessor {
                 debug_assert!(packers.is_empty());
 
                 while !self.fabric.is_drained() {
+                    let mut progressed = false;
                     // Idle fast-forward: when nothing can fire or inject,
                     // jump both clocks to one cycle before the earliest
                     // scheduled token landing or memory completion. Stalled
@@ -316,6 +382,7 @@ impl VgiwProcessor {
                                 self.fabric.advance_idle(k);
                                 self.mem.advance_idle(k);
                                 self.cycles_skipped += k;
+                                progressed = true;
                             }
                         }
                     }
@@ -328,15 +395,26 @@ impl VgiwProcessor {
                             lv_stride: stride,
                             tile_base,
                             tile_threads,
+                            lv_written: lv_shadow.as_deref_mut(),
+                            lv_violation: &mut lv_violation,
                         };
                         self.fabric.tick(&mut env);
                     }
                     self.mem.tick();
                     self.mem.drain_responses_into(&mut resp_buf);
-                    self.fabric.on_mem_responses(&resp_buf);
+                    tamper.apply(&mut resp_buf);
+                    progressed |= !resp_buf.is_empty();
+                    if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
+                        self.reset_machine();
+                        return Err(VgiwError::Invariant(v.on("vgiw")));
+                    }
                     resp_buf.clear();
                     self.fabric.drain_retired_into(&mut retire_buf);
+                    progressed |= !retire_buf.is_empty();
                     for r in retire_buf.drain(..) {
+                        if r.target.is_none() {
+                            exited += 1;
+                        }
                         pack_retire(
                             &mut packers,
                             &mut cvt,
@@ -345,27 +423,86 @@ impl VgiwProcessor {
                             r,
                         );
                     }
+                    if let Some((lv, tid)) = lv_violation.take() {
+                        let cycle = self.fabric.cycle();
+                        self.reset_machine();
+                        return Err(VgiwError::Invariant(InvariantViolation {
+                            kind: InvariantKind::LvCoherence,
+                            machine: "vgiw",
+                            cycle,
+                            detail: format!(
+                                "thread {tid} read live value {lv} before any write to it"
+                            ),
+                        }));
+                    }
+                    let firings = self.fabric.stats().firings;
+                    progressed |= firings != last_firings;
+                    last_firings = firings;
                     let elapsed = self.fabric.cycle() - cycles_at_start + stats.config_cycles;
                     if elapsed > self.config.cycle_limit {
                         // Abort mid-drain: the fabric still holds threads
                         // and unanswered memory requests, so rebuild both
                         // (the processor is documented as reusable across
                         // launches and must stay so after an abort).
-                        self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
-                        self.fabric.set_reference_tick(self.config.reference_tick);
-                        self.mem = MemSystem::new(
-                            vec![self.config.l1, self.config.lvc],
-                            self.config.shared,
-                        );
+                        self.reset_machine();
                         return Err(VgiwError::CycleLimit {
                             limit: self.config.cycle_limit,
                         });
+                    }
+                    if let Some(wd) = &mut watchdog {
+                        let now = self.fabric.cycle();
+                        if progressed {
+                            wd.progress(now);
+                        } else if wd.expired(now) {
+                            let report = self.build_deadlock_report(
+                                Some(block.0),
+                                wd.stalled_for(now),
+                                wd.budget(),
+                                &cvt,
+                            );
+                            self.reset_machine();
+                            return Err(VgiwError::Deadlock(Box::new(report)));
+                        }
                     }
                 }
                 for ((_, target), batch) in packers.drain() {
                     if !batch.is_empty() {
                         stats.batches_from_core += 1;
                         cvt.or_batch(BlockId(target), batch);
+                    }
+                }
+                exec_count += 1;
+                if let Some(flip) = flip_fault {
+                    if exec_count == flip.after_exec + 1 {
+                        cvt.flip_bit(BlockId(flip.block), flip.bit);
+                    }
+                }
+                if checks.token_conservation {
+                    let injected = self.fabric.stats().threads_injected - inj_before;
+                    let retired = self.fabric.stats().threads_retired - ret_before;
+                    if injected != retired {
+                        // The fabric is drained, so nothing is in flight:
+                        // a mismatch means threads vanished (or appeared).
+                        return Err(VgiwError::Invariant(InvariantViolation {
+                            kind: InvariantKind::TokenConservation,
+                            machine: "vgiw",
+                            cycle: self.fabric.cycle(),
+                            detail: format!(
+                                "block {}: {injected} threads injected but {retired} \
+                                 retired with the fabric drained",
+                                block.0
+                            ),
+                        }));
+                    }
+                }
+                if checks.cvt_consistency {
+                    if let Err(detail) = cvt.check_consistency(exited) {
+                        return Err(VgiwError::Invariant(InvariantViolation {
+                            kind: InvariantKind::CvtConsistency,
+                            machine: "vgiw",
+                            cycle: self.fabric.cycle(),
+                            detail,
+                        }));
                     }
                 }
             }
@@ -380,6 +517,60 @@ impl VgiwProcessor {
         stats.fabric = *self.fabric.stats();
         stats.mem = self.mem.stats().delta_since(&mem_stats_before);
         Ok(stats)
+    }
+
+    /// Rebuilds the fabric and memory hierarchy after an abort mid-drain:
+    /// the machine may hold threads and unanswered memory requests, and
+    /// the processor is documented as reusable across launches.
+    fn reset_machine(&mut self) {
+        self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
+        self.fabric.set_reference_tick(self.config.reference_tick);
+        self.mem = MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
+    }
+
+    /// Assembles a deadlock report from the stuck machine: fabric tokens
+    /// per node, outstanding MSHRs, in-flight memory events and CVT
+    /// occupancy.
+    fn build_deadlock_report(
+        &self,
+        block: Option<u32>,
+        stalled_for: u64,
+        budget: u64,
+        cvt: &Cvt,
+    ) -> DeadlockReport {
+        let mut resources = self.fabric.snapshot().stuck_resources();
+        for m in self.mem.mshr_snapshot() {
+            resources.push(StuckResource {
+                name: format!("MSHR port {} bank {}", m.port, m.bank),
+                detail: format!(
+                    "filling line {:#x}, {} waiter(s){}",
+                    m.line,
+                    m.waiters,
+                    if m.dirty { ", dirty" } else { "" }
+                ),
+            });
+        }
+        resources.push(StuckResource {
+            name: "memory system".to_string(),
+            detail: format!("{} timing events in flight", self.mem.in_flight_events()),
+        });
+        for b in 0..cvt.num_blocks() {
+            let pending = cvt.pending_count(BlockId(b as u32));
+            if pending > 0 {
+                resources.push(StuckResource {
+                    name: format!("CVT block {b}"),
+                    detail: format!("{pending} pending thread(s)"),
+                });
+            }
+        }
+        DeadlockReport {
+            machine: "vgiw",
+            cycle: self.fabric.cycle(),
+            budget,
+            stalled_for,
+            block,
+            resources,
+        }
     }
 }
 
@@ -416,7 +607,9 @@ fn pack_retire(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{CoreFaults, CvtFlip};
     use vgiw_ir::{interp, KernelBuilder};
+    use vgiw_robust::ChecksConfig;
 
     fn check_against_interp(kernel: &Kernel, launch: &Launch, mem_words: usize) -> VgiwRunStats {
         let mut expect = MemoryImage::new(mem_words);
@@ -557,5 +750,152 @@ mod tests {
         let mut mem = MemoryImage::new(16);
         let err = proc.run(&k, &Launch::new(4, vec![]), &mut mem).unwrap_err();
         assert!(matches!(err, VgiwError::CycleLimit { .. }));
+    }
+
+    fn faulty_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("div", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let two = b.const_u32(2);
+        let parity = b.rem_u(tid, two);
+        b.if_else(
+            parity,
+            |b| {
+                let v = b.mul(tid, tid);
+                b.store(addr, v);
+            },
+            |b| {
+                let seven = b.const_u32(7);
+                let v = b.add(tid, seven);
+                b.store(addr, v);
+            },
+        );
+        b.finish()
+    }
+
+    fn faulty_config(faults: CoreFaults) -> VgiwConfig {
+        VgiwConfig {
+            checks: ChecksConfig::full_with_budget(10_000),
+            faults,
+            ..VgiwConfig::default()
+        }
+    }
+
+    #[test]
+    fn dropped_token_is_caught_by_watchdog() {
+        let k = faulty_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = VgiwProcessor::new(faulty_config(CoreFaults {
+            fabric: vgiw_fabric::FabricFaults::drop_token(300),
+            ..CoreFaults::default()
+        }));
+        let err = proc.run(&k, &launch, &mut mem).unwrap_err();
+        let report = err.deadlock_report().expect("watchdog abort");
+        assert_eq!(report.machine, "vgiw");
+        assert!(report.block.is_some(), "report names the stuck block");
+        assert!(
+            report.resources.iter().any(|r| r.name.contains("fabric")),
+            "report names the stuck fabric: {report}"
+        );
+        // Machine was reset: the processor stays usable.
+        proc.config_mut().faults = CoreFaults::default();
+        let mut mem2 = MemoryImage::new(128);
+        proc.run(&k, &launch, &mut mem2)
+            .expect("reusable after deadlock");
+    }
+
+    #[test]
+    fn dropped_response_is_caught_by_watchdog() {
+        let k = faulty_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = VgiwProcessor::new(faulty_config(CoreFaults {
+            responses: vgiw_robust::ResponseTamper::drop(0),
+            ..CoreFaults::default()
+        }));
+        let err = proc.run(&k, &launch, &mut mem).unwrap_err();
+        let report = err.deadlock_report().expect("watchdog abort");
+        assert!(
+            report
+                .resources
+                .iter()
+                .any(|r| r.name.contains("CVT") || r.name.contains("fabric")),
+            "report names a stuck resource: {report}"
+        );
+    }
+
+    #[test]
+    fn duplicated_response_is_a_pairing_violation() {
+        let k = faulty_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = VgiwProcessor::new(faulty_config(CoreFaults {
+            responses: vgiw_robust::ResponseTamper::duplicate(2),
+            ..CoreFaults::default()
+        }));
+        match proc.run(&k, &launch, &mut mem) {
+            Err(VgiwError::Invariant(v)) => {
+                assert_eq!(v.kind, vgiw_robust::InvariantKind::MemPairing);
+                assert_eq!(v.machine, "vgiw");
+            }
+            other => panic!("expected pairing violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_retirement_breaks_token_conservation() {
+        let k = faulty_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = VgiwProcessor::new(faulty_config(CoreFaults {
+            fabric: vgiw_fabric::FabricFaults::drop_retire(3),
+            ..CoreFaults::default()
+        }));
+        match proc.run(&k, &launch, &mut mem) {
+            Err(VgiwError::Invariant(v)) => {
+                assert_eq!(v.kind, vgiw_robust::InvariantKind::TokenConservation);
+                assert!(v.detail.contains("injected but"), "{}", v.detail);
+            }
+            other => panic!("expected conservation violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_cvt_bit_is_a_consistency_violation() {
+        let k = faulty_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let mut proc = VgiwProcessor::new(faulty_config(CoreFaults {
+            flip_cvt_bit: Some(CvtFlip {
+                after_exec: 0,
+                block: 3,
+                bit: 9,
+            }),
+            ..CoreFaults::default()
+        }));
+        match proc.run(&k, &launch, &mut mem) {
+            Err(VgiwError::Invariant(v)) => {
+                assert_eq!(v.kind, vgiw_robust::InvariantKind::CvtConsistency);
+            }
+            other => panic!("expected CVT violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_checks_leave_cycles_identical() {
+        let k = faulty_kernel();
+        let launch = Launch::new(200, vec![Word::from_u32(0)]);
+        let mut m1 = MemoryImage::new(256);
+        let base = VgiwProcessor::default().run(&k, &launch, &mut m1).unwrap();
+        let cfg = VgiwConfig {
+            checks: ChecksConfig::full(),
+            ..VgiwConfig::default()
+        };
+        let mut m2 = MemoryImage::new(256);
+        let checked = VgiwProcessor::new(cfg).run(&k, &launch, &mut m2).unwrap();
+        assert_eq!(base.cycles, checked.cycles);
+        assert_eq!(base.fabric.firings, checked.fabric.firings);
     }
 }

@@ -47,13 +47,112 @@
 //! jump the clock over idle stretches cheaply.
 
 use crate::config::FabricConfig;
+use crate::faults::FabricFaults;
 use crate::stats::FabricStats;
 use std::collections::VecDeque;
 use vgiw_compiler::{Dfg, DfgOp, GridSpec, NodeId, Placement, UnitKind, ValSrc};
 use vgiw_ir::{eval_fma, eval_select, BlockId, OpClass, Word};
+use vgiw_robust::{InvariantKind, InvariantViolation, StuckResource};
 
 /// Request identifier used between the fabric and its memory environment.
 pub type MemReqId = u64;
+
+/// Why [`Fabric::configure`] rejected a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A `ValSrc::Param` operand indexed past the launch parameter list.
+    MissingParam {
+        /// The out-of-range parameter index.
+        index: u32,
+    },
+    /// A zero-latency op feeds a same-unit consumer; the token pipeline
+    /// requires every edge to take at least one cycle.
+    ZeroLatencyEdge,
+    /// The worst-case delivery distance exceeds the maximum timing wheel.
+    WheelOverflow {
+        /// The offending worst-case latency + hop distance, in cycles.
+        max_dist: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MissingParam { index } => {
+                write!(f, "missing launch parameter {index}")
+            }
+            ConfigError::ZeroLatencyEdge => write!(
+                f,
+                "configuration has a zero-latency edge (0-cycle op feeding a \
+                 same-unit consumer); every token must take at least one cycle"
+            ),
+            ConfigError::WheelOverflow { max_dist } => write!(
+                f,
+                "worst-case delivery distance {max_dist} cycles exceeds the \
+                 maximum timing wheel of {MAX_WHEEL}; reduce op latencies or \
+                 the grid diameter"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Pending work at one fabric node, for [`FabricSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodePending {
+    /// Replica index.
+    pub replica: u32,
+    /// Node (DFG) index.
+    pub node: u32,
+    /// Buffer entries holding at least one token, not yet fired.
+    pub buffered: u32,
+    /// Channels ready to fire at this node.
+    pub ready: u32,
+}
+
+/// A structural snapshot of in-flight fabric state, taken when the
+/// driving core's watchdog expires ([`Fabric::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct FabricSnapshot {
+    /// Fabric cycle at snapshot time.
+    pub cycle: u64,
+    /// Channels occupied by in-flight threads.
+    pub active_channels: u32,
+    /// Threads queued for injection.
+    pub pending_injections: usize,
+    /// Scheduled timing-wheel events.
+    pub wheel_events: usize,
+    /// Outstanding memory requests (issued, no response yet).
+    pub pending_mem: usize,
+    /// Per-node pending token state (only nodes with work).
+    pub nodes: Vec<NodePending>,
+}
+
+impl FabricSnapshot {
+    /// Renders the snapshot as stuck-resource entries for a
+    /// [`vgiw_robust::DeadlockReport`].
+    pub fn stuck_resources(&self) -> Vec<StuckResource> {
+        let mut out = vec![StuckResource {
+            name: "fabric".to_string(),
+            detail: format!(
+                "{} active channels, {} queued injections, {} wheel events, \
+                 {} outstanding memory requests",
+                self.active_channels, self.pending_injections, self.wheel_events, self.pending_mem
+            ),
+        }];
+        for n in &self.nodes {
+            out.push(StuckResource {
+                name: format!("fabric node {} (replica {})", n.node, n.replica),
+                detail: format!(
+                    "{} buffered token entries, {} ready channels",
+                    n.buffered, n.ready
+                ),
+            });
+        }
+        out
+    }
+}
 
 /// The fabric's window to the memory system and functional state.
 ///
@@ -294,6 +393,12 @@ pub struct Fabric {
     retired: Vec<Retired>,
     active_channels: u32,
     stats: FabricStats,
+    /// Installed fault plan (all `None` in normal operation).
+    faults: FabricFaults,
+    /// Token deliveries seen since the fault plan was installed.
+    fault_tokens: u64,
+    /// Retirements seen since the fault plan was installed.
+    fault_retires: u64,
 }
 
 impl Fabric {
@@ -324,6 +429,50 @@ impl Fabric {
             retired: Vec::new(),
             active_channels: 0,
             stats: FabricStats::default(),
+            faults: FabricFaults::default(),
+            fault_tokens: 0,
+            fault_retires: 0,
+        }
+    }
+
+    /// Installs a deterministic fault plan (fault-injection tests only)
+    /// and resets its event counters. Pass `FabricFaults::default()` to
+    /// clear.
+    pub fn set_faults(&mut self, faults: FabricFaults) {
+        self.faults = faults;
+        self.fault_tokens = 0;
+        self.fault_retires = 0;
+    }
+
+    /// Snapshots in-flight state for a deadlock report: per-node pending
+    /// tokens, queued injections, wheel events and outstanding memory.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        let ch = self.cfg.channels_per_unit as usize;
+        let mut nodes = Vec::new();
+        for (ri, rep) in self.replicas.iter().enumerate() {
+            for n in 0..self.nodes.len() {
+                let buffered = rep.buf[n * ch..(n + 1) * ch]
+                    .iter()
+                    .filter(|e| !e.is_clear())
+                    .count() as u32;
+                let ready = rep.ready[n].len() as u32;
+                if buffered > 0 || ready > 0 {
+                    nodes.push(NodePending {
+                        replica: ri as u32,
+                        node: n as u32,
+                        buffered,
+                        ready,
+                    });
+                }
+            }
+        }
+        FabricSnapshot {
+            cycle: self.cycle,
+            active_channels: self.active_channels,
+            pending_injections: self.inject_queue.len(),
+            wheel_events: self.wheel_count,
+            pending_mem: self.pending_count,
+            nodes,
         }
     }
 
@@ -381,18 +530,19 @@ impl Fabric {
     /// resized to cover the worst-case compute latency + hop distance, and
     /// a configuration that cannot be covered (or that contains a
     /// zero-latency edge, which the token pipeline cannot represent) is
-    /// rejected with a descriptive error instead of tripping a runtime
-    /// assertion mid-simulation.
+    /// rejected with a typed [`ConfigError`] instead of tripping a runtime
+    /// assertion mid-simulation. A `ValSrc::Param` operand indexing past
+    /// `params` is likewise a [`ConfigError::MissingParam`], not a panic.
     ///
     /// # Panics
-    /// Panics if the fabric still has threads in flight, if a placement
-    /// does not match the DFG, or if a parameter index is out of range.
+    /// Panics if the fabric still has threads in flight or if a placement
+    /// does not match the DFG (both are driver bugs, not input errors).
     pub fn configure(
         &mut self,
         dfg: &Dfg,
         placements: &[Placement],
         params: &[Word],
-    ) -> Result<(), String> {
+    ) -> Result<(), ConfigError> {
         assert!(
             self.is_drained(),
             "reconfiguring a fabric with threads in flight"
@@ -436,7 +586,7 @@ impl Fabric {
                     ValSrc::Param(idx) => {
                         let w = *params
                             .get(idx as usize)
-                            .unwrap_or_else(|| panic!("missing launch parameter {idx}"));
+                            .ok_or(ConfigError::MissingParam { index: idx.into() })?;
                         static_vals[p] = Some(w);
                     }
                 }
@@ -450,7 +600,7 @@ impl Fabric {
                     ValSrc::Imm(w) => w.as_u32(),
                     ValSrc::Param(idx) => params
                         .get(idx as usize)
-                        .unwrap_or_else(|| panic!("missing launch parameter {idx}"))
+                        .ok_or(ConfigError::MissingParam { index: idx.into() })?
                         .as_u32(),
                     ValSrc::Node(_) => unreachable!("offsets are static by construction"),
                 };
@@ -566,7 +716,7 @@ impl Fabric {
     /// Grows the timing wheel (always a power of two, never shrunk — slot
     /// buffers keep their capacity across configurations) so every delivery
     /// distance in `[1, max_dist]` fits, or rejects the configuration.
-    fn size_wheel(&mut self, max_dist: u64) -> Result<(), String> {
+    fn size_wheel(&mut self, max_dist: u64) -> Result<(), ConfigError> {
         // A delivery distance of zero would land a token in the slot being
         // drained; the pipeline model requires every edge to take ≥ 1 cycle.
         if self.nodes.iter().enumerate().any(|(i, nd)| {
@@ -579,19 +729,11 @@ impl Fabric {
                 any_zero_hop
             }
         }) {
-            return Err(
-                "configuration has a zero-latency edge (0-cycle op feeding a \
-                 same-unit consumer); every token must take at least one cycle"
-                    .to_string(),
-            );
+            return Err(ConfigError::ZeroLatencyEdge);
         }
         let needed = (max_dist + 1).max(MIN_WHEEL as u64);
         if needed > MAX_WHEEL as u64 {
-            return Err(format!(
-                "worst-case delivery distance {max_dist} cycles exceeds the \
-                 maximum timing wheel of {MAX_WHEEL}; reduce op latencies or \
-                 the grid diameter"
-            ));
+            return Err(ConfigError::WheelOverflow { max_dist });
         }
         let len = needed.next_power_of_two() as usize;
         if len > self.wheel_tokens.len() {
@@ -679,15 +821,20 @@ impl Fabric {
     /// Completes a batch of memory requests in order, prefetching each
     /// request's delivery targets a few responses ahead (response bursts
     /// write consumer entries scattered across the buffer arena).
-    pub fn on_mem_responses(&mut self, reqs: &[MemReqId]) {
+    ///
+    /// # Errors
+    /// Propagates the first pairing violation from
+    /// [`Fabric::on_mem_response`]; remaining responses are not applied.
+    pub fn on_mem_responses(&mut self, reqs: &[MemReqId]) -> Result<(), InvariantViolation> {
         const LOOKAHEAD: usize = 8;
         for (i, &req) in reqs.iter().enumerate() {
             #[cfg(target_arch = "x86_64")]
             if let Some(&ahead) = reqs.get(i + LOOKAHEAD) {
                 self.prefetch_response_target(ahead);
             }
-            self.on_mem_response(req);
+            self.on_mem_response(req)?;
         }
+        Ok(())
     }
 
     /// Issues cache prefetches for the consumer entries a pending memory
@@ -708,13 +855,27 @@ impl Fabric {
     }
 
     /// Completes a memory request previously accepted by the environment.
-    pub fn on_mem_response(&mut self, req: MemReqId) {
+    ///
+    /// # Errors
+    /// A response whose request is unknown or already completed is a
+    /// memory request/response pairing violation (always checked — the
+    /// slab lookup is the completion path anyway).
+    pub fn on_mem_response(&mut self, req: MemReqId) -> Result<(), InvariantViolation> {
         let Some(p) = self
             .pending_mem
             .get_mut(req as usize)
             .and_then(Option::take)
         else {
-            panic!("response for unknown memory request {req}");
+            return Err(InvariantViolation {
+                kind: InvariantKind::MemPairing,
+                machine: "fabric",
+                cycle: self.cycle,
+                detail: format!(
+                    "response for unknown or already-completed memory request {req} \
+                     ({} outstanding)",
+                    self.pending_count
+                ),
+            });
         };
         self.pending_free.push(req as u32);
         self.pending_count -= 1;
@@ -735,6 +896,7 @@ impl Fabric {
         debug_assert!(rep.ch_work[p.channel as usize] & 0xFFFF_FFFF > 0);
         rep.ch_work[p.channel as usize] -= 1;
         self.maybe_free_channel(p.replica, p.channel);
+        Ok(())
     }
 
     /// Advances one cycle: lands due events, injects threads, fires ready
@@ -921,6 +1083,13 @@ impl Fabric {
         self.stats.tokens_delivered += self.nodes[node as usize].out_deg as u64;
         if self.reference {
             for &(consumer, port, hops) in &rep.edge_data[start..end] {
+                if let Some(n) = self.faults.drop_token {
+                    let k = self.fault_tokens;
+                    self.fault_tokens += 1;
+                    if k == n {
+                        continue; // injected fault: token lost in transit
+                    }
+                }
                 let dist = extra as u64 + hops as u64;
                 debug_assert!(
                     dist > 0 && dist < self.wheel_tokens.len() as u64,
@@ -949,11 +1118,20 @@ impl Fabric {
             wheel_count,
             token_seq,
             cycle,
+            faults,
+            fault_tokens,
             ..
         } = self;
         let rep = &mut replicas[ri];
         let (edges, buf) = (&rep.edge_data[start..end], &mut rep.buf);
         for &(consumer, port, hops) in edges {
+            if let Some(n) = faults.drop_token {
+                let k = *fault_tokens;
+                *fault_tokens += 1;
+                if k == n {
+                    continue; // injected fault: token lost in transit
+                }
+            }
             let dist = extra as u64 + hops as u64;
             debug_assert!(
                 dist > 0 && dist < wheel_ready.len() as u64,
@@ -1202,6 +1380,17 @@ impl Fabric {
                     _ => None,
                 };
                 self.finish_fire(r, n, channel);
+                if let Some(want) = self.faults.drop_retire {
+                    let k = self.fault_retires;
+                    self.fault_retires += 1;
+                    if k == want {
+                        // Injected fault: the retirement (and its count)
+                        // vanishes between terminator and scheduler, so
+                        // injected > retired at drain — the conservation
+                        // checker's target.
+                        return;
+                    }
+                }
                 self.stats.threads_retired += 1;
                 self.retired.push(Retired {
                     replica,

@@ -1,0 +1,116 @@
+//! Deterministic fault injection for the fabric and its environment.
+//!
+//! Together with [`vgiw_robust::ResponseTamper`] (which drops or
+//! duplicates memory responses in flight) this module covers the fault
+//! classes the robustness layer must catch:
+//!
+//! * [`FabricFaults::drop_token`] — a token vanishes on the interconnect;
+//!   the consuming entry never completes and its channel never frees, so
+//!   the fabric never drains and the driving core's watchdog must fire.
+//! * [`FabricFaults::drop_retire`] — a terminator resolves a thread but
+//!   the retirement never reaches the scheduler; the fabric drains with
+//!   fewer retirements than injections, which the token-conservation
+//!   checker must flag.
+//! * [`FaultyEnv::stall_after`] — the memory system wedges (a stuck
+//!   MSHR): after the nth accepted request every issue is refused, the
+//!   fabric retries forever, and the watchdog must fire.
+//!
+//! All faults are keyed by deterministic event counters, so a given fault
+//! plan reproduces the same failure on every run.
+
+use crate::fabric::{FabricEnv, MemReqId};
+use vgiw_ir::Word;
+
+/// A deterministic fault plan applied inside the fabric (see
+/// [`crate::Fabric::set_faults`]). Counters are 0-based and monotonic
+/// from the moment the plan is installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricFaults {
+    /// Silently drop the nth token delivery (the token is accounted in
+    /// statistics but never written to its consumer).
+    pub drop_token: Option<u64>,
+    /// Swallow the nth thread retirement (the terminator fires but the
+    /// scheduler never sees the thread again).
+    pub drop_retire: Option<u64>,
+}
+
+impl FabricFaults {
+    /// A plan dropping token delivery `n`.
+    pub fn drop_token(n: u64) -> Self {
+        FabricFaults {
+            drop_token: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// A plan swallowing retirement `n`.
+    pub fn drop_retire(n: u64) -> Self {
+        FabricFaults {
+            drop_retire: Some(n),
+            ..Default::default()
+        }
+    }
+}
+
+/// A [`FabricEnv`] wrapper that wedges the memory system after a set
+/// number of accepted requests, modeling a stuck MSHR / dead cache port:
+/// every subsequent issue is refused, so the fabric spins on retries.
+#[derive(Debug)]
+pub struct FaultyEnv<E> {
+    /// The wrapped environment (public so tests can drive its clock).
+    pub inner: E,
+    /// Refuse every issue after this many have been accepted.
+    pub stall_after: Option<u64>,
+    accepted: u64,
+}
+
+impl<E> FaultyEnv<E> {
+    /// Wraps `inner`; no fault until [`FaultyEnv::stall_after`] is set.
+    pub fn new(inner: E) -> Self {
+        FaultyEnv {
+            inner,
+            stall_after: None,
+            accepted: 0,
+        }
+    }
+
+    fn wedged(&self) -> bool {
+        self.stall_after.is_some_and(|n| self.accepted >= n)
+    }
+}
+
+impl<E: FabricEnv> FabricEnv for FaultyEnv<E> {
+    fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool {
+        if self.wedged() {
+            return false;
+        }
+        let ok = self.inner.issue_mem(req, addr_words, is_store);
+        self.accepted += u64::from(ok);
+        ok
+    }
+
+    fn issue_lv(&mut self, req: MemReqId, lv: u32, tid: u32, is_store: bool) -> bool {
+        if self.wedged() {
+            return false;
+        }
+        let ok = self.inner.issue_lv(req, lv, tid, is_store);
+        self.accepted += u64::from(ok);
+        ok
+    }
+
+    fn mem_read(&mut self, addr_words: u32) -> Word {
+        self.inner.mem_read(addr_words)
+    }
+
+    fn mem_write(&mut self, addr_words: u32, value: Word) {
+        self.inner.mem_write(addr_words, value);
+    }
+
+    fn lv_read(&mut self, lv: u32, tid: u32) -> Word {
+        self.inner.lv_read(lv, tid)
+    }
+
+    fn lv_write(&mut self, lv: u32, tid: u32, value: Word) {
+        self.inner.lv_write(lv, tid, value);
+    }
+}

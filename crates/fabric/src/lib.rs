@@ -12,9 +12,11 @@
 
 mod config;
 mod fabric;
+pub mod faults;
 mod stats;
 pub mod test_env;
 
 pub use config::{FabricConfig, OpLatencies};
-pub use fabric::{Fabric, FabricEnv, MemReqId, Retired};
+pub use fabric::{ConfigError, Fabric, FabricEnv, FabricSnapshot, MemReqId, NodePending, Retired};
+pub use faults::{FabricFaults, FaultyEnv};
 pub use stats::FabricStats;

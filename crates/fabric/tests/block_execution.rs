@@ -45,7 +45,7 @@ fn run_on_fabric(
         while !fabric.is_drained() {
             fabric.tick(&mut env);
             for req in env.tick() {
-                fabric.on_mem_response(req);
+                fabric.on_mem_response(req).expect("paired response");
             }
             for r in fabric.drain_retired() {
                 if let Some(t) = r.target {
@@ -249,7 +249,7 @@ fn sgmf_predicated_graph_matches_interpreter() {
     while !fabric.is_drained() {
         fabric.tick(&mut env);
         for req in env.tick() {
-            fabric.on_mem_response(req);
+            fabric.on_mem_response(req).expect("paired response");
         }
         fabric.drain_retired();
         spin += 1;

@@ -117,7 +117,7 @@ fn run_block(
         }
         fabric.tick(&mut env);
         for req in env.tick() {
-            fabric.on_mem_response(req);
+            fabric.on_mem_response(req).expect("paired response");
         }
         retired.extend(fabric.drain_retired());
         spin += 1;
@@ -279,7 +279,7 @@ fn reconfigure_after_skipped_run_is_clean() {
             }
             fabric.tick(env);
             for req in env.tick() {
-                fabric.on_mem_response(req);
+                fabric.on_mem_response(req).expect("paired response");
             }
             fabric.drain_retired();
             spin += 1;

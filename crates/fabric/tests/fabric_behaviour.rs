@@ -22,7 +22,7 @@ fn drain(fabric: &mut Fabric, env: &mut FixedLatencyEnv, limit: u64) -> Vec<vgiw
     while !fabric.is_drained() {
         fabric.tick(env);
         for req in env.tick() {
-            fabric.on_mem_response(req);
+            fabric.on_mem_response(req).expect("paired response");
         }
         retired.extend(fabric.drain_retired());
         spin += 1;
@@ -145,7 +145,7 @@ fn rejected_memory_issues_are_retried() {
     while !fabric.is_drained() {
         fabric.tick(&mut env);
         for req in env.inner.tick() {
-            fabric.on_mem_response(req);
+            fabric.on_mem_response(req).expect("paired response");
         }
         fabric.drain_retired();
         spin += 1;

@@ -177,4 +177,87 @@ mod tests {
             Err(VerifyError::Unreachable { block: BlockId(1) })
         ));
     }
+
+    #[test]
+    fn empty_kernel_detected() {
+        let mut k = Kernel::new("bad", 0);
+        k.blocks.clear();
+        assert_eq!(verify(&k), Err(VerifyError::Empty));
+        assert_eq!(
+            VerifyError::Empty.to_string(),
+            "kernel has no blocks",
+            "error text is part of the diagnostic contract"
+        );
+    }
+
+    #[test]
+    fn bad_operand_register_detected_with_location() {
+        // An out-of-range *use* (not dst) must be caught, and the error
+        // must name the exact register and block.
+        let mut k = Kernel::new("bad", 0);
+        let dst = k.fresh_reg();
+        k.blocks[0].insts.push(Inst::Binary {
+            dst,
+            op: BinaryOp::Add,
+            lhs: Operand::Reg(Reg(77)),
+            rhs: Operand::Imm(2u32.into()),
+        });
+        assert_eq!(
+            verify(&k),
+            Err(VerifyError::RegOutOfRange {
+                reg: Reg(77),
+                block: BlockId(0),
+            })
+        );
+    }
+
+    #[test]
+    fn bad_branch_condition_register_detected() {
+        // Terminator condition registers go through a separate check.
+        let mut k = Kernel::new("bad", 0);
+        k.push_block();
+        k.blocks[0].term = Terminator::Branch {
+            cond: Operand::Reg(Reg(12)),
+            taken: BlockId(1),
+            not_taken: BlockId(1),
+        };
+        assert_eq!(
+            verify(&k),
+            Err(VerifyError::RegOutOfRange {
+                reg: Reg(12),
+                block: BlockId(0),
+            })
+        );
+    }
+
+    #[test]
+    fn bad_target_names_offending_block() {
+        // The error must carry both ends: the dangling target AND the
+        // block whose terminator dangles.
+        let mut k = Kernel::new("bad", 0);
+        k.push_block();
+        k.blocks[0].term = Terminator::Jump(BlockId(1));
+        k.blocks[1].term = Terminator::Jump(BlockId(42));
+        assert_eq!(
+            verify(&k),
+            Err(VerifyError::BadTarget {
+                target: BlockId(42),
+                block: BlockId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn bad_param_names_offending_block() {
+        let mut k = Kernel::new("bad", 2);
+        let r = k.fresh_reg();
+        k.blocks[0].insts.push(Inst::Param { dst: r, index: 2 });
+        assert_eq!(
+            verify(&k),
+            Err(VerifyError::ParamOutOfRange {
+                index: 2,
+                block: BlockId(0),
+            })
+        );
+    }
 }

@@ -607,6 +607,48 @@ impl MemSystem {
     pub fn is_idle(&self) -> bool {
         self.wheel_count == 0 && self.far_events.is_empty() && self.responses.is_empty()
     }
+
+    /// Snapshots every outstanding MSHR entry (for deadlock reports: a
+    /// fill that never completes shows up here as a stuck line with its
+    /// waiting request IDs).
+    pub fn mshr_snapshot(&self) -> Vec<MshrSnapshot> {
+        let mut out = Vec::new();
+        for (pi, port) in self.ports.iter().enumerate() {
+            for (bi, bank) in port.banks.iter().enumerate() {
+                for m in &bank.mshrs {
+                    out.push(MshrSnapshot {
+                        port: pi,
+                        bank: bi,
+                        line: m.line,
+                        waiters: m.waiters.len(),
+                        dirty: m.dirty,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of scheduled timing events still in flight (fills, DRAM
+    /// completions, pending responses).
+    pub fn in_flight_events(&self) -> usize {
+        self.wheel_count + self.far_events.len() + self.responses.len()
+    }
+}
+
+/// One outstanding MSHR entry, as reported by [`MemSystem::mshr_snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MshrSnapshot {
+    /// L1-level port index (0 = data L1; 1 = LVC when configured).
+    pub port: usize,
+    /// Bank index within the port.
+    pub bank: usize,
+    /// The line address being filled.
+    pub line: u64,
+    /// Requests waiting on the fill.
+    pub waiters: usize,
+    /// Whether the filled line will start dirty.
+    pub dirty: bool,
 }
 
 impl std::fmt::Debug for MemSystem {

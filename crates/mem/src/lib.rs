@@ -18,5 +18,7 @@ mod hierarchy;
 mod stats;
 
 pub use cache::{CacheArray, CacheGeometry, Eviction};
-pub use hierarchy::{AllocPolicy, L1Config, MemSystem, PortId, ReqId, SharedConfig, WritePolicy};
+pub use hierarchy::{
+    AllocPolicy, L1Config, MemSystem, MshrSnapshot, PortId, ReqId, SharedConfig, WritePolicy,
+};
 pub use stats::{DramStats, LevelStats, MemStats};

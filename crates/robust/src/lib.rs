@@ -1,0 +1,373 @@
+//! Robustness layer shared by the VGIW, SGMF and SIMT cores.
+//!
+//! Every simulated machine spins an inner drain loop that can hang forever
+//! if a compiler bug, a lost token or a stuck MSHR breaks forward
+//! progress. This crate provides the shared vocabulary for detecting and
+//! reporting such failures without panicking:
+//!
+//! * [`Watchdog`] — a progress monitor; if nothing the driving core counts
+//!   as progress (a thread retiring, a memory event completing, an idle
+//!   stretch fast-forwarded) happens for a configurable budget of cycles,
+//!   the run aborts with a structured [`DeadlockReport`] naming the stuck
+//!   resources.
+//! * [`InvariantViolation`] — a typed violation emitted by the invariant
+//!   checkers (token conservation, CVT bit-vector consistency, live-value
+//!   writeback coherence, memory request/response pairing) gated behind
+//!   [`ChecksConfig`].
+//! * [`ResponseTamper`] — a deterministic fault injector over a memory
+//!   response stream (drop or duplicate the nth response), used by the
+//!   fault-injection test suites of all three machines.
+//!
+//! The watchdog and checkers are pure observers: they never alter
+//! simulation timing, so enabling them leaves every cycle count
+//! bit-identical.
+
+/// Default watchdog budget: cycles without progress before a run is
+/// declared deadlocked. Progress events (retirements, memory completions,
+/// fast-forward skips) are dense in every healthy run — the longest
+/// suite app finishes in well under this many total cycles — so the
+/// default can stay armed at all times without false positives.
+pub const DEFAULT_WATCHDOG_BUDGET: u64 = 1_000_000;
+
+/// Knobs for the robustness layer, carried by each machine's config.
+///
+/// The watchdog is armed by default (it is free and purely observational);
+/// the invariant checkers default to off and are enabled together via
+/// [`ChecksConfig::full`] (`experiments --checks`, used by CI's
+/// clean-suite pass). Memory request/response pairing is always checked —
+/// it replaces a former panic and costs nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChecksConfig {
+    /// Cycles without progress before the run aborts with a
+    /// [`DeadlockReport`]; `None` disarms the watchdog.
+    pub watchdog_budget: Option<u64>,
+    /// Check injected = retired (+ in-flight) per block execution.
+    pub token_conservation: bool,
+    /// Check every live thread is armed in exactly one CVT block vector.
+    pub cvt_consistency: bool,
+    /// Check no live value is read before it was written.
+    pub lv_coherence: bool,
+}
+
+impl Default for ChecksConfig {
+    fn default() -> Self {
+        ChecksConfig {
+            watchdog_budget: Some(DEFAULT_WATCHDOG_BUDGET),
+            token_conservation: false,
+            cvt_consistency: false,
+            lv_coherence: false,
+        }
+    }
+}
+
+impl ChecksConfig {
+    /// Everything on: armed watchdog plus all invariant checkers.
+    pub fn full() -> Self {
+        ChecksConfig {
+            watchdog_budget: Some(DEFAULT_WATCHDOG_BUDGET),
+            token_conservation: true,
+            cvt_consistency: true,
+            lv_coherence: true,
+        }
+    }
+
+    /// Everything off, including the watchdog.
+    pub fn off() -> Self {
+        ChecksConfig {
+            watchdog_budget: None,
+            token_conservation: false,
+            cvt_consistency: false,
+            lv_coherence: false,
+        }
+    }
+
+    /// `full()` with a custom watchdog budget (fault tests use small
+    /// budgets so hangs are detected in a few thousand cycles).
+    pub fn full_with_budget(budget: u64) -> Self {
+        ChecksConfig {
+            watchdog_budget: Some(budget),
+            ..ChecksConfig::full()
+        }
+    }
+}
+
+/// Tracks the last cycle at which the driving core observed progress.
+///
+/// What counts as progress is the core's call: the VGIW/SGMF drain loops
+/// count retirements, drained memory responses, fabric firings and
+/// fast-forwarded idle stretches; the SIMT loop counts issued
+/// instructions, writebacks and drained responses.
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    budget: u64,
+    last_progress: u64,
+}
+
+impl Watchdog {
+    /// Arms a watchdog at cycle `now` with the given no-progress budget.
+    pub fn new(budget: u64, now: u64) -> Self {
+        Watchdog {
+            budget,
+            last_progress: now,
+        }
+    }
+
+    /// Records progress at cycle `now`.
+    #[inline]
+    pub fn progress(&mut self, now: u64) {
+        self.last_progress = now;
+    }
+
+    /// Cycles elapsed since the last progress event.
+    pub fn stalled_for(&self, now: u64) -> u64 {
+        now.saturating_sub(self.last_progress)
+    }
+
+    /// Whether the no-progress budget is exhausted at cycle `now`.
+    #[inline]
+    pub fn expired(&self, now: u64) -> bool {
+        self.stalled_for(now) > self.budget
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// One stuck resource in a [`DeadlockReport`] (a node holding tokens, an
+/// outstanding MSHR, a CVT block with pending threads, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StuckResource {
+    /// Resource kind and identity, e.g. `fabric node 7 (replica 0)`.
+    pub name: String,
+    /// What is stuck there, e.g. `2 pending token entries`.
+    pub detail: String,
+}
+
+/// Structured snapshot of a deadlocked machine, produced when a
+/// [`Watchdog`] expires.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Which machine hung (`"vgiw"`, `"sgmf"`, `"simt"`).
+    pub machine: &'static str,
+    /// Machine cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// The no-progress budget that was exhausted.
+    pub budget: u64,
+    /// Cycles since the last observed progress event.
+    pub stalled_for: u64,
+    /// Basic block being executed, if the machine tracks one.
+    pub block: Option<u32>,
+    /// Every stuck resource the machine could name.
+    pub resources: Vec<StuckResource>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadlock on {} at cycle {}: no progress for {} cycles (budget {})",
+            self.machine, self.cycle, self.stalled_for, self.budget
+        )?;
+        if let Some(b) = self.block {
+            write!(f, ", in block {b}")?;
+        }
+        for r in &self.resources {
+            write!(f, "\n  stuck: {}: {}", r.name, r.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockReport {}
+
+/// Which invariant a checker found violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Threads injected into the fabric ≠ threads retired + in flight.
+    TokenConservation,
+    /// A live thread is armed in zero or multiple CVT block vectors.
+    CvtConsistency,
+    /// A live value was read before any thread wrote it.
+    LvCoherence,
+    /// A memory response arrived for an unknown or already-completed
+    /// request (always checked; formerly a panic).
+    MemPairing,
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InvariantKind::TokenConservation => "token conservation",
+            InvariantKind::CvtConsistency => "CVT consistency",
+            InvariantKind::LvCoherence => "live-value coherence",
+            InvariantKind::MemPairing => "memory request/response pairing",
+        })
+    }
+}
+
+/// A typed invariant violation: what broke, where, and when.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// Which invariant failed.
+    pub kind: InvariantKind,
+    /// Which machine (`"vgiw"`, `"sgmf"`, `"simt"`, or `"fabric"` when
+    /// raised below the driving core).
+    pub machine: &'static str,
+    /// Machine cycle at which the violation was detected.
+    pub cycle: u64,
+    /// Human-readable specifics naming the offending resource.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Re-attributes a violation raised by a shared component (e.g. the
+    /// fabric) to the machine that was driving it.
+    pub fn on(mut self, machine: &'static str) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant violated on {} at cycle {}: {}: {}",
+            self.machine, self.cycle, self.kind, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Deterministic fault injector over a memory response stream.
+///
+/// Sits between `mem.drain_responses()` and the consumer
+/// (`fabric.on_mem_responses` / the SIMT scoreboard) and tampers with the
+/// nth response flowing through: dropping it models a response lost on the
+/// interconnect (the waiting entry never completes — the watchdog must
+/// fire); duplicating it models a double delivery (the pairing checker
+/// must object to the second copy).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResponseTamper {
+    /// Swallow the nth (0-based) response seen.
+    pub drop_nth: Option<u64>,
+    /// Deliver the nth (0-based) response twice.
+    pub dup_nth: Option<u64>,
+    seen: u64,
+}
+
+impl ResponseTamper {
+    /// A tamper plan dropping response `n`.
+    pub fn drop(n: u64) -> Self {
+        ResponseTamper {
+            drop_nth: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// A tamper plan duplicating response `n`.
+    pub fn duplicate(n: u64) -> Self {
+        ResponseTamper {
+            dup_nth: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Whether any tampering is configured.
+    pub fn active(&self) -> bool {
+        self.drop_nth.is_some() || self.dup_nth.is_some()
+    }
+
+    /// Applies the plan to a batch of response IDs in place.
+    pub fn apply(&mut self, responses: &mut Vec<u64>) {
+        if !self.active() {
+            return;
+        }
+        let mut i = 0;
+        while i < responses.len() {
+            let n = self.seen;
+            self.seen += 1;
+            if self.drop_nth == Some(n) {
+                responses.remove(i);
+                continue;
+            }
+            if self.dup_nth == Some(n) {
+                let id = responses[i];
+                responses.insert(i + 1, id);
+                i += 1; // the duplicate itself is not re-counted
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_expires_after_budget() {
+        let mut wd = Watchdog::new(100, 0);
+        assert!(!wd.expired(100));
+        assert!(wd.expired(101));
+        wd.progress(90);
+        assert!(!wd.expired(190));
+        assert!(wd.expired(191));
+        assert_eq!(wd.stalled_for(150), 60);
+    }
+
+    #[test]
+    fn tamper_drops_nth() {
+        let mut t = ResponseTamper::drop(2);
+        let mut batch = vec![10, 11, 12, 13];
+        t.apply(&mut batch);
+        assert_eq!(batch, vec![10, 11, 13]);
+        let mut batch2 = vec![14, 15];
+        t.apply(&mut batch2);
+        assert_eq!(batch2, vec![14, 15]);
+    }
+
+    #[test]
+    fn tamper_duplicates_nth_across_batches() {
+        let mut t = ResponseTamper::duplicate(3);
+        let mut batch = vec![7, 8];
+        t.apply(&mut batch);
+        assert_eq!(batch, vec![7, 8]);
+        let mut batch2 = vec![9, 20, 21];
+        t.apply(&mut batch2);
+        assert_eq!(batch2, vec![9, 20, 20, 21]);
+    }
+
+    #[test]
+    fn deadlock_report_names_resources() {
+        let r = DeadlockReport {
+            machine: "vgiw",
+            cycle: 5000,
+            budget: 1000,
+            stalled_for: 1001,
+            block: Some(3),
+            resources: vec![StuckResource {
+                name: "fabric node 7 (replica 0)".to_string(),
+                detail: "1 pending token entry".to_string(),
+            }],
+        };
+        let text = r.to_string();
+        assert!(text.contains("deadlock on vgiw at cycle 5000"));
+        assert!(text.contains("in block 3"));
+        assert!(text.contains("fabric node 7 (replica 0)"));
+    }
+
+    #[test]
+    fn checks_config_defaults() {
+        let c = ChecksConfig::default();
+        assert_eq!(c.watchdog_budget, Some(DEFAULT_WATCHDOG_BUDGET));
+        assert!(!c.token_conservation && !c.cvt_consistency && !c.lv_coherence);
+        let f = ChecksConfig::full_with_budget(42);
+        assert_eq!(f.watchdog_budget, Some(42));
+        assert!(f.token_conservation && f.cvt_consistency && f.lv_coherence);
+        assert_eq!(ChecksConfig::off().watchdog_budget, None);
+    }
+}

@@ -20,9 +20,15 @@ use std::error::Error;
 use std::fmt;
 use vgiw_compiler::ifconvert::{if_convert, IfConvertError};
 use vgiw_compiler::{place, Dfg, GridSpec, Placement};
-use vgiw_fabric::{Fabric, FabricConfig, FabricEnv, FabricStats, MemReqId};
+use vgiw_fabric::{
+    ConfigError, Fabric, FabricConfig, FabricEnv, FabricFaults, FabricStats, MemReqId,
+};
 use vgiw_ir::{Kernel, Launch, MemoryImage, Word};
 use vgiw_mem::{L1Config, MemStats, MemSystem, SharedConfig};
+use vgiw_robust::{
+    ChecksConfig, DeadlockReport, InvariantKind, InvariantViolation, ResponseTamper, StuckResource,
+    Watchdog,
+};
 
 /// SGMF processor configuration: the same fabric and Table-1 memory system
 /// as VGIW, minus the LVC and CVT.
@@ -50,6 +56,13 @@ pub struct SgmfConfig {
     /// event-driven core (equivalence-tested simulator knob; see
     /// `vgiw_fabric::Fabric::set_reference_tick`).
     pub reference_tick: bool,
+    /// Robustness layer: watchdog budget and invariant checkers (pure
+    /// observers — cycle counts are identical with checks on).
+    pub checks: ChecksConfig,
+    /// Deterministic fabric fault plan (tests only).
+    pub fabric_faults: FabricFaults,
+    /// Deterministic memory response tampering (tests only).
+    pub response_faults: ResponseTamper,
 }
 
 impl Default for SgmfConfig {
@@ -66,6 +79,9 @@ impl Default for SgmfConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            checks: ChecksConfig::default(),
+            fabric_faults: FabricFaults::default(),
+            response_faults: ResponseTamper::default(),
         }
     }
 }
@@ -79,12 +95,26 @@ pub enum SgmfError {
     PlacementFailed,
     /// The mapped graph could not be loaded onto the fabric (e.g. its
     /// timing envelope exceeds the maximum timing wheel).
-    Configure(String),
+    Configure(ConfigError),
     /// Runaway kernel.
     CycleLimit {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The watchdog saw no forward progress for a full budget.
+    Deadlock(Box<DeadlockReport>),
+    /// A machine invariant was violated during the run.
+    Invariant(InvariantViolation),
+}
+
+impl SgmfError {
+    /// The deadlock report, if this error is a watchdog abort.
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        match self {
+            SgmfError::Deadlock(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SgmfError {
@@ -92,8 +122,10 @@ impl fmt::Display for SgmfError {
         match self {
             SgmfError::Unmappable(e) => write!(f, "kernel not SGMF-mappable: {e}"),
             SgmfError::PlacementFailed => write!(f, "place & route failed"),
-            SgmfError::Configure(msg) => write!(f, "fabric configuration rejected: {msg}"),
+            SgmfError::Configure(e) => write!(f, "fabric configuration rejected: {e}"),
             SgmfError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+            SgmfError::Deadlock(r) => r.fmt(f),
+            SgmfError::Invariant(v) => v.fmt(f),
         }
     }
 }
@@ -102,6 +134,9 @@ impl Error for SgmfError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SgmfError::Unmappable(e) => Some(e),
+            SgmfError::Configure(e) => Some(e),
+            SgmfError::Invariant(v) => Some(v),
+            SgmfError::Deadlock(r) => Some(r.as_ref()),
             _ => None,
         }
     }
@@ -192,6 +227,13 @@ impl SgmfProcessor {
         &self.config
     }
 
+    /// Mutable access to the configuration (e.g. to disarm fault injection
+    /// between runs). Structural fields (grid, fabric, caches) only take
+    /// effect on the next machine rebuild.
+    pub fn config_mut(&mut self) -> &mut SgmfConfig {
+        &mut self.config
+    }
+
     /// Idle cycles skipped by fast-forward since construction (simulator
     /// metric; does not affect the architectural `cycles` figures).
     pub fn cycles_skipped(&self) -> u64 {
@@ -212,6 +254,7 @@ impl SgmfProcessor {
         let placements = self.map(&dfg)?;
 
         self.fabric.reset_stats();
+        self.fabric.set_faults(self.config.fabric_faults);
         let start = self.fabric.cycle();
         let mem_before = self.mem.stats().clone();
         self.fabric
@@ -220,9 +263,17 @@ impl SgmfProcessor {
         for tid in 0..launch.num_threads {
             self.fabric.inject(tid);
         }
+        let mut watchdog = self
+            .config
+            .checks
+            .watchdog_budget
+            .map(|b| Watchdog::new(b, start));
+        let mut tamper = self.config.response_faults;
+        let mut last_firings = self.fabric.stats().firings;
         let mut resp_buf = Vec::new();
         let mut retire_buf = Vec::new();
         while !self.fabric.is_drained() {
+            let mut progressed = false;
             // Idle fast-forward, as in the VGIW processor: skip to one
             // cycle before the next scheduled event when nothing can fire.
             if self.config.fast_forward && self.fabric.is_quiescent() {
@@ -239,6 +290,7 @@ impl SgmfProcessor {
                         self.fabric.advance_idle(k);
                         self.mem.advance_idle(k);
                         self.cycles_skipped += k;
+                        progressed = true;
                     }
                 }
             }
@@ -251,14 +303,48 @@ impl SgmfProcessor {
             }
             self.mem.tick();
             self.mem.drain_responses_into(&mut resp_buf);
-            self.fabric.on_mem_responses(&resp_buf);
+            tamper.apply(&mut resp_buf);
+            progressed |= !resp_buf.is_empty();
+            if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
+                self.reset_machine();
+                return Err(SgmfError::Invariant(v.on("sgmf")));
+            }
             resp_buf.clear();
             self.fabric.drain_retired_into(&mut retire_buf);
+            progressed |= !retire_buf.is_empty();
             retire_buf.clear();
+            let firings = self.fabric.stats().firings;
+            progressed |= firings != last_firings;
+            last_firings = firings;
             if self.fabric.cycle() - start > self.config.cycle_limit {
+                self.reset_machine();
                 return Err(SgmfError::CycleLimit {
                     limit: self.config.cycle_limit,
                 });
+            }
+            if let Some(wd) = watchdog.as_mut() {
+                let now = self.fabric.cycle();
+                if progressed {
+                    wd.progress(now);
+                } else if wd.expired(now) {
+                    let report = self.build_deadlock_report(wd.stalled_for(now), wd.budget());
+                    self.reset_machine();
+                    return Err(SgmfError::Deadlock(Box::new(report)));
+                }
+            }
+        }
+        if self.config.checks.token_conservation {
+            let stats = self.fabric.stats();
+            if stats.threads_retired != u64::from(launch.num_threads) {
+                return Err(SgmfError::Invariant(InvariantViolation {
+                    kind: InvariantKind::TokenConservation,
+                    machine: "sgmf",
+                    cycle: self.fabric.cycle(),
+                    detail: format!(
+                        "{} threads injected but {} retired with the fabric drained",
+                        launch.num_threads, stats.threads_retired
+                    ),
+                }));
             }
         }
 
@@ -269,6 +355,43 @@ impl SgmfProcessor {
             fabric: *self.fabric.stats(),
             mem: self.mem.stats().delta_since(&mem_before),
         })
+    }
+
+    /// Rebuilds the fabric and memory system after an aborted run so the
+    /// processor stays usable for the next kernel.
+    fn reset_machine(&mut self) {
+        self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
+        self.fabric.set_reference_tick(self.config.reference_tick);
+        self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
+    }
+
+    /// Assembles a deadlock report from the stuck machine: fabric tokens
+    /// per node, outstanding MSHRs and in-flight memory events.
+    fn build_deadlock_report(&self, stalled_for: u64, budget: u64) -> DeadlockReport {
+        let mut resources = self.fabric.snapshot().stuck_resources();
+        for m in self.mem.mshr_snapshot() {
+            resources.push(StuckResource {
+                name: format!("MSHR port {} bank {}", m.port, m.bank),
+                detail: format!(
+                    "filling line {:#x}, {} waiter(s){}",
+                    m.line,
+                    m.waiters,
+                    if m.dirty { ", dirty" } else { "" }
+                ),
+            });
+        }
+        resources.push(StuckResource {
+            name: "memory system".to_string(),
+            detail: format!("{} timing events in flight", self.mem.in_flight_events()),
+        });
+        DeadlockReport {
+            machine: "sgmf",
+            cycle: self.fabric.cycle(),
+            budget,
+            stalled_for,
+            block: None,
+            resources,
+        }
     }
 
     fn map(&self, dfg: &Dfg) -> Result<Vec<Placement>, SgmfError> {
@@ -356,6 +479,94 @@ mod tests {
             proc.run(&k, &Launch::new(4, vec![]), &mut mem),
             Err(SgmfError::Unmappable(_))
         ));
+    }
+
+    #[test]
+    fn dropped_token_is_caught_by_watchdog() {
+        let k = divergent_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let config = SgmfConfig {
+            checks: ChecksConfig::full_with_budget(10_000),
+            fabric_faults: FabricFaults::drop_token(500),
+            ..SgmfConfig::default()
+        };
+        let mut proc = SgmfProcessor::new(config);
+        let err = proc.run(&k, &launch, &mut mem).unwrap_err();
+        let report = err.deadlock_report().expect("watchdog abort");
+        assert_eq!(report.machine, "sgmf");
+        assert!(
+            report.resources.iter().any(|r| r.name.contains("fabric")),
+            "report names the stuck fabric: {report}"
+        );
+        // The processor was rebuilt and stays usable.
+        let mut config = proc.config().clone();
+        config.fabric_faults = FabricFaults::default();
+        *proc.config_mut() = config;
+        let mut mem2 = MemoryImage::new(128);
+        proc.run(&k, &launch, &mut mem2)
+            .expect("reusable after deadlock");
+    }
+
+    #[test]
+    fn duplicated_response_is_a_pairing_violation() {
+        let k = divergent_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let config = SgmfConfig {
+            response_faults: ResponseTamper::duplicate(3),
+            ..SgmfConfig::default()
+        };
+        let mut proc = SgmfProcessor::new(config);
+        match proc.run(&k, &launch, &mut mem) {
+            Err(SgmfError::Invariant(v)) => {
+                assert_eq!(v.kind, InvariantKind::MemPairing);
+                assert_eq!(v.machine, "sgmf");
+            }
+            other => panic!("expected pairing violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_retirement_breaks_token_conservation() {
+        let k = divergent_kernel();
+        let launch = Launch::new(64, vec![Word::from_u32(0)]);
+        let mut mem = MemoryImage::new(128);
+        let config = SgmfConfig {
+            checks: ChecksConfig::full(),
+            fabric_faults: FabricFaults::drop_retire(5),
+            ..SgmfConfig::default()
+        };
+        let mut proc = SgmfProcessor::new(config);
+        match proc.run(&k, &launch, &mut mem) {
+            Err(SgmfError::Invariant(v)) => {
+                assert_eq!(v.kind, InvariantKind::TokenConservation);
+                assert!(
+                    v.detail.contains("64 threads injected but 63"),
+                    "{}",
+                    v.detail
+                );
+            }
+            other => panic!("expected conservation violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_checks_leave_cycles_identical() {
+        let k = divergent_kernel();
+        let launch = Launch::new(150, vec![Word::from_u32(0)]);
+        let mut m1 = MemoryImage::new(256);
+        let base = SgmfProcessor::default().run(&k, &launch, &mut m1).unwrap();
+        let config = SgmfConfig {
+            checks: ChecksConfig::full(),
+            ..SgmfConfig::default()
+        };
+        let mut m2 = MemoryImage::new(256);
+        let checked = SgmfProcessor::new(config)
+            .run(&k, &launch, &mut m2)
+            .unwrap();
+        assert_eq!(base.cycles, checked.cycles);
+        assert!(m1 == m2);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SIMT (Fermi-like) SM configuration.
 
 use vgiw_mem::{L1Config, SharedConfig};
+use vgiw_robust::{ChecksConfig, ResponseTamper};
 
 /// Configuration of the von Neumann baseline SM.
 ///
@@ -44,6 +45,11 @@ pub struct SimtConfig {
     pub shared: SharedConfig,
     /// Safety valve for runaway kernels.
     pub cycle_limit: u64,
+    /// Robustness layer: watchdog budget and invariant checkers (pure
+    /// observers — cycle counts are identical with checks on).
+    pub checks: ChecksConfig,
+    /// Deterministic memory response tampering (tests only).
+    pub response_faults: ResponseTamper,
 }
 
 impl Default for SimtConfig {
@@ -63,6 +69,8 @@ impl Default for SimtConfig {
             l1: L1Config::fermi_l1(),
             shared: SharedConfig::fermi_like(),
             cycle_limit: 2_000_000_000,
+            checks: ChecksConfig::default(),
+            response_faults: ResponseTamper::default(),
         }
     }
 }

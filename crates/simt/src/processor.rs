@@ -17,6 +17,7 @@ use vgiw_ir::{
     Terminator, Word,
 };
 use vgiw_mem::MemSystem;
+use vgiw_robust::{DeadlockReport, InvariantKind, InvariantViolation, StuckResource, Watchdog};
 
 /// Open-addressed map from in-flight memory transaction id to its owning
 /// warp and destination register.
@@ -88,17 +89,41 @@ pub enum SimtError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The watchdog saw no forward progress for a full budget.
+    Deadlock(Box<DeadlockReport>),
+    /// A machine invariant was violated during the run.
+    Invariant(InvariantViolation),
+}
+
+impl SimtError {
+    /// The deadlock report, if this error is a watchdog abort.
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        match self {
+            SimtError::Deadlock(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimtError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+            SimtError::Deadlock(r) => r.fmt(f),
+            SimtError::Invariant(v) => v.fmt(f),
         }
     }
 }
 
-impl Error for SimtError {}
+impl Error for SimtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimtError::Deadlock(r) => Some(r.as_ref()),
+            SimtError::Invariant(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 struct Warp {
     /// Global thread ID of lane 0.
@@ -135,6 +160,11 @@ impl Warp {
 pub struct SimtProcessor {
     config: SimtConfig,
     mem: MemSystem,
+    /// Next memory transaction id — monotonic across launches, because the
+    /// memory system persists and a finished launch may leave store
+    /// acknowledgements in flight: the next launch must be able to tell a
+    /// stale (expected, ignorable) ack from a genuine pairing violation.
+    next_req: u64,
 }
 
 impl Default for SimtProcessor {
@@ -147,12 +177,22 @@ impl SimtProcessor {
     /// Builds a processor from a configuration.
     pub fn new(config: SimtConfig) -> SimtProcessor {
         let mem = MemSystem::new(vec![config.l1], config.shared);
-        SimtProcessor { config, mem }
+        SimtProcessor {
+            config,
+            mem,
+            next_req: 0,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SimtConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to disarm fault injection
+    /// between runs).
+    pub fn config_mut(&mut self) -> &mut SimtConfig {
+        &mut self.config
     }
 
     /// Runs `kernel` to completion, mutating `image`.
@@ -211,22 +251,28 @@ impl SimtProcessor {
         // Scoreboard completion events and memory transaction bookkeeping.
         let mut wb_events: Vec<(u64, usize, Reg)> = Vec::new();
         let mut txn_owner = TxnSlab::new();
-        let mut next_req: u64 = 0;
+        let first_req = self.next_req;
         let mut cycle: u64 = 0;
         let mut sfu_busy_until: u64 = 0;
         let mut ldst_busy_until: u64 = 0;
         let mut alu_busy_until: Vec<u64> = vec![0; cfg.alu_groups as usize];
         let mut last_issued: usize = 0;
+        let mut watchdog = cfg.checks.watchdog_budget.map(|b| Watchdog::new(b, 0));
+        let mut tamper = cfg.response_faults;
+        let mut resp_buf: Vec<u64> = Vec::new();
 
         while next_warp < total_warps || !active.is_empty() {
             cycle += 1;
+            let mut progressed = false;
             if cycle > cfg.cycle_limit {
+                self.reset_machine();
                 return Err(SimtError::CycleLimit {
                     limit: cfg.cycle_limit,
                 });
             }
 
             // Writebacks due this cycle.
+            let wb_before = wb_events.len();
             wb_events.retain(|&(t, w, r)| {
                 if t <= cycle {
                     if warps[w].pending[r.index()] {
@@ -238,27 +284,47 @@ impl SimtProcessor {
                     true
                 }
             });
+            progressed |= wb_events.len() != wb_before;
 
             // Memory system.
             self.mem.tick();
-            for id in self.mem.drain_responses() {
-                if let Some((w, Some(dst))) = txn_owner.remove(id) {
-                    let warp = &mut warps[w];
-                    warp.load_outstanding[dst.index()] -= 1;
-                    // The register completes only when no transaction of
-                    // its load is in flight *or still waiting to enter
-                    // the cache* (early responses must not release the
-                    // scoreboard while siblings are queued).
-                    let still_queued = warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
-                    if warp.load_outstanding[dst.index()] == 0
-                        && !still_queued
-                        && warp.pending[dst.index()]
-                    {
-                        warp.pending[dst.index()] = false;
-                        warp.pending_count -= 1;
-                    }
+            self.mem.drain_responses_into(&mut resp_buf);
+            tamper.apply(&mut resp_buf);
+            progressed |= !resp_buf.is_empty();
+            for &id in &resp_buf {
+                if id < first_req {
+                    // A store acknowledgement left in flight by a previous
+                    // launch on the persistent memory system: expected.
+                    continue;
+                }
+                let Some((w, dst)) = txn_owner.remove(id) else {
+                    self.reset_machine();
+                    return Err(SimtError::Invariant(InvariantViolation {
+                        kind: InvariantKind::MemPairing,
+                        machine: "simt",
+                        cycle,
+                        detail: format!(
+                            "response for unknown or already-completed memory transaction {id}"
+                        ),
+                    }));
+                };
+                let Some(dst) = dst else { continue }; // store acknowledgement
+                let warp = &mut warps[w];
+                warp.load_outstanding[dst.index()] -= 1;
+                // The register completes only when no transaction of
+                // its load is in flight *or still waiting to enter
+                // the cache* (early responses must not release the
+                // scoreboard while siblings are queued).
+                let still_queued = warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
+                if warp.load_outstanding[dst.index()] == 0
+                    && !still_queued
+                    && warp.pending[dst.index()]
+                {
+                    warp.pending[dst.index()] = false;
+                    warp.pending_count -= 1;
                 }
             }
+            resp_buf.clear();
 
             // Push queued transactions into the L1.
             let mut pushed = 0;
@@ -270,9 +336,9 @@ impl SimtProcessor {
                     if pushed >= cfg.txns_per_cycle {
                         break;
                     }
-                    let req = next_req;
+                    let req = self.next_req;
                     if self.mem.access(0, addr, warps[w].txn_is_store, req) {
-                        next_req += 1;
+                        self.next_req += 1;
                         warps[w].txn_queue.pop();
                         let dst = warps[w].txn_dst;
                         if let Some(d) = dst {
@@ -281,6 +347,7 @@ impl SimtProcessor {
                         txn_owner.insert(req, w, dst);
                         stats.mem_transactions += 1;
                         pushed += 1;
+                        progressed = true;
                     } else {
                         break;
                     }
@@ -316,6 +383,7 @@ impl SimtProcessor {
                     last_issued = pos;
                 }
             }
+            progressed |= issued > 0;
 
             // Retire finished warps from the resident set; bring in the
             // next wave. A finished warp with outstanding store traffic
@@ -324,12 +392,36 @@ impl SimtProcessor {
                 active.retain(|&w| !warps[w].finished);
                 refill(&mut warps, &mut active, &mut next_warp);
                 last_issued = 0;
+                progressed = true;
+            }
+
+            if let Some(wd) = watchdog.as_mut() {
+                if progressed {
+                    wd.progress(cycle);
+                } else if wd.expired(cycle) {
+                    let report = build_deadlock_report(
+                        &self.mem,
+                        &warps,
+                        &active,
+                        cycle,
+                        wd.stalled_for(cycle),
+                        wd.budget(),
+                    );
+                    self.reset_machine();
+                    return Err(SimtError::Deadlock(Box::new(report)));
+                }
             }
         }
 
         stats.cycles = cycle;
         stats.mem = self.mem.stats().delta_since(&mem_before);
         Ok(stats)
+    }
+
+    /// Rebuilds the memory system after an aborted run (in-flight events
+    /// would otherwise leak into the next launch).
+    fn reset_machine(&mut self) {
+        self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
     }
 
     /// Attempts to issue the next instruction of warp `w`. Returns whether
@@ -517,6 +609,65 @@ impl SimtProcessor {
                 }
             }
         }
+    }
+}
+
+/// Assembles a deadlock report from the stuck SM: per-warp scoreboard and
+/// transaction-queue state plus outstanding MSHRs and in-flight memory
+/// events.
+fn build_deadlock_report(
+    mem: &MemSystem,
+    warps: &[Warp],
+    active: &[usize],
+    cycle: u64,
+    stalled_for: u64,
+    budget: u64,
+) -> DeadlockReport {
+    let mut resources = Vec::new();
+    let mut block = None;
+    for &w in active {
+        let warp = &warps[w];
+        let at = warp.stack.top().map(|t| t.block);
+        if block.is_none() {
+            block = at.map(|b| b.0);
+        }
+        let outstanding: u32 = warp.load_outstanding.iter().sum();
+        resources.push(StuckResource {
+            name: format!("warp {w}"),
+            detail: format!(
+                "base tid {}, at block {} inst {}, {} pending reg(s), \
+                 {} outstanding load txn(s), {} queued txn(s)",
+                warp.base_tid,
+                at.map_or_else(|| "-".to_string(), |b| b.0.to_string()),
+                warp.idx,
+                warp.pending_count,
+                outstanding,
+                warp.txn_queue.len()
+            ),
+        });
+    }
+    for m in mem.mshr_snapshot() {
+        resources.push(StuckResource {
+            name: format!("MSHR port {} bank {}", m.port, m.bank),
+            detail: format!(
+                "filling line {:#x}, {} waiter(s){}",
+                m.line,
+                m.waiters,
+                if m.dirty { ", dirty" } else { "" }
+            ),
+        });
+    }
+    resources.push(StuckResource {
+        name: "memory system".to_string(),
+        detail: format!("{} timing events in flight", mem.in_flight_events()),
+    });
+    DeadlockReport {
+        machine: "simt",
+        cycle,
+        budget,
+        stalled_for,
+        block,
+        resources,
     }
 }
 
@@ -738,6 +889,91 @@ mod tests {
             .run(&k, &Launch::new(64, vec![Word::from_u32(0)]), &mut mem)
             .unwrap();
         assert_eq!(stats.mem_transactions, 64);
+    }
+
+    #[test]
+    fn dropped_response_is_caught_by_watchdog() {
+        // Load-dependent kernel: a withheld memory response wedges the
+        // scoreboard forever; the watchdog must catch it and name the warp.
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.load(addr);
+        let one = b.const_u32(1);
+        let v2 = b.add(v, one);
+        b.store(addr, v2);
+        let k = b.finish();
+        let config = SimtConfig {
+            checks: vgiw_robust::ChecksConfig::full_with_budget(5_000),
+            response_faults: vgiw_robust::ResponseTamper::drop(0),
+            ..SimtConfig::default()
+        };
+        let mut proc = SimtProcessor::new(config);
+        let mut mem = MemoryImage::new(256);
+        let err = proc
+            .run(&k, &Launch::new(64, vec![Word::from_u32(0)]), &mut mem)
+            .unwrap_err();
+        let report = err.deadlock_report().expect("watchdog abort");
+        assert_eq!(report.machine, "simt");
+        assert!(
+            report.resources.iter().any(|r| r.name.starts_with("warp")),
+            "report names the stuck warp: {report}"
+        );
+        // Machine was reset: the same processor runs clean afterwards.
+        proc.config_mut().response_faults = vgiw_robust::ResponseTamper::default();
+        let mut mem2 = MemoryImage::new(256);
+        proc.run(&k, &Launch::new(64, vec![Word::from_u32(0)]), &mut mem2)
+            .expect("reusable after deadlock");
+    }
+
+    #[test]
+    fn duplicated_response_is_a_pairing_violation() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.load(addr);
+        b.store(addr, v);
+        let k = b.finish();
+        let config = SimtConfig {
+            response_faults: vgiw_robust::ResponseTamper::duplicate(0),
+            ..SimtConfig::default()
+        };
+        let mut proc = SimtProcessor::new(config);
+        let mut mem = MemoryImage::new(256);
+        match proc.run(&k, &Launch::new(64, vec![Word::from_u32(0)]), &mut mem) {
+            Err(SimtError::Invariant(v)) => {
+                assert_eq!(v.kind, vgiw_robust::InvariantKind::MemPairing);
+                assert_eq!(v.machine, "simt");
+            }
+            other => panic!("expected pairing violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_checks_leave_cycles_identical() {
+        let mut b = KernelBuilder::new("k", 1);
+        let tid = b.thread_id();
+        let base = b.param(0);
+        let addr = b.add(base, tid);
+        let v = b.load(addr);
+        let v2 = b.mul(v, tid);
+        b.store(addr, v2);
+        let k = b.finish();
+        let launch = Launch::new(256, vec![Word::from_u32(0)]);
+        let mut m1 = MemoryImage::new(512);
+        let base_stats = SimtProcessor::default().run(&k, &launch, &mut m1).unwrap();
+        let config = SimtConfig {
+            checks: vgiw_robust::ChecksConfig::full(),
+            ..SimtConfig::default()
+        };
+        let mut m2 = MemoryImage::new(512);
+        let checked = SimtProcessor::new(config)
+            .run(&k, &launch, &mut m2)
+            .unwrap();
+        assert_eq!(base_stats.cycles, checked.cycles);
+        assert!(m1 == m2);
     }
 
     #[test]

@@ -13,5 +13,6 @@ pub use vgiw_ir as ir;
 pub use vgiw_kernels as kernels;
 pub use vgiw_mem as mem;
 pub use vgiw_power as power;
+pub use vgiw_robust as robust;
 pub use vgiw_sgmf as sgmf;
 pub use vgiw_simt as simt;
