@@ -35,7 +35,9 @@ echo "==> golden cycle counts (per app, per machine)"
 # and explain the delta.
 tmp="$(mktemp)"
 tmp_checked="$(mktemp)"
-trap 'rm -f "$tmp" "$tmp_checked"' EXIT
+tmp_traced="$(mktemp)"
+tmp_trace_json="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json"' EXIT
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
 done > "$tmp"
@@ -52,6 +54,32 @@ for m in vgiw simt sgmf; do
 done > "$tmp_checked"
 diff golden_cycles.txt "$tmp_checked" || {
     echo "ci: invariant checks perturbed cycle counts or flagged a clean run" >&2
+    exit 1
+}
+
+echo "==> golden cycle counts with tracing enabled"
+# The trace layer is a pure observer too: recording a full event log for
+# every run must leave the cycle table byte-identical.
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" --traced 2>/dev/null
+done > "$tmp_traced"
+diff golden_cycles.txt "$tmp_traced" || {
+    echo "ci: tracing perturbed cycle counts" >&2
+    exit 1
+}
+
+echo "==> trace export smoke test (Chrome trace-event JSON)"
+# `experiments trace` must emit a non-empty, strictly-valid Chrome trace
+# (the binary itself validates the JSON and asserts the launch, configure
+# and retirement events are present for VGIW).
+cargo run --release -q -p vgiw-bench --bin experiments -- \
+    trace --only NN --machine vgiw --out "$tmp_trace_json" 2>/dev/null
+test -s "$tmp_trace_json" || {
+    echo "ci: trace export wrote an empty file" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$tmp_trace_json" || {
+    echo "ci: trace export is not a Chrome trace-event document" >&2
     exit 1
 }
 

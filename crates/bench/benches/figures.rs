@@ -10,7 +10,8 @@
 //! (see `experiments perf`) carries the tracked numbers.
 
 use std::time::Instant;
-use vgiw_bench::{SgmfLauncher, SimtLauncher, VgiwLauncher};
+use vgiw_bench::{new_machine, MachineHost, MachineKind};
+use vgiw_robust::ChecksConfig;
 
 const ITERS: usize = 3;
 
@@ -32,13 +33,18 @@ fn time<F: FnMut() -> u64>(name: &str, mut f: F) {
     );
 }
 
+fn run_cycles(kind: MachineKind, bench: &vgiw_kernels::Benchmark) -> u64 {
+    let mut machine = new_machine(kind, ChecksConfig::default());
+    let mut host = MachineHost::new(machine.as_mut());
+    bench.run(&mut host).expect("machine run");
+    host.result.cycles
+}
+
 fn bench_vgiw() {
     for app in ["NN", "KMEANS", "GE"] {
         let bench = build(app);
         time(&format!("fig7_fig3/vgiw/{app}"), || {
-            let mut l = VgiwLauncher::default();
-            bench.run(&mut l).expect("vgiw run");
-            l.result.cycles
+            run_cycles(MachineKind::Vgiw, &bench)
         });
     }
 }
@@ -47,9 +53,7 @@ fn bench_simt() {
     for app in ["NN", "KMEANS", "GE"] {
         let bench = build(app);
         time(&format!("fig7_fig9/fermi/{app}"), || {
-            let mut l = SimtLauncher::default();
-            bench.run(&mut l).expect("simt run");
-            l.result.cycles
+            run_cycles(MachineKind::Simt, &bench)
         });
     }
 }
@@ -58,9 +62,7 @@ fn bench_sgmf() {
     for app in ["NN", "KMEANS"] {
         let bench = build(app);
         time(&format!("fig8_fig11/sgmf/{app}"), || {
-            let mut l = SgmfLauncher::default();
-            bench.run(&mut l).expect("sgmf run");
-            l.result.cycles
+            run_cycles(MachineKind::Sgmf, &bench)
         });
     }
 }

@@ -24,13 +24,23 @@
 //! bit-identical with or without it. Failing apps no longer abort the
 //! suite: remaining rows are produced, a failure table is printed at the
 //! end, and the process exits nonzero.
+//!
+//! `trace --only APP --machine M --out FILE [--format chrome|ndjson]`
+//! runs one benchmark on one machine with structured tracing enabled and
+//! writes the event log: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`, the default) or newline-delimited JSON. The
+//! machine's counter registry is printed to stdout. `--traced` enables
+//! tracing (with the records discarded) in `--machine` table mode, to
+//! demonstrate that tracing is a pure observer: cycle counts are
+//! bit-identical with it on.
 
 use vgiw_bench::harness::{
-    measure_machine_outcome, measure_suite_outcomes, AppOutcome, AppResult, MachineKind, RunOutcome,
+    measure_suite_outcomes, run_machine, AppOutcome, AppResult, MachineKind, RunOutcome,
 };
 use vgiw_bench::report;
 use vgiw_kernels::Benchmark;
 use vgiw_robust::ChecksConfig;
+use vgiw_trace::{chrome_trace, ndjson, validate_json, Tracer};
 
 /// Prints a table of every (app, machine) failure; returns whether any
 /// occurred.
@@ -58,12 +68,19 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut only: Option<String> = None;
     let mut machine: Option<MachineKind> = None;
+    let mut out_path: Option<String> = None;
+    let mut format: Option<String> = None;
+    let mut traced = false;
     let mut checks = ChecksConfig::default();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--checks" {
             checks = ChecksConfig::full();
+            continue;
+        }
+        if arg == "--traced" {
+            traced = true;
             continue;
         }
         let mut flag_value = |name: &str| -> Option<String> {
@@ -86,15 +103,15 @@ fn main() {
         } else if let Some(v) = flag_value("--only") {
             only = Some(v);
         } else if let Some(v) = flag_value("--machine") {
-            machine = Some(match v.as_str() {
-                "vgiw" => MachineKind::Vgiw,
-                "simt" => MachineKind::Simt,
-                "sgmf" => MachineKind::Sgmf,
-                other => {
-                    eprintln!("--machine must be vgiw, simt or sgmf, not '{other}'");
-                    std::process::exit(2);
-                }
-            });
+            machine = Some(MachineKind::from_name(&v).unwrap_or_else(|| {
+                let names: Vec<&str> = MachineKind::ALL.iter().map(|&(_, n)| n).collect();
+                eprintln!("--machine must be one of {}, not '{v}'", names.join(", "));
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = flag_value("--out") {
+            out_path = Some(v);
+        } else if let Some(v) = flag_value("--format") {
+            format = Some(v);
         } else {
             positional.push(arg);
         }
@@ -115,6 +132,65 @@ fn main() {
         benches
     };
 
+    if what == "trace" {
+        let kind = machine.unwrap_or(MachineKind::Vgiw);
+        let benches = filtered(scale);
+        if benches.len() != 1 {
+            eprintln!("trace needs --only APP (exactly one benchmark)");
+            std::process::exit(2);
+        }
+        let bench = &benches[0];
+        let format = format.unwrap_or_else(|| "chrome".to_string());
+        let path = out_path
+            .unwrap_or_else(|| format!("trace_{}_{}.json", bench.app.to_lowercase(), kind.name()));
+        eprintln!(
+            "tracing {} on {} (scale {scale})...",
+            bench.app,
+            kind.name()
+        );
+        let tracer = Tracer::recording();
+        let run = run_machine(bench, kind, checks, &tracer);
+        if let Some(e) = run.outcome.failure() {
+            eprintln!("{} failed on {}: {e}", kind.name(), bench.app);
+            std::process::exit(1);
+        }
+        if let RunOutcome::Skipped(e) = &run.outcome {
+            eprintln!("{} skipped {}: {e}", kind.name(), bench.app);
+            std::process::exit(1);
+        }
+        let records = tracer.take_records();
+        if kind == MachineKind::Vgiw {
+            for required in ["kernel_launch", "configure_start", "batch_retired"] {
+                assert!(
+                    records.iter().any(|r| r.event.kind() == required),
+                    "VGIW trace is missing {required} events"
+                );
+            }
+        }
+        let doc = match format.as_str() {
+            "chrome" => {
+                let doc = chrome_trace(kind.name(), &records);
+                if let Err(e) = validate_json(&doc) {
+                    eprintln!("internal error: Chrome trace is not valid JSON: {e}");
+                    std::process::exit(1);
+                }
+                doc
+            }
+            "ndjson" => ndjson(&records),
+            other => {
+                eprintln!("--format must be chrome or ndjson, not '{other}'");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} events, {format})", records.len());
+        print!("{}", report::counter_table(&run.counters));
+        return;
+    }
+
     if let Some(kind) = machine {
         if what != "all" {
             eprintln!("--machine only combines with 'all' (figure/perf modes compare machines)");
@@ -129,8 +205,17 @@ fn main() {
         println!("  app      machine      cycles    launches     threads");
         let mut failed = false;
         for bench in &benches {
-            let (outcome, _) = measure_machine_outcome(bench, kind, checks);
-            match outcome {
+            // `--traced` records (and discards) a full event log, proving
+            // tracing is a pure observer: this table must be byte-identical
+            // with or without it (ci.sh diffs it against the golden file).
+            let tracer = if traced {
+                Tracer::recording()
+            } else {
+                Tracer::off()
+            };
+            let run = run_machine(bench, kind, checks, &tracer);
+            drop(tracer.take_records());
+            match run.outcome {
                 RunOutcome::Ok(r) => println!(
                     "  {:<8} {:<6} {:>10} {:>11} {:>11}",
                     bench.app,

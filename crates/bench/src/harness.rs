@@ -1,23 +1,23 @@
-//! Machine launchers and per-benchmark measurement.
+//! Machine construction and per-benchmark measurement.
 //!
-//! A [`Launcher`] implementation per architecture drives
-//! `vgiw_kernels::Benchmark`s and accumulates the statistics the figures
-//! need. Processors persist across the launches of one benchmark (warm
-//! caches), and are recreated per benchmark (cold start per app, like the
-//! paper's per-kernel measurements).
+//! Every architecture implements the [`Machine`] trait; [`MachineHost`]
+//! adapts a `&mut dyn Machine` to `vgiw_kernels::Launcher` so one driver
+//! runs `vgiw_kernels::Benchmark`s on any machine and accumulates the
+//! statistics the figures need. Processors persist across the launches of
+//! one benchmark (warm caches), and are recreated per benchmark (cold
+//! start per app, like the paper's per-kernel measurements).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use vgiw_compiler::CompiledKernel;
-use vgiw_core::{VgiwConfig, VgiwError, VgiwProcessor, VgiwRunStats};
+use vgiw_core::{VgiwConfig, VgiwProcessor};
 use vgiw_ir::{Kernel, Launch, MemoryImage};
 use vgiw_kernels::{Benchmark, Launcher};
 use vgiw_power::{EnergyBreakdown, EnergyModel};
 use vgiw_robust::{ChecksConfig, DeadlockReport};
-use vgiw_sgmf::{SgmfConfig, SgmfError, SgmfProcessor};
-use vgiw_simt::{SimtConfig, SimtError, SimtProcessor};
+use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
+use vgiw_simt::{SimtConfig, SimtProcessor};
+use vgiw_trace::{Counters, LaunchSummary, Machine, Tracer};
 
 /// Totals accumulated while one machine runs one benchmark.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -49,200 +49,88 @@ impl MachineResult {
     }
 }
 
-/// VGIW launcher: compiles each kernel once (memoized by name) and runs
-/// launches on a persistent processor.
-pub struct VgiwLauncher {
-    proc: VgiwProcessor,
-    model: EnergyModel,
-    /// Compile once, launch many (kernels are keyed by name; suite kernel
-    /// names are unique within one benchmark).
-    compiled: HashMap<String, CompiledKernel>,
-    /// Aggregated results.
-    pub result: MachineResult,
-    /// Per-launch stats, for detailed reports.
-    pub runs: Vec<VgiwRunStats>,
-    /// Wall-clock seconds spent compiling kernels (the rest of a launch's
-    /// wall time is simulation).
-    pub compile_s: f64,
-    /// Simulation events processed: node firings plus tokens delivered
-    /// (the units of work of the event-driven fabric core).
-    pub events: u64,
-    /// The deadlock report behind the last launch failure, if the failure
-    /// was a watchdog abort (the stringly [`Launcher`] error channel
-    /// cannot carry it).
-    pub last_deadlock: Option<DeadlockReport>,
+/// Builds the processor behind `kind` with the given checks configuration
+/// and otherwise-default (paper) parameters, as a [`Machine`] trait object.
+pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> {
+    match kind {
+        MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
+            checks,
+            ..VgiwConfig::default()
+        })),
+        MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
+            checks,
+            ..SimtConfig::default()
+        })),
+        MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
+            checks,
+            ..SgmfConfig::default()
+        })),
+    }
 }
 
-impl VgiwLauncher {
-    /// Creates a launcher with the given configuration.
-    pub fn new(config: VgiwConfig) -> VgiwLauncher {
-        VgiwLauncher {
-            proc: VgiwProcessor::new(config),
+/// Adapts any [`Machine`] to `vgiw_kernels::Launcher`: drives launches,
+/// prices energy from each launch's exported counters, and accumulates
+/// the per-benchmark totals the figures need.
+pub struct MachineHost<'m> {
+    machine: &'m mut dyn Machine,
+    model: EnergyModel,
+    /// Aggregated results.
+    pub result: MachineResult,
+    /// Per-launch summaries (the counters carry every per-launch stat).
+    pub runs: Vec<LaunchSummary>,
+    /// Wall-clock seconds spent in [`Machine::prepare`] (compilation; the
+    /// rest of a launch's wall time is simulation).
+    pub compile_s: f64,
+    /// Simulation events processed (firings + tokens for the dataflow
+    /// machines; warp instructions + memory transactions for SIMT).
+    pub events: u64,
+}
+
+impl<'m> MachineHost<'m> {
+    /// Hosts `machine` with a fresh result accumulator.
+    pub fn new(machine: &'m mut dyn Machine) -> MachineHost<'m> {
+        MachineHost {
+            machine,
             model: EnergyModel::new(),
-            compiled: HashMap::new(),
             result: MachineResult::default(),
             runs: Vec::new(),
             compile_s: 0.0,
             events: 0,
-            last_deadlock: None,
         }
     }
 
-    /// Idle cycles the processor fast-forwarded over so far.
-    pub fn cycles_skipped(&self) -> u64 {
-        self.proc.cycles_skipped()
+    /// The hosted machine.
+    pub fn machine(&mut self) -> &mut dyn Machine {
+        self.machine
     }
 }
 
-impl Default for VgiwLauncher {
-    fn default() -> VgiwLauncher {
-        VgiwLauncher::new(VgiwConfig::default())
-    }
-}
-
-impl Launcher for VgiwLauncher {
+impl Launcher for MachineHost<'_> {
     fn launch(
         &mut self,
         kernel: &Kernel,
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
-        if !self.compiled.contains_key(&kernel.name) {
-            let t0 = Instant::now();
-            let ck = vgiw_compiler::compile(kernel, &self.proc.config().grid)
-                .map_err(|e| e.to_string())?;
-            self.compile_s += t0.elapsed().as_secs_f64();
-            self.compiled.insert(kernel.name.clone(), ck);
-        }
-        let ck = &self.compiled[&kernel.name];
-        let stats = self.proc.run_compiled(ck, launch, mem).map_err(|e| {
-            if let VgiwError::Deadlock(r) = &e {
-                self.last_deadlock = Some((**r).clone());
-            }
-            e.to_string()
-        })?;
-        self.result.cycles += stats.cycles;
-        self.result.lvc_accesses += stats.lvc_accesses();
-        self.result.config_cycles += stats.config_cycles;
-        self.result.block_executions += stats.block_executions;
+        // `prepare` memoizes per kernel name, so only the first launch of
+        // a kernel pays (and measures) compilation.
+        let t0 = Instant::now();
+        self.machine.prepare(kernel)?;
+        self.compile_s += t0.elapsed().as_secs_f64();
+        let summary = self.machine.launch(kernel, launch, mem)?;
+        self.result.cycles += summary.cycles;
+        self.result.lvc_accesses += summary.lvc_accesses;
+        self.result.rf_accesses += summary.rf_accesses;
+        self.result.config_cycles += summary.config_cycles;
+        self.result.block_executions += summary.block_executions;
         self.result.launches += 1;
         self.result.threads += launch.num_threads as u64;
-        self.result.add_energy(self.model.vgiw(&stats));
-        self.events += stats.fabric.firings + stats.fabric.tokens_delivered;
-        self.runs.push(stats);
-        Ok(())
-    }
-}
-
-/// Fermi-like SIMT launcher.
-pub struct SimtLauncher {
-    proc: SimtProcessor,
-    model: EnergyModel,
-    /// Aggregated results.
-    pub result: MachineResult,
-    /// Simulation events processed: warp instructions issued plus memory
-    /// transactions (the SIMT model has no cycle skipping).
-    pub events: u64,
-    /// The deadlock report behind the last launch failure, if any.
-    pub last_deadlock: Option<DeadlockReport>,
-}
-
-impl SimtLauncher {
-    /// Creates a launcher with the given configuration.
-    pub fn new(config: SimtConfig) -> SimtLauncher {
-        SimtLauncher {
-            proc: SimtProcessor::new(config),
-            model: EnergyModel::new(),
-            result: MachineResult::default(),
-            events: 0,
-            last_deadlock: None,
-        }
-    }
-}
-
-impl Default for SimtLauncher {
-    fn default() -> SimtLauncher {
-        SimtLauncher::new(SimtConfig::default())
-    }
-}
-
-impl Launcher for SimtLauncher {
-    fn launch(
-        &mut self,
-        kernel: &Kernel,
-        launch: &Launch,
-        mem: &mut MemoryImage,
-    ) -> Result<(), String> {
-        let stats = self.proc.run(kernel, launch, mem).map_err(|e| {
-            if let SimtError::Deadlock(r) = &e {
-                self.last_deadlock = Some((**r).clone());
-            }
-            e.to_string()
-        })?;
-        self.result.cycles += stats.cycles;
-        self.result.rf_accesses += stats.rf_accesses();
-        self.result.launches += 1;
-        self.result.threads += launch.num_threads as u64;
-        self.result.add_energy(self.model.simt(&stats));
-        self.events += stats.warp_insts + stats.mem_transactions;
-        Ok(())
-    }
-}
-
-/// SGMF launcher. Fails (cleanly) on the first unmappable kernel.
-pub struct SgmfLauncher {
-    proc: SgmfProcessor,
-    model: EnergyModel,
-    /// Aggregated results.
-    pub result: MachineResult,
-    /// Simulation events processed: node firings plus tokens delivered.
-    pub events: u64,
-    /// The deadlock report behind the last launch failure, if any.
-    pub last_deadlock: Option<DeadlockReport>,
-}
-
-impl SgmfLauncher {
-    /// Creates a launcher with the given configuration.
-    pub fn new(config: SgmfConfig) -> SgmfLauncher {
-        SgmfLauncher {
-            proc: SgmfProcessor::new(config),
-            model: EnergyModel::new(),
-            result: MachineResult::default(),
-            events: 0,
-            last_deadlock: None,
-        }
-    }
-
-    /// Idle cycles the processor fast-forwarded over so far.
-    pub fn cycles_skipped(&self) -> u64 {
-        self.proc.cycles_skipped()
-    }
-}
-
-impl Default for SgmfLauncher {
-    fn default() -> SgmfLauncher {
-        SgmfLauncher::new(SgmfConfig::default())
-    }
-}
-
-impl Launcher for SgmfLauncher {
-    fn launch(
-        &mut self,
-        kernel: &Kernel,
-        launch: &Launch,
-        mem: &mut MemoryImage,
-    ) -> Result<(), String> {
-        let stats = self.proc.run(kernel, launch, mem).map_err(|e| {
-            if let SgmfError::Deadlock(r) = &e {
-                self.last_deadlock = Some((**r).clone());
-            }
-            e.to_string()
-        })?;
-        self.result.cycles += stats.cycles;
-        self.result.launches += 1;
-        self.result.threads += launch.num_threads as u64;
-        self.result.add_energy(self.model.sgmf(&stats));
-        self.events += stats.fabric.firings + stats.fabric.tokens_delivered;
+        self.result.add_energy(
+            self.model
+                .from_counters(self.machine.name(), &summary.counters),
+        );
+        self.events += summary.events;
+        self.runs.push(summary);
         Ok(())
     }
 }
@@ -319,13 +207,30 @@ pub enum MachineKind {
 }
 
 impl MachineKind {
-    /// Machine name as used in reports and `BENCH_perf.json`.
+    /// Every machine, in report order. This table is the single source of
+    /// the enum-to-name mapping: [`MachineKind::name`] and
+    /// [`MachineKind::from_name`] both read it.
+    pub const ALL: [(MachineKind, &'static str); 3] = [
+        (MachineKind::Vgiw, "vgiw"),
+        (MachineKind::Simt, "simt"),
+        (MachineKind::Sgmf, "sgmf"),
+    ];
+
+    /// Machine name as used in reports, `--machine` and `BENCH_perf.json`.
     pub fn name(self) -> &'static str {
-        match self {
-            MachineKind::Vgiw => "vgiw",
-            MachineKind::Simt => "simt",
-            MachineKind::Sgmf => "sgmf",
-        }
+        MachineKind::ALL
+            .iter()
+            .find(|(k, _)| *k == self)
+            .expect("every variant is in ALL")
+            .1
+    }
+
+    /// Parses a `--machine` argument (the inverse of [`MachineKind::name`]).
+    pub fn from_name(name: &str) -> Option<MachineKind> {
+        MachineKind::ALL
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|(k, _)| *k)
     }
 }
 
@@ -366,7 +271,7 @@ impl MachinePerf {
 }
 
 /// Per-benchmark wall-clock records across the machines.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AppPerf {
     /// Application name.
     pub app: &'static str,
@@ -376,6 +281,20 @@ pub struct AppPerf {
     pub simt: MachinePerf,
     /// SGMF timing (absent when the app is not SGMF-mappable).
     pub sgmf: Option<MachinePerf>,
+    /// Per-machine counter registries for this benchmark.
+    pub counters: AppCounters,
+}
+
+/// The exported [`Counters`] of each machine after one benchmark (empty
+/// for a machine that was skipped or failed).
+#[derive(Clone, Debug, Default)]
+pub struct AppCounters {
+    /// VGIW counters.
+    pub vgiw: Counters,
+    /// SIMT counters.
+    pub simt: Counters,
+    /// SGMF counters.
+    pub sgmf: Counters,
 }
 
 /// What happened when one machine ran one benchmark.
@@ -413,49 +332,66 @@ impl RunOutcome {
     }
 }
 
+/// Everything one machine produced on one benchmark: the outcome, the
+/// wall-clock record, and the machine's accumulated counter registry
+/// (with `<machine>.energy.*` appended when the run completed).
+#[derive(Debug)]
+pub struct MachineRun {
+    /// What happened.
+    pub outcome: RunOutcome,
+    /// Wall-clock and throughput record.
+    pub perf: MachinePerf,
+    /// The machine's exported counters (empty on a skip/panic).
+    pub counters: Counters,
+}
+
 /// Runs one benchmark on one machine without panicking: machine errors,
 /// watchdog aborts and even panics inside the simulator come back as
 /// [`RunOutcome`] variants so the rest of a suite keeps running. The
-/// `checks` configuration is threaded into the machine.
-pub fn measure_machine_outcome(
+/// `checks` configuration is threaded into the machine and `tracer` is
+/// installed on it before the first launch (pass [`Tracer::off`] for
+/// untraced runs — tracing is a pure observer either way).
+pub fn run_machine(
     bench: &Benchmark,
     kind: MachineKind,
     checks: ChecksConfig,
-) -> (RunOutcome, MachinePerf) {
+    tracer: &Tracer,
+) -> MachineRun {
+    /// Everything salvaged from inside the `catch_unwind` boundary.
+    struct RawRun {
+        result: Result<MachineResult, String>,
+        deadlock: Option<Box<DeadlockReport>>,
+        compile_s: f64,
+        events: u64,
+        cycles_skipped: u64,
+        counters: Counters,
+    }
     let t0 = Instant::now();
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-        || -> (Result<MachineResult, String>, Option<DeadlockReport>, f64, u64, u64) {
-            match kind {
-                MachineKind::Vgiw => {
-                    let mut vgiw = VgiwLauncher::new(VgiwConfig {
-                        checks,
-                        ..VgiwConfig::default()
-                    });
-                    let r = bench.run(&mut vgiw).map(|()| vgiw.result);
-                    let skipped = vgiw.cycles_skipped();
-                    (r, vgiw.last_deadlock, vgiw.compile_s, vgiw.events, skipped)
-                }
-                MachineKind::Simt => {
-                    let mut simt = SimtLauncher::new(SimtConfig {
-                        checks,
-                        ..SimtConfig::default()
-                    });
-                    let r = bench.run(&mut simt).map(|()| simt.result);
-                    (r, simt.last_deadlock, 0.0, simt.events, 0)
-                }
-                MachineKind::Sgmf => {
-                    let mut sgmf = SgmfLauncher::new(SgmfConfig {
-                        checks,
-                        ..SgmfConfig::default()
-                    });
-                    let r = bench.run(&mut sgmf).map(|()| sgmf.result);
-                    let skipped = sgmf.cycles_skipped();
-                    (r, sgmf.last_deadlock, 0.0, sgmf.events, skipped)
-                }
-            }
-        },
-    ));
-    let (result, deadlock, compile_s, events, cycles_skipped) = match run {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
+        let mut machine = new_machine(kind, checks);
+        machine.set_tracer(tracer.clone());
+        let (r, compile_s, events) = {
+            let mut host = MachineHost::new(machine.as_mut());
+            let r = bench.run(&mut host).map(|()| host.result);
+            (r, host.compile_s, host.events)
+        };
+        RawRun {
+            result: r,
+            deadlock: machine.take_deadlock(),
+            compile_s,
+            events,
+            cycles_skipped: machine.cycles_skipped(),
+            counters: machine.stats(),
+        }
+    }));
+    let RawRun {
+        result,
+        deadlock,
+        compile_s,
+        events,
+        cycles_skipped,
+        mut counters,
+    } = match run {
         Ok(out) => out,
         Err(payload) => {
             let msg = payload
@@ -463,14 +399,26 @@ pub fn measure_machine_outcome(
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "panic with non-string payload".to_string());
-            (Err(format!("panic: {msg}")), None, 0.0, 0, 0)
+            RawRun {
+                result: Err(format!("panic: {msg}")),
+                deadlock: None,
+                compile_s: 0.0,
+                events: 0,
+                cycles_skipped: 0,
+                counters: Counters::new(),
+            }
         }
     };
     let outcome = match result {
-        Ok(r) => RunOutcome::Ok(r),
-        Err(_) if deadlock.is_some() => {
-            RunOutcome::Hung(Box::new(deadlock.expect("checked is_some")))
+        Ok(r) => {
+            let name = kind.name();
+            counters.set_f64(&format!("{name}.energy.core"), r.energy.core);
+            counters.set_f64(&format!("{name}.energy.l1"), r.energy.l1);
+            counters.set_f64(&format!("{name}.energy.l2"), r.energy.l2);
+            counters.set_f64(&format!("{name}.energy.dram"), r.energy.dram);
+            RunOutcome::Ok(r)
         }
+        Err(_) if deadlock.is_some() => RunOutcome::Hung(deadlock.expect("checked is_some")),
         // Unmappability is the expected, reportable outcome for SGMF;
         // anything else (e.g. a golden-image mismatch) is a failure and
         // must not be silently folded into the "n/a" rows.
@@ -492,7 +440,21 @@ pub fn measure_machine_outcome(
         events,
         cycles_skipped,
     };
-    (outcome, perf)
+    MachineRun {
+        outcome,
+        perf,
+        counters,
+    }
+}
+
+/// [`run_machine`] without tracing, returning just outcome and timing.
+pub fn measure_machine_outcome(
+    bench: &Benchmark,
+    kind: MachineKind,
+    checks: ChecksConfig,
+) -> (RunOutcome, MachinePerf) {
+    let run = run_machine(bench, kind, checks, &Tracer::off());
+    (run.outcome, run.perf)
 }
 
 /// Runs one benchmark on one machine (functional verification included)
@@ -579,25 +541,43 @@ pub fn measure(bench: &Benchmark) -> AppResult {
 
 /// [`measure`], also returning wall-clock records.
 pub fn measure_with_perf(bench: &Benchmark) -> (AppResult, AppPerf) {
-    let (vgiw, vgiw_p) = measure_machine(bench, MachineKind::Vgiw);
-    let (simt, simt_p) = measure_machine(bench, MachineKind::Simt);
-    let (sgmf, sgmf_p) = measure_machine(bench, MachineKind::Sgmf);
+    let off = Tracer::off();
+    let vgiw = run_machine(bench, MachineKind::Vgiw, ChecksConfig::default(), &off);
+    let simt = run_machine(bench, MachineKind::Simt, ChecksConfig::default(), &off);
+    let sgmf = run_machine(bench, MachineKind::Sgmf, ChecksConfig::default(), &off);
+    let require = |run: &RunOutcome, kind: MachineKind| -> MachineResult {
+        match run {
+            RunOutcome::Ok(r) => *r,
+            RunOutcome::Skipped(e) | RunOutcome::Failed(e) => {
+                panic!("{} failed on {}: {e}", kind.name(), bench.app)
+            }
+            RunOutcome::Hung(r) => panic!("{} hung on {}: {r}", kind.name(), bench.app),
+        }
+    };
     let result = AppResult {
         app: bench.app,
-        vgiw: vgiw.expect("VGIW result is infallible by construction"),
-        simt: simt.expect("SIMT result is infallible by construction"),
-        sgmf,
+        vgiw: require(&vgiw.outcome, MachineKind::Vgiw),
+        simt: require(&simt.outcome, MachineKind::Simt),
+        sgmf: match sgmf.outcome {
+            RunOutcome::Ok(r) => Ok(r),
+            RunOutcome::Skipped(e) => Err(e),
+            RunOutcome::Failed(e) => panic!("sgmf failed on {}: {e}", bench.app),
+            RunOutcome::Hung(r) => panic!("sgmf hung on {}: {r}", bench.app),
+        },
     };
     let perf = AppPerf {
         app: bench.app,
-        vgiw: vgiw_p,
-        simt: simt_p,
-        sgmf: result.sgmf.as_ref().ok().map(|_| sgmf_p),
+        vgiw: vgiw.perf,
+        simt: simt.perf,
+        sgmf: result.sgmf.as_ref().ok().map(|_| sgmf.perf),
+        counters: AppCounters {
+            vgiw: vgiw.counters,
+            simt: simt.counters,
+            sgmf: sgmf.counters,
+        },
     };
     (result, perf)
 }
-
-const MACHINES: [MachineKind; 3] = [MachineKind::Vgiw, MachineKind::Simt, MachineKind::Sgmf];
 
 /// Runs the whole suite, each (benchmark, machine) pair as one job on a
 /// pool of `jobs` worker threads (`jobs <= 1` runs serially on the
@@ -652,17 +632,16 @@ pub fn measure_suite_outcomes(
     let job_list: Vec<(usize, MachineKind)> = benches
         .iter()
         .enumerate()
-        .flat_map(|(b, _)| MACHINES.iter().map(move |&m| (b, m)))
+        .flat_map(|(b, _)| MachineKind::ALL.iter().map(move |&(m, _)| (b, m)))
         .collect();
 
-    type JobOut = (RunOutcome, MachinePerf);
-    let slots: Vec<Mutex<Option<JobOut>>> = job_list.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<MachineRun>>> = job_list.iter().map(|_| Mutex::new(None)).collect();
 
     let workers = jobs.min(job_list.len());
     if workers <= 1 {
         for (slot, &(b, m)) in slots.iter().zip(&job_list) {
             *slot.lock().expect("job slot poisoned") =
-                Some(measure_machine_outcome(&benches[b], m, checks));
+                Some(run_machine(&benches[b], m, checks, &Tracer::off()));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -673,7 +652,9 @@ pub fn measure_suite_outcomes(
                     let Some(&(b, m)) = job_list.get(i) else {
                         break;
                     };
-                    let out = measure_machine_outcome(&benches[b], m, checks);
+                    // The tracer is constructed on the worker: it is a
+                    // thread-local handle, never sent across threads.
+                    let out = run_machine(&benches[b], m, checks, &Tracer::off());
                     *slots[i].lock().expect("job slot poisoned") = Some(out);
                 });
             }
@@ -688,21 +669,26 @@ pub fn measure_suite_outcomes(
     let mut results = Vec::with_capacity(benches.len());
     let mut perfs = Vec::with_capacity(benches.len());
     for bench in benches {
-        let (vgiw, vgiw_p) = out.next().expect("one VGIW job per benchmark");
-        let (simt, simt_p) = out.next().expect("one SIMT job per benchmark");
-        let (sgmf, sgmf_p) = out.next().expect("one SGMF job per benchmark");
-        let sgmf_perf = sgmf.ok().map(|_| sgmf_p);
-        results.push(AppOutcome {
-            app: bench.app,
-            vgiw,
-            simt,
-            sgmf,
-        });
+        let vgiw = out.next().expect("one VGIW job per benchmark");
+        let simt = out.next().expect("one SIMT job per benchmark");
+        let sgmf = out.next().expect("one SGMF job per benchmark");
+        let sgmf_perf = sgmf.outcome.ok().map(|_| sgmf.perf);
         perfs.push(AppPerf {
             app: bench.app,
-            vgiw: vgiw_p,
-            simt: simt_p,
+            vgiw: vgiw.perf,
+            simt: simt.perf,
             sgmf: sgmf_perf,
+            counters: AppCounters {
+                vgiw: vgiw.counters,
+                simt: simt.counters,
+                sgmf: sgmf.counters,
+            },
+        });
+        results.push(AppOutcome {
+            app: bench.app,
+            vgiw: vgiw.outcome,
+            simt: simt.outcome,
+            sgmf: sgmf.outcome,
         });
     }
     (results, perfs)

@@ -10,7 +10,8 @@ pub mod perf;
 pub mod report;
 
 pub use harness::{
-    measure, measure_machine, measure_suite, measure_suite_with_perf, AppPerf, AppResult,
-    MachineKind, MachinePerf, MachineResult, SgmfLauncher, SimtLauncher, VgiwLauncher,
+    measure, measure_machine, measure_suite, measure_suite_with_perf, new_machine, run_machine,
+    AppCounters, AppPerf, AppResult, MachineHost, MachineKind, MachinePerf, MachineResult,
+    MachineRun, RunOutcome,
 };
 pub use perf::{measure_perf, measure_perf_on, SuitePerf};

@@ -192,7 +192,26 @@ impl SuitePerf {
             })
             .collect();
         out.push_str(&rows.join(",\n"));
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n");
+        out.push_str("  \"counters\": {\n");
+        let apps: Vec<String> = self
+            .apps
+            .iter()
+            .map(|a| {
+                let machines: Vec<String> = [
+                    ("vgiw", &a.counters.vgiw),
+                    ("simt", &a.counters.simt),
+                    ("sgmf", &a.counters.sgmf),
+                ]
+                .into_iter()
+                .filter(|(_, c)| !c.is_empty())
+                .map(|(name, c)| format!("      \"{name}\": {}", c.to_json("      ")))
+                .collect();
+                format!("    \"{}\": {{\n{}\n    }}", a.app, machines.join(",\n"))
+            })
+            .collect();
+        out.push_str(&apps.join(",\n"));
+        out.push_str("\n  }\n}\n");
         out
     }
 }
@@ -206,7 +225,7 @@ fn json_f64(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::AppPerf;
+    use crate::harness::{AppCounters, AppPerf};
 
     fn sample() -> SuitePerf {
         let m = MachinePerf {
@@ -217,6 +236,9 @@ mod tests {
             events: 5000,
             cycles_skipped: 100,
         };
+        let mut counters = AppCounters::default();
+        counters.vgiw.add_u64("vgiw.cycles", 1000);
+        counters.vgiw.set_f64("vgiw.energy.core", 2.5);
         SuitePerf {
             scale: 1,
             jobs: 4,
@@ -228,6 +250,7 @@ mod tests {
                 vgiw: m,
                 simt: m,
                 sgmf: None,
+                counters,
             }],
         }
     }
@@ -242,6 +265,9 @@ mod tests {
         assert!(j.contains("\"machine\": \"vgiw\""));
         // sgmf is unmappable here: exactly two machine rows.
         assert_eq!(j.matches("\"app\"").count(), 2);
+        // The whole document parses as strict JSON, counters included.
+        vgiw_trace::validate_json(&j).expect("BENCH_perf.json parses");
+        assert!(j.contains("\"vgiw.cycles\": 1000"), "{j}");
     }
 
     #[test]

@@ -271,9 +271,10 @@ pub fn ablations(scale: u32) -> String {
     out.push_str("Ablations (VGIW cycles; lower is better)\n");
 
     let run = |cfg: VgiwConfig, bench: &Benchmark| -> u64 {
-        let mut l = crate::harness::VgiwLauncher::new(cfg);
-        bench.run(&mut l).expect("ablation run");
-        l.result.cycles
+        let mut proc = vgiw_core::VgiwProcessor::new(cfg);
+        let mut host = crate::harness::MachineHost::new(&mut proc);
+        bench.run(&mut host).expect("ablation run");
+        host.result.cycles
     };
 
     for (name, bench) in [("HOTSPOT", hotspot::build(scale)), ("NN", nn::build(scale))] {
@@ -334,9 +335,43 @@ pub fn ablations(scale: u32) -> String {
     out
 }
 
+/// Renders a [`Counters`] registry as an aligned two-column table
+/// (name-sorted, as the registry iterates).
+pub fn counter_table(counters: &vgiw_trace::Counters) -> String {
+    let width = counters
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (name, v) in counters.iter() {
+        match v {
+            vgiw_trace::CounterValue::U64(n) => {
+                out.push_str(&format!("  {name:<width$}  {n}\n"));
+            }
+            vgiw_trace::CounterValue::F64(f) => {
+                out.push_str(&format!("  {name:<width$}  {f:.3}\n"));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_table_aligns_and_sorts() {
+        let mut c = vgiw_trace::Counters::new();
+        c.add_u64("vgiw.cycles", 42);
+        c.set_f64("vgiw.energy.core", 1.5);
+        let t = counter_table(&c);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("vgiw.cycles"), "{t}");
+        assert!(lines[1].contains("1.500"), "{t}");
+    }
 
     #[test]
     fn table1_mentions_table_values() {

@@ -3,11 +3,11 @@
 //! fast-forward, and the event-driven fabric core (checked against the
 //! retained dense reference tick).
 
-use vgiw_bench::harness::{measure_suite, VgiwLauncher};
-use vgiw_bench::SgmfLauncher;
-use vgiw_core::VgiwConfig;
+use vgiw_bench::harness::{measure_suite, MachineHost, MachineResult};
+use vgiw_core::{VgiwConfig, VgiwProcessor};
 use vgiw_kernels::Benchmark;
-use vgiw_sgmf::SgmfConfig;
+use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
+use vgiw_trace::LaunchSummary;
 
 /// A small but representative slice of the suite: NN (SGMF-mappable,
 /// memory-bound), HOTSPOT (SGMF-mappable, compute), BFS (multi-launch,
@@ -18,6 +18,20 @@ fn subset() -> Vec<Benchmark> {
         vgiw_kernels::hotspot::build(1),
         vgiw_kernels::bfs::build(1),
     ]
+}
+
+fn run_vgiw(bench: &Benchmark, cfg: VgiwConfig) -> (MachineResult, Vec<LaunchSummary>) {
+    let mut proc = VgiwProcessor::new(cfg);
+    let mut host = MachineHost::new(&mut proc);
+    bench.run(&mut host).expect("vgiw run");
+    (host.result, host.runs)
+}
+
+fn run_sgmf(bench: &Benchmark, cfg: SgmfConfig) -> (MachineResult, Vec<LaunchSummary>) {
+    let mut proc = SgmfProcessor::new(cfg);
+    let mut host = MachineHost::new(&mut proc);
+    bench.run(&mut host).expect("sgmf run");
+    (host.result, host.runs)
 }
 
 #[test]
@@ -37,23 +51,17 @@ fn parallel_pool_matches_serial_bit_for_bit() {
 #[test]
 fn vgiw_fast_forward_changes_no_stats() {
     for bench in subset() {
-        let mut on = VgiwLauncher::default();
-        bench.run(&mut on).expect("fast-forward run");
+        let (on, on_runs) = run_vgiw(&bench, VgiwConfig::default());
 
         let cfg = VgiwConfig {
             fast_forward: false,
             ..VgiwConfig::default()
         };
-        let mut off = VgiwLauncher::new(cfg);
-        bench.run(&mut off).expect("cycle-by-cycle run");
+        let (off, off_runs) = run_vgiw(&bench, cfg);
 
-        assert_eq!(
-            on.result, off.result,
-            "fast-forward changed VGIW stats on {}",
-            bench.app
-        );
-        assert_eq!(on.runs.len(), off.runs.len());
-        for (a, b) in on.runs.iter().zip(&off.runs) {
+        assert_eq!(on, off, "fast-forward changed VGIW stats on {}", bench.app);
+        assert_eq!(on_runs.len(), off_runs.len());
+        for (a, b) in on_runs.iter().zip(&off_runs) {
             assert_eq!(
                 a.cycles, b.cycles,
                 "per-launch cycles diverge on {}",
@@ -67,8 +75,7 @@ fn vgiw_fast_forward_changes_no_stats() {
 #[test]
 fn vgiw_event_core_matches_reference_tick() {
     for bench in subset() {
-        let mut event = VgiwLauncher::default();
-        bench.run(&mut event).expect("event-driven run");
+        let (event, event_runs) = run_vgiw(&bench, VgiwConfig::default());
 
         let cfg = VgiwConfig {
             reference_tick: true,
@@ -77,24 +84,23 @@ fn vgiw_event_core_matches_reference_tick() {
             fast_forward: false,
             ..VgiwConfig::default()
         };
-        let mut reference = VgiwLauncher::new(cfg);
-        bench.run(&mut reference).expect("reference-tick run");
+        let (reference, reference_runs) = run_vgiw(&bench, cfg);
 
         assert_eq!(
-            event.result, reference.result,
+            event, reference,
             "event-driven core diverges from reference tick on {}",
             bench.app
         );
-        assert_eq!(event.runs.len(), reference.runs.len());
-        for (a, b) in event.runs.iter().zip(&reference.runs) {
+        assert_eq!(event_runs.len(), reference_runs.len());
+        for (a, b) in event_runs.iter().zip(&reference_runs) {
             assert_eq!(
                 a.cycles, b.cycles,
                 "per-launch cycles diverge on {}",
                 bench.app
             );
             assert_eq!(
-                a.fabric, b.fabric,
-                "fabric statistics diverge on {}",
+                a.counters, b.counters,
+                "per-launch counters (fabric statistics included) diverge on {}",
                 bench.app
             );
         }
@@ -104,19 +110,17 @@ fn vgiw_event_core_matches_reference_tick() {
 #[test]
 fn sgmf_event_core_matches_reference_tick() {
     for bench in [vgiw_kernels::nn::build(1), vgiw_kernels::hotspot::build(1)] {
-        let mut event = SgmfLauncher::default();
-        bench.run(&mut event).expect("event-driven run");
+        let (event, _) = run_sgmf(&bench, SgmfConfig::default());
 
         let cfg = SgmfConfig {
             reference_tick: true,
             fast_forward: false,
             ..SgmfConfig::default()
         };
-        let mut reference = SgmfLauncher::new(cfg);
-        bench.run(&mut reference).expect("reference-tick run");
+        let (reference, _) = run_sgmf(&bench, cfg);
 
         assert_eq!(
-            event.result, reference.result,
+            event, reference,
             "event-driven core diverges from reference tick on {}",
             bench.app
         );
@@ -127,20 +131,14 @@ fn sgmf_event_core_matches_reference_tick() {
 fn sgmf_fast_forward_changes_no_stats() {
     // NN and HOTSPOT are SGMF-mappable.
     for bench in [vgiw_kernels::nn::build(1), vgiw_kernels::hotspot::build(1)] {
-        let mut on = SgmfLauncher::default();
-        bench.run(&mut on).expect("fast-forward run");
+        let (on, _) = run_sgmf(&bench, SgmfConfig::default());
 
         let cfg = SgmfConfig {
             fast_forward: false,
             ..SgmfConfig::default()
         };
-        let mut off = SgmfLauncher::new(cfg);
-        bench.run(&mut off).expect("cycle-by-cycle run");
+        let (off, _) = run_sgmf(&bench, cfg);
 
-        assert_eq!(
-            on.result, off.result,
-            "fast-forward changed SGMF stats on {}",
-            bench.app
-        );
+        assert_eq!(on, off, "fast-forward changed SGMF stats on {}", bench.app);
     }
 }

@@ -1,0 +1,111 @@
+//! Observability-layer guarantees: tracing is deterministic, is a pure
+//! observer (identical cycle counts with it on or off), and produces the
+//! event taxonomy and counter registry the exporters and reports consume.
+
+use vgiw_bench::{run_machine, MachineKind, RunOutcome};
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::{chrome_trace, ndjson, validate_json, TraceRecord, Tracer};
+
+fn traced_run(kind: MachineKind) -> (u64, Vec<TraceRecord>, vgiw_trace::Counters) {
+    let bench = vgiw_kernels::nn::build(1);
+    let tracer = Tracer::recording();
+    let run = run_machine(&bench, kind, ChecksConfig::default(), &tracer);
+    let cycles = match run.outcome {
+        RunOutcome::Ok(r) => r.cycles,
+        ref other => panic!("{} did not complete NN: {other:?}", kind.name()),
+    };
+    (cycles, tracer.take_records(), run.counters)
+}
+
+fn untraced_cycles(kind: MachineKind) -> u64 {
+    let bench = vgiw_kernels::nn::build(1);
+    let run = run_machine(&bench, kind, ChecksConfig::default(), &Tracer::off());
+    match run.outcome {
+        RunOutcome::Ok(r) => r.cycles,
+        ref other => panic!("{} did not complete NN: {other:?}", kind.name()),
+    }
+}
+
+/// Two identical runs must serialize to byte-identical logs, in both
+/// export formats: the trace inherits the simulator's determinism.
+#[test]
+fn trace_is_deterministic() {
+    for &(kind, name) in &MachineKind::ALL {
+        let (_, first, _) = traced_run(kind);
+        let (_, second, _) = traced_run(kind);
+        assert_eq!(
+            ndjson(&first),
+            ndjson(&second),
+            "{name}: NDJSON logs differ between identical runs"
+        );
+        assert_eq!(
+            chrome_trace(name, &first),
+            chrome_trace(name, &second),
+            "{name}: Chrome traces differ between identical runs"
+        );
+    }
+}
+
+/// Tracing must be a pure observer: cycle counts are bit-identical with
+/// recording enabled. (ci.sh additionally diffs the whole `--traced`
+/// suite table against `golden_cycles.txt`.)
+#[test]
+fn tracing_does_not_perturb_cycles() {
+    for &(kind, name) in &MachineKind::ALL {
+        let (traced, records, _) = traced_run(kind);
+        assert!(!records.is_empty(), "{name}: recording produced no events");
+        assert_eq!(
+            traced,
+            untraced_cycles(kind),
+            "{name}: tracing changed the cycle count"
+        );
+    }
+}
+
+/// The VGIW event stream must contain the launch, configure and
+/// retirement events the paper-facing timelines are built from, and both
+/// exporters must emit valid JSON for it.
+#[test]
+fn vgiw_trace_has_required_events_and_valid_exports() {
+    let (_, records, _) = traced_run(MachineKind::Vgiw);
+    for required in [
+        "kernel_launch",
+        "kernel_end",
+        "configure_start",
+        "configure_end",
+        "batch_retired",
+    ] {
+        assert!(
+            records.iter().any(|r| r.event.kind() == required),
+            "VGIW trace is missing {required} events"
+        );
+    }
+    let doc = chrome_trace("vgiw", &records);
+    validate_json(&doc).expect("Chrome trace parses as strict JSON");
+    assert!(doc.contains("\"traceEvents\""));
+    for line in ndjson(&records).lines() {
+        validate_json(line).expect("every NDJSON line parses as strict JSON");
+    }
+}
+
+/// The counter registry every machine exports must agree with the
+/// headline result and carry the hierarchical keys reports consume.
+#[test]
+fn counters_agree_with_results() {
+    for &(kind, name) in &MachineKind::ALL {
+        let (cycles, _, counters) = traced_run(kind);
+        assert_eq!(
+            counters.get_u64(&format!("{name}.cycles")),
+            cycles,
+            "{name}.cycles disagrees with the machine result"
+        );
+        assert_eq!(counters.get_u64(&format!("{name}.launches")), 1);
+    }
+    let (_, _, counters) = traced_run(MachineKind::Vgiw);
+    for prefix in ["vgiw.lvc.", "vgiw.l1.", "vgiw.fabric."] {
+        assert!(
+            counters.iter().any(|(k, _)| k.starts_with(prefix)),
+            "no {prefix}* counters exported"
+        );
+    }
+}

@@ -14,14 +14,17 @@
 use crate::config::VgiwConfig;
 use crate::cvt::{Cvt, ThreadBatch};
 use crate::stats::VgiwRunStats;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use vgiw_compiler::{compile, CompileError, CompiledKernel};
 use vgiw_fabric::{ConfigError, Fabric, FabricEnv, MemReqId, Retired};
 use vgiw_ir::{BlockId, Kernel, Launch, MemoryImage, Word};
 use vgiw_mem::MemSystem;
-use vgiw_robust::{DeadlockReport, InvariantKind, InvariantViolation, StuckResource, Watchdog};
+use vgiw_robust::{
+    DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
+};
+use vgiw_trace::{Counters, LaunchSummary, Machine, Phase, TraceEvent, Tracer};
 
 /// VGIW execution failure.
 #[derive(Debug)]
@@ -109,6 +112,7 @@ struct VgiwEnv<'a> {
     /// First read-before-write observed, as `(lv, tid)` (checked by the
     /// driving loop after each tick).
     lv_violation: &'a mut Option<(u32, u32)>,
+    tracer: &'a Tracer,
 }
 
 /// Pads the live-value row stride to a multiple of the LVC line (16
@@ -131,12 +135,30 @@ impl VgiwEnv<'_> {
 
 impl FabricEnv for VgiwEnv<'_> {
     fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool {
-        self.mem.access(0, addr_words, is_store, req)
+        let accepted = self.mem.access(0, addr_words, is_store, req);
+        if accepted {
+            self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
+                id: req,
+                addr: addr_words as u64,
+                store: is_store,
+                port: 0,
+            });
+        }
+        accepted
     }
 
     fn issue_lv(&mut self, req: MemReqId, lv: u32, tid: u32, is_store: bool) -> bool {
         let addr = self.lv_addr(lv, tid);
-        self.mem.access(1, addr, is_store, req)
+        let accepted = self.mem.access(1, addr, is_store, req);
+        if accepted {
+            self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
+                id: req,
+                addr: addr as u64,
+                store: is_store,
+                port: 1,
+            });
+        }
+        accepted
     }
 
     fn mem_read(&mut self, addr_words: u32) -> Word {
@@ -200,6 +222,16 @@ pub struct VgiwProcessor {
     /// (simulator-efficiency metric; not part of any architectural
     /// statistic).
     cycles_skipped: u64,
+    tracer: Tracer,
+    /// Kernels compiled by [`Machine::prepare`], memoized by name.
+    compiled: HashMap<String, CompiledKernel>,
+    /// Counter export accumulated across launches (the [`Machine::stats`]
+    /// view).
+    accum: Counters,
+    /// Monotonic progress events (firings + tokens delivered).
+    events: u64,
+    /// Report behind the most recent deadlock failure.
+    last_deadlock: Option<Box<DeadlockReport>>,
 }
 
 impl Default for VgiwProcessor {
@@ -219,6 +251,11 @@ impl VgiwProcessor {
             fabric,
             mem,
             cycles_skipped: 0,
+            tracer: Tracer::off(),
+            compiled: HashMap::new(),
+            accum: Counters::new(),
+            events: 0,
+            last_deadlock: None,
         }
     }
 
@@ -303,9 +340,11 @@ impl VgiwProcessor {
         // with a structured report when its budget runs dry; the fault
         // plan and checkers are inert unless configured.
         let checks = self.config.checks;
-        let mut watchdog = checks
-            .watchdog_budget
-            .map(|b| Watchdog::new(b, self.fabric.cycle()));
+        let mut monitor = ProgressMonitor::new(
+            self.config.cycle_limit,
+            checks.watchdog_budget,
+            self.fabric.cycle(),
+        );
         let mut tamper = self.config.faults.responses;
         let flip_fault = self.config.faults.flip_cvt_bit;
         self.fabric.set_faults(self.config.faults.fabric);
@@ -319,12 +358,19 @@ impl VgiwProcessor {
         // recycled across the whole run.
         let mut resp_buf: Vec<MemReqId> = Vec::new();
         let mut retire_buf: Vec<Retired> = Vec::new();
-        let mut packers: HashMap<(u32, u32), ThreadBatch> = HashMap::new();
+        // Ordered map: the end-of-block flush iterates it, and flush order
+        // must be deterministic for trace reproducibility.
+        let mut packers: BTreeMap<(u32, u32), ThreadBatch> = BTreeMap::new();
 
         let mut tile_base = 0u32;
         while tile_base < launch.num_threads {
             let tile_threads = tile_cap.min(launch.num_threads - tile_base);
             stats.tiles += 1;
+            self.tracer
+                .emit(self.fabric.cycle(), || TraceEvent::TileStart {
+                    tile: stats.tiles - 1,
+                    threads: tile_threads,
+                });
 
             // Zero this tile's live value matrix (fresh per-thread state).
             lv_values.fill(Word::ZERO);
@@ -339,12 +385,28 @@ impl VgiwProcessor {
             while let Some(block) = cvt.next_block() {
                 stats.block_executions += 1;
                 stats.config_cycles += self.config.config_cycles;
+                self.tracer
+                    .emit(self.fabric.cycle(), || TraceEvent::BlockSelected {
+                        block: block.0,
+                        pending: cvt.pending_count(block),
+                    });
 
                 let cb = compiled.block(block);
                 let n_reps = (cb.replicas.len() as u32).min(self.config.max_replicas) as usize;
+                self.tracer
+                    .emit(self.fabric.cycle(), || TraceEvent::ConfigureStart {
+                        block: block.0,
+                    });
                 self.fabric
                     .configure(&cb.dfg, &cb.replicas[..n_reps], &launch.params)
                     .map_err(VgiwError::Configure)?;
+                // The configuration charge is accounted in `config_cycles`
+                // (outside the fabric clock), so the slice end is stamped
+                // one charge past its start.
+                self.tracer
+                    .emit(self.fabric.cycle() + self.config.config_cycles, || {
+                        TraceEvent::ConfigureEnd { block: block.0 }
+                    });
 
                 let inj_before = self.fabric.stats().threads_injected;
                 let ret_before = self.fabric.stats().threads_retired;
@@ -397,6 +459,7 @@ impl VgiwProcessor {
                             tile_threads,
                             lv_written: lv_shadow.as_deref_mut(),
                             lv_violation: &mut lv_violation,
+                            tracer: &self.tracer,
                         };
                         self.fabric.tick(&mut env);
                     }
@@ -404,6 +467,12 @@ impl VgiwProcessor {
                     self.mem.drain_responses_into(&mut resp_buf);
                     tamper.apply(&mut resp_buf);
                     progressed |= !resp_buf.is_empty();
+                    if self.tracer.enabled() {
+                        let now = self.fabric.cycle();
+                        for &id in &resp_buf {
+                            self.tracer.emit(now, || TraceEvent::MemResponse { id });
+                        }
+                    }
                     if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
                         self.reset_machine();
                         return Err(VgiwError::Invariant(v.on("vgiw")));
@@ -421,6 +490,9 @@ impl VgiwProcessor {
                             &mut stats.batches_from_core,
                             tile_base,
                             r,
+                            &self.tracer,
+                            self.fabric.cycle(),
+                            block.0,
                         );
                     }
                     if let Some((lv, tid)) = lv_violation.take() {
@@ -439,7 +511,7 @@ impl VgiwProcessor {
                     progressed |= firings != last_firings;
                     last_firings = firings;
                     let elapsed = self.fabric.cycle() - cycles_at_start + stats.config_cycles;
-                    if elapsed > self.config.cycle_limit {
+                    if monitor.over_limit(elapsed) {
                         // Abort mid-drain: the fabric still holds threads
                         // and unanswered memory requests, so rebuild both
                         // (the processor is documented as reusable across
@@ -449,25 +521,24 @@ impl VgiwProcessor {
                             limit: self.config.cycle_limit,
                         });
                     }
-                    if let Some(wd) = &mut watchdog {
-                        let now = self.fabric.cycle();
-                        if progressed {
-                            wd.progress(now);
-                        } else if wd.expired(now) {
-                            let report = self.build_deadlock_report(
-                                Some(block.0),
-                                wd.stalled_for(now),
-                                wd.budget(),
-                                &cvt,
-                            );
-                            self.reset_machine();
-                            return Err(VgiwError::Deadlock(Box::new(report)));
-                        }
+                    if let Some((stalled_for, budget)) =
+                        monitor.observe(progressed, self.fabric.cycle())
+                    {
+                        let report =
+                            self.build_deadlock_report(Some(block.0), stalled_for, budget, &cvt);
+                        self.reset_machine();
+                        return Err(VgiwError::Deadlock(Box::new(report)));
                     }
                 }
-                for ((_, target), batch) in packers.drain() {
+                let flush_cycle = self.fabric.cycle();
+                while let Some(((_, target), batch)) = packers.pop_first() {
                     if !batch.is_empty() {
                         stats.batches_from_core += 1;
+                        self.tracer.emit(flush_cycle, || TraceEvent::BatchRetired {
+                            block: block.0,
+                            target: Some(target),
+                            threads: batch.len(),
+                        });
                         cvt.or_batch(BlockId(target), batch);
                     }
                 }
@@ -526,6 +597,7 @@ impl VgiwProcessor {
         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
         self.fabric.set_reference_tick(self.config.reference_tick);
         self.mem = MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
+        self.mem.set_tracer(self.tracer.clone());
     }
 
     /// Assembles a deadlock report from the stuck machine: fabric tokens
@@ -577,12 +649,16 @@ impl VgiwProcessor {
 /// Emulates the terminator CVU's batch packing: consecutive retires to the
 /// same `(replica, target)` with the same 64-aligned base share one packet;
 /// a base change flushes the open packet (§3.5).
+#[allow(clippy::too_many_arguments)]
 fn pack_retire(
-    packers: &mut HashMap<(u32, u32), ThreadBatch>,
+    packers: &mut BTreeMap<(u32, u32), ThreadBatch>,
     cvt: &mut Cvt,
     batches_from_core: &mut u64,
     tile_base: u32,
     r: Retired,
+    tracer: &Tracer,
+    cycle: u64,
+    block: u32,
 ) {
     let Some(target) = r.target else { return };
     let rel = r.tid - tile_base;
@@ -595,12 +671,109 @@ fn pack_retire(
         }
         Some(batch) => {
             *batches_from_core += 1;
+            tracer.emit(cycle, || TraceEvent::BatchRetired {
+                block,
+                target: Some(target.0),
+                threads: batch.len(),
+            });
             cvt.or_batch(target, *batch);
             *batch = ThreadBatch { base, bitmap: bit };
         }
         None => {
             packers.insert(key, ThreadBatch { base, bitmap: bit });
         }
+    }
+}
+
+impl Machine for VgiwProcessor {
+    fn name(&self) -> &'static str {
+        "vgiw"
+    }
+
+    fn prepare(&mut self, kernel: &Kernel) -> Result<(), String> {
+        if !self.compiled.contains_key(&kernel.name) {
+            self.tracer.set_phase(Phase::Compile);
+            let compiled = compile(kernel, &self.config.grid).map_err(|e| e.to_string());
+            self.tracer.set_phase(Phase::Simulate);
+            self.compiled.insert(kernel.name.clone(), compiled?);
+        }
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mem: &mut MemoryImage,
+    ) -> Result<LaunchSummary, String> {
+        self.prepare(kernel)?;
+        self.tracer
+            .emit(self.fabric.cycle(), || TraceEvent::KernelLaunch {
+                kernel: kernel.name.clone(),
+                threads: launch.num_threads,
+            });
+        // Take the compiled kernel out for the duration of the run: it
+        // cannot stay borrowed across `&mut self`.
+        let compiled = self.compiled.remove(&kernel.name).expect("prepared above");
+        let result = self.run_compiled(&compiled, launch, mem);
+        self.compiled.insert(kernel.name.clone(), compiled);
+        let stats = result.map_err(|e| {
+            if let VgiwError::Deadlock(r) = &e {
+                self.last_deadlock = Some(r.clone());
+            }
+            e.to_string()
+        })?;
+        self.tracer
+            .emit(self.fabric.cycle(), || TraceEvent::KernelEnd {
+                kernel: kernel.name.clone(),
+                cycles: stats.cycles,
+            });
+        let mut counters = Counters::new();
+        stats.export_counters(&mut counters);
+        counters.add_u64("vgiw.launches", 1);
+        counters.add_u64("vgiw.threads", launch.num_threads as u64);
+        self.accum.merge(&counters);
+        let events = stats.fabric.firings + stats.fabric.tokens_delivered;
+        self.events += events;
+        Ok(LaunchSummary {
+            cycles: stats.cycles,
+            config_cycles: stats.config_cycles,
+            block_executions: stats.block_executions,
+            lvc_accesses: stats.lvc_accesses(),
+            rf_accesses: 0,
+            events,
+            counters,
+        })
+    }
+
+    fn stats(&self) -> Counters {
+        self.accum.clone()
+    }
+
+    fn progress(&self) -> u64 {
+        self.events
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
+        self.last_deadlock.take()
+    }
+
+    fn reset(&mut self) {
+        self.reset_machine();
+        self.compiled.clear();
+        self.accum = Counters::new();
+        self.events = 0;
+        self.cycles_skipped = 0;
+        self.last_deadlock = None;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.mem.set_tracer(self.tracer.clone());
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::cvt::CvtStats;
 use vgiw_fabric::FabricStats;
 use vgiw_mem::MemStats;
+use vgiw_trace::Counters;
 
 /// Everything measured during one [`crate::VgiwProcessor::run`].
 #[derive(Clone, Debug)]
@@ -48,6 +49,23 @@ impl VgiwRunStats {
     /// Total LVC accesses (loads + stores) issued by the fabric.
     pub fn lvc_accesses(&self) -> u64 {
         self.fabric.lv_loads + self.fabric.lv_stores
+    }
+
+    /// Exports every counter under the `vgiw.` prefix: top-level run
+    /// counters, `vgiw.cvt.*`, `vgiw.fabric.*`, and the memory hierarchy
+    /// as `vgiw.l1.*` / `vgiw.lvc.*` / `vgiw.l2.*` / `vgiw.dram.*`.
+    pub fn export_counters(&self, out: &mut Counters) {
+        out.add_u64("vgiw.cycles", self.cycles);
+        out.add_u64("vgiw.compute_cycles", self.compute_cycles);
+        out.add_u64("vgiw.config_cycles", self.config_cycles);
+        out.add_u64("vgiw.block_executions", self.block_executions);
+        out.add_u64("vgiw.tiles", self.tiles as u64);
+        out.add_u64("vgiw.batches_to_core", self.batches_to_core);
+        out.add_u64("vgiw.batches_from_core", self.batches_from_core);
+        out.add_u64("vgiw.cvt.word_reads", self.cvt.word_reads);
+        out.add_u64("vgiw.cvt.word_writes", self.cvt.word_writes);
+        self.fabric.export_counters(out, "vgiw.fabric");
+        self.mem.export_counters(out, "vgiw", &["l1", "lvc"]);
     }
 }
 

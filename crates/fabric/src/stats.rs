@@ -1,5 +1,7 @@
 //! Fabric execution statistics, consumed by reports and the energy model.
 
+use vgiw_trace::Counters;
+
 /// Event counters accumulated while streaming threads through the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct FabricStats {
@@ -57,6 +59,32 @@ impl FabricStats {
         self.mem_retry_cycles += other.mem_retry_cycles;
         self.firings += other.firings;
         self.busy_cycles += other.busy_cycles;
+    }
+
+    /// Exports every field into `out` under `<prefix>.<field>`
+    /// (e.g. `vgiw.fabric.firings`).
+    pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
+        let fields: [(&str, u64); 16] = [
+            ("int_alu_ops", self.int_alu_ops),
+            ("fp_ops", self.fp_ops),
+            ("special_ops", self.special_ops),
+            ("split_join_ops", self.split_join_ops),
+            ("threads_injected", self.threads_injected),
+            ("threads_retired", self.threads_retired),
+            ("mem_loads", self.mem_loads),
+            ("mem_stores", self.mem_stores),
+            ("suppressed_stores", self.suppressed_stores),
+            ("lv_loads", self.lv_loads),
+            ("lv_stores", self.lv_stores),
+            ("tokens_delivered", self.tokens_delivered),
+            ("hop_traversals", self.hop_traversals),
+            ("mem_retry_cycles", self.mem_retry_cycles),
+            ("firings", self.firings),
+            ("busy_cycles", self.busy_cycles),
+        ];
+        for (name, v) in fields {
+            out.add_u64(&format!("{prefix}.{name}"), v);
+        }
     }
 
     /// Average functional-unit utilization: firings per unit per cycle.

@@ -18,6 +18,7 @@ use crate::cache::{CacheArray, CacheGeometry};
 use crate::stats::MemStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use vgiw_trace::{TraceEvent, Tracer};
 
 /// Length of the event timing wheel (a power of two). Events within one
 /// revolution of `now` go to a wheel slot (O(1) schedule/dispatch, no
@@ -252,6 +253,7 @@ pub struct MemSystem {
     event_seq: u64,
     responses: Vec<ReqId>,
     stats: MemStats,
+    tracer: Tracer,
 }
 
 impl MemSystem {
@@ -304,7 +306,15 @@ impl MemSystem {
             event_seq: 0,
             responses: Vec::new(),
             stats: MemStats::new(ports.len()),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs a tracer; fills and writebacks at the L1-level ports emit
+    /// [`vgiw_trace::TraceEvent::CacheFill`] /
+    /// [`vgiw_trace::TraceEvent::CacheWriteback`] into it. Pure observer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current core cycle.
@@ -577,9 +587,17 @@ impl MemSystem {
         };
         let evicted = bank.array.fill(line, dirty);
         self.stats.port[port].fills += 1;
+        self.tracer.emit(self.now, || TraceEvent::CacheFill {
+            port: port as u8,
+            line,
+        });
         if let Some(ev) = evicted {
             if ev.dirty {
                 self.stats.port[port].writebacks += 1;
+                self.tracer.emit(self.now, || TraceEvent::CacheWriteback {
+                    port: port as u8,
+                    line: ev.line,
+                });
                 let t = self.now;
                 self.l2_access(port, ev.line, true, t);
             }

@@ -1,5 +1,7 @@
 //! Access statistics, consumed by the reports and the energy model.
 
+use vgiw_trace::Counters;
+
 /// Counters for one cache level or port.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LevelStats {
@@ -22,6 +24,24 @@ pub struct LevelStats {
 }
 
 impl LevelStats {
+    /// Exports every field into `out` under `<prefix>.<field>`
+    /// (e.g. `vgiw.lvc.hits`).
+    pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
+        let fields: [(&str, u64); 8] = [
+            ("accesses", self.accesses),
+            ("stores", self.stores),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("mshr_merges", self.mshr_merges),
+            ("rejects", self.rejects),
+            ("fills", self.fills),
+            ("writebacks", self.writebacks),
+        ];
+        for (name, v) in fields {
+            out.add_u64(&format!("{prefix}.{name}"), v);
+        }
+    }
+
     /// Hit rate over accepted requests that did a tag lookup.
     pub fn hit_rate(&self) -> f64 {
         let lookups = self.hits + self.misses;
@@ -60,6 +80,21 @@ impl MemStats {
             l2: LevelStats::default(),
             dram: DramStats::default(),
         }
+    }
+
+    /// Exports the whole hierarchy into `out`: each L1-level port under
+    /// `<machine>.<port_name>.*` (falling back to `port<i>` when unnamed),
+    /// the L2 under `<machine>.l2.*` and DRAM under `<machine>.dram.*`.
+    pub fn export_counters(&self, out: &mut Counters, machine: &str, port_names: &[&str]) {
+        for (i, p) in self.port.iter().enumerate() {
+            match port_names.get(i) {
+                Some(name) => p.export_counters(out, &format!("{machine}.{name}")),
+                None => p.export_counters(out, &format!("{machine}.port{i}")),
+            }
+        }
+        self.l2.export_counters(out, &format!("{machine}.l2"));
+        out.add_u64(&format!("{machine}.dram.reads"), self.dram.reads);
+        out.add_u64(&format!("{machine}.dram.writes"), self.dram.writes);
     }
 
     /// The counters accumulated since `before` was captured (all fields).

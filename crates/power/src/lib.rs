@@ -22,6 +22,7 @@ use vgiw_core::VgiwRunStats;
 use vgiw_mem::MemStats;
 use vgiw_sgmf::SgmfRunStats;
 use vgiw_simt::SimtRunStats;
+use vgiw_trace::Counters;
 
 /// Energy totals (picojoules) at the paper's three reporting levels.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -128,6 +129,89 @@ impl EnergyModel {
         let (l1, l2, dram) = self.mem_energy(&s.mem, s.cycles);
         EnergyBreakdown { core, l1, l2, dram }
     }
+
+    fn mem_energy_counters(
+        &self,
+        c: &Counters,
+        machine: &str,
+        ports: &[&str],
+        cycles: u64,
+    ) -> (f64, f64, f64) {
+        let t = &self.table;
+        let mut l1_txns: u64 = 0;
+        for p in ports {
+            l1_txns += c.get_u64(&format!("{machine}.{p}.accesses"))
+                + c.get_u64(&format!("{machine}.{p}.fills"));
+        }
+        let l1 = l1_txns as f64 * t.l1_access + cycles as f64 * t.die_static * 0.5;
+        let l2 = (c.get_u64(&format!("{machine}.l2.accesses"))
+            + c.get_u64(&format!("{machine}.l2.fills"))) as f64
+            * t.l2_access
+            + cycles as f64 * t.die_static * 0.5;
+        let dram = (c.get_u64(&format!("{machine}.dram.reads"))
+            + c.get_u64(&format!("{machine}.dram.writes"))) as f64
+            * t.dram_access
+            + cycles as f64 * t.dram_static;
+        (l1, l2, dram)
+    }
+
+    /// Energy of a single launch from its exported [`Counters`] — the keys
+    /// written by each machine's `export_counters`. Bit-identical to the
+    /// typed paths ([`EnergyModel::vgiw`] etc.) when applied to one
+    /// launch's counters: the counters are exact integers, and every
+    /// floating-point expression mirrors the typed formula's operation
+    /// order. (Applied to counters merged across several launches, sums of
+    /// per-launch breakdowns and a breakdown of the summed counters differ
+    /// only by f64 re-association of the per-launch static terms.)
+    ///
+    /// # Panics
+    /// Panics on an unknown machine name.
+    pub fn from_counters(&self, machine: &str, c: &Counters) -> EnergyBreakdown {
+        let t = &self.table;
+        let g = |name: &str| c.get_u64(&format!("{machine}.{name}"));
+        match machine {
+            "vgiw" | "sgmf" => {
+                let datapath = g("fabric.int_alu_ops") as f64 * t.int_op
+                    + g("fabric.fp_ops") as f64 * t.fp_op
+                    + g("fabric.special_ops") as f64 * t.sfu_op;
+                let transport = g("fabric.tokens_delivered") as f64 * t.token_buffer
+                    + g("fabric.hop_traversals") as f64 * t.hop
+                    + g("fabric.split_join_ops") as f64 * t.split_join
+                    + (g("fabric.threads_injected") + g("fabric.threads_retired")) as f64
+                        * t.cvu_event;
+                let cycles = g("cycles");
+                let core = if machine == "vgiw" {
+                    let lvc = (g("fabric.lv_loads") + g("fabric.lv_stores")) as f64 * t.lvc_access;
+                    let cvt = (g("cvt.word_reads") + g("cvt.word_writes")) as f64 * t.cvt_word;
+                    let config = g("block_executions") as f64 * 108.0 * t.config_per_unit;
+                    datapath + transport + lvc + cvt + config + cycles as f64 * t.core_static
+                } else {
+                    // One static configuration per launch.
+                    let config = g("launches") as f64 * (108.0 * t.config_per_unit);
+                    datapath + transport + config + cycles as f64 * t.core_static
+                };
+                let ports: &[&str] = if machine == "vgiw" {
+                    &["l1", "lvc"]
+                } else {
+                    &["l1"]
+                };
+                let (l1, l2, dram) = self.mem_energy_counters(c, machine, ports, cycles);
+                EnergyBreakdown { core, l1, l2, dram }
+            }
+            "simt" => {
+                let datapath = g("lane_int_ops") as f64 * t.int_op
+                    + g("lane_fp_ops") as f64 * t.fp_op
+                    + g("lane_sfu_ops") as f64 * t.sfu_op;
+                let frontend = g("warp_insts") as f64 * t.warp_frontend;
+                let rf = (g("rf_reads") + g("rf_writes")) as f64 * t.rf_access;
+                let cycles = g("cycles");
+                let core = datapath + frontend + rf + cycles as f64 * t.core_static;
+                let (l1, l2, dram) = self.mem_energy_counters(c, machine, &["l1"], cycles);
+                EnergyBreakdown { core, l1, l2, dram }
+            }
+            other => panic!("unknown machine {other:?}"),
+        }
+    }
 }
 
 /// Energy-efficiency ratio of `b` relative to `a` at system level:
@@ -178,6 +262,35 @@ mod tests {
         // Same work, so efficiency ratio is energy ratio.
         let ratio = efficiency_ratio(&ve, &se);
         assert!(ratio.is_finite() && ratio > 0.0);
+    }
+
+    #[test]
+    fn counters_path_matches_typed_path_exactly() {
+        let k = sample_kernel();
+        let launch = Launch::new(256, vec![Word::from_u32(0)]);
+        let model = EnergyModel::new();
+
+        let mut m1 = MemoryImage::new(512);
+        let mut vgiw = vgiw_core::VgiwProcessor::default();
+        let vs = vgiw.run(&k, &launch, &mut m1).unwrap();
+        let mut vc = Counters::new();
+        vs.export_counters(&mut vc);
+        assert_eq!(model.vgiw(&vs), model.from_counters("vgiw", &vc));
+
+        let mut m2 = MemoryImage::new(512);
+        let mut simt = vgiw_simt::SimtProcessor::default();
+        let ss = simt.run(&k, &launch, &mut m2).unwrap();
+        let mut sc = Counters::new();
+        ss.export_counters(&mut sc);
+        assert_eq!(model.simt(&ss), model.from_counters("simt", &sc));
+
+        let mut m3 = MemoryImage::new(512);
+        let mut sgmf = vgiw_sgmf::SgmfProcessor::default();
+        let gs = sgmf.run(&k, &launch, &mut m3).unwrap();
+        let mut gc = Counters::new();
+        gs.export_counters(&mut gc);
+        gc.add_u64("sgmf.launches", 1);
+        assert_eq!(model.sgmf(&gs), model.from_counters("sgmf", &gc));
     }
 
     #[test]

@@ -135,6 +135,60 @@ impl Watchdog {
     }
 }
 
+/// The cycle-limit + watchdog polling every machine's drain loop runs,
+/// extracted so the three machines share one implementation instead of
+/// three hand-rolled copies.
+///
+/// The two checks stay separate methods because the machines poll them at
+/// different points in their loops (SIMT checks the cycle limit at the
+/// loop top, VGIW/SGMF after ticking) and that ordering is part of the
+/// golden-cycle contract.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressMonitor {
+    cycle_limit: u64,
+    watchdog: Option<Watchdog>,
+}
+
+impl ProgressMonitor {
+    /// A monitor for a run starting at cycle `now` with the given cycle
+    /// limit; `budget` arms the watchdog (from
+    /// [`ChecksConfig::watchdog_budget`]).
+    pub fn new(cycle_limit: u64, budget: Option<u64>, now: u64) -> Self {
+        ProgressMonitor {
+            cycle_limit,
+            watchdog: budget.map(|b| Watchdog::new(b, now)),
+        }
+    }
+
+    /// Whether `elapsed` run cycles exceed the configured limit.
+    #[inline]
+    pub fn over_limit(&self, elapsed: u64) -> bool {
+        elapsed > self.cycle_limit
+    }
+
+    /// The configured cycle limit.
+    pub fn cycle_limit(&self) -> u64 {
+        self.cycle_limit
+    }
+
+    /// Feed the watchdog one loop iteration's progress observation at
+    /// cycle `now`. Returns `Some((stalled_for, budget))` when the
+    /// no-progress budget is exhausted — the caller builds its
+    /// [`DeadlockReport`] from the pair.
+    #[inline]
+    pub fn observe(&mut self, progressed: bool, now: u64) -> Option<(u64, u64)> {
+        let wd = self.watchdog.as_mut()?;
+        if progressed {
+            wd.progress(now);
+            None
+        } else if wd.expired(now) {
+            Some((wd.stalled_for(now), wd.budget()))
+        } else {
+            None
+        }
+    }
+}
+
 /// One stuck resource in a [`DeadlockReport`] (a node holding tokens, an
 /// outstanding MSHR, a CVT block with pending threads, ...).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -317,6 +371,20 @@ mod tests {
         assert!(!wd.expired(190));
         assert!(wd.expired(191));
         assert_eq!(wd.stalled_for(150), 60);
+    }
+
+    #[test]
+    fn progress_monitor_polls_limit_and_watchdog() {
+        let mut m = ProgressMonitor::new(1000, Some(100), 50);
+        assert!(!m.over_limit(1000));
+        assert!(m.over_limit(1001));
+        assert_eq!(m.observe(false, 150), None);
+        assert_eq!(m.observe(true, 150), None);
+        assert_eq!(m.observe(false, 250), None);
+        assert_eq!(m.observe(false, 251), Some((101, 100)));
+        // A disarmed watchdog never fires.
+        let mut off = ProgressMonitor::new(1000, None, 0);
+        assert_eq!(off.observe(false, u64::MAX), None);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use vgiw_compiler::ifconvert::{if_convert, IfConvertError};
@@ -26,9 +27,10 @@ use vgiw_fabric::{
 use vgiw_ir::{Kernel, Launch, MemoryImage, Word};
 use vgiw_mem::{L1Config, MemStats, MemSystem, SharedConfig};
 use vgiw_robust::{
-    ChecksConfig, DeadlockReport, InvariantKind, InvariantViolation, ResponseTamper, StuckResource,
-    Watchdog,
+    ChecksConfig, DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor,
+    ResponseTamper, StuckResource,
 };
+use vgiw_trace::{Counters, LaunchSummary, Machine, Phase, TraceEvent, Tracer};
 
 /// SGMF processor configuration: the same fabric and Table-1 memory system
 /// as VGIW, minus the LVC and CVT.
@@ -157,6 +159,19 @@ pub struct SgmfRunStats {
     pub mem: MemStats,
 }
 
+impl SgmfRunStats {
+    /// Exports every counter under the `sgmf.` prefix: run counters,
+    /// `sgmf.fabric.*`, and the memory hierarchy as `sgmf.l1.*` /
+    /// `sgmf.l2.*` / `sgmf.dram.*`.
+    pub fn export_counters(&self, out: &mut Counters) {
+        out.add_u64("sgmf.cycles", self.cycles);
+        out.add_u64("sgmf.replicas", self.replicas as u64);
+        out.add_u64("sgmf.graph_nodes", self.graph_nodes as u64);
+        self.fabric.export_counters(out, "sgmf.fabric");
+        self.mem.export_counters(out, "sgmf", &["l1"]);
+    }
+}
+
 /// Checks whether a kernel is SGMF-mappable without running it.
 pub fn is_mappable(kernel: &Kernel, grid: &GridSpec) -> bool {
     if_convert(kernel, grid).is_ok()
@@ -165,11 +180,21 @@ pub fn is_mappable(kernel: &Kernel, grid: &GridSpec) -> bool {
 struct SgmfEnv<'a> {
     image: &'a mut MemoryImage,
     mem: &'a mut MemSystem,
+    tracer: &'a Tracer,
 }
 
 impl FabricEnv for SgmfEnv<'_> {
     fn issue_mem(&mut self, req: MemReqId, addr_words: u32, is_store: bool) -> bool {
-        self.mem.access(0, addr_words, is_store, req)
+        let accepted = self.mem.access(0, addr_words, is_store, req);
+        if accepted {
+            self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
+                id: req,
+                addr: addr_words as u64,
+                store: is_store,
+                port: 0,
+            });
+        }
+        accepted
     }
 
     fn issue_lv(&mut self, _req: MemReqId, _lv: u32, _tid: u32, _is_store: bool) -> bool {
@@ -200,6 +225,14 @@ pub struct SgmfProcessor {
     mem: MemSystem,
     /// Idle cycles skipped by fast-forward over the processor's lifetime.
     cycles_skipped: u64,
+    tracer: Tracer,
+    /// Memoized if-conversion + placement results, keyed by kernel name.
+    mapped: HashMap<String, (Dfg, Vec<Placement>)>,
+    /// Counters accumulated across [`Machine::launch`] calls.
+    accum: Counters,
+    /// Monotonic event count (firings + tokens) for liveness probes.
+    events: u64,
+    last_deadlock: Option<Box<DeadlockReport>>,
 }
 
 impl Default for SgmfProcessor {
@@ -219,6 +252,11 @@ impl SgmfProcessor {
             fabric,
             mem,
             cycles_skipped: 0,
+            tracer: Tracer::off(),
+            mapped: HashMap::new(),
+            accum: Counters::new(),
+            events: 0,
+            last_deadlock: None,
         }
     }
 
@@ -252,22 +290,39 @@ impl SgmfProcessor {
     ) -> Result<SgmfRunStats, SgmfError> {
         let dfg = if_convert(kernel, &self.config.grid).map_err(SgmfError::Unmappable)?;
         let placements = self.map(&dfg)?;
+        self.run_mapped(&dfg, &placements, launch, image)
+    }
 
+    /// Runs an already if-converted and placed kernel.
+    fn run_mapped(
+        &mut self,
+        dfg: &Dfg,
+        placements: &[Placement],
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<SgmfRunStats, SgmfError> {
         self.fabric.reset_stats();
         self.fabric.set_faults(self.config.fabric_faults);
         let start = self.fabric.cycle();
         let mem_before = self.mem.stats().clone();
+        // The single static configuration is charged outside the fabric
+        // clock, as one slice ending config_cycles after launch.
+        self.tracer
+            .emit(start, || TraceEvent::ConfigureStart { block: 0 });
+        self.tracer.emit(start + self.config.config_cycles, || {
+            TraceEvent::ConfigureEnd { block: 0 }
+        });
         self.fabric
-            .configure(&dfg, &placements, &launch.params)
+            .configure(dfg, placements, &launch.params)
             .map_err(SgmfError::Configure)?;
         for tid in 0..launch.num_threads {
             self.fabric.inject(tid);
         }
-        let mut watchdog = self
-            .config
-            .checks
-            .watchdog_budget
-            .map(|b| Watchdog::new(b, start));
+        let mut monitor = ProgressMonitor::new(
+            self.config.cycle_limit,
+            self.config.checks.watchdog_budget,
+            start,
+        );
         let mut tamper = self.config.response_faults;
         let mut last_firings = self.fabric.stats().firings;
         let mut resp_buf = Vec::new();
@@ -298,6 +353,7 @@ impl SgmfProcessor {
                 let mut env = SgmfEnv {
                     image,
                     mem: &mut self.mem,
+                    tracer: &self.tracer,
                 };
                 self.fabric.tick(&mut env);
             }
@@ -305,6 +361,12 @@ impl SgmfProcessor {
             self.mem.drain_responses_into(&mut resp_buf);
             tamper.apply(&mut resp_buf);
             progressed |= !resp_buf.is_empty();
+            if self.tracer.enabled() {
+                let now = self.mem.now();
+                for &r in &resp_buf {
+                    self.tracer.emit(now, || TraceEvent::MemResponse { id: r });
+                }
+            }
             if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
                 self.reset_machine();
                 return Err(SgmfError::Invariant(v.on("sgmf")));
@@ -312,25 +374,29 @@ impl SgmfProcessor {
             resp_buf.clear();
             self.fabric.drain_retired_into(&mut retire_buf);
             progressed |= !retire_buf.is_empty();
+            if !retire_buf.is_empty() {
+                let threads = retire_buf.len() as u32;
+                self.tracer
+                    .emit(self.fabric.cycle(), || TraceEvent::BatchRetired {
+                        block: 0,
+                        target: None,
+                        threads,
+                    });
+            }
             retire_buf.clear();
             let firings = self.fabric.stats().firings;
             progressed |= firings != last_firings;
             last_firings = firings;
-            if self.fabric.cycle() - start > self.config.cycle_limit {
+            if monitor.over_limit(self.fabric.cycle() - start) {
                 self.reset_machine();
                 return Err(SgmfError::CycleLimit {
                     limit: self.config.cycle_limit,
                 });
             }
-            if let Some(wd) = watchdog.as_mut() {
-                let now = self.fabric.cycle();
-                if progressed {
-                    wd.progress(now);
-                } else if wd.expired(now) {
-                    let report = self.build_deadlock_report(wd.stalled_for(now), wd.budget());
-                    self.reset_machine();
-                    return Err(SgmfError::Deadlock(Box::new(report)));
-                }
+            if let Some((stalled_for, budget)) = monitor.observe(progressed, self.fabric.cycle()) {
+                let report = self.build_deadlock_report(stalled_for, budget);
+                self.reset_machine();
+                return Err(SgmfError::Deadlock(Box::new(report)));
             }
         }
         if self.config.checks.token_conservation {
@@ -363,6 +429,7 @@ impl SgmfProcessor {
         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
         self.fabric.set_reference_tick(self.config.reference_tick);
         self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
+        self.mem.set_tracer(self.tracer.clone());
     }
 
     /// Assembles a deadlock report from the stuck machine: fabric tokens
@@ -407,6 +474,105 @@ impl SgmfProcessor {
             return Err(SgmfError::PlacementFailed);
         }
         Ok(placements)
+    }
+}
+
+impl Machine for SgmfProcessor {
+    fn name(&self) -> &'static str {
+        "sgmf"
+    }
+
+    fn prepare(&mut self, kernel: &Kernel) -> Result<(), String> {
+        if self.mapped.contains_key(&kernel.name) {
+            return Ok(());
+        }
+        self.tracer.set_phase(Phase::Compile);
+        let result = if_convert(kernel, &self.config.grid)
+            .map_err(SgmfError::Unmappable)
+            .and_then(|dfg| {
+                let placements = self.map(&dfg)?;
+                Ok((dfg, placements))
+            });
+        self.tracer.set_phase(Phase::Simulate);
+        let (dfg, placements) = result.map_err(|e| e.to_string())?;
+        self.mapped.insert(kernel.name.clone(), (dfg, placements));
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<LaunchSummary, String> {
+        self.prepare(kernel)?;
+        self.tracer
+            .emit(self.fabric.cycle(), || TraceEvent::KernelLaunch {
+                kernel: kernel.name.clone(),
+                threads: launch.num_threads,
+            });
+        let (dfg, placements) = self
+            .mapped
+            .remove(&kernel.name)
+            .expect("prepare just mapped this kernel");
+        let outcome = self.run_mapped(&dfg, &placements, launch, image);
+        self.mapped.insert(kernel.name.clone(), (dfg, placements));
+        let stats = outcome.map_err(|e| {
+            if let Some(r) = e.deadlock_report() {
+                self.last_deadlock = Some(Box::new(r.clone()));
+            }
+            e.to_string()
+        })?;
+        self.tracer
+            .emit(self.fabric.cycle(), || TraceEvent::KernelEnd {
+                kernel: kernel.name.clone(),
+                cycles: stats.cycles,
+            });
+        let mut counters = Counters::new();
+        stats.export_counters(&mut counters);
+        counters.add_u64("sgmf.launches", 1);
+        counters.add_u64("sgmf.threads", u64::from(launch.num_threads));
+        self.accum.merge(&counters);
+        self.events += stats.fabric.firings + stats.fabric.tokens_delivered;
+        Ok(LaunchSummary {
+            cycles: stats.cycles,
+            config_cycles: self.config.config_cycles,
+            block_executions: u64::from(stats.replicas),
+            lvc_accesses: 0,
+            rf_accesses: 0,
+            events: stats.fabric.firings + stats.fabric.tokens_delivered,
+            counters,
+        })
+    }
+
+    fn stats(&self) -> Counters {
+        self.accum.clone()
+    }
+
+    fn progress(&self) -> u64 {
+        self.events
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
+        self.last_deadlock.take()
+    }
+
+    fn reset(&mut self) {
+        self.reset_machine();
+        self.mapped.clear();
+        self.accum = Counters::new();
+        self.events = 0;
+        self.cycles_skipped = 0;
+        self.last_deadlock = None;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.mem.set_tracer(self.tracer.clone());
     }
 }
 

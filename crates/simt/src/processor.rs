@@ -17,7 +17,10 @@ use vgiw_ir::{
     Terminator, Word,
 };
 use vgiw_mem::MemSystem;
-use vgiw_robust::{DeadlockReport, InvariantKind, InvariantViolation, StuckResource, Watchdog};
+use vgiw_robust::{
+    DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
+};
+use vgiw_trace::{Counters, LaunchSummary, Machine, TraceEvent, Tracer};
 
 /// Open-addressed map from in-flight memory transaction id to its owning
 /// warp and destination register.
@@ -165,6 +168,12 @@ pub struct SimtProcessor {
     /// acknowledgements in flight: the next launch must be able to tell a
     /// stale (expected, ignorable) ack from a genuine pairing violation.
     next_req: u64,
+    tracer: Tracer,
+    /// Counters accumulated across [`Machine::launch`] calls.
+    accum: Counters,
+    /// Monotonic event count (warp instructions + transactions).
+    events: u64,
+    last_deadlock: Option<Box<DeadlockReport>>,
 }
 
 impl Default for SimtProcessor {
@@ -181,6 +190,10 @@ impl SimtProcessor {
             config,
             mem,
             next_req: 0,
+            tracer: Tracer::off(),
+            accum: Counters::new(),
+            events: 0,
+            last_deadlock: None,
         }
     }
 
@@ -257,14 +270,14 @@ impl SimtProcessor {
         let mut ldst_busy_until: u64 = 0;
         let mut alu_busy_until: Vec<u64> = vec![0; cfg.alu_groups as usize];
         let mut last_issued: usize = 0;
-        let mut watchdog = cfg.checks.watchdog_budget.map(|b| Watchdog::new(b, 0));
+        let mut monitor = ProgressMonitor::new(cfg.cycle_limit, cfg.checks.watchdog_budget, 0);
         let mut tamper = cfg.response_faults;
         let mut resp_buf: Vec<u64> = Vec::new();
 
         while next_warp < total_warps || !active.is_empty() {
             cycle += 1;
             let mut progressed = false;
-            if cycle > cfg.cycle_limit {
+            if monitor.over_limit(cycle) {
                 self.reset_machine();
                 return Err(SimtError::CycleLimit {
                     limit: cfg.cycle_limit,
@@ -291,6 +304,12 @@ impl SimtProcessor {
             self.mem.drain_responses_into(&mut resp_buf);
             tamper.apply(&mut resp_buf);
             progressed |= !resp_buf.is_empty();
+            if self.tracer.enabled() {
+                let now = self.mem.now();
+                for &id in &resp_buf {
+                    self.tracer.emit(now, || TraceEvent::MemResponse { id });
+                }
+            }
             for &id in &resp_buf {
                 if id < first_req {
                     // A store acknowledgement left in flight by a previous
@@ -338,6 +357,13 @@ impl SimtProcessor {
                     }
                     let req = self.next_req;
                     if self.mem.access(0, addr, warps[w].txn_is_store, req) {
+                        let store = warps[w].txn_is_store;
+                        self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
+                            id: req,
+                            addr: addr as u64,
+                            store,
+                            port: 0,
+                        });
                         self.next_req += 1;
                         warps[w].txn_queue.pop();
                         let dst = warps[w].txn_dst;
@@ -365,6 +391,11 @@ impl SimtProcessor {
                 }
                 let pos = (scan_base + k) % n;
                 let w = active[pos];
+                let block_before = if self.tracer.enabled() {
+                    warps[w].stack.top().map(|t| t.block.0)
+                } else {
+                    None
+                };
                 if self.try_issue(
                     w,
                     &mut warps,
@@ -381,6 +412,12 @@ impl SimtProcessor {
                 ) {
                     issued += 1;
                     last_issued = pos;
+                    if let Some(block) = block_before {
+                        self.tracer.emit(cycle, || TraceEvent::WarpIssue {
+                            warp: w as u32,
+                            block,
+                        });
+                    }
                 }
             }
             progressed |= issued > 0;
@@ -395,21 +432,11 @@ impl SimtProcessor {
                 progressed = true;
             }
 
-            if let Some(wd) = watchdog.as_mut() {
-                if progressed {
-                    wd.progress(cycle);
-                } else if wd.expired(cycle) {
-                    let report = build_deadlock_report(
-                        &self.mem,
-                        &warps,
-                        &active,
-                        cycle,
-                        wd.stalled_for(cycle),
-                        wd.budget(),
-                    );
-                    self.reset_machine();
-                    return Err(SimtError::Deadlock(Box::new(report)));
-                }
+            if let Some((stalled_for, budget)) = monitor.observe(progressed, cycle) {
+                let report =
+                    build_deadlock_report(&self.mem, &warps, &active, cycle, stalled_for, budget);
+                self.reset_machine();
+                return Err(SimtError::Deadlock(Box::new(report)));
             }
         }
 
@@ -422,6 +449,7 @@ impl SimtProcessor {
     /// would otherwise leak into the next launch).
     fn reset_machine(&mut self) {
         self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
+        self.mem.set_tracer(self.tracer.clone());
     }
 
     /// Attempts to issue the next instruction of warp `w`. Returns whether
@@ -601,6 +629,11 @@ impl SimtProcessor {
                     }
                     if taken_mask != 0 && taken_mask != mask {
                         stats.divergent_branches += 1;
+                        self.tracer.emit(cycle, || TraceEvent::Divergence {
+                            warp: w as u32,
+                            taken: taken_mask,
+                            active: mask,
+                        });
                     }
                     let rpc = ipdom[top.block.index()];
                     warp.stack.branch(taken, not_taken, taken_mask, rpc);
@@ -609,6 +642,85 @@ impl SimtProcessor {
                 }
             }
         }
+    }
+}
+
+impl Machine for SimtProcessor {
+    fn name(&self) -> &'static str {
+        "simt"
+    }
+
+    fn prepare(&mut self, _kernel: &Kernel) -> Result<(), String> {
+        // The SIMT model interprets the IR directly; nothing to compile.
+        Ok(())
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        image: &mut MemoryImage,
+    ) -> Result<LaunchSummary, String> {
+        self.tracer
+            .emit(self.mem.now(), || TraceEvent::KernelLaunch {
+                kernel: kernel.name.clone(),
+                threads: launch.num_threads,
+            });
+        let stats = self.run(kernel, launch, image).map_err(|e| {
+            if let Some(r) = e.deadlock_report() {
+                self.last_deadlock = Some(Box::new(r.clone()));
+            }
+            e.to_string()
+        })?;
+        self.tracer.emit(self.mem.now(), || TraceEvent::KernelEnd {
+            kernel: kernel.name.clone(),
+            cycles: stats.cycles,
+        });
+        let mut counters = Counters::new();
+        stats.export_counters(&mut counters);
+        counters.add_u64("simt.launches", 1);
+        counters.add_u64("simt.threads", u64::from(launch.num_threads));
+        self.accum.merge(&counters);
+        let events = stats.warp_insts + stats.mem_transactions;
+        self.events += events;
+        Ok(LaunchSummary {
+            cycles: stats.cycles,
+            config_cycles: 0,
+            block_executions: 0,
+            lvc_accesses: 0,
+            rf_accesses: stats.rf_accesses(),
+            events,
+            counters,
+        })
+    }
+
+    fn stats(&self) -> Counters {
+        self.accum.clone()
+    }
+
+    fn progress(&self) -> u64 {
+        self.events
+    }
+
+    fn cycles_skipped(&self) -> u64 {
+        0
+    }
+
+    fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
+        self.last_deadlock.take()
+    }
+
+    fn reset(&mut self) {
+        self.reset_machine();
+        self.next_req = 0;
+        self.accum = Counters::new();
+        self.events = 0;
+        self.last_deadlock = None;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.mem.set_tracer(self.tracer.clone());
     }
 }
 

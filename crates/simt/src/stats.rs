@@ -1,6 +1,7 @@
 //! SIMT run statistics.
 
 use vgiw_mem::MemStats;
+use vgiw_trace::Counters;
 
 /// Everything measured during one [`crate::SimtProcessor::run`].
 #[derive(Clone, Debug)]
@@ -57,6 +58,29 @@ impl SimtRunStats {
     /// Total register file accesses (Figure 3's denominator).
     pub fn rf_accesses(&self) -> u64 {
         self.rf_reads + self.rf_writes
+    }
+
+    /// Exports every counter under the `simt.` prefix, including the
+    /// memory hierarchy as `simt.l1.*` / `simt.l2.*` / `simt.dram.*`.
+    pub fn export_counters(&self, out: &mut Counters) {
+        let fields: [(&str, u64); 12] = [
+            ("simt.cycles", self.cycles),
+            ("simt.warp_insts", self.warp_insts),
+            ("simt.lane_int_ops", self.lane_int_ops),
+            ("simt.lane_fp_ops", self.lane_fp_ops),
+            ("simt.lane_sfu_ops", self.lane_sfu_ops),
+            ("simt.lane_loads", self.lane_loads),
+            ("simt.lane_stores", self.lane_stores),
+            ("simt.rf_reads", self.rf_reads),
+            ("simt.rf_writes", self.rf_writes),
+            ("simt.mem_transactions", self.mem_transactions),
+            ("simt.branches", self.branches),
+            ("simt.divergent_branches", self.divergent_branches),
+        ];
+        for (name, v) in fields {
+            out.add_u64(name, v);
+        }
+        self.mem.export_counters(out, "simt", &["l1"]);
     }
 }
 

@@ -1,0 +1,194 @@
+//! String-keyed counter registry with hierarchical names.
+
+use std::collections::BTreeMap;
+
+use crate::event::json_str;
+
+/// A single counter value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CounterValue {
+    /// Exact integer counter (event counts, cycles).
+    U64(u64),
+    /// Derived floating-point value (energy, rates).
+    F64(f64),
+}
+
+/// Registry of named counters.
+///
+/// Names are hierarchical, dot-separated, machine-prefixed:
+/// `vgiw.lvc.hits`, `simt.divergent_branches`, `sgmf.fabric.firings`.
+/// Iteration and JSON output are in sorted name order, so exports are
+/// deterministic.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Counters {
+    map: BTreeMap<String, CounterValue>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Whether no counters have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Add to (creating at zero) an integer counter.
+    pub fn add_u64(&mut self, name: &str, v: u64) {
+        match self.map.get_mut(name) {
+            Some(CounterValue::U64(cur)) => *cur += v,
+            Some(CounterValue::F64(cur)) => *cur += v as f64,
+            None => {
+                self.map.insert(name.to_string(), CounterValue::U64(v));
+            }
+        }
+    }
+
+    /// Set an integer counter, replacing any previous value.
+    pub fn set_u64(&mut self, name: &str, v: u64) {
+        self.map.insert(name.to_string(), CounterValue::U64(v));
+    }
+
+    /// Set a floating-point counter, replacing any previous value.
+    pub fn set_f64(&mut self, name: &str, v: f64) {
+        self.map.insert(name.to_string(), CounterValue::F64(v));
+    }
+
+    /// Look up a counter.
+    pub fn get(&self, name: &str) -> Option<CounterValue> {
+        self.map.get(name).copied()
+    }
+
+    /// Integer counter value; 0 when absent. Panics on an `F64` counter —
+    /// exact and derived values must not be conflated.
+    pub fn get_u64(&self, name: &str) -> u64 {
+        match self.map.get(name) {
+            Some(CounterValue::U64(v)) => *v,
+            Some(CounterValue::F64(_)) => panic!("counter {name} is f64, not u64"),
+            None => 0,
+        }
+    }
+
+    /// Floating-point counter value; integer counters are widened; 0.0
+    /// when absent.
+    pub fn get_f64(&self, name: &str) -> f64 {
+        match self.map.get(name) {
+            Some(CounterValue::U64(v)) => *v as f64,
+            Some(CounterValue::F64(v)) => *v,
+            None => 0.0,
+        }
+    }
+
+    /// Accumulate every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, v) in &other.map {
+            match v {
+                CounterValue::U64(v) => self.add_u64(name, *v),
+                CounterValue::F64(v) => {
+                    let cur = self.get_f64(name);
+                    self.set_f64(name, cur + v);
+                }
+            }
+        }
+    }
+
+    /// Counter-wise difference `self - before`. Integer counters subtract
+    /// exactly (they are monotonic within a run); missing counters in
+    /// `before` are treated as zero.
+    pub fn delta_since(&self, before: &Counters) -> Counters {
+        let mut out = Counters::new();
+        for (name, v) in &self.map {
+            match v {
+                CounterValue::U64(v) => {
+                    let b = match before.map.get(name) {
+                        Some(CounterValue::U64(b)) => *b,
+                        _ => 0,
+                    };
+                    out.set_u64(name, v - b);
+                }
+                CounterValue::F64(v) => out.set_f64(name, v - before.get_f64(name)),
+            }
+        }
+        out
+    }
+
+    /// Iterate counters in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, CounterValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Serialize as a JSON object, one member per counter, sorted by name.
+    /// `indent` is prepended to every line after the opening brace.
+    pub fn to_json(&self, indent: &str) -> String {
+        if self.map.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(indent);
+            out.push_str("  ");
+            out.push_str(&json_str(name));
+            out.push_str(": ");
+            match v {
+                CounterValue::U64(v) => out.push_str(&v.to_string()),
+                // `{:?}` prints a round-trippable f64 (same idiom as
+                // perf.rs's hand-rolled JSON).
+                CounterValue::F64(v) => out.push_str(&format!("{v:?}")),
+            }
+        }
+        out.push('\n');
+        out.push_str(indent);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merge_delta() {
+        let mut a = Counters::new();
+        a.add_u64("vgiw.cycles", 10);
+        a.add_u64("vgiw.cycles", 5);
+        a.set_f64("vgiw.energy.core", 1.5);
+        assert_eq!(a.get_u64("vgiw.cycles"), 15);
+        assert_eq!(a.get_f64("vgiw.energy.core"), 1.5);
+        assert_eq!(a.get_u64("vgiw.missing"), 0);
+
+        let mut b = a.clone();
+        b.add_u64("vgiw.cycles", 7);
+        let d = b.delta_since(&a);
+        assert_eq!(d.get_u64("vgiw.cycles"), 7);
+
+        let mut m = Counters::new();
+        m.merge(&a);
+        m.merge(&a);
+        assert_eq!(m.get_u64("vgiw.cycles"), 30);
+        assert_eq!(m.get_f64("vgiw.energy.core"), 3.0);
+    }
+
+    #[test]
+    fn json_is_sorted_and_valid() {
+        let mut c = Counters::new();
+        c.set_u64("b.second", 2);
+        c.set_u64("a.first", 1);
+        c.set_f64("c.rate", 0.5);
+        let j = c.to_json("");
+        assert!(j.find("a.first").unwrap() < j.find("b.second").unwrap());
+        crate::validate_json(&j).expect("counter JSON parses");
+        assert_eq!(Counters::new().to_json(""), "{}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Typed trace events and the record envelope that stamps them.
+
+/// Host-side phase a trace record was emitted from.
+///
+/// Compile-phase records cover host work (compilation, SGMF mapping) that
+/// does not consume simulated cycles; simulate-phase records are stamped
+/// with the machine cycle they occurred on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Phase {
+    /// Host-side kernel compilation / dataflow-graph mapping.
+    Compile,
+    /// Cycle-accurate simulation.
+    #[default]
+    Simulate,
+}
+
+impl Phase {
+    /// Lower-case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compile => "compile",
+            Phase::Simulate => "simulate",
+        }
+    }
+}
+
+/// One structured event from a simulated machine.
+///
+/// The taxonomy covers the paper's execution phases: kernel launches, BBS
+/// block selection, fabric (re)configuration, batch retirement into the
+/// CVT, thread-tile (CVT epoch) transitions, LVC/L1 fills and writebacks,
+/// memory request/response pairs, and warp issue/divergence on the SIMT
+/// baseline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A kernel launch entered the machine.
+    KernelLaunch {
+        /// Kernel name.
+        kernel: String,
+        /// Threads in the launch.
+        threads: u32,
+    },
+    /// The launch retired all threads.
+    KernelEnd {
+        /// Kernel name.
+        kernel: String,
+        /// Simulated cycles the launch took (incl. configuration charge).
+        cycles: u64,
+    },
+    /// A new thread tile was installed in the CVT (epoch transition).
+    TileStart {
+        /// Tile ordinal within the launch.
+        tile: u32,
+        /// Threads in the tile.
+        threads: u32,
+    },
+    /// The block-based scheduler selected the next basic block.
+    BlockSelected {
+        /// Basic-block id.
+        block: u32,
+        /// Threads pending on the block when it was selected.
+        pending: u32,
+    },
+    /// Fabric reconfiguration for a block began.
+    ConfigureStart {
+        /// Basic-block id.
+        block: u32,
+    },
+    /// Fabric reconfiguration for a block finished.
+    ConfigureEnd {
+        /// Basic-block id.
+        block: u32,
+    },
+    /// A packed batch of retired threads was OR-ed into the CVT.
+    BatchRetired {
+        /// Block the threads retired from.
+        block: u32,
+        /// Successor block, or `None` when the threads exited the kernel.
+        target: Option<u32>,
+        /// Threads in the batch.
+        threads: u32,
+    },
+    /// A memory request was accepted by an L1 port.
+    MemRequest {
+        /// Request id (paired with the matching [`TraceEvent::MemResponse`]).
+        id: u64,
+        /// Word address.
+        addr: u64,
+        /// Store (`true`) or load (`false`).
+        store: bool,
+        /// L1 port index (port 1 is the LVC on VGIW).
+        port: u8,
+    },
+    /// A memory response was delivered back to the machine.
+    MemResponse {
+        /// Request id.
+        id: u64,
+    },
+    /// An L1-level cache (or LVC) filled a line.
+    CacheFill {
+        /// L1 port index (port 1 is the LVC on VGIW).
+        port: u8,
+        /// Line address.
+        line: u64,
+    },
+    /// An L1-level cache (or LVC) wrote a dirty line back.
+    CacheWriteback {
+        /// L1 port index (port 1 is the LVC on VGIW).
+        port: u8,
+        /// Line address.
+        line: u64,
+    },
+    /// A SIMT warp issued an instruction.
+    WarpIssue {
+        /// Warp slot.
+        warp: u32,
+        /// Basic block the instruction belongs to.
+        block: u32,
+    },
+    /// A SIMT warp took a divergent branch (both paths live).
+    Divergence {
+        /// Warp slot.
+        warp: u32,
+        /// Lanes that took the branch.
+        taken: u32,
+        /// Lanes active at the branch.
+        active: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Snake-case event name used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::KernelLaunch { .. } => "kernel_launch",
+            TraceEvent::KernelEnd { .. } => "kernel_end",
+            TraceEvent::TileStart { .. } => "tile_start",
+            TraceEvent::BlockSelected { .. } => "block_selected",
+            TraceEvent::ConfigureStart { .. } => "configure_start",
+            TraceEvent::ConfigureEnd { .. } => "configure_end",
+            TraceEvent::BatchRetired { .. } => "batch_retired",
+            TraceEvent::MemRequest { .. } => "mem_request",
+            TraceEvent::MemResponse { .. } => "mem_response",
+            TraceEvent::CacheFill { .. } => "cache_fill",
+            TraceEvent::CacheWriteback { .. } => "cache_writeback",
+            TraceEvent::WarpIssue { .. } => "warp_issue",
+            TraceEvent::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// Coarse category; the Chrome exporter maps each to its own track.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::KernelLaunch { .. } | TraceEvent::KernelEnd { .. } => "kernel",
+            TraceEvent::TileStart { .. }
+            | TraceEvent::BlockSelected { .. }
+            | TraceEvent::ConfigureStart { .. }
+            | TraceEvent::ConfigureEnd { .. } => "scheduler",
+            TraceEvent::BatchRetired { .. } => "retire",
+            TraceEvent::MemRequest { .. }
+            | TraceEvent::MemResponse { .. }
+            | TraceEvent::CacheFill { .. }
+            | TraceEvent::CacheWriteback { .. } => "memory",
+            TraceEvent::WarpIssue { .. } | TraceEvent::Divergence { .. } => "warp",
+        }
+    }
+
+    /// The event payload as a comma-separated list of JSON members
+    /// (without surrounding braces), e.g. `"block":3,"pending":64`.
+    pub fn args_json(&self) -> String {
+        match self {
+            TraceEvent::KernelLaunch { kernel, threads } => {
+                format!("\"kernel\":{},\"threads\":{threads}", json_str(kernel))
+            }
+            TraceEvent::KernelEnd { kernel, cycles } => {
+                format!("\"kernel\":{},\"cycles\":{cycles}", json_str(kernel))
+            }
+            TraceEvent::TileStart { tile, threads } => {
+                format!("\"tile\":{tile},\"threads\":{threads}")
+            }
+            TraceEvent::BlockSelected { block, pending } => {
+                format!("\"block\":{block},\"pending\":{pending}")
+            }
+            TraceEvent::ConfigureStart { block } | TraceEvent::ConfigureEnd { block } => {
+                format!("\"block\":{block}")
+            }
+            TraceEvent::BatchRetired {
+                block,
+                target,
+                threads,
+            } => match target {
+                Some(t) => format!("\"block\":{block},\"target\":{t},\"threads\":{threads}"),
+                None => format!("\"block\":{block},\"target\":null,\"threads\":{threads}"),
+            },
+            TraceEvent::MemRequest {
+                id,
+                addr,
+                store,
+                port,
+            } => format!("\"id\":{id},\"addr\":{addr},\"store\":{store},\"port\":{port}"),
+            TraceEvent::MemResponse { id } => format!("\"id\":{id}"),
+            TraceEvent::CacheFill { port, line } | TraceEvent::CacheWriteback { port, line } => {
+                format!("\"port\":{port},\"line\":{line}")
+            }
+            TraceEvent::WarpIssue { warp, block } => format!("\"warp\":{warp},\"block\":{block}"),
+            TraceEvent::Divergence {
+                warp,
+                taken,
+                active,
+            } => format!("\"warp\":{warp},\"taken\":{taken},\"active\":{active}"),
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with the machine cycle and host phase.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// Machine cycle the event occurred on (0 for compile-phase records).
+    pub cycle: u64,
+    /// Host phase the record was emitted from.
+    pub phase: Phase,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Serialize a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,202 @@
+//! Trace exporters: Chrome trace-event JSON and newline-delimited JSON.
+
+use std::collections::BTreeMap;
+
+use crate::event::{json_str, TraceEvent, TraceRecord};
+
+/// Export records as newline-delimited JSON: one object per record, in
+/// emit order, each carrying `cycle`, `phase`, `event` and the event's
+/// own fields. Deterministic: identical runs produce identical bytes.
+pub fn ndjson(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&format!(
+            "{{\"cycle\":{},\"phase\":\"{}\",\"event\":\"{}\"",
+            rec.cycle,
+            rec.phase.name(),
+            rec.event.kind()
+        ));
+        let args = rec.event.args_json();
+        if !args.is_empty() {
+            out.push(',');
+            out.push_str(&args);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Track (`tid`) layout of the Chrome export, one per event category.
+const TRACKS: [(&str, u32); 4] = [
+    ("kernel", 0),
+    ("scheduler", 1),
+    ("retire", 2),
+    ("memory", 3),
+];
+const WARP_TRACK: u32 = 4;
+
+fn track(cat: &str) -> u32 {
+    TRACKS
+        .iter()
+        .find(|(name, _)| *name == cat)
+        .map(|(_, tid)| *tid)
+        .unwrap_or(WARP_TRACK)
+}
+
+/// Export records as Chrome trace-event JSON (the legacy `traceEvents`
+/// array format), loadable in `chrome://tracing` and Perfetto.
+///
+/// Kernel launch/end and configure start/end pairs become complete (`"X"`)
+/// slices; everything else becomes an instant (`"i"`) event. Timestamps
+/// are simulated cycles interpreted as microseconds. `machine` names the
+/// trace's process.
+pub fn chrome_trace(machine: &str, records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&format!(
+        " {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{{\"name\":{}}}}}",
+        json_str(machine)
+    ));
+    for (name, tid) in TRACKS {
+        out.push_str(&format!(
+            ",\n {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+            json_str(name)
+        ));
+    }
+    out.push_str(&format!(
+        ",\n {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{WARP_TRACK},\"args\":{{\"name\":\"warp\"}}}}"
+    ));
+
+    // Open slices awaiting their end event: kernels by name, configures
+    // by block id. Keyed lookups only — output order follows the record
+    // stream, so the export stays deterministic.
+    let mut open_kernels: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut open_configs: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+
+    for rec in records {
+        match &rec.event {
+            TraceEvent::KernelLaunch { kernel, .. } => {
+                open_kernels
+                    .entry(kernel.clone())
+                    .or_default()
+                    .push(rec.cycle);
+                continue;
+            }
+            TraceEvent::KernelEnd { kernel, .. } => {
+                let start = open_kernels
+                    .get_mut(kernel)
+                    .and_then(Vec::pop)
+                    .unwrap_or(rec.cycle);
+                push_slice(&mut out, &format!("kernel {kernel}"), "kernel", start, rec);
+                continue;
+            }
+            TraceEvent::ConfigureStart { block } => {
+                open_configs.entry(*block).or_default().push(rec.cycle);
+                continue;
+            }
+            TraceEvent::ConfigureEnd { block } => {
+                let start = open_configs
+                    .get_mut(block)
+                    .and_then(Vec::pop)
+                    .unwrap_or(rec.cycle);
+                push_slice(
+                    &mut out,
+                    &format!("configure b{block}"),
+                    "scheduler",
+                    start,
+                    rec,
+                );
+                continue;
+            }
+            _ => {}
+        }
+        let cat = rec.event.category();
+        out.push_str(&format!(
+            ",\n {{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
+            rec.event.kind(),
+            track(cat),
+            rec.cycle,
+            rec.event.args_json()
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn push_slice(out: &mut String, name: &str, cat: &str, start: u64, end: &TraceRecord) {
+    let dur = end.cycle.saturating_sub(start).max(1);
+    out.push_str(&format!(
+        ",\n {{\"name\":{},\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start},\"dur\":{dur},\"args\":{{{}}}}}",
+        json_str(name),
+        track(cat),
+        end.event.args_json()
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::validate_json;
+
+    fn sample() -> Vec<TraceRecord> {
+        let ev = |cycle, event| TraceRecord {
+            cycle,
+            phase: Phase::Simulate,
+            event,
+        };
+        vec![
+            ev(
+                0,
+                TraceEvent::KernelLaunch {
+                    kernel: "nn".into(),
+                    threads: 64,
+                },
+            ),
+            ev(0, TraceEvent::ConfigureStart { block: 0 }),
+            ev(34, TraceEvent::ConfigureEnd { block: 0 }),
+            ev(
+                40,
+                TraceEvent::BatchRetired {
+                    block: 0,
+                    target: None,
+                    threads: 64,
+                },
+            ),
+            ev(
+                50,
+                TraceEvent::KernelEnd {
+                    kernel: "nn".into(),
+                    cycles: 50,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_paired_slices() {
+        let j = chrome_trace("vgiw", &sample());
+        validate_json(&j).expect("chrome trace parses");
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"kernel nn\""));
+        assert!(j.contains("\"configure b0\""));
+        assert!(j.contains("\"dur\":34"));
+        assert!(j.contains("batch_retired"));
+    }
+
+    #[test]
+    fn ndjson_lines_each_parse() {
+        let n = ndjson(&sample());
+        assert_eq!(n.lines().count(), 5);
+        for line in n.lines() {
+            validate_json(line).expect("ndjson line parses");
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(chrome_trace("vgiw", &a), chrome_trace("vgiw", &b));
+        assert_eq!(ndjson(&a), ndjson(&b));
+    }
+}

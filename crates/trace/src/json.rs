@@ -1,0 +1,217 @@
+//! Minimal JSON well-formedness checker.
+//!
+//! The build is offline (no serde), but CI and the `experiments trace`
+//! subcommand must verify that exported traces actually parse. This is a
+//! strict, dependency-free recursive-descent validator — it accepts
+//! exactly RFC 8259 JSON and reports the byte offset of the first error.
+
+/// Validate that `s` is one well-formed JSON value.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        skip_ws(b, pos);
+        value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {pos}")),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            Some(c) if *c >= 0x20 => *pos += 1,
+            _ => {
+                return Err(format!(
+                    "unterminated or control char in string at byte {pos}"
+                ))
+            }
+        }
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => digits(b, pos),
+        _ => return Err(format!("malformed number at byte {pos}")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        match b.get(*pos) {
+            Some(c) if c.is_ascii_digit() => digits(b, pos),
+            _ => return Err(format!("malformed fraction at byte {pos}")),
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        match b.get(*pos) {
+            Some(c) if c.is_ascii_digit() => digits(b, pos),
+            _ => return Err(format!("malformed exponent at byte {pos}")),
+        }
+    }
+    Ok(())
+}
+
+fn digits(b: &[u8], pos: &mut usize) {
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", c as char))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_json;
+
+    #[test]
+    fn accepts_well_formed() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            "\"a\\nb\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":false}],\"c\":null}",
+            " { \"x\" : 0.25 } ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{} extra",
+            "nul",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Observability layer for the VGIW reproduction.
+//!
+//! Three pieces, all pure observers (enabling them must never change a
+//! single simulated cycle):
+//!
+//! * **Structured tracing** — machines emit typed [`TraceEvent`]s through a
+//!   [`Tracer`] handle. A disabled tracer ([`Tracer::off`]) is a single
+//!   `Option` check per emit site and the event closure is never run, so
+//!   tracing is zero-cost on the paths that matter. Every record is stamped
+//!   with the machine cycle and the host [`Phase`] (compile vs. simulate).
+//! * **[`Counters`]** — a string-keyed registry of `u64`/`f64` values with
+//!   hierarchical names (`vgiw.lvc.hits`). The typed `*RunStats` structs
+//!   remain the source of truth; each machine exports them into counters so
+//!   reports and `BENCH_perf.json` consume one uniform key/value form.
+//! * **Exporters** — [`chrome_trace`] (Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto) and [`ndjson`] (one JSON object per
+//!   line), plus a dependency-free [`validate_json`] used by CI smoke tests.
+//!
+//! The crate also defines the common [`Machine`] trait that the three
+//! processors (VGIW, SIMT, SGMF) implement, so the bench harness drives one
+//! API instead of three parallel launchers.
+
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod export;
+mod json;
+mod machine;
+mod sink;
+
+pub use counters::{CounterValue, Counters};
+pub use event::{Phase, TraceEvent, TraceRecord};
+pub use export::{chrome_trace, ndjson};
+pub use json::validate_json;
+pub use machine::{LaunchSummary, Machine};
+pub use sink::{MemorySink, TraceSink, Tracer};

@@ -1,0 +1,82 @@
+//! The common `Machine` trait the three processors implement.
+
+use vgiw_ir::{Kernel, Launch, MemoryImage};
+use vgiw_robust::DeadlockReport;
+
+use crate::counters::Counters;
+use crate::sink::Tracer;
+
+/// Per-launch measurement a [`Machine`] hands back from
+/// [`Machine::launch`].
+///
+/// `counters` is the launch's full counter export (exact `u64` values from
+/// the machine's typed run stats); the named fields are the handful the
+/// bench harness aggregates directly.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct LaunchSummary {
+    /// Simulated cycles the launch took, including configuration charge.
+    pub cycles: u64,
+    /// Cycles charged to fabric reconfiguration (VGIW/SGMF; 0 on SIMT).
+    pub config_cycles: u64,
+    /// Basic-block executions (VGIW; 0 elsewhere).
+    pub block_executions: u64,
+    /// Live-value-cache accesses (VGIW; 0 elsewhere).
+    pub lvc_accesses: u64,
+    /// Register-file accesses (SIMT; 0 elsewhere).
+    pub rf_accesses: u64,
+    /// Simulation events processed (machine-specific progress measure).
+    pub events: u64,
+    /// Full counter export for the launch.
+    pub counters: Counters,
+}
+
+/// A simulated processor the bench harness can drive.
+///
+/// One trait replaces the former `VgiwLauncher`/`SimtLauncher`/
+/// `SgmfLauncher` trio: the measurement loop, watchdog polling and
+/// instrumentation are written once against this interface.
+///
+/// Contract: tracing and statistics are pure observers — implementations
+/// must produce bit-identical cycle counts whether or not a tracer is
+/// installed.
+pub trait Machine {
+    /// Short machine name (`"vgiw"`, `"simt"`, `"sgmf"`), used as the
+    /// counter prefix and the trace process name.
+    fn name(&self) -> &'static str;
+
+    /// Compile/map `kernel` for this machine, memoizing by kernel name.
+    /// Idempotent; [`Machine::launch`] calls it implicitly.
+    fn prepare(&mut self, kernel: &Kernel) -> Result<(), String>;
+
+    /// Execute one launch against `mem`, returning its measurement.
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mem: &mut MemoryImage,
+    ) -> Result<LaunchSummary, String>;
+
+    /// Accumulated counter export across every launch since construction
+    /// (or the last [`Machine::reset`]).
+    fn stats(&self) -> Counters;
+
+    /// Monotonic count of simulation progress events (grows with every
+    /// launch; machine-specific unit).
+    fn progress(&self) -> u64;
+
+    /// Dead cycles skipped by idle fast-forward.
+    fn cycles_skipped(&self) -> u64;
+
+    /// The deadlock report behind the most recent launch failure, if the
+    /// watchdog fired. Taking it clears it.
+    fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>>;
+
+    /// Return to the post-construction state: drop prepared kernels,
+    /// accumulated counters and machine state. The installed tracer is
+    /// kept.
+    fn reset(&mut self);
+
+    /// Install a tracer; all subsequent events flow into it. The machine
+    /// propagates the handle to its memory system.
+    fn set_tracer(&mut self, tracer: Tracer);
+}

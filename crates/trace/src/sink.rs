@@ -1,0 +1,148 @@
+//! Trace sinks and the clone-able [`Tracer`] handle machines emit through.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::{Phase, TraceEvent, TraceRecord};
+
+/// Destination for trace records.
+///
+/// Implementations must be order-preserving: two identical runs must
+/// produce byte-identical exported logs, so a sink may not reorder or
+/// drop records.
+pub trait TraceSink {
+    /// Accept one record.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Hand back every record accepted so far (buffering sinks only;
+    /// streaming sinks return an empty vector).
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+}
+
+/// The default sink: an in-memory, append-only buffer.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+struct TracerState {
+    sink: Box<dyn TraceSink>,
+    phase: Phase,
+}
+
+/// Clone-able handle through which a machine (and its memory system)
+/// emits trace events.
+///
+/// All clones share one sink, so a processor, its fabric environment and
+/// its `MemSystem` interleave into a single ordered stream. The handle is
+/// deliberately *not* `Send`: machines live on one worker thread each.
+///
+/// A disabled handle ([`Tracer::off`], also `Default`) costs one `Option`
+/// check per [`Tracer::emit`]; the event-construction closure never runs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TracerState>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every emit is a no-op.
+    pub fn off() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording into an in-memory buffer
+    /// (retrieve with [`Tracer::take_records`]).
+    pub fn recording() -> Tracer {
+        Tracer::with_sink(Box::new(MemorySink::default()))
+    }
+
+    /// A tracer feeding a custom sink.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Tracer {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TracerState {
+                sink,
+                phase: Phase::default(),
+            }))),
+        }
+    }
+
+    /// Whether events are being recorded. Use to guard emit *loops*;
+    /// single emits are already cheap when disabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event stamped with `cycle` and the current phase.
+    /// `event` is only evaluated when the tracer is enabled.
+    #[inline]
+    pub fn emit(&self, cycle: u64, event: impl FnOnce() -> TraceEvent) {
+        if let Some(state) = &self.inner {
+            let mut state = state.borrow_mut();
+            let phase = state.phase;
+            state.sink.record(TraceRecord {
+                cycle,
+                phase,
+                event: event(),
+            });
+        }
+    }
+
+    /// Set the host phase stamped on subsequent records.
+    pub fn set_phase(&self, phase: Phase) {
+        if let Some(state) = &self.inner {
+            state.borrow_mut().phase = phase;
+        }
+    }
+
+    /// Drain the sink's buffered records (empty for streaming sinks or a
+    /// disabled tracer).
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(state) => state.borrow_mut().sink.drain(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::off();
+        t.emit(1, || panic!("must not be evaluated"));
+        assert!(!t.enabled());
+        assert!(t.take_records().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_ordered_stream() {
+        let a = Tracer::recording();
+        let b = a.clone();
+        a.emit(1, || TraceEvent::MemResponse { id: 1 });
+        b.emit(2, || TraceEvent::MemResponse { id: 2 });
+        a.set_phase(Phase::Compile);
+        b.emit(0, || TraceEvent::MemResponse { id: 3 });
+        let recs = a.take_records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].cycle, 1);
+        assert_eq!(recs[1].cycle, 2);
+        assert_eq!(recs[1].phase, Phase::Simulate);
+        assert_eq!(recs[2].phase, Phase::Compile);
+        assert!(b.take_records().is_empty(), "drain empties the shared sink");
+    }
+}

@@ -16,3 +16,4 @@ pub use vgiw_power as power;
 pub use vgiw_robust as robust;
 pub use vgiw_sgmf as sgmf;
 pub use vgiw_simt as simt;
+pub use vgiw_trace as trace;

@@ -6,22 +6,16 @@
 //! hierarchy) on real application control flow.
 
 use vgiw::kernels::{self, Benchmark};
-use vgiw_bench::{SgmfLauncher, SimtLauncher, VgiwLauncher};
+use vgiw_bench::{new_machine, MachineHost, MachineKind};
+use vgiw_robust::ChecksConfig;
 
-fn check_vgiw(bench: &Benchmark) {
-    let mut l = VgiwLauncher::default();
+fn check(kind: MachineKind, bench: &Benchmark) {
+    let mut machine = new_machine(kind, ChecksConfig::default());
+    let mut host = MachineHost::new(machine.as_mut());
     bench
-        .run(&mut l)
-        .unwrap_or_else(|e| panic!("VGIW diverged on {}: {e}", bench.app));
-    assert!(l.result.cycles > 0);
-}
-
-fn check_simt(bench: &Benchmark) {
-    let mut l = SimtLauncher::default();
-    bench
-        .run(&mut l)
-        .unwrap_or_else(|e| panic!("SIMT diverged on {}: {e}", bench.app));
-    assert!(l.result.cycles > 0);
+        .run(&mut host)
+        .unwrap_or_else(|e| panic!("{} diverged on {}: {e}", kind.name(), bench.app));
+    assert!(host.result.cycles > 0);
 }
 
 macro_rules! equivalence_tests {
@@ -32,12 +26,12 @@ macro_rules! equivalence_tests {
 
                 #[test]
                 fn vgiw_matches_interpreter() {
-                    check_vgiw(&$builder(1));
+                    check(MachineKind::Vgiw, &$builder(1));
                 }
 
                 #[test]
                 fn simt_matches_interpreter() {
-                    check_simt(&$builder(1));
+                    check(MachineKind::Simt, &$builder(1));
                 }
             }
         )*
@@ -65,11 +59,12 @@ equivalence_tests! {
 fn sgmf_matches_or_declines() {
     let mut mappable = 0;
     for bench in kernels::suite(1) {
-        let mut l = SgmfLauncher::default();
-        match bench.run(&mut l) {
+        let mut machine = new_machine(MachineKind::Sgmf, ChecksConfig::default());
+        let mut host = MachineHost::new(machine.as_mut());
+        match bench.run(&mut host) {
             Ok(()) => {
                 mappable += 1;
-                assert!(l.result.cycles > 0);
+                assert!(host.result.cycles > 0);
             }
             Err(e) => {
                 assert!(
