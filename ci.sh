@@ -37,7 +37,8 @@ tmp="$(mktemp)"
 tmp_checked="$(mktemp)"
 tmp_traced="$(mktemp)"
 tmp_trace_json="$(mktemp)"
-trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json"' EXIT
+tmp_reference="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference"' EXIT
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
 done > "$tmp"
@@ -54,6 +55,19 @@ for m in vgiw simt sgmf; do
 done > "$tmp_checked"
 diff golden_cycles.txt "$tmp_checked" || {
     echo "ci: invariant checks perturbed cycle counts or flagged a clean run" >&2
+    exit 1
+}
+
+echo "==> golden cycle counts on the dense reference tick"
+# The compiled micro-program engine is the default; the retained dense
+# reference tick is its bit-exactness oracle. Forcing every run onto the
+# reference must reproduce the identical golden table, so both engines
+# stay green and any future divergence is caught here.
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" --reference 2>/dev/null
+done > "$tmp_reference"
+diff golden_cycles.txt "$tmp_reference" || {
+    echo "ci: reference tick diverges from the micro-program engine" >&2
     exit 1
 }
 

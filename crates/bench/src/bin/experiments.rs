@@ -33,9 +33,16 @@
 //! tracing (with the records discarded) in `--machine` table mode, to
 //! demonstrate that tracing is a pure observer: cycle counts are
 //! bit-identical with it on.
+//!
+//! `--reference` forces the fabric machines onto the dense reference tick
+//! instead of the event-driven micro-program engine in `--machine` table
+//! mode (no effect on SIMT). The two engines are bit-identical by
+//! construction; ci.sh diffs a forced-reference pass against the same
+//! golden cycle table to keep both green.
 
 use vgiw_bench::harness::{
-    measure_suite_outcomes, run_machine, AppOutcome, AppResult, MachineKind, RunOutcome,
+    measure_suite_outcomes, run_machine, run_machine_tuned, AppOutcome, AppResult, MachineKind,
+    MachineTuning, RunOutcome,
 };
 use vgiw_bench::report;
 use vgiw_kernels::Benchmark;
@@ -71,6 +78,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut format: Option<String> = None;
     let mut traced = false;
+    let mut reference = false;
     let mut checks = ChecksConfig::default();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -81,6 +89,10 @@ fn main() {
         }
         if arg == "--traced" {
             traced = true;
+            continue;
+        }
+        if arg == "--reference" {
+            reference = true;
             continue;
         }
         let mut flag_value = |name: &str| -> Option<String> {
@@ -213,7 +225,16 @@ fn main() {
             } else {
                 Tracer::off()
             };
-            let run = run_machine(bench, kind, checks, &tracer);
+            let run = run_machine_tuned(
+                bench,
+                kind,
+                checks,
+                &tracer,
+                MachineTuning {
+                    reference_tick: reference,
+                    ..MachineTuning::default()
+                },
+            );
             drop(tracer.take_records());
             match run.outcome {
                 RunOutcome::Ok(r) => println!(

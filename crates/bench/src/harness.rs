@@ -49,12 +49,36 @@ impl MachineResult {
     }
 }
 
+/// Simulator-engine knobs threaded into machine construction. All of
+/// them are equivalence-tested pure knobs: simulated results are
+/// bit-identical whatever the tuning (only host wall time changes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MachineTuning {
+    /// Drive the fabric machines with the dense reference tick instead of
+    /// the event-driven batch engine (no effect on SIMT).
+    pub reference_tick: bool,
+    /// Collect per-phase fabric tick timing, exported as
+    /// `<machine>.fabric.phase.*` counters (no effect on SIMT).
+    pub time_phases: bool,
+}
+
 /// Builds the processor behind `kind` with the given checks configuration
 /// and otherwise-default (paper) parameters, as a [`Machine`] trait object.
 pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> {
+    new_machine_tuned(kind, checks, MachineTuning::default())
+}
+
+/// [`new_machine`] with explicit simulator-engine tuning.
+pub fn new_machine_tuned(
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> Box<dyn Machine> {
     match kind {
         MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
             checks,
+            reference_tick: tuning.reference_tick,
+            time_phases: tuning.time_phases,
             ..VgiwConfig::default()
         })),
         MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
@@ -63,6 +87,8 @@ pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> 
         })),
         MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
             checks,
+            reference_tick: tuning.reference_tick,
+            time_phases: tuning.time_phases,
             ..SgmfConfig::default()
         })),
     }
@@ -357,6 +383,17 @@ pub fn run_machine(
     checks: ChecksConfig,
     tracer: &Tracer,
 ) -> MachineRun {
+    run_machine_tuned(bench, kind, checks, tracer, MachineTuning::default())
+}
+
+/// [`run_machine`] with explicit simulator-engine tuning.
+pub fn run_machine_tuned(
+    bench: &Benchmark,
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tracer: &Tracer,
+    tuning: MachineTuning,
+) -> MachineRun {
     /// Everything salvaged from inside the `catch_unwind` boundary.
     struct RawRun {
         result: Result<MachineResult, String>,
@@ -368,7 +405,7 @@ pub fn run_machine(
     }
     let t0 = Instant::now();
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
-        let mut machine = new_machine(kind, checks);
+        let mut machine = new_machine_tuned(kind, checks, tuning);
         machine.set_tracer(tracer.clone());
         let (r, compile_s, events) = {
             let mut host = MachineHost::new(machine.as_mut());
@@ -627,6 +664,16 @@ pub fn measure_suite_outcomes(
     jobs: usize,
     checks: ChecksConfig,
 ) -> (Vec<AppOutcome>, Vec<AppPerf>) {
+    measure_suite_outcomes_tuned(benches, jobs, checks, MachineTuning::default())
+}
+
+/// [`measure_suite_outcomes`] with explicit simulator-engine tuning.
+pub fn measure_suite_outcomes_tuned(
+    benches: &[Benchmark],
+    jobs: usize,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> (Vec<AppOutcome>, Vec<AppPerf>) {
     // Benchmark-major job order: a worker claiming job i runs benchmark
     // i / 3 on machine i % 3.
     let job_list: Vec<(usize, MachineKind)> = benches
@@ -640,8 +687,13 @@ pub fn measure_suite_outcomes(
     let workers = jobs.min(job_list.len());
     if workers <= 1 {
         for (slot, &(b, m)) in slots.iter().zip(&job_list) {
-            *slot.lock().expect("job slot poisoned") =
-                Some(run_machine(&benches[b], m, checks, &Tracer::off()));
+            *slot.lock().expect("job slot poisoned") = Some(run_machine_tuned(
+                &benches[b],
+                m,
+                checks,
+                &Tracer::off(),
+                tuning,
+            ));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -654,7 +706,7 @@ pub fn measure_suite_outcomes(
                     };
                     // The tracer is constructed on the worker: it is a
                     // thread-local handle, never sent across threads.
-                    let out = run_machine(&benches[b], m, checks, &Tracer::off());
+                    let out = run_machine_tuned(&benches[b], m, checks, &Tracer::off(), tuning);
                     *slots[i].lock().expect("job slot poisoned") = Some(out);
                 });
             }

@@ -3,8 +3,12 @@
 //! human-readable report and as `BENCH_perf.json` (hand-rolled JSON; the
 //! build is offline and carries no serde).
 
-use crate::harness::{measure_suite_with_perf, AppPerf, MachinePerf};
+use crate::harness::{
+    measure_suite_outcomes_tuned, measure_suite_with_perf, AppPerf, MachinePerf, MachineTuning,
+};
 use std::time::Instant;
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::CounterValue;
 
 /// Timing of one full suite run: serial, then on a `jobs`-wide pool.
 #[derive(Debug)]
@@ -41,7 +45,7 @@ pub fn measure_perf_on(benches: &[vgiw_kernels::Benchmark], scale: u32, jobs: us
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
 
     let t0 = Instant::now();
-    let (serial_results, apps) = measure_suite_with_perf(benches, 1);
+    let (serial_results, mut apps) = measure_suite_with_perf(benches, 1);
     let serial_wall_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -54,6 +58,41 @@ pub fn measure_perf_on(benches: &[vgiw_kernels::Benchmark], scale: u32, jobs: us
             "parallel run changed results on {}",
             s.app
         );
+    }
+
+    // Third pass, serial, with fabric phase timing on. The `Instant`
+    // reads cost real wall time, so the measured serial/parallel numbers
+    // above come from untimed runs; this pass contributes only the
+    // `<machine>.fabric.phase.*` counters. Phase timing is a pure
+    // observer of the simulated machine, asserted here.
+    let (timed_outcomes, timed_apps) = measure_suite_outcomes_tuned(
+        benches,
+        1,
+        ChecksConfig::default(),
+        MachineTuning {
+            time_phases: true,
+            ..MachineTuning::default()
+        },
+    );
+    for (s, t) in serial_results.iter().zip(&timed_outcomes) {
+        let t = t.result().expect("timed pass runs every machine");
+        assert!(
+            s.vgiw == t.vgiw && s.simt == t.simt && s.sgmf == t.sgmf,
+            "phase timing changed results on {}",
+            s.app
+        );
+    }
+    for (app, timed) in apps.iter_mut().zip(&timed_apps) {
+        for (into, from) in [
+            (&mut app.counters.vgiw, &timed.counters.vgiw),
+            (&mut app.counters.sgmf, &timed.counters.sgmf),
+        ] {
+            for (name, v) in from.iter() {
+                if let (true, CounterValue::U64(v)) = (name.contains(".fabric.phase."), v) {
+                    into.set_u64(name, v);
+                }
+            }
+        }
     }
 
     SuitePerf {
@@ -84,6 +123,28 @@ impl SuitePerf {
     /// Total simulate seconds across all apps (serial run).
     pub fn simulate_s(&self) -> f64 {
         self.machines().map(|(_, _, m)| m.simulate_s).sum()
+    }
+
+    /// Suite-total fabric phase times in nanoseconds `(land, inject,
+    /// fire)` for `machine`, from the timed pass's
+    /// `<machine>.fabric.phase.*` counters. `None` when the counters are
+    /// absent (e.g. a [`SuitePerf`] assembled without the timed pass).
+    pub fn fabric_phase_ns(&self, machine: &str) -> Option<(u64, u64, u64)> {
+        let mut found = false;
+        let mut total = (0u64, 0u64, 0u64);
+        for a in &self.apps {
+            let c = match machine {
+                "vgiw" => &a.counters.vgiw,
+                "sgmf" => &a.counters.sgmf,
+                _ => return None,
+            };
+            let land = c.get_u64(&format!("{machine}.fabric.phase.land_ns"));
+            let inject = c.get_u64(&format!("{machine}.fabric.phase.inject_ns"));
+            let fire = c.get_u64(&format!("{machine}.fabric.phase.fire_ns"));
+            found |= land + inject + fire > 0;
+            total = (total.0 + land, total.1 + inject, total.2 + fire);
+        }
+        found.then_some(total)
     }
 
     fn machines(&self) -> impl Iterator<Item = (&'static str, &'static str, MachinePerf)> + '_ {
@@ -121,6 +182,19 @@ impl SuitePerf {
             self.compile_s(),
             self.simulate_s()
         ));
+        for machine in ["vgiw", "sgmf"] {
+            if let Some((land, inject, fire)) = self.fabric_phase_ns(machine) {
+                let total = (land + inject + fire).max(1);
+                out.push_str(&format!(
+                    "  {machine} tick breakdown  land {:.1}%  inject {:.1}%  fire {:.1}%  \
+                     (timed pass, {:.3}s in ticks)\n",
+                    land as f64 * 100.0 / total as f64,
+                    inject as f64 * 100.0 / total as f64,
+                    fire as f64 * 100.0 / total as f64,
+                    total as f64 / 1e9,
+                ));
+            }
+        }
         out.push_str(
             "  app      machine   sim-cycles/s   threads/s      events/s  \
              cycles-skipped   compile_s  simulate_s\n",

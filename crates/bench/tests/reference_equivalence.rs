@@ -1,0 +1,82 @@
+//! Full-suite equivalence of the compiled micro-program engine against
+//! the dense reference tick: for every app and every machine, forcing
+//! `reference_tick` must change nothing observable — results, per-app
+//! statistics, and the complete counter registry (energy, fabric stats,
+//! memory traffic) are bit-identical. This is the suite-level guarantee
+//! behind ci.sh's forced-reference golden pass.
+
+use vgiw_bench::harness::{run_machine_tuned, MachineKind, MachineTuning};
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::Tracer;
+
+fn assert_machine_matches_reference(kind: MachineKind) {
+    for bench in vgiw_kernels::suite(1) {
+        let batch = run_machine_tuned(
+            &bench,
+            kind,
+            ChecksConfig::default(),
+            &Tracer::off(),
+            MachineTuning::default(),
+        );
+        let reference = run_machine_tuned(
+            &bench,
+            kind,
+            ChecksConfig::default(),
+            &Tracer::off(),
+            MachineTuning {
+                reference_tick: true,
+                ..MachineTuning::default()
+            },
+        );
+
+        match (batch.outcome.ok(), reference.outcome.ok()) {
+            (Some(b), Some(r)) => {
+                assert_eq!(
+                    b,
+                    r,
+                    "{}/{}: batch engine result diverges from reference tick",
+                    kind.name(),
+                    bench.app
+                );
+            }
+            // A skip (SGMF unmappability) must be engine-independent.
+            (None, None) => {
+                assert_eq!(
+                    batch.outcome.failure(),
+                    reference.outcome.failure(),
+                    "{}/{}: outcomes diverge",
+                    kind.name(),
+                    bench.app
+                );
+            }
+            _ => panic!(
+                "{}/{}: one engine completed and the other did not",
+                kind.name(),
+                bench.app
+            ),
+        }
+        assert_eq!(
+            batch.counters,
+            reference.counters,
+            "{}/{}: counter registries diverge between engines",
+            kind.name(),
+            bench.app
+        );
+    }
+}
+
+#[test]
+fn vgiw_suite_matches_reference_tick() {
+    assert_machine_matches_reference(MachineKind::Vgiw);
+}
+
+#[test]
+fn sgmf_suite_matches_reference_tick() {
+    assert_machine_matches_reference(MachineKind::Sgmf);
+}
+
+#[test]
+fn simt_suite_unaffected_by_fabric_tuning() {
+    // SIMT has no fabric; the tuning knob must be inert there.
+    assert_machine_matches_reference(MachineKind::Simt);
+}

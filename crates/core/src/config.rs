@@ -75,6 +75,12 @@ pub struct VgiwConfig {
     /// counts and statistics. Exists for regression testing and as an
     /// executable specification of the timing model.
     pub reference_tick: bool,
+    /// Time the fabric's land/inject/fire phases with host-clock reads and
+    /// export them as `vgiw.fabric.phase.*` counters. A pure observer on
+    /// the simulated machine (cycle counts are bit-identical), but the
+    /// `Instant::now` pairs cost real wall time, so measured perf runs
+    /// keep it off and take a separate timing pass.
+    pub time_phases: bool,
     /// Robustness layer: watchdog budget and invariant checkers. The
     /// watchdog and checkers are pure observers — enabling them leaves
     /// every cycle count bit-identical.
@@ -99,6 +105,7 @@ impl Default for VgiwConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            time_phases: false,
             checks: ChecksConfig::default(),
             faults: CoreFaults::default(),
         }

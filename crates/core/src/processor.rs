@@ -245,6 +245,7 @@ impl VgiwProcessor {
     pub fn new(config: VgiwConfig) -> VgiwProcessor {
         let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
         fabric.set_reference_tick(config.reference_tick);
+        fabric.set_time_phases(config.time_phases);
         let mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
         VgiwProcessor {
             config,
@@ -596,6 +597,7 @@ impl VgiwProcessor {
     fn reset_machine(&mut self) {
         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
         self.fabric.set_reference_tick(self.config.reference_tick);
+        self.fabric.set_time_phases(self.config.time_phases);
         self.mem = MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
         self.mem.set_tracer(self.tracer.clone());
     }
@@ -730,6 +732,13 @@ impl Machine for VgiwProcessor {
             });
         let mut counters = Counters::new();
         stats.export_counters(&mut counters);
+        if self.config.time_phases {
+            // Host wall time per tick phase; only present when the knob is
+            // on, so default-run counter exports stay byte-identical.
+            self.fabric
+                .tick_phases()
+                .export_counters(&mut counters, "vgiw.fabric.phase");
+        }
         counters.add_u64("vgiw.launches", 1);
         counters.add_u64("vgiw.threads", launch.num_threads as u64);
         self.accum.merge(&counters);

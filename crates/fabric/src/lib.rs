@@ -19,4 +19,4 @@ pub mod test_env;
 pub use config::{FabricConfig, OpLatencies};
 pub use fabric::{ConfigError, Fabric, FabricEnv, FabricSnapshot, MemReqId, NodePending, Retired};
 pub use faults::{FabricFaults, FaultyEnv};
-pub use stats::FabricStats;
+pub use stats::{FabricStats, TickPhases};

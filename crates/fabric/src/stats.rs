@@ -96,6 +96,55 @@ impl FabricStats {
     }
 }
 
+/// Wall time spent in each phase of `Fabric::tick`, in nanoseconds.
+///
+/// Collected only when phase timing is switched on
+/// (`Fabric::set_time_phases`): the timer reads are a pure observer —
+/// simulation results are bit-identical with or without them — but cost
+/// real wall time, so the perf harness gathers these in a dedicated
+/// timing pass rather than on measured runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TickPhases {
+    /// Landing due wheel events (token deliveries / readiness events).
+    pub land_ns: u64,
+    /// Injecting queued threads into free channels.
+    pub inject_ns: u64,
+    /// Firing ready entries (gather, evaluate, commit).
+    pub fire_ns: u64,
+}
+
+impl TickPhases {
+    /// Merges another phase breakdown into this one.
+    pub fn merge(&mut self, other: &TickPhases) {
+        self.land_ns += other.land_ns;
+        self.inject_ns += other.inject_ns;
+        self.fire_ns += other.fire_ns;
+    }
+
+    /// Total wall time across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.land_ns + self.inject_ns + self.fire_ns
+    }
+
+    /// Whether any phase time was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.total_ns() == 0
+    }
+
+    /// Exports the phase times into `out` under `<prefix>.<phase>_ns`
+    /// (e.g. `vgiw.fabric.phase.fire_ns`).
+    pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
+        let fields: [(&str, u64); 3] = [
+            ("land_ns", self.land_ns),
+            ("inject_ns", self.inject_ns),
+            ("fire_ns", self.fire_ns),
+        ];
+        for (name, v) in fields {
+            out.add_u64(&format!("{prefix}.{name}"), v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -248,6 +248,95 @@ fn channel_recycling_matches_reference_under_skipping() {
 }
 
 #[test]
+fn reconfigure_rebuilds_micro_program() {
+    // Alternating kernels with clashing node shapes (a Load where the
+    // other kernel has pure compute, different latencies, edge tables and
+    // static operands at the same node indices) through ONE fabric must
+    // behave exactly like fresh fabrics: any stale micro-program state —
+    // op tags, CSR edge bounds, needed-port masks, static operands —
+    // surviving a reconfigure would corrupt results or statistics.
+    let grid = GridSpec::paper();
+    let kernels = [copy_kernel(), sqrt_kernel(), branchy_kernel()];
+    let compiled: Vec<CompiledKernel> =
+        kernels.iter().map(|k| compile(k, &grid).unwrap()).collect();
+    let params: [&[Word]; 3] = [
+        &[Word::ZERO, Word::from_u32(512)],
+        &[Word::ZERO],
+        &[Word::ZERO],
+    ];
+    let threads = 256;
+
+    // Fresh-fabric baselines.
+    let baseline: Vec<RunOut> = compiled
+        .iter()
+        .zip(params)
+        .map(|(ck, p)| {
+            run_block(
+                ck,
+                FabricConfig::default(),
+                p,
+                threads,
+                2048,
+                12,
+                false,
+                false,
+            )
+        })
+        .collect();
+
+    // The same sequence, twice over, through one reused fabric.
+    let mut fabric = Fabric::new(grid, FabricConfig::default());
+    for round in 0..2 {
+        for (i, (ck, p)) in compiled.iter().zip(params).enumerate() {
+            let mut env =
+                FixedLatencyEnv::new(MemoryImage::new(2048), ck.num_live_values(), threads, 12);
+            let cb = &ck.blocks[0];
+            let start = fabric.cycle();
+            fabric.reset_stats();
+            fabric
+                .configure(&cb.dfg, &cb.replicas, p)
+                .expect("reconfigure");
+            for tid in 0..threads {
+                fabric.inject(tid);
+            }
+            let mut retired = Vec::new();
+            let mut spin = 0u64;
+            while !fabric.is_drained() {
+                fabric.tick(&mut env);
+                for req in env.tick() {
+                    fabric.on_mem_response(req).expect("paired response");
+                }
+                retired.extend(fabric.drain_retired());
+                spin += 1;
+                assert!(spin < 2_000_000, "fabric failed to drain");
+            }
+            let name = format!("round {round} kernel {i}");
+            assert_eq!(
+                retired, baseline[i].retired,
+                "{name}: retirement stream diverges after reconfigure"
+            );
+            assert_eq!(
+                fabric.cycle() - start,
+                baseline[i].cycles,
+                "{name}: cycle count diverges after reconfigure"
+            );
+            assert_eq!(
+                *fabric.stats(),
+                baseline[i].stats,
+                "{name}: fabric statistics diverge after reconfigure"
+            );
+            for a in 0..2048 {
+                assert_eq!(
+                    baseline[i].mem.read(a),
+                    env.mem.read(a),
+                    "{name}: memory diverges at word {a}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn reconfigure_after_skipped_run_is_clean() {
     // A drained event-driven fabric must leave no residue (wheel slots,
     // in_active flags, busy channels) that a later configure could trip

@@ -58,6 +58,10 @@ pub struct SgmfConfig {
     /// event-driven core (equivalence-tested simulator knob; see
     /// `vgiw_fabric::Fabric::set_reference_tick`).
     pub reference_tick: bool,
+    /// Time the fabric's land/inject/fire phases and export them as
+    /// `sgmf.fabric.phase.*` counters (see `vgiw_core::VgiwConfig`'s
+    /// `time_phases`; pure observer on the simulated machine).
+    pub time_phases: bool,
     /// Robustness layer: watchdog budget and invariant checkers (pure
     /// observers — cycle counts are identical with checks on).
     pub checks: ChecksConfig,
@@ -81,6 +85,7 @@ impl Default for SgmfConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            time_phases: false,
             checks: ChecksConfig::default(),
             fabric_faults: FabricFaults::default(),
             response_faults: ResponseTamper::default(),
@@ -246,6 +251,7 @@ impl SgmfProcessor {
     pub fn new(config: SgmfConfig) -> SgmfProcessor {
         let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
         fabric.set_reference_tick(config.reference_tick);
+        fabric.set_time_phases(config.time_phases);
         let mem = MemSystem::new(vec![config.l1], config.shared);
         SgmfProcessor {
             config,
@@ -428,6 +434,7 @@ impl SgmfProcessor {
     fn reset_machine(&mut self) {
         self.fabric = Fabric::new(self.config.grid.clone(), self.config.fabric);
         self.fabric.set_reference_tick(self.config.reference_tick);
+        self.fabric.set_time_phases(self.config.time_phases);
         self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
         self.mem.set_tracer(self.tracer.clone());
     }
@@ -530,6 +537,13 @@ impl Machine for SgmfProcessor {
             });
         let mut counters = Counters::new();
         stats.export_counters(&mut counters);
+        if self.config.time_phases {
+            // Host wall time per tick phase; only present when the knob is
+            // on, so default-run counter exports stay byte-identical.
+            self.fabric
+                .tick_phases()
+                .export_counters(&mut counters, "sgmf.fabric.phase");
+        }
         counters.add_u64("sgmf.launches", 1);
         counters.add_u64("sgmf.threads", u64::from(launch.num_threads));
         self.accum.merge(&counters);
