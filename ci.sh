@@ -38,7 +38,8 @@ tmp_checked="$(mktemp)"
 tmp_traced="$(mktemp)"
 tmp_trace_json="$(mktemp)"
 tmp_reference="$(mktemp)"
-trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference"' EXIT
+tmp_reference_mem="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference" "$tmp_reference_mem"' EXIT
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
 done > "$tmp"
@@ -68,6 +69,19 @@ for m in vgiw simt sgmf; do
 done > "$tmp_reference"
 diff golden_cycles.txt "$tmp_reference" || {
     echo "ci: reference tick diverges from the micro-program engine" >&2
+    exit 1
+}
+
+echo "==> golden cycle counts on the reference memory path"
+# Same contract for the memory hierarchy: the batch-coalesced zero-copy
+# fast path is the default; the retained per-request reference path is
+# its bit-exactness oracle. Forcing every machine onto it must reproduce
+# the identical golden table.
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" --reference-mem 2>/dev/null
+done > "$tmp_reference_mem"
+diff golden_cycles.txt "$tmp_reference_mem" || {
+    echo "ci: reference memory path diverges from the coalesced fast path" >&2
     exit 1
 }
 

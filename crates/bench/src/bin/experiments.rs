@@ -38,7 +38,11 @@
 //! instead of the event-driven micro-program engine in `--machine` table
 //! mode (no effect on SIMT). The two engines are bit-identical by
 //! construction; ci.sh diffs a forced-reference pass against the same
-//! golden cycle table to keep both green.
+//! golden cycle table to keep both green. `--reference-mem` does the same
+//! for the memory hierarchy: it forces all three machines onto the
+//! retained per-request reference path (buffered response drain, no batch
+//! coalescing) instead of the batch-coalesced zero-copy fast path, and
+//! ci.sh diffs that pass against the same golden table too.
 
 use vgiw_bench::harness::{
     measure_suite_outcomes, run_machine, run_machine_tuned, AppOutcome, AppResult, MachineKind,
@@ -79,6 +83,7 @@ fn main() {
     let mut format: Option<String> = None;
     let mut traced = false;
     let mut reference = false;
+    let mut reference_mem = false;
     let mut checks = ChecksConfig::default();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -93,6 +98,10 @@ fn main() {
         }
         if arg == "--reference" {
             reference = true;
+            continue;
+        }
+        if arg == "--reference-mem" {
+            reference_mem = true;
             continue;
         }
         let mut flag_value = |name: &str| -> Option<String> {
@@ -232,6 +241,7 @@ fn main() {
                 &tracer,
                 MachineTuning {
                     reference_tick: reference,
+                    reference_mem,
                     ..MachineTuning::default()
                 },
             );

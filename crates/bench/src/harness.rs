@@ -57,8 +57,13 @@ pub struct MachineTuning {
     /// Drive the fabric machines with the dense reference tick instead of
     /// the event-driven batch engine (no effect on SIMT).
     pub reference_tick: bool,
-    /// Collect per-phase fabric tick timing, exported as
-    /// `<machine>.fabric.phase.*` counters (no effect on SIMT).
+    /// Drive the memory hierarchies with the retained per-request
+    /// reference path instead of the batch-coalesced zero-copy fast path
+    /// (all three machines).
+    pub reference_mem: bool,
+    /// Collect per-phase fabric tick timing and memory-hierarchy phase
+    /// timing, exported as `<machine>.fabric.phase.*` /
+    /// `<machine>.mem.phase.*` counters.
     pub time_phases: bool,
 }
 
@@ -78,16 +83,20 @@ pub fn new_machine_tuned(
         MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
             checks,
             reference_tick: tuning.reference_tick,
+            reference_mem: tuning.reference_mem,
             time_phases: tuning.time_phases,
             ..VgiwConfig::default()
         })),
         MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
             checks,
+            reference_mem: tuning.reference_mem,
+            time_phases: tuning.time_phases,
             ..SimtConfig::default()
         })),
         MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
             checks,
             reference_tick: tuning.reference_tick,
+            reference_mem: tuning.reference_mem,
             time_phases: tuning.time_phases,
             ..SgmfConfig::default()
         })),

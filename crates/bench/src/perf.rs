@@ -60,11 +60,12 @@ pub fn measure_perf_on(benches: &[vgiw_kernels::Benchmark], scale: u32, jobs: us
         );
     }
 
-    // Third pass, serial, with fabric phase timing on. The `Instant`
-    // reads cost real wall time, so the measured serial/parallel numbers
-    // above come from untimed runs; this pass contributes only the
-    // `<machine>.fabric.phase.*` counters. Phase timing is a pure
-    // observer of the simulated machine, asserted here.
+    // Third pass, serial, with fabric and memory phase timing on. The
+    // `Instant` reads cost real wall time, so the measured
+    // serial/parallel numbers above come from untimed runs; this pass
+    // contributes only the `<machine>.fabric.phase.*` and
+    // `<machine>.mem.phase.*` counters. Phase timing is a pure observer
+    // of the simulated machine, asserted here.
     let (timed_outcomes, timed_apps) = measure_suite_outcomes_tuned(
         benches,
         1,
@@ -85,10 +86,12 @@ pub fn measure_perf_on(benches: &[vgiw_kernels::Benchmark], scale: u32, jobs: us
     for (app, timed) in apps.iter_mut().zip(&timed_apps) {
         for (into, from) in [
             (&mut app.counters.vgiw, &timed.counters.vgiw),
+            (&mut app.counters.simt, &timed.counters.simt),
             (&mut app.counters.sgmf, &timed.counters.sgmf),
         ] {
             for (name, v) in from.iter() {
-                if let (true, CounterValue::U64(v)) = (name.contains(".fabric.phase."), v) {
+                let is_phase = name.contains(".fabric.phase.") || name.contains(".mem.phase.");
+                if let (true, CounterValue::U64(v)) = (is_phase, v) {
                     into.set_u64(name, v);
                 }
             }
@@ -147,6 +150,31 @@ impl SuitePerf {
         found.then_some(total)
     }
 
+    /// Suite-total memory-hierarchy phase times in nanoseconds
+    /// `(intake, probe, fill, deliver)` for `machine`, from the timed
+    /// pass's `<machine>.mem.phase.*` counters. Probe is a subset of
+    /// intake, fill a subset of deliver, so total hierarchy time is
+    /// intake + deliver. `None` when the counters are absent.
+    pub fn mem_phase_ns(&self, machine: &str) -> Option<(u64, u64, u64, u64)> {
+        let mut total = (0u64, 0u64, 0u64, 0u64);
+        for a in &self.apps {
+            let c = match machine {
+                "vgiw" => &a.counters.vgiw,
+                "simt" => &a.counters.simt,
+                "sgmf" => &a.counters.sgmf,
+                _ => return None,
+            };
+            if c.sum_prefix(&format!("{machine}.mem.phase.")) == 0 {
+                continue;
+            }
+            total.0 += c.get_u64(&format!("{machine}.mem.phase.intake_ns"));
+            total.1 += c.get_u64(&format!("{machine}.mem.phase.probe_ns"));
+            total.2 += c.get_u64(&format!("{machine}.mem.phase.fill_ns"));
+            total.3 += c.get_u64(&format!("{machine}.mem.phase.deliver_ns"));
+        }
+        (total.0 + total.3 > 0).then_some(total)
+    }
+
     fn machines(&self) -> impl Iterator<Item = (&'static str, &'static str, MachinePerf)> + '_ {
         self.apps.iter().flat_map(|a| {
             [
@@ -191,6 +219,20 @@ impl SuitePerf {
                     land as f64 * 100.0 / total as f64,
                     inject as f64 * 100.0 / total as f64,
                     fire as f64 * 100.0 / total as f64,
+                    total as f64 / 1e9,
+                ));
+            }
+        }
+        for machine in ["vgiw", "simt", "sgmf"] {
+            if let Some((intake, probe, fill, deliver)) = self.mem_phase_ns(machine) {
+                let total = (intake + deliver).max(1);
+                out.push_str(&format!(
+                    "  {machine} mem breakdown   intake {:.1}% (probe {:.1}%)  \
+                     deliver {:.1}% (fill {:.1}%)  (timed pass, {:.3}s in hierarchy)\n",
+                    intake as f64 * 100.0 / total as f64,
+                    probe as f64 * 100.0 / total as f64,
+                    deliver as f64 * 100.0 / total as f64,
+                    fill as f64 * 100.0 / total as f64,
                     total as f64 / 1e9,
                 ));
             }
@@ -349,6 +391,22 @@ mod tests {
         let s = sample().summary();
         assert!(s.contains("compile 0.500s"), "{s}");
         assert!(s.contains("speedup 4.00x"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_mem_phases() {
+        let mut p = sample();
+        let c = &mut p.apps[0].counters.vgiw;
+        c.add_u64("vgiw.mem.phase.intake_ns", 600);
+        c.add_u64("vgiw.mem.phase.probe_ns", 150);
+        c.add_u64("vgiw.mem.phase.fill_ns", 100);
+        c.add_u64("vgiw.mem.phase.deliver_ns", 400);
+        assert_eq!(p.mem_phase_ns("vgiw"), Some((600, 150, 100, 400)));
+        assert_eq!(p.mem_phase_ns("simt"), None);
+        let s = p.summary();
+        assert!(s.contains("vgiw mem breakdown"), "{s}");
+        assert!(s.contains("intake 60.0% (probe 15.0%)"), "{s}");
+        assert!(s.contains("deliver 40.0% (fill 10.0%)"), "{s}");
     }
 
     #[test]

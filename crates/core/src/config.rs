@@ -75,11 +75,20 @@ pub struct VgiwConfig {
     /// counts and statistics. Exists for regression testing and as an
     /// executable specification of the timing model.
     pub reference_tick: bool,
-    /// Time the fabric's land/inject/fire phases with host-clock reads and
-    /// export them as `vgiw.fabric.phase.*` counters. A pure observer on
-    /// the simulated machine (cycle counts are bit-identical), but the
-    /// `Instant::now` pairs cost real wall time, so measured perf runs
-    /// keep it off and take a separate timing pass.
+    /// Drive the memory hierarchy with the retained per-request reference
+    /// path (buffered response drain, no batch coalescing or way hints)
+    /// instead of the batch-coalesced zero-copy fast path. Like
+    /// [`reference_tick`](Self::reference_tick), a pure simulator knob:
+    /// the two paths are equivalence-tested to produce identical response
+    /// order, cycle counts and statistics.
+    pub reference_mem: bool,
+    /// Time the fabric's land/inject/fire phases and the memory
+    /// hierarchy's intake/probe/fill/deliver phases with host-clock reads
+    /// and export them as `vgiw.fabric.phase.*` / `vgiw.mem.phase.*`
+    /// counters. A pure observer on the simulated machine (cycle counts
+    /// are bit-identical), but the `Instant::now` pairs cost real wall
+    /// time, so measured perf runs keep it off and take a separate timing
+    /// pass.
     pub time_phases: bool,
     /// Robustness layer: watchdog budget and invariant checkers. The
     /// watchdog and checkers are pure observers — enabling them leaves
@@ -105,6 +114,7 @@ impl Default for VgiwConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            reference_mem: false,
             time_phases: false,
             checks: ChecksConfig::default(),
             faults: CoreFaults::default(),

@@ -20,7 +20,7 @@ use std::fmt;
 use vgiw_compiler::{compile, CompileError, CompiledKernel};
 use vgiw_fabric::{ConfigError, Fabric, FabricEnv, MemReqId, Retired};
 use vgiw_ir::{BlockId, Kernel, Launch, MemoryImage, Word};
-use vgiw_mem::MemSystem;
+use vgiw_mem::{MemDrain, MemSystem};
 use vgiw_robust::{
     DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
 };
@@ -246,7 +246,9 @@ impl VgiwProcessor {
         let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
         fabric.set_reference_tick(config.reference_tick);
         fabric.set_time_phases(config.time_phases);
-        let mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
+        let mut mem = MemSystem::new(vec![config.l1, config.lvc], config.shared);
+        mem.set_reference(config.reference_mem);
+        mem.set_time_phases(config.time_phases);
         VgiwProcessor {
             config,
             fabric,
@@ -346,7 +348,7 @@ impl VgiwProcessor {
             checks.watchdog_budget,
             self.fabric.cycle(),
         );
-        let mut tamper = self.config.faults.responses;
+        let mut drain = MemDrain::new(self.config.faults.responses);
         let flip_fault = self.config.faults.flip_cvt_bit;
         self.fabric.set_faults(self.config.faults.fabric);
         let mut exec_count: u64 = 0;
@@ -357,7 +359,6 @@ impl VgiwProcessor {
 
         // Per-cycle drain buffers and the per-terminator batch packers,
         // recycled across the whole run.
-        let mut resp_buf: Vec<MemReqId> = Vec::new();
         let mut retire_buf: Vec<Retired> = Vec::new();
         // Ordered map: the end-of-block flush iterates it, and flush order
         // must be deterministic for trace reproducibility.
@@ -464,21 +465,24 @@ impl VgiwProcessor {
                         };
                         self.fabric.tick(&mut env);
                     }
-                    self.mem.tick();
-                    self.mem.drain_responses_into(&mut resp_buf);
-                    tamper.apply(&mut resp_buf);
-                    progressed |= !resp_buf.is_empty();
-                    if self.tracer.enabled() {
-                        let now = self.fabric.cycle();
-                        for &id in &resp_buf {
-                            self.tracer.emit(now, || TraceEvent::MemResponse { id });
+                    // Tick the hierarchy and route completions into the
+                    // fabric: zero-copy streaming on the fast path, the
+                    // buffered queue round-trip under `reference_mem`.
+                    let trace_cycle = self.fabric.cycle();
+                    let fabric = &mut self.fabric;
+                    match drain.cycle(
+                        &mut self.mem,
+                        &self.tracer,
+                        trace_cycle,
+                        self.config.reference_mem,
+                        |id| fabric.on_mem_response(id),
+                    ) {
+                        Ok(n) => progressed |= n > 0,
+                        Err(v) => {
+                            self.reset_machine();
+                            return Err(VgiwError::Invariant(v.on("vgiw")));
                         }
                     }
-                    if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
-                        self.reset_machine();
-                        return Err(VgiwError::Invariant(v.on("vgiw")));
-                    }
-                    resp_buf.clear();
                     self.fabric.drain_retired_into(&mut retire_buf);
                     progressed |= !retire_buf.is_empty();
                     for r in retire_buf.drain(..) {
@@ -599,6 +603,8 @@ impl VgiwProcessor {
         self.fabric.set_reference_tick(self.config.reference_tick);
         self.fabric.set_time_phases(self.config.time_phases);
         self.mem = MemSystem::new(vec![self.config.l1, self.config.lvc], self.config.shared);
+        self.mem.set_reference(self.config.reference_mem);
+        self.mem.set_time_phases(self.config.time_phases);
         self.mem.set_tracer(self.tracer.clone());
     }
 
@@ -717,6 +723,7 @@ impl Machine for VgiwProcessor {
         // Take the compiled kernel out for the duration of the run: it
         // cannot stay borrowed across `&mut self`.
         let compiled = self.compiled.remove(&kernel.name).expect("prepared above");
+        let phases_before = *self.mem.phases();
         let result = self.run_compiled(&compiled, launch, mem);
         self.compiled.insert(kernel.name.clone(), compiled);
         let stats = result.map_err(|e| {
@@ -738,6 +745,10 @@ impl Machine for VgiwProcessor {
             self.fabric
                 .tick_phases()
                 .export_counters(&mut counters, "vgiw.fabric.phase");
+            self.mem
+                .phases()
+                .delta_since(&phases_before)
+                .export_counters(&mut counters, "vgiw.mem.phase");
         }
         counters.add_u64("vgiw.launches", 1);
         counters.add_u64("vgiw.threads", launch.num_threads as u64);

@@ -1045,6 +1045,12 @@ impl Fabric {
     /// request's delivery targets a few responses ahead (response bursts
     /// write consumer entries scattered across the buffer arena).
     ///
+    /// The machines' run loops now stream completions one at a time into
+    /// [`Fabric::on_mem_response`] via `vgiw_mem::MemDrain` (zero-copy
+    /// delivery, no response queue to batch over); this slice entry point
+    /// remains for callers that still hold a drained buffer and for the
+    /// lookahead prefetch it offers them.
+    ///
     /// # Errors
     /// Propagates the first pairing violation from
     /// [`Fabric::on_mem_response`]; remaining responses are not applied.

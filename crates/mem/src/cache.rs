@@ -75,22 +75,72 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    line: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
+/// Packed per-way record: `line << 2 | dirty << 1 | valid`.
+///
+/// Tag matching compares the whole word against `line << 2 | VALID` masked
+/// by `!DIRTY`, so a probe is one load + one compare per way with no
+/// branching on separate `valid`/`dirty` flags. Line indices are byte
+/// addresses divided by the line size, so 62 bits are ample.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct LineMeta(u64);
+
+impl LineMeta {
+    const VALID: u64 = 1;
+    const DIRTY: u64 = 2;
+    const EMPTY: LineMeta = LineMeta(0);
+
+    #[inline]
+    fn new(line: u64, dirty: bool) -> LineMeta {
+        LineMeta(line << 2 | u64::from(dirty) << 1 | Self::VALID)
+    }
+
+    /// The packed value a valid, clean entry for `line` would hold; a way
+    /// matches `line` iff `self.0 & !DIRTY == key`.
+    #[inline]
+    fn key(line: u64) -> u64 {
+        line << 2 | Self::VALID
+    }
+
+    #[inline]
+    fn matches(self, key: u64) -> bool {
+        self.0 & !Self::DIRTY == key
+    }
+
+    #[inline]
+    fn valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    #[inline]
+    fn line(self) -> u64 {
+        self.0 >> 2
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self) {
+        self.0 |= Self::DIRTY;
+    }
 }
 
 /// One bank's tag array: set-associative, true-LRU.
 ///
-/// Ways are stored in one flat vector (`set * ways + way`) and the set
-/// index uses precomputed shift/mask when the geometry is a power of two,
-/// keeping the per-access lookup free of pointer chasing and division.
+/// State is structure-of-arrays: a dense column of packed [`LineMeta`]
+/// records (tag + valid + dirty in one 8-byte word) and a parallel LRU
+/// column, both flat (`set * ways + way`). The set index uses precomputed
+/// shift/mask when the geometry is a power of two, keeping the per-access
+/// lookup free of pointer chasing and division, and a tag scan touches 8
+/// bytes per way instead of a 32-byte AoS record. A one-entry way
+/// prediction hint remembers the last way this bank hit or filled;
+/// [`CacheArray::probe_way_hinted`] checks it before scanning the set.
 #[derive(Clone, Debug)]
 pub struct CacheArray {
-    ways: Vec<Way>,
+    meta: Vec<LineMeta>,
+    lru: Vec<u64>,
     ways_per_set: u32,
     num_sets: u32,
     bank_stride: u32,
@@ -99,6 +149,11 @@ pub struct CacheArray {
     /// back to div/mod).
     pow2: Option<(u32, u64)>,
     tick: u64,
+    /// Way-prediction hint: flat index of the most recent hit or fill.
+    /// Purely an accelerator — if `meta[hint]` matches the probed line the
+    /// match is genuine (a line lives in exactly one way of one set), and
+    /// a stale hint only costs the ordinary set scan.
+    hint: u32,
 }
 
 impl CacheArray {
@@ -116,21 +171,16 @@ impl CacheArray {
         assert!(bank_stride > 0, "bank stride must be positive");
         let pow2 = (bank_stride.is_power_of_two() && num_sets.is_power_of_two())
             .then(|| (bank_stride.trailing_zeros(), num_sets as u64 - 1));
+        let entries = num_sets as usize * ways as usize;
         CacheArray {
-            ways: vec![
-                Way {
-                    line: 0,
-                    valid: false,
-                    dirty: false,
-                    lru: 0
-                };
-                num_sets as usize * ways as usize
-            ],
+            meta: vec![LineMeta::EMPTY; entries],
+            lru: vec![0; entries],
             ways_per_set: ways,
             num_sets,
             bank_stride,
             pow2,
             tick: 0,
+            hint: 0,
         }
     }
 
@@ -151,19 +201,16 @@ impl CacheArray {
     /// Looks up a line; on hit, updates LRU and (if `mark_dirty`) the dirty
     /// bit. Returns whether the line was present.
     pub fn access(&mut self, line: u64, mark_dirty: bool) -> bool {
-        self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.line == line {
-                way.lru = tick;
-                if mark_dirty {
-                    way.dirty = true;
-                }
-                return true;
+        match self.probe_way(line) {
+            Some(way) => {
+                self.touch_way(line, way, mark_dirty);
+                true
+            }
+            None => {
+                self.tick += 1;
+                false
             }
         }
-        false
     }
 
     /// Checks presence without touching LRU or dirty state.
@@ -176,12 +223,33 @@ impl CacheArray {
     /// the tag scan.
     #[inline]
     pub fn probe_way(&self, line: u64) -> Option<u32> {
+        let key = LineMeta::key(line);
         let range = self.set_range(line);
         let start = range.start;
-        self.ways[range]
+        self.meta[range]
             .iter()
-            .position(|w| w.valid && w.line == line)
+            .position(|m| m.matches(key))
             .map(|i| (start + i) as u32)
+    }
+
+    /// [`CacheArray::probe_way`] with the one-entry way-prediction hint
+    /// checked first: streaming kernels re-touch the same line for every
+    /// word, so most probes resolve on a single compare. Falls back to the
+    /// full set scan (which also retrains the hint) on a hint miss.
+    #[inline]
+    pub fn probe_way_hinted(&mut self, line: u64) -> Option<u32> {
+        let key = LineMeta::key(line);
+        let hint = self.hint as usize;
+        if let Some(m) = self.meta.get(hint) {
+            if m.matches(key) {
+                return Some(self.hint);
+            }
+        }
+        let way = self.probe_way(line);
+        if let Some(w) = way {
+            self.hint = w;
+        }
+        way
     }
 
     /// Completes a hit found by [`CacheArray::probe_way`]: updates LRU and
@@ -194,12 +262,13 @@ impl CacheArray {
     #[inline]
     pub fn touch_way(&mut self, line: u64, way: u32, mark_dirty: bool) {
         self.tick += 1;
-        let w = &mut self.ways[way as usize];
-        debug_assert!(w.valid && w.line == line, "touch_way on a stale probe");
-        w.lru = self.tick;
+        let m = &mut self.meta[way as usize];
+        debug_assert!(m.matches(LineMeta::key(line)), "touch_way on a stale probe");
         if mark_dirty {
-            w.dirty = true;
+            m.mark_dirty();
         }
+        self.lru[way as usize] = self.tick;
+        self.hint = way;
     }
 
     /// Installs a line (after a miss), evicting the LRU victim if the set is
@@ -207,52 +276,51 @@ impl CacheArray {
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
         self.tick += 1;
         let tick = self.tick;
+        let key = LineMeta::key(line);
         let range = self.set_range(line);
-        let set = &mut self.ways[range];
+        let start = range.start;
         // If the line is somehow already present (e.g. a racing fill), just
         // refresh it.
-        for way in set.iter_mut() {
-            if way.valid && way.line == line {
-                way.lru = tick;
-                way.dirty |= dirty;
+        for (i, m) in self.meta[range.clone()].iter_mut().enumerate() {
+            if m.matches(key) {
+                if dirty {
+                    m.mark_dirty();
+                }
+                self.lru[start + i] = tick;
+                self.hint = (start + i) as u32;
                 return None;
             }
         }
         // Prefer an invalid way.
-        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
-            *way = Way {
-                line,
-                valid: true,
-                dirty,
-                lru: tick,
-            };
+        if let Some(i) = self.meta[range.clone()].iter().position(|m| !m.valid()) {
+            self.meta[start + i] = LineMeta::new(line, dirty);
+            self.lru[start + i] = tick;
+            self.hint = (start + i) as u32;
             return None;
         }
         // Evict LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
+        let victim = range
+            .min_by_key(|&i| self.lru[i])
             .expect("sets are never empty");
         let evicted = Eviction {
-            line: victim.line,
-            dirty: victim.dirty,
+            line: self.meta[victim].line(),
+            dirty: self.meta[victim].dirty(),
         };
-        *victim = Way {
-            line,
-            valid: true,
-            dirty,
-            lru: tick,
-        };
+        self.meta[victim] = LineMeta::new(line, dirty);
+        self.lru[victim] = tick;
+        self.hint = victim as u32;
         Some(evicted)
     }
 
     /// Invalidates a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let key = LineMeta::key(line);
         let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.line == line {
-                way.valid = false;
-                return Some(way.dirty);
+        for m in &mut self.meta[range] {
+            if m.matches(key) {
+                let dirty = m.dirty();
+                *m = LineMeta::EMPTY;
+                return Some(dirty);
             }
         }
         None
@@ -346,5 +414,34 @@ mod tests {
     #[should_panic(expected = "sets and ways")]
     fn zero_geometry_panics() {
         let _ = CacheArray::new(0, 1, 1);
+    }
+
+    #[test]
+    fn hinted_probe_agrees_with_probe_way() {
+        let mut c = CacheArray::new(4, 2, 1);
+        // Hint starts stale (slot 0 is empty); a hinted probe of an absent
+        // line must miss, not false-positive.
+        assert_eq!(c.probe_way_hinted(10), None);
+        c.fill(10, false);
+        c.fill(14, false); // same set as 10 (4 sets): way 1
+        for line in [10u64, 14, 11, 10, 14, 2, 10] {
+            assert_eq!(c.probe_way_hinted(line), c.probe_way(line), "line {line}");
+        }
+        // After an invalidate, the (now stale) hint must not resurrect the
+        // line: the packed meta word is zeroed, so the key compare fails.
+        let way = c.probe_way(10).unwrap();
+        c.touch_way(10, way, false); // train the hint on line 10
+        c.invalidate(10);
+        assert_eq!(c.probe_way_hinted(10), None);
+    }
+
+    #[test]
+    fn packed_meta_roundtrip() {
+        let m = LineMeta::new(0x1234_5678, true);
+        assert!(m.valid() && m.dirty());
+        assert_eq!(m.line(), 0x1234_5678);
+        assert!(m.matches(LineMeta::key(0x1234_5678)));
+        assert!(!m.matches(LineMeta::key(0x1234_5679)));
+        assert!(!LineMeta::EMPTY.matches(LineMeta::key(0)));
     }
 }

@@ -1,0 +1,228 @@
+//! The shared per-cycle memory response drain.
+//!
+//! Before this module existed, VGIW, SGMF and SIMT each carried the same
+//! boilerplate in their run loops: tick the hierarchy, drain the response
+//! queue into a scratch vector, apply the [`ResponseTamper`] fault plan,
+//! emit `MemResponse` trace events, then hand each id to the machine's
+//! completion handler. [`MemDrain`] centralizes that sequence and, on the
+//! fast path, removes the queue round-trip entirely: responses are
+//! delivered zero-copy through [`MemSystem::tick_deliver`]
+//! straight into the machine's completion closure, with tampering and
+//! tracing applied per delivery in stream order.
+
+use crate::{Delivery, MemSystem, ReqId, ResponseSink};
+use vgiw_robust::ResponseTamper;
+use vgiw_trace::{TraceEvent, Tracer};
+
+/// Drives one memory-hierarchy cycle and routes completed requests into a
+/// machine's completion handler, deduplicating the per-machine drain
+/// boilerplate (tick → drain → tamper → trace → deliver).
+///
+/// Two modes, chosen per call:
+/// * **zero-copy** (`reference = false`): [`MemSystem::tick_deliver`]
+///   pushes each completion straight into the closure; the tamper plan is
+///   applied in streaming form ([`ResponseTamper::copies_for_next`]).
+/// * **buffered** (`reference = true`): the historical queue round-trip —
+///   tick, drain into an internal buffer, [`ResponseTamper::apply`], then
+///   replay. Kept as the oracle behind the `reference_mem` knob.
+///
+/// Both modes deliver the same responses in the same order, emit the same
+/// trace events, and stop delivering at the first handler error (the
+/// machine is about to reset; remaining completions die with it).
+pub struct MemDrain {
+    tamper: ResponseTamper,
+    buf: Vec<ReqId>,
+}
+
+struct Sink<'a, E, F: FnMut(ReqId) -> Result<(), E>> {
+    tamper: &'a mut ResponseTamper,
+    tracer: &'a Tracer,
+    trace_cycle: u64,
+    deliver: F,
+    delivered: usize,
+    err: Option<E>,
+}
+
+impl<E, F: FnMut(ReqId) -> Result<(), E>> ResponseSink for Sink<'_, E, F> {
+    fn deliver(&mut self, d: Delivery) {
+        if self.err.is_some() {
+            // A violation is already latched; the machine will reset.
+            return;
+        }
+        for _ in 0..self.tamper.copies_for_next() {
+            self.delivered += 1;
+            self.tracer
+                .emit(self.trace_cycle, || TraceEvent::MemResponse { id: d.id });
+            if let Err(e) = (self.deliver)(d.id) {
+                self.err = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+impl MemDrain {
+    /// Creates a drain with the given fault plan (use
+    /// `ResponseTamper::default()` for none).
+    pub fn new(tamper: ResponseTamper) -> MemDrain {
+        MemDrain {
+            tamper,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Ticks `mem` one cycle and feeds every completed request id to
+    /// `deliver`, in completion order. `trace_cycle` stamps the
+    /// `MemResponse` trace events (machines pass their own clock, which
+    /// the hierarchy tick does not advance). Returns how many responses
+    /// were delivered (after tampering — the machine's progress signal),
+    /// or the first error `deliver` produced, after which no further
+    /// responses are handed out.
+    pub fn cycle<E>(
+        &mut self,
+        mem: &mut MemSystem,
+        tracer: &Tracer,
+        trace_cycle: u64,
+        reference: bool,
+        deliver: impl FnMut(ReqId) -> Result<(), E>,
+    ) -> Result<usize, E> {
+        if reference {
+            self.cycle_buffered(mem, tracer, trace_cycle, deliver)
+        } else {
+            let mut sink = Sink {
+                tamper: &mut self.tamper,
+                tracer,
+                trace_cycle,
+                deliver,
+                delivered: 0,
+                err: None,
+            };
+            mem.tick_deliver(&mut sink);
+            match sink.err {
+                Some(e) => Err(e),
+                None => Ok(sink.delivered),
+            }
+        }
+    }
+
+    fn cycle_buffered<E>(
+        &mut self,
+        mem: &mut MemSystem,
+        tracer: &Tracer,
+        trace_cycle: u64,
+        mut deliver: impl FnMut(ReqId) -> Result<(), E>,
+    ) -> Result<usize, E> {
+        mem.tick();
+        mem.drain_responses_into(&mut self.buf);
+        self.tamper.apply(&mut self.buf);
+        if tracer.enabled() {
+            for &id in &self.buf {
+                tracer.emit(trace_cycle, || TraceEvent::MemResponse { id });
+            }
+        }
+        let n = self.buf.len();
+        for i in 0..n {
+            let id = self.buf[i];
+            if let Err(e) = deliver(id) {
+                self.buf.clear();
+                return Err(e);
+            }
+        }
+        self.buf.clear();
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{L1Config, SharedConfig};
+
+    fn mem() -> MemSystem {
+        MemSystem::new(vec![L1Config::vgiw_l1()], SharedConfig::fermi_like())
+    }
+
+    /// Runs the same request schedule through a zero-copy drain and a
+    /// buffered (reference) drain with identical tamper plans; the
+    /// delivered streams must match per cycle.
+    fn assert_modes_agree(tamper: ResponseTamper) {
+        let mut fast_mem = mem();
+        let mut ref_mem = mem();
+        ref_mem.set_reference(true);
+        let mut fast_drain = MemDrain::new(tamper);
+        let mut ref_drain = MemDrain::new(tamper);
+        let tracer = Tracer::off();
+        let mut next_id = 0u64;
+        for cycle in 0..600u64 {
+            if cycle % 3 == 0 {
+                let addr = (cycle % 97) as u32 * 3;
+                let store = cycle % 5 == 0;
+                let a = fast_mem.access(0, addr, store, next_id);
+                let b = ref_mem.access(0, addr, store, next_id);
+                assert_eq!(a, b);
+                next_id += 1;
+            }
+            let mut fast_seen = Vec::new();
+            let mut ref_seen = Vec::new();
+            let nf: Result<usize, ()> =
+                fast_drain.cycle(&mut fast_mem, &tracer, cycle, false, |id| {
+                    fast_seen.push(id);
+                    Ok(())
+                });
+            let nr: Result<usize, ()> = ref_drain.cycle(&mut ref_mem, &tracer, cycle, true, |id| {
+                ref_seen.push(id);
+                Ok(())
+            });
+            assert_eq!(fast_seen, ref_seen, "cycle {cycle}");
+            assert_eq!(nf, nr, "cycle {cycle}");
+            assert_eq!(nf.unwrap(), fast_seen.len());
+        }
+    }
+
+    #[test]
+    fn zero_copy_drain_matches_buffered() {
+        assert_modes_agree(ResponseTamper::default());
+    }
+
+    #[test]
+    fn tamper_plans_stream_identically() {
+        assert_modes_agree(ResponseTamper::drop(5));
+        assert_modes_agree(ResponseTamper::duplicate(0));
+        assert_modes_agree(ResponseTamper::duplicate(17));
+    }
+
+    #[test]
+    fn first_error_stops_delivery() {
+        let mut m = mem();
+        // Three same-line loads complete on the same cycle.
+        assert!(m.access(0, 0, false, 1));
+        assert!(m.access(0, 1, false, 2));
+        assert!(m.access(0, 2, false, 3));
+        let mut drain = MemDrain::new(ResponseTamper::default());
+        let tracer = Tracer::off();
+        let mut seen = Vec::new();
+        loop {
+            let r = drain.cycle(&mut m, &tracer, 0, false, |id| {
+                seen.push(id);
+                if id == 2 {
+                    Err("boom")
+                } else {
+                    Ok(())
+                }
+            });
+            match r {
+                Ok(_) if !m.is_idle() => continue,
+                Ok(_) => panic!("error should have surfaced"),
+                Err(e) => {
+                    assert_eq!(e, "boom");
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![1, 2],
+            "id 3 must not be delivered after the error"
+        );
+    }
+}

@@ -5,19 +5,41 @@
 //! (threads in the evaluated kernels are data-parallel, so there are no
 //! intra-launch read-after-write dependencies between threads to order).
 //!
-//! Requests are accepted through [`MemSystem::access`] and complete through
-//! [`MemSystem::drain_responses`] after a latency that accumulates port
-//! contention, MSHR behaviour, L2 bank contention and DRAM channel/bank
-//! occupancy. Contention is modelled with busy-until counters, which is
-//! exact for in-order per-bank service.
+//! Requests are accepted through [`MemSystem::access`] (or a whole cycle's
+//! worth at once through [`MemSystem::access_batch`]) and complete through
+//! [`MemSystem::drain_responses`] — or, on the zero-copy path, directly
+//! into the client via [`MemSystem::tick_deliver`] — after a latency that
+//! accumulates port contention, MSHR behaviour, L2 bank contention and
+//! DRAM channel/bank occupancy. Contention is modelled with busy-until
+//! counters, which is exact for in-order per-bank service.
 //!
 //! Two L1-level *ports* can be attached: the data L1 and (for VGIW) the
 //! live value cache, both backed by the same L2, as in the paper (§3.4).
+//!
+//! # Fast path vs. reference path
+//!
+//! Request acceptance has two implementations that are bit-identical in
+//! everything observable (acceptance, response timing and order, all
+//! statistics):
+//!
+//! * the **fast path** (default) checks the bank's MSHRs *before* the tag
+//!   scan — sound because an MSHR for a line exists only while that line
+//!   is absent from the array (an MSHR is allocated only on a probe miss,
+//!   and the fill pops it before installing the line), so an MSHR hit
+//!   proves the probe would have missed. Secondary misses therefore skip
+//!   the tag scan entirely, and hits resolve through the bank's one-entry
+//!   way-prediction hint. Batches additionally memoize one probe per
+//!   distinct line (see [`MemSystem::access_batch`]).
+//! * the **reference path** (enabled by [`MemSystem::set_reference`]) is
+//!   the original probe-first per-request interpreter, kept as the
+//!   equivalence oracle; `mem/tests/reference_equivalence.rs` and ci.sh's
+//!   `--reference-mem` golden pass hold the two together.
 
 use crate::cache::{CacheArray, CacheGeometry};
-use crate::stats::MemStats;
+use crate::stats::{MemPhases, MemStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 use vgiw_trace::{TraceEvent, Tracer};
 
 /// Length of the event timing wheel (a power of two). Events within one
@@ -27,6 +49,11 @@ use vgiw_trace::{TraceEvent, Tracer};
 /// and are popped directly when due.
 const EVENT_WHEEL: usize = 256;
 const EVENT_WHEEL_MASK: u64 = EVENT_WHEEL as u64 - 1;
+
+/// Minimum batch size for the coalesced replay in
+/// [`MemSystem::access_batch`]; smaller (or fully-distinct) batches take
+/// the direct per-request loop, whose overhead is already minimal.
+const COALESCE_MIN_BATCH: usize = 4;
 
 /// Write policy of an L1-level cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -171,6 +198,46 @@ pub type PortId = usize;
 /// Caller-chosen request identifier, echoed back on completion.
 pub type ReqId = u64;
 
+/// One request of a bulk-intake batch (see [`MemSystem::access_batch`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BatchReq {
+    /// 32-bit word address.
+    pub addr_words: u32,
+    /// Whether the request is a store.
+    pub is_store: bool,
+    /// Caller-chosen identifier, echoed back on completion.
+    pub id: ReqId,
+}
+
+/// A completed request as handed to a [`ResponseSink`] by
+/// [`MemSystem::tick_deliver`]: the delivery descriptor carries the
+/// arrival cycle and the within-cycle write sequence so the client can
+/// place the completion directly into its own buffers (token arena, LVC
+/// scoreboard) without the response round-tripping through a queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Delivery {
+    /// The request identifier passed to `access`/`access_batch`.
+    pub id: ReqId,
+    /// Core cycle the response arrives (the cycle being ticked).
+    pub cycle: u64,
+    /// Position of this delivery within its cycle (0-based, dispatch
+    /// order — identical to the order `drain_responses` would return).
+    pub seq: u32,
+}
+
+/// Client-side receiver for zero-copy response delivery (see
+/// [`MemSystem::tick_deliver`]).
+pub trait ResponseSink {
+    /// Called once per completed request, in dispatch order.
+    fn deliver(&mut self, delivery: Delivery);
+}
+
+impl ResponseSink for Vec<Delivery> {
+    fn deliver(&mut self, delivery: Delivery) {
+        self.push(delivery);
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum Event {
     /// Deliver a completed request to the client.
@@ -184,6 +251,27 @@ struct Mshr {
     waiters: Vec<ReqId>,
     /// Whether any waiting request is a store (the filled line starts dirty).
     dirty: bool,
+}
+
+impl Mshr {
+    /// The always-on half of the memory-pairing checker, extended to
+    /// merged transactions: a request id must not be merged into a line it
+    /// is already waiting on (that would be a double issue, and the client
+    /// would later see a response for an id it no longer tracks). O(1) on
+    /// the hot path — merges are FIFO, so a duplicate issued back-to-back
+    /// is caught by the tail check; debug builds scan the whole list.
+    fn check_merge(&self, id: ReqId) {
+        assert!(
+            self.waiters.last() != Some(&id),
+            "memory pairing: request {id} double-issued into in-flight line {:#x}",
+            self.line
+        );
+        debug_assert!(
+            !self.waiters.contains(&id),
+            "memory pairing: request {id} already waits on line {:#x}",
+            self.line
+        );
+    }
 }
 
 struct L1Bank {
@@ -217,6 +305,64 @@ struct L2Bank {
 struct DramChannel {
     bus_busy_until: u64,
     bank_busy_until: Vec<u64>,
+}
+
+/// Reusable scratch for [`MemSystem::access_batch`]; allocation-free in
+/// steady state.
+#[derive(Default)]
+struct BatchScratch {
+    /// Per-request line index.
+    lines: Vec<u64>,
+    /// Per-request group index (into `group_lines`).
+    group_of: Vec<u32>,
+    /// Distinct lines in first-appearance order.
+    group_lines: Vec<u64>,
+    /// Open-addressed slot table for the grouping pass (`group + 1`;
+    /// 0 = empty).
+    table: Vec<u32>,
+    /// Per-group memoized probe result for the coalesced replay.
+    probe_memo: Vec<Option<Option<u32>>>,
+}
+
+/// Groups a batch's line addresses by value, preserving first-appearance
+/// (FIFO) order. A radix-style single pass buckets each line by its low
+/// bits into a power-of-two slot table (linear probing on collisions —
+/// same-cycle lines are usually near-consecutive, so the low bits are
+/// well spread). On return `group_lines` holds the distinct lines in the
+/// order they first appeared and `group_of[i]` is request `i`'s index
+/// into it; the distinct count is returned.
+fn radix_group(
+    lines: &[u64],
+    group_of: &mut Vec<u32>,
+    group_lines: &mut Vec<u64>,
+    table: &mut Vec<u32>,
+) -> usize {
+    group_of.clear();
+    group_lines.clear();
+    let cap = (lines.len() * 2).next_power_of_two().max(8);
+    table.clear();
+    table.resize(cap, 0);
+    let mask = cap - 1;
+    for &line in lines {
+        let mut slot = line as usize & mask;
+        loop {
+            match table[slot] {
+                0 => {
+                    let g = group_lines.len() as u32;
+                    table[slot] = g + 1;
+                    group_lines.push(line);
+                    group_of.push(g);
+                    break;
+                }
+                e if group_lines[(e - 1) as usize] == line => {
+                    group_of.push(e - 1);
+                    break;
+                }
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+    group_lines.len()
 }
 
 /// The banked, cycle-stepped memory hierarchy.
@@ -254,6 +400,13 @@ pub struct MemSystem {
     responses: Vec<ReqId>,
     stats: MemStats,
     tracer: Tracer,
+    /// Use the dense probe-first reference path (the equivalence oracle)
+    /// instead of the merge-before-probe fast path.
+    reference: bool,
+    /// Accumulate wall-clock phase timings (pure observer).
+    time_phases: bool,
+    phases: MemPhases,
+    scratch: BatchScratch,
 }
 
 impl MemSystem {
@@ -307,6 +460,10 @@ impl MemSystem {
             responses: Vec::new(),
             stats: MemStats::new(ports.len()),
             tracer: Tracer::off(),
+            reference: false,
+            time_phases: false,
+            phases: MemPhases::default(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -317,6 +474,26 @@ impl MemSystem {
         self.tracer = tracer;
     }
 
+    /// Forces the dense probe-first reference path (the equivalence
+    /// oracle) instead of the merge-before-probe fast path. Everything
+    /// observable — acceptance, response order and timing, statistics —
+    /// is bit-identical either way.
+    pub fn set_reference(&mut self, reference: bool) {
+        self.reference = reference;
+    }
+
+    /// Enables wall-clock phase accounting (see [`MemSystem::phases`]).
+    /// Pure observer: simulated behaviour is unaffected.
+    pub fn set_time_phases(&mut self, on: bool) {
+        self.time_phases = on;
+    }
+
+    /// Accumulated host-side phase timings (all zero unless
+    /// [`MemSystem::set_time_phases`] enabled them).
+    pub fn phases(&self) -> &MemPhases {
+        &self.phases
+    }
+
     /// Current core cycle.
     pub fn now(&self) -> u64 {
         self.now
@@ -325,6 +502,16 @@ impl MemSystem {
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    #[inline]
+    fn clock(&self) -> Option<Instant> {
+        self.time_phases.then(Instant::now)
+    }
+
+    #[inline]
+    fn elapsed(since: Option<Instant>) -> u64 {
+        since.map_or(0, |t| t.elapsed().as_nanos() as u64)
     }
 
     fn schedule(&mut self, time: u64, event: Event) {
@@ -346,18 +533,242 @@ impl MemSystem {
     /// the caller should retry on a later cycle.
     ///
     /// On acceptance, `id` will eventually appear in
-    /// [`MemSystem::drain_responses`] — for stores too (VGIW store
-    /// completions feed join-token ordering).
+    /// [`MemSystem::drain_responses`] (or be pushed into the
+    /// [`ResponseSink`] of [`MemSystem::tick_deliver`]) — for stores too
+    /// (VGIW store completions feed join-token ordering).
     pub fn access(&mut self, port: PortId, addr_words: u32, is_store: bool, id: ReqId) -> bool {
+        let t0 = self.clock();
+        let accepted = if self.reference {
+            self.access_reference(port, addr_words, is_store, id)
+        } else {
+            self.access_fast(port, addr_words, is_store, id, None)
+        };
+        self.phases.intake_ns += Self::elapsed(t0);
+        accepted
+    }
+
+    /// Submits one cycle's requests for `port` as a slice, in issue order.
+    /// Returns how many of the leading requests were accepted; the first
+    /// rejection (backlogged bank or exhausted MSHRs) stops intake, so the
+    /// caller retries `reqs[accepted..]` on a later cycle. Semantically
+    /// identical to calling [`MemSystem::access`] per request and stopping
+    /// at the first `false`.
+    ///
+    /// The batch is first grouped by line address with a small radix pass
+    /// (feeding the `<m>.mem.batch_*` coalescing counters on every path);
+    /// when the batch actually coalesces — at least `COALESCE_MIN_BATCH`
+    /// requests and fewer distinct lines than requests, checked in O(1) —
+    /// the fast replay merges same-line accesses into one MSHR transaction
+    /// *before* tag lookup and memoizes one probe per distinct line, so N
+    /// same-line loads cost one tag scan. Low-coalescing batches (and the
+    /// `reference_mem` oracle) take the direct per-request loop.
+    pub fn access_batch(&mut self, port: PortId, reqs: &[BatchReq]) -> usize {
+        if reqs.is_empty() {
+            return 0;
+        }
+        let t0 = self.clock();
+        let geom = self.ports[port].config.geometry;
+        let mut lines = std::mem::take(&mut self.scratch.lines);
+        let mut group_of = std::mem::take(&mut self.scratch.group_of);
+        let mut group_lines = std::mem::take(&mut self.scratch.group_lines);
+        let mut table = std::mem::take(&mut self.scratch.table);
+        lines.clear();
+        lines.extend(reqs.iter().map(|r| geom.line_of(r.addr_words as u64 * 4)));
+        let distinct = radix_group(&lines, &mut group_of, &mut group_lines, &mut table);
+        self.stats.batch.record(reqs.len() as u64, distinct as u64);
+
+        // O(1) coalescing gate: only a batch that actually shares lines
+        // can amortize the per-group memoization.
+        let coalesces =
+            !self.reference && reqs.len() >= COALESCE_MIN_BATCH && distinct < reqs.len();
+        let accepted = if coalesces {
+            let mut memo = std::mem::take(&mut self.scratch.probe_memo);
+            memo.clear();
+            memo.resize(distinct, None);
+            let mut n = reqs.len();
+            for (i, r) in reqs.iter().enumerate() {
+                let group = group_of[i] as usize;
+                if !self.access_fast(
+                    port,
+                    r.addr_words,
+                    r.is_store,
+                    r.id,
+                    Some((&mut memo, group)),
+                ) {
+                    n = i;
+                    break;
+                }
+            }
+            self.scratch.probe_memo = memo;
+            n
+        } else {
+            let mut n = reqs.len();
+            for (i, r) in reqs.iter().enumerate() {
+                let ok = if self.reference {
+                    self.access_reference(port, r.addr_words, r.is_store, r.id)
+                } else {
+                    self.access_fast(port, r.addr_words, r.is_store, r.id, None)
+                };
+                if !ok {
+                    n = i;
+                    break;
+                }
+            }
+            n
+        };
+        self.scratch.lines = lines;
+        self.scratch.group_of = group_of;
+        self.scratch.group_lines = group_lines;
+        self.scratch.table = table;
+        self.phases.intake_ns += Self::elapsed(t0);
+        accepted
+    }
+
+    /// The merge-before-probe fast path. `memo` (batch replay only) is the
+    /// per-group probe cache: the L1 presence of a line cannot change
+    /// during intake (fills happen only in tick dispatch), so one probe
+    /// result serves every same-line request of the batch — a primary miss
+    /// allocates an MSHR, which catches the batch's later same-line
+    /// requests through the live MSHR-first check before the memo is ever
+    /// consulted again for an allocating request.
+    fn access_fast(
+        &mut self,
+        port: PortId,
+        addr_words: u32,
+        is_store: bool,
+        id: ReqId,
+        memo: Option<(&mut Vec<Option<Option<u32>>>, usize)>,
+    ) -> bool {
+        let byte_addr = (addr_words as u64) * 4;
+        let config = self.ports[port].config;
+        let line = config.geometry.line_of(byte_addr);
+        let bank_idx = config.geometry.bank_of(line) as usize;
+        let now = self.now;
+        let timing = self.time_phases;
+        let bank = &mut self.ports[port].banks[bank_idx];
+        let allocates = !is_store || config.alloc_policy == AllocPolicy::WriteAllocate;
+
+        // MSHR merge *before* the tag scan: an MSHR for `line` can only
+        // exist while the line is absent from the array (allocated on a
+        // probe miss; popped by the fill before the line is installed), so
+        // an MSHR hit proves the probe would miss — the scan is skipped.
+        // Merges need no port slot either (the primary miss did the tag
+        // lookup), so a backlogged bank must not reject them.
+        if allocates && bank.mshr_mut(line).is_some() {
+            debug_assert!(
+                !bank.array.probe(line),
+                "line {line:#x} both resident and in flight"
+            );
+            {
+                let mshr = bank.mshr_mut(line).expect("just found");
+                mshr.check_merge(id);
+                mshr.waiters.push(id);
+                mshr.dirty |= is_store;
+                self.stats.port[port].accesses += 1;
+                self.stats.port[port].mshr_merges += 1;
+                if is_store {
+                    self.stats.port[port].stores += 1;
+                }
+                return true;
+            }
+        }
+
+        let tp = timing.then(Instant::now);
+        let hit_way = match memo {
+            Some((memo, group)) => match memo[group] {
+                Some(hw) => hw,
+                None => {
+                    let hw = bank.array.probe_way_hinted(line);
+                    memo[group] = Some(hw);
+                    hw
+                }
+            },
+            None => bank.array.probe_way_hinted(line),
+        };
+        self.phases.probe_ns += Self::elapsed(tp);
+        let hit = hit_way.is_some();
+
+        // Port backlog check.
+        if bank.busy_until > now + config.queue_depth {
+            self.stats.port[port].rejects += 1;
+            return false;
+        }
+        if !hit && allocates && bank.mshrs.len() >= config.mshrs_per_bank as usize {
+            self.stats.port[port].rejects += 1;
+            return false;
+        }
+
+        // Occupy the bank port for one cycle.
+        let t0 = bank.busy_until.max(now);
+        if t0 > now {
+            self.stats.port[port].bank_conflicts += 1;
+        }
+        bank.busy_until = t0 + 1;
+        self.stats.port[port].accesses += 1;
+        if is_store {
+            self.stats.port[port].stores += 1;
+        }
+
+        if let Some(way) = hit_way {
+            let mark_dirty = is_store && config.write_policy == WritePolicy::WriteBack;
+            self.ports[port].banks[bank_idx]
+                .array
+                .touch_way(line, way, mark_dirty);
+            self.stats.port[port].hits += 1;
+            if is_store && config.write_policy == WritePolicy::WriteThrough {
+                // Write-through traffic into L2 (fire and forget).
+                self.l2_access(port, line, true, t0);
+            }
+            self.schedule(t0 + config.hit_latency, Event::Respond(id));
+            return true;
+        }
+
+        self.stats.port[port].misses += 1;
+        if !allocates {
+            // Write-no-allocate store miss: forward to L2, ack immediately
+            // (write buffer semantics).
+            self.l2_access(port, line, true, t0);
+            self.schedule(t0 + 1, Event::Respond(id));
+            return true;
+        }
+
+        // Primary miss: allocate an MSHR and fetch the line from L2.
+        let bank = &mut self.ports[port].banks[bank_idx];
+        let mut waiters = bank.waiter_pool.pop().unwrap_or_default();
+        waiters.push(id);
+        bank.mshrs.push(Mshr {
+            line,
+            waiters,
+            dirty: is_store,
+        });
+        let fill_time = self.l2_access(port, line, false, t0);
+        self.schedule(fill_time, Event::FillL1 { port, line });
+        true
+    }
+
+    /// The dense probe-first reference path: the original per-request
+    /// interpreter, byte-for-byte the pre-fast-path control flow (probe,
+    /// then MSHR merge, then backlog/capacity, then hit/miss), kept as
+    /// the oracle the fast path is equivalence-tested against.
+    fn access_reference(
+        &mut self,
+        port: PortId,
+        addr_words: u32,
+        is_store: bool,
+        id: ReqId,
+    ) -> bool {
         let byte_addr = (addr_words as u64) * 4;
         let geom = self.ports[port].config.geometry;
         let line = geom.line_of(byte_addr);
         let bank_idx = geom.bank_of(line) as usize;
         let config = self.ports[port].config;
         let now = self.now;
+        let timing = self.time_phases;
 
         let bank = &mut self.ports[port].banks[bank_idx];
+        let tp = timing.then(Instant::now);
         let hit_way = bank.array.probe_way(line);
+        self.phases.probe_ns += Self::elapsed(tp);
         let hit = hit_way.is_some();
         let allocates = !is_store || config.alloc_policy == AllocPolicy::WriteAllocate;
         if !hit && allocates {
@@ -365,6 +776,7 @@ impl MemSystem {
             // no port slot (the tag lookup already happened for the primary
             // miss), so a backlogged bank must not reject it.
             if let Some(mshr) = bank.mshr_mut(line) {
+                mshr.check_merge(id);
                 mshr.waiters.push(id);
                 mshr.dirty |= is_store;
                 self.stats.port[port].accesses += 1;
@@ -388,6 +800,9 @@ impl MemSystem {
 
         // Occupy the bank port for one cycle.
         let t0 = bank.busy_until.max(now);
+        if t0 > now {
+            self.stats.port[port].bank_conflicts += 1;
+        }
         bank.busy_until = t0 + 1;
         self.stats.port[port].accesses += 1;
         if is_store {
@@ -441,6 +856,9 @@ impl MemSystem {
         let ratio = self.shared.l2_cycle_ratio;
         let bank = &mut self.l2[bank_idx];
         let t1 = bank.busy_until.max(t);
+        if t1 > t {
+            self.stats.l2.bank_conflicts += 1;
+        }
         bank.busy_until = t1 + ratio;
         self.stats.l2.accesses += 1;
         if is_store {
@@ -487,9 +905,27 @@ impl MemSystem {
     }
 
     /// Advances the hierarchy by one core cycle, completing due events
-    /// (wheel slot first, then due overflow events, each in schedule order).
+    /// (wheel slot first, then due overflow events, each in schedule
+    /// order); completed requests queue for [`MemSystem::drain_responses`].
     pub fn tick(&mut self) {
+        self.tick_impl(None);
+    }
+
+    /// Advances the hierarchy by one core cycle, delivering completed
+    /// requests straight into `sink` as [`Delivery`] descriptors instead
+    /// of queueing them — the zero-copy path: the client writes each
+    /// completion directly into its own buffers, skipping the response
+    /// queue round-trip (and its per-cycle drain/copy). Delivery order is
+    /// identical to what [`MemSystem::drain_responses`] would return for
+    /// the same cycle. The sink must not call back into this `MemSystem`.
+    pub fn tick_deliver(&mut self, sink: &mut dyn ResponseSink) {
+        self.tick_impl(Some(sink));
+    }
+
+    fn tick_impl(&mut self, mut sink: Option<&mut dyn ResponseSink>) {
+        let t0 = self.clock();
         self.now += 1;
+        let mut seq = 0u32;
         let slot = (self.now & EVENT_WHEEL_MASK) as usize;
         if !self.wheel[slot].is_empty() {
             // Drain in place and hand the buffer back: dispatching can only
@@ -498,7 +934,7 @@ impl MemSystem {
             self.wheel_occ[slot >> 6] &= !(1 << (slot & 63));
             self.wheel_count -= due.len();
             for &event in due.iter() {
-                self.dispatch(event);
+                self.dispatch(event, &mut sink, &mut seq);
             }
             due.clear();
             debug_assert!(self.wheel[slot].is_empty());
@@ -509,13 +945,24 @@ impl MemSystem {
                 break;
             }
             self.far_events.pop();
-            self.dispatch(event);
+            self.dispatch(event, &mut sink, &mut seq);
         }
+        self.phases.deliver_ns += Self::elapsed(t0);
     }
 
-    fn dispatch(&mut self, event: Event) {
+    fn dispatch(&mut self, event: Event, sink: &mut Option<&mut dyn ResponseSink>, seq: &mut u32) {
         match event {
-            Event::Respond(id) => self.responses.push(id),
+            Event::Respond(id) => match sink.as_deref_mut() {
+                Some(s) => {
+                    s.deliver(Delivery {
+                        id,
+                        cycle: self.now,
+                        seq: *seq,
+                    });
+                    *seq += 1;
+                }
+                None => self.responses.push(id),
+            },
             Event::FillL1 { port, line } => self.fill_l1(port, line),
         }
     }
@@ -574,6 +1021,7 @@ impl MemSystem {
     }
 
     fn fill_l1(&mut self, port: usize, line: u64) {
+        let t0 = self.clock();
         let geom = self.ports[port].config.geometry;
         let bank_idx = geom.bank_of(line) as usize;
         let hit_lat = self.ports[port].config.hit_latency;
@@ -608,6 +1056,7 @@ impl MemSystem {
         }
         waiters.clear();
         self.ports[port].banks[bank_idx].waiter_pool.push(waiters);
+        self.phases.fill_ns += Self::elapsed(t0);
     }
 
     /// Returns (and clears) the requests completed since the last call.
@@ -817,6 +1266,10 @@ mod tests {
         assert!(mem.access(0, 1024, false, 2));
         run_until_idle(&mut mem, 1000);
         let same_bank = mem.now() - start;
+        assert!(
+            mem.stats().port[0].bank_conflicts >= 1,
+            "second same-bank access should count a conflict"
+        );
 
         let start = mem.now();
         assert!(mem.access(0, 0, false, 3));
@@ -843,5 +1296,286 @@ mod tests {
         assert_eq!(mem.stats().port[0].misses, 1);
         assert_eq!(mem.stats().port[1].misses, 1);
         assert_eq!(mem.stats().l2.accesses, 2);
+    }
+
+    // ----- fast-path / batch / zero-copy coverage -----
+
+    /// Tiny deterministic SplitMix64 for the property-style tests (no dev
+    /// dependency needed for six lines).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn radix_grouping_is_fifo_stable_and_complete() {
+        let mut rng = Rng(7);
+        let mut group_of = Vec::new();
+        let mut group_lines = Vec::new();
+        let mut table = Vec::new();
+        for trial in 0..200 {
+            let n = (rng.next() % 40) as usize;
+            // Small line universe to force plenty of duplicates (and slot
+            // collisions: lines 8 apart collide in a 8..16-slot table).
+            let lines: Vec<u64> = (0..n).map(|_| rng.next() % 24).collect();
+            let distinct = radix_group(&lines, &mut group_of, &mut group_lines, &mut table);
+            assert_eq!(group_of.len(), lines.len(), "trial {trial}");
+            assert_eq!(group_lines.len(), distinct, "trial {trial}");
+            // Every request maps to its own line (complete + correct).
+            for (i, &line) in lines.iter().enumerate() {
+                assert_eq!(group_lines[group_of[i] as usize], line, "trial {trial}");
+            }
+            // Groups appear in first-appearance order and are distinct.
+            let mut seen = Vec::new();
+            for &line in &lines {
+                if !seen.contains(&line) {
+                    seen.push(line);
+                }
+            }
+            assert_eq!(group_lines, seen, "trial {trial}: FIFO order violated");
+        }
+    }
+
+    /// Drives a fast and a reference hierarchy through the same randomized
+    /// request stream (loads/stores, scalar and batched, hot and cold
+    /// lines, bursts past the reject thresholds) and checks every
+    /// observable agrees cycle-by-cycle: acceptance, per-cycle response
+    /// sets, and the full statistics block.
+    fn assert_fast_matches_reference(ports: Vec<L1Config>, seed: u64) {
+        let mut fast = MemSystem::new(ports.clone(), SharedConfig::fermi_like());
+        let mut reference = MemSystem::new(ports.clone(), SharedConfig::fermi_like());
+        reference.set_reference(true);
+        let mut rng = Rng(seed);
+        let mut next_id = 0u64;
+        for _cycle in 0..3000 {
+            if rng.next().is_multiple_of(3) {
+                // A batch: a few clustered lines, several words each.
+                let port = (rng.next() % ports.len() as u64) as usize;
+                let base = (rng.next() % 64) as u32 * 32;
+                let n = (rng.next() % 12) as u32;
+                let mut reqs = Vec::new();
+                for k in 0..n {
+                    let addr = base + (rng.next() % 4) as u32 * 32 + k % 3;
+                    let is_store = rng.next().is_multiple_of(4);
+                    reqs.push(BatchReq {
+                        addr_words: addr,
+                        is_store,
+                        id: next_id + k as u64,
+                    });
+                }
+                let a = fast.access_batch(port, &reqs);
+                let b = reference.access_batch(port, &reqs);
+                assert_eq!(a, b, "batch acceptance diverged");
+                next_id += n as u64;
+            } else {
+                // Scalar requests, occasionally bursty.
+                let burst = 1 + (rng.next() % 4);
+                for _ in 0..burst {
+                    let port = (rng.next() % ports.len() as u64) as usize;
+                    let addr = (rng.next() % 4096) as u32;
+                    let is_store = rng.next().is_multiple_of(3);
+                    let a = fast.access(port, addr, is_store, next_id);
+                    let b = reference.access(port, addr, is_store, next_id);
+                    assert_eq!(a, b, "scalar acceptance diverged (id {next_id})");
+                    next_id += 1;
+                }
+            }
+            fast.tick();
+            reference.tick();
+            assert_eq!(
+                fast.drain_responses(),
+                reference.drain_responses(),
+                "per-cycle response streams diverged"
+            );
+        }
+        // Drain the tails too.
+        for _ in 0..100_000 {
+            if fast.is_idle() && reference.is_idle() {
+                break;
+            }
+            fast.tick();
+            reference.tick();
+            assert_eq!(fast.drain_responses(), reference.drain_responses());
+        }
+        assert!(fast.is_idle() && reference.is_idle());
+        assert_eq!(fast.stats(), reference.stats(), "statistics diverged");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_vgiw_shape() {
+        assert_fast_matches_reference(vec![L1Config::vgiw_l1(), L1Config::lvc()], 1);
+        assert_fast_matches_reference(vec![L1Config::vgiw_l1(), L1Config::lvc()], 42);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_fermi_shape() {
+        // WriteNoAllocate exercises the no-MSHR store-miss path.
+        assert_fast_matches_reference(vec![L1Config::fermi_l1()], 7);
+        assert_fast_matches_reference(vec![L1Config::fermi_l1()], 1234);
+    }
+
+    #[test]
+    fn batched_merges_are_fifo_ordered() {
+        // Three same-line loads in one batch: one probe, one fill, and the
+        // responses must come back in submission order.
+        let mut mem = sys();
+        let reqs = [
+            BatchReq {
+                addr_words: 0,
+                is_store: false,
+                id: 10,
+            },
+            BatchReq {
+                addr_words: 1,
+                is_store: false,
+                id: 11,
+            },
+            BatchReq {
+                addr_words: 2,
+                is_store: false,
+                id: 12,
+            },
+            BatchReq {
+                addr_words: 3,
+                is_store: false,
+                id: 13,
+            },
+        ];
+        assert_eq!(mem.access_batch(0, &reqs), 4);
+        assert_eq!(mem.stats().port[0].misses, 1);
+        assert_eq!(mem.stats().port[0].mshr_merges, 3);
+        assert_eq!(mem.stats().batch.batches, 1);
+        assert_eq!(mem.stats().batch.requests, 4);
+        assert_eq!(mem.stats().batch.distinct_lines, 1);
+        assert_eq!(mem.stats().batch.coalesced, 3);
+        assert_eq!(mem.stats().batch.line_hist, [1, 0, 0, 0, 0]);
+        let done = run_until_idle(&mut mem, 10_000);
+        assert_eq!(done, vec![10, 11, 12, 13], "merge order must be FIFO");
+    }
+
+    #[test]
+    fn batched_write_before_read_hazard_preserved() {
+        // A store followed by a load of the same (in-flight) line in one
+        // batch: both merge into the primary miss, the fill installs the
+        // line dirty (the store happened), and responses stay FIFO.
+        let mut mem = sys();
+        assert!(mem.access(0, 0, false, 1)); // primary miss in flight
+        let reqs = [
+            BatchReq {
+                addr_words: 1,
+                is_store: true,
+                id: 2,
+            },
+            BatchReq {
+                addr_words: 2,
+                is_store: false,
+                id: 3,
+            },
+            BatchReq {
+                addr_words: 3,
+                is_store: false,
+                id: 4,
+            },
+            BatchReq {
+                addr_words: 4,
+                is_store: false,
+                id: 5,
+            },
+        ];
+        assert_eq!(mem.access_batch(0, &reqs), 4);
+        let snap = mem.mshr_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].waiters, 5, "primary + four merged waiters");
+        assert!(snap[0].dirty, "merged store must dirty the pending fill");
+        let done = run_until_idle(&mut mem, 10_000);
+        assert_eq!(done, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn batch_stops_at_first_reject() {
+        let mut mem = sys();
+        // 20 distinct same-bank lines (stride 1024 words) exhaust the 8
+        // MSHRs; acceptance must stop exactly where scalar issue would.
+        let reqs: Vec<BatchReq> = (0..20)
+            .map(|i| BatchReq {
+                addr_words: i * 1024,
+                is_store: false,
+                id: i as u64,
+            })
+            .collect();
+        let batched = mem.access_batch(0, &reqs);
+        let mut scalar = MemSystem::new(vec![L1Config::vgiw_l1()], SharedConfig::fermi_like());
+        let mut accepted = 0;
+        for r in &reqs {
+            if !scalar.access(0, r.addr_words, r.is_store, r.id) {
+                break;
+            }
+            accepted += 1;
+        }
+        assert_eq!(batched, accepted);
+        assert_eq!(mem.stats().port[0].rejects, 1, "one reject, then stop");
+    }
+
+    #[test]
+    fn zero_copy_delivery_matches_buffered_drain() {
+        let mut buffered = sys();
+        let mut zero_copy = sys();
+        let mut rng = Rng(99);
+        let mut next_id = 0;
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        for cycle in 0..2000 {
+            for _ in 0..rng.next() % 3 {
+                let addr = (rng.next() % 2048) as u32;
+                let store = rng.next().is_multiple_of(5);
+                let a = buffered.access(0, addr, store, next_id);
+                let b = zero_copy.access(0, addr, store, next_id);
+                assert_eq!(a, b);
+                next_id += 1;
+            }
+            buffered.tick();
+            deliveries.clear();
+            zero_copy.tick_deliver(&mut deliveries);
+            let drained = buffered.drain_responses();
+            let ids: Vec<ReqId> = deliveries.iter().map(|d| d.id).collect();
+            assert_eq!(ids, drained, "cycle {cycle}: delivery order diverged");
+            for (i, d) in deliveries.iter().enumerate() {
+                assert_eq!(d.cycle, zero_copy.now(), "arrival cycle stamp");
+                assert_eq!(d.seq as usize, i, "write sequence");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "memory pairing")]
+    fn double_issued_id_is_caught_at_merge() {
+        let mut mem = sys();
+        assert!(mem.access(0, 0, false, 1));
+        assert!(mem.access(0, 1, false, 7)); // merge
+        let _ = mem.access(0, 2, false, 7); // same id again: double issue
+    }
+
+    #[test]
+    fn phase_timing_is_observer_only() {
+        let mut timed = sys();
+        timed.set_time_phases(true);
+        let mut plain = sys();
+        for i in 0..200u32 {
+            let a = timed.access(0, i % 64, i % 7 == 0, i as u64);
+            let b = plain.access(0, i % 64, i % 7 == 0, i as u64);
+            assert_eq!(a, b);
+            timed.tick();
+            plain.tick();
+            assert_eq!(timed.drain_responses(), plain.drain_responses());
+        }
+        let p = timed.phases();
+        assert!(p.intake_ns > 0, "intake should have been timed");
+        assert!(p.deliver_ns > 0, "delivery should have been timed");
+        assert_eq!(*plain.phases(), MemPhases::default());
     }
 }

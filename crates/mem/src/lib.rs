@@ -14,11 +14,14 @@
 #![warn(rust_2018_idioms)]
 
 mod cache;
+mod drain;
 mod hierarchy;
 mod stats;
 
 pub use cache::{CacheArray, CacheGeometry, Eviction};
+pub use drain::MemDrain;
 pub use hierarchy::{
-    AllocPolicy, L1Config, MemSystem, MshrSnapshot, PortId, ReqId, SharedConfig, WritePolicy,
+    AllocPolicy, BatchReq, Delivery, L1Config, MemSystem, MshrSnapshot, PortId, ReqId,
+    ResponseSink, SharedConfig, WritePolicy,
 };
-pub use stats::{DramStats, LevelStats, MemStats};
+pub use stats::{BatchStats, DramStats, LevelStats, MemPhases, MemStats};

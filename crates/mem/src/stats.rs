@@ -21,13 +21,16 @@ pub struct LevelStats {
     pub fills: u64,
     /// Dirty lines written back to the next level.
     pub writebacks: u64,
+    /// Accepted requests that queued behind a busy bank (arrived while the
+    /// bank's port was still occupied by an earlier access).
+    pub bank_conflicts: u64,
 }
 
 impl LevelStats {
     /// Exports every field into `out` under `<prefix>.<field>`
     /// (e.g. `vgiw.lvc.hits`).
     pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
-        let fields: [(&str, u64); 8] = [
+        let fields: [(&str, u64); 9] = [
             ("accesses", self.accesses),
             ("stores", self.stores),
             ("hits", self.hits),
@@ -36,6 +39,7 @@ impl LevelStats {
             ("rejects", self.rejects),
             ("fills", self.fills),
             ("writebacks", self.writebacks),
+            ("bank_conflicts", self.bank_conflicts),
         ];
         for (name, v) in fields {
             out.add_u64(&format!("{prefix}.{name}"), v);
@@ -61,6 +65,133 @@ pub struct DramStats {
     pub writes: u64,
 }
 
+/// Batch-intake statistics for [`crate::MemSystem::access_batch`].
+///
+/// The line-grouping pass (and therefore these counters) runs identically
+/// on the fast and `reference_mem` paths, so the full counter registry
+/// stays bit-identical between the two — only the replay strategy behind
+/// the O(1) coalescing gate differs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchStats {
+    /// Non-empty batches submitted.
+    pub batches: u64,
+    /// Requests submitted through batches.
+    pub requests: u64,
+    /// Distinct cache lines across those batches.
+    pub distinct_lines: u64,
+    /// Requests that shared a line with an earlier request of the same
+    /// batch (`requests - distinct_lines`).
+    pub coalesced: u64,
+    /// Histogram of distinct-lines-per-batch: buckets 1, 2–3, 4–7, 8–15,
+    /// and 16+.
+    pub line_hist: [u64; 5],
+}
+
+impl BatchStats {
+    /// Histogram bucket labels, aligned with `line_hist`.
+    pub const HIST_BUCKETS: [&'static str; 5] = ["1", "2_3", "4_7", "8_15", "16p"];
+
+    /// Records one batch of `requests` requests touching `lines` distinct
+    /// lines. Empty batches are not counted.
+    pub fn record(&mut self, requests: u64, lines: u64) {
+        if requests == 0 {
+            return;
+        }
+        self.batches += 1;
+        self.requests += requests;
+        self.distinct_lines += lines;
+        self.coalesced += requests - lines;
+        let bucket = match lines {
+            0..=1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            _ => 4,
+        };
+        self.line_hist[bucket] += 1;
+    }
+
+    /// Exports into `out` under `<prefix>.batches`, `.batch_requests`,
+    /// `.batch_lines`, `.coalesced` and `.batch_lines_<bucket>`.
+    pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
+        out.add_u64(&format!("{prefix}.batches"), self.batches);
+        out.add_u64(&format!("{prefix}.batch_requests"), self.requests);
+        out.add_u64(&format!("{prefix}.batch_lines"), self.distinct_lines);
+        out.add_u64(&format!("{prefix}.coalesced"), self.coalesced);
+        for (label, v) in Self::HIST_BUCKETS.iter().zip(self.line_hist) {
+            out.add_u64(&format!("{prefix}.batch_lines_{label}"), v);
+        }
+    }
+
+    fn delta_since(&self, before: &BatchStats) -> BatchStats {
+        BatchStats {
+            batches: self.batches - before.batches,
+            requests: self.requests - before.requests,
+            distinct_lines: self.distinct_lines - before.distinct_lines,
+            coalesced: self.coalesced - before.coalesced,
+            line_hist: std::array::from_fn(|i| self.line_hist[i] - before.line_hist[i]),
+        }
+    }
+}
+
+/// Wall-clock nanoseconds spent in the memory hierarchy's host-side
+/// phases, mirroring the fabric's `TickPhases`. Only accumulated when
+/// `time_phases` is enabled (a pure observer; simulated cycles are
+/// unaffected).
+///
+/// `probe` (tag scans) is a *subset* of `intake` (whole request-acceptance
+/// path), and `fill` (L1 line installs + writeback charging) is a subset
+/// of `deliver` (whole event-dispatch tick), so total host time in the
+/// hierarchy is `intake + deliver`.
+///
+/// One asymmetry to keep in mind when comparing engine modes: on the
+/// zero-copy path delivery *is* the consumer's completion callback, so
+/// `deliver` subsumes the client-side completion work that the buffered
+/// reference path performs outside the hierarchy (and outside this
+/// clock). `intake`/`probe` are bracketed identically in both modes and
+/// are the like-for-like pair; subtracting the callback per response
+/// would cost two `Instant` reads per delivery and distort the very
+/// number it corrects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemPhases {
+    /// Request acceptance: grouping, MSHR merge, occupancy and latency
+    /// math (includes `probe`).
+    pub intake_ns: u64,
+    /// Tag scans (subset of `intake`).
+    pub probe_ns: u64,
+    /// L1 fills and writeback charging (subset of `deliver`).
+    pub fill_ns: u64,
+    /// Per-cycle event dispatch: wheel drain, fills, response delivery
+    /// (includes `fill`).
+    pub deliver_ns: u64,
+}
+
+impl MemPhases {
+    /// Exports into `out` as `<prefix>.{intake,probe,fill,deliver}_ns`.
+    pub fn export_counters(&self, out: &mut Counters, prefix: &str) {
+        out.add_u64(&format!("{prefix}.intake_ns"), self.intake_ns);
+        out.add_u64(&format!("{prefix}.probe_ns"), self.probe_ns);
+        out.add_u64(&format!("{prefix}.fill_ns"), self.fill_ns);
+        out.add_u64(&format!("{prefix}.deliver_ns"), self.deliver_ns);
+    }
+
+    /// The nanoseconds accumulated since `before` was captured.
+    pub fn delta_since(&self, before: &MemPhases) -> MemPhases {
+        MemPhases {
+            intake_ns: self.intake_ns - before.intake_ns,
+            probe_ns: self.probe_ns - before.probe_ns,
+            fill_ns: self.fill_ns - before.fill_ns,
+            deliver_ns: self.deliver_ns - before.deliver_ns,
+        }
+    }
+
+    /// Total host nanoseconds in the hierarchy (`intake + deliver`; the
+    /// probe and fill phases are subsets of those).
+    pub fn total_ns(&self) -> u64 {
+        self.intake_ns + self.deliver_ns
+    }
+}
+
 /// Statistics for an entire [`crate::MemSystem`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MemStats {
@@ -70,6 +201,8 @@ pub struct MemStats {
     pub l2: LevelStats,
     /// DRAM traffic.
     pub dram: DramStats,
+    /// Batch-intake coalescing statistics.
+    pub batch: BatchStats,
 }
 
 impl MemStats {
@@ -79,12 +212,16 @@ impl MemStats {
             port: vec![LevelStats::default(); num_ports],
             l2: LevelStats::default(),
             dram: DramStats::default(),
+            batch: BatchStats::default(),
         }
     }
 
     /// Exports the whole hierarchy into `out`: each L1-level port under
     /// `<machine>.<port_name>.*` (falling back to `port<i>` when unnamed),
-    /// the L2 under `<machine>.l2.*` and DRAM under `<machine>.dram.*`.
+    /// the L2 under `<machine>.l2.*`, DRAM under `<machine>.dram.*`, and
+    /// an aggregate block under `<machine>.mem.*` (hits/misses/merges/
+    /// bank conflicts summed over the L1-level ports and the L2, plus the
+    /// batch-coalescing histogram).
     pub fn export_counters(&self, out: &mut Counters, machine: &str, port_names: &[&str]) {
         for (i, p) in self.port.iter().enumerate() {
             match port_names.get(i) {
@@ -95,6 +232,23 @@ impl MemStats {
         self.l2.export_counters(out, &format!("{machine}.l2"));
         out.add_u64(&format!("{machine}.dram.reads"), self.dram.reads);
         out.add_u64(&format!("{machine}.dram.writes"), self.dram.writes);
+        let levels = self.port.iter().chain(std::iter::once(&self.l2));
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut merges = 0;
+        let mut conflicts = 0;
+        for l in levels {
+            hits += l.hits;
+            misses += l.misses;
+            merges += l.mshr_merges;
+            conflicts += l.bank_conflicts;
+        }
+        let mem = format!("{machine}.mem");
+        out.add_u64(&format!("{mem}.hits"), hits);
+        out.add_u64(&format!("{mem}.misses"), misses);
+        out.add_u64(&format!("{mem}.mshr_merges"), merges);
+        out.add_u64(&format!("{mem}.bank_conflicts"), conflicts);
+        self.batch.export_counters(out, &mem);
     }
 
     /// The counters accumulated since `before` was captured (all fields).
@@ -112,6 +266,7 @@ impl MemStats {
             rejects: a.rejects - b.rejects,
             fills: a.fills - b.fills,
             writebacks: a.writebacks - b.writebacks,
+            bank_conflicts: a.bank_conflicts - b.bank_conflicts,
         };
         MemStats {
             port: self
@@ -125,6 +280,7 @@ impl MemStats {
                 reads: self.dram.reads - before.dram.reads,
                 writes: self.dram.writes - before.dram.writes,
             },
+            batch: self.batch.delta_since(&before.batch),
         }
     }
 }
@@ -150,5 +306,40 @@ mod tests {
         let s = MemStats::new(2);
         assert_eq!(s.port.len(), 2);
         assert_eq!(s.dram.reads, 0);
+    }
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let mut b = BatchStats::default();
+        b.record(0, 0); // empty batches are ignored
+        b.record(8, 1);
+        b.record(8, 3);
+        b.record(8, 4);
+        b.record(16, 15);
+        b.record(32, 16);
+        assert_eq!(b.batches, 5);
+        assert_eq!(b.requests, 72);
+        assert_eq!(b.distinct_lines, 39);
+        assert_eq!(b.coalesced, 72 - 39);
+        assert_eq!(b.line_hist, [1, 1, 1, 1, 1]);
+        let d = b.delta_since(&BatchStats::default());
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn aggregate_mem_counters() {
+        let mut s = MemStats::new(1);
+        s.port[0].hits = 5;
+        s.port[0].bank_conflicts = 2;
+        s.l2.hits = 3;
+        s.l2.misses = 1;
+        s.batch.record(4, 2);
+        let mut out = Counters::new();
+        s.export_counters(&mut out, "m", &["l1"]);
+        assert_eq!(out.get_u64("m.mem.hits"), 8);
+        assert_eq!(out.get_u64("m.mem.misses"), 1);
+        assert_eq!(out.get_u64("m.mem.bank_conflicts"), 2);
+        assert_eq!(out.get_u64("m.mem.coalesced"), 2);
+        assert_eq!(out.get_u64("m.mem.batch_lines_2_3"), 1);
     }
 }

@@ -1,0 +1,85 @@
+//! Full-suite equivalence of the batch-coalesced zero-copy memory fast
+//! path against the retained per-request reference path: for every app
+//! and all three machines, forcing `reference_mem` must change nothing
+//! observable — results, per-app statistics, and the complete counter
+//! registry (energy, fabric stats, memory traffic, batch histograms) are
+//! bit-identical. This is the suite-level guarantee behind ci.sh's forced
+//! `--reference-mem` golden pass.
+//!
+//! Lives in the mem crate (as a dev-dependency cycle through vgiw-bench,
+//! which Cargo permits) so the oracle travels with the code it checks.
+
+use vgiw_bench::harness::{run_machine_tuned, MachineKind, MachineTuning};
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::Tracer;
+
+fn assert_machine_matches_reference_mem(kind: MachineKind) {
+    for bench in vgiw_kernels::suite(1) {
+        let fast = run_machine_tuned(
+            &bench,
+            kind,
+            ChecksConfig::default(),
+            &Tracer::off(),
+            MachineTuning::default(),
+        );
+        let reference = run_machine_tuned(
+            &bench,
+            kind,
+            ChecksConfig::default(),
+            &Tracer::off(),
+            MachineTuning {
+                reference_mem: true,
+                ..MachineTuning::default()
+            },
+        );
+
+        match (fast.outcome.ok(), reference.outcome.ok()) {
+            (Some(f), Some(r)) => {
+                assert_eq!(
+                    f,
+                    r,
+                    "{}/{}: memory fast path diverges from the reference path",
+                    kind.name(),
+                    bench.app
+                );
+            }
+            // A skip (SGMF unmappability) must be path-independent.
+            (None, None) => {
+                assert_eq!(
+                    fast.outcome.failure(),
+                    reference.outcome.failure(),
+                    "{}/{}: outcomes diverge",
+                    kind.name(),
+                    bench.app
+                );
+            }
+            _ => panic!(
+                "{}/{}: one memory path completed and the other did not",
+                kind.name(),
+                bench.app
+            ),
+        }
+        assert_eq!(
+            fast.counters,
+            reference.counters,
+            "{}/{}: counter registries diverge between memory paths",
+            kind.name(),
+            bench.app
+        );
+    }
+}
+
+#[test]
+fn vgiw_suite_matches_reference_mem() {
+    assert_machine_matches_reference_mem(MachineKind::Vgiw);
+}
+
+#[test]
+fn simt_suite_matches_reference_mem() {
+    assert_machine_matches_reference_mem(MachineKind::Simt);
+}
+
+#[test]
+fn sgmf_suite_matches_reference_mem() {
+    assert_machine_matches_reference_mem(MachineKind::Sgmf);
+}

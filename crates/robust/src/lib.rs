@@ -21,6 +21,10 @@
 //! The watchdog and checkers are pure observers: they never alter
 //! simulation timing, so enabling them leaves every cycle count
 //! bit-identical.
+//!
+//! The per-cycle memory response drain shared by all three machines
+//! (`vgiw_mem::MemDrain`) consumes [`ResponseTamper`] in streaming form
+//! via [`ResponseTamper::copies_for_next`].
 
 /// Default watchdog budget: cycles without progress before a run is
 /// declared deadlocked. Progress events (retirements, memory completions,
@@ -356,6 +360,27 @@ impl ResponseTamper {
             i += 1;
         }
     }
+
+    /// Streaming form of [`apply`](Self::apply): how many copies of the
+    /// next response to deliver (0 = dropped, 1 = as-is, 2 = duplicated).
+    ///
+    /// Consumes one position of the plan per call, exactly as `apply`
+    /// consumes one per response — an inactive plan consumes nothing, so
+    /// the two forms stay interchangeable mid-stream.
+    pub fn copies_for_next(&mut self) -> u8 {
+        if !self.active() {
+            return 1;
+        }
+        let n = self.seen;
+        self.seen += 1;
+        if self.drop_nth == Some(n) {
+            0
+        } else if self.dup_nth == Some(n) {
+            2
+        } else {
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +432,38 @@ mod tests {
         let mut batch2 = vec![9, 20, 21];
         t.apply(&mut batch2);
         assert_eq!(batch2, vec![9, 20, 20, 21]);
+    }
+
+    /// `copies_for_next` must replay exactly the transformation `apply`
+    /// performs, across multiple batches (the plan's position survives
+    /// batch boundaries).
+    #[test]
+    fn streaming_tamper_matches_apply() {
+        let plans = [
+            ResponseTamper::default(),
+            ResponseTamper::drop(0),
+            ResponseTamper::drop(3),
+            ResponseTamper::duplicate(0),
+            ResponseTamper::duplicate(4),
+            ResponseTamper::drop(100),
+        ];
+        for plan in plans {
+            let mut batched = plan;
+            let mut streaming = plan;
+            let mut via_apply = Vec::new();
+            let mut via_stream = Vec::new();
+            for batch in [vec![10, 11], vec![], vec![12, 13, 14], vec![15]] {
+                let mut b = batch.clone();
+                batched.apply(&mut b);
+                via_apply.extend(b);
+                for id in batch {
+                    for _ in 0..streaming.copies_for_next() {
+                        via_stream.push(id);
+                    }
+                }
+            }
+            assert_eq!(via_apply, via_stream, "plan {plan:?}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use vgiw_fabric::{
     ConfigError, Fabric, FabricConfig, FabricEnv, FabricFaults, FabricStats, MemReqId,
 };
 use vgiw_ir::{Kernel, Launch, MemoryImage, Word};
-use vgiw_mem::{L1Config, MemStats, MemSystem, SharedConfig};
+use vgiw_mem::{L1Config, MemDrain, MemStats, MemSystem, SharedConfig};
 use vgiw_robust::{
     ChecksConfig, DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor,
     ResponseTamper, StuckResource,
@@ -58,6 +58,11 @@ pub struct SgmfConfig {
     /// event-driven core (equivalence-tested simulator knob; see
     /// `vgiw_fabric::Fabric::set_reference_tick`).
     pub reference_tick: bool,
+    /// Drive the memory hierarchy with the retained per-request reference
+    /// path instead of the batch-coalesced zero-copy fast path (equivalent
+    /// of `vgiw_core::VgiwConfig::reference_mem`; equivalence-tested pure
+    /// simulator knob).
+    pub reference_mem: bool,
     /// Time the fabric's land/inject/fire phases and export them as
     /// `sgmf.fabric.phase.*` counters (see `vgiw_core::VgiwConfig`'s
     /// `time_phases`; pure observer on the simulated machine).
@@ -85,6 +90,7 @@ impl Default for SgmfConfig {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             reference_tick: false,
+            reference_mem: false,
             time_phases: false,
             checks: ChecksConfig::default(),
             fabric_faults: FabricFaults::default(),
@@ -252,7 +258,9 @@ impl SgmfProcessor {
         let mut fabric = Fabric::new(config.grid.clone(), config.fabric);
         fabric.set_reference_tick(config.reference_tick);
         fabric.set_time_phases(config.time_phases);
-        let mem = MemSystem::new(vec![config.l1], config.shared);
+        let mut mem = MemSystem::new(vec![config.l1], config.shared);
+        mem.set_reference(config.reference_mem);
+        mem.set_time_phases(config.time_phases);
         SgmfProcessor {
             config,
             fabric,
@@ -329,9 +337,8 @@ impl SgmfProcessor {
             self.config.checks.watchdog_budget,
             start,
         );
-        let mut tamper = self.config.response_faults;
+        let mut drain = MemDrain::new(self.config.response_faults);
         let mut last_firings = self.fabric.stats().firings;
-        let mut resp_buf = Vec::new();
         let mut retire_buf = Vec::new();
         while !self.fabric.is_drained() {
             let mut progressed = false;
@@ -363,21 +370,25 @@ impl SgmfProcessor {
                 };
                 self.fabric.tick(&mut env);
             }
-            self.mem.tick();
-            self.mem.drain_responses_into(&mut resp_buf);
-            tamper.apply(&mut resp_buf);
-            progressed |= !resp_buf.is_empty();
-            if self.tracer.enabled() {
-                let now = self.mem.now();
-                for &r in &resp_buf {
-                    self.tracer.emit(now, || TraceEvent::MemResponse { id: r });
+            // Tick the hierarchy and route completions into the fabric:
+            // zero-copy streaming on the fast path, the buffered queue
+            // round-trip under `reference_mem`. The trace stamp is the
+            // post-tick memory clock, as the historical drain used.
+            let trace_cycle = self.mem.now() + 1;
+            let fabric = &mut self.fabric;
+            match drain.cycle(
+                &mut self.mem,
+                &self.tracer,
+                trace_cycle,
+                self.config.reference_mem,
+                |id| fabric.on_mem_response(id),
+            ) {
+                Ok(n) => progressed |= n > 0,
+                Err(v) => {
+                    self.reset_machine();
+                    return Err(SgmfError::Invariant(v.on("sgmf")));
                 }
             }
-            if let Err(v) = self.fabric.on_mem_responses(&resp_buf) {
-                self.reset_machine();
-                return Err(SgmfError::Invariant(v.on("sgmf")));
-            }
-            resp_buf.clear();
             self.fabric.drain_retired_into(&mut retire_buf);
             progressed |= !retire_buf.is_empty();
             if !retire_buf.is_empty() {
@@ -436,6 +447,8 @@ impl SgmfProcessor {
         self.fabric.set_reference_tick(self.config.reference_tick);
         self.fabric.set_time_phases(self.config.time_phases);
         self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
+        self.mem.set_reference(self.config.reference_mem);
+        self.mem.set_time_phases(self.config.time_phases);
         self.mem.set_tracer(self.tracer.clone());
     }
 
@@ -522,6 +535,7 @@ impl Machine for SgmfProcessor {
             .mapped
             .remove(&kernel.name)
             .expect("prepare just mapped this kernel");
+        let phases_before = *self.mem.phases();
         let outcome = self.run_mapped(&dfg, &placements, launch, image);
         self.mapped.insert(kernel.name.clone(), (dfg, placements));
         let stats = outcome.map_err(|e| {
@@ -543,6 +557,10 @@ impl Machine for SgmfProcessor {
             self.fabric
                 .tick_phases()
                 .export_counters(&mut counters, "sgmf.fabric.phase");
+            self.mem
+                .phases()
+                .delta_since(&phases_before)
+                .export_counters(&mut counters, "sgmf.mem.phase");
         }
         counters.add_u64("sgmf.launches", 1);
         counters.add_u64("sgmf.threads", u64::from(launch.num_threads));

@@ -45,6 +45,15 @@ pub struct SimtConfig {
     pub shared: SharedConfig,
     /// Safety valve for runaway kernels.
     pub cycle_limit: u64,
+    /// Drive the memory hierarchy with the retained per-request reference
+    /// path instead of the batch-coalesced zero-copy fast path (equivalent
+    /// of `vgiw_core::VgiwConfig::reference_mem`; equivalence-tested pure
+    /// simulator knob).
+    pub reference_mem: bool,
+    /// Time the memory hierarchy's intake/probe/fill/deliver phases with
+    /// host-clock reads and export them as `simt.mem.phase.*` counters
+    /// (pure observer on the simulated machine; costs host wall time).
+    pub time_phases: bool,
     /// Robustness layer: watchdog budget and invariant checkers (pure
     /// observers — cycle counts are identical with checks on).
     pub checks: ChecksConfig,
@@ -69,6 +78,8 @@ impl Default for SimtConfig {
             l1: L1Config::fermi_l1(),
             shared: SharedConfig::fermi_like(),
             cycle_limit: 2_000_000_000,
+            reference_mem: false,
+            time_phases: false,
             checks: ChecksConfig::default(),
             response_faults: ResponseTamper::default(),
         }

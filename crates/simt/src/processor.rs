@@ -16,7 +16,7 @@ use vgiw_ir::{
     cfg, eval_fma, eval_select, BlockId, Inst, Kernel, Launch, MemoryImage, OpClass, Operand, Reg,
     Terminator, Word,
 };
-use vgiw_mem::MemSystem;
+use vgiw_mem::{BatchReq, MemDrain, MemSystem};
 use vgiw_robust::{
     DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
 };
@@ -185,7 +185,9 @@ impl Default for SimtProcessor {
 impl SimtProcessor {
     /// Builds a processor from a configuration.
     pub fn new(config: SimtConfig) -> SimtProcessor {
-        let mem = MemSystem::new(vec![config.l1], config.shared);
+        let mut mem = MemSystem::new(vec![config.l1], config.shared);
+        mem.set_reference(config.reference_mem);
+        mem.set_time_phases(config.time_phases);
         SimtProcessor {
             config,
             mem,
@@ -271,8 +273,8 @@ impl SimtProcessor {
         let mut alu_busy_until: Vec<u64> = vec![0; cfg.alu_groups as usize];
         let mut last_issued: usize = 0;
         let mut monitor = ProgressMonitor::new(cfg.cycle_limit, cfg.checks.watchdog_budget, 0);
-        let mut tamper = cfg.response_faults;
-        let mut resp_buf: Vec<u64> = Vec::new();
+        let mut drain = MemDrain::new(cfg.response_faults);
+        let mut txn_batch: Vec<BatchReq> = Vec::new();
 
         while next_warp < total_warps || !active.is_empty() {
             cycle += 1;
@@ -299,85 +301,104 @@ impl SimtProcessor {
             });
             progressed |= wb_events.len() != wb_before;
 
-            // Memory system.
-            self.mem.tick();
-            self.mem.drain_responses_into(&mut resp_buf);
-            tamper.apply(&mut resp_buf);
-            progressed |= !resp_buf.is_empty();
-            if self.tracer.enabled() {
-                let now = self.mem.now();
-                for &id in &resp_buf {
-                    self.tracer.emit(now, || TraceEvent::MemResponse { id });
-                }
-            }
-            for &id in &resp_buf {
-                if id < first_req {
-                    // A store acknowledgement left in flight by a previous
-                    // launch on the persistent memory system: expected.
-                    continue;
-                }
-                let Some((w, dst)) = txn_owner.remove(id) else {
+            // Memory system: tick and route completions into the warp
+            // scoreboards (zero-copy on the fast path, buffered under
+            // `reference_mem`). The trace stamp is the post-tick memory
+            // clock, as the historical drain used.
+            let trace_cycle = self.mem.now() + 1;
+            let warps_ref = &mut warps;
+            let txn_owner_ref = &mut txn_owner;
+            match drain.cycle(
+                &mut self.mem,
+                &self.tracer,
+                trace_cycle,
+                cfg.reference_mem,
+                |id| {
+                    if id < first_req {
+                        // A store acknowledgement left in flight by a previous
+                        // launch on the persistent memory system: expected.
+                        return Ok(());
+                    }
+                    let Some((w, dst)) = txn_owner_ref.remove(id) else {
+                        return Err(InvariantViolation {
+                            kind: InvariantKind::MemPairing,
+                            machine: "simt",
+                            cycle,
+                            detail: format!(
+                                "response for unknown or already-completed memory transaction {id}"
+                            ),
+                        });
+                    };
+                    let Some(dst) = dst else { return Ok(()) }; // store acknowledgement
+                    let warp = &mut warps_ref[w];
+                    warp.load_outstanding[dst.index()] -= 1;
+                    // The register completes only when no transaction of
+                    // its load is in flight *or still waiting to enter
+                    // the cache* (early responses must not release the
+                    // scoreboard while siblings are queued).
+                    let still_queued = warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
+                    if warp.load_outstanding[dst.index()] == 0
+                        && !still_queued
+                        && warp.pending[dst.index()]
+                    {
+                        warp.pending[dst.index()] = false;
+                        warp.pending_count -= 1;
+                    }
+                    Ok(())
+                },
+            ) {
+                Ok(n) => progressed |= n > 0,
+                Err(v) => {
                     self.reset_machine();
-                    return Err(SimtError::Invariant(InvariantViolation {
-                        kind: InvariantKind::MemPairing,
-                        machine: "simt",
-                        cycle,
-                        detail: format!(
-                            "response for unknown or already-completed memory transaction {id}"
-                        ),
-                    }));
-                };
-                let Some(dst) = dst else { continue }; // store acknowledgement
-                let warp = &mut warps[w];
-                warp.load_outstanding[dst.index()] -= 1;
-                // The register completes only when no transaction of
-                // its load is in flight *or still waiting to enter
-                // the cache* (early responses must not release the
-                // scoreboard while siblings are queued).
-                let still_queued = warp.txn_dst == Some(dst) && !warp.txn_queue.is_empty();
-                if warp.load_outstanding[dst.index()] == 0
-                    && !still_queued
-                    && warp.pending[dst.index()]
-                {
-                    warp.pending[dst.index()] = false;
-                    warp.pending_count -= 1;
+                    return Err(SimtError::Invariant(v));
                 }
             }
-            resp_buf.clear();
 
-            // Push queued transactions into the L1.
+            // Push queued transactions into the L1, one bulk submission
+            // per warp: the warp's pending tail (the LIFO issue order the
+            // scalar loop used) goes in as a single batch, so same-line
+            // transactions are radix-grouped and MSHR-merged before any
+            // tag probe. Acceptance is request-exact: the batch stops at
+            // the first reject, exactly where the scalar loop stopped.
             let mut pushed = 0;
             for &w in &active {
                 if pushed >= cfg.txns_per_cycle {
                     break;
                 }
-                while let Some(&addr) = warps[w].txn_queue.last() {
-                    if pushed >= cfg.txns_per_cycle {
-                        break;
-                    }
-                    let req = self.next_req;
-                    if self.mem.access(0, addr, warps[w].txn_is_store, req) {
-                        let store = warps[w].txn_is_store;
-                        self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
-                            id: req,
-                            addr: addr as u64,
-                            store,
-                            port: 0,
-                        });
-                        self.next_req += 1;
-                        warps[w].txn_queue.pop();
-                        let dst = warps[w].txn_dst;
-                        if let Some(d) = dst {
-                            warps[w].load_outstanding[d.index()] += 1;
-                        }
-                        txn_owner.insert(req, w, dst);
-                        stats.mem_transactions += 1;
-                        pushed += 1;
-                        progressed = true;
-                    } else {
-                        break;
-                    }
+                let warp = &warps[w];
+                let budget = (cfg.txns_per_cycle - pushed) as usize;
+                if warp.txn_queue.is_empty() {
+                    continue;
                 }
+                txn_batch.clear();
+                let store = warp.txn_is_store;
+                txn_batch.extend(warp.txn_queue.iter().rev().take(budget).enumerate().map(
+                    |(k, &addr)| BatchReq {
+                        addr_words: addr,
+                        is_store: store,
+                        id: self.next_req + k as u64,
+                    },
+                ));
+                let accepted = self.mem.access_batch(0, &txn_batch);
+                for req in &txn_batch[..accepted] {
+                    let (id, addr) = (req.id, req.addr_words);
+                    self.tracer.emit(self.mem.now(), || TraceEvent::MemRequest {
+                        id,
+                        addr: addr as u64,
+                        store,
+                        port: 0,
+                    });
+                    warps[w].txn_queue.pop();
+                    let dst = warps[w].txn_dst;
+                    if let Some(d) = dst {
+                        warps[w].load_outstanding[d.index()] += 1;
+                    }
+                    txn_owner.insert(id, w, dst);
+                    stats.mem_transactions += 1;
+                }
+                self.next_req += accepted as u64;
+                pushed += accepted as u32;
+                progressed |= accepted > 0;
             }
 
             // Issue up to `issue_width` warp instructions (greedy-then-oldest:
@@ -449,6 +470,8 @@ impl SimtProcessor {
     /// would otherwise leak into the next launch).
     fn reset_machine(&mut self) {
         self.mem = MemSystem::new(vec![self.config.l1], self.config.shared);
+        self.mem.set_reference(self.config.reference_mem);
+        self.mem.set_time_phases(self.config.time_phases);
         self.mem.set_tracer(self.tracer.clone());
     }
 
@@ -666,6 +689,7 @@ impl Machine for SimtProcessor {
                 kernel: kernel.name.clone(),
                 threads: launch.num_threads,
             });
+        let phases_before = *self.mem.phases();
         let stats = self.run(kernel, launch, image).map_err(|e| {
             if let Some(r) = e.deadlock_report() {
                 self.last_deadlock = Some(Box::new(r.clone()));
@@ -678,6 +702,14 @@ impl Machine for SimtProcessor {
         });
         let mut counters = Counters::new();
         stats.export_counters(&mut counters);
+        if self.config.time_phases {
+            // Host wall time per memory phase; only present when the knob
+            // is on, so default-run counter exports stay byte-identical.
+            self.mem
+                .phases()
+                .delta_since(&phases_before)
+                .export_counters(&mut counters, "simt.mem.phase");
+        }
         counters.add_u64("simt.launches", 1);
         counters.add_u64("simt.threads", u64::from(launch.num_threads));
         self.accum.merge(&counters);

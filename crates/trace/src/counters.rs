@@ -124,6 +124,21 @@ impl Counters {
         self.map.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Sum of every integer counter whose name starts with `prefix`
+    /// (floating-point counters are ignored). Used by the perf report to
+    /// total counter families like `<machine>.mem.phase.` without
+    /// enumerating their members.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.map
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                CounterValue::U64(v) => Some(*v),
+                CounterValue::F64(_) => None,
+            })
+            .sum()
+    }
+
     /// Serialize as a JSON object, one member per counter, sorted by name.
     /// `indent` is prepended to every line after the opening brace.
     pub fn to_json(&self, indent: &str) -> String {
@@ -178,6 +193,18 @@ mod tests {
         m.merge(&a);
         assert_eq!(m.get_u64("vgiw.cycles"), 30);
         assert_eq!(m.get_f64("vgiw.energy.core"), 3.0);
+    }
+
+    #[test]
+    fn sum_prefix_totals_integer_family() {
+        let mut c = Counters::new();
+        c.add_u64("vgiw.mem.phase.intake_ns", 10);
+        c.add_u64("vgiw.mem.phase.deliver_ns", 20);
+        c.add_u64("vgiw.mem.hits", 1000);
+        c.set_f64("vgiw.mem.phase.bogus", 5.0);
+        assert_eq!(c.sum_prefix("vgiw.mem.phase."), 30);
+        assert_eq!(c.sum_prefix("vgiw.mem."), 1030);
+        assert_eq!(c.sum_prefix("simt."), 0);
     }
 
     #[test]
