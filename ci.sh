@@ -39,7 +39,7 @@ tmp_traced="$(mktemp)"
 tmp_trace_json="$(mktemp)"
 tmp_reference="$(mktemp)"
 tmp_reference_mem="$(mktemp)"
-trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference" "$tmp_reference_mem"' EXIT
+trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference" "$tmp_reference_mem" "${tmp_resume:-}" "${tmp_resume_checked:-}" "${ckpt:-}"' EXIT
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
 done > "$tmp"
@@ -95,6 +95,57 @@ diff golden_cycles.txt "$tmp_traced" || {
     echo "ci: tracing perturbed cycle counts" >&2
     exit 1
 }
+
+echo "==> kill-and-resume golden cycle counts"
+# Checkpoint/resume must be bit-exact: a run aborted mid-benchmark (after
+# a handful of per-launch checkpoint writes) and resumed from the file
+# must reproduce the identical golden table. Repeated with --checks per
+# the snapshot contract (DESIGN.md §11).
+tmp_resume="$(mktemp)"
+tmp_resume_checked="$(mktemp)"
+ckpt="$(mktemp -u)"
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- \
+        all --machine "$m" --checkpoint-every 2 --checkpoint-file "$ckpt" \
+        --crash-after-launches 3 >/dev/null 2>&1 || true
+    cargo run --release -q -p vgiw-bench --bin experiments -- \
+        all --machine "$m" --resume "$ckpt" 2>/dev/null
+    rm -f "$ckpt"
+done > "$tmp_resume"
+diff golden_cycles.txt "$tmp_resume" || {
+    echo "ci: resumed run diverges from the golden table" >&2
+    exit 1
+}
+for m in vgiw simt sgmf; do
+    cargo run --release -q -p vgiw-bench --bin experiments -- \
+        all --machine "$m" --checks --checkpoint-every 1 --checkpoint-file "$ckpt" \
+        --crash-after-jobs 3 >/dev/null 2>&1 || true
+    cargo run --release -q -p vgiw-bench --bin experiments -- \
+        all --machine "$m" --checks --resume "$ckpt" 2>/dev/null
+    rm -f "$ckpt"
+done > "$tmp_resume_checked"
+diff golden_cycles.txt "$tmp_resume_checked" || {
+    echo "ci: resumed run with --checks diverges from the golden table" >&2
+    exit 1
+}
+
+echo "==> chaos smoke round (seeded, shrunk, replayable)"
+# A short deterministic chaos campaign: every caught fault must recover
+# via checkpoint-restore and every non-benign plan must shrink to a
+# reproducer that replays deterministically — the campaign exits nonzero
+# otherwise (and on any unshrunk divergence).
+chaos_dir="$(mktemp -d)"
+cargo run --release -q -p vgiw-bench --bin experiments -- \
+    chaos --seed 7 --rounds 3 --watchdog-budget 20000 --out "$chaos_dir" 2>/dev/null
+for f in "$chaos_dir"/chaos_repro_*.txt; do
+    [ -e "$f" ] || continue
+    cargo run --release -q -p vgiw-bench --bin experiments -- \
+        chaos --replay "$f" --watchdog-budget 20000 >/dev/null 2>&1 || {
+        echo "ci: chaos reproducer $f does not replay" >&2
+        exit 1
+    }
+done
+rm -rf "$chaos_dir"
 
 echo "==> trace export smoke test (Chrome trace-event JSON)"
 # `experiments trace` must emit a non-empty, strictly-valid Chrome trace

@@ -3,9 +3,9 @@
 //! Usage: `cargo run --release -p vgiw-bench --bin experiments -- [what] [scale] [--jobs N]`
 //! where `what` is one of `all` (default), `table1`, `table2`, `fig3`,
 //! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `config-overhead`,
-//! `mappability`, `ablations` or `perf`. The optional second argument
-//! scales workloads (default 1; larger values amortize reconfiguration
-//! like Rodinia-scale inputs).
+//! `mappability`, `ablations`, `perf` or `chaos`. The optional second
+//! argument scales workloads (default 1; larger values amortize
+//! reconfiguration like Rodinia-scale inputs).
 //!
 //! `--jobs N` runs each (benchmark, machine) pair on a pool of N worker
 //! threads (default: all host threads); results are identical to the
@@ -21,9 +21,36 @@
 //!
 //! `--checks` enables the full invariant-checker set (token conservation,
 //! CVT consistency, LV coherence) on every machine; cycle counts are
-//! bit-identical with or without it. Failing apps no longer abort the
-//! suite: remaining rows are produced, a failure table is printed at the
-//! end, and the process exits nonzero.
+//! bit-identical with or without it. `--watchdog-budget N` overrides the
+//! watchdog's no-progress budget (cycles) on whatever checks
+//! configuration is active — a pure observer knob. Failing apps no longer
+//! abort the suite: remaining rows are produced, a failure table is
+//! printed at the end, the structured reports are persisted to
+//! `experiments_failures.json`, and the process exits nonzero.
+//!
+//! Checkpoint/resume (`--machine` table mode only): `--checkpoint-every N`
+//! snapshots the running machine every N launches into `--checkpoint-file F`
+//! (default `experiments.ckpt`; written atomically, also after every
+//! finished benchmark). A run killed at any point — even mid-benchmark —
+//! resumes with `--resume F` and produces a bit-identical table: completed
+//! rows are reprinted from the file, the interrupted benchmark's launch
+//! prefix is replayed on the reference interpreter, and the machine
+//! snapshot is restored at the boundary (CI kills a run mid-suite and
+//! diffs the resumed output against `golden_cycles.txt`).
+//! `--crash-after-jobs K` aborts the process after K completed rows and
+//! `--crash-after-launches K` aborts it after K per-launch checkpoint
+//! writes — i.e. in the middle of a benchmark — so CI can exercise both
+//! the between-jobs and the in-flight resume paths deterministically.
+//!
+//! `chaos --seed S --rounds R [--machine M] [--only APP]` runs the
+//! deterministic chaos campaign (DESIGN.md §11): random fault plans over
+//! fabric token/retirement drops, memory-response tampering, CVT bit
+//! flips and memory-system wedges, each classified against a clean run
+//! (benign / caught / diverged), recovered via checkpoint-restore with
+//! the offending component disabled, shrunk to a minimal reproducer and
+//! written as a replayable artifact (`--out DIR` chooses the directory).
+//! `chaos --replay FILE` re-executes a reproducer artifact and exits
+//! nonzero if it no longer reproduces its recorded class.
 //!
 //! `trace --only APP --machine M --out FILE [--format chrome|ndjson]`
 //! runs one benchmark on one machine with structured tracing enabled and
@@ -44,14 +71,21 @@
 //! coalescing) instead of the batch-coalesced zero-copy fast path, and
 //! ci.sh diffs that pass against the same golden table too.
 
+use vgiw_bench::chaos::{self, ChaosClass};
+use vgiw_bench::checkpoint::{
+    run_machine_checkpointed, suite_fingerprint, InFlightJob, JobRecord, SuiteCheckpoint,
+};
 use vgiw_bench::harness::{
-    measure_suite_outcomes, run_machine, run_machine_tuned, AppOutcome, AppResult, MachineKind,
-    MachineTuning, RunOutcome,
+    measure_suite_outcomes_tuned, run_machine, run_machine_tuned, AppOutcome, AppResult,
+    HostCheckpoint, MachineKind, MachineTuning, RunOutcome,
 };
 use vgiw_bench::report;
 use vgiw_kernels::Benchmark;
 use vgiw_robust::ChecksConfig;
 use vgiw_trace::{chrome_trace, ndjson, validate_json, Tracer};
+
+/// Where the structured failure reports go when any machine fails.
+const FAILURES_PATH: &str = "experiments_failures.json";
 
 /// Prints a table of every (app, machine) failure; returns whether any
 /// occurred.
@@ -66,13 +100,61 @@ fn report_failures(outcomes: &[AppOutcome]) -> bool {
             eprintln!("  {:<8} {:<6} {error}", o.app, machine);
         }
     }
+    if any {
+        let records: Vec<(String, &'static str, &RunOutcome)> = outcomes
+            .iter()
+            .flat_map(|o| {
+                [
+                    (o.app.to_string(), "vgiw", &o.vgiw),
+                    (o.app.to_string(), "simt", &o.simt),
+                    (o.app.to_string(), "sgmf", &o.sgmf),
+                ]
+            })
+            .collect();
+        persist_failures(&records);
+    }
     any
+}
+
+/// Writes the JSON failure artifact, if there is anything to persist.
+fn persist_failures(records: &[(String, &'static str, &RunOutcome)]) {
+    if let Some(doc) = report::failures_artifact(records) {
+        match std::fs::write(FAILURES_PATH, &doc) {
+            Ok(()) => eprintln!("wrote {FAILURES_PATH}"),
+            Err(e) => eprintln!("cannot write {FAILURES_PATH}: {e}"),
+        }
+    }
 }
 
 /// Extracts the figure-facing results from the outcomes that produced
 /// them; failed apps are simply absent from the figures.
 fn usable_results(outcomes: &[AppOutcome]) -> Vec<AppResult> {
     outcomes.iter().filter_map(AppOutcome::result).collect()
+}
+
+/// Prints one cycle-table row (and, for failures, the stderr detail)
+/// from its persisted record — fresh and resumed rows go through this
+/// one formatter, so a resumed table is bit-identical.
+fn print_record(rec: &JobRecord, kind: MachineKind) {
+    match rec.outcome {
+        0 => println!(
+            "  {:<8} {:<6} {:>10} {:>11} {:>11}",
+            rec.app,
+            kind.name(),
+            rec.cycles,
+            rec.launches,
+            rec.threads
+        ),
+        1 => println!("  {:<8} {:<6} n/a ({})", rec.app, kind.name(), rec.message),
+        2 => {
+            println!("  {:<8} {:<6} FAILED", rec.app, kind.name());
+            eprintln!("  {:<8} {:<6} {}", rec.app, kind.name(), rec.message);
+        }
+        _ => {
+            println!("  {:<8} {:<6} HUNG", rec.app, kind.name());
+            eprintln!("  {:<8} {:<6} {}", rec.app, kind.name(), rec.message);
+        }
+    }
 }
 
 fn main() {
@@ -85,6 +167,15 @@ fn main() {
     let mut reference = false;
     let mut reference_mem = false;
     let mut checks = ChecksConfig::default();
+    let mut watchdog_budget: Option<u64> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_file: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut crash_after_jobs: Option<usize> = None;
+    let mut crash_after_launches: Option<u64> = None;
+    let mut seed: u64 = 1;
+    let mut rounds: u64 = 4;
+    let mut replay: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,6 +207,12 @@ fn main() {
                     .map(str::to_string)
             }
         };
+        let parse_u64 = |name: &str, v: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a non-negative integer");
+                std::process::exit(2);
+            })
+        };
         if let Some(v) = flag_value("--jobs") {
             jobs = Some(v.parse().unwrap_or_else(|_| {
                 eprintln!("--jobs needs a positive integer");
@@ -133,6 +230,29 @@ fn main() {
             out_path = Some(v);
         } else if let Some(v) = flag_value("--format") {
             format = Some(v);
+        } else if let Some(v) = flag_value("--watchdog-budget") {
+            watchdog_budget = Some(parse_u64("--watchdog-budget", &v));
+        } else if let Some(v) = flag_value("--checkpoint-every") {
+            let n = parse_u64("--checkpoint-every", &v);
+            if n == 0 {
+                eprintln!("--checkpoint-every needs a positive launch count");
+                std::process::exit(2);
+            }
+            checkpoint_every = Some(n);
+        } else if let Some(v) = flag_value("--checkpoint-file") {
+            checkpoint_file = Some(v);
+        } else if let Some(v) = flag_value("--resume") {
+            resume = Some(v);
+        } else if let Some(v) = flag_value("--crash-after-jobs") {
+            crash_after_jobs = Some(parse_u64("--crash-after-jobs", &v) as usize);
+        } else if let Some(v) = flag_value("--crash-after-launches") {
+            crash_after_launches = Some(parse_u64("--crash-after-launches", &v));
+        } else if let Some(v) = flag_value("--seed") {
+            seed = parse_u64("--seed", &v);
+        } else if let Some(v) = flag_value("--rounds") {
+            rounds = parse_u64("--rounds", &v);
+        } else if let Some(v) = flag_value("--replay") {
+            replay = Some(v);
         } else {
             positional.push(arg);
         }
@@ -152,6 +272,19 @@ fn main() {
         }
         benches
     };
+
+    if what == "chaos" {
+        run_chaos(
+            seed,
+            rounds,
+            &filtered(scale),
+            machine,
+            watchdog_budget,
+            out_path.as_deref(),
+            replay.as_deref(),
+        );
+        return;
+    }
 
     if what == "trace" {
         let kind = machine.unwrap_or(MachineKind::Vgiw);
@@ -217,7 +350,62 @@ fn main() {
             eprintln!("--machine only combines with 'all' (figure/perf modes compare machines)");
             std::process::exit(2);
         }
+        let tuning = MachineTuning {
+            reference_tick: reference,
+            reference_mem,
+            watchdog_budget,
+            ..MachineTuning::default()
+        };
+        let checkpointing = checkpoint_every.is_some() || resume.is_some();
+        if checkpointing && traced {
+            eprintln!("--checkpoint-every/--resume do not combine with --traced");
+            std::process::exit(2);
+        }
         let benches = filtered(scale);
+        let fingerprint = suite_fingerprint(kind, scale, &checks, &tuning, only.as_deref());
+        let ckpt_path = checkpoint_file
+            .or_else(|| resume.clone())
+            .unwrap_or_else(|| "experiments.ckpt".to_string());
+        let mut state = match &resume {
+            Some(path) => {
+                let s = SuiteCheckpoint::load(path).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                if s.fingerprint != fingerprint {
+                    eprintln!(
+                        "--resume {path}: checkpoint was taken with different flags\n  \
+                         checkpoint: {}\n  this run:   {fingerprint}",
+                        s.fingerprint
+                    );
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "resuming from {path}: {} completed row(s){}",
+                    s.completed.len(),
+                    if s.inflight.is_some() {
+                        ", one benchmark in flight"
+                    } else {
+                        ""
+                    }
+                );
+                s
+            }
+            None => SuiteCheckpoint::new(fingerprint),
+        };
+        if state.completed.len() > benches.len() {
+            eprintln!("checkpoint has more rows than the suite — wrong file?");
+            std::process::exit(2);
+        }
+        for (rec, bench) in state.completed.iter().zip(&benches) {
+            if rec.app != bench.app {
+                eprintln!(
+                    "checkpoint row '{}' does not match benchmark '{}'",
+                    rec.app, bench.app
+                );
+                std::process::exit(2);
+            }
+        }
         eprintln!(
             "running {} on {} benchmark(s) (scale {scale})...",
             kind.name(),
@@ -225,57 +413,118 @@ fn main() {
         );
         println!("  app      machine      cycles    launches     threads");
         let mut failed = false;
-        for bench in &benches {
-            // `--traced` records (and discards) a full event log, proving
-            // tracing is a pure observer: this table must be byte-identical
-            // with or without it (ci.sh diffs it against the golden file).
-            let tracer = if traced {
-                Tracer::recording()
-            } else {
-                Tracer::off()
-            };
-            let run = run_machine_tuned(
-                bench,
-                kind,
-                checks,
-                &tracer,
-                MachineTuning {
-                    reference_tick: reference,
-                    reference_mem,
-                    ..MachineTuning::default()
-                },
-            );
-            drop(tracer.take_records());
-            match run.outcome {
-                RunOutcome::Ok(r) => println!(
-                    "  {:<8} {:<6} {:>10} {:>11} {:>11}",
-                    bench.app,
+        let mut fresh: Vec<(String, &'static str, RunOutcome)> = Vec::new();
+        for rec in &state.completed {
+            print_record(rec, kind);
+            if rec.is_failure() {
+                failed = true;
+                fresh.push((
+                    rec.app.clone(),
                     kind.name(),
-                    r.cycles,
-                    r.launches,
-                    r.threads
-                ),
-                RunOutcome::Skipped(e) => {
-                    println!("  {:<8} {:<6} n/a ({e})", bench.app, kind.name())
+                    RunOutcome::Failed(rec.message.clone()),
+                ));
+            }
+        }
+        let start = state.completed.len();
+        let mut inflight = state.inflight.take();
+        let launch_saves = std::cell::Cell::new(0u64);
+        for (i, bench) in benches.iter().enumerate().skip(start) {
+            let resume_ckpt: Option<HostCheckpoint> = match inflight.take() {
+                Some(f) if i == start && f.app == bench.app => Some(f.checkpoint),
+                Some(f) => {
+                    eprintln!(
+                        "checkpoint in-flight benchmark '{}' does not match '{}'",
+                        f.app, bench.app
+                    );
+                    std::process::exit(2);
                 }
-                RunOutcome::Failed(e) => {
-                    println!("  {:<8} {:<6} FAILED", bench.app, kind.name());
-                    eprintln!("  {:<8} {:<6} {e}", bench.app, kind.name());
-                    failed = true;
+                None => None,
+            };
+            let run = if checkpointing {
+                let fingerprint_c = state.fingerprint.clone();
+                let completed_c = state.completed.clone();
+                let path_c = ckpt_path.clone();
+                let app_c = bench.app.to_string();
+                let launch_saves = &launch_saves;
+                let mut sink = move |ckpt: HostCheckpoint| -> Result<(), String> {
+                    SuiteCheckpoint {
+                        fingerprint: fingerprint_c.clone(),
+                        completed: completed_c.clone(),
+                        inflight: Some(InFlightJob {
+                            app: app_c.clone(),
+                            checkpoint: ckpt,
+                        }),
+                    }
+                    .save(&path_c)?;
+                    launch_saves.set(launch_saves.get() + 1);
+                    if let Some(k) = crash_after_launches {
+                        if launch_saves.get() >= k {
+                            eprintln!(
+                                "--crash-after-launches: aborting after {k} checkpoint write(s)"
+                            );
+                            std::process::abort();
+                        }
+                    }
+                    Ok(())
+                };
+                run_machine_checkpointed(
+                    bench,
+                    kind,
+                    checks,
+                    tuning,
+                    checkpoint_every,
+                    resume_ckpt,
+                    &mut sink,
+                )
+            } else {
+                // `--traced` records (and discards) a full event log,
+                // proving tracing is a pure observer: this table must be
+                // byte-identical with or without it (ci.sh diffs it
+                // against the golden file).
+                let tracer = if traced {
+                    Tracer::recording()
+                } else {
+                    Tracer::off()
+                };
+                let run = run_machine_tuned(bench, kind, checks, &tracer, tuning);
+                drop(tracer.take_records());
+                run
+            };
+            let rec = JobRecord::from_outcome(bench.app, &run.outcome);
+            print_record(&rec, kind);
+            if rec.is_failure() {
+                failed = true;
+                fresh.push((rec.app.clone(), kind.name(), run.outcome));
+            }
+            state.completed.push(rec);
+            if checkpointing {
+                if let Err(e) = state.save(&ckpt_path) {
+                    eprintln!("cannot persist checkpoint: {e}");
+                    std::process::exit(1);
                 }
-                RunOutcome::Hung(r) => {
-                    println!("  {:<8} {:<6} HUNG", bench.app, kind.name());
-                    eprintln!("  {:<8} {:<6} {r}", bench.app, kind.name());
-                    failed = true;
+            }
+            if let Some(k) = crash_after_jobs {
+                if state.completed.len() >= k {
+                    eprintln!("--crash-after-jobs: aborting after {k} completed row(s)");
+                    std::process::abort();
                 }
             }
         }
         if failed {
+            let records: Vec<(String, &'static str, &RunOutcome)> = fresh
+                .iter()
+                .map(|(app, m, o)| (app.clone(), *m, o))
+                .collect();
+            persist_failures(&records);
             std::process::exit(1);
         }
         return;
     }
 
+    let suite_tuning = MachineTuning {
+        watchdog_budget,
+        ..MachineTuning::default()
+    };
     match what {
         "table1" => print!("{}", report::table1()),
         "table2" => print!("{}", report::table2(&filtered(scale))),
@@ -295,7 +544,8 @@ fn main() {
         }
         "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
             eprintln!("running suite (scale {scale}, {jobs} jobs)...");
-            let (outcomes, _) = measure_suite_outcomes(&filtered(scale), jobs, checks);
+            let (outcomes, _) =
+                measure_suite_outcomes_tuned(&filtered(scale), jobs, checks, suite_tuning);
             let results = usable_results(&outcomes);
             let text = match what {
                 "fig3" => report::fig3(&results),
@@ -320,7 +570,7 @@ fn main() {
             print!("{}", report::mappability(&benches));
             println!();
             eprintln!("running suite on all machines (scale {scale}, {jobs} jobs)...");
-            let (outcomes, _) = measure_suite_outcomes(&benches, jobs, checks);
+            let (outcomes, _) = measure_suite_outcomes_tuned(&benches, jobs, checks, suite_tuning);
             let results = usable_results(&outcomes);
             for text in [
                 report::fig3(&results),
@@ -342,5 +592,137 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             std::process::exit(2);
         }
+    }
+}
+
+/// The `chaos` subcommand: replay one artifact, or run a seeded campaign.
+fn run_chaos(
+    seed: u64,
+    rounds: u64,
+    benches: &[Benchmark],
+    machine: Option<MachineKind>,
+    watchdog_budget: Option<u64>,
+    out_dir: Option<&str>,
+    replay: Option<&str>,
+) {
+    // Chaos always runs with the full checker set — detection is the
+    // point — and honors `--watchdog-budget` for faster hang detection.
+    let checks = ChecksConfig::full();
+    let tuning = MachineTuning {
+        watchdog_budget,
+        ..MachineTuning::default()
+    };
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let (plan, recorded, observed, matches) =
+            chaos::replay_artifact(&text, benches, checks, tuning).unwrap_or_else(|e| {
+                eprintln!("cannot replay {path}: {e}");
+                std::process::exit(2);
+            });
+        println!(
+            "replay {path}: app={} machine={} recorded={} observed={}{}",
+            plan.app,
+            plan.machine.name(),
+            recorded.name(),
+            observed.class.name(),
+            if observed.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", observed.detail)
+            }
+        );
+        if !matches {
+            eprintln!("replay does NOT reproduce the recorded class");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let dir = out_dir.unwrap_or(".");
+    eprintln!(
+        "chaos campaign: seed {seed}, {rounds} round(s), {} benchmark(s), artifacts in {dir}/ ...",
+        benches.len()
+    );
+    let (reports, ok) = chaos::chaos_campaign(seed, rounds, benches, machine, checks, tuning, dir);
+    let mut benign = 0;
+    let mut caught = 0;
+    let mut diverged = 0;
+    for r in &reports {
+        match r.class {
+            ChaosClass::Benign => benign += 1,
+            ChaosClass::Caught => caught += 1,
+            ChaosClass::Diverged => diverged += 1,
+        }
+        let plan = r.shrunk.as_ref().unwrap_or(&r.plan);
+        let mut line = format!(
+            "round {:>2}: {:<8} {:<5} {:<8} plan[{}]",
+            r.round,
+            plan.app,
+            plan.machine.name(),
+            r.class.name(),
+            describe_plan(&r.plan),
+        );
+        if let Some(shrunk) = &r.shrunk {
+            line.push_str(&format!(" -> shrunk[{}]", describe_plan(shrunk)));
+        }
+        if let Some(recovered) = r.recovered {
+            line.push_str(if recovered {
+                " recovered"
+            } else {
+                " RECOVERY-FAILED"
+            });
+            if !r.degraded.is_empty() {
+                line.push_str(&format!(" disabled={}", r.degraded.join(",")));
+            }
+        }
+        if let Some(det) = r.replay_deterministic {
+            line.push_str(if det {
+                " replayable"
+            } else {
+                " NON-DETERMINISTIC"
+            });
+        }
+        println!("{line}");
+        if let Some(first) = r.detail.lines().next() {
+            println!("          {first}");
+        }
+        if let Some(path) = &r.artifact {
+            println!("          reproducer: {path}");
+        }
+    }
+    println!("chaos: {benign} benign, {caught} caught, {diverged} diverged over {rounds} round(s)");
+    if !ok {
+        eprintln!("chaos: at least one round failed to recover or to shrink deterministically");
+        std::process::exit(1);
+    }
+}
+
+/// Short `key=value` rendering of a plan's armed components.
+fn describe_plan(plan: &vgiw_bench::chaos::FaultPlan) -> String {
+    let mut parts = Vec::new();
+    if let Some(v) = plan.drop_token {
+        parts.push(format!("drop_token={v}"));
+    }
+    if let Some(v) = plan.drop_retire {
+        parts.push(format!("drop_retire={v}"));
+    }
+    if let Some(v) = plan.resp_drop {
+        parts.push(format!("resp_drop={v}"));
+    }
+    if let Some(v) = plan.resp_dup {
+        parts.push(format!("resp_dup={v}"));
+    }
+    if let Some((a, b, c)) = plan.cvt_flip {
+        parts.push(format!("cvt_flip={a},{b},{c}"));
+    }
+    if let Some(v) = plan.mem_wedge {
+        parts.push(format!("mem_wedge={v}"));
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join(" ")
     }
 }

@@ -1,0 +1,856 @@
+//! Deterministic chaos campaign with watchdog-driven recovery and
+//! shrinking (`experiments chaos`, DESIGN.md §11).
+//!
+//! A campaign round draws a random — but fully deterministic, SplitMix64
+//! seeded — [`FaultPlan`] over every injectable fault class the machines
+//! expose (`FabricFaults` token/retirement drops, `ResponseTamper`
+//! drops/duplicates, `CvtFlip` state upsets, and the memory-system wedge,
+//! the machine-level analogue of the fabric's `FaultyEnv` stall), runs it
+//! against a clean run of the same benchmark, and classifies the result:
+//!
+//! * **Benign** — the fault never fired or was absorbed; results are
+//!   bit-identical to the clean run.
+//! * **Caught** — the watchdog or an invariant checker aborted the run
+//!   (or the simulator stopped on a fault assertion). The recovery
+//!   harness is then exercised: restore the pre-launch checkpoint into a
+//!   rebuilt machine with the suspected fault component disabled, retry,
+//!   and report the degradation.
+//! * **Diverged** — the run completed but produced different results, or
+//!   corrupted memory that only the golden-image compare caught: a
+//!   detection gap in the online checkers.
+//!
+//! Every non-benign plan is shrunk — components removed, trigger values
+//! halved, to a fixpoint — to a minimal plan with the same classification,
+//! replayed twice to prove the reproducer is deterministic, and written to
+//! disk as a `key=value` artifact that `experiments chaos --replay FILE`
+//! re-executes.
+
+use vgiw_core::{CoreFaults, CvtFlip, VgiwConfig, VgiwProcessor};
+use vgiw_fabric::FabricFaults;
+use vgiw_kernels::util::SplitMix64;
+use vgiw_kernels::Benchmark;
+use vgiw_robust::{ChecksConfig, ResponseTamper};
+use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
+use vgiw_simt::{SimtConfig, SimtProcessor};
+use vgiw_trace::Machine;
+
+use crate::harness::{MachineHost, MachineKind, MachineResult, MachineTuning};
+
+/// The injectable fault components, in the deterministic order recovery
+/// and shrinking consider them.
+pub const COMPONENTS: [&str; 6] = [
+    "drop_token",
+    "drop_retire",
+    "resp_drop",
+    "resp_dup",
+    "cvt_flip",
+    "mem_wedge",
+];
+
+/// One deterministic fault plan: which benchmark and machine to attack,
+/// and the trigger point of every armed component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Application under attack.
+    pub app: String,
+    /// Machine under attack.
+    pub machine: MachineKind,
+    /// Drop the nth fabric token delivery (fabric machines only).
+    pub drop_token: Option<u64>,
+    /// Drop the nth fabric thread retirement (fabric machines only).
+    pub drop_retire: Option<u64>,
+    /// Swallow the nth memory response.
+    pub resp_drop: Option<u64>,
+    /// Deliver the nth memory response twice.
+    pub resp_dup: Option<u64>,
+    /// Flip a CVT bit `(after_exec, block, bit)` (VGIW only).
+    pub cvt_flip: Option<(u64, u32, u32)>,
+    /// Wedge the memory system after n accepted requests (the
+    /// `FaultyEnv::stall_after` analogue at machine level).
+    pub mem_wedge: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan for `app` on `machine`.
+    pub fn none(app: &str, machine: MachineKind) -> FaultPlan {
+        FaultPlan {
+            app: app.to_string(),
+            machine,
+            drop_token: None,
+            drop_retire: None,
+            resp_drop: None,
+            resp_dup: None,
+            cvt_flip: None,
+            mem_wedge: None,
+        }
+    }
+
+    /// Names of the armed components, in [`COMPONENTS`] order.
+    pub fn active_components(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.drop_token.is_some() {
+            out.push("drop_token");
+        }
+        if self.drop_retire.is_some() {
+            out.push("drop_retire");
+        }
+        if self.resp_drop.is_some() {
+            out.push("resp_drop");
+        }
+        if self.resp_dup.is_some() {
+            out.push("resp_dup");
+        }
+        if self.cvt_flip.is_some() {
+            out.push("cvt_flip");
+        }
+        if self.mem_wedge.is_some() {
+            out.push("mem_wedge");
+        }
+        out
+    }
+
+    /// Disarms one component by name (unknown names are ignored).
+    pub fn disable(&mut self, component: &str) {
+        match component {
+            "drop_token" => self.drop_token = None,
+            "drop_retire" => self.drop_retire = None,
+            "resp_drop" => self.resp_drop = None,
+            "resp_dup" => self.resp_dup = None,
+            "cvt_flip" => self.cvt_flip = None,
+            "mem_wedge" => self.mem_wedge = None,
+            _ => {}
+        }
+    }
+
+    /// The component most likely responsible for `error`, judged from the
+    /// diagnostic text; falls back to the first armed component. Drives
+    /// the "disable the offender and retry" recovery loop.
+    pub fn suspect(&self, error: &str) -> Option<&'static str> {
+        let active = self.active_components();
+        let lower = error.to_ascii_lowercase();
+        let hinted = |name: &str| -> bool {
+            match name {
+                "cvt_flip" => lower.contains("cvt"),
+                "resp_drop" | "resp_dup" => lower.contains("response") || lower.contains("pairing"),
+                "drop_token" => lower.contains("token"),
+                "drop_retire" => lower.contains("retire") || lower.contains("conservation"),
+                "mem_wedge" => lower.contains("mshr") || lower.contains("memory"),
+                _ => false,
+            }
+        };
+        active
+            .iter()
+            .copied()
+            .find(|n| hinted(n))
+            .or_else(|| active.first().copied())
+    }
+
+    /// Serializes the plan (plus its classification) as the replayable
+    /// `key=value` reproducer artifact.
+    pub fn to_artifact(&self, seed: u64, round: u64, class: ChaosClass, detail: &str) -> String {
+        let mut out = String::new();
+        out.push_str("# vgiw-bench chaos reproducer; replay with:\n");
+        out.push_str("#   experiments chaos --replay <this file>\n");
+        out.push_str(&format!("seed={seed}\n"));
+        out.push_str(&format!("round={round}\n"));
+        out.push_str(&format!("app={}\n", self.app));
+        out.push_str(&format!("machine={}\n", self.machine.name()));
+        out.push_str(&format!("class={}\n", class.name()));
+        out.push_str(&format!("detail={}\n", detail.replace('\n', " ")));
+        if let Some(v) = self.drop_token {
+            out.push_str(&format!("drop_token={v}\n"));
+        }
+        if let Some(v) = self.drop_retire {
+            out.push_str(&format!("drop_retire={v}\n"));
+        }
+        if let Some(v) = self.resp_drop {
+            out.push_str(&format!("resp_drop={v}\n"));
+        }
+        if let Some(v) = self.resp_dup {
+            out.push_str(&format!("resp_dup={v}\n"));
+        }
+        if let Some((after, block, bit)) = self.cvt_flip {
+            out.push_str(&format!("cvt_flip={after},{block},{bit}\n"));
+        }
+        if let Some(v) = self.mem_wedge {
+            out.push_str(&format!("mem_wedge={v}\n"));
+        }
+        out
+    }
+
+    /// Parses a reproducer artifact back into the plan and the
+    /// classification it was written with.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn parse_artifact(text: &str) -> Result<(FaultPlan, ChaosClass), String> {
+        let mut app: Option<String> = None;
+        let mut machine: Option<MachineKind> = None;
+        let mut class: Option<ChaosClass> = None;
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed artifact line: {line}"))?;
+            match key {
+                "app" => app = Some(value.to_string()),
+                "machine" => {
+                    machine = Some(
+                        MachineKind::from_name(value)
+                            .ok_or_else(|| format!("unknown machine: {value}"))?,
+                    )
+                }
+                "class" => {
+                    class = Some(ChaosClass::from_name(value).ok_or_else(|| {
+                        format!("unknown class: {value} (benign/caught/diverged)")
+                    })?)
+                }
+                "seed" | "round" | "detail" => {}
+                _ => fields.push((key.to_string(), value.to_string())),
+            }
+        }
+        let app = app.ok_or("artifact is missing app=")?;
+        let machine = machine.ok_or("artifact is missing machine=")?;
+        let class = class.ok_or("artifact is missing class=")?;
+        let mut plan = FaultPlan::none(&app, machine);
+        for (key, value) in fields {
+            let parse_u64 = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("bad {key}={v}"))
+            };
+            match key.as_str() {
+                "drop_token" => plan.drop_token = Some(parse_u64(&value)?),
+                "drop_retire" => plan.drop_retire = Some(parse_u64(&value)?),
+                "resp_drop" => plan.resp_drop = Some(parse_u64(&value)?),
+                "resp_dup" => plan.resp_dup = Some(parse_u64(&value)?),
+                "mem_wedge" => plan.mem_wedge = Some(parse_u64(&value)?),
+                "cvt_flip" => {
+                    let parts: Vec<&str> = value.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(format!("bad cvt_flip={value} (want after,block,bit)"));
+                    }
+                    let after = parse_u64(parts[0])?;
+                    let block: u32 = parts[1].parse().map_err(|_| format!("bad {value}"))?;
+                    let bit: u32 = parts[2].parse().map_err(|_| format!("bad {value}"))?;
+                    plan.cvt_flip = Some((after, block, bit));
+                }
+                other => return Err(format!("unknown artifact key: {other}")),
+            }
+        }
+        Ok((plan, class))
+    }
+}
+
+/// Builds the plan's machine with its faults armed. Components the
+/// machine does not have (fabric faults on SIMT, the CVT outside VGIW)
+/// are ignored — the generator never arms them in the first place.
+pub fn new_faulted_machine(
+    plan: &FaultPlan,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> Box<dyn Machine> {
+    let mut checks = checks;
+    if let Some(budget) = tuning.watchdog_budget {
+        checks.watchdog_budget = Some(budget);
+    }
+    let fabric = FabricFaults {
+        drop_token: plan.drop_token,
+        drop_retire: plan.drop_retire,
+    };
+    let responses = ResponseTamper::plan(plan.resp_drop, plan.resp_dup);
+    let mut machine: Box<dyn Machine> = match plan.machine {
+        MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
+            checks,
+            reference_tick: tuning.reference_tick,
+            reference_mem: tuning.reference_mem,
+            time_phases: tuning.time_phases,
+            faults: CoreFaults {
+                fabric,
+                responses,
+                flip_cvt_bit: plan.cvt_flip.map(|(after_exec, block, bit)| CvtFlip {
+                    after_exec,
+                    block,
+                    bit,
+                }),
+            },
+            ..VgiwConfig::default()
+        })),
+        MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
+            checks,
+            reference_mem: tuning.reference_mem,
+            time_phases: tuning.time_phases,
+            response_faults: responses,
+            ..SimtConfig::default()
+        })),
+        MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
+            checks,
+            reference_tick: tuning.reference_tick,
+            reference_mem: tuning.reference_mem,
+            time_phases: tuning.time_phases,
+            fabric_faults: fabric,
+            response_faults: responses,
+            ..SgmfConfig::default()
+        })),
+    };
+    machine.set_mem_wedge(plan.mem_wedge);
+    machine
+}
+
+/// How a faulted run ended relative to the clean run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosClass {
+    /// Bit-identical to the clean run: the fault never fired or was
+    /// absorbed without observable effect.
+    Benign,
+    /// The watchdog, an invariant checker, or a simulator assertion
+    /// stopped the run with a diagnostic — detection worked.
+    Caught,
+    /// The run completed with different results, or corrupted memory that
+    /// only the final golden-image compare noticed: a detection gap.
+    Diverged,
+}
+
+impl ChaosClass {
+    /// Stable name used in reports and reproducer artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosClass::Benign => "benign",
+            ChaosClass::Caught => "caught",
+            ChaosClass::Diverged => "diverged",
+        }
+    }
+
+    /// Inverse of [`ChaosClass::name`].
+    pub fn from_name(name: &str) -> Option<ChaosClass> {
+        match name {
+            "benign" => Some(ChaosClass::Benign),
+            "caught" => Some(ChaosClass::Caught),
+            "diverged" => Some(ChaosClass::Diverged),
+            _ => None,
+        }
+    }
+}
+
+/// Result of one classification run of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosRun {
+    /// The classification.
+    pub class: ChaosClass,
+    /// Diagnostic detail (the error for `Caught`, the delta for
+    /// `Diverged`, empty for `Benign`).
+    pub detail: String,
+}
+
+/// Runs `plan` with no recovery and classifies the outcome against the
+/// clean result. Panics inside the simulator are caught and count as
+/// `Caught` (a loud stop), like watchdog and invariant aborts; only a
+/// silent result change classifies as `Diverged`.
+pub fn classify(
+    bench: &Benchmark,
+    plan: &FaultPlan,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+    clean: &MachineResult,
+) -> ChaosRun {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> (Result<MachineResult, String>, Option<String>) {
+            let mut machine = new_faulted_machine(plan, checks, tuning);
+            let result = {
+                let mut host = MachineHost::new(machine.as_mut());
+                bench.run(&mut host).map(|()| host.result)
+            };
+            let deadlock = machine.take_deadlock().map(|r| r.to_string());
+            (result, deadlock)
+        },
+    ));
+    let (result, deadlock) = match run {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            return ChaosRun {
+                class: ChaosClass::Caught,
+                detail: format!("panic: {msg}"),
+            };
+        }
+    };
+    match result {
+        Ok(r) if r == *clean => ChaosRun {
+            class: ChaosClass::Benign,
+            detail: String::new(),
+        },
+        Ok(r) => ChaosRun {
+            class: ChaosClass::Diverged,
+            detail: format!(
+                "completed with {} cycles / {} launches vs clean {} / {}",
+                r.cycles, r.launches, clean.cycles, clean.launches
+            ),
+        },
+        Err(e) => {
+            if let Some(d) = deadlock {
+                ChaosRun {
+                    class: ChaosClass::Caught,
+                    detail: format!("watchdog: {d}"),
+                }
+            } else if e.contains("memory mismatch") {
+                // The machine itself never complained; only the final
+                // golden-image compare caught the corruption.
+                ChaosRun {
+                    class: ChaosClass::Diverged,
+                    detail: format!("silent corruption: {e}"),
+                }
+            } else {
+                ChaosRun {
+                    class: ChaosClass::Caught,
+                    detail: e,
+                }
+            }
+        }
+    }
+}
+
+/// One recovery retry: which component was disabled and the error that
+/// triggered it.
+#[derive(Clone, Debug)]
+pub struct RecoveryAttempt {
+    /// Component disabled before the retry.
+    pub disabled: &'static str,
+    /// The watchdog/invariant/panic diagnostic that triggered it.
+    pub error: String,
+}
+
+/// What the recovering harness produced.
+#[derive(Debug)]
+pub struct RecoveredRun {
+    /// The final result (verified against the golden image), or the
+    /// error once every fault component was exhausted.
+    pub outcome: Result<MachineResult, String>,
+    /// Every recovery retry, in order.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// The plan after degradation (armed components that survived).
+    pub final_plan: FaultPlan,
+}
+
+/// A `Launcher` that checkpoints the machine and memory image before
+/// every launch; when a launch aborts (watchdog, invariant checker, or a
+/// simulator panic), it restores the checkpoint into a freshly-built
+/// machine with the suspected fault component disabled and retries.
+/// Snapshot restore tolerates the config change because the machine
+/// fingerprint deliberately excludes fault plans.
+struct RecoveringHost {
+    machine: Box<dyn Machine>,
+    plan: FaultPlan,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+    result: MachineResult,
+    attempts: Vec<RecoveryAttempt>,
+}
+
+impl vgiw_kernels::Launcher for RecoveringHost {
+    fn launch(
+        &mut self,
+        kernel: &vgiw_ir::Kernel,
+        launch: &vgiw_ir::Launch,
+        mem: &mut vgiw_ir::MemoryImage,
+    ) -> Result<(), String> {
+        loop {
+            let pre_state = self
+                .machine
+                .save_state()
+                .map_err(|e| format!("pre-launch checkpoint failed: {e}"))?;
+            let pre_mem = mem.clone();
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.machine.prepare(kernel)?;
+                self.machine.launch(kernel, launch, mem)
+            }));
+            let attempt = match attempt {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".to_string());
+                    Err(format!("panic: {msg}"))
+                }
+            };
+            match attempt {
+                Ok(summary) => {
+                    self.result.cycles += summary.cycles;
+                    self.result.lvc_accesses += summary.lvc_accesses;
+                    self.result.rf_accesses += summary.rf_accesses;
+                    self.result.config_cycles += summary.config_cycles;
+                    self.result.block_executions += summary.block_executions;
+                    self.result.launches += 1;
+                    self.result.threads += launch.num_threads as u64;
+                    return Ok(());
+                }
+                Err(error) => {
+                    // Enrich the diagnostic with the deadlock report (and
+                    // clear it) before deciding what to disable.
+                    let error = match self.machine.take_deadlock() {
+                        Some(report) => format!("{error} ({report})"),
+                        None => error,
+                    };
+                    let Some(component) = self.plan.suspect(&error) else {
+                        return Err(format!(
+                            "unrecoverable: no fault component left to disable ({error})"
+                        ));
+                    };
+                    self.plan.disable(component);
+                    self.attempts.push(RecoveryAttempt {
+                        disabled: component,
+                        error,
+                    });
+                    let mut machine = new_faulted_machine(&self.plan, self.checks, self.tuning);
+                    machine
+                        .restore_state(&pre_state)
+                        .map_err(|e| format!("checkpoint restore failed during recovery: {e}"))?;
+                    // The snapshot faithfully restores the wedge plan that
+                    // was armed when it was taken; recovery must win, so
+                    // re-impose the (degraded) plan after the restore.
+                    machine.set_mem_wedge(self.plan.mem_wedge);
+                    self.machine = machine;
+                    *mem = pre_mem;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `plan` under the recovering harness (see [`RecoveringHost`]):
+/// graceful degradation instead of a dead run.
+pub fn run_with_recovery(
+    bench: &Benchmark,
+    plan: &FaultPlan,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> RecoveredRun {
+    let mut host = RecoveringHost {
+        machine: new_faulted_machine(plan, checks, tuning),
+        plan: plan.clone(),
+        checks,
+        tuning,
+        result: MachineResult::default(),
+        attempts: Vec::new(),
+    };
+    let outcome = bench.run(&mut host).map(|()| host.result);
+    RecoveredRun {
+        outcome,
+        attempts: host.attempts,
+        final_plan: host.plan,
+    }
+}
+
+/// Shrinks a non-benign plan to a minimal plan with the same
+/// classification: repeatedly (a) drop whole components and (b) halve
+/// trigger values, keeping every change that preserves the class, until
+/// a fixpoint. Each probe is one deterministic benchmark run.
+pub fn shrink(
+    bench: &Benchmark,
+    plan: &FaultPlan,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+    clean: &MachineResult,
+    target: ChaosClass,
+) -> FaultPlan {
+    let keeps_class = |candidate: &FaultPlan| -> bool {
+        classify(bench, candidate, checks, tuning, clean).class == target
+    };
+    let mut current = plan.clone();
+    loop {
+        let mut progressed = false;
+        // Pass (a): drop whole components (keep at least one armed).
+        for component in current.active_components() {
+            if current.active_components().len() <= 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.disable(component);
+            if keeps_class(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        // Pass (b): halve trigger values (one halving per component per
+        // pass; the outer loop runs passes to a fixpoint).
+        let halved = |v: u64| v / 2;
+        for component in current.active_components() {
+            let mut candidate = current.clone();
+            let changed = match component {
+                "drop_token" => shrink_field(&mut candidate.drop_token, halved),
+                "drop_retire" => shrink_field(&mut candidate.drop_retire, halved),
+                "resp_drop" => shrink_field(&mut candidate.resp_drop, halved),
+                "resp_dup" => shrink_field(&mut candidate.resp_dup, halved),
+                "mem_wedge" => {
+                    // The wedge threshold must stay >= 1 (0 would refuse
+                    // the very first request: legal but a different plan
+                    // shape than generated).
+                    match candidate.mem_wedge {
+                        Some(v) if v / 2 >= 1 && v / 2 != v => {
+                            candidate.mem_wedge = Some(v / 2);
+                            true
+                        }
+                        _ => false,
+                    }
+                }
+                "cvt_flip" => match candidate.cvt_flip {
+                    Some((after, block, bit)) if after / 2 != after => {
+                        candidate.cvt_flip = Some((after / 2, block, bit));
+                        true
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if changed && keeps_class(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+fn shrink_field(field: &mut Option<u64>, f: impl Fn(u64) -> u64) -> bool {
+    match *field {
+        Some(v) if f(v) != v => {
+            *field = Some(f(v));
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Everything one campaign round produced.
+#[derive(Debug)]
+pub struct RoundReport {
+    /// Round index.
+    pub round: u64,
+    /// The generated plan.
+    pub plan: FaultPlan,
+    /// Its classification.
+    pub class: ChaosClass,
+    /// Classification detail.
+    pub detail: String,
+    /// For non-benign rounds: whether the recovery harness completed and
+    /// verified the benchmark after degradation.
+    pub recovered: Option<bool>,
+    /// Components recovery disabled.
+    pub degraded: Vec<&'static str>,
+    /// The shrunk minimal reproducer (non-benign rounds).
+    pub shrunk: Option<FaultPlan>,
+    /// Path of the written reproducer artifact.
+    pub artifact: Option<String>,
+    /// Whether replaying the shrunk plan twice reproduced the class
+    /// deterministically.
+    pub replay_deterministic: Option<bool>,
+}
+
+impl RoundReport {
+    /// Whether this round must fail the campaign: a divergence that could
+    /// not be shrunk to a deterministic reproducer, or a caught fault the
+    /// recovery harness could not recover from.
+    pub fn is_bad(&self) -> bool {
+        match self.class {
+            ChaosClass::Benign => false,
+            ChaosClass::Caught => {
+                self.recovered != Some(true) || self.replay_deterministic != Some(true)
+            }
+            ChaosClass::Diverged => self.replay_deterministic != Some(true),
+        }
+    }
+}
+
+/// Generates the deterministic plan of round `round` for `bench`:
+/// component arming and trigger values all come from one SplitMix64
+/// stream keyed on `(seed, round)`.
+pub fn generate_plan(seed: u64, round: u64, app: &str, machine: MachineKind) -> FaultPlan {
+    let mut rng = SplitMix64::new(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut plan = FaultPlan::none(app, machine);
+    let fabric_machine = machine != MachineKind::Simt;
+    // Arm each applicable component with probability 1/3; trigger values
+    // are kept small so they usually fire within a scale-1 benchmark.
+    if fabric_machine && rng.next_u64().is_multiple_of(3) {
+        plan.drop_token = Some(rng.next_u64() % 512);
+    }
+    if fabric_machine && rng.next_u64().is_multiple_of(3) {
+        plan.drop_retire = Some(rng.next_u64() % 256);
+    }
+    if rng.next_u64().is_multiple_of(3) {
+        plan.resp_drop = Some(rng.next_u64() % 128);
+    }
+    if rng.next_u64().is_multiple_of(3) {
+        plan.resp_dup = Some(rng.next_u64() % 128);
+    }
+    if machine == MachineKind::Vgiw && rng.next_u64().is_multiple_of(3) {
+        plan.cvt_flip = Some((
+            rng.next_u64() % 64,
+            (rng.next_u64() % 4) as u32,
+            (rng.next_u64() % 32) as u32,
+        ));
+    }
+    if rng.next_u64().is_multiple_of(3) {
+        plan.mem_wedge = Some(rng.next_u64() % 256 + 1);
+    }
+    plan
+}
+
+/// Runs a full campaign: `rounds` rounds of generate → classify →
+/// recover → shrink → replay, writing reproducer artifacts into
+/// `artifact_dir`. Returns the per-round reports and whether the
+/// campaign as a whole passed (no [`RoundReport::is_bad`] round).
+pub fn chaos_campaign(
+    seed: u64,
+    rounds: u64,
+    benches: &[Benchmark],
+    machine: Option<MachineKind>,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+    artifact_dir: &str,
+) -> (Vec<RoundReport>, bool) {
+    assert!(!benches.is_empty(), "chaos needs at least one benchmark");
+    let mut reports = Vec::new();
+    // Clean-run cache per (benchmark, machine).
+    let mut clean_cache: std::collections::BTreeMap<(usize, &'static str), MachineResult> =
+        std::collections::BTreeMap::new();
+    for round in 0..rounds {
+        let mut rng = SplitMix64::new(seed.wrapping_add(round).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let bench_idx = (rng.next_u64() % benches.len() as u64) as usize;
+        let bench = &benches[bench_idx];
+        let kind = machine.unwrap_or_else(|| {
+            let all = [MachineKind::Vgiw, MachineKind::Simt, MachineKind::Sgmf];
+            all[(rng.next_u64() % 3) as usize]
+        });
+        let plan = generate_plan(seed, round, bench.app, kind);
+        let clean = match clean_cache.entry((bench_idx, kind.name())) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let run = crate::harness::run_machine_tuned(
+                    bench,
+                    kind,
+                    checks,
+                    &vgiw_trace::Tracer::off(),
+                    tuning,
+                );
+                match run.outcome {
+                    crate::harness::RunOutcome::Ok(r) => *e.insert(r),
+                    crate::harness::RunOutcome::Skipped(_) => {
+                        // SGMF cannot map this benchmark: nothing to
+                        // attack this round.
+                        reports.push(RoundReport {
+                            round,
+                            plan,
+                            class: ChaosClass::Benign,
+                            detail: format!("{} skipped on {}", bench.app, kind.name()),
+                            recovered: None,
+                            degraded: Vec::new(),
+                            shrunk: None,
+                            artifact: None,
+                            replay_deterministic: None,
+                        });
+                        continue;
+                    }
+                    other => {
+                        // The clean run itself failing is a harness bug,
+                        // not a chaos finding.
+                        panic!(
+                            "clean run of {} on {} failed: {:?}",
+                            bench.app,
+                            kind.name(),
+                            other
+                        );
+                    }
+                }
+            }
+        };
+        let ChaosRun { class, detail } = classify(bench, &plan, checks, tuning, &clean);
+        if class == ChaosClass::Benign {
+            reports.push(RoundReport {
+                round,
+                plan,
+                class,
+                detail,
+                recovered: None,
+                degraded: Vec::new(),
+                shrunk: None,
+                artifact: None,
+                replay_deterministic: None,
+            });
+            continue;
+        }
+        // Exercise the recovery path on the original plan.
+        let recovered = run_with_recovery(bench, &plan, checks, tuning);
+        // Shrink to a minimal reproducer and prove it replays.
+        let shrunk = shrink(bench, &plan, checks, tuning, &clean, class);
+        let replay1 = classify(bench, &shrunk, checks, tuning, &clean);
+        let replay2 = classify(bench, &shrunk, checks, tuning, &clean);
+        let replay_deterministic = replay1.class == class && replay1 == replay2;
+        let artifact_path = format!(
+            "{}/chaos_repro_s{seed}_r{round}_{}_{}.txt",
+            artifact_dir.trim_end_matches('/'),
+            bench.app.to_lowercase(),
+            kind.name()
+        );
+        let artifact = shrunk.to_artifact(seed, round, class, &replay1.detail);
+        let artifact = match std::fs::write(&artifact_path, artifact) {
+            Ok(()) => Some(artifact_path),
+            Err(e) => {
+                eprintln!("chaos: cannot write {artifact_path}: {e}");
+                None
+            }
+        };
+        reports.push(RoundReport {
+            round,
+            plan,
+            class,
+            detail,
+            recovered: Some(recovered.outcome.is_ok()),
+            degraded: recovered.attempts.iter().map(|a| a.disabled).collect(),
+            shrunk: Some(shrunk),
+            artifact,
+            replay_deterministic: Some(replay_deterministic),
+        });
+    }
+    let ok = !reports.iter().any(RoundReport::is_bad);
+    (reports, ok)
+}
+
+/// Replays a reproducer artifact: re-classifies the plan against a fresh
+/// clean run and (for caught plans) re-exercises recovery. Returns the
+/// observed [`ChaosRun`] and whether it matches the recorded class.
+pub fn replay_artifact(
+    text: &str,
+    benches: &[Benchmark],
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> Result<(FaultPlan, ChaosClass, ChaosRun, bool), String> {
+    let (plan, recorded) = FaultPlan::parse_artifact(text)?;
+    let bench = benches
+        .iter()
+        .find(|b| b.app.eq_ignore_ascii_case(&plan.app))
+        .ok_or_else(|| format!("artifact names unknown app {}", plan.app))?;
+    let run = crate::harness::run_machine_tuned(
+        bench,
+        plan.machine,
+        checks,
+        &vgiw_trace::Tracer::off(),
+        tuning,
+    );
+    let clean = run
+        .outcome
+        .ok()
+        .copied()
+        .ok_or_else(|| format!("clean run of {} failed", plan.app))?;
+    let observed = classify(bench, &plan, checks, tuning, &clean);
+    let matches = observed.class == recorded;
+    Ok((plan, recorded, observed, matches))
+}

@@ -1,0 +1,460 @@
+//! Suite-level checkpoint/resume for `experiments --machine` table runs.
+//!
+//! A checkpoint file (`vgiw-snapshot` format, DESIGN.md §11) records a run
+//! fingerprint, the rows already produced, and — when a benchmark was
+//! interrupted mid-flight — a [`HostCheckpoint`] with the machine snapshot
+//! at the last launch boundary. A killed run resumed from the file prints
+//! the completed rows verbatim, replays the in-flight benchmark's launch
+//! prefix on the reference interpreter, restores the machine snapshot,
+//! and continues: the final table is bit-identical to an uninterrupted
+//! run (CI kills a run mid-suite and diffs the resumed output against
+//! `golden_cycles.txt`).
+
+use std::time::Instant;
+use vgiw_kernels::Benchmark;
+use vgiw_robust::ChecksConfig;
+use vgiw_snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+use vgiw_trace::{Counters, Tracer};
+
+use crate::harness::{
+    new_machine_tuned, HostCheckpoint, MachineHost, MachineKind, MachinePerf, MachineResult,
+    MachineRun, MachineTuning, RunOutcome,
+};
+
+/// One finished (benchmark, machine) row, exactly as the cycle table
+/// printed it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Application name.
+    pub app: String,
+    /// What happened: `0` ok, `1` skipped, `2` failed, `3` hung.
+    pub outcome: u64,
+    /// Skip reason or failure detail (empty for ok).
+    pub message: String,
+    /// Total cycles (ok rows only; zero otherwise).
+    pub cycles: u64,
+    /// Launch count (ok rows only).
+    pub launches: u64,
+    /// Total threads (ok rows only).
+    pub threads: u64,
+}
+
+impl JobRecord {
+    /// Encodes a [`RunOutcome`] as a row record.
+    pub fn from_outcome(app: &str, outcome: &RunOutcome) -> JobRecord {
+        let (kind, message, cycles, launches, threads) = match outcome {
+            RunOutcome::Ok(r) => (0, String::new(), r.cycles, r.launches, r.threads),
+            RunOutcome::Skipped(e) => (1, e.clone(), 0, 0, 0),
+            RunOutcome::Failed(e) => (2, e.clone(), 0, 0, 0),
+            RunOutcome::Hung(r) => (3, r.to_string(), 0, 0, 0),
+        };
+        JobRecord {
+            app: app.to_string(),
+            outcome: kind,
+            message,
+            cycles,
+            launches,
+            threads,
+        }
+    }
+
+    /// Whether this row counts as a failure (affects the exit status).
+    pub fn is_failure(&self) -> bool {
+        self.outcome >= 2
+    }
+}
+
+/// A benchmark interrupted mid-flight: which app, plus the host
+/// checkpoint to resume it from.
+#[derive(Clone, Debug)]
+pub struct InFlightJob {
+    /// Application name (must match the next unfinished benchmark).
+    pub app: String,
+    /// The resume point.
+    pub checkpoint: HostCheckpoint,
+}
+
+/// The whole persisted state of a `--machine` table run.
+#[derive(Clone, Debug)]
+pub struct SuiteCheckpoint {
+    /// Identity of the run configuration; a resume with different flags
+    /// (machine, scale, checks, tuning, `--only`) is rejected.
+    pub fingerprint: String,
+    /// Rows already produced, in benchmark order.
+    pub completed: Vec<JobRecord>,
+    /// The interrupted benchmark, if the kill landed mid-flight.
+    pub inflight: Option<InFlightJob>,
+}
+
+/// Identity of a `--machine` table run, persisted in the checkpoint file
+/// so a resume with different flags is rejected instead of producing a
+/// silently-wrong table.
+pub fn suite_fingerprint(
+    kind: MachineKind,
+    scale: u32,
+    checks: &ChecksConfig,
+    tuning: &MachineTuning,
+    only: Option<&str>,
+) -> String {
+    format!(
+        "experiments-table|machine={}|scale={scale}|checks={checks:?}|tuning={tuning:?}|only={}",
+        kind.name(),
+        only.unwrap_or("*"),
+    )
+}
+
+impl SuiteCheckpoint {
+    /// An empty checkpoint for a fresh run.
+    pub fn new(fingerprint: String) -> SuiteCheckpoint {
+        SuiteCheckpoint {
+            fingerprint,
+            completed: Vec::new(),
+            inflight: None,
+        }
+    }
+
+    /// Serializes into the `vgiw-snapshot` format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section("suite-checkpoint");
+        w.str("fingerprint", &self.fingerprint);
+        w.u64("completed", self.completed.len() as u64);
+        for job in &self.completed {
+            w.section("job");
+            w.str("app", &job.app);
+            w.u64("outcome", job.outcome);
+            w.str("message", &job.message);
+            w.u64("cycles", job.cycles);
+            w.u64("launches", job.launches);
+            w.u64("threads", job.threads);
+            w.end_section();
+        }
+        w.u64("inflight", self.inflight.is_some() as u64);
+        if let Some(inflight) = &self.inflight {
+            let c = &inflight.checkpoint;
+            w.section("inflight-job");
+            w.str("app", &inflight.app);
+            w.u64("launches_done", c.launches_done);
+            w.u64("cycles", c.result.cycles);
+            w.f64("energy_core", c.result.energy.core);
+            w.f64("energy_l1", c.result.energy.l1);
+            w.f64("energy_l2", c.result.energy.l2);
+            w.f64("energy_dram", c.result.energy.dram);
+            w.u64("lvc_accesses", c.result.lvc_accesses);
+            w.u64("rf_accesses", c.result.rf_accesses);
+            w.u64("config_cycles", c.result.config_cycles);
+            w.u64("block_executions", c.result.block_executions);
+            w.u64("launches", c.result.launches);
+            w.u64("threads", c.result.threads);
+            w.f64("compile_s", c.compile_s);
+            w.u64("events", c.events);
+            w.bytes("machine_state", &c.machine_state);
+            w.end_section();
+        }
+        w.end_section();
+        w.finish()
+    }
+
+    /// Parses bytes produced by [`SuiteCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a [`SnapshotError`] on malformed or truncated bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SuiteCheckpoint, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.section("suite-checkpoint")?;
+        let fingerprint = r.str("fingerprint")?.to_string();
+        let n = r.u64("completed")?;
+        let mut completed = Vec::new();
+        for _ in 0..n {
+            r.section("job")?;
+            completed.push(JobRecord {
+                app: r.str("app")?.to_string(),
+                outcome: r.u64("outcome")?,
+                message: r.str("message")?.to_string(),
+                cycles: r.u64("cycles")?,
+                launches: r.u64("launches")?,
+                threads: r.u64("threads")?,
+            });
+            r.end_section()?;
+        }
+        let inflight = if r.u64("inflight")? != 0 {
+            r.section("inflight-job")?;
+            let app = r.str("app")?.to_string();
+            let launches_done = r.u64("launches_done")?;
+            let mut result = MachineResult {
+                cycles: r.u64("cycles")?,
+                ..MachineResult::default()
+            };
+            result.energy.core = r.f64("energy_core")?;
+            result.energy.l1 = r.f64("energy_l1")?;
+            result.energy.l2 = r.f64("energy_l2")?;
+            result.energy.dram = r.f64("energy_dram")?;
+            result.lvc_accesses = r.u64("lvc_accesses")?;
+            result.rf_accesses = r.u64("rf_accesses")?;
+            result.config_cycles = r.u64("config_cycles")?;
+            result.block_executions = r.u64("block_executions")?;
+            result.launches = r.u64("launches")?;
+            result.threads = r.u64("threads")?;
+            let compile_s = r.f64("compile_s")?;
+            let events = r.u64("events")?;
+            let machine_state = r.bytes("machine_state")?.to_vec();
+            r.end_section()?;
+            Some(InFlightJob {
+                app,
+                checkpoint: HostCheckpoint {
+                    launches_done,
+                    machine_state,
+                    result,
+                    compile_s,
+                    events,
+                },
+            })
+        } else {
+            None
+        };
+        r.end_section()?;
+        Ok(SuiteCheckpoint {
+            fingerprint,
+            completed,
+            inflight,
+        })
+    }
+
+    /// Atomically persists the checkpoint (write-to-temp then rename, so
+    /// a kill during the write never corrupts the previous checkpoint).
+    ///
+    /// # Errors
+    /// Returns a description of any I/O failure.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, self.to_bytes()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
+    }
+
+    /// Loads and parses a checkpoint file.
+    ///
+    /// # Errors
+    /// Returns a description of any I/O or format failure.
+    pub fn load(path: &str) -> Result<SuiteCheckpoint, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        SuiteCheckpoint::from_bytes(&bytes).map_err(|e| format!("corrupt checkpoint {path}: {e}"))
+    }
+}
+
+/// [`crate::harness::run_machine_tuned`] with checkpoint/resume hooks:
+/// `resume` replays the interrupted benchmark up to its checkpoint, and
+/// when `every` is set, `sink` receives a [`HostCheckpoint`] at that
+/// launch cadence (typically persisting the suite checkpoint file).
+/// Always serial and untraced — checkpointing exists for the `--machine`
+/// cycle-table runs.
+pub fn run_machine_checkpointed(
+    bench: &Benchmark,
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+    every: Option<u64>,
+    resume: Option<HostCheckpoint>,
+    sink: &mut dyn FnMut(HostCheckpoint) -> Result<(), String>,
+) -> MachineRun {
+    struct RawRun {
+        result: Result<MachineResult, String>,
+        deadlock: Option<Box<vgiw_robust::DeadlockReport>>,
+        compile_s: f64,
+        events: u64,
+        cycles_skipped: u64,
+        counters: Counters,
+    }
+    let t0 = Instant::now();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
+        let mut machine = new_machine_tuned(kind, checks, tuning);
+        machine.set_tracer(Tracer::off());
+        let (r, compile_s, events) = {
+            let mut host = MachineHost::new(machine.as_mut());
+            let restored = match resume {
+                Some(ckpt) => host
+                    .resume_from(ckpt)
+                    .map_err(|e| format!("checkpoint restore failed: {e}")),
+                None => Ok(()),
+            };
+            if let Some(every) = every {
+                host.checkpoint_to(every, Box::new(sink));
+            }
+            let r = restored.and_then(|()| bench.run(&mut host).map(|()| host.result));
+            (r, host.compile_s, host.events)
+        };
+        RawRun {
+            result: r,
+            deadlock: machine.take_deadlock(),
+            compile_s,
+            events,
+            cycles_skipped: machine.cycles_skipped(),
+            counters: machine.stats(),
+        }
+    }));
+    let RawRun {
+        result,
+        deadlock,
+        compile_s,
+        events,
+        cycles_skipped,
+        mut counters,
+    } = match run {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            RawRun {
+                result: Err(format!("panic: {msg}")),
+                deadlock: None,
+                compile_s: 0.0,
+                events: 0,
+                cycles_skipped: 0,
+                counters: Counters::new(),
+            }
+        }
+    };
+    let outcome = match result {
+        Ok(r) => {
+            let name = kind.name();
+            counters.set_f64(&format!("{name}.energy.core"), r.energy.core);
+            counters.set_f64(&format!("{name}.energy.l1"), r.energy.l1);
+            counters.set_f64(&format!("{name}.energy.l2"), r.energy.l2);
+            counters.set_f64(&format!("{name}.energy.dram"), r.energy.dram);
+            RunOutcome::Ok(r)
+        }
+        Err(_) if deadlock.is_some() => RunOutcome::Hung(deadlock.expect("checked is_some")),
+        Err(e) if kind == MachineKind::Sgmf && e.contains("not SGMF-mappable") => {
+            RunOutcome::Skipped(e)
+        }
+        Err(e) => RunOutcome::Failed(e),
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (cycles, threads) = match outcome.ok() {
+        Some(r) => (r.cycles, r.threads),
+        None => (0, 0),
+    };
+    let perf = MachinePerf {
+        compile_s,
+        simulate_s: (wall_s - compile_s).max(0.0),
+        cycles,
+        threads,
+        events,
+        cycles_skipped,
+    };
+    MachineRun {
+        outcome,
+        perf,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_checkpoint_round_trips() {
+        let mut ckpt = SuiteCheckpoint::new("fp|test".to_string());
+        ckpt.completed.push(JobRecord {
+            app: "NN".to_string(),
+            outcome: 0,
+            message: String::new(),
+            cycles: 1234,
+            launches: 1,
+            threads: 2048,
+        });
+        ckpt.completed.push(JobRecord {
+            app: "BFS".to_string(),
+            outcome: 2,
+            message: "verification mismatch".to_string(),
+            cycles: 0,
+            launches: 0,
+            threads: 0,
+        });
+        let mut result = MachineResult {
+            cycles: 99,
+            launches: 3,
+            threads: 512,
+            ..MachineResult::default()
+        };
+        result.energy.core = 1.5;
+        ckpt.inflight = Some(InFlightJob {
+            app: "KMEANS".to_string(),
+            checkpoint: HostCheckpoint {
+                launches_done: 3,
+                machine_state: vec![1, 2, 3, 4],
+                result,
+                compile_s: 0.25,
+                events: 777,
+            },
+        });
+        let back = SuiteCheckpoint::from_bytes(&ckpt.to_bytes()).expect("parses");
+        assert_eq!(back.fingerprint, ckpt.fingerprint);
+        assert_eq!(back.completed, ckpt.completed);
+        let inflight = back.inflight.expect("in-flight survives");
+        assert_eq!(inflight.app, "KMEANS");
+        assert_eq!(inflight.checkpoint.launches_done, 3);
+        assert_eq!(inflight.checkpoint.machine_state, vec![1, 2, 3, 4]);
+        assert_eq!(inflight.checkpoint.result, result);
+        assert_eq!(inflight.checkpoint.events, 777);
+        // Serialization is deterministic: same state, same bytes.
+        assert_eq!(ckpt.to_bytes(), {
+            let again = SuiteCheckpoint::from_bytes(&ckpt.to_bytes()).expect("parses");
+            again.to_bytes()
+        });
+    }
+
+    #[test]
+    fn fingerprint_separates_configurations() {
+        let base = suite_fingerprint(
+            MachineKind::Vgiw,
+            1,
+            &ChecksConfig::default(),
+            &MachineTuning::default(),
+            None,
+        );
+        assert_ne!(
+            base,
+            suite_fingerprint(
+                MachineKind::Simt,
+                1,
+                &ChecksConfig::default(),
+                &MachineTuning::default(),
+                None,
+            )
+        );
+        assert_ne!(
+            base,
+            suite_fingerprint(
+                MachineKind::Vgiw,
+                2,
+                &ChecksConfig::default(),
+                &MachineTuning::default(),
+                None,
+            )
+        );
+        assert_ne!(
+            base,
+            suite_fingerprint(
+                MachineKind::Vgiw,
+                1,
+                &ChecksConfig::full(),
+                &MachineTuning::default(),
+                None,
+            )
+        );
+        assert_ne!(
+            base,
+            suite_fingerprint(
+                MachineKind::Vgiw,
+                1,
+                &ChecksConfig::default(),
+                &MachineTuning::default(),
+                Some("nn"),
+            )
+        );
+    }
+}

@@ -65,6 +65,13 @@ pub struct MachineTuning {
     /// timing, exported as `<machine>.fabric.phase.*` /
     /// `<machine>.mem.phase.*` counters.
     pub time_phases: bool,
+    /// Override the watchdog's no-progress budget (in machine cycles) on
+    /// whatever checks configuration is used, replacing the previously
+    /// hard-coded `ChecksConfig::full_with_budget` call sites. `None`
+    /// keeps the budget of the `ChecksConfig` as given. The watchdog is a
+    /// pure observer, so this cannot change simulated results — only how
+    /// quickly a genuine hang is detected.
+    pub watchdog_budget: Option<u64>,
 }
 
 /// Builds the processor behind `kind` with the given checks configuration
@@ -79,6 +86,10 @@ pub fn new_machine_tuned(
     checks: ChecksConfig,
     tuning: MachineTuning,
 ) -> Box<dyn Machine> {
+    let mut checks = checks;
+    if let Some(budget) = tuning.watchdog_budget {
+        checks.watchdog_budget = Some(budget);
+    }
     match kind {
         MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
             checks,
@@ -103,15 +114,47 @@ pub fn new_machine_tuned(
     }
 }
 
+/// Everything the harness needs to resume a benchmark from a launch
+/// boundary: the machine snapshot plus the host-side accumulators that
+/// live outside the machine.
+#[derive(Clone, Debug)]
+pub struct HostCheckpoint {
+    /// Launches completed when the checkpoint was taken.
+    pub launches_done: u64,
+    /// The machine's [`Machine::save_state`] snapshot at that boundary.
+    pub machine_state: Vec<u8>,
+    /// The host's aggregated results at that boundary.
+    pub result: MachineResult,
+    /// Wall-clock compile seconds at that boundary (informational — it is
+    /// re-measured after a resume and is not part of bit-identity).
+    pub compile_s: f64,
+    /// Simulation events processed at that boundary.
+    pub events: u64,
+}
+
+/// Receives each [`HostCheckpoint`] a [`MachineHost`] takes; typically
+/// persists it (atomically) to the suite checkpoint file.
+pub type CheckpointSink<'m> = Box<dyn FnMut(HostCheckpoint) -> Result<(), String> + 'm>;
+
 /// Adapts any [`Machine`] to `vgiw_kernels::Launcher`: drives launches,
 /// prices energy from each launch's exported counters, and accumulates
 /// the per-benchmark totals the figures need.
+///
+/// The host is also the checkpoint/resume boundary: with
+/// [`MachineHost::checkpoint_to`] it snapshots the machine every N
+/// launches, and with [`MachineHost::resume_from`] it replays the
+/// already-simulated launch prefix on the reference interpreter (the
+/// machines are functionally exact, so this reproduces the memory image
+/// bit-for-bit without re-simulating timing), restores the machine
+/// snapshot at the boundary, and continues — producing bit-identical
+/// cycles and counters to the uninterrupted run.
 pub struct MachineHost<'m> {
     machine: &'m mut dyn Machine,
     model: EnergyModel,
     /// Aggregated results.
     pub result: MachineResult,
     /// Per-launch summaries (the counters carry every per-launch stat).
+    /// After a resume, only post-resume launches appear here.
     pub runs: Vec<LaunchSummary>,
     /// Wall-clock seconds spent in [`Machine::prepare`] (compilation; the
     /// rest of a launch's wall time is simulation).
@@ -119,6 +162,16 @@ pub struct MachineHost<'m> {
     /// Simulation events processed (firings + tokens for the dataflow
     /// machines; warp instructions + memory transactions for SIMT).
     pub events: u64,
+    /// Launches completed, including interpreter-replayed ones after a
+    /// resume (drives the checkpoint cadence and resume skipping).
+    pub launches_done: u64,
+    /// Launches `0..replay_prefix` run on the reference interpreter
+    /// instead of the machine (their timing is already accounted in the
+    /// restored accumulators).
+    replay_prefix: u64,
+    /// Checkpoint cadence in launches (`None`: never checkpoint).
+    checkpoint_every: Option<u64>,
+    checkpoint_sink: Option<CheckpointSink<'m>>,
 }
 
 impl<'m> MachineHost<'m> {
@@ -131,12 +184,56 @@ impl<'m> MachineHost<'m> {
             runs: Vec::new(),
             compile_s: 0.0,
             events: 0,
+            launches_done: 0,
+            replay_prefix: 0,
+            checkpoint_every: None,
+            checkpoint_sink: None,
         }
     }
 
     /// The hosted machine.
     pub fn machine(&mut self) -> &mut dyn Machine {
         self.machine
+    }
+
+    /// Takes a [`HostCheckpoint`] after every `every` launches and hands
+    /// it to `sink`. Snapshots are only possible at launch boundaries,
+    /// which is exactly when the host runs.
+    pub fn checkpoint_to(&mut self, every: u64, sink: CheckpointSink<'m>) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = Some(every);
+        self.checkpoint_sink = Some(sink);
+    }
+
+    /// Resumes from `ckpt`: the machine snapshot is restored immediately
+    /// (so a resume whose checkpoint sits at the final launch boundary
+    /// still ends with the machine in checkpoint state), the first
+    /// `ckpt.launches_done` launches of the next run are replayed on the
+    /// reference interpreter (restoring their memory effects
+    /// bit-for-bit), and the host accumulators pick up where the
+    /// checkpoint left off.
+    pub fn resume_from(&mut self, ckpt: HostCheckpoint) -> Result<(), String> {
+        self.machine.restore_state(&ckpt.machine_state)?;
+        self.result = ckpt.result;
+        self.compile_s = ckpt.compile_s;
+        self.events = ckpt.events;
+        self.launches_done = 0;
+        self.replay_prefix = ckpt.launches_done;
+        Ok(())
+    }
+
+    fn take_checkpoint(&mut self) -> Result<(), String> {
+        let machine_state = self.machine.save_state()?;
+        let ckpt = HostCheckpoint {
+            launches_done: self.launches_done,
+            machine_state,
+            result: self.result,
+            compile_s: self.compile_s,
+            events: self.events,
+        };
+        self.checkpoint_sink
+            .as_mut()
+            .expect("sink is set whenever cadence is")(ckpt)
     }
 }
 
@@ -147,6 +244,15 @@ impl Launcher for MachineHost<'_> {
         launch: &Launch,
         mem: &mut MemoryImage,
     ) -> Result<(), String> {
+        if self.launches_done < self.replay_prefix {
+            // Resume fast-path: this launch was already simulated (and
+            // accounted) before the checkpoint; only its memory effects
+            // are needed, and the interpreter is the machines' functional
+            // bit-exactness oracle.
+            vgiw_ir::interp::run(kernel, launch, mem).map_err(|e| e.to_string())?;
+            self.launches_done += 1;
+            return Ok(());
+        }
         // `prepare` memoizes per kernel name, so only the first launch of
         // a kernel pays (and measures) compilation.
         let t0 = Instant::now();
@@ -166,6 +272,12 @@ impl Launcher for MachineHost<'_> {
         );
         self.events += summary.events;
         self.runs.push(summary);
+        self.launches_done += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.launches_done.is_multiple_of(every) {
+                self.take_checkpoint()?;
+            }
+        }
         Ok(())
     }
 }

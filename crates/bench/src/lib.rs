@@ -5,13 +5,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod harness;
 pub mod perf;
 pub mod report;
 
+pub use chaos::{chaos_campaign, ChaosClass, FaultPlan, RoundReport};
+pub use checkpoint::{run_machine_checkpointed, suite_fingerprint, SuiteCheckpoint};
 pub use harness::{
     measure, measure_machine, measure_suite, measure_suite_with_perf, new_machine, run_machine,
-    AppCounters, AppPerf, AppResult, MachineHost, MachineKind, MachinePerf, MachineResult,
-    MachineRun, RunOutcome,
+    AppCounters, AppPerf, AppResult, HostCheckpoint, MachineHost, MachineKind, MachinePerf,
+    MachineResult, MachineRun, RunOutcome,
 };
 pub use perf::{measure_perf, measure_perf_on, SuitePerf};

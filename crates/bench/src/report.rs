@@ -335,6 +335,98 @@ pub fn ablations(scale: u32) -> String {
     out
 }
 
+/// JSON-escapes a string (the build is serde-free; the output is
+/// validated with `vgiw_trace::validate_json`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One (app, machine) failure as a JSON object, or `None` for outcomes
+/// that are not failures. `Hung` embeds the full structured
+/// [`vgiw_robust::DeadlockReport`]; `Failed` carries the diagnostic
+/// string (which, for invariant aborts, is the formatted
+/// `InvariantViolation`).
+pub fn failure_json(
+    app: &str,
+    machine: &str,
+    outcome: &crate::harness::RunOutcome,
+) -> Option<String> {
+    use crate::harness::RunOutcome;
+    let mut out = String::new();
+    match outcome {
+        RunOutcome::Ok(_) | RunOutcome::Skipped(_) => return None,
+        RunOutcome::Failed(e) => {
+            out.push_str(&format!(
+                "{{\"app\":\"{}\",\"machine\":\"{}\",\"kind\":\"failed\",\"error\":\"{}\"}}",
+                json_escape(app),
+                json_escape(machine),
+                json_escape(e)
+            ));
+        }
+        RunOutcome::Hung(r) => {
+            let resources = r
+                .resources
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":\"{}\",\"detail\":\"{}\"}}",
+                        json_escape(&s.name),
+                        json_escape(&s.detail)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let block = match r.block {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"app\":\"{}\",\"machine\":\"{}\",\"kind\":\"hung\",\"error\":\"{}\",\
+                 \"deadlock\":{{\"machine\":\"{}\",\"cycle\":{},\"budget\":{},\
+                 \"stalled_for\":{},\"block\":{block},\"resources\":[{resources}]}}}}",
+                json_escape(app),
+                json_escape(machine),
+                json_escape(&r.to_string()),
+                json_escape(r.machine),
+                r.cycle,
+                r.budget,
+                r.stalled_for,
+            ));
+        }
+    }
+    Some(out)
+}
+
+/// The persistent failure artifact: a JSON document listing every
+/// failure of a run (`experiments` writes it as
+/// `experiments_failures.json` whenever any machine fails or hangs, so
+/// CI failures are reproducible from the artifact instead of scrollback).
+/// Returns `None` when there is nothing to persist.
+pub fn failures_artifact(
+    records: &[(String, &'static str, &crate::harness::RunOutcome)],
+) -> Option<String> {
+    let objects: Vec<String> = records
+        .iter()
+        .filter_map(|(app, machine, outcome)| failure_json(app, machine, outcome))
+        .collect();
+    if objects.is_empty() {
+        return None;
+    }
+    Some(format!("{{\"failures\":[{}]}}\n", objects.join(",")))
+}
+
 /// Renders a [`Counters`] registry as an aligned two-column table
 /// (name-sorted, as the registry iterates).
 pub fn counter_table(counters: &vgiw_trace::Counters) -> String {
@@ -379,6 +471,38 @@ mod tests {
         assert!(t.contains("108"));
         assert!(t.contains("64KB"));
         assert!(t.contains("768KB"));
+    }
+
+    #[test]
+    fn failure_artifact_is_valid_json() {
+        use crate::harness::RunOutcome;
+        let hung = RunOutcome::Hung(Box::new(vgiw_robust::DeadlockReport {
+            machine: "vgiw",
+            cycle: 123,
+            budget: 1000,
+            stalled_for: 1001,
+            block: Some(7),
+            resources: vec![vgiw_robust::StuckResource {
+                name: "fabric node 7 (replica 0)".to_string(),
+                detail: "2 pending \"token\" entries\n".to_string(),
+            }],
+        }));
+        let failed = RunOutcome::Failed("invariant: CVT bit 3 armed twice \\ \"x\"".to_string());
+        let ok = RunOutcome::Ok(crate::harness::MachineResult::default());
+        let records = vec![
+            ("BFS".to_string(), "vgiw", &hung),
+            ("NN".to_string(), "simt", &failed),
+            ("NW".to_string(), "sgmf", &ok),
+        ];
+        let doc = failures_artifact(&records).expect("two failures to persist");
+        vgiw_trace::validate_json(&doc).expect("artifact must be strict JSON");
+        assert!(doc.contains("\"kind\":\"hung\""));
+        assert!(doc.contains("\"stalled_for\":1001"));
+        assert!(doc.contains("\"kind\":\"failed\""));
+        // The ok row must not appear.
+        assert!(!doc.contains("\"NW\""));
+        // Nothing to persist -> no artifact.
+        assert!(failures_artifact(&[("NW".to_string(), "sgmf", &ok)]).is_none());
     }
 
     #[test]

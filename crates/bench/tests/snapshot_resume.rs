@@ -1,0 +1,215 @@
+//! Snapshot and recovery regression tests (DESIGN.md §11): machine
+//! snapshots must round-trip byte-for-byte, a checkpointed-and-resumed
+//! run must be bit-identical to an uninterrupted one, and the chaos
+//! shrinker must converge a noisy fault plan onto the one component that
+//! actually fires.
+
+use vgiw_bench::chaos::{self, ChaosClass, FaultPlan};
+use vgiw_bench::checkpoint::run_machine_checkpointed;
+use vgiw_bench::harness::{
+    new_machine, run_machine_tuned, HostCheckpoint, MachineHost, MachineKind, MachineTuning,
+    RunOutcome,
+};
+use vgiw_kernels::Benchmark;
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::Tracer;
+
+/// The determinism-test slice of the suite: NN (SGMF-mappable,
+/// memory-bound), HOTSPOT (SGMF-mappable, compute), BFS (multi-launch,
+/// data-dependent driver, not SGMF-mappable). ci.sh covers the full
+/// suite in release via the kill-and-resume golden pass.
+fn subset() -> Vec<Benchmark> {
+    vec![
+        vgiw_kernels::nn::build(1),
+        vgiw_kernels::hotspot::build(1),
+        vgiw_kernels::bfs::build(1),
+    ]
+}
+
+/// save → restore into a fresh machine → save again must be
+/// byte-identical, on a machine that has actually run work (warm
+/// caches, advanced cycle counter, populated counter registry).
+#[test]
+fn machine_snapshot_round_trips_byte_identical() {
+    let checks = ChecksConfig::full();
+    for (kind, name) in MachineKind::ALL {
+        for bench in subset() {
+            let mut machine = new_machine(kind, checks);
+            {
+                let mut host = MachineHost::new(&mut *machine);
+                match bench.run(&mut host) {
+                    Ok(()) => {}
+                    // SGMF declines unmappable kernels before any state
+                    // forms; nothing to snapshot.
+                    Err(e) if e.contains("not SGMF-mappable") => continue,
+                    Err(e) => panic!("{name} failed on {}: {e}", bench.app),
+                }
+            }
+            let first = machine.save_state().expect("save_state");
+            let mut fresh = new_machine(kind, checks);
+            fresh.restore_state(&first).expect("restore_state");
+            let second = fresh.save_state().expect("second save_state");
+            assert_eq!(
+                first, second,
+                "{name} snapshot does not round-trip on {}",
+                bench.app
+            );
+        }
+    }
+}
+
+/// Restoring a snapshot into a machine built with a different
+/// configuration must be rejected, not silently corrupt state.
+#[test]
+fn restore_rejects_config_mismatch() {
+    let vgiw = new_machine(MachineKind::Vgiw, ChecksConfig::default());
+    let state = vgiw.save_state().expect("save_state");
+    let mut simt = new_machine(MachineKind::Simt, ChecksConfig::default());
+    let err = simt
+        .restore_state(&state)
+        .expect_err("cross-machine restore must fail");
+    assert!(
+        err.contains("vgiw") && err.contains("simt"),
+        "mismatch error should name both machines: {err}"
+    );
+}
+
+/// Checkpoint mid-run, resume into a fresh machine, and finish: the
+/// final result and the machine's full counter registry must equal the
+/// uninterrupted run, for every checkpoint boundary of every benchmark
+/// in the slice, on all three machines.
+#[test]
+fn resume_is_bit_identical_to_uninterrupted_run() {
+    let checks = ChecksConfig::full();
+    let tuning = MachineTuning::default();
+    for (kind, name) in MachineKind::ALL {
+        for bench in subset() {
+            let mut nop = |_: HostCheckpoint| Ok(());
+            let clean =
+                run_machine_checkpointed(&bench, kind, checks, tuning, None, None, &mut nop);
+            let clean_result = match &clean.outcome {
+                RunOutcome::Ok(r) => *r,
+                RunOutcome::Skipped(_) => continue,
+                other => panic!("{name} clean run failed on {}: {other:?}", bench.app),
+            };
+
+            // Capture a checkpoint at every launch boundary.
+            let mut taken: Vec<HostCheckpoint> = Vec::new();
+            let mut capture = |c: HostCheckpoint| {
+                taken.push(c);
+                Ok(())
+            };
+            let ckpt_run =
+                run_machine_checkpointed(&bench, kind, checks, tuning, Some(1), None, &mut capture);
+            assert_eq!(
+                ckpt_run.outcome.ok(),
+                Some(&clean_result),
+                "{name}: taking checkpoints changed the result on {}",
+                bench.app
+            );
+            assert_eq!(
+                ckpt_run.counters, clean.counters,
+                "{name}: taking checkpoints changed the counters on {}",
+                bench.app
+            );
+            assert!(!taken.is_empty(), "no checkpoints taken on {}", bench.app);
+
+            // Resume from each boundary except the final one (nothing
+            // would be left to run) and demand bit-identity.
+            let last = taken.len() - 1;
+            for ckpt in taken.into_iter().take(last.max(1)) {
+                let at = ckpt.launches_done;
+                let mut nop = |_: HostCheckpoint| Ok(());
+                let resumed = run_machine_checkpointed(
+                    &bench,
+                    kind,
+                    checks,
+                    tuning,
+                    None,
+                    Some(ckpt),
+                    &mut nop,
+                );
+                assert_eq!(
+                    resumed.outcome.ok(),
+                    Some(&clean_result),
+                    "{name}: resume at launch {at} diverges on {}",
+                    bench.app
+                );
+                assert_eq!(
+                    resumed.counters, clean.counters,
+                    "{name}: resume at launch {at} has different counters on {}",
+                    bench.app
+                );
+            }
+        }
+    }
+}
+
+/// A plan with one live fault buried under components that never fire
+/// must shrink to just the live fault, the recovery harness must finish
+/// the run by disabling it, and the minimal reproducer must replay to
+/// the same class twice.
+#[test]
+fn chaos_shrinks_to_the_live_fault_and_recovers() {
+    let checks = ChecksConfig::full();
+    let tuning = MachineTuning {
+        watchdog_budget: Some(20_000),
+        ..MachineTuning::default()
+    };
+    let bench = vgiw_kernels::nn::build(1);
+    let clean = run_machine_tuned(&bench, MachineKind::Simt, checks, &Tracer::off(), tuning);
+    let clean = *clean.outcome.ok().expect("clean NN run");
+
+    let plan = FaultPlan {
+        // Never fires: NN on SIMT issues far fewer than 1M responses.
+        resp_drop: Some(1_000_000),
+        resp_dup: Some(1_000_000),
+        // Fires: wedge the memory system after 8 accepted requests.
+        mem_wedge: Some(8),
+        ..FaultPlan::none("NN", MachineKind::Simt)
+    };
+
+    let run = chaos::classify(&bench, &plan, checks, tuning, &clean);
+    assert_eq!(
+        run.class,
+        ChaosClass::Caught,
+        "wedge not caught: {}",
+        run.detail
+    );
+    assert!(
+        run.detail.contains("watchdog"),
+        "expected a watchdog abort: {}",
+        run.detail
+    );
+
+    let shrunk = chaos::shrink(&bench, &plan, checks, tuning, &clean, run.class);
+    assert_eq!(
+        shrunk.active_components(),
+        vec!["mem_wedge"],
+        "shrinker kept dead components"
+    );
+    assert!(
+        shrunk.mem_wedge.unwrap() <= 8,
+        "shrinker grew the trigger value"
+    );
+    let replay1 = chaos::classify(&bench, &shrunk, checks, tuning, &clean);
+    let replay2 = chaos::classify(&bench, &shrunk, checks, tuning, &clean);
+    assert_eq!(replay1.class, ChaosClass::Caught);
+    assert_eq!(replay1, replay2, "minimal reproducer is not deterministic");
+
+    let recovered = chaos::run_with_recovery(&bench, &plan, checks, tuning);
+    let result = recovered.outcome.expect("recovery must finish the run");
+    assert_eq!(
+        result.cycles, clean.cycles,
+        "recovered run should finish with clean cycle count once the wedge is lifted"
+    );
+    assert!(
+        recovered.attempts.iter().any(|a| a.disabled == "mem_wedge"),
+        "recovery never disabled the wedge: {:?}",
+        recovered.attempts
+    );
+    assert!(
+        recovered.final_plan.mem_wedge.is_none(),
+        "final plan still carries the wedge"
+    );
+}

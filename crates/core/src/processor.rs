@@ -11,7 +11,7 @@
 //! `(live value ID, thread ID)` and cached by the LVC, which shares the L2
 //! with the data L1 (§3.4).
 
-use crate::config::VgiwConfig;
+use crate::config::{CoreFaults, VgiwConfig};
 use crate::cvt::{Cvt, ThreadBatch};
 use crate::stats::VgiwRunStats;
 use std::collections::{BTreeMap, HashMap};
@@ -24,6 +24,7 @@ use vgiw_mem::{MemDrain, MemSystem};
 use vgiw_robust::{
     DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
 };
+use vgiw_snapshot::{SnapshotReader, SnapshotWriter};
 use vgiw_trace::{Counters, LaunchSummary, Machine, Phase, TraceEvent, Tracer};
 
 /// VGIW execution failure.
@@ -595,6 +596,16 @@ impl VgiwProcessor {
         Ok(stats)
     }
 
+    /// Configuration identity for snapshot compatibility checks. Fault
+    /// plans are excluded: they are injected perturbations, not machine
+    /// architecture, and watchdog recovery deliberately restores a
+    /// checkpoint into a machine whose fault plan has been reduced.
+    fn config_fingerprint(&self) -> String {
+        let mut cfg = self.config.clone();
+        cfg.faults = CoreFaults::default();
+        format!("{cfg:?}")
+    }
+
     /// Rebuilds the fabric and memory hierarchy after an abort mid-drain:
     /// the machine may hold threads and unanswered memory requests, and
     /// the processor is documented as reusable across launches.
@@ -780,6 +791,58 @@ impl Machine for VgiwProcessor {
 
     fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
         self.last_deadlock.take()
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        if !self.fabric.is_drained() {
+            return Err("vgiw: cannot checkpoint mid-launch (fabric not drained)".to_string());
+        }
+        let mut w = SnapshotWriter::new();
+        w.section("machine");
+        w.str("name", "vgiw");
+        w.str("config", &self.config_fingerprint());
+        w.u64("fabric_cycle", self.fabric.cycle());
+        w.u64("cycles_skipped", self.cycles_skipped);
+        w.u64("events", self.events);
+        self.accum.save(&mut w, "accum");
+        self.mem.save_state(&mut w, "mem");
+        w.end_section();
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: vgiw_snapshot::SnapshotError| e.to_string();
+        let mut r = SnapshotReader::new(bytes).map_err(s)?;
+        r.section("machine").map_err(s)?;
+        let name = r.str("name").map_err(s)?;
+        if name != "vgiw" {
+            return Err(format!("snapshot is for machine '{name}', not 'vgiw'"));
+        }
+        let config = r.str("config").map_err(s)?.to_string();
+        let own = self.config_fingerprint();
+        if config != own {
+            return Err(format!(
+                "snapshot configuration mismatch: snapshot was taken with {config}, \
+                 this machine is configured as {own}"
+            ));
+        }
+        // Start from a clean (drained) machine; compiled-kernel memos are
+        // deliberately kept — `prepare` rebuilds them deterministically
+        // either way.
+        self.reset_machine();
+        let fabric_cycle = r.u64("fabric_cycle").map_err(s)?;
+        self.cycles_skipped = r.u64("cycles_skipped").map_err(s)?;
+        self.events = r.u64("events").map_err(s)?;
+        self.accum = Counters::restore(&mut r, "accum").map_err(s)?;
+        self.fabric.restore_cycle(fabric_cycle);
+        self.mem.restore_state(&mut r, "mem").map_err(s)?;
+        r.end_section().map_err(s)?;
+        self.last_deadlock = None;
+        Ok(())
+    }
+
+    fn set_mem_wedge(&mut self, n: Option<u64>) {
+        self.mem.set_wedge_after(n);
     }
 
     fn reset(&mut self) {

@@ -697,6 +697,27 @@ impl Fabric {
         self.cycle
     }
 
+    /// Restores the cycle counter from a checkpoint.
+    ///
+    /// The clock is the *only* fabric state that survives across launches:
+    /// everything else (channels, tokens, micro-program runtime state,
+    /// replica placements) is rebuilt by [`Fabric::configure`] and the
+    /// per-launch injection, and per-run statistics are reset by the
+    /// machines. Checkpoints are therefore taken at launch boundaries,
+    /// where the fabric is drained, and restore only needs to reposition
+    /// the clock.
+    ///
+    /// # Panics
+    /// Panics if the fabric is not drained — restoring mid-launch state
+    /// this way would silently discard in-flight tokens.
+    pub fn restore_cycle(&mut self, cycle: u64) {
+        assert!(
+            self.is_drained(),
+            "fabric cycle can only be restored while drained (launch boundary)"
+        );
+        self.cycle = cycle;
+    }
+
     /// Number of replicas currently configured.
     pub fn num_replicas(&self) -> u32 {
         self.replicas.len() as u32

@@ -312,6 +312,56 @@ impl CacheArray {
         Some(evicted)
     }
 
+    /// Writes the array's mutable state (packed meta words, LRU column,
+    /// LRU tick, way hint) as one snapshot section. Geometry is config,
+    /// not state; [`CacheArray::restore`] validates it instead.
+    pub(crate) fn save(&self, w: &mut vgiw_snapshot::SnapshotWriter, name: &str) {
+        w.section(name);
+        w.u64("entries", self.meta.len() as u64);
+        let meta: Vec<u64> = self.meta.iter().map(|m| m.0).collect();
+        w.u64_list("meta", &meta);
+        w.u64_list("lru", &self.lru);
+        w.u64("tick", self.tick);
+        w.u64("hint", u64::from(self.hint));
+        w.end_section();
+    }
+
+    /// Restores state written by [`CacheArray::save`] into an array of the
+    /// same geometry.
+    ///
+    /// # Errors
+    /// Fails if the snapshot's entry count differs from this array's.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut vgiw_snapshot::SnapshotReader<'_>,
+        name: &str,
+    ) -> Result<(), vgiw_snapshot::SnapshotError> {
+        r.section(name)?;
+        let entries = r.u64("entries")? as usize;
+        if entries != self.meta.len() {
+            return Err(vgiw_snapshot::SnapshotError::Incompatible {
+                detail: format!(
+                    "cache array `{name}` has {} entries, snapshot has {entries}",
+                    self.meta.len()
+                ),
+            });
+        }
+        let meta = r.u64_list("meta")?;
+        let lru = r.u64_list("lru")?;
+        if meta.len() != entries || lru.len() != entries {
+            return Err(vgiw_snapshot::SnapshotError::Corrupt {
+                detail: format!("cache array `{name}` list lengths disagree with entry count"),
+            });
+        }
+        for (dst, src) in self.meta.iter_mut().zip(&meta) {
+            *dst = LineMeta(*src);
+        }
+        self.lru.copy_from_slice(&lru);
+        self.tick = r.u64("tick")?;
+        self.hint = r.u64("hint")? as u32;
+        r.end_section()
+    }
+
     /// Invalidates a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let key = LineMeta::key(line);

@@ -40,6 +40,7 @@ use crate::stats::{MemPhases, MemStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
+use vgiw_snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use vgiw_trace::{TraceEvent, Tracer};
 
 /// Length of the event timing wheel (a power of two). Events within one
@@ -407,6 +408,13 @@ pub struct MemSystem {
     time_phases: bool,
     phases: MemPhases,
     scratch: BatchScratch,
+    /// Deterministic wedge fault (see [`MemSystem::set_wedge_after`]):
+    /// refuse every request once this many have been accepted. `None` in
+    /// normal operation (zero cost on the intake hot path beyond one
+    /// `Option` check).
+    wedge_after: Option<u64>,
+    /// Requests accepted since the wedge plan was installed.
+    wedge_accepted: u64,
 }
 
 impl MemSystem {
@@ -464,6 +472,8 @@ impl MemSystem {
             time_phases: false,
             phases: MemPhases::default(),
             scratch: BatchScratch::default(),
+            wedge_after: None,
+            wedge_accepted: 0,
         }
     }
 
@@ -537,6 +547,11 @@ impl MemSystem {
     /// [`ResponseSink`] of [`MemSystem::tick_deliver`]) — for stores too
     /// (VGIW store completions feed join-token ordering).
     pub fn access(&mut self, port: PortId, addr_words: u32, is_store: bool, id: ReqId) -> bool {
+        if let Some(after) = self.wedge_after {
+            if self.wedge_accepted >= after {
+                return false;
+            }
+        }
         let t0 = self.clock();
         let accepted = if self.reference {
             self.access_reference(port, addr_words, is_store, id)
@@ -544,6 +559,9 @@ impl MemSystem {
             self.access_fast(port, addr_words, is_store, id, None)
         };
         self.phases.intake_ns += Self::elapsed(t0);
+        if accepted && self.wedge_after.is_some() {
+            self.wedge_accepted += 1;
+        }
         accepted
     }
 
@@ -565,6 +583,18 @@ impl MemSystem {
     pub fn access_batch(&mut self, port: PortId, reqs: &[BatchReq]) -> usize {
         if reqs.is_empty() {
             return 0;
+        }
+        if self.wedge_after.is_some() {
+            // Wedge faults are rare (chaos campaigns only); fall back to
+            // the per-request path so each acceptance is gated
+            // individually. Batch coalescing stats are not recorded while
+            // a wedge plan is armed.
+            for (i, r) in reqs.iter().enumerate() {
+                if !self.access(port, r.addr_words, r.is_store, r.id) {
+                    return i;
+                }
+            }
+            return reqs.len();
         }
         let t0 = self.clock();
         let geom = self.ports[port].config.geometry;
@@ -1100,6 +1130,257 @@ impl MemSystem {
     /// completions, pending responses).
     pub fn in_flight_events(&self) -> usize {
         self.wheel_count + self.far_events.len() + self.responses.len()
+    }
+
+    /// Installs (or clears) a deterministic *wedge* fault: once `n` more
+    /// requests have been accepted, every subsequent intake through
+    /// [`MemSystem::access`] / [`MemSystem::access_batch`] is refused,
+    /// starving the client until its watchdog fires. This is the
+    /// machine-level analogue of the fabric `FaultyEnv` stall fault, used
+    /// by the chaos campaign to exercise deadlock detection and
+    /// checkpoint recovery on every machine. Resets the acceptance count.
+    pub fn set_wedge_after(&mut self, n: Option<u64>) {
+        self.wedge_after = n;
+        self.wedge_accepted = 0;
+    }
+
+    /// Writes the complete dynamic state — clock, pending timing events,
+    /// undrained responses, cache arrays, MSHRs, busy-until occupancy,
+    /// fault-plan progress and statistics — as one snapshot section named
+    /// `name`. Configuration and pure observers (tracer, phase timings,
+    /// scratch/pool buffers) are not serialized: restore targets a
+    /// `MemSystem` built with the same configuration. Byte-deterministic
+    /// for a given state (wheel events are written in temporal order,
+    /// overflow-heap events in `(time, seq)` order).
+    pub fn save_state(&self, w: &mut SnapshotWriter, name: &str) {
+        w.section(name);
+        w.u64("now", self.now);
+        w.u64("event_seq", self.event_seq);
+        w.u64_list(
+            "wedge",
+            &[
+                self.wedge_after.is_some() as u64,
+                self.wedge_after.unwrap_or(0),
+                self.wedge_accepted,
+            ],
+        );
+        w.u64_list("responses", &self.responses);
+
+        // Wheel events in temporal order, with absolute times recovered
+        // from slot positions: every wheel event lies in
+        // `(now, now + EVENT_WHEEL)`, so slot `(now + d) & MASK` holds
+        // exactly the events due at `now + d`.
+        let mut near = Vec::with_capacity(self.wheel_count * 4);
+        for d in 1..EVENT_WHEEL as u64 {
+            let t = self.now + d;
+            for &ev in &self.wheel[(t & EVENT_WHEEL_MASK) as usize] {
+                let (kind, a, b) = encode_event(ev);
+                near.extend_from_slice(&[t, kind, a, b]);
+            }
+        }
+        debug_assert_eq!(near.len(), self.wheel_count * 4);
+        w.u64_list("wheel", &near);
+
+        // Overflow events carry their heap key verbatim; sorted so the
+        // serialization is canonical regardless of heap layout.
+        let mut far: Vec<(u64, u64, Event)> = self.far_events.iter().map(|&Reverse(e)| e).collect();
+        far.sort_unstable();
+        let mut far_words = Vec::with_capacity(far.len() * 5);
+        for (t, seq, ev) in far {
+            let (kind, a, b) = encode_event(ev);
+            far_words.extend_from_slice(&[t, seq, kind, a, b]);
+        }
+        w.u64_list("far", &far_words);
+
+        w.u64("ports", self.ports.len() as u64);
+        for port in &self.ports {
+            w.section("port");
+            w.u64("banks", port.banks.len() as u64);
+            for bank in &port.banks {
+                w.section("bank");
+                bank.array.save(w, "array");
+                w.u64("busy_until", bank.busy_until);
+                w.u64("mshrs", bank.mshrs.len() as u64);
+                for m in &bank.mshrs {
+                    let mut rec = Vec::with_capacity(m.waiters.len() + 2);
+                    rec.push(m.line);
+                    rec.push(m.dirty as u64);
+                    rec.extend_from_slice(&m.waiters);
+                    w.u64_list("mshr", &rec);
+                }
+                w.end_section();
+            }
+            w.end_section();
+        }
+
+        w.u64("l2_banks", self.l2.len() as u64);
+        for bank in &self.l2 {
+            w.section("l2_bank");
+            bank.array.save(w, "array");
+            w.u64("busy_until", bank.busy_until);
+            w.end_section();
+        }
+
+        w.u64("dram_channels", self.dram.len() as u64);
+        for chan in &self.dram {
+            let mut rec = Vec::with_capacity(chan.bank_busy_until.len() + 1);
+            rec.push(chan.bus_busy_until);
+            rec.extend_from_slice(&chan.bank_busy_until);
+            w.u64_list("dram_channel", &rec);
+        }
+
+        self.stats.save(w, "stats");
+        w.end_section();
+    }
+
+    /// Restores state written by [`MemSystem::save_state`] into a
+    /// hierarchy built with the same configuration (port/bank/channel
+    /// geometry is validated). All dynamic state is replaced; subsequent
+    /// behaviour is bit-identical to the saved instance's.
+    ///
+    /// # Errors
+    /// Fails on a malformed section or a geometry mismatch; the hierarchy
+    /// may be left partially restored and must not be reused after an
+    /// error.
+    pub fn restore_state(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        name: &str,
+    ) -> Result<(), SnapshotError> {
+        fn corrupt(detail: &str) -> SnapshotError {
+            SnapshotError::Corrupt {
+                detail: detail.to_string(),
+            }
+        }
+        fn check_count(what: &str, found: u64, expected: usize) -> Result<(), SnapshotError> {
+            if found != expected as u64 {
+                return Err(SnapshotError::Incompatible {
+                    detail: format!("{what}: snapshot has {found}, this config has {expected}"),
+                });
+            }
+            Ok(())
+        }
+
+        r.section(name)?;
+        let now = r.u64("now")?;
+        let event_seq = r.u64("event_seq")?;
+        let wedge = r.u64_list("wedge")?;
+        if wedge.len() != 3 {
+            return Err(corrupt("wedge record must have 3 words"));
+        }
+        let responses = r.u64_list("responses")?;
+        let near = r.u64_list("wheel")?;
+        if near.len() % 4 != 0 {
+            return Err(corrupt("wheel event list must be a multiple of 4 words"));
+        }
+        let far = r.u64_list("far")?;
+        if far.len() % 5 != 0 {
+            return Err(corrupt("far event list must be a multiple of 5 words"));
+        }
+
+        // Reset every event container, then rebuild at the restored clock.
+        self.now = now;
+        self.event_seq = 0;
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.wheel_occ = [0; EVENT_WHEEL / 64];
+        self.wheel_count = 0;
+        self.far_events.clear();
+        self.responses = responses;
+        for chunk in near.chunks_exact(4) {
+            let t = chunk[0];
+            if t <= now || t - now >= EVENT_WHEEL as u64 {
+                return Err(corrupt("wheel event time outside wheel horizon"));
+            }
+            let ev = decode_event(chunk[1], chunk[2], chunk[3])?;
+            self.schedule(t, ev);
+        }
+        for chunk in far.chunks_exact(5) {
+            let ev = decode_event(chunk[2], chunk[3], chunk[4])?;
+            self.far_events.push(Reverse((chunk[0], chunk[1], ev)));
+        }
+        self.event_seq = event_seq;
+        self.wedge_after = (wedge[0] != 0).then_some(wedge[1]);
+        self.wedge_accepted = wedge[2];
+
+        check_count("L1 ports", r.u64("ports")?, self.ports.len())?;
+        for port in &mut self.ports {
+            r.section("port")?;
+            check_count("L1 banks", r.u64("banks")?, port.banks.len())?;
+            for bank in &mut port.banks {
+                r.section("bank")?;
+                bank.array.restore(r, "array")?;
+                bank.busy_until = r.u64("busy_until")?;
+                let n_mshrs = r.u64("mshrs")? as usize;
+                // Recycle existing waiter vectors through the pool.
+                for mut m in bank.mshrs.drain(..) {
+                    m.waiters.clear();
+                    bank.waiter_pool.push(m.waiters);
+                }
+                for _ in 0..n_mshrs {
+                    let rec = r.u64_list("mshr")?;
+                    if rec.len() < 2 {
+                        return Err(corrupt("mshr record must have at least 2 words"));
+                    }
+                    let mut waiters = bank.waiter_pool.pop().unwrap_or_default();
+                    waiters.extend_from_slice(&rec[2..]);
+                    bank.mshrs.push(Mshr {
+                        line: rec[0],
+                        waiters,
+                        dirty: rec[1] != 0,
+                    });
+                }
+                r.end_section()?;
+            }
+            r.end_section()?;
+        }
+
+        check_count("L2 banks", r.u64("l2_banks")?, self.l2.len())?;
+        for bank in &mut self.l2 {
+            r.section("l2_bank")?;
+            bank.array.restore(r, "array")?;
+            bank.busy_until = r.u64("busy_until")?;
+            r.end_section()?;
+        }
+
+        check_count("DRAM channels", r.u64("dram_channels")?, self.dram.len())?;
+        for chan in &mut self.dram {
+            let rec = r.u64_list("dram_channel")?;
+            check_count(
+                "DRAM banks",
+                rec.len() as u64,
+                chan.bank_busy_until.len() + 1,
+            )?;
+            chan.bus_busy_until = rec[0];
+            chan.bank_busy_until.copy_from_slice(&rec[1..]);
+        }
+
+        self.stats = MemStats::restore(r, "stats", self.ports.len())?;
+        r.end_section()?;
+        Ok(())
+    }
+}
+
+/// Packs a timing event as `(kind, a, b)` words for serialization.
+fn encode_event(ev: Event) -> (u64, u64, u64) {
+    match ev {
+        Event::Respond(id) => (0, id, 0),
+        Event::FillL1 { port, line } => (1, port as u64, line),
+    }
+}
+
+/// Inverse of [`encode_event`].
+fn decode_event(kind: u64, a: u64, b: u64) -> Result<Event, SnapshotError> {
+    match kind {
+        0 => Ok(Event::Respond(a)),
+        1 => Ok(Event::FillL1 {
+            port: a as usize,
+            line: b,
+        }),
+        other => Err(SnapshotError::Corrupt {
+            detail: format!("unknown event kind {other}"),
+        }),
     }
 }
 

@@ -251,6 +251,105 @@ impl MemStats {
         self.batch.export_counters(out, &mem);
     }
 
+    /// Writes every statistic as one snapshot section (checkpointed
+    /// machines must resume with the exact cumulative counters, since
+    /// launches report deltas against them).
+    pub fn save(&self, w: &mut vgiw_snapshot::SnapshotWriter, name: &str) {
+        let level = |w: &mut vgiw_snapshot::SnapshotWriter, s: &LevelStats| {
+            w.u64_list(
+                "level",
+                &[
+                    s.accesses,
+                    s.stores,
+                    s.hits,
+                    s.misses,
+                    s.mshr_merges,
+                    s.rejects,
+                    s.fills,
+                    s.writebacks,
+                    s.bank_conflicts,
+                ],
+            );
+        };
+        w.section(name);
+        w.u64("ports", self.port.len() as u64);
+        for p in &self.port {
+            level(w, p);
+        }
+        level(w, &self.l2);
+        w.u64_list("dram", &[self.dram.reads, self.dram.writes]);
+        let b = &self.batch;
+        w.u64_list(
+            "batch",
+            &[b.batches, b.requests, b.distinct_lines, b.coalesced],
+        );
+        w.u64_list("batch_hist", &b.line_hist);
+        w.end_section();
+    }
+
+    /// Reads statistics written by [`MemStats::save`].
+    ///
+    /// # Errors
+    /// Fails on a malformed section or a port-count mismatch.
+    pub fn restore(
+        r: &mut vgiw_snapshot::SnapshotReader<'_>,
+        name: &str,
+        num_ports: usize,
+    ) -> Result<MemStats, vgiw_snapshot::SnapshotError> {
+        let level = |r: &mut vgiw_snapshot::SnapshotReader<'_>| {
+            let v = r.u64_list("level")?;
+            if v.len() != 9 {
+                return Err(vgiw_snapshot::SnapshotError::Corrupt {
+                    detail: format!("level stats hold {} fields, expected 9", v.len()),
+                });
+            }
+            Ok(LevelStats {
+                accesses: v[0],
+                stores: v[1],
+                hits: v[2],
+                misses: v[3],
+                mshr_merges: v[4],
+                rejects: v[5],
+                fills: v[6],
+                writebacks: v[7],
+                bank_conflicts: v[8],
+            })
+        };
+        r.section(name)?;
+        let ports = r.u64("ports")? as usize;
+        if ports != num_ports {
+            return Err(vgiw_snapshot::SnapshotError::Incompatible {
+                detail: format!("snapshot has {ports} memory ports, machine has {num_ports}"),
+            });
+        }
+        let mut out = MemStats::new(ports);
+        for p in &mut out.port {
+            *p = level(r)?;
+        }
+        out.l2 = level(r)?;
+        let dram = r.u64_list("dram")?;
+        let batch = r.u64_list("batch")?;
+        let hist = r.u64_list("batch_hist")?;
+        if dram.len() != 2 || batch.len() != 4 || hist.len() != 5 {
+            return Err(vgiw_snapshot::SnapshotError::Corrupt {
+                detail: "dram/batch stats hold the wrong field counts".to_string(),
+            });
+        }
+        out.dram = DramStats {
+            reads: dram[0],
+            writes: dram[1],
+        };
+        out.batch = BatchStats {
+            batches: batch[0],
+            requests: batch[1],
+            distinct_lines: batch[2],
+            coalesced: batch[3],
+            line_hist: std::array::from_fn(|i| hist[i]),
+        };
+        r.end_section()?;
+        Ok(out)
+    }
+
     /// The counters accumulated since `before` was captured (all fields).
     ///
     /// # Panics

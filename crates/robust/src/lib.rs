@@ -334,6 +334,16 @@ impl ResponseTamper {
         }
     }
 
+    /// A tamper plan with both triggers explicit (chaos-campaign plans
+    /// arm either or both from one random draw).
+    pub fn plan(drop_nth: Option<u64>, dup_nth: Option<u64>) -> Self {
+        ResponseTamper {
+            drop_nth,
+            dup_nth,
+            seen: 0,
+        }
+    }
+
     /// Whether any tampering is configured.
     pub fn active(&self) -> bool {
         self.drop_nth.is_some() || self.dup_nth.is_some()

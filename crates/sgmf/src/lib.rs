@@ -30,6 +30,7 @@ use vgiw_robust::{
     ChecksConfig, DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor,
     ResponseTamper, StuckResource,
 };
+use vgiw_snapshot::{SnapshotReader, SnapshotWriter};
 use vgiw_trace::{Counters, LaunchSummary, Machine, Phase, TraceEvent, Tracer};
 
 /// SGMF processor configuration: the same fabric and Table-1 memory system
@@ -440,6 +441,17 @@ impl SgmfProcessor {
         })
     }
 
+    /// Configuration identity for snapshot compatibility checks. Fault
+    /// plans are excluded: they are injected perturbations, not machine
+    /// architecture, and watchdog recovery deliberately restores a
+    /// checkpoint into a machine whose fault plan has been reduced.
+    fn config_fingerprint(&self) -> String {
+        let mut cfg = self.config.clone();
+        cfg.fabric_faults = FabricFaults::default();
+        cfg.response_faults = ResponseTamper::default();
+        format!("{cfg:?}")
+    }
+
     /// Rebuilds the fabric and memory system after an aborted run so the
     /// processor stays usable for the next kernel.
     fn reset_machine(&mut self) {
@@ -591,6 +603,58 @@ impl Machine for SgmfProcessor {
 
     fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
         self.last_deadlock.take()
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        if !self.fabric.is_drained() {
+            return Err("sgmf: cannot checkpoint mid-launch (fabric not drained)".to_string());
+        }
+        let mut w = SnapshotWriter::new();
+        w.section("machine");
+        w.str("name", "sgmf");
+        w.str("config", &self.config_fingerprint());
+        w.u64("fabric_cycle", self.fabric.cycle());
+        w.u64("cycles_skipped", self.cycles_skipped);
+        w.u64("events", self.events);
+        self.accum.save(&mut w, "accum");
+        self.mem.save_state(&mut w, "mem");
+        w.end_section();
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: vgiw_snapshot::SnapshotError| e.to_string();
+        let mut r = SnapshotReader::new(bytes).map_err(s)?;
+        r.section("machine").map_err(s)?;
+        let name = r.str("name").map_err(s)?;
+        if name != "sgmf" {
+            return Err(format!("snapshot is for machine '{name}', not 'sgmf'"));
+        }
+        let config = r.str("config").map_err(s)?.to_string();
+        let own = self.config_fingerprint();
+        if config != own {
+            return Err(format!(
+                "snapshot configuration mismatch: snapshot was taken with {config}, \
+                 this machine is configured as {own}"
+            ));
+        }
+        // Start from a clean (drained) machine; mapped-kernel memos are
+        // deliberately kept — `prepare` rebuilds them deterministically
+        // either way.
+        self.reset_machine();
+        let fabric_cycle = r.u64("fabric_cycle").map_err(s)?;
+        self.cycles_skipped = r.u64("cycles_skipped").map_err(s)?;
+        self.events = r.u64("events").map_err(s)?;
+        self.accum = Counters::restore(&mut r, "accum").map_err(s)?;
+        self.fabric.restore_cycle(fabric_cycle);
+        self.mem.restore_state(&mut r, "mem").map_err(s)?;
+        r.end_section().map_err(s)?;
+        self.last_deadlock = None;
+        Ok(())
+    }
+
+    fn set_mem_wedge(&mut self, n: Option<u64>) {
+        self.mem.set_wedge_after(n);
     }
 
     fn reset(&mut self) {

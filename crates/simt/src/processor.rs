@@ -20,6 +20,7 @@ use vgiw_mem::{BatchReq, MemDrain, MemSystem};
 use vgiw_robust::{
     DeadlockReport, InvariantKind, InvariantViolation, ProgressMonitor, StuckResource,
 };
+use vgiw_snapshot::{SnapshotReader, SnapshotWriter};
 use vgiw_trace::{Counters, LaunchSummary, Machine, TraceEvent, Tracer};
 
 /// Open-addressed map from in-flight memory transaction id to its owning
@@ -466,6 +467,16 @@ impl SimtProcessor {
         Ok(stats)
     }
 
+    /// Configuration identity for snapshot compatibility checks. Fault
+    /// plans are excluded: they are injected perturbations, not machine
+    /// architecture, and watchdog recovery deliberately restores a
+    /// checkpoint into a machine whose fault plan has been reduced.
+    fn config_fingerprint(&self) -> String {
+        let mut cfg = self.config.clone();
+        cfg.response_faults = vgiw_robust::ResponseTamper::default();
+        format!("{cfg:?}")
+    }
+
     /// Rebuilds the memory system after an aborted run (in-flight events
     /// would otherwise leak into the next launch).
     fn reset_machine(&mut self) {
@@ -740,6 +751,54 @@ impl Machine for SimtProcessor {
 
     fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>> {
         self.last_deadlock.take()
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        // All warp state (divergence stacks, scoreboards, the transaction
+        // slab) is local to a `run` invocation; between launches only the
+        // memory hierarchy — which may still hold store acknowledgements
+        // in flight — the transaction id counter and the accumulators
+        // persist.
+        let mut w = SnapshotWriter::new();
+        w.section("machine");
+        w.str("name", "simt");
+        w.str("config", &self.config_fingerprint());
+        w.u64("next_req", self.next_req);
+        w.u64("events", self.events);
+        self.accum.save(&mut w, "accum");
+        self.mem.save_state(&mut w, "mem");
+        w.end_section();
+        Ok(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let s = |e: vgiw_snapshot::SnapshotError| e.to_string();
+        let mut r = SnapshotReader::new(bytes).map_err(s)?;
+        r.section("machine").map_err(s)?;
+        let name = r.str("name").map_err(s)?;
+        if name != "simt" {
+            return Err(format!("snapshot is for machine '{name}', not 'simt'"));
+        }
+        let config = r.str("config").map_err(s)?.to_string();
+        let own = self.config_fingerprint();
+        if config != own {
+            return Err(format!(
+                "snapshot configuration mismatch: snapshot was taken with {config}, \
+                 this machine is configured as {own}"
+            ));
+        }
+        self.reset_machine();
+        self.next_req = r.u64("next_req").map_err(s)?;
+        self.events = r.u64("events").map_err(s)?;
+        self.accum = Counters::restore(&mut r, "accum").map_err(s)?;
+        self.mem.restore_state(&mut r, "mem").map_err(s)?;
+        r.end_section().map_err(s)?;
+        self.last_deadlock = None;
+        Ok(())
+    }
+
+    fn set_mem_wedge(&mut self, n: Option<u64>) {
+        self.mem.set_wedge_after(n);
     }
 
     fn reset(&mut self) {

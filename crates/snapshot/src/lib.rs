@@ -1,0 +1,706 @@
+//! Versioned, self-describing binary snapshot format.
+//!
+//! Every machine in the workspace can serialize its persistent state —
+//! cache arrays, MSHRs, timing-wheel events, counters — into this format
+//! and restore it bit-exactly, which is what makes launch-boundary
+//! checkpoint/resume and watchdog-driven recovery possible (see
+//! `DESIGN.md` §11).
+//!
+//! # Format
+//!
+//! A snapshot is a header followed by a flat stream of *records*:
+//!
+//! ```text
+//! header  := magic "VGIWSNAP" (8 bytes) | version u32-LE
+//! record  := name_len u16-LE | name (UTF-8) | tag u8 | payload
+//! payload := tag 0 (u64):      8 bytes LE
+//!            tag 1 (f64):      8 bytes LE (IEEE-754 bits)
+//!            tag 2 (str):      len u32-LE | UTF-8 bytes
+//!            tag 3 (bytes):    len u32-LE | raw bytes
+//!            tag 4 (u64 list): count u32-LE | count × 8 bytes LE
+//!            tag 5 (section):  byte_len u32-LE | byte_len bytes of records
+//! ```
+//!
+//! The format is *self-describing*: a reader can walk any snapshot and
+//! enumerate its names, types and section structure without a schema
+//! ([`dump`] does exactly that). It is *versioned*: the header version is
+//! bumped on any incompatible layout change and readers reject snapshots
+//! they do not understand. Sections carry their byte length, so a reader
+//! can skip a whole section it does not recognize.
+//!
+//! # Reading discipline
+//!
+//! [`SnapshotReader`] is strict and sequential: each accessor names the
+//! field it expects and fails with a precise [`SnapshotError`] on any
+//! mismatch. Save and restore code are therefore forced to stay mirror
+//! images of each other, and any drift between writer and reader fails
+//! loudly instead of silently misinterpreting bytes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: &[u8; 8] = b"VGIWSNAP";
+
+/// Current format version. Bump on any incompatible layout change.
+pub const VERSION: u32 = 1;
+
+const TAG_U64: u8 = 0;
+const TAG_F64: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BYTES: u8 = 3;
+const TAG_LIST: u8 = 4;
+const TAG_SECTION: u8 = 5;
+
+fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_U64 => "u64",
+        TAG_F64 => "f64",
+        TAG_STR => "str",
+        TAG_BYTES => "bytes",
+        TAG_LIST => "u64 list",
+        TAG_SECTION => "section",
+        _ => "unknown",
+    }
+}
+
+/// Why a snapshot could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader understands.
+        expected: u32,
+    },
+    /// The stream ended inside a record.
+    Truncated {
+        /// What was being read when the stream ran out.
+        context: String,
+    },
+    /// A record's name or type differs from what the reader expected.
+    Mismatch {
+        /// What the reader asked for.
+        expected: String,
+        /// What the stream held.
+        found: String,
+    },
+    /// A record held bytes that are not valid for its type (e.g. a
+    /// non-UTF-8 string).
+    Corrupt {
+        /// Description of the malformed record.
+        detail: String,
+    },
+    /// A restore target rejected a structurally valid snapshot (e.g. a
+    /// geometry mismatch between the snapshot and the live machine).
+    Incompatible {
+        /// Why the state cannot be installed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a VGIW snapshot (bad magic)"),
+            SnapshotError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "snapshot version {found} (reader understands {expected})"
+                )
+            }
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::Mismatch { expected, found } => {
+                write!(f, "snapshot mismatch: expected {expected}, found {found}")
+            }
+            SnapshotError::Corrupt { detail } => write!(f, "snapshot corrupt: {detail}"),
+            SnapshotError::Incompatible { detail } => {
+                write!(f, "snapshot incompatible with this machine: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Streaming writer producing the binary snapshot format.
+///
+/// Records are appended in order; sections nest via
+/// [`SnapshotWriter::section`]/[`SnapshotWriter::end_section`] and their
+/// byte lengths are back-patched on close.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+    /// Offsets of the 4-byte length placeholders of open sections.
+    open: Vec<usize>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot (writes the header).
+    pub fn new() -> SnapshotWriter {
+        let mut w = SnapshotWriter {
+            buf: Vec::with_capacity(256),
+            open: Vec::new(),
+        };
+        w.buf.extend_from_slice(MAGIC);
+        w.buf.extend_from_slice(&VERSION.to_le_bytes());
+        w
+    }
+
+    fn record_head(&mut self, name: &str, tag: u8) {
+        let name = name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "record name too long");
+        self.buf
+            .extend_from_slice(&(name.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(name);
+        self.buf.push(tag);
+    }
+
+    /// Writes an integer field.
+    pub fn u64(&mut self, name: &str, v: u64) {
+        self.record_head(name, TAG_U64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a floating-point field (exact IEEE-754 bits).
+    pub fn f64(&mut self, name: &str, v: f64) {
+        self.record_head(name, TAG_F64);
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a string field.
+    pub fn str(&mut self, name: &str, v: &str) {
+        self.record_head(name, TAG_STR);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes a raw byte-string field (e.g. a nested machine snapshot).
+    pub fn bytes(&mut self, name: &str, v: &[u8]) {
+        self.record_head(name, TAG_BYTES);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a list of integers.
+    pub fn u64_list(&mut self, name: &str, v: &[u64]) {
+        self.record_head(name, TAG_LIST);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Opens a named section; every record until the matching
+    /// [`SnapshotWriter::end_section`] belongs to it.
+    pub fn section(&mut self, name: &str) {
+        self.record_head(name, TAG_SECTION);
+        self.open.push(self.buf.len());
+        self.buf.extend_from_slice(&0u32.to_le_bytes()); // patched on close
+    }
+
+    /// Closes the innermost open section.
+    ///
+    /// # Panics
+    /// Panics if no section is open.
+    pub fn end_section(&mut self) {
+        let at = self.open.pop().expect("end_section without open section");
+        let len = (self.buf.len() - at - 4) as u32;
+        self.buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Finishes the snapshot and returns its bytes.
+    ///
+    /// # Panics
+    /// Panics if a section is still open.
+    pub fn finish(self) -> Vec<u8> {
+        assert!(self.open.is_empty(), "unclosed snapshot section");
+        self.buf
+    }
+}
+
+/// A scalar record value, as returned by [`SnapshotReader::scalar`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// An integer record.
+    U64(u64),
+    /// A floating-point record (exact bits).
+    F64(f64),
+}
+
+/// Strict sequential reader over a snapshot byte stream.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// End offsets of open sections (innermost last).
+    ends: Vec<usize>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens a snapshot, validating magic and version.
+    ///
+    /// # Errors
+    /// Fails on a foreign byte stream or an incompatible version.
+    pub fn new(buf: &'a [u8]) -> Result<SnapshotReader<'a>, SnapshotError> {
+        if buf.len() < MAGIC.len() + 4 || &buf[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(&buf[MAGIC.len()..MAGIC.len() + 4]);
+        let found = u32::from_le_bytes(ver);
+        if found != VERSION {
+            return Err(SnapshotError::BadVersion {
+                found,
+                expected: VERSION,
+            });
+        }
+        Ok(SnapshotReader {
+            buf,
+            pos: MAGIC.len() + 4,
+            ends: Vec::new(),
+        })
+    }
+
+    fn limit(&self) -> usize {
+        self.ends.last().copied().unwrap_or(self.buf.len())
+    }
+
+    fn take(&mut self, n: usize, context: &str) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.limit() {
+            return Err(SnapshotError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u16(&mut self, context: &str) -> Result<u16, SnapshotError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn take_u32(&mut self, context: &str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self, context: &str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, context)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads the next record head and checks it against the expectation.
+    fn expect(&mut self, name: &str, tag: u8) -> Result<(), SnapshotError> {
+        let (found_name, found_tag) = self.peek_head(name)?;
+        if found_name != name || found_tag != tag {
+            return Err(SnapshotError::Mismatch {
+                expected: format!("{} `{name}`", tag_name(tag)),
+                found: format!("{} `{found_name}`", tag_name(found_tag)),
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes and returns the next record's name and tag.
+    fn peek_head(&mut self, context: &str) -> Result<(&'a str, u8), SnapshotError> {
+        let name_len = self.take_u16(context)? as usize;
+        let name_bytes = self.take(name_len, context)?;
+        let name = std::str::from_utf8(name_bytes).map_err(|_| SnapshotError::Corrupt {
+            detail: "record name is not UTF-8".to_string(),
+        })?;
+        let tag = self.take(1, context)?[0];
+        Ok((name, tag))
+    }
+
+    /// Reads an integer field named `name`.
+    ///
+    /// # Errors
+    /// Fails if the next record is not a u64 with that name.
+    pub fn u64(&mut self, name: &str) -> Result<u64, SnapshotError> {
+        self.expect(name, TAG_U64)?;
+        self.take_u64(name)
+    }
+
+    /// Reads a floating-point field named `name`.
+    ///
+    /// # Errors
+    /// Fails if the next record is not an f64 with that name.
+    pub fn f64(&mut self, name: &str) -> Result<f64, SnapshotError> {
+        self.expect(name, TAG_F64)?;
+        Ok(f64::from_bits(self.take_u64(name)?))
+    }
+
+    /// Reads a string field named `name`.
+    ///
+    /// # Errors
+    /// Fails if the next record is not a string with that name.
+    pub fn str(&mut self, name: &str) -> Result<&'a str, SnapshotError> {
+        self.expect(name, TAG_STR)?;
+        let len = self.take_u32(name)? as usize;
+        std::str::from_utf8(self.take(len, name)?).map_err(|_| SnapshotError::Corrupt {
+            detail: format!("string `{name}` is not UTF-8"),
+        })
+    }
+
+    /// Reads a byte-string field named `name`.
+    ///
+    /// # Errors
+    /// Fails if the next record is not a byte string with that name.
+    pub fn bytes(&mut self, name: &str) -> Result<&'a [u8], SnapshotError> {
+        self.expect(name, TAG_BYTES)?;
+        let len = self.take_u32(name)? as usize;
+        self.take(len, name)
+    }
+
+    /// Reads an integer-list field named `name`.
+    ///
+    /// # Errors
+    /// Fails if the next record is not a u64 list with that name.
+    pub fn u64_list(&mut self, name: &str) -> Result<Vec<u64>, SnapshotError> {
+        self.expect(name, TAG_LIST)?;
+        let count = self.take_u32(name)? as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            out.push(self.take_u64(name)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads the next record, whatever its name, requiring a scalar type
+    /// (u64 or f64). Used for registries whose keys are data, not schema
+    /// (e.g. the counter registry).
+    ///
+    /// # Errors
+    /// Fails if the next record is not a scalar.
+    pub fn scalar(&mut self) -> Result<(&'a str, Scalar), SnapshotError> {
+        let (name, tag) = self.peek_head("scalar record")?;
+        let v = match tag {
+            TAG_U64 => Scalar::U64(self.take_u64(name)?),
+            TAG_F64 => Scalar::F64(f64::from_bits(self.take_u64(name)?)),
+            t => {
+                return Err(SnapshotError::Mismatch {
+                    expected: "a scalar record".to_string(),
+                    found: format!("{} `{name}`", tag_name(t)),
+                })
+            }
+        };
+        Ok((name, v))
+    }
+
+    /// Enters a section named `name`; subsequent reads are bounded by it.
+    ///
+    /// # Errors
+    /// Fails if the next record is not a section with that name.
+    pub fn section(&mut self, name: &str) -> Result<(), SnapshotError> {
+        self.expect(name, TAG_SECTION)?;
+        let len = self.take_u32(name)? as usize;
+        if self.pos + len > self.limit() {
+            return Err(SnapshotError::Truncated {
+                context: format!("section `{name}`"),
+            });
+        }
+        self.ends.push(self.pos + len);
+        Ok(())
+    }
+
+    /// Leaves the innermost section, requiring every record in it to have
+    /// been consumed (strictness catches writer/reader drift).
+    ///
+    /// # Errors
+    /// Fails if unread records remain in the section.
+    pub fn end_section(&mut self) -> Result<(), SnapshotError> {
+        let end = self.ends.pop().expect("end_section without section");
+        if self.pos != end {
+            return Err(SnapshotError::Mismatch {
+                expected: "end of section".to_string(),
+                found: format!("{} unread byte(s)", end - self.pos),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the reader has consumed the whole stream (or section).
+    pub fn at_end(&self) -> bool {
+        self.pos == self.limit()
+    }
+
+    /// Skips one whole record regardless of its type. Lets a reader step
+    /// over sections or fields it does not recognize (forward
+    /// compatibility within a format version).
+    ///
+    /// # Errors
+    /// Fails on a truncated or malformed record.
+    pub fn skip_record(&mut self) -> Result<(), SnapshotError> {
+        let (name, tag) = self.peek_head("record")?;
+        let name = name.to_string();
+        match tag {
+            TAG_U64 | TAG_F64 => {
+                self.take(8, &name)?;
+            }
+            TAG_STR | TAG_BYTES | TAG_SECTION => {
+                let len = self.take_u32(&name)? as usize;
+                self.take(len, &name)?;
+            }
+            TAG_LIST => {
+                let count = self.take_u32(&name)? as usize;
+                self.take(count * 8, &name)?;
+            }
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("unknown record tag {t} for `{name}`"),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Walks a snapshot and pretty-prints its structure (names, types,
+/// scalar values, list/byte lengths) — the "self-describing" half of the
+/// format, used for debugging checkpoint artifacts.
+///
+/// # Errors
+/// Fails on malformed snapshots.
+pub fn dump(bytes: &[u8]) -> Result<String, SnapshotError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    let mut out = String::new();
+    dump_records(&mut r, 0, &mut out)?;
+    Ok(out)
+}
+
+fn dump_records(
+    r: &mut SnapshotReader<'_>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), SnapshotError> {
+    use fmt::Write;
+    while !r.at_end() {
+        let (name, tag) = r.peek_head("record")?;
+        let name = name.to_string();
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match tag {
+            TAG_U64 => {
+                let v = r.take_u64(&name)?;
+                let _ = writeln!(out, "{name}: u64 = {v}");
+            }
+            TAG_F64 => {
+                let v = f64::from_bits(r.take_u64(&name)?);
+                let _ = writeln!(out, "{name}: f64 = {v:?}");
+            }
+            TAG_STR => {
+                let len = r.take_u32(&name)? as usize;
+                let s = std::str::from_utf8(r.take(len, &name)?).map_err(|_| {
+                    SnapshotError::Corrupt {
+                        detail: format!("string `{name}` is not UTF-8"),
+                    }
+                })?;
+                let _ = writeln!(out, "{name}: str = {s:?}");
+            }
+            TAG_BYTES => {
+                let len = r.take_u32(&name)? as usize;
+                r.take(len, &name)?;
+                let _ = writeln!(out, "{name}: bytes[{len}]");
+            }
+            TAG_LIST => {
+                let count = r.take_u32(&name)? as usize;
+                r.take(count * 8, &name)?;
+                let _ = writeln!(out, "{name}: u64[{count}]");
+            }
+            TAG_SECTION => {
+                let len = r.take_u32(&name)? as usize;
+                if r.pos + len > r.limit() {
+                    return Err(SnapshotError::Truncated {
+                        context: format!("section `{name}`"),
+                    });
+                }
+                let _ = writeln!(out, "{name}:");
+                r.ends.push(r.pos + len);
+                dump_records(r, depth + 1, out)?;
+                r.ends.pop();
+            }
+            t => {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("unknown record tag {t} for `{name}`"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.u64("cycle", 12345);
+        w.section("mem");
+        w.u64("now", 99);
+        w.u64_list("lru", &[3, 1, 2]);
+        w.f64("energy", 1.25);
+        w.section("bank0");
+        w.str("kind", "l1");
+        w.end_section();
+        w.end_section();
+        w.bytes("blob", &[0xde, 0xad]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = sample();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(r.u64("cycle").unwrap(), 12345);
+        r.section("mem").unwrap();
+        assert_eq!(r.u64("now").unwrap(), 99);
+        assert_eq!(r.u64_list("lru").unwrap(), vec![3, 1, 2]);
+        assert_eq!(r.f64("energy").unwrap(), 1.25);
+        r.section("bank0").unwrap();
+        assert_eq!(r.str("kind").unwrap(), "l1");
+        r.end_section().unwrap();
+        r.end_section().unwrap();
+        assert_eq!(r.bytes("blob").unwrap(), &[0xde, 0xad]);
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn name_and_type_mismatches_are_loud() {
+        let bytes = sample();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        match r.u64("wrong_name") {
+            Err(SnapshotError::Mismatch { expected, found }) => {
+                assert!(expected.contains("wrong_name"));
+                assert!(found.contains("cycle"));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.str("cycle"),
+            Err(SnapshotError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        assert_eq!(
+            SnapshotReader::new(b"NOTASNAP\x01\x00\x00\x00").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut bytes = sample();
+        bytes[8] = 0xff; // bump the version
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(SnapshotError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample();
+        for cut in [bytes.len() - 1, 15, 20] {
+            let mut r = SnapshotReader::new(&bytes[..cut]).unwrap();
+            let mut err = None;
+            loop {
+                match r.skip_record() {
+                    Ok(()) if r.at_end() => break,
+                    Ok(()) => {}
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            assert!(
+                matches!(err, Some(SnapshotError::Truncated { .. })),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_sections_can_be_skipped() {
+        let bytes = sample();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(r.u64("cycle").unwrap(), 12345);
+        r.skip_record().unwrap(); // the whole `mem` section
+        assert_eq!(r.bytes("blob").unwrap(), &[0xde, 0xad]);
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn strict_section_close_catches_drift() {
+        let bytes = sample();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        r.u64("cycle").unwrap();
+        r.section("mem").unwrap();
+        r.u64("now").unwrap();
+        // Leaving the section with the list/float/subsection unread is a
+        // reader bug; the close must flag it.
+        assert!(matches!(
+            r.end_section(),
+            Err(SnapshotError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dump_is_self_describing() {
+        let text = dump(&sample()).unwrap();
+        assert!(text.contains("cycle: u64 = 12345"));
+        assert!(text.contains("mem:"));
+        assert!(text.contains("  lru: u64[3]"));
+        assert!(text.contains("    kind: str = \"l1\""));
+        assert!(text.contains("blob: bytes[2]"));
+    }
+
+    /// save -> restore (re-write) -> save must be byte-identical: the
+    /// writer is deterministic and the reader loses nothing.
+    #[test]
+    fn rewrite_round_trip_is_byte_identical() {
+        // Pseudo-random content from a splitmix64 walk (the workspace's
+        // deterministic-randomness idiom).
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut w = SnapshotWriter::new();
+        let list: Vec<u64> = (0..257).map(|_| next()).collect();
+        w.section("state");
+        w.u64("a", next());
+        w.u64_list("arr", &list);
+        w.f64("x", f64::from_bits(next() >> 12));
+        w.end_section();
+        let first = w.finish();
+
+        // Read every field back and re-write it.
+        let mut r = SnapshotReader::new(&first).unwrap();
+        let mut w2 = SnapshotWriter::new();
+        r.section("state").unwrap();
+        w2.section("state");
+        w2.u64("a", r.u64("a").unwrap());
+        w2.u64_list("arr", &r.u64_list("arr").unwrap());
+        w2.f64("x", r.f64("x").unwrap());
+        r.end_section().unwrap();
+        w2.end_section();
+        assert_eq!(first, w2.finish());
+    }
+}

@@ -139,6 +139,43 @@ impl Counters {
             .sum()
     }
 
+    /// Writes the registry as one snapshot section named `name`: a name
+    /// list interleaved with typed values, in sorted order (so the bytes
+    /// are deterministic).
+    pub fn save(&self, w: &mut vgiw_snapshot::SnapshotWriter, name: &str) {
+        w.section(name);
+        w.u64("count", self.map.len() as u64);
+        for (k, v) in &self.map {
+            match v {
+                CounterValue::U64(v) => w.u64(k, *v),
+                CounterValue::F64(v) => w.f64(k, *v),
+            }
+        }
+        w.end_section();
+    }
+
+    /// Reads a registry written by [`Counters::save`].
+    ///
+    /// # Errors
+    /// Fails on a malformed or misnamed section.
+    pub fn restore(
+        r: &mut vgiw_snapshot::SnapshotReader<'_>,
+        name: &str,
+    ) -> Result<Counters, vgiw_snapshot::SnapshotError> {
+        r.section(name)?;
+        let count = r.u64("count")?;
+        let mut out = Counters::new();
+        for _ in 0..count {
+            let (key, value) = r.scalar()?;
+            match value {
+                vgiw_snapshot::Scalar::U64(v) => out.set_u64(key, v),
+                vgiw_snapshot::Scalar::F64(v) => out.set_f64(key, v),
+            }
+        }
+        r.end_section()?;
+        Ok(out)
+    }
+
     /// Serialize as a JSON object, one member per counter, sorted by name.
     /// `indent` is prepended to every line after the opening brace.
     pub fn to_json(&self, indent: &str) -> String {
@@ -205,6 +242,25 @@ mod tests {
         assert_eq!(c.sum_prefix("vgiw.mem.phase."), 30);
         assert_eq!(c.sum_prefix("vgiw.mem."), 1030);
         assert_eq!(c.sum_prefix("simt."), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_types_and_values() {
+        let mut c = Counters::new();
+        c.set_u64("vgiw.cycles", u64::MAX - 3);
+        c.set_f64("vgiw.energy", -0.125);
+        c.set_u64("a", 0);
+        let mut w = vgiw_snapshot::SnapshotWriter::new();
+        c.save(&mut w, "counters");
+        let bytes = w.finish();
+        let mut r = vgiw_snapshot::SnapshotReader::new(&bytes).unwrap();
+        let back = Counters::restore(&mut r, "counters").unwrap();
+        assert!(r.at_end());
+        assert_eq!(back, c);
+        // save -> restore -> save is byte-identical.
+        let mut w2 = vgiw_snapshot::SnapshotWriter::new();
+        back.save(&mut w2, "counters");
+        assert_eq!(bytes, w2.finish());
     }
 
     #[test]

@@ -71,6 +71,39 @@ pub trait Machine {
     /// watchdog fired. Taking it clears it.
     fn take_deadlock(&mut self) -> Option<Box<DeadlockReport>>;
 
+    /// Serialize the machine's persistent state (fabric clock, memory
+    /// hierarchy incl. caches/MSHRs/timing wheel, accumulated counters,
+    /// request-id watermarks) into the `vgiw-snapshot` binary format.
+    ///
+    /// Contract: only valid between launches, when the machine is
+    /// quiescent (no launch in progress). In-flight *cross-launch* state —
+    /// e.g. store acknowledgements a previous launch left in the memory
+    /// system — IS captured; intra-launch state is not, which is why
+    /// checkpoints are taken at launch boundaries (DESIGN.md §11).
+    /// Restoring the returned bytes into a freshly-constructed machine of
+    /// the same configuration and re-running the remaining launches
+    /// produces bit-identical cycles and counters.
+    ///
+    /// # Errors
+    /// Fails (with a diagnostic) if the machine is not quiescent.
+    fn save_state(&self) -> Result<Vec<u8>, String>;
+
+    /// Install state produced by [`Machine::save_state`] on a machine of
+    /// the same kind and configuration. Prepared-kernel memos are NOT part
+    /// of the state (compilation is deterministic and is redone on
+    /// demand); the installed tracer is kept.
+    ///
+    /// # Errors
+    /// Fails on malformed bytes or a configuration mismatch, leaving the
+    /// machine unusable until [`Machine::reset`].
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String>;
+
+    /// Arm (or clear, with `None`) the memory-system wedge fault: after
+    /// `n` more accepted requests, every memory intake is refused, which
+    /// starves the machine until its watchdog fires. Chaos-campaign
+    /// injection point; a no-op plan (`None`) in normal operation.
+    fn set_mem_wedge(&mut self, n: Option<u64>);
+
     /// Return to the post-construction state: drop prepared kernels,
     /// accumulated counters and machine state. The installed tracer is
     /// kept.
