@@ -39,9 +39,11 @@ tmp_traced="$(mktemp)"
 tmp_trace_json="$(mktemp)"
 tmp_reference="$(mktemp)"
 tmp_reference_mem="$(mktemp)"
-trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference" "$tmp_reference_mem" "${tmp_resume:-}" "${tmp_resume_checked:-}" "${ckpt:-}"' EXIT
+tmp_serve="$(mktemp)"
+tmp_jobs="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp_checked" "$tmp_traced" "$tmp_trace_json" "$tmp_reference" "$tmp_reference_mem" "$tmp_serve" "$tmp_jobs" "${tmp_resume:-}" "${tmp_resume_checked:-}" "${ckpt:-}"' EXIT
 for m in vgiw simt sgmf; do
-    cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" 2>/dev/null
+    cargo run --release -q -p vgiw-bench --bin experiments -- run all --machine "$m" 2>/dev/null
 done > "$tmp"
 diff golden_cycles.txt "$tmp" || {
     echo "ci: simulated cycle counts changed (see diff above)" >&2
@@ -87,7 +89,9 @@ diff golden_cycles.txt "$tmp_reference_mem" || {
 
 echo "==> golden cycle counts with tracing enabled"
 # The trace layer is a pure observer too: recording a full event log for
-# every run must leave the cycle table byte-identical.
+# every run must leave the cycle table byte-identical. This pass uses the
+# historical bare spelling (no `run` subcommand) on purpose: it must keep
+# parsing as an implicit `run`.
 for m in vgiw simt sgmf; do
     cargo run --release -q -p vgiw-bench --bin experiments -- all --machine "$m" --traced 2>/dev/null
 done > "$tmp_traced"
@@ -128,6 +132,44 @@ diff golden_cycles.txt "$tmp_resume_checked" || {
     echo "ci: resumed run with --checks diverges from the golden table" >&2
     exit 1
 }
+
+echo "==> job-service golden cycle counts (1 and 4 worker shards)"
+# Results served through the multi-tenant job service must be
+# bit-identical to the direct harness: emit the suite's request lines per
+# machine, pipe them through `experiments serve`, and diff the rendered
+# table against the golden file — single-sharded and 4-way sharded.
+for w in 1 4; do
+    for m in vgiw simt sgmf; do
+        cargo run --release -q -p vgiw-bench --bin experiments -- \
+            serve --emit-jobs "$m" 2>/dev/null > "$tmp_jobs"
+        cargo run --release -q -p vgiw-bench --bin experiments -- \
+            serve --table --workers "$w" --file "$tmp_jobs" 2>/dev/null
+    done > "$tmp_serve"
+    diff golden_cycles.txt "$tmp_serve" || {
+        echo "ci: served results diverge from the golden table ($w worker shard(s))" >&2
+        exit 1
+    }
+done
+
+echo "==> bombard smoke (scaling honesty + warm cache hits)"
+# A short load test: the binary itself exits nonzero unless 1-worker and
+# N-worker results are bit-identical, no job fails, and the duplicated
+# mix produces cache/dedup hits. Run in a scratch dir so the tracked
+# BENCH_perf.json is not dirtied; still assert the merged "serve" block
+# lands in the report.
+bomb_dir="$(mktemp -d)"
+repo_root="$(pwd)"
+cp BENCH_perf.json "$bomb_dir"/ 2>/dev/null || true
+(cd "$bomb_dir" && "$repo_root/target/release/experiments" bombard --workers 2 --clients 2 2>/dev/null)
+grep -q '"serve"' "$bomb_dir/BENCH_perf.json" || {
+    echo "ci: bombard did not merge a serve block into BENCH_perf.json" >&2
+    exit 1
+}
+grep -q '"cache_hit_rate"' "$bomb_dir/BENCH_perf.json" || {
+    echo "ci: bombard serve block is missing the cache hit rate" >&2
+    exit 1
+}
+rm -rf "$bomb_dir"
 
 echo "==> chaos smoke round (seeded, shrunk, replayable)"
 # A short deterministic chaos campaign: every caught fault must recover

@@ -10,8 +10,7 @@
 //! (see `experiments perf`) carries the tracked numbers.
 
 use std::time::Instant;
-use vgiw_bench::{new_machine, MachineHost, MachineKind};
-use vgiw_robust::ChecksConfig;
+use vgiw_bench::{MachineHost, MachineKind, MachineSpec};
 
 const ITERS: usize = 3;
 
@@ -34,7 +33,7 @@ fn time<F: FnMut() -> u64>(name: &str, mut f: F) {
 }
 
 fn run_cycles(kind: MachineKind, bench: &vgiw_kernels::Benchmark) -> u64 {
-    let mut machine = new_machine(kind, ChecksConfig::default());
+    let mut machine = MachineSpec::new(kind).build();
     let mut host = MachineHost::new(machine.as_mut());
     bench.run(&mut host).expect("machine run");
     host.result.cycles

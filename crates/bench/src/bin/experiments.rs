@@ -1,75 +1,46 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and
+//! fronts the `vgiw-serve` simulation job service.
 //!
-//! Usage: `cargo run --release -p vgiw-bench --bin experiments -- [what] [scale] [--jobs N]`
-//! where `what` is one of `all` (default), `table1`, `table2`, `fig3`,
-//! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `config-overhead`,
-//! `mappability`, `ablations`, `perf` or `chaos`. The optional second
-//! argument scales workloads (default 1; larger values amortize
-//! reconfiguration like Rodinia-scale inputs).
+//! Usage: `experiments [SUBCOMMAND] [ARGS] [FLAGS]` (run `--help` for the
+//! generated flag reference). Subcommands:
 //!
-//! `--jobs N` runs each (benchmark, machine) pair on a pool of N worker
-//! threads (default: all host threads); results are identical to the
-//! serial run. `perf` times the suite serially and in parallel, prints a
-//! simulator-performance report and writes `BENCH_perf.json`.
+//! * `run [what] [scale]` (the default — a bare `experiments all 2` still
+//!   works): tables and figures. `what` is one of `all`, `table1`,
+//!   `table2`, `fig3`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
+//!   `config-overhead`, `mappability` or `ablations`; `scale` enlarges
+//!   workloads (default 1). `--machine M` prints a per-app cycle table
+//!   for one machine instead of the cross-machine figures and unlocks
+//!   checkpoint/resume: `--checkpoint-every N` snapshots the running
+//!   machine every N launches into `--checkpoint-file F` (atomic; also
+//!   after every finished benchmark), `--resume F` continues a killed run
+//!   bit-identically, and `--crash-after-jobs` / `--crash-after-launches`
+//!   let CI kill deterministically. `--traced`, `--reference` and
+//!   `--reference-mem` force pure-observer / reference engines whose
+//!   output must stay byte-identical (ci.sh diffs them against
+//!   `golden_cycles.txt`).
+//! * `perf [scale]`: times the suite serially and on `--jobs N` workers,
+//!   prints the simulator-performance report, writes `BENCH_perf.json`.
+//! * `trace --only APP [--machine M] [--out FILE] [--format chrome|ndjson]`:
+//!   runs one benchmark with structured tracing and writes the event log
+//!   (Chrome trace-event JSON by default); prints the counter registry.
+//! * `chaos [scale] --seed S --rounds R`: the deterministic
+//!   fault-injection campaign (DESIGN.md §11); `--replay FILE`
+//!   re-executes a reproducer artifact.
+//! * `serve [scale]`: the NDJSON job service. Reads one `JobRequest` per
+//!   line from stdin (or `--file F`), answers duplicates from the result
+//!   cache, runs the rest on `--workers N` shards with warm machine
+//!   pools, and emits one `JobResult` line per request in input order
+//!   (`--table` renders the golden cycle-table format instead).
+//!   `--emit-jobs M` prints the request lines for the (possibly
+//!   `--only`-filtered) suite on machine M, for piping back in.
+//! * `bombard [scale] --workers N --clients C`: load-tests the service,
+//!   asserts 1-worker and N-worker results are bit-identical, and merges
+//!   jobs/s, cache hit rate and queue-wait percentiles into
+//!   `BENCH_perf.json` under `"serve"`.
 //!
-//! `--only APP` restricts every suite-running mode to one benchmark
-//! (case-insensitive app name, e.g. `--only lavamd`). `--machine M`
-//! (`vgiw`, `simt` or `sgmf`) runs just that machine and prints a per-app
-//! cycle table instead of the cross-machine figures; it combines with
-//! `all` (the default `what`) and `--only`, not with figure or `perf`
-//! modes, which inherently compare machines.
-//!
-//! `--checks` enables the full invariant-checker set (token conservation,
-//! CVT consistency, LV coherence) on every machine; cycle counts are
-//! bit-identical with or without it. `--watchdog-budget N` overrides the
-//! watchdog's no-progress budget (cycles) on whatever checks
-//! configuration is active — a pure observer knob. Failing apps no longer
-//! abort the suite: remaining rows are produced, a failure table is
-//! printed at the end, the structured reports are persisted to
+//! Failing apps never abort a suite run: remaining rows are produced, a
+//! failure table is printed, the typed reports are persisted to
 //! `experiments_failures.json`, and the process exits nonzero.
-//!
-//! Checkpoint/resume (`--machine` table mode only): `--checkpoint-every N`
-//! snapshots the running machine every N launches into `--checkpoint-file F`
-//! (default `experiments.ckpt`; written atomically, also after every
-//! finished benchmark). A run killed at any point — even mid-benchmark —
-//! resumes with `--resume F` and produces a bit-identical table: completed
-//! rows are reprinted from the file, the interrupted benchmark's launch
-//! prefix is replayed on the reference interpreter, and the machine
-//! snapshot is restored at the boundary (CI kills a run mid-suite and
-//! diffs the resumed output against `golden_cycles.txt`).
-//! `--crash-after-jobs K` aborts the process after K completed rows and
-//! `--crash-after-launches K` aborts it after K per-launch checkpoint
-//! writes — i.e. in the middle of a benchmark — so CI can exercise both
-//! the between-jobs and the in-flight resume paths deterministically.
-//!
-//! `chaos --seed S --rounds R [--machine M] [--only APP]` runs the
-//! deterministic chaos campaign (DESIGN.md §11): random fault plans over
-//! fabric token/retirement drops, memory-response tampering, CVT bit
-//! flips and memory-system wedges, each classified against a clean run
-//! (benign / caught / diverged), recovered via checkpoint-restore with
-//! the offending component disabled, shrunk to a minimal reproducer and
-//! written as a replayable artifact (`--out DIR` chooses the directory).
-//! `chaos --replay FILE` re-executes a reproducer artifact and exits
-//! nonzero if it no longer reproduces its recorded class.
-//!
-//! `trace --only APP --machine M --out FILE [--format chrome|ndjson]`
-//! runs one benchmark on one machine with structured tracing enabled and
-//! writes the event log: Chrome trace-event JSON (loadable in Perfetto /
-//! `chrome://tracing`, the default) or newline-delimited JSON. The
-//! machine's counter registry is printed to stdout. `--traced` enables
-//! tracing (with the records discarded) in `--machine` table mode, to
-//! demonstrate that tracing is a pure observer: cycle counts are
-//! bit-identical with it on.
-//!
-//! `--reference` forces the fabric machines onto the dense reference tick
-//! instead of the event-driven micro-program engine in `--machine` table
-//! mode (no effect on SIMT). The two engines are bit-identical by
-//! construction; ci.sh diffs a forced-reference pass against the same
-//! golden cycle table to keep both green. `--reference-mem` does the same
-//! for the memory hierarchy: it forces all three machines onto the
-//! retained per-request reference path (buffered response drain, no batch
-//! coalescing) instead of the batch-coalesced zero-copy fast path, and
-//! ci.sh diffs that pass against the same golden table too.
 
 use vgiw_bench::chaos::{self, ChaosClass};
 use vgiw_bench::checkpoint::{
@@ -77,15 +48,434 @@ use vgiw_bench::checkpoint::{
 };
 use vgiw_bench::harness::{
     measure_suite_outcomes_tuned, run_machine, run_machine_tuned, AppOutcome, AppResult,
-    HostCheckpoint, MachineKind, MachineTuning, RunOutcome,
+    BenchError, HostCheckpoint, MachineKind, MachineTuning, RunOutcome,
 };
 use vgiw_bench::report;
 use vgiw_kernels::Benchmark;
 use vgiw_robust::ChecksConfig;
+use vgiw_serve::{
+    bombard, JobHandle, JobOutcome, JobRequest, JobResult, ServeError, Service, ServiceConfig,
+};
 use vgiw_trace::{chrome_trace, ndjson, validate_json, Tracer};
 
 /// Where the structured failure reports go when any machine fails.
 const FAILURES_PATH: &str = "experiments_failures.json";
+
+/// `(name, description)` of every subcommand; the first non-flag
+/// argument selects one, anything else implies `run` (so the historical
+/// `experiments all --machine m` spelling keeps working).
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    (
+        "run",
+        "tables and figures (default; what: all, table1, table2, fig3-fig11, mappability, ablations, config-overhead)",
+    ),
+    (
+        "perf",
+        "time the suite serially and in parallel, write BENCH_perf.json",
+    ),
+    (
+        "trace",
+        "run one benchmark with structured tracing, write the event log",
+    ),
+    (
+        "chaos",
+        "deterministic fault-injection campaign, or --replay an artifact",
+    ),
+    (
+        "serve",
+        "NDJSON job service: JobRequest lines in, JobResult lines out",
+    ),
+    (
+        "bombard",
+        "load-test the job service, merge throughput into BENCH_perf.json",
+    ),
+];
+
+/// One CLI flag: spelling, value shape, which subcommands accept it.
+/// This table is the single source of parsing, validation and `--help`.
+struct Flag {
+    name: &'static str,
+    /// Metavariable for value-taking flags; `None` marks a boolean.
+    metavar: Option<&'static str>,
+    subs: &'static [&'static str],
+    help: &'static str,
+}
+
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "--jobs",
+        metavar: Some("N"),
+        subs: &["run", "perf"],
+        help: "suite worker threads (default: all host threads)",
+    },
+    Flag {
+        name: "--only",
+        metavar: Some("APP"),
+        subs: &["run", "perf", "trace", "chaos", "serve"],
+        help: "restrict to one benchmark (case-insensitive app name)",
+    },
+    Flag {
+        name: "--machine",
+        metavar: Some("M"),
+        subs: &["run", "trace", "chaos"],
+        help: "one machine (vgiw, simt or sgmf); in run: per-app cycle table",
+    },
+    Flag {
+        name: "--checks",
+        metavar: None,
+        subs: &["run", "trace", "serve"],
+        help: "enable the full invariant-checker set (pure observer)",
+    },
+    Flag {
+        name: "--watchdog-budget",
+        metavar: Some("N"),
+        subs: &["run", "chaos", "serve"],
+        help: "override the watchdog no-progress budget, in cycles",
+    },
+    Flag {
+        name: "--traced",
+        metavar: None,
+        subs: &["run"],
+        help: "record (and discard) a full trace in --machine table mode",
+    },
+    Flag {
+        name: "--reference",
+        metavar: None,
+        subs: &["run"],
+        help: "force the dense reference tick engine (fabric machines)",
+    },
+    Flag {
+        name: "--reference-mem",
+        metavar: None,
+        subs: &["run"],
+        help: "force the per-request reference memory path (all machines)",
+    },
+    Flag {
+        name: "--checkpoint-every",
+        metavar: Some("N"),
+        subs: &["run"],
+        help: "snapshot the machine every N launches (--machine mode)",
+    },
+    Flag {
+        name: "--checkpoint-file",
+        metavar: Some("F"),
+        subs: &["run"],
+        help: "checkpoint path (default experiments.ckpt)",
+    },
+    Flag {
+        name: "--resume",
+        metavar: Some("F"),
+        subs: &["run"],
+        help: "resume a killed --machine run from its checkpoint file",
+    },
+    Flag {
+        name: "--crash-after-jobs",
+        metavar: Some("K"),
+        subs: &["run"],
+        help: "abort after K completed rows (CI kill-and-resume)",
+    },
+    Flag {
+        name: "--crash-after-launches",
+        metavar: Some("K"),
+        subs: &["run"],
+        help: "abort after K per-launch checkpoint writes (CI)",
+    },
+    Flag {
+        name: "--seed",
+        metavar: Some("S"),
+        subs: &["chaos"],
+        help: "campaign seed (default 1)",
+    },
+    Flag {
+        name: "--rounds",
+        metavar: Some("R"),
+        subs: &["chaos"],
+        help: "campaign rounds (default 4)",
+    },
+    Flag {
+        name: "--replay",
+        metavar: Some("FILE"),
+        subs: &["chaos"],
+        help: "re-execute a reproducer artifact instead of a campaign",
+    },
+    Flag {
+        name: "--out",
+        metavar: Some("PATH"),
+        subs: &["trace", "chaos"],
+        help: "trace output file / chaos artifact directory",
+    },
+    Flag {
+        name: "--format",
+        metavar: Some("F"),
+        subs: &["trace"],
+        help: "trace format: chrome (default) or ndjson",
+    },
+    Flag {
+        name: "--workers",
+        metavar: Some("N"),
+        subs: &["serve", "bombard"],
+        help: "service worker shards (serve default 1; bombard default: host threads)",
+    },
+    Flag {
+        name: "--clients",
+        metavar: Some("C"),
+        subs: &["bombard"],
+        help: "concurrent submitter clients (default 4)",
+    },
+    Flag {
+        name: "--queue-cap",
+        metavar: Some("N"),
+        subs: &["serve", "bombard"],
+        help: "per-shard queue bound (default 64)",
+    },
+    Flag {
+        name: "--file",
+        metavar: Some("F"),
+        subs: &["serve"],
+        help: "read request lines from a file instead of stdin",
+    },
+    Flag {
+        name: "--table",
+        metavar: None,
+        subs: &["serve"],
+        help: "render results as the golden cycle table, not NDJSON",
+    },
+    Flag {
+        name: "--emit-jobs",
+        metavar: Some("M"),
+        subs: &["serve"],
+        help: "print request lines for the suite on machine M and exit",
+    },
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn print_help() {
+    println!("usage: experiments [SUBCOMMAND] [ARGS] [FLAGS]");
+    println!("       experiments run [what] [scale]      (run is the default subcommand)");
+    println!("       experiments perf|chaos|serve|bombard [scale]");
+    println!("       experiments trace --only APP");
+    println!();
+    println!("subcommands:");
+    for (name, desc) in SUBCOMMANDS {
+        println!("  {name:<9} {desc}");
+    }
+    println!();
+    println!("flags (shown with the subcommands that accept them):");
+    for flag in FLAGS {
+        let spelled = match flag.metavar {
+            Some(m) => format!("{} {m}", flag.name),
+            None => flag.name.to_string(),
+        };
+        println!("  {spelled:<26} [{}] {}", flag.subs.join(","), flag.help);
+    }
+}
+
+/// Everything parsed from the command line, pre-dispatch.
+struct Cli {
+    sub: &'static str,
+    /// Positionals after the subcommand name.
+    rest: Vec<String>,
+    /// Flag occurrences in order (later wins for value flags).
+    flags: Vec<(&'static Flag, Option<String>)>,
+}
+
+impl Cli {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(f, _)| f.name == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn is_set(&self, name: &str) -> bool {
+        self.flags.iter().any(|(f, _)| f.name == name)
+    }
+
+    fn u64_value(&self, name: &str) -> Option<u64> {
+        self.value(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs a non-negative integer")))
+        })
+    }
+
+    fn usize_value(&self, name: &str) -> Option<usize> {
+        self.value(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs a non-negative integer")))
+        })
+    }
+
+    fn machine_value(&self, name: &str) -> Option<MachineKind> {
+        self.value(name).map(|v| {
+            MachineKind::from_name(v).unwrap_or_else(|| {
+                let names: Vec<&str> = MachineKind::ALL.iter().map(|&(_, n)| n).collect();
+                die(&format!(
+                    "{name} must be one of {}, not '{v}'",
+                    names.join(", ")
+                ))
+            })
+        })
+    }
+}
+
+fn parse_cli() -> Cli {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags: Vec<(&'static Flag, Option<String>)> = Vec::new();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut help = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        i += 1;
+        if arg == "--help" || arg == "-h" {
+            help = true;
+            continue;
+        }
+        if let Some(body) = arg.strip_prefix("--") {
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (format!("--{n}"), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let Some(flag) = FLAGS.iter().find(|f| f.name == name) else {
+                die(&format!("unknown flag '{name}' (see --help)"));
+            };
+            let value = if flag.metavar.is_some() {
+                match inline {
+                    Some(v) => Some(v),
+                    None => {
+                        if i >= argv.len() {
+                            die(&format!("{name} needs a value"));
+                        }
+                        let v = argv[i].clone();
+                        i += 1;
+                        Some(v)
+                    }
+                }
+            } else {
+                if inline.is_some() {
+                    die(&format!("{name} does not take a value"));
+                }
+                None
+            };
+            flags.push((flag, value));
+        } else {
+            positionals.push(arg);
+        }
+    }
+    let mut rest = positionals;
+    let sub = match rest.first().map(String::as_str) {
+        Some(first) => match SUBCOMMANDS.iter().find(|&&(n, _)| n == first) {
+            Some(&(name, _)) => {
+                rest.remove(0);
+                name
+            }
+            None => "run",
+        },
+        None => "run",
+    };
+    if help {
+        print_help();
+        std::process::exit(0);
+    }
+    for (flag, _) in &flags {
+        if !flag.subs.contains(&sub) {
+            die(&format!(
+                "{} is not valid for '{sub}' (valid for: {})",
+                flag.name,
+                flag.subs.join(", ")
+            ));
+        }
+    }
+    Cli { sub, rest, flags }
+}
+
+/// Options shared by every suite-touching subcommand.
+struct HarnessOptions {
+    scale: u32,
+    jobs: usize,
+    only: Option<String>,
+    checks: ChecksConfig,
+    watchdog_budget: Option<u64>,
+}
+
+impl HarnessOptions {
+    fn filtered(&self) -> Vec<Benchmark> {
+        let mut benches = vgiw_kernels::suite(self.scale);
+        if let Some(name) = &self.only {
+            benches.retain(|b| b.app.eq_ignore_ascii_case(name));
+            if benches.is_empty() {
+                die(&format!("--only {name}: no such app in the suite"));
+            }
+        }
+        benches
+    }
+
+    fn filtered_app_names(&self) -> Vec<&'static str> {
+        let mut names = vgiw_kernels::app_names();
+        if let Some(name) = &self.only {
+            names.retain(|n| n.eq_ignore_ascii_case(name));
+            if names.is_empty() {
+                die(&format!("--only {name}: no such app in the suite"));
+            }
+        }
+        names
+    }
+}
+
+fn parse_scale(text: &str) -> u32 {
+    text.parse()
+        .unwrap_or_else(|_| die(&format!("'{text}' is not a scale (positive integer)")))
+}
+
+fn main() {
+    let cli = parse_cli();
+    // Positionals: `run` takes [what] [scale] (a lone number means a
+    // scale); every other subcommand takes [scale].
+    let (what, scale) = if cli.sub == "run" {
+        match cli.rest.len() {
+            0 => ("all".to_string(), 1),
+            1 => match cli.rest[0].parse::<u32>() {
+                Ok(s) => ("all".to_string(), s),
+                Err(_) => (cli.rest[0].clone(), 1),
+            },
+            2 => (cli.rest[0].clone(), parse_scale(&cli.rest[1])),
+            _ => die("too many arguments (run takes [what] [scale])"),
+        }
+    } else {
+        match cli.rest.len() {
+            0 => (String::new(), 1),
+            1 => (String::new(), parse_scale(&cli.rest[0])),
+            _ => die(&format!("too many arguments ({} takes [scale])", cli.sub)),
+        }
+    };
+    let opts = HarnessOptions {
+        scale,
+        jobs: cli
+            .usize_value("--jobs")
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from)),
+        only: cli.value("--only").map(str::to_string),
+        checks: if cli.is_set("--checks") {
+            ChecksConfig::full()
+        } else {
+            ChecksConfig::default()
+        },
+        watchdog_budget: cli.u64_value("--watchdog-budget"),
+    };
+    match cli.sub {
+        "run" => cmd_run(&what, &opts, &cli),
+        "perf" => cmd_perf(&opts),
+        "trace" => cmd_trace(&opts, &cli),
+        "chaos" => cmd_chaos(&opts, &cli),
+        "serve" => cmd_serve(&opts, &cli),
+        "bombard" => cmd_bombard(opts.scale, &cli),
+        _ => unreachable!("sub comes from SUBCOMMANDS"),
+    }
+}
 
 /// Prints a table of every (app, machine) failure; returns whether any
 /// occurred.
@@ -133,8 +523,9 @@ fn usable_results(outcomes: &[AppOutcome]) -> Vec<AppResult> {
 }
 
 /// Prints one cycle-table row (and, for failures, the stderr detail)
-/// from its persisted record — fresh and resumed rows go through this
-/// one formatter, so a resumed table is bit-identical.
+/// from its persisted record — fresh rows, resumed rows and `serve
+/// --table` rows go through this one formatter, so every rendering of
+/// the table is bit-identical.
 fn print_record(rec: &JobRecord, kind: MachineKind) {
     match rec.outcome {
         0 => println!(
@@ -157,395 +548,31 @@ fn print_record(rec: &JobRecord, kind: MachineKind) {
     }
 }
 
-fn main() {
-    let mut jobs: Option<usize> = None;
-    let mut only: Option<String> = None;
-    let mut machine: Option<MachineKind> = None;
-    let mut out_path: Option<String> = None;
-    let mut format: Option<String> = None;
-    let mut traced = false;
-    let mut reference = false;
-    let mut reference_mem = false;
-    let mut checks = ChecksConfig::default();
-    let mut watchdog_budget: Option<u64> = None;
-    let mut checkpoint_every: Option<u64> = None;
-    let mut checkpoint_file: Option<String> = None;
-    let mut resume: Option<String> = None;
-    let mut crash_after_jobs: Option<usize> = None;
-    let mut crash_after_launches: Option<u64> = None;
-    let mut seed: u64 = 1;
-    let mut rounds: u64 = 4;
-    let mut replay: Option<String> = None;
-    let mut positional: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--checks" {
-            checks = ChecksConfig::full();
-            continue;
-        }
-        if arg == "--traced" {
-            traced = true;
-            continue;
-        }
-        if arg == "--reference" {
-            reference = true;
-            continue;
-        }
-        if arg == "--reference-mem" {
-            reference_mem = true;
-            continue;
-        }
-        let mut flag_value = |name: &str| -> Option<String> {
-            if arg == name {
-                Some(args.next().unwrap_or_else(|| {
-                    eprintln!("{name} needs a value");
-                    std::process::exit(2);
-                }))
-            } else {
-                arg.strip_prefix(name)
-                    .and_then(|r| r.strip_prefix('='))
-                    .map(str::to_string)
-            }
-        };
-        let parse_u64 = |name: &str, v: &str| -> u64 {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("{name} needs a non-negative integer");
-                std::process::exit(2);
-            })
-        };
-        if let Some(v) = flag_value("--jobs") {
-            jobs = Some(v.parse().unwrap_or_else(|_| {
-                eprintln!("--jobs needs a positive integer");
-                std::process::exit(2);
-            }));
-        } else if let Some(v) = flag_value("--only") {
-            only = Some(v);
-        } else if let Some(v) = flag_value("--machine") {
-            machine = Some(MachineKind::from_name(&v).unwrap_or_else(|| {
-                let names: Vec<&str> = MachineKind::ALL.iter().map(|&(_, n)| n).collect();
-                eprintln!("--machine must be one of {}, not '{v}'", names.join(", "));
-                std::process::exit(2);
-            }));
-        } else if let Some(v) = flag_value("--out") {
-            out_path = Some(v);
-        } else if let Some(v) = flag_value("--format") {
-            format = Some(v);
-        } else if let Some(v) = flag_value("--watchdog-budget") {
-            watchdog_budget = Some(parse_u64("--watchdog-budget", &v));
-        } else if let Some(v) = flag_value("--checkpoint-every") {
-            let n = parse_u64("--checkpoint-every", &v);
-            if n == 0 {
-                eprintln!("--checkpoint-every needs a positive launch count");
-                std::process::exit(2);
-            }
-            checkpoint_every = Some(n);
-        } else if let Some(v) = flag_value("--checkpoint-file") {
-            checkpoint_file = Some(v);
-        } else if let Some(v) = flag_value("--resume") {
-            resume = Some(v);
-        } else if let Some(v) = flag_value("--crash-after-jobs") {
-            crash_after_jobs = Some(parse_u64("--crash-after-jobs", &v) as usize);
-        } else if let Some(v) = flag_value("--crash-after-launches") {
-            crash_after_launches = Some(parse_u64("--crash-after-launches", &v));
-        } else if let Some(v) = flag_value("--seed") {
-            seed = parse_u64("--seed", &v);
-        } else if let Some(v) = flag_value("--rounds") {
-            rounds = parse_u64("--rounds", &v);
-        } else if let Some(v) = flag_value("--replay") {
-            replay = Some(v);
-        } else {
-            positional.push(arg);
-        }
-    }
-    let what = positional.first().map(String::as_str).unwrap_or("all");
-    let scale: u32 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
-
-    let filtered = |scale: u32| -> Vec<Benchmark> {
-        let mut benches = vgiw_kernels::suite(scale);
-        if let Some(name) = &only {
-            benches.retain(|b| b.app.eq_ignore_ascii_case(name));
-            if benches.is_empty() {
-                eprintln!("--only {name}: no such app in the suite");
-                std::process::exit(2);
-            }
-        }
-        benches
-    };
-
-    if what == "chaos" {
-        run_chaos(
-            seed,
-            rounds,
-            &filtered(scale),
-            machine,
-            watchdog_budget,
-            out_path.as_deref(),
-            replay.as_deref(),
-        );
-        return;
-    }
-
-    if what == "trace" {
-        let kind = machine.unwrap_or(MachineKind::Vgiw);
-        let benches = filtered(scale);
-        if benches.len() != 1 {
-            eprintln!("trace needs --only APP (exactly one benchmark)");
-            std::process::exit(2);
-        }
-        let bench = &benches[0];
-        let format = format.unwrap_or_else(|| "chrome".to_string());
-        let path = out_path
-            .unwrap_or_else(|| format!("trace_{}_{}.json", bench.app.to_lowercase(), kind.name()));
-        eprintln!(
-            "tracing {} on {} (scale {scale})...",
-            bench.app,
-            kind.name()
-        );
-        let tracer = Tracer::recording();
-        let run = run_machine(bench, kind, checks, &tracer);
-        if let Some(e) = run.outcome.failure() {
-            eprintln!("{} failed on {}: {e}", kind.name(), bench.app);
-            std::process::exit(1);
-        }
-        if let RunOutcome::Skipped(e) = &run.outcome {
-            eprintln!("{} skipped {}: {e}", kind.name(), bench.app);
-            std::process::exit(1);
-        }
-        let records = tracer.take_records();
-        if kind == MachineKind::Vgiw {
-            for required in ["kernel_launch", "configure_start", "batch_retired"] {
-                assert!(
-                    records.iter().any(|r| r.event.kind() == required),
-                    "VGIW trace is missing {required} events"
-                );
-            }
-        }
-        let doc = match format.as_str() {
-            "chrome" => {
-                let doc = chrome_trace(kind.name(), &records);
-                if let Err(e) = validate_json(&doc) {
-                    eprintln!("internal error: Chrome trace is not valid JSON: {e}");
-                    std::process::exit(1);
-                }
-                doc
-            }
-            "ndjson" => ndjson(&records),
-            other => {
-                eprintln!("--format must be chrome or ndjson, not '{other}'");
-                std::process::exit(2);
-            }
-        };
-        if let Err(e) = std::fs::write(&path, &doc) {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path} ({} events, {format})", records.len());
-        print!("{}", report::counter_table(&run.counters));
-        return;
-    }
-
+/// The `run` subcommand: cross-machine figures, or a single-machine
+/// cycle table (with checkpoint/resume) under `--machine`.
+fn cmd_run(what: &str, opts: &HarnessOptions, cli: &Cli) {
+    let machine = cli.machine_value("--machine");
     if let Some(kind) = machine {
         if what != "all" {
-            eprintln!("--machine only combines with 'all' (figure/perf modes compare machines)");
-            std::process::exit(2);
+            die("--machine only combines with 'all' (figure/perf modes compare machines)");
         }
-        let tuning = MachineTuning {
-            reference_tick: reference,
-            reference_mem,
-            watchdog_budget,
-            ..MachineTuning::default()
-        };
-        let checkpointing = checkpoint_every.is_some() || resume.is_some();
-        if checkpointing && traced {
-            eprintln!("--checkpoint-every/--resume do not combine with --traced");
-            std::process::exit(2);
-        }
-        let benches = filtered(scale);
-        let fingerprint = suite_fingerprint(kind, scale, &checks, &tuning, only.as_deref());
-        let ckpt_path = checkpoint_file
-            .or_else(|| resume.clone())
-            .unwrap_or_else(|| "experiments.ckpt".to_string());
-        let mut state = match &resume {
-            Some(path) => {
-                let s = SuiteCheckpoint::load(path).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                });
-                if s.fingerprint != fingerprint {
-                    eprintln!(
-                        "--resume {path}: checkpoint was taken with different flags\n  \
-                         checkpoint: {}\n  this run:   {fingerprint}",
-                        s.fingerprint
-                    );
-                    std::process::exit(2);
-                }
-                eprintln!(
-                    "resuming from {path}: {} completed row(s){}",
-                    s.completed.len(),
-                    if s.inflight.is_some() {
-                        ", one benchmark in flight"
-                    } else {
-                        ""
-                    }
-                );
-                s
-            }
-            None => SuiteCheckpoint::new(fingerprint),
-        };
-        if state.completed.len() > benches.len() {
-            eprintln!("checkpoint has more rows than the suite — wrong file?");
-            std::process::exit(2);
-        }
-        for (rec, bench) in state.completed.iter().zip(&benches) {
-            if rec.app != bench.app {
-                eprintln!(
-                    "checkpoint row '{}' does not match benchmark '{}'",
-                    rec.app, bench.app
-                );
-                std::process::exit(2);
-            }
-        }
-        eprintln!(
-            "running {} on {} benchmark(s) (scale {scale})...",
-            kind.name(),
-            benches.len()
-        );
-        println!("  app      machine      cycles    launches     threads");
-        let mut failed = false;
-        let mut fresh: Vec<(String, &'static str, RunOutcome)> = Vec::new();
-        for rec in &state.completed {
-            print_record(rec, kind);
-            if rec.is_failure() {
-                failed = true;
-                fresh.push((
-                    rec.app.clone(),
-                    kind.name(),
-                    RunOutcome::Failed(rec.message.clone()),
-                ));
-            }
-        }
-        let start = state.completed.len();
-        let mut inflight = state.inflight.take();
-        let launch_saves = std::cell::Cell::new(0u64);
-        for (i, bench) in benches.iter().enumerate().skip(start) {
-            let resume_ckpt: Option<HostCheckpoint> = match inflight.take() {
-                Some(f) if i == start && f.app == bench.app => Some(f.checkpoint),
-                Some(f) => {
-                    eprintln!(
-                        "checkpoint in-flight benchmark '{}' does not match '{}'",
-                        f.app, bench.app
-                    );
-                    std::process::exit(2);
-                }
-                None => None,
-            };
-            let run = if checkpointing {
-                let fingerprint_c = state.fingerprint.clone();
-                let completed_c = state.completed.clone();
-                let path_c = ckpt_path.clone();
-                let app_c = bench.app.to_string();
-                let launch_saves = &launch_saves;
-                let mut sink = move |ckpt: HostCheckpoint| -> Result<(), String> {
-                    SuiteCheckpoint {
-                        fingerprint: fingerprint_c.clone(),
-                        completed: completed_c.clone(),
-                        inflight: Some(InFlightJob {
-                            app: app_c.clone(),
-                            checkpoint: ckpt,
-                        }),
-                    }
-                    .save(&path_c)?;
-                    launch_saves.set(launch_saves.get() + 1);
-                    if let Some(k) = crash_after_launches {
-                        if launch_saves.get() >= k {
-                            eprintln!(
-                                "--crash-after-launches: aborting after {k} checkpoint write(s)"
-                            );
-                            std::process::abort();
-                        }
-                    }
-                    Ok(())
-                };
-                run_machine_checkpointed(
-                    bench,
-                    kind,
-                    checks,
-                    tuning,
-                    checkpoint_every,
-                    resume_ckpt,
-                    &mut sink,
-                )
-            } else {
-                // `--traced` records (and discards) a full event log,
-                // proving tracing is a pure observer: this table must be
-                // byte-identical with or without it (ci.sh diffs it
-                // against the golden file).
-                let tracer = if traced {
-                    Tracer::recording()
-                } else {
-                    Tracer::off()
-                };
-                let run = run_machine_tuned(bench, kind, checks, &tracer, tuning);
-                drop(tracer.take_records());
-                run
-            };
-            let rec = JobRecord::from_outcome(bench.app, &run.outcome);
-            print_record(&rec, kind);
-            if rec.is_failure() {
-                failed = true;
-                fresh.push((rec.app.clone(), kind.name(), run.outcome));
-            }
-            state.completed.push(rec);
-            if checkpointing {
-                if let Err(e) = state.save(&ckpt_path) {
-                    eprintln!("cannot persist checkpoint: {e}");
-                    std::process::exit(1);
-                }
-            }
-            if let Some(k) = crash_after_jobs {
-                if state.completed.len() >= k {
-                    eprintln!("--crash-after-jobs: aborting after {k} completed row(s)");
-                    std::process::abort();
-                }
-            }
-        }
-        if failed {
-            let records: Vec<(String, &'static str, &RunOutcome)> = fresh
-                .iter()
-                .map(|(app, m, o)| (app.clone(), *m, o))
-                .collect();
-            persist_failures(&records);
-            std::process::exit(1);
-        }
+        run_machine_table(kind, opts, cli);
         return;
     }
-
     let suite_tuning = MachineTuning {
-        watchdog_budget,
+        watchdog_budget: opts.watchdog_budget,
         ..MachineTuning::default()
     };
+    let (scale, jobs, checks) = (opts.scale, opts.jobs, opts.checks);
     match what {
         "table1" => print!("{}", report::table1()),
-        "table2" => print!("{}", report::table2(&filtered(scale))),
-        "mappability" => print!("{}", report::mappability(&filtered(scale))),
+        "table2" => print!("{}", report::table2(&opts.filtered())),
+        "mappability" => print!("{}", report::mappability(&opts.filtered())),
         "ablations" => print!("{}", report::ablations(scale)),
-        "perf" => {
-            let benches = filtered(scale);
-            eprintln!("timing suite (scale {scale}): serial, then {jobs} jobs...");
-            let perf = vgiw_bench::measure_perf_on(&benches, scale, jobs);
-            print!("{}", perf.summary());
-            let path = "BENCH_perf.json";
-            if let Err(e) = std::fs::write(path, perf.to_json()) {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("wrote {path}");
-        }
         "fig3" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "config-overhead" => {
             eprintln!("running suite (scale {scale}, {jobs} jobs)...");
             let (outcomes, _) =
-                measure_suite_outcomes_tuned(&filtered(scale), jobs, checks, suite_tuning);
+                measure_suite_outcomes_tuned(&opts.filtered(), jobs, checks, suite_tuning);
             let results = usable_results(&outcomes);
             let text = match what {
                 "fig3" => report::fig3(&results),
@@ -564,7 +591,7 @@ fn main() {
         "all" => {
             print!("{}", report::table1());
             println!();
-            let benches = filtered(scale);
+            let benches = opts.filtered();
             print!("{}", report::table2(&benches));
             println!();
             print!("{}", report::mappability(&benches));
@@ -589,39 +616,279 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown experiment '{other}'");
-            std::process::exit(2);
+            die(&format!("unknown experiment '{other}'"));
         }
     }
 }
 
+/// `run --machine M`: the per-app cycle table, with checkpoint/resume.
+fn run_machine_table(kind: MachineKind, opts: &HarnessOptions, cli: &Cli) {
+    let traced = cli.is_set("--traced");
+    let tuning = MachineTuning {
+        reference_tick: cli.is_set("--reference"),
+        reference_mem: cli.is_set("--reference-mem"),
+        watchdog_budget: opts.watchdog_budget,
+        ..MachineTuning::default()
+    };
+    let checks = opts.checks;
+    let scale = opts.scale;
+    let checkpoint_every = cli.u64_value("--checkpoint-every");
+    if checkpoint_every == Some(0) {
+        die("--checkpoint-every needs a positive launch count");
+    }
+    let resume = cli.value("--resume").map(str::to_string);
+    let crash_after_jobs = cli.usize_value("--crash-after-jobs");
+    let crash_after_launches = cli.u64_value("--crash-after-launches");
+    let checkpointing = checkpoint_every.is_some() || resume.is_some();
+    if checkpointing && traced {
+        die("--checkpoint-every/--resume do not combine with --traced");
+    }
+    let benches = opts.filtered();
+    let fingerprint = suite_fingerprint(kind, scale, &checks, &tuning, opts.only.as_deref());
+    let ckpt_path = cli
+        .value("--checkpoint-file")
+        .map(str::to_string)
+        .or_else(|| resume.clone())
+        .unwrap_or_else(|| "experiments.ckpt".to_string());
+    let mut state = match &resume {
+        Some(path) => {
+            let s = SuiteCheckpoint::load(path).unwrap_or_else(|e| die(&e));
+            if s.fingerprint != fingerprint {
+                die(&format!(
+                    "--resume {path}: checkpoint was taken with different flags\n  \
+                     checkpoint: {}\n  this run:   {fingerprint}",
+                    s.fingerprint
+                ));
+            }
+            eprintln!(
+                "resuming from {path}: {} completed row(s){}",
+                s.completed.len(),
+                if s.inflight.is_some() {
+                    ", one benchmark in flight"
+                } else {
+                    ""
+                }
+            );
+            s
+        }
+        None => SuiteCheckpoint::new(fingerprint),
+    };
+    if state.completed.len() > benches.len() {
+        die("checkpoint has more rows than the suite — wrong file?");
+    }
+    for (rec, bench) in state.completed.iter().zip(&benches) {
+        if rec.app != bench.app {
+            die(&format!(
+                "checkpoint row '{}' does not match benchmark '{}'",
+                rec.app, bench.app
+            ));
+        }
+    }
+    eprintln!(
+        "running {} on {} benchmark(s) (scale {scale})...",
+        kind.name(),
+        benches.len()
+    );
+    println!("  app      machine      cycles    launches     threads");
+    let mut failed = false;
+    let mut fresh: Vec<(String, &'static str, RunOutcome)> = Vec::new();
+    for rec in &state.completed {
+        print_record(rec, kind);
+        if rec.is_failure() {
+            failed = true;
+            fresh.push((
+                rec.app.clone(),
+                kind.name(),
+                RunOutcome::Failed(BenchError::classify(rec.message.clone())),
+            ));
+        }
+    }
+    let start = state.completed.len();
+    let mut inflight = state.inflight.take();
+    let launch_saves = std::cell::Cell::new(0u64);
+    for (i, bench) in benches.iter().enumerate().skip(start) {
+        let resume_ckpt: Option<HostCheckpoint> = match inflight.take() {
+            Some(f) if i == start && f.app == bench.app => Some(f.checkpoint),
+            Some(f) => {
+                die(&format!(
+                    "checkpoint in-flight benchmark '{}' does not match '{}'",
+                    f.app, bench.app
+                ));
+            }
+            None => None,
+        };
+        let run = if checkpointing {
+            let fingerprint_c = state.fingerprint.clone();
+            let completed_c = state.completed.clone();
+            let path_c = ckpt_path.clone();
+            let app_c = bench.app.to_string();
+            let launch_saves = &launch_saves;
+            let mut sink = move |ckpt: HostCheckpoint| -> Result<(), String> {
+                SuiteCheckpoint {
+                    fingerprint: fingerprint_c.clone(),
+                    completed: completed_c.clone(),
+                    inflight: Some(InFlightJob {
+                        app: app_c.clone(),
+                        checkpoint: ckpt,
+                    }),
+                }
+                .save(&path_c)?;
+                launch_saves.set(launch_saves.get() + 1);
+                if let Some(k) = crash_after_launches {
+                    if launch_saves.get() >= k {
+                        eprintln!("--crash-after-launches: aborting after {k} checkpoint write(s)");
+                        std::process::abort();
+                    }
+                }
+                Ok(())
+            };
+            run_machine_checkpointed(
+                bench,
+                kind,
+                checks,
+                tuning,
+                checkpoint_every,
+                resume_ckpt,
+                &mut sink,
+            )
+        } else {
+            // `--traced` records (and discards) a full event log,
+            // proving tracing is a pure observer: this table must be
+            // byte-identical with or without it (ci.sh diffs it
+            // against the golden file).
+            let tracer = if traced {
+                Tracer::recording()
+            } else {
+                Tracer::off()
+            };
+            let run = run_machine_tuned(bench, kind, checks, &tracer, tuning);
+            drop(tracer.take_records());
+            run
+        };
+        let rec = JobRecord::from_outcome(bench.app, &run.outcome);
+        print_record(&rec, kind);
+        if rec.is_failure() {
+            failed = true;
+            fresh.push((rec.app.clone(), kind.name(), run.outcome));
+        }
+        state.completed.push(rec);
+        if checkpointing {
+            if let Err(e) = state.save(&ckpt_path) {
+                eprintln!("cannot persist checkpoint: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(k) = crash_after_jobs {
+            if state.completed.len() >= k {
+                eprintln!("--crash-after-jobs: aborting after {k} completed row(s)");
+                std::process::abort();
+            }
+        }
+    }
+    if failed {
+        let records: Vec<(String, &'static str, &RunOutcome)> = fresh
+            .iter()
+            .map(|(app, m, o)| (app.clone(), *m, o))
+            .collect();
+        persist_failures(&records);
+        std::process::exit(1);
+    }
+}
+
+/// The `perf` subcommand.
+fn cmd_perf(opts: &HarnessOptions) {
+    let benches = opts.filtered();
+    let (scale, jobs) = (opts.scale, opts.jobs);
+    eprintln!("timing suite (scale {scale}): serial, then {jobs} jobs...");
+    let perf = vgiw_bench::measure_perf_on(&benches, scale, jobs);
+    print!("{}", perf.summary());
+    let path = "BENCH_perf.json";
+    if let Err(e) = std::fs::write(path, perf.to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
+/// The `trace` subcommand.
+fn cmd_trace(opts: &HarnessOptions, cli: &Cli) {
+    let kind = cli.machine_value("--machine").unwrap_or(MachineKind::Vgiw);
+    let benches = opts.filtered();
+    if benches.len() != 1 {
+        die("trace needs --only APP (exactly one benchmark)");
+    }
+    let bench = &benches[0];
+    let scale = opts.scale;
+    let format = cli.value("--format").unwrap_or("chrome").to_string();
+    let path = cli
+        .value("--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("trace_{}_{}.json", bench.app.to_lowercase(), kind.name()));
+    eprintln!(
+        "tracing {} on {} (scale {scale})...",
+        bench.app,
+        kind.name()
+    );
+    let tracer = Tracer::recording();
+    let run = run_machine(bench, kind, opts.checks, &tracer);
+    if let Some(e) = run.outcome.failure() {
+        eprintln!("{} failed on {}: {e}", kind.name(), bench.app);
+        std::process::exit(1);
+    }
+    if let RunOutcome::Skipped(e) = &run.outcome {
+        eprintln!("{} skipped {}: {e}", kind.name(), bench.app);
+        std::process::exit(1);
+    }
+    let records = tracer.take_records();
+    if kind == MachineKind::Vgiw {
+        for required in ["kernel_launch", "configure_start", "batch_retired"] {
+            assert!(
+                records.iter().any(|r| r.event.kind() == required),
+                "VGIW trace is missing {required} events"
+            );
+        }
+    }
+    let doc = match format.as_str() {
+        "chrome" => {
+            let doc = chrome_trace(kind.name(), &records);
+            if let Err(e) = validate_json(&doc) {
+                eprintln!("internal error: Chrome trace is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+            doc
+        }
+        "ndjson" => ndjson(&records),
+        other => {
+            die(&format!("--format must be chrome or ndjson, not '{other}'"));
+        }
+    };
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} ({} events, {format})", records.len());
+    print!("{}", report::counter_table(&run.counters));
+}
+
 /// The `chaos` subcommand: replay one artifact, or run a seeded campaign.
-fn run_chaos(
-    seed: u64,
-    rounds: u64,
-    benches: &[Benchmark],
-    machine: Option<MachineKind>,
-    watchdog_budget: Option<u64>,
-    out_dir: Option<&str>,
-    replay: Option<&str>,
-) {
+fn cmd_chaos(opts: &HarnessOptions, cli: &Cli) {
+    let seed = cli.u64_value("--seed").unwrap_or(1);
+    let rounds = cli.u64_value("--rounds").unwrap_or(4);
+    let machine = cli.machine_value("--machine");
+    let benches = opts.filtered();
     // Chaos always runs with the full checker set — detection is the
     // point — and honors `--watchdog-budget` for faster hang detection.
     let checks = ChecksConfig::full();
     let tuning = MachineTuning {
-        watchdog_budget,
+        watchdog_budget: opts.watchdog_budget,
         ..MachineTuning::default()
     };
-    if let Some(path) = replay {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
+    if let Some(path) = cli.value("--replay") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
         let (plan, recorded, observed, matches) =
-            chaos::replay_artifact(&text, benches, checks, tuning).unwrap_or_else(|e| {
-                eprintln!("cannot replay {path}: {e}");
-                std::process::exit(2);
-            });
+            chaos::replay_artifact(&text, &benches, checks, tuning)
+                .unwrap_or_else(|e| die(&format!("cannot replay {path}: {e}")));
         println!(
             "replay {path}: app={} machine={} recorded={} observed={}{}",
             plan.app,
@@ -640,12 +907,12 @@ fn run_chaos(
         }
         return;
     }
-    let dir = out_dir.unwrap_or(".");
+    let dir = cli.value("--out").unwrap_or(".");
     eprintln!(
         "chaos campaign: seed {seed}, {rounds} round(s), {} benchmark(s), artifacts in {dir}/ ...",
         benches.len()
     );
-    let (reports, ok) = chaos::chaos_campaign(seed, rounds, benches, machine, checks, tuning, dir);
+    let (reports, ok) = chaos::chaos_campaign(seed, rounds, &benches, machine, checks, tuning, dir);
     let mut benign = 0;
     let mut caught = 0;
     let mut diverged = 0;
@@ -695,6 +962,167 @@ fn run_chaos(
     println!("chaos: {benign} benign, {caught} caught, {diverged} diverged over {rounds} round(s)");
     if !ok {
         eprintln!("chaos: at least one round failed to recover or to shrink deterministically");
+        std::process::exit(1);
+    }
+}
+
+/// Renders one served result as a golden cycle-table row.
+fn print_job_row(result: &JobResult) {
+    let (outcome, message, cycles, launches, threads) = match &result.outcome {
+        JobOutcome::Ok(r) => (0, String::new(), r.cycles, r.launches, r.threads),
+        JobOutcome::Skipped(e) => (1, e.clone(), 0, 0, 0),
+        JobOutcome::Failed(e) => (2, e.to_string(), 0, 0, 0),
+        JobOutcome::Hung(e) => (3, e.clone(), 0, 0, 0),
+    };
+    let rec = JobRecord {
+        app: result.benchmark.clone(),
+        outcome,
+        message,
+        cycles,
+        launches,
+        threads,
+    };
+    print_record(&rec, result.machine);
+}
+
+/// The `serve` subcommand: NDJSON requests in, NDJSON results (or the
+/// golden cycle table) out, in input order.
+fn cmd_serve(opts: &HarnessOptions, cli: &Cli) {
+    if let Some(kind) = cli.machine_value("--emit-jobs") {
+        for app in opts.filtered_app_names() {
+            let mut req = JobRequest::new(app, kind, opts.scale);
+            req.checks = opts.checks;
+            req.tuning.watchdog_budget = opts.watchdog_budget;
+            println!("{}", req.to_json_line());
+        }
+        return;
+    }
+    let input = match cli.value("--file") {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}"))),
+        None => {
+            use std::io::Read as _;
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+            text
+        }
+    };
+    let mut requests: Vec<JobRequest> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match JobRequest::from_json_line(line) {
+            Ok(req) => requests.push(req),
+            Err(e) => die(&format!("request line {}: {e}", idx + 1)),
+        }
+    }
+    let workers = cli.usize_value("--workers").unwrap_or(1).max(1);
+    let queue_capacity = cli.usize_value("--queue-cap").unwrap_or(64).max(1);
+    eprintln!(
+        "serve: {} job(s) on {workers} worker shard(s) (queue capacity {queue_capacity})",
+        requests.len()
+    );
+    let mut service = Service::start(ServiceConfig {
+        workers,
+        queue_capacity,
+        start_paused: false,
+    });
+    let mut handles: Vec<JobHandle> = Vec::new();
+    let mut drained = 0usize;
+    for req in &requests {
+        loop {
+            match service.submit(req) {
+                Ok(handle) => {
+                    handles.push(handle);
+                    break;
+                }
+                Err(ServeError::Backpressure { .. }) => {
+                    // Drain our own oldest pending job, then retry.
+                    if drained < handles.len() {
+                        handles[drained].wait();
+                        drained += 1;
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                Err(e) => die(&format!("submit failed: {e}")),
+            }
+        }
+    }
+    if cli.is_set("--table") {
+        println!("  app      machine      cycles    launches     threads");
+    }
+    let mut failed = false;
+    for (req, handle) in requests.iter().zip(&handles) {
+        let result = handle.wait();
+        if result.outcome.is_failure() {
+            failed = true;
+        }
+        if cli.is_set("--table") {
+            print_job_row(&result);
+        } else {
+            println!(
+                "{}",
+                result.to_json_line(handle.cache_hit, req.emit_counters)
+            );
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    eprintln!(
+        "serve: {} executed, {} cache hit(s), {} dedup hit(s), {} rejected, \
+         queue wait p50/p90/p99 {}/{}/{} us",
+        stats.executed,
+        stats.cache_hits,
+        stats.dedup_hits,
+        stats.rejected,
+        stats.wait_p50_us,
+        stats.wait_p90_us,
+        stats.wait_p99_us
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The `bombard` subcommand: load-test the service, merge the report
+/// into `BENCH_perf.json`.
+fn cmd_bombard(scale: u32, cli: &Cli) {
+    let workers = cli
+        .usize_value("--workers")
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+        .max(1);
+    let clients = cli.usize_value("--clients").unwrap_or(4).max(1);
+    let queue_capacity = cli.usize_value("--queue-cap").unwrap_or(64).max(1);
+    eprintln!("bombard: scale {scale}, 1 worker then {workers} worker(s) x {clients} client(s)...");
+    let report = bombard::bombard_run(scale, workers, clients, queue_capacity);
+    eprintln!("{}", report.summary());
+    let path = "BENCH_perf.json";
+    let existing = std::fs::read_to_string(path).ok();
+    let merged = bombard::merge_serve_into(existing.as_deref(), &report.to_json());
+    if let Err(e) = std::fs::write(path, merged) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("merged serve report into {path}");
+    let mut bad = false;
+    if !report.identical {
+        eprintln!("bombard: 1-worker and {workers}-worker results were NOT bit-identical");
+        bad = true;
+    }
+    if report.failures > 0 {
+        eprintln!("bombard: {} job(s) failed", report.failures);
+        bad = true;
+    }
+    if report.cache_hit_rate <= 0.0 {
+        eprintln!("bombard: cache hit rate was zero (duplicated mix must hit)");
+        bad = true;
+    }
+    if bad {
         std::process::exit(1);
     }
 }

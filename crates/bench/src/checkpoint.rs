@@ -10,15 +10,14 @@
 //! run (CI kills a run mid-suite and diffs the resumed output against
 //! `golden_cycles.txt`).
 
-use std::time::Instant;
 use vgiw_kernels::Benchmark;
 use vgiw_robust::ChecksConfig;
 use vgiw_snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
-use vgiw_trace::{Counters, Tracer};
+use vgiw_trace::Tracer;
 
 use crate::harness::{
-    new_machine_tuned, HostCheckpoint, MachineHost, MachineKind, MachinePerf, MachineResult,
-    MachineRun, MachineTuning, RunOutcome,
+    run_spec_hooked, HostCheckpoint, MachineKind, MachineResult, MachineRun, MachineSpec,
+    MachineTuning, RunHooks, RunOutcome,
 };
 
 /// One finished (benchmark, machine) row, exactly as the cycle table
@@ -45,7 +44,7 @@ impl JobRecord {
         let (kind, message, cycles, launches, threads) = match outcome {
             RunOutcome::Ok(r) => (0, String::new(), r.cycles, r.launches, r.threads),
             RunOutcome::Skipped(e) => (1, e.clone(), 0, 0, 0),
-            RunOutcome::Failed(e) => (2, e.clone(), 0, 0, 0),
+            RunOutcome::Failed(e) => (2, e.to_string(), 0, 0, 0),
             RunOutcome::Hung(r) => (3, r.to_string(), 0, 0, 0),
         };
         JobRecord {
@@ -256,99 +255,17 @@ pub fn run_machine_checkpointed(
     resume: Option<HostCheckpoint>,
     sink: &mut dyn FnMut(HostCheckpoint) -> Result<(), String>,
 ) -> MachineRun {
-    struct RawRun {
-        result: Result<MachineResult, String>,
-        deadlock: Option<Box<vgiw_robust::DeadlockReport>>,
-        compile_s: f64,
-        events: u64,
-        cycles_skipped: u64,
-        counters: Counters,
-    }
-    let t0 = Instant::now();
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
-        let mut machine = new_machine_tuned(kind, checks, tuning);
-        machine.set_tracer(Tracer::off());
-        let (r, compile_s, events) = {
-            let mut host = MachineHost::new(machine.as_mut());
-            let restored = match resume {
-                Some(ckpt) => host
-                    .resume_from(ckpt)
-                    .map_err(|e| format!("checkpoint restore failed: {e}")),
-                None => Ok(()),
-            };
-            if let Some(every) = every {
-                host.checkpoint_to(every, Box::new(sink));
-            }
-            let r = restored.and_then(|()| bench.run(&mut host).map(|()| host.result));
-            (r, host.compile_s, host.events)
-        };
-        RawRun {
-            result: r,
-            deadlock: machine.take_deadlock(),
-            compile_s,
-            events,
-            cycles_skipped: machine.cycles_skipped(),
-            counters: machine.stats(),
-        }
-    }));
-    let RawRun {
-        result,
-        deadlock,
-        compile_s,
-        events,
-        cycles_skipped,
-        mut counters,
-    } = match run {
-        Ok(out) => out,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "panic with non-string payload".to_string());
-            RawRun {
-                result: Err(format!("panic: {msg}")),
-                deadlock: None,
-                compile_s: 0.0,
-                events: 0,
-                cycles_skipped: 0,
-                counters: Counters::new(),
-            }
-        }
-    };
-    let outcome = match result {
-        Ok(r) => {
-            let name = kind.name();
-            counters.set_f64(&format!("{name}.energy.core"), r.energy.core);
-            counters.set_f64(&format!("{name}.energy.l1"), r.energy.l1);
-            counters.set_f64(&format!("{name}.energy.l2"), r.energy.l2);
-            counters.set_f64(&format!("{name}.energy.dram"), r.energy.dram);
-            RunOutcome::Ok(r)
-        }
-        Err(_) if deadlock.is_some() => RunOutcome::Hung(deadlock.expect("checked is_some")),
-        Err(e) if kind == MachineKind::Sgmf && e.contains("not SGMF-mappable") => {
-            RunOutcome::Skipped(e)
-        }
-        Err(e) => RunOutcome::Failed(e),
-    };
-    let wall_s = t0.elapsed().as_secs_f64();
-    let (cycles, threads) = match outcome.ok() {
-        Some(r) => (r.cycles, r.threads),
-        None => (0, 0),
-    };
-    let perf = MachinePerf {
-        compile_s,
-        simulate_s: (wall_s - compile_s).max(0.0),
-        cycles,
-        threads,
-        events,
-        cycles_skipped,
-    };
-    MachineRun {
-        outcome,
-        perf,
-        counters,
-    }
+    run_spec_hooked(
+        bench,
+        MachineSpec::new(kind).checks(checks).tuning(tuning),
+        &Tracer::off(),
+        RunHooks {
+            checkpoint_every: every,
+            resume,
+            sink: Some(sink),
+            mem_wedge: None,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,286 +1,29 @@
-//! Machine construction and per-benchmark measurement.
+//! Suite-level measurement over the `vgiw-serve` machine-execution layer.
 //!
-//! Every architecture implements the [`Machine`] trait; [`MachineHost`]
-//! adapts a `&mut dyn Machine` to `vgiw_kernels::Launcher` so one driver
-//! runs `vgiw_kernels::Benchmark`s on any machine and accumulates the
-//! statistics the figures need. Processors persist across the launches of
-//! one benchmark (warm caches), and are recreated per benchmark (cold
-//! start per app, like the paper's per-kernel measurements).
+//! Machine construction ([`MachineSpec`]), the [`MachineHost`] launcher
+//! adapter and the per-run executors ([`run_machine`] and friends) live
+//! in `vgiw-serve` and are re-exported here, so existing
+//! `vgiw_bench::harness::X` imports keep working. This module adds the
+//! suite dimension: running one benchmark on all three machines
+//! ([`measure`], [`AppResult`]), running the whole suite on a worker pool
+//! ([`measure_suite`] and variants), and the figure-facing aggregates.
+//! Processors persist across the launches of one benchmark (warm caches),
+//! and are recreated per benchmark (cold start per app, like the paper's
+//! per-kernel measurements).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
-use vgiw_core::{VgiwConfig, VgiwProcessor};
-use vgiw_ir::{Kernel, Launch, MemoryImage};
-use vgiw_kernels::{Benchmark, Launcher};
-use vgiw_power::{EnergyBreakdown, EnergyModel};
-use vgiw_robust::{ChecksConfig, DeadlockReport};
-use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
-use vgiw_simt::{SimtConfig, SimtProcessor};
-use vgiw_trace::{Counters, LaunchSummary, Machine, Tracer};
+use vgiw_kernels::Benchmark;
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::{Counters, Tracer};
 
-/// Totals accumulated while one machine runs one benchmark.
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
-pub struct MachineResult {
-    /// Total cycles over all launches.
-    pub cycles: u64,
-    /// Total energy over all launches.
-    pub energy: EnergyBreakdown,
-    /// LVC accesses (VGIW only).
-    pub lvc_accesses: u64,
-    /// Register file accesses (SIMT only).
-    pub rf_accesses: u64,
-    /// Reconfiguration cycles (VGIW only).
-    pub config_cycles: u64,
-    /// Grid configurations (VGIW only).
-    pub block_executions: u64,
-    /// Launch count.
-    pub launches: u64,
-    /// Total threads launched.
-    pub threads: u64,
-}
-
-impl MachineResult {
-    fn add_energy(&mut self, e: EnergyBreakdown) {
-        self.energy.core += e.core;
-        self.energy.l1 += e.l1;
-        self.energy.l2 += e.l2;
-        self.energy.dram += e.dram;
-    }
-}
-
-/// Simulator-engine knobs threaded into machine construction. All of
-/// them are equivalence-tested pure knobs: simulated results are
-/// bit-identical whatever the tuning (only host wall time changes).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct MachineTuning {
-    /// Drive the fabric machines with the dense reference tick instead of
-    /// the event-driven batch engine (no effect on SIMT).
-    pub reference_tick: bool,
-    /// Drive the memory hierarchies with the retained per-request
-    /// reference path instead of the batch-coalesced zero-copy fast path
-    /// (all three machines).
-    pub reference_mem: bool,
-    /// Collect per-phase fabric tick timing and memory-hierarchy phase
-    /// timing, exported as `<machine>.fabric.phase.*` /
-    /// `<machine>.mem.phase.*` counters.
-    pub time_phases: bool,
-    /// Override the watchdog's no-progress budget (in machine cycles) on
-    /// whatever checks configuration is used, replacing the previously
-    /// hard-coded `ChecksConfig::full_with_budget` call sites. `None`
-    /// keeps the budget of the `ChecksConfig` as given. The watchdog is a
-    /// pure observer, so this cannot change simulated results — only how
-    /// quickly a genuine hang is detected.
-    pub watchdog_budget: Option<u64>,
-}
-
-/// Builds the processor behind `kind` with the given checks configuration
-/// and otherwise-default (paper) parameters, as a [`Machine`] trait object.
-pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> {
-    new_machine_tuned(kind, checks, MachineTuning::default())
-}
-
-/// [`new_machine`] with explicit simulator-engine tuning.
-pub fn new_machine_tuned(
-    kind: MachineKind,
-    checks: ChecksConfig,
-    tuning: MachineTuning,
-) -> Box<dyn Machine> {
-    let mut checks = checks;
-    if let Some(budget) = tuning.watchdog_budget {
-        checks.watchdog_budget = Some(budget);
-    }
-    match kind {
-        MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
-            checks,
-            reference_tick: tuning.reference_tick,
-            reference_mem: tuning.reference_mem,
-            time_phases: tuning.time_phases,
-            ..VgiwConfig::default()
-        })),
-        MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
-            checks,
-            reference_mem: tuning.reference_mem,
-            time_phases: tuning.time_phases,
-            ..SimtConfig::default()
-        })),
-        MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
-            checks,
-            reference_tick: tuning.reference_tick,
-            reference_mem: tuning.reference_mem,
-            time_phases: tuning.time_phases,
-            ..SgmfConfig::default()
-        })),
-    }
-}
-
-/// Everything the harness needs to resume a benchmark from a launch
-/// boundary: the machine snapshot plus the host-side accumulators that
-/// live outside the machine.
-#[derive(Clone, Debug)]
-pub struct HostCheckpoint {
-    /// Launches completed when the checkpoint was taken.
-    pub launches_done: u64,
-    /// The machine's [`Machine::save_state`] snapshot at that boundary.
-    pub machine_state: Vec<u8>,
-    /// The host's aggregated results at that boundary.
-    pub result: MachineResult,
-    /// Wall-clock compile seconds at that boundary (informational — it is
-    /// re-measured after a resume and is not part of bit-identity).
-    pub compile_s: f64,
-    /// Simulation events processed at that boundary.
-    pub events: u64,
-}
-
-/// Receives each [`HostCheckpoint`] a [`MachineHost`] takes; typically
-/// persists it (atomically) to the suite checkpoint file.
-pub type CheckpointSink<'m> = Box<dyn FnMut(HostCheckpoint) -> Result<(), String> + 'm>;
-
-/// Adapts any [`Machine`] to `vgiw_kernels::Launcher`: drives launches,
-/// prices energy from each launch's exported counters, and accumulates
-/// the per-benchmark totals the figures need.
-///
-/// The host is also the checkpoint/resume boundary: with
-/// [`MachineHost::checkpoint_to`] it snapshots the machine every N
-/// launches, and with [`MachineHost::resume_from`] it replays the
-/// already-simulated launch prefix on the reference interpreter (the
-/// machines are functionally exact, so this reproduces the memory image
-/// bit-for-bit without re-simulating timing), restores the machine
-/// snapshot at the boundary, and continues — producing bit-identical
-/// cycles and counters to the uninterrupted run.
-pub struct MachineHost<'m> {
-    machine: &'m mut dyn Machine,
-    model: EnergyModel,
-    /// Aggregated results.
-    pub result: MachineResult,
-    /// Per-launch summaries (the counters carry every per-launch stat).
-    /// After a resume, only post-resume launches appear here.
-    pub runs: Vec<LaunchSummary>,
-    /// Wall-clock seconds spent in [`Machine::prepare`] (compilation; the
-    /// rest of a launch's wall time is simulation).
-    pub compile_s: f64,
-    /// Simulation events processed (firings + tokens for the dataflow
-    /// machines; warp instructions + memory transactions for SIMT).
-    pub events: u64,
-    /// Launches completed, including interpreter-replayed ones after a
-    /// resume (drives the checkpoint cadence and resume skipping).
-    pub launches_done: u64,
-    /// Launches `0..replay_prefix` run on the reference interpreter
-    /// instead of the machine (their timing is already accounted in the
-    /// restored accumulators).
-    replay_prefix: u64,
-    /// Checkpoint cadence in launches (`None`: never checkpoint).
-    checkpoint_every: Option<u64>,
-    checkpoint_sink: Option<CheckpointSink<'m>>,
-}
-
-impl<'m> MachineHost<'m> {
-    /// Hosts `machine` with a fresh result accumulator.
-    pub fn new(machine: &'m mut dyn Machine) -> MachineHost<'m> {
-        MachineHost {
-            machine,
-            model: EnergyModel::new(),
-            result: MachineResult::default(),
-            runs: Vec::new(),
-            compile_s: 0.0,
-            events: 0,
-            launches_done: 0,
-            replay_prefix: 0,
-            checkpoint_every: None,
-            checkpoint_sink: None,
-        }
-    }
-
-    /// The hosted machine.
-    pub fn machine(&mut self) -> &mut dyn Machine {
-        self.machine
-    }
-
-    /// Takes a [`HostCheckpoint`] after every `every` launches and hands
-    /// it to `sink`. Snapshots are only possible at launch boundaries,
-    /// which is exactly when the host runs.
-    pub fn checkpoint_to(&mut self, every: u64, sink: CheckpointSink<'m>) {
-        assert!(every > 0, "checkpoint cadence must be positive");
-        self.checkpoint_every = Some(every);
-        self.checkpoint_sink = Some(sink);
-    }
-
-    /// Resumes from `ckpt`: the machine snapshot is restored immediately
-    /// (so a resume whose checkpoint sits at the final launch boundary
-    /// still ends with the machine in checkpoint state), the first
-    /// `ckpt.launches_done` launches of the next run are replayed on the
-    /// reference interpreter (restoring their memory effects
-    /// bit-for-bit), and the host accumulators pick up where the
-    /// checkpoint left off.
-    pub fn resume_from(&mut self, ckpt: HostCheckpoint) -> Result<(), String> {
-        self.machine.restore_state(&ckpt.machine_state)?;
-        self.result = ckpt.result;
-        self.compile_s = ckpt.compile_s;
-        self.events = ckpt.events;
-        self.launches_done = 0;
-        self.replay_prefix = ckpt.launches_done;
-        Ok(())
-    }
-
-    fn take_checkpoint(&mut self) -> Result<(), String> {
-        let machine_state = self.machine.save_state()?;
-        let ckpt = HostCheckpoint {
-            launches_done: self.launches_done,
-            machine_state,
-            result: self.result,
-            compile_s: self.compile_s,
-            events: self.events,
-        };
-        self.checkpoint_sink
-            .as_mut()
-            .expect("sink is set whenever cadence is")(ckpt)
-    }
-}
-
-impl Launcher for MachineHost<'_> {
-    fn launch(
-        &mut self,
-        kernel: &Kernel,
-        launch: &Launch,
-        mem: &mut MemoryImage,
-    ) -> Result<(), String> {
-        if self.launches_done < self.replay_prefix {
-            // Resume fast-path: this launch was already simulated (and
-            // accounted) before the checkpoint; only its memory effects
-            // are needed, and the interpreter is the machines' functional
-            // bit-exactness oracle.
-            vgiw_ir::interp::run(kernel, launch, mem).map_err(|e| e.to_string())?;
-            self.launches_done += 1;
-            return Ok(());
-        }
-        // `prepare` memoizes per kernel name, so only the first launch of
-        // a kernel pays (and measures) compilation.
-        let t0 = Instant::now();
-        self.machine.prepare(kernel)?;
-        self.compile_s += t0.elapsed().as_secs_f64();
-        let summary = self.machine.launch(kernel, launch, mem)?;
-        self.result.cycles += summary.cycles;
-        self.result.lvc_accesses += summary.lvc_accesses;
-        self.result.rf_accesses += summary.rf_accesses;
-        self.result.config_cycles += summary.config_cycles;
-        self.result.block_executions += summary.block_executions;
-        self.result.launches += 1;
-        self.result.threads += launch.num_threads as u64;
-        self.result.add_energy(
-            self.model
-                .from_counters(self.machine.name(), &summary.counters),
-        );
-        self.events += summary.events;
-        self.runs.push(summary);
-        self.launches_done += 1;
-        if let Some(every) = self.checkpoint_every {
-            if self.launches_done.is_multiple_of(every) {
-                self.take_checkpoint()?;
-            }
-        }
-        Ok(())
-    }
-}
+#[allow(deprecated)]
+pub use vgiw_serve::{new_machine, new_machine_tuned};
+pub use vgiw_serve::{
+    run_machine, run_machine_tuned, run_on_machine, run_spec, run_spec_hooked, BenchError,
+    CheckpointSink, HostCheckpoint, MachineHost, MachineKind, MachinePerf, MachineResult,
+    MachineRun, MachineSpec, MachineTuning, RunHooks, RunOutcome,
+};
 
 /// Results of one benchmark across all machines.
 #[derive(Debug)]
@@ -342,81 +85,6 @@ impl AppResult {
     }
 }
 
-/// The three simulated machines, as job identifiers for the worker pool.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum MachineKind {
-    /// The paper's VGIW core.
-    Vgiw,
-    /// The Fermi-like SIMT baseline.
-    Simt,
-    /// The SGMF (static dataflow) baseline.
-    Sgmf,
-}
-
-impl MachineKind {
-    /// Every machine, in report order. This table is the single source of
-    /// the enum-to-name mapping: [`MachineKind::name`] and
-    /// [`MachineKind::from_name`] both read it.
-    pub const ALL: [(MachineKind, &'static str); 3] = [
-        (MachineKind::Vgiw, "vgiw"),
-        (MachineKind::Simt, "simt"),
-        (MachineKind::Sgmf, "sgmf"),
-    ];
-
-    /// Machine name as used in reports, `--machine` and `BENCH_perf.json`.
-    pub fn name(self) -> &'static str {
-        MachineKind::ALL
-            .iter()
-            .find(|(k, _)| *k == self)
-            .expect("every variant is in ALL")
-            .1
-    }
-
-    /// Parses a `--machine` argument (the inverse of [`MachineKind::name`]).
-    pub fn from_name(name: &str) -> Option<MachineKind> {
-        MachineKind::ALL
-            .iter()
-            .find(|(_, n)| *n == name)
-            .map(|(k, _)| *k)
-    }
-}
-
-/// Wall-clock and throughput record for one (benchmark, machine) run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MachinePerf {
-    /// Seconds spent compiling kernels (VGIW only; zero elsewhere).
-    pub compile_s: f64,
-    /// Seconds spent simulating (total wall time minus compilation).
-    pub simulate_s: f64,
-    /// Simulated cycles retired during those seconds.
-    pub cycles: u64,
-    /// Threads launched during those seconds.
-    pub threads: u64,
-    /// Simulation events processed (firings + tokens for the dataflow
-    /// machines; warp instructions + memory transactions for SIMT).
-    pub events: u64,
-    /// Idle cycles the simulator skipped instead of ticking (zero for
-    /// SIMT, which has no cycle skipping).
-    pub cycles_skipped: u64,
-}
-
-impl MachinePerf {
-    /// Simulated cycles per wall-clock second of simulation.
-    pub fn cycles_per_sec(&self) -> f64 {
-        self.cycles as f64 / self.simulate_s.max(1e-12)
-    }
-
-    /// Threads retired per wall-clock second of simulation.
-    pub fn threads_per_sec(&self) -> f64 {
-        self.threads as f64 / self.simulate_s.max(1e-12)
-    }
-
-    /// Simulation events processed per wall-clock second of simulation.
-    pub fn events_per_sec(&self) -> f64 {
-        self.events as f64 / self.simulate_s.max(1e-12)
-    }
-}
-
 /// Per-benchmark wall-clock records across the machines.
 #[derive(Clone, Debug)]
 pub struct AppPerf {
@@ -442,167 +110,6 @@ pub struct AppCounters {
     pub simt: Counters,
     /// SGMF counters.
     pub sgmf: Counters,
-}
-
-/// What happened when one machine ran one benchmark.
-#[derive(Debug)]
-pub enum RunOutcome {
-    /// The machine ran the benchmark to completion and verified.
-    Ok(MachineResult),
-    /// The machine declined the benchmark for an expected, reportable
-    /// reason (SGMF unmappability). Not a failure.
-    Skipped(String),
-    /// The machine failed: a typed error, a verification mismatch or a
-    /// caught panic.
-    Failed(String),
-    /// The machine hung and the watchdog aborted it.
-    Hung(Box<DeadlockReport>),
-}
-
-impl RunOutcome {
-    /// The result, if the run completed.
-    pub fn ok(&self) -> Option<&MachineResult> {
-        match self {
-            RunOutcome::Ok(r) => Some(r),
-            _ => None,
-        }
-    }
-
-    /// A description of the failure, if the run failed or hung
-    /// (`Skipped` is not a failure).
-    pub fn failure(&self) -> Option<String> {
-        match self {
-            RunOutcome::Ok(_) | RunOutcome::Skipped(_) => None,
-            RunOutcome::Failed(e) => Some(e.clone()),
-            RunOutcome::Hung(r) => Some(r.to_string()),
-        }
-    }
-}
-
-/// Everything one machine produced on one benchmark: the outcome, the
-/// wall-clock record, and the machine's accumulated counter registry
-/// (with `<machine>.energy.*` appended when the run completed).
-#[derive(Debug)]
-pub struct MachineRun {
-    /// What happened.
-    pub outcome: RunOutcome,
-    /// Wall-clock and throughput record.
-    pub perf: MachinePerf,
-    /// The machine's exported counters (empty on a skip/panic).
-    pub counters: Counters,
-}
-
-/// Runs one benchmark on one machine without panicking: machine errors,
-/// watchdog aborts and even panics inside the simulator come back as
-/// [`RunOutcome`] variants so the rest of a suite keeps running. The
-/// `checks` configuration is threaded into the machine and `tracer` is
-/// installed on it before the first launch (pass [`Tracer::off`] for
-/// untraced runs — tracing is a pure observer either way).
-pub fn run_machine(
-    bench: &Benchmark,
-    kind: MachineKind,
-    checks: ChecksConfig,
-    tracer: &Tracer,
-) -> MachineRun {
-    run_machine_tuned(bench, kind, checks, tracer, MachineTuning::default())
-}
-
-/// [`run_machine`] with explicit simulator-engine tuning.
-pub fn run_machine_tuned(
-    bench: &Benchmark,
-    kind: MachineKind,
-    checks: ChecksConfig,
-    tracer: &Tracer,
-    tuning: MachineTuning,
-) -> MachineRun {
-    /// Everything salvaged from inside the `catch_unwind` boundary.
-    struct RawRun {
-        result: Result<MachineResult, String>,
-        deadlock: Option<Box<DeadlockReport>>,
-        compile_s: f64,
-        events: u64,
-        cycles_skipped: u64,
-        counters: Counters,
-    }
-    let t0 = Instant::now();
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
-        let mut machine = new_machine_tuned(kind, checks, tuning);
-        machine.set_tracer(tracer.clone());
-        let (r, compile_s, events) = {
-            let mut host = MachineHost::new(machine.as_mut());
-            let r = bench.run(&mut host).map(|()| host.result);
-            (r, host.compile_s, host.events)
-        };
-        RawRun {
-            result: r,
-            deadlock: machine.take_deadlock(),
-            compile_s,
-            events,
-            cycles_skipped: machine.cycles_skipped(),
-            counters: machine.stats(),
-        }
-    }));
-    let RawRun {
-        result,
-        deadlock,
-        compile_s,
-        events,
-        cycles_skipped,
-        mut counters,
-    } = match run {
-        Ok(out) => out,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "panic with non-string payload".to_string());
-            RawRun {
-                result: Err(format!("panic: {msg}")),
-                deadlock: None,
-                compile_s: 0.0,
-                events: 0,
-                cycles_skipped: 0,
-                counters: Counters::new(),
-            }
-        }
-    };
-    let outcome = match result {
-        Ok(r) => {
-            let name = kind.name();
-            counters.set_f64(&format!("{name}.energy.core"), r.energy.core);
-            counters.set_f64(&format!("{name}.energy.l1"), r.energy.l1);
-            counters.set_f64(&format!("{name}.energy.l2"), r.energy.l2);
-            counters.set_f64(&format!("{name}.energy.dram"), r.energy.dram);
-            RunOutcome::Ok(r)
-        }
-        Err(_) if deadlock.is_some() => RunOutcome::Hung(deadlock.expect("checked is_some")),
-        // Unmappability is the expected, reportable outcome for SGMF;
-        // anything else (e.g. a golden-image mismatch) is a failure and
-        // must not be silently folded into the "n/a" rows.
-        Err(e) if kind == MachineKind::Sgmf && e.contains("not SGMF-mappable") => {
-            RunOutcome::Skipped(e)
-        }
-        Err(e) => RunOutcome::Failed(e),
-    };
-    let wall_s = t0.elapsed().as_secs_f64();
-    let (cycles, threads) = match outcome.ok() {
-        Some(r) => (r.cycles, r.threads),
-        None => (0, 0),
-    };
-    let perf = MachinePerf {
-        compile_s,
-        simulate_s: (wall_s - compile_s).max(0.0),
-        cycles,
-        threads,
-        events,
-        cycles_skipped,
-    };
-    MachineRun {
-        outcome,
-        perf,
-        counters,
-    }
 }
 
 /// [`run_machine`] without tracing, returning just outcome and timing.
@@ -706,7 +213,10 @@ pub fn measure_with_perf(bench: &Benchmark) -> (AppResult, AppPerf) {
     let require = |run: &RunOutcome, kind: MachineKind| -> MachineResult {
         match run {
             RunOutcome::Ok(r) => *r,
-            RunOutcome::Skipped(e) | RunOutcome::Failed(e) => {
+            RunOutcome::Skipped(e) => {
+                panic!("{} failed on {}: {e}", kind.name(), bench.app)
+            }
+            RunOutcome::Failed(e) => {
                 panic!("{} failed on {}: {e}", kind.name(), bench.app)
             }
             RunOutcome::Hung(r) => panic!("{} hung on {}: {r}", kind.name(), bench.app),
@@ -898,7 +408,7 @@ mod tests {
         // names machine and cause.
         let outcome = AppOutcome {
             app: "synthetic",
-            vgiw: RunOutcome::Failed("verification mismatch".to_string()),
+            vgiw: RunOutcome::Failed(BenchError::classify("verification mismatch".to_string())),
             simt: RunOutcome::Ok(MachineResult::default()),
             sgmf: RunOutcome::Skipped("kernel not SGMF-mappable: loop".to_string()),
         };

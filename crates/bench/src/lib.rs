@@ -1,6 +1,10 @@
-//! Experiment harness: machine launchers, per-figure experiment runners
-//! and the `experiments` binary that regenerates every table and figure
-//! of the paper's evaluation (see DESIGN.md §5 for the index).
+//! Experiment harness: suite-level measurement, per-figure experiment
+//! runners and the `experiments` binary that regenerates every table and
+//! figure of the paper's evaluation (see DESIGN.md §5 for the index).
+//!
+//! Machine construction and single-run execution live in `vgiw-serve`
+//! (the job-service crate) and are re-exported through [`harness`], so
+//! the historical `vgiw_bench::harness::X` import paths keep working.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -13,9 +17,11 @@ pub mod report;
 
 pub use chaos::{chaos_campaign, ChaosClass, FaultPlan, RoundReport};
 pub use checkpoint::{run_machine_checkpointed, suite_fingerprint, SuiteCheckpoint};
+#[allow(deprecated)]
+pub use harness::new_machine;
 pub use harness::{
-    measure, measure_machine, measure_suite, measure_suite_with_perf, new_machine, run_machine,
-    AppCounters, AppPerf, AppResult, HostCheckpoint, MachineHost, MachineKind, MachinePerf,
-    MachineResult, MachineRun, RunOutcome,
+    measure, measure_machine, measure_suite, measure_suite_with_perf, run_machine,
+    run_machine_tuned, AppCounters, AppPerf, AppResult, BenchError, HostCheckpoint, MachineHost,
+    MachineKind, MachinePerf, MachineResult, MachineRun, MachineSpec, MachineTuning, RunOutcome,
 };
 pub use perf::{measure_perf, measure_perf_on, SuitePerf};

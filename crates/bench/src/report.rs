@@ -355,9 +355,9 @@ fn json_escape(s: &str) -> String {
 
 /// One (app, machine) failure as a JSON object, or `None` for outcomes
 /// that are not failures. `Hung` embeds the full structured
-/// [`vgiw_robust::DeadlockReport`]; `Failed` carries the diagnostic
-/// string (which, for invariant aborts, is the formatted
-/// `InvariantViolation`).
+/// [`vgiw_robust::DeadlockReport`]; `Failed` carries the typed
+/// [`crate::harness::BenchError`] class plus the diagnostic string
+/// (which, for invariant aborts, is the formatted `InvariantViolation`).
 pub fn failure_json(
     app: &str,
     machine: &str,
@@ -369,10 +369,11 @@ pub fn failure_json(
         RunOutcome::Ok(_) | RunOutcome::Skipped(_) => return None,
         RunOutcome::Failed(e) => {
             out.push_str(&format!(
-                "{{\"app\":\"{}\",\"machine\":\"{}\",\"kind\":\"failed\",\"error\":\"{}\"}}",
+                "{{\"app\":\"{}\",\"machine\":\"{}\",\"kind\":\"failed\",\"class\":\"{}\",\"error\":\"{}\"}}",
                 json_escape(app),
                 json_escape(machine),
-                json_escape(e)
+                e.class(),
+                json_escape(e.message())
             ));
         }
         RunOutcome::Hung(r) => {
@@ -487,7 +488,9 @@ mod tests {
                 detail: "2 pending \"token\" entries\n".to_string(),
             }],
         }));
-        let failed = RunOutcome::Failed("invariant: CVT bit 3 armed twice \\ \"x\"".to_string());
+        let failed = RunOutcome::Failed(crate::harness::BenchError::classify(
+            "invariant: CVT bit 3 armed twice \\ \"x\"".to_string(),
+        ));
         let ok = RunOutcome::Ok(crate::harness::MachineResult::default());
         let records = vec![
             ("BFS".to_string(), "vgiw", &hung),
@@ -499,6 +502,7 @@ mod tests {
         assert!(doc.contains("\"kind\":\"hung\""));
         assert!(doc.contains("\"stalled_for\":1001"));
         assert!(doc.contains("\"kind\":\"failed\""));
+        assert!(doc.contains("\"class\":\"invariant\""));
         // The ok row must not appear.
         assert!(!doc.contains("\"NW\""));
         // Nothing to persist -> no artifact.

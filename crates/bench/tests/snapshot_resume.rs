@@ -7,7 +7,7 @@
 use vgiw_bench::chaos::{self, ChaosClass, FaultPlan};
 use vgiw_bench::checkpoint::run_machine_checkpointed;
 use vgiw_bench::harness::{
-    new_machine, run_machine_tuned, HostCheckpoint, MachineHost, MachineKind, MachineTuning,
+    run_machine_tuned, HostCheckpoint, MachineHost, MachineKind, MachineSpec, MachineTuning,
     RunOutcome,
 };
 use vgiw_kernels::Benchmark;
@@ -34,7 +34,7 @@ fn machine_snapshot_round_trips_byte_identical() {
     let checks = ChecksConfig::full();
     for (kind, name) in MachineKind::ALL {
         for bench in subset() {
-            let mut machine = new_machine(kind, checks);
+            let mut machine = MachineSpec::new(kind).checks(checks).build();
             {
                 let mut host = MachineHost::new(&mut *machine);
                 match bench.run(&mut host) {
@@ -46,7 +46,7 @@ fn machine_snapshot_round_trips_byte_identical() {
                 }
             }
             let first = machine.save_state().expect("save_state");
-            let mut fresh = new_machine(kind, checks);
+            let mut fresh = MachineSpec::new(kind).checks(checks).build();
             fresh.restore_state(&first).expect("restore_state");
             let second = fresh.save_state().expect("second save_state");
             assert_eq!(
@@ -62,9 +62,9 @@ fn machine_snapshot_round_trips_byte_identical() {
 /// configuration must be rejected, not silently corrupt state.
 #[test]
 fn restore_rejects_config_mismatch() {
-    let vgiw = new_machine(MachineKind::Vgiw, ChecksConfig::default());
+    let vgiw = MachineSpec::new(MachineKind::Vgiw).build();
     let state = vgiw.save_state().expect("save_state");
-    let mut simt = new_machine(MachineKind::Simt, ChecksConfig::default());
+    let mut simt = MachineSpec::new(MachineKind::Simt).build();
     let err = simt
         .restore_state(&state)
         .expect_err("cross-machine restore must fail");

@@ -31,27 +31,43 @@ pub mod util;
 
 pub use suite::{single_launch, Benchmark, Driver, InterpLauncher, Launcher};
 
+/// One suite entry: canonical app name and its workload builder.
+pub type AppEntry = (&'static str, fn(u32) -> Benchmark);
+
+/// `(app name, builder)` for every Table-2 application, in suite order.
+/// The single source of the name-to-builder mapping: [`suite`],
+/// [`app_names`] and [`build_app`] all read it.
+pub const APPS: [AppEntry; 12] = [
+    ("BFS", bfs::build),
+    ("KMEANS", kmeans::build),
+    ("CFD", cfd::build),
+    ("LUD", lud::build),
+    ("GE", ge::build),
+    ("HOTSPOT", hotspot::build),
+    ("LAVAMD", lavamd::build),
+    ("NN", nn::build),
+    ("PF", pf::build),
+    ("BPNN", bpnn::build),
+    ("NW", nw::build),
+    ("SM", sm::build),
+];
+
 /// Builds the full Table-2 suite at the given scale (1 = default sizes).
 pub fn suite(scale: u32) -> Vec<Benchmark> {
-    vec![
-        bfs::build(scale),
-        kmeans::build(scale),
-        cfd::build(scale),
-        lud::build(scale),
-        ge::build(scale),
-        hotspot::build(scale),
-        lavamd::build(scale),
-        nn::build(scale),
-        pf::build(scale),
-        bpnn::build(scale),
-        nw::build(scale),
-        sm::build(scale),
-    ]
+    APPS.iter().map(|&(_, build)| build(scale)).collect()
 }
 
 /// Application names in suite order.
 pub fn app_names() -> Vec<&'static str> {
-    vec![
-        "BFS", "KMEANS", "CFD", "LUD", "GE", "HOTSPOT", "LAVAMD", "NN", "PF", "BPNN", "NW", "SM",
-    ]
+    APPS.iter().map(|&(name, _)| name).collect()
+}
+
+/// Builds one application by (case-insensitive) name, or `None` if the
+/// suite has no such app. The by-name entry point the job service uses to
+/// build exactly the benchmark a request asks for, without paying for the
+/// golden-image computation of the other eleven.
+pub fn build_app(name: &str, scale: u32) -> Option<Benchmark> {
+    APPS.iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|&(_, build)| build(scale))
 }

@@ -40,7 +40,7 @@ pub const DEFAULT_WATCHDOG_BUDGET: u64 = 1_000_000;
 /// [`ChecksConfig::full`] (`experiments --checks`, used by CI's
 /// clean-suite pass). Memory request/response pairing is always checked —
 /// it replaces a former panic and costs nothing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ChecksConfig {
     /// Cycles without progress before the run aborts with a
     /// [`DeadlockReport`]; `None` disarms the watchdog.

@@ -1,0 +1,342 @@
+//! Load generator for the job service (`experiments bombard`).
+//!
+//! Builds a job mix (every suite app on every machine, duplicated so the
+//! cache has something to hit), drives it through a 1-worker service and
+//! an N-worker service with C concurrent clients, asserts the two result
+//! vectors are bit-identical, and reports honest throughput: jobs/s for
+//! both runs, the measured scaling ratio (suppressed on a single-CPU
+//! host, where it would be noise), cache/dedup hit rates, and queue-wait
+//! percentiles. The report merges into `BENCH_perf.json` under a
+//! `"serve"` key next to the simulator throughput numbers.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::machine::MachineKind;
+use crate::service::{JobHandle, ServeError, Service, ServiceConfig, StatsSnapshot};
+use crate::wire::{json_f64, JobRequest, JobResult};
+
+/// Every suite application on every machine, `repeats` copies of the
+/// whole block (later copies are cache fodder), at the given scale.
+pub fn job_mix(scale: u32, repeats: usize) -> Vec<JobRequest> {
+    let mut mix = Vec::new();
+    for _ in 0..repeats.max(1) {
+        for (app, _) in vgiw_kernels::APPS {
+            for (kind, _) in MachineKind::ALL {
+                mix.push(JobRequest::new(app, kind, scale));
+            }
+        }
+    }
+    mix
+}
+
+/// Drives `mix` through one service instance with `clients` submitter
+/// threads (client `c` owns mix indices `c, c+clients, ...`). Returns the
+/// results in mix order, the service stats, and the wall time.
+/// Backpressure is handled by draining the client's oldest pending job —
+/// submission never busy-spins against a full queue.
+pub fn run_mix(
+    mix: &[JobRequest],
+    workers: usize,
+    clients: usize,
+    queue_capacity: usize,
+) -> (Vec<JobResult>, StatsSnapshot, f64) {
+    let t0 = Instant::now();
+    let mut service = Service::start(ServiceConfig {
+        workers,
+        queue_capacity,
+        start_paused: false,
+    });
+    let clients = clients.max(1);
+    let mut slots: Vec<Option<JobResult>> = vec![None; mix.len()];
+    std::thread::scope(|s| {
+        let service = &service;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut got: Vec<(usize, JobResult)> = Vec::new();
+                    let mut pending: VecDeque<(usize, JobHandle)> = VecDeque::new();
+                    let mut idx = c;
+                    while idx < mix.len() {
+                        match service.submit(&mix[idx]) {
+                            Ok(handle) => {
+                                pending.push_back((idx, handle));
+                                idx += clients;
+                            }
+                            Err(ServeError::Backpressure { .. }) => {
+                                if let Some((i, handle)) = pending.pop_front() {
+                                    got.push((i, handle.wait()));
+                                } else {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                            }
+                            Err(e) => panic!("bombard submit failed: {e}"),
+                        }
+                    }
+                    for (i, handle) in pending {
+                        got.push((i, handle.wait()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("bombard client panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    let stats = service.stats();
+    service.shutdown();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let results = slots
+        .into_iter()
+        .map(|r| r.expect("every submitted job resolves"))
+        .collect();
+    (results, stats, wall_s)
+}
+
+/// What one bombard campaign measured.
+#[derive(Clone, Debug)]
+pub struct BombardReport {
+    /// Workload scale.
+    pub scale: u32,
+    /// Worker shards in the parallel run.
+    pub workers: usize,
+    /// Concurrent submitter clients in the parallel run.
+    pub clients: usize,
+    /// Jobs in the mix (submissions per run).
+    pub jobs: usize,
+    /// Wall seconds, 1-worker run.
+    pub serial_wall_s: f64,
+    /// Wall seconds, N-worker run.
+    pub parallel_wall_s: f64,
+    /// Measured scaling ratio (serial/parallel wall); `None` on a
+    /// single-CPU host where the comparison is meaningless.
+    pub scaling: Option<f64>,
+    /// (cache + in-flight dedup hits) / submissions, parallel run.
+    pub cache_hit_rate: f64,
+    /// Result-cache hits, parallel run.
+    pub cache_hits: u64,
+    /// In-flight dedup hits, parallel run.
+    pub dedup_hits: u64,
+    /// Rejected (retried) submissions, parallel run.
+    pub rejected: u64,
+    /// Queue-wait percentiles (µs), parallel run.
+    pub wait_p50_us: u64,
+    /// 90th percentile queue wait (µs).
+    pub wait_p90_us: u64,
+    /// 99th percentile queue wait (µs).
+    pub wait_p99_us: u64,
+    /// Jobs that failed or hung (should be zero for the stock suite).
+    pub failures: u64,
+    /// Whether the 1-worker and N-worker result vectors were
+    /// bit-identical (the service determinism contract).
+    pub identical: bool,
+}
+
+impl BombardReport {
+    /// Jobs per wall-clock second, 1-worker run.
+    pub fn serial_jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.serial_wall_s.max(1e-12)
+    }
+
+    /// Jobs per wall-clock second, N-worker run.
+    pub fn parallel_jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.parallel_wall_s.max(1e-12)
+    }
+
+    /// Human-readable summary for stderr.
+    pub fn summary(&self) -> String {
+        let scaling = match self.scaling {
+            Some(s) => format!("{s:.2}x"),
+            None => "n/a (single-CPU host)".to_string(),
+        };
+        format!(
+            "bombard: {} jobs, scale {}: 1 worker {:.2}s ({:.1} jobs/s), {} workers x {} clients {:.2}s ({:.1} jobs/s, scaling {scaling})\n\
+             bombard: cache hit rate {:.0}% ({} cache + {} dedup), {} rejected, queue wait p50/p90/p99 {}/{}/{} us, identical: {}",
+            self.jobs,
+            self.scale,
+            self.serial_wall_s,
+            self.serial_jobs_per_sec(),
+            self.workers,
+            self.clients,
+            self.parallel_wall_s,
+            self.parallel_jobs_per_sec(),
+            self.cache_hit_rate * 100.0,
+            self.cache_hits,
+            self.dedup_hits,
+            self.rejected,
+            self.wait_p50_us,
+            self.wait_p90_us,
+            self.wait_p99_us,
+            self.identical,
+        )
+    }
+
+    /// The `"serve"` JSON object merged into `BENCH_perf.json`.
+    pub fn to_json(&self) -> String {
+        let scaling = match self.scaling {
+            Some(s) => json_f64(s),
+            None => "null".to_string(),
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"clients\": {},\n", self.clients));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"serial\": {{ \"wall_s\": {}, \"jobs_per_sec\": {} }},\n",
+            json_f64(self.serial_wall_s),
+            json_f64(self.serial_jobs_per_sec())
+        ));
+        out.push_str(&format!(
+            "  \"parallel\": {{ \"wall_s\": {}, \"jobs_per_sec\": {} }},\n",
+            json_f64(self.parallel_wall_s),
+            json_f64(self.parallel_jobs_per_sec())
+        ));
+        out.push_str(&format!("  \"scaling\": {scaling},\n"));
+        if self.scaling.is_none() {
+            out.push_str(
+                "  \"scaling_note\": \"single-CPU host: parallel scaling not measurable\",\n",
+            );
+        }
+        out.push_str(&format!(
+            "  \"cache_hit_rate\": {},\n",
+            json_f64(self.cache_hit_rate)
+        ));
+        out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str(&format!("  \"dedup_hits\": {},\n", self.dedup_hits));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!(
+            "  \"queue_wait_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {} }},\n",
+            self.wait_p50_us, self.wait_p90_us, self.wait_p99_us
+        ));
+        out.push_str(&format!("  \"failures\": {},\n", self.failures));
+        out.push_str(&format!("  \"identical\": {}\n", self.identical));
+        out.push('}');
+        out
+    }
+}
+
+/// Runs the full campaign: the mix through 1 worker, then through
+/// `workers` workers with `clients` clients, comparing results
+/// bit-for-bit.
+pub fn bombard_run(
+    scale: u32,
+    workers: usize,
+    clients: usize,
+    queue_capacity: usize,
+) -> BombardReport {
+    let mix = job_mix(scale, 2);
+    let (serial, _, serial_wall_s) = run_mix(&mix, 1, 1, queue_capacity);
+    let (parallel, stats, parallel_wall_s) = run_mix(&mix, workers, clients, queue_capacity);
+    let identical = serial == parallel;
+    let failures = parallel.iter().filter(|r| r.outcome.is_failure()).count() as u64;
+    let single_cpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        <= 1;
+    let scaling = if single_cpu {
+        None
+    } else {
+        Some(serial_wall_s / parallel_wall_s.max(1e-12))
+    };
+    BombardReport {
+        scale,
+        workers,
+        clients,
+        jobs: mix.len(),
+        serial_wall_s,
+        parallel_wall_s,
+        scaling,
+        cache_hit_rate: (stats.cache_hits + stats.dedup_hits) as f64
+            / stats.submitted.max(1) as f64,
+        cache_hits: stats.cache_hits,
+        dedup_hits: stats.dedup_hits,
+        rejected: stats.rejected,
+        wait_p50_us: stats.wait_p50_us,
+        wait_p90_us: stats.wait_p90_us,
+        wait_p99_us: stats.wait_p99_us,
+        failures,
+        identical,
+    }
+}
+
+/// Merges the `"serve"` object into an existing `BENCH_perf.json`
+/// document (replacing any previous `"serve"` entry), or wraps it in a
+/// standalone document when the existing text is absent or not the
+/// expected shape. Pure function; the CLI handles the file I/O.
+pub fn merge_serve_into(existing: Option<&str>, serve_obj: &str) -> String {
+    // The serve object is embedded one level deep: indent its lines.
+    let embedded = {
+        let mut lines = serve_obj.lines();
+        let mut out = lines.next().unwrap_or("{").to_string();
+        for line in lines {
+            out.push_str("\n  ");
+            out.push_str(line);
+        }
+        out
+    };
+    let standalone = format!("{{\n  \"serve\": {embedded}\n}}\n");
+    let Some(text) = existing else {
+        return standalone;
+    };
+    // Replace a previous merge in place.
+    let body = match text.find(",\n  \"serve\":") {
+        Some(pos) => text[..pos].to_string(),
+        None => {
+            let trimmed = text.trim_end();
+            let Some(stripped) = trimmed.strip_suffix('}') else {
+                return standalone;
+            };
+            let body = stripped.trim_end();
+            if body.is_empty() || body == "{" {
+                return standalone;
+            }
+            body.to_string()
+        }
+    };
+    let merged = format!("{body},\n  \"serve\": {embedded}\n}}\n");
+    match vgiw_trace::validate_json(&merged) {
+        Ok(()) => merged,
+        Err(_) => standalone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_covers_every_app_and_machine() {
+        let mix = job_mix(1, 2);
+        assert_eq!(mix.len(), 12 * 3 * 2);
+        // The two halves are identical requests: guaranteed cache food.
+        assert_eq!(mix[..36], mix[36..]);
+    }
+
+    #[test]
+    fn merge_inserts_replaces_and_survives_garbage() {
+        let serve = "{\n  \"jobs\": 3,\n  \"identical\": true\n}";
+        // Fresh merge into a perf-shaped document.
+        let perf = "{\n  \"scale\": 1,\n  \"machines\": [\n    {}\n  ]\n}\n";
+        let merged = merge_serve_into(Some(perf), serve);
+        vgiw_trace::validate_json(&merged).expect("merged doc is valid JSON");
+        assert!(merged.contains("\"scale\": 1"));
+        assert!(merged.contains("\"serve\": {"));
+        // Re-merge replaces, never duplicates.
+        let serve2 = "{\n  \"jobs\": 9,\n  \"identical\": true\n}";
+        let remerged = merge_serve_into(Some(&merged), serve2);
+        vgiw_trace::validate_json(&remerged).expect("re-merged doc is valid JSON");
+        assert_eq!(remerged.matches("\"serve\"").count(), 1);
+        assert!(remerged.contains("\"jobs\": 9"));
+        assert!(!remerged.contains("\"jobs\": 3"));
+        // Absent or garbage input degrades to a standalone document.
+        for garbage in [None, Some(""), Some("{}"), Some("not json")] {
+            let out = merge_serve_into(garbage, serve);
+            vgiw_trace::validate_json(&out).expect("standalone doc is valid JSON");
+            assert!(out.starts_with("{\n  \"serve\": {"));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Benchmark execution on a hosted machine.
+//!
+//! [`MachineHost`] adapts a `&mut dyn Machine` to `vgiw_kernels::Launcher`
+//! so one driver runs `vgiw_kernels::Benchmark`s on any machine and
+//! accumulates the statistics the figures need. The `run_*` executors wrap
+//! the host in a panic boundary and classify everything that can happen —
+//! completion, skip, typed failure, watchdog hang — into a [`MachineRun`].
+//! All execution paths (fresh machine, checkpoint/resume, warm pooled
+//! machine) funnel through one internal runner, which is what makes
+//! "bit-identical results whichever path ran the job" a structural
+//! property instead of a convention.
+
+use std::time::Instant;
+use vgiw_ir::{Kernel, Launch, MemoryImage};
+use vgiw_kernels::{Benchmark, Launcher};
+use vgiw_power::EnergyModel;
+use vgiw_robust::{ChecksConfig, DeadlockReport};
+use vgiw_trace::{Counters, LaunchSummary, Machine, Tracer};
+
+use crate::machine::{
+    BenchError, MachineKind, MachinePerf, MachineResult, MachineRun, MachineSpec, MachineTuning,
+    RunOutcome,
+};
+
+/// Everything the harness needs to resume a benchmark from a launch
+/// boundary: the machine snapshot plus the host-side accumulators that
+/// live outside the machine.
+#[derive(Clone, Debug)]
+pub struct HostCheckpoint {
+    /// Launches completed when the checkpoint was taken.
+    pub launches_done: u64,
+    /// The machine's [`Machine::save_state`] snapshot at that boundary.
+    pub machine_state: Vec<u8>,
+    /// The host's aggregated results at that boundary.
+    pub result: MachineResult,
+    /// Wall-clock compile seconds at that boundary (informational — it is
+    /// re-measured after a resume and is not part of bit-identity).
+    pub compile_s: f64,
+    /// Simulation events processed at that boundary.
+    pub events: u64,
+}
+
+/// Receives each [`HostCheckpoint`] a [`MachineHost`] takes; typically
+/// persists it (atomically) to the suite checkpoint file.
+pub type CheckpointSink<'m> = Box<dyn FnMut(HostCheckpoint) -> Result<(), String> + 'm>;
+
+/// Adapts any [`Machine`] to `vgiw_kernels::Launcher`: drives launches,
+/// prices energy from each launch's exported counters, and accumulates
+/// the per-benchmark totals the figures need.
+///
+/// The host is also the checkpoint/resume boundary: with
+/// [`MachineHost::checkpoint_to`] it snapshots the machine every N
+/// launches, and with [`MachineHost::resume_from`] it replays the
+/// already-simulated launch prefix on the reference interpreter (the
+/// machines are functionally exact, so this reproduces the memory image
+/// bit-for-bit without re-simulating timing), restores the machine
+/// snapshot at the boundary, and continues — producing bit-identical
+/// cycles and counters to the uninterrupted run.
+pub struct MachineHost<'m> {
+    machine: &'m mut dyn Machine,
+    model: EnergyModel,
+    /// Aggregated results.
+    pub result: MachineResult,
+    /// Per-launch summaries (the counters carry every per-launch stat).
+    /// After a resume, only post-resume launches appear here.
+    pub runs: Vec<LaunchSummary>,
+    /// Wall-clock seconds spent in [`Machine::prepare`] (compilation; the
+    /// rest of a launch's wall time is simulation).
+    pub compile_s: f64,
+    /// Simulation events processed (firings + tokens for the dataflow
+    /// machines; warp instructions + memory transactions for SIMT).
+    pub events: u64,
+    /// Launches completed, including interpreter-replayed ones after a
+    /// resume (drives the checkpoint cadence and resume skipping).
+    pub launches_done: u64,
+    /// Launches `0..replay_prefix` run on the reference interpreter
+    /// instead of the machine (their timing is already accounted in the
+    /// restored accumulators).
+    replay_prefix: u64,
+    /// Checkpoint cadence in launches (`None`: never checkpoint).
+    checkpoint_every: Option<u64>,
+    checkpoint_sink: Option<CheckpointSink<'m>>,
+}
+
+impl<'m> MachineHost<'m> {
+    /// Hosts `machine` with a fresh result accumulator.
+    pub fn new(machine: &'m mut dyn Machine) -> MachineHost<'m> {
+        MachineHost {
+            machine,
+            model: EnergyModel::new(),
+            result: MachineResult::default(),
+            runs: Vec::new(),
+            compile_s: 0.0,
+            events: 0,
+            launches_done: 0,
+            replay_prefix: 0,
+            checkpoint_every: None,
+            checkpoint_sink: None,
+        }
+    }
+
+    /// The hosted machine.
+    pub fn machine(&mut self) -> &mut dyn Machine {
+        self.machine
+    }
+
+    /// Takes a [`HostCheckpoint`] after every `every` launches and hands
+    /// it to `sink`. Snapshots are only possible at launch boundaries,
+    /// which is exactly when the host runs.
+    pub fn checkpoint_to(&mut self, every: u64, sink: CheckpointSink<'m>) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = Some(every);
+        self.checkpoint_sink = Some(sink);
+    }
+
+    /// Resumes from `ckpt`: the machine snapshot is restored immediately
+    /// (so a resume whose checkpoint sits at the final launch boundary
+    /// still ends with the machine in checkpoint state), the first
+    /// `ckpt.launches_done` launches of the next run are replayed on the
+    /// reference interpreter (restoring their memory effects
+    /// bit-for-bit), and the host accumulators pick up where the
+    /// checkpoint left off.
+    pub fn resume_from(&mut self, ckpt: HostCheckpoint) -> Result<(), String> {
+        self.machine.restore_state(&ckpt.machine_state)?;
+        self.result = ckpt.result;
+        self.compile_s = ckpt.compile_s;
+        self.events = ckpt.events;
+        self.launches_done = 0;
+        self.replay_prefix = ckpt.launches_done;
+        Ok(())
+    }
+
+    fn take_checkpoint(&mut self) -> Result<(), String> {
+        let machine_state = self.machine.save_state()?;
+        let ckpt = HostCheckpoint {
+            launches_done: self.launches_done,
+            machine_state,
+            result: self.result,
+            compile_s: self.compile_s,
+            events: self.events,
+        };
+        self.checkpoint_sink
+            .as_mut()
+            .expect("sink is set whenever cadence is")(ckpt)
+    }
+}
+
+impl Launcher for MachineHost<'_> {
+    fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &Launch,
+        mem: &mut MemoryImage,
+    ) -> Result<(), String> {
+        if self.launches_done < self.replay_prefix {
+            // Resume fast-path: this launch was already simulated (and
+            // accounted) before the checkpoint; only its memory effects
+            // are needed, and the interpreter is the machines' functional
+            // bit-exactness oracle.
+            vgiw_ir::interp::run(kernel, launch, mem).map_err(|e| e.to_string())?;
+            self.launches_done += 1;
+            return Ok(());
+        }
+        // `prepare` memoizes per kernel name, so only the first launch of
+        // a kernel pays (and measures) compilation.
+        let t0 = Instant::now();
+        self.machine.prepare(kernel)?;
+        self.compile_s += t0.elapsed().as_secs_f64();
+        let summary = self.machine.launch(kernel, launch, mem)?;
+        self.result.cycles += summary.cycles;
+        self.result.lvc_accesses += summary.lvc_accesses;
+        self.result.rf_accesses += summary.rf_accesses;
+        self.result.config_cycles += summary.config_cycles;
+        self.result.block_executions += summary.block_executions;
+        self.result.launches += 1;
+        self.result.threads += launch.num_threads as u64;
+        self.result.add_energy(
+            self.model
+                .from_counters(self.machine.name(), &summary.counters),
+        );
+        self.events += summary.events;
+        self.runs.push(summary);
+        self.launches_done += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.launches_done.is_multiple_of(every) {
+                self.take_checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Optional extras threaded into one [`run_spec_hooked`] execution:
+/// checkpoint/resume plumbing and fault injection. `RunHooks::default()`
+/// is a plain run.
+#[derive(Default)]
+pub struct RunHooks<'h> {
+    /// Snapshot the machine after every N launches (requires `sink`).
+    pub checkpoint_every: Option<u64>,
+    /// Resume the benchmark from this checkpoint instead of launch 0.
+    pub resume: Option<HostCheckpoint>,
+    /// Receives each checkpoint taken (typically persists it).
+    pub sink: Option<&'h mut dyn FnMut(HostCheckpoint) -> Result<(), String>>,
+    /// Wedge the machine's memory intake after this many accepted
+    /// requests (fault injection; `None` leaves the machine's current
+    /// wedge setting untouched, so warm-pool callers can manage it).
+    pub mem_wedge: Option<u64>,
+}
+
+/// Everything salvaged from inside the `catch_unwind` boundary.
+struct RawRun {
+    result: Result<MachineResult, String>,
+    deadlock: Option<Box<DeadlockReport>>,
+    compile_s: f64,
+    events: u64,
+    cycles_skipped: u64,
+    counters: Counters,
+}
+
+/// The one benchmark-execution path: every public runner (fresh, tuned,
+/// checkpointed, warm-pooled) funnels through here, so simulated results
+/// cannot depend on which entry point was used.
+fn raw_run(machine: &mut dyn Machine, bench: &Benchmark, hooks: &mut RunHooks<'_>) -> RawRun {
+    if hooks.mem_wedge.is_some() {
+        machine.set_mem_wedge(hooks.mem_wedge);
+    }
+    let (r, compile_s, events) = {
+        let mut host = MachineHost::new(&mut *machine);
+        let restored = match hooks.resume.take() {
+            Some(ckpt) => host
+                .resume_from(ckpt)
+                .map_err(|e| format!("checkpoint restore failed: {e}")),
+            None => Ok(()),
+        };
+        if let (Some(every), Some(sink)) = (hooks.checkpoint_every, hooks.sink.as_mut()) {
+            host.checkpoint_to(every, Box::new(&mut **sink));
+        }
+        let r = restored.and_then(|()| bench.run(&mut host).map(|()| host.result));
+        (r, host.compile_s, host.events)
+    };
+    RawRun {
+        result: r,
+        deadlock: machine.take_deadlock(),
+        compile_s,
+        events,
+        cycles_skipped: machine.cycles_skipped(),
+        counters: machine.stats(),
+    }
+}
+
+/// Classifies a (possibly panicked) [`RawRun`] into a [`MachineRun`]:
+/// outcome, appended energy counters, wall-clock record.
+fn finish_run(
+    kind: MachineKind,
+    t0: Instant,
+    run: Result<RawRun, Box<dyn std::any::Any + Send>>,
+) -> MachineRun {
+    let RawRun {
+        result,
+        deadlock,
+        compile_s,
+        events,
+        cycles_skipped,
+        mut counters,
+    } = match run {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            RawRun {
+                result: Err(format!("panic: {msg}")),
+                deadlock: None,
+                compile_s: 0.0,
+                events: 0,
+                cycles_skipped: 0,
+                counters: Counters::new(),
+            }
+        }
+    };
+    let outcome = match result {
+        Ok(r) => {
+            let name = kind.name();
+            counters.set_f64(&format!("{name}.energy.core"), r.energy.core);
+            counters.set_f64(&format!("{name}.energy.l1"), r.energy.l1);
+            counters.set_f64(&format!("{name}.energy.l2"), r.energy.l2);
+            counters.set_f64(&format!("{name}.energy.dram"), r.energy.dram);
+            RunOutcome::Ok(r)
+        }
+        Err(_) if deadlock.is_some() => RunOutcome::Hung(deadlock.expect("checked is_some")),
+        // Unmappability is the expected, reportable outcome for SGMF;
+        // anything else (e.g. a golden-image mismatch) is a failure and
+        // must not be silently folded into the "n/a" rows.
+        Err(e) if kind == MachineKind::Sgmf && e.contains("not SGMF-mappable") => {
+            RunOutcome::Skipped(e)
+        }
+        Err(e) => RunOutcome::Failed(BenchError::classify(e)),
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (cycles, threads) = match outcome.ok() {
+        Some(r) => (r.cycles, r.threads),
+        None => (0, 0),
+    };
+    let perf = MachinePerf {
+        compile_s,
+        simulate_s: (wall_s - compile_s).max(0.0),
+        cycles,
+        threads,
+        events,
+        cycles_skipped,
+    };
+    MachineRun {
+        outcome,
+        perf,
+        counters,
+    }
+}
+
+/// Runs one benchmark on a freshly built [`MachineSpec`] machine without
+/// panicking: machine errors, watchdog aborts and even panics inside the
+/// simulator come back as [`RunOutcome`] variants so the rest of a suite
+/// keeps running. `tracer` is installed on the machine before the first
+/// launch (pass [`Tracer::off`] for untraced runs — tracing is a pure
+/// observer either way).
+pub fn run_spec(bench: &Benchmark, spec: MachineSpec, tracer: &Tracer) -> MachineRun {
+    run_spec_hooked(bench, spec, tracer, RunHooks::default())
+}
+
+/// [`run_spec`] with checkpoint/resume and fault-injection hooks.
+pub fn run_spec_hooked(
+    bench: &Benchmark,
+    spec: MachineSpec,
+    tracer: &Tracer,
+    mut hooks: RunHooks<'_>,
+) -> MachineRun {
+    let t0 = Instant::now();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
+        let mut machine = spec.build();
+        machine.set_tracer(tracer.clone());
+        raw_run(machine.as_mut(), bench, &mut hooks)
+    }));
+    finish_run(spec.kind(), t0, run)
+}
+
+/// Runs one benchmark on an already-constructed machine (the warm-pool
+/// path: the service resets and restores the machine before calling
+/// this). Returns the run plus whether the simulator panicked — a
+/// panicked machine is poisoned and must be discarded, not repooled.
+/// Machine construction is outside the timed window here, so `perf`
+/// differs from [`run_spec`] (wall clock is not part of bit-identity;
+/// outcome and counters are identical).
+pub fn run_on_machine(
+    machine: &mut dyn Machine,
+    kind: MachineKind,
+    bench: &Benchmark,
+) -> (MachineRun, bool) {
+    let t0 = Instant::now();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> RawRun {
+        raw_run(machine, bench, &mut RunHooks::default())
+    }));
+    let panicked = run.is_err();
+    (finish_run(kind, t0, run), panicked)
+}
+
+/// Runs one benchmark on one machine with the given checks configuration
+/// and default tuning. Equivalent to [`run_spec`] on
+/// `MachineSpec::new(kind).checks(checks)`.
+pub fn run_machine(
+    bench: &Benchmark,
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tracer: &Tracer,
+) -> MachineRun {
+    run_spec(bench, MachineSpec::new(kind).checks(checks), tracer)
+}
+
+/// [`run_machine`] with explicit simulator-engine tuning.
+pub fn run_machine_tuned(
+    bench: &Benchmark,
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tracer: &Tracer,
+    tuning: MachineTuning,
+) -> MachineRun {
+    run_spec(
+        bench,
+        MachineSpec::new(kind).checks(checks).tuning(tuning),
+        tracer,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_matches_run_machine() {
+        let bench = vgiw_kernels::nn::build(1);
+        let spec = MachineSpec::new(MachineKind::Vgiw);
+        let a = run_spec(&bench, spec, &Tracer::off());
+        let b = run_machine(
+            &bench,
+            MachineKind::Vgiw,
+            ChecksConfig::default(),
+            &Tracer::off(),
+        );
+        let (ra, rb) = (a.outcome.ok().unwrap(), b.outcome.ok().unwrap());
+        assert_eq!(ra, rb);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn warm_path_matches_cold_path() {
+        // run_on_machine on a pristine-restored machine must reproduce the
+        // cold-construction result bit-for-bit, twice in a row.
+        let bench = vgiw_kernels::nn::build(1);
+        let spec = MachineSpec::new(MachineKind::Vgiw);
+        let cold = run_spec(&bench, spec, &Tracer::off());
+        let mut machine = spec.build();
+        let pristine = machine.save_state().expect("snapshot at rest");
+        for _ in 0..2 {
+            machine.reset();
+            machine.restore_state(&pristine).expect("restore");
+            let (warm, panicked) = run_on_machine(machine.as_mut(), spec.kind(), &bench);
+            assert!(!panicked);
+            assert_eq!(warm.outcome.ok().unwrap(), cold.outcome.ok().unwrap());
+            assert_eq!(warm.counters, cold.counters);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-tenant simulation job service for the VGIW reproduction.
+//!
+//! The crate has two layers:
+//!
+//! * **Machine execution** ([`machine`], [`host`]): the [`MachineSpec`]
+//!   builder (the one way to construct a simulated processor, and the
+//!   hashable configuration half of a job fingerprint), the
+//!   [`MachineHost`] launcher adapter, and the `run_*` executors that
+//!   turn a `(benchmark, spec)` pair into a [`MachineRun`] without ever
+//!   panicking. The `vgiw-bench` harness builds its suite-level
+//!   measurement on top of these.
+//! * **Serving** ([`service`], [`wire`], [`bombard`]): a sharded job
+//!   [`Service`] with a bounded per-shard queue (typed backpressure
+//!   rejection, never blocking), an exact-fingerprint result cache,
+//!   in-flight deduplication, and per-worker warm machine pools isolated
+//!   between jobs by `reset` + pristine-snapshot restore. The NDJSON
+//!   [`JobRequest`]/[`JobResult`] codec backs `experiments serve`, and
+//!   [`bombard`] is the load generator behind `experiments bombard`.
+//!
+//! The hard guarantee is determinism: a job's result is bit-identical
+//! whether computed by [`run_machine`] directly, by one worker, by N
+//! workers, or served from the cache (regression-tested in
+//! `tests/service.rs`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bombard;
+pub mod host;
+pub mod machine;
+pub mod service;
+pub mod wire;
+
+pub use host::{
+    run_machine, run_machine_tuned, run_on_machine, run_spec, run_spec_hooked, CheckpointSink,
+    HostCheckpoint, MachineHost, RunHooks,
+};
+#[allow(deprecated)]
+pub use machine::{new_machine, new_machine_tuned};
+pub use machine::{
+    BenchError, MachineKind, MachinePerf, MachineResult, MachineRun, MachineSpec, MachineTuning,
+    RunOutcome,
+};
+pub use service::{
+    reference_job_result, JobHandle, ServeError, Service, ServiceConfig, StatsSnapshot,
+};
+pub use wire::{JobOutcome, JobRequest, JobResult};

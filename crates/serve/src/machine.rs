@@ -1,0 +1,478 @@
+//! Machine construction: the [`MachineSpec`] builder, the machine
+//! identifiers/tuning knobs it closes over, and the typed
+//! [`BenchError`]/[`RunOutcome`] vocabulary every executor reports in.
+//!
+//! A [`MachineSpec`] is the single way to construct a simulated
+//! processor. It is `Copy + Eq + Hash`, and its [`MachineSpec::fingerprint`]
+//! is the canonical configuration half of a job identity: two specs with
+//! the same fingerprint build behaviourally identical machines, which is
+//! what lets the job service reuse a warm machine or answer from cache.
+
+use vgiw_core::{VgiwConfig, VgiwProcessor};
+use vgiw_power::EnergyBreakdown;
+use vgiw_robust::{ChecksConfig, DeadlockReport};
+use vgiw_sgmf::{SgmfConfig, SgmfProcessor};
+use vgiw_simt::{SimtConfig, SimtProcessor};
+use vgiw_trace::{Counters, Machine};
+
+/// Totals accumulated while one machine runs one benchmark.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MachineResult {
+    /// Total cycles over all launches.
+    pub cycles: u64,
+    /// Total energy over all launches.
+    pub energy: EnergyBreakdown,
+    /// LVC accesses (VGIW only).
+    pub lvc_accesses: u64,
+    /// Register file accesses (SIMT only).
+    pub rf_accesses: u64,
+    /// Reconfiguration cycles (VGIW only).
+    pub config_cycles: u64,
+    /// Grid configurations (VGIW only).
+    pub block_executions: u64,
+    /// Launch count.
+    pub launches: u64,
+    /// Total threads launched.
+    pub threads: u64,
+}
+
+impl MachineResult {
+    pub(crate) fn add_energy(&mut self, e: EnergyBreakdown) {
+        self.energy.core += e.core;
+        self.energy.l1 += e.l1;
+        self.energy.l2 += e.l2;
+        self.energy.dram += e.dram;
+    }
+}
+
+/// Simulator-engine knobs threaded into machine construction. All of
+/// them are equivalence-tested pure knobs: simulated results are
+/// bit-identical whatever the tuning (only host wall time changes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MachineTuning {
+    /// Drive the fabric machines with the dense reference tick instead of
+    /// the event-driven batch engine (no effect on SIMT).
+    pub reference_tick: bool,
+    /// Drive the memory hierarchies with the retained per-request
+    /// reference path instead of the batch-coalesced zero-copy fast path
+    /// (all three machines).
+    pub reference_mem: bool,
+    /// Collect per-phase fabric tick timing and memory-hierarchy phase
+    /// timing, exported as `<machine>.fabric.phase.*` /
+    /// `<machine>.mem.phase.*` counters.
+    pub time_phases: bool,
+    /// Override the watchdog's no-progress budget (in machine cycles) on
+    /// whatever checks configuration is used. `None` keeps the budget of
+    /// the `ChecksConfig` as given. The watchdog is a pure observer, so
+    /// this cannot change simulated results — only how quickly a genuine
+    /// hang is detected.
+    pub watchdog_budget: Option<u64>,
+}
+
+/// The three simulated machines, as job identifiers for the worker pools.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MachineKind {
+    /// The paper's VGIW core.
+    Vgiw,
+    /// The Fermi-like SIMT baseline.
+    Simt,
+    /// The SGMF (static dataflow) baseline.
+    Sgmf,
+}
+
+impl MachineKind {
+    /// Every machine, in report order. This table is the single source of
+    /// the enum-to-name mapping: [`MachineKind::name`] and
+    /// [`MachineKind::from_name`] both read it.
+    pub const ALL: [(MachineKind, &'static str); 3] = [
+        (MachineKind::Vgiw, "vgiw"),
+        (MachineKind::Simt, "simt"),
+        (MachineKind::Sgmf, "sgmf"),
+    ];
+
+    /// Machine name as used in reports, `--machine` and `BENCH_perf.json`.
+    pub fn name(self) -> &'static str {
+        MachineKind::ALL
+            .iter()
+            .find(|(k, _)| *k == self)
+            .expect("every variant is in ALL")
+            .1
+    }
+
+    /// Parses a `--machine` argument (the inverse of [`MachineKind::name`]).
+    pub fn from_name(name: &str) -> Option<MachineKind> {
+        MachineKind::ALL
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|(k, _)| *k)
+    }
+}
+
+/// A complete, hashable machine configuration: which processor to build,
+/// with which checks and which engine tuning. Construct with
+/// [`MachineSpec::new`], refine with the consuming setters, and call
+/// [`MachineSpec::build`] for the processor:
+///
+/// ```
+/// use vgiw_robust::ChecksConfig;
+/// use vgiw_serve::{MachineKind, MachineSpec};
+///
+/// let mut machine = MachineSpec::new(MachineKind::Vgiw)
+///     .checks(ChecksConfig::full())
+///     .build();
+/// assert_eq!(machine.name(), "vgiw");
+/// ```
+///
+/// Two specs with equal [`MachineSpec::fingerprint`]s build behaviourally
+/// identical machines: the fingerprint is computed over the *canonical*
+/// form, in which the tuning's watchdog override is folded into the
+/// checks configuration (so `checks(off).tuning(budget 5)` and
+/// `checks(off with budget 5)` are the same machine, and hash alike).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MachineSpec {
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+}
+
+impl MachineSpec {
+    /// A spec for `kind` with default checks (watchdog only) and default
+    /// (fast-path) engine tuning.
+    pub fn new(kind: MachineKind) -> MachineSpec {
+        MachineSpec {
+            kind,
+            checks: ChecksConfig::default(),
+            tuning: MachineTuning::default(),
+        }
+    }
+
+    /// Replaces the checks configuration.
+    pub fn checks(mut self, checks: ChecksConfig) -> MachineSpec {
+        self.checks = checks;
+        self
+    }
+
+    /// Replaces the simulator-engine tuning.
+    pub fn tuning(mut self, tuning: MachineTuning) -> MachineSpec {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Which processor this spec builds.
+    pub fn kind(self) -> MachineKind {
+        self.kind
+    }
+
+    /// The checks configuration as given (pre-canonicalisation).
+    pub fn checks_config(self) -> ChecksConfig {
+        self.checks
+    }
+
+    /// The engine tuning as given (pre-canonicalisation).
+    pub fn tuning_config(self) -> MachineTuning {
+        self.tuning
+    }
+
+    /// The canonical form: the tuning's watchdog override (if any) is
+    /// folded into the checks configuration and cleared from the tuning,
+    /// so equal machines compare and hash equal however the budget was
+    /// routed in.
+    pub fn canonical(self) -> MachineSpec {
+        let mut spec = self;
+        if let Some(budget) = spec.tuning.watchdog_budget.take() {
+            spec.checks.watchdog_budget = Some(budget);
+        }
+        spec
+    }
+
+    /// Canonical, human-readable configuration fingerprint. Equal
+    /// fingerprints mean behaviourally identical machines; the job
+    /// service keys its warm-machine pools and (together with the
+    /// benchmark identity) its result cache on this.
+    pub fn fingerprint(self) -> String {
+        let spec = self.canonical();
+        format!(
+            "machine={}|checks={:?}|tuning={:?}",
+            spec.kind.name(),
+            spec.checks,
+            spec.tuning
+        )
+    }
+
+    /// Builds the processor as a [`Machine`] trait object.
+    pub fn build(self) -> Box<dyn Machine> {
+        let spec = self.canonical();
+        let checks = spec.checks;
+        let tuning = spec.tuning;
+        match spec.kind {
+            MachineKind::Vgiw => Box::new(VgiwProcessor::new(VgiwConfig {
+                checks,
+                reference_tick: tuning.reference_tick,
+                reference_mem: tuning.reference_mem,
+                time_phases: tuning.time_phases,
+                ..VgiwConfig::default()
+            })),
+            MachineKind::Simt => Box::new(SimtProcessor::new(SimtConfig {
+                checks,
+                reference_mem: tuning.reference_mem,
+                time_phases: tuning.time_phases,
+                ..SimtConfig::default()
+            })),
+            MachineKind::Sgmf => Box::new(SgmfProcessor::new(SgmfConfig {
+                checks,
+                reference_tick: tuning.reference_tick,
+                reference_mem: tuning.reference_mem,
+                time_phases: tuning.time_phases,
+                ..SgmfConfig::default()
+            })),
+        }
+    }
+}
+
+/// Builds the processor behind `kind` with the given checks configuration
+/// and otherwise-default (paper) parameters, as a [`Machine`] trait object.
+#[deprecated(note = "use MachineSpec::new(kind).checks(checks).build()")]
+pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> {
+    MachineSpec::new(kind).checks(checks).build()
+}
+
+/// [`new_machine`] with explicit simulator-engine tuning.
+#[deprecated(note = "use MachineSpec::new(kind).checks(checks).tuning(tuning).build()")]
+pub fn new_machine_tuned(
+    kind: MachineKind,
+    checks: ChecksConfig,
+    tuning: MachineTuning,
+) -> Box<dyn Machine> {
+    MachineSpec::new(kind).checks(checks).tuning(tuning).build()
+}
+
+/// A typed benchmark-run failure. The rendered message ([`std::fmt::Display`],
+/// [`BenchError::message`]) is exactly the string the harness previously
+/// reported, so artifacts and tables are byte-compatible; the class adds
+/// the machine-readable dimension `experiments_failures.json` and the job
+/// service report on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BenchError {
+    /// Misconfiguration or an unclassified execution error: bad requests,
+    /// verification mismatches, caught panics.
+    Config(String),
+    /// A deadlock or watchdog abort rendered as an error string (when the
+    /// structured report was consumed elsewhere).
+    Deadlock(String),
+    /// An invariant checker (token conservation, CVT consistency, LV
+    /// coherence) fired.
+    Invariant(String),
+    /// A host I/O failure (checkpoint file, artifact write).
+    Io(String),
+}
+
+impl BenchError {
+    /// Classifies a rendered failure message into the matching variant.
+    /// The message is stored verbatim, so `classify(m).to_string() == m`.
+    pub fn classify(message: String) -> BenchError {
+        let lower = message.to_ascii_lowercase();
+        if lower.contains("invariant") {
+            BenchError::Invariant(message)
+        } else if lower.contains("deadlock") || lower.contains("watchdog") {
+            BenchError::Deadlock(message)
+        } else if lower.contains("cannot read")
+            || lower.contains("cannot write")
+            || lower.contains("os error")
+        {
+            BenchError::Io(message)
+        } else {
+            BenchError::Config(message)
+        }
+    }
+
+    /// Machine-readable class name, as emitted in artifacts.
+    pub fn class(&self) -> &'static str {
+        match self {
+            BenchError::Config(_) => "config",
+            BenchError::Deadlock(_) => "deadlock",
+            BenchError::Invariant(_) => "invariant",
+            BenchError::Io(_) => "io",
+        }
+    }
+
+    /// The rendered failure message, verbatim.
+    pub fn message(&self) -> &str {
+        match self {
+            BenchError::Config(m)
+            | BenchError::Deadlock(m)
+            | BenchError::Invariant(m)
+            | BenchError::Io(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// Wall-clock and throughput record for one (benchmark, machine) run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachinePerf {
+    /// Seconds spent compiling kernels (VGIW only; zero elsewhere).
+    pub compile_s: f64,
+    /// Seconds spent simulating (total wall time minus compilation).
+    pub simulate_s: f64,
+    /// Simulated cycles retired during those seconds.
+    pub cycles: u64,
+    /// Threads launched during those seconds.
+    pub threads: u64,
+    /// Simulation events processed (firings + tokens for the dataflow
+    /// machines; warp instructions + memory transactions for SIMT).
+    pub events: u64,
+    /// Idle cycles the simulator skipped instead of ticking (zero for
+    /// SIMT, which has no cycle skipping).
+    pub cycles_skipped: u64,
+}
+
+impl MachinePerf {
+    /// Simulated cycles per wall-clock second of simulation.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.simulate_s.max(1e-12)
+    }
+
+    /// Threads retired per wall-clock second of simulation.
+    pub fn threads_per_sec(&self) -> f64 {
+        self.threads as f64 / self.simulate_s.max(1e-12)
+    }
+
+    /// Simulation events processed per wall-clock second of simulation.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.simulate_s.max(1e-12)
+    }
+}
+
+/// What happened when one machine ran one benchmark.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The machine ran the benchmark to completion and verified.
+    Ok(MachineResult),
+    /// The machine declined the benchmark for an expected, reportable
+    /// reason (SGMF unmappability). Not a failure.
+    Skipped(String),
+    /// The machine failed: a typed error, a verification mismatch or a
+    /// caught panic.
+    Failed(BenchError),
+    /// The machine hung and the watchdog aborted it.
+    Hung(Box<DeadlockReport>),
+}
+
+impl RunOutcome {
+    /// The result, if the run completed.
+    pub fn ok(&self) -> Option<&MachineResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A description of the failure, if the run failed or hung
+    /// (`Skipped` is not a failure).
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            RunOutcome::Ok(_) | RunOutcome::Skipped(_) => None,
+            RunOutcome::Failed(e) => Some(e.to_string()),
+            RunOutcome::Hung(r) => Some(r.to_string()),
+        }
+    }
+}
+
+/// Everything one machine produced on one benchmark: the outcome, the
+/// wall-clock record, and the machine's accumulated counter registry
+/// (with `<machine>.energy.*` appended when the run completed).
+#[derive(Debug)]
+pub struct MachineRun {
+    /// What happened.
+    pub outcome: RunOutcome,
+    /// Wall-clock and throughput record.
+    pub perf: MachinePerf,
+    /// The machine's exported counters (empty on a skip/panic).
+    pub counters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_fingerprint_canonicalises_watchdog_routing() {
+        // The same budget routed through tuning or through checks is the
+        // same machine: equal fingerprints, equal canonical specs.
+        let via_tuning = MachineSpec::new(MachineKind::Vgiw)
+            .checks(ChecksConfig::off())
+            .tuning(MachineTuning {
+                watchdog_budget: Some(5_000),
+                ..MachineTuning::default()
+            });
+        let mut checks = ChecksConfig::off();
+        checks.watchdog_budget = Some(5_000);
+        let via_checks = MachineSpec::new(MachineKind::Vgiw).checks(checks);
+        assert_eq!(via_tuning.fingerprint(), via_checks.fingerprint());
+        assert_eq!(via_tuning.canonical(), via_checks.canonical());
+        // ...but different budgets, kinds or knobs separate.
+        assert_ne!(
+            via_tuning.fingerprint(),
+            MachineSpec::new(MachineKind::Simt).fingerprint()
+        );
+        assert_ne!(
+            MachineSpec::new(MachineKind::Vgiw).fingerprint(),
+            MachineSpec::new(MachineKind::Vgiw)
+                .tuning(MachineTuning {
+                    reference_mem: true,
+                    ..MachineTuning::default()
+                })
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn spec_builds_every_kind() {
+        for (kind, name) in MachineKind::ALL {
+            let machine = MachineSpec::new(kind).build();
+            assert_eq!(machine.name(), name);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_build() {
+        // One release of compatibility: the old free functions delegate
+        // to the builder.
+        let m = new_machine(MachineKind::Simt, ChecksConfig::default());
+        assert_eq!(m.name(), "simt");
+        let m = new_machine_tuned(
+            MachineKind::Sgmf,
+            ChecksConfig::full(),
+            MachineTuning::default(),
+        );
+        assert_eq!(m.name(), "sgmf");
+    }
+
+    #[test]
+    fn bench_error_classification_and_rendering() {
+        let cases = [
+            (
+                "invariant violated on vgiw at cycle 9: cvt: bit",
+                "invariant",
+            ),
+            ("deadlock on simt at cycle 3", "deadlock"),
+            ("watchdog: no progress for 100 cycles", "deadlock"),
+            ("cannot write checkpoint: os error 28", "io"),
+            ("panic: index out of bounds", "config"),
+            ("verification mismatch", "config"),
+        ];
+        for (msg, class) in cases {
+            let err = BenchError::classify(msg.to_string());
+            assert_eq!(err.class(), class, "{msg}");
+            // Rendering is lossless: artifacts keep their exact messages.
+            assert_eq!(err.to_string(), msg);
+            assert_eq!(err.message(), msg);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The sharded, multi-tenant simulation job service.
+//!
+//! [`Service::submit`] hashes a [`JobRequest`] to its fingerprint id and
+//! either answers from the exact-fingerprint result cache, attaches to an
+//! identical in-flight job, or enqueues the job on the worker shard that
+//! owns its fingerprint (`id % workers` — affinity, so a repeated
+//! configuration lands on the shard whose warm pool already holds its
+//! machine). Each shard's queue is bounded: a full queue rejects with a
+//! typed [`ServeError::Backpressure`] immediately, it never blocks the
+//! submitter.
+//!
+//! Workers keep **warm machine pools** keyed by machine-configuration
+//! fingerprint. Between jobs a pooled machine is isolated by
+//! `reset()` + restoring a pristine post-construction snapshot, which the
+//! warm-path tests hold to bit-identity against cold construction — even
+//! after a fault-wedged or watchdog-aborted job ran on the same machine.
+//! A machine that panics is discarded, never repooled.
+//!
+//! [`Service::shutdown`] (also on drop) closes every shard, drains the
+//! queued jobs gracefully, and joins the workers.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use vgiw_kernels::Benchmark;
+use vgiw_trace::{Machine, Tracer};
+
+use crate::host::{run_on_machine, run_spec_hooked, RunHooks};
+use crate::machine::MachineSpec;
+use crate::wire::{JobOutcome, JobRequest, JobResult};
+
+/// Service sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker shards (each owns one thread, one queue, one warm pool).
+    pub workers: usize,
+    /// Per-shard queue bound; a full shard rejects, it never blocks.
+    pub queue_capacity: usize,
+    /// Start with execution paused (jobs queue but do not run) — lets
+    /// tests fill a queue deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            start_paused: false,
+        }
+    }
+}
+
+/// Why a submission was not accepted. Typed so callers can tell "retry
+/// later" ([`ServeError::Backpressure`]) from "never" (the rest).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The owning shard's queue is full. Retry after draining something.
+    Backpressure {
+        /// Which shard rejected.
+        shard: usize,
+        /// Its queue bound.
+        capacity: usize,
+    },
+    /// The service is shutting down; no new jobs are accepted.
+    ShuttingDown,
+    /// The request itself is invalid (unknown benchmark, zero scale).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backpressure { shard, capacity } => {
+                write!(f, "shard {shard} queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => f.write_str("service is shutting down"),
+            ServeError::BadRequest(m) => f.write_str(m),
+        }
+    }
+}
+
+/// A one-shot result cell the submitter waits on.
+struct JobSlot {
+    result: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    fn empty() -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn filled(result: JobResult) -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            result: Mutex::new(Some(result)),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: JobResult) {
+        let mut slot = self.result.lock().expect("job slot poisoned");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> JobResult {
+        let mut slot = self.result.lock().expect("job slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).expect("job slot poisoned");
+        }
+    }
+}
+
+/// An accepted job: wait on it for the [`JobResult`].
+pub struct JobHandle {
+    /// The job's fingerprint id.
+    pub id: u64,
+    /// Whether this submission was answered from the result cache.
+    pub cache_hit: bool,
+    /// Whether this submission attached to an identical in-flight job.
+    pub deduped: bool,
+    slot: Arc<JobSlot>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("cache_hit", &self.cache_hit)
+            .field("deduped", &self.deduped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job completes and returns its result.
+    pub fn wait(&self) -> JobResult {
+        self.slot.wait()
+    }
+}
+
+/// Aggregate service statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs submitted (accepted or not).
+    pub submitted: u64,
+    /// Jobs actually executed on a machine.
+    pub executed: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions attached to an identical in-flight job.
+    pub dedup_hits: u64,
+    /// Submissions rejected (backpressure or shutdown).
+    pub rejected: u64,
+    /// Median queue wait of executed jobs, microseconds.
+    pub wait_p50_us: u64,
+    /// 90th-percentile queue wait, microseconds.
+    pub wait_p90_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub wait_p99_us: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: u64,
+    executed: u64,
+    cache_hits: u64,
+    dedup_hits: u64,
+    rejected: u64,
+    queue_wait_us: Vec<u64>,
+}
+
+/// Cache, in-flight tracking and stats, under one lock.
+#[derive(Default)]
+struct Core {
+    cache: HashMap<u64, JobResult>,
+    inflight: HashMap<u64, Arc<JobSlot>>,
+    stats: Stats,
+}
+
+/// State shared by the submitters and every worker.
+struct Shared {
+    core: Mutex<Core>,
+    /// Benchmarks are immutable once built and expensive to build (the
+    /// golden image runs on the interpreter), so they are constructed
+    /// once per (app, scale) and shared.
+    benches: Mutex<HashMap<(&'static str, u32), Arc<Benchmark>>>,
+}
+
+struct QueuedJob {
+    id: u64,
+    benchmark: &'static str,
+    scale: u32,
+    spec: MachineSpec,
+    wedge: Option<u64>,
+    cacheable: bool,
+    slot: Arc<JobSlot>,
+    enqueued: Instant,
+}
+
+struct ShardState {
+    queue: VecDeque<QueuedJob>,
+    open: bool,
+    paused: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// A warm pooled machine: the instance plus the pristine snapshot it is
+/// restored to before every job.
+struct Warm {
+    machine: Box<dyn Machine>,
+    pristine: Vec<u8>,
+}
+
+/// The sharded simulation job service. See the module docs for the
+/// architecture; see `tests/service.rs` for the determinism, isolation
+/// and backpressure contracts.
+pub struct Service {
+    shared: Arc<Shared>,
+    shards: Vec<Arc<Shard>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker shards.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core::default()),
+            benches: Mutex::new(HashMap::new()),
+        });
+        let shards: Vec<Arc<Shard>> = (0..workers)
+            .map(|_| {
+                Arc::new(Shard {
+                    state: Mutex::new(ShardState {
+                        queue: VecDeque::new(),
+                        open: true,
+                        paused: config.start_paused,
+                    }),
+                    cv: Condvar::new(),
+                    capacity: config.queue_capacity.max(1),
+                })
+            })
+            .collect();
+        let handles = shards
+            .iter()
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let shard = Arc::clone(shard);
+                std::thread::spawn(move || worker_loop(&shared, &shard))
+            })
+            .collect();
+        Service {
+            shared,
+            shards,
+            handles,
+        }
+    }
+
+    /// How many worker shards are running.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits one job. Returns immediately: either a handle (fresh,
+    /// deduplicated onto an in-flight twin, or already answered from
+    /// cache) or a typed rejection. Never blocks on a full queue.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for an invalid request,
+    /// [`ServeError::Backpressure`] when the owning shard's queue is
+    /// full, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, req: &JobRequest) -> Result<JobHandle, ServeError> {
+        let Some(benchmark) = req.canonical_benchmark() else {
+            return Err(ServeError::BadRequest(format!(
+                "unknown benchmark \"{}\"",
+                req.benchmark
+            )));
+        };
+        if req.scale == 0 {
+            return Err(ServeError::BadRequest("scale must be positive".to_string()));
+        }
+        let id = req.job_id();
+        let cacheable = req.cacheable();
+        let mut core = self.shared.core.lock().expect("core lock poisoned");
+        core.stats.submitted += 1;
+        if cacheable {
+            if let Some(result) = core.cache.get(&id).cloned() {
+                core.stats.cache_hits += 1;
+                return Ok(JobHandle {
+                    id,
+                    cache_hit: true,
+                    deduped: false,
+                    slot: JobSlot::filled(result),
+                });
+            }
+            if let Some(slot) = core.inflight.get(&id).map(Arc::clone) {
+                core.stats.dedup_hits += 1;
+                return Ok(JobHandle {
+                    id,
+                    cache_hit: false,
+                    deduped: true,
+                    slot,
+                });
+            }
+        }
+        // Fingerprint affinity: equal configurations always land on the
+        // same shard, whose warm pool already holds their machine.
+        let shard_idx = (id % self.shards.len() as u64) as usize;
+        let shard = &self.shards[shard_idx];
+        let slot = JobSlot::empty();
+        {
+            // Lock order is always core -> shard (workers take them one
+            // at a time, never nested), so this cannot deadlock.
+            let mut state = shard.state.lock().expect("shard lock poisoned");
+            if !state.open {
+                core.stats.rejected += 1;
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= shard.capacity {
+                core.stats.rejected += 1;
+                return Err(ServeError::Backpressure {
+                    shard: shard_idx,
+                    capacity: shard.capacity,
+                });
+            }
+            state.queue.push_back(QueuedJob {
+                id,
+                benchmark,
+                scale: req.scale,
+                spec: req.spec(),
+                wedge: req.mem_wedge,
+                cacheable,
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+            });
+            shard.cv.notify_one();
+        }
+        if cacheable {
+            // Registered under the same core-lock critical section as the
+            // cache/in-flight checks above, so a twin submission either
+            // sees the cache entry or this slot — never neither.
+            core.inflight.insert(id, Arc::clone(&slot));
+        }
+        Ok(JobHandle {
+            id,
+            cache_hit: false,
+            deduped: false,
+            slot,
+        })
+    }
+
+    /// Pauses or resumes execution on every shard (submission is
+    /// unaffected; queues keep accepting up to their bound).
+    pub fn set_paused(&self, paused: bool) {
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("shard lock poisoned");
+            state.paused = paused;
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        let core = self.shared.core.lock().expect("core lock poisoned");
+        let s = &core.stats;
+        let mut waits = s.queue_wait_us.clone();
+        waits.sort_unstable();
+        let pct = |p: u64| -> u64 {
+            if waits.is_empty() {
+                return 0;
+            }
+            // Nearest-rank percentile.
+            let rank = (p * waits.len() as u64).div_ceil(100).max(1) as usize;
+            waits[rank - 1]
+        };
+        StatsSnapshot {
+            submitted: s.submitted,
+            executed: s.executed,
+            cache_hits: s.cache_hits,
+            dedup_hits: s.dedup_hits,
+            rejected: s.rejected,
+            wait_p50_us: pct(50),
+            wait_p90_us: pct(90),
+            wait_p99_us: pct(99),
+        }
+    }
+
+    /// Stops accepting jobs, drains every shard's queue (queued jobs
+    /// still execute and their handles still resolve), and joins the
+    /// workers. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("shard lock poisoned");
+            state.open = false;
+            state.paused = false;
+            shard.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: &Shard) {
+    // Warm machines, keyed by configuration fingerprint. Worker-local:
+    // machines never cross threads.
+    let mut warm: HashMap<String, Warm> = HashMap::new();
+    loop {
+        let job = {
+            let mut state = shard.state.lock().expect("shard lock poisoned");
+            loop {
+                if !state.paused {
+                    if let Some(job) = state.queue.pop_front() {
+                        break Some(job);
+                    }
+                    if !state.open {
+                        break None;
+                    }
+                }
+                state = shard.cv.wait(state).expect("shard lock poisoned");
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        let wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let bench = get_bench(shared, job.benchmark, job.scale);
+        let run = run_warm_or_cold(&mut warm, &job, &bench);
+        let result = JobResult {
+            id: job.id,
+            benchmark: job.benchmark.to_string(),
+            machine: job.spec.kind(),
+            scale: job.scale,
+            outcome: JobOutcome::from_run(&run.outcome),
+            counters: run.counters,
+        };
+        {
+            let mut core = shared.core.lock().expect("core lock poisoned");
+            core.stats.executed += 1;
+            core.stats.queue_wait_us.push(wait_us);
+            if job.cacheable {
+                core.cache.insert(job.id, result.clone());
+                core.inflight.remove(&job.id);
+            }
+        }
+        job.slot.fill(result);
+    }
+}
+
+/// Builds (once) and shares the benchmark for an (app, scale) pair.
+fn get_bench(shared: &Shared, name: &'static str, scale: u32) -> Arc<Benchmark> {
+    {
+        let benches = shared.benches.lock().expect("bench map poisoned");
+        if let Some(bench) = benches.get(&(name, scale)) {
+            return Arc::clone(bench);
+        }
+    }
+    // Build outside the lock (golden-image computation is the expensive
+    // part); two workers racing on the same key waste one build, which is
+    // benign — the map keeps whichever arrived first.
+    let built = Arc::new(vgiw_kernels::build_app(name, scale).expect("canonical name"));
+    let mut benches = shared.benches.lock().expect("bench map poisoned");
+    Arc::clone(benches.entry((name, scale)).or_insert(built))
+}
+
+/// Runs one job, preferring the shard's warm pool. Pool discipline:
+/// restore to pristine before every job; discard on restore failure or
+/// panic; clear any fault wedge afterwards so the next tenant is
+/// unaffected.
+fn run_warm_or_cold(
+    warm: &mut HashMap<String, Warm>,
+    job: &QueuedJob,
+    bench: &Benchmark,
+) -> crate::MachineRun {
+    let key = job.spec.fingerprint();
+    if !warm.contains_key(&key) {
+        // Construct and snapshot the pristine state. A machine whose
+        // construction panics or that cannot snapshot is not pooled; the
+        // cold path reports the failure (identically every time).
+        let constructed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.spec.build()));
+        if let Ok(machine) = constructed {
+            if let Ok(pristine) = machine.save_state() {
+                warm.insert(key.clone(), Warm { machine, pristine });
+            }
+        }
+    }
+    if let Some(w) = warm.get_mut(&key) {
+        w.machine.reset();
+        if w.machine.restore_state(&w.pristine).is_ok() {
+            if job.wedge.is_some() {
+                w.machine.set_mem_wedge(job.wedge);
+            }
+            let (run, panicked) = run_on_machine(w.machine.as_mut(), job.spec.kind(), bench);
+            if panicked {
+                // A panicked machine is poisoned: drop it, never repool.
+                warm.remove(&key);
+            } else if job.wedge.is_some() {
+                w.machine.set_mem_wedge(None);
+            }
+            return run;
+        }
+        // Restore failed: this instance is unusable.
+        warm.remove(&key);
+    }
+    run_spec_hooked(
+        bench,
+        job.spec,
+        &Tracer::off(),
+        RunHooks {
+            mem_wedge: job.wedge,
+            ..RunHooks::default()
+        },
+    )
+}
+
+/// The oracle the determinism tests compare every serving path against:
+/// runs the job directly (no service, no pool, no cache) through the same
+/// executor as `run_machine`.
+///
+/// # Errors
+/// [`ServeError::BadRequest`] if the request names an unknown benchmark
+/// or a zero scale.
+pub fn reference_job_result(req: &JobRequest) -> Result<JobResult, ServeError> {
+    let Some(benchmark) = req.canonical_benchmark() else {
+        return Err(ServeError::BadRequest(format!(
+            "unknown benchmark \"{}\"",
+            req.benchmark
+        )));
+    };
+    if req.scale == 0 {
+        return Err(ServeError::BadRequest("scale must be positive".to_string()));
+    }
+    let bench = vgiw_kernels::build_app(benchmark, req.scale).expect("canonical name");
+    let run = run_spec_hooked(
+        &bench,
+        req.spec(),
+        &Tracer::off(),
+        RunHooks {
+            mem_wedge: req.mem_wedge,
+            ..RunHooks::default()
+        },
+    );
+    Ok(JobResult {
+        id: req.job_id(),
+        benchmark: benchmark.to_string(),
+        machine: req.machine,
+        scale: req.scale,
+        outcome: JobOutcome::from_run(&run.outcome),
+        counters: run.counters,
+    })
+}

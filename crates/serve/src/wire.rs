@@ -1,0 +1,771 @@
+//! NDJSON wire format for the job service.
+//!
+//! One [`JobRequest`] per input line, one [`JobResult`] per output line.
+//! The crate has no JSON dependency (the CI sandbox builds offline), so
+//! this module carries a small recursive-descent [`Json`] value parser
+//! for requests and hand-emits results (validated against
+//! `vgiw_trace::validate_json` in tests).
+//!
+//! A request's [`JobRequest::fingerprint`] is its *identity*: the
+//! canonical benchmark name, the scale, and the machine configuration
+//! fingerprint ([`crate::MachineSpec::fingerprint`]), plus any fault
+//! injection. Equal fingerprints mean "must produce bit-identical
+//! results", which is exactly the key the service caches and warm-pools
+//! on. [`JobRequest::job_id`] is the FNV-1a 64 hash of the fingerprint.
+
+use vgiw_robust::ChecksConfig;
+use vgiw_trace::{CounterValue, Counters};
+
+use crate::machine::{BenchError, MachineKind, MachineResult, MachineTuning, RunOutcome};
+use crate::MachineSpec;
+
+/// FNV-1a 64-bit hash (the deterministic, dependency-free job hash).
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (shortest round-trip form).
+pub fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "JSON numbers must be finite: {v}");
+    format!("{v:?}")
+}
+
+/// A parsed JSON value (requests only need objects of scalars, but the
+/// parser is complete so malformed input fails loudly, not confusingly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept; lookups see
+    /// the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err(format!("unexpected end of input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| format!("bad \\u escape at byte {start}"))?);
+                        }
+                        _ => return Err(format!("bad escape at byte {start}")),
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits and sign are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+/// Extracts a non-negative integer from a JSON number.
+fn as_u64(v: &Json, key: &str) -> Result<u64, String> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+        _ => Err(format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn as_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("\"{key}\" must be a boolean")),
+    }
+}
+
+fn as_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("\"{key}\" must be a string")),
+    }
+}
+
+/// One simulation job: which benchmark on which machine configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobRequest {
+    /// Benchmark name (case-insensitive; canonicalised for identity).
+    pub benchmark: String,
+    /// Which processor to simulate.
+    pub machine: MachineKind,
+    /// Workload scale (1 = default sizes).
+    pub scale: u32,
+    /// Checks configuration for the machine.
+    pub checks: ChecksConfig,
+    /// Simulator-engine tuning for the machine.
+    pub tuning: MachineTuning,
+    /// Fault injection: wedge the memory hierarchy after this many
+    /// accepted requests. Wedged jobs are never cached (they exist to
+    /// test isolation, not to be reused).
+    pub mem_wedge: Option<u64>,
+    /// Include the full counter registry in the result line (not part of
+    /// job identity — a cached result can serve both settings).
+    pub emit_counters: bool,
+}
+
+impl JobRequest {
+    /// A default-configuration request for `benchmark` on `machine`.
+    pub fn new(benchmark: &str, machine: MachineKind, scale: u32) -> JobRequest {
+        JobRequest {
+            benchmark: benchmark.to_string(),
+            machine,
+            scale,
+            checks: ChecksConfig::default(),
+            tuning: MachineTuning::default(),
+            mem_wedge: None,
+            emit_counters: false,
+        }
+    }
+
+    /// The machine configuration this job runs on.
+    pub fn spec(&self) -> MachineSpec {
+        MachineSpec::new(self.machine)
+            .checks(self.checks)
+            .tuning(self.tuning)
+    }
+
+    /// The canonical (suite-table) spelling of the benchmark name, or
+    /// `None` if the suite has no such app.
+    pub fn canonical_benchmark(&self) -> Option<&'static str> {
+        vgiw_kernels::APPS
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(&self.benchmark))
+            .map(|&(n, _)| n)
+    }
+
+    /// The job's identity: canonical benchmark name, scale, machine
+    /// configuration fingerprint, and fault injection. Two requests with
+    /// equal fingerprints must produce bit-identical results — the
+    /// service caches and warm-pools on exactly this. `emit_counters` is
+    /// presentation, not identity, and is excluded.
+    pub fn fingerprint(&self) -> String {
+        let name = self.canonical_benchmark().unwrap_or(&self.benchmark);
+        let mut fp = format!(
+            "job|bench={name}|scale={}|{}",
+            self.scale,
+            self.spec().fingerprint()
+        );
+        if let Some(n) = self.mem_wedge {
+            fp.push_str(&format!("|wedge={n}"));
+        }
+        fp
+    }
+
+    /// FNV-1a 64 hash of [`JobRequest::fingerprint`] — the wire job id
+    /// and the shard-affinity key.
+    pub fn job_id(&self) -> u64 {
+        fnv1a64(&self.fingerprint())
+    }
+
+    /// Whether the result may be cached and replayed for equal
+    /// fingerprints (fault-injected jobs are not).
+    pub fn cacheable(&self) -> bool {
+        self.mem_wedge.is_none()
+    }
+
+    /// Parses one NDJSON request line. Unknown keys are errors (a typo'd
+    /// tuning knob must not silently run a different configuration).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed field.
+    pub fn from_json_line(line: &str) -> Result<JobRequest, String> {
+        let Json::Obj(fields) = Json::parse(line)? else {
+            return Err("request line must be a JSON object".to_string());
+        };
+        let mut benchmark: Option<String> = None;
+        let mut machine: Option<MachineKind> = None;
+        let mut scale: u32 = 1;
+        let mut checks = ChecksConfig::default();
+        let mut tuning = MachineTuning::default();
+        let mut mem_wedge = None;
+        let mut emit_counters = false;
+        for (key, value) in &fields {
+            match key.as_str() {
+                "benchmark" => benchmark = Some(as_str(value, key)?.to_string()),
+                "machine" => {
+                    let name = as_str(value, key)?;
+                    machine = Some(MachineKind::from_name(name).ok_or_else(|| {
+                        format!("unknown machine \"{name}\" (expected vgiw, simt or sgmf)")
+                    })?);
+                }
+                "scale" => {
+                    let n = as_u64(value, key)?;
+                    if n == 0 || n > u64::from(u32::MAX) {
+                        return Err("\"scale\" must be between 1 and 2^32-1".to_string());
+                    }
+                    scale = n as u32;
+                }
+                "checks" => {
+                    checks = match as_str(value, key)? {
+                        "default" => ChecksConfig::default(),
+                        "full" => ChecksConfig::full(),
+                        "off" => ChecksConfig::off(),
+                        other => {
+                            return Err(format!(
+                                "unknown checks profile \"{other}\" (expected default, full or off)"
+                            ))
+                        }
+                    };
+                }
+                "watchdog_budget" => tuning.watchdog_budget = Some(as_u64(value, key)?),
+                "reference_tick" => tuning.reference_tick = as_bool(value, key)?,
+                "reference_mem" => tuning.reference_mem = as_bool(value, key)?,
+                "time_phases" => tuning.time_phases = as_bool(value, key)?,
+                "mem_wedge" => mem_wedge = Some(as_u64(value, key)?),
+                "counters" => emit_counters = as_bool(value, key)?,
+                other => return Err(format!("unknown request key \"{other}\"")),
+            }
+        }
+        Ok(JobRequest {
+            benchmark: benchmark.ok_or("missing required key \"benchmark\"")?,
+            machine: machine.ok_or("missing required key \"machine\"")?,
+            scale,
+            checks,
+            tuning,
+            mem_wedge,
+            emit_counters,
+        })
+    }
+
+    /// Serializes the request as one NDJSON line (defaults omitted).
+    /// Round-trips through [`JobRequest::from_json_line`] for every
+    /// wire-expressible configuration.
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"benchmark\":\"{}\",\"machine\":\"{}\"",
+            json_escape(&self.benchmark),
+            self.machine.name()
+        );
+        if self.scale != 1 {
+            s.push_str(&format!(",\"scale\":{}", self.scale));
+        }
+        if self.checks == ChecksConfig::full() {
+            s.push_str(",\"checks\":\"full\"");
+        } else if self.checks == ChecksConfig::off() {
+            s.push_str(",\"checks\":\"off\"");
+        } else {
+            debug_assert_eq!(
+                self.checks,
+                ChecksConfig::default(),
+                "only wire-expressible checks profiles serialize"
+            );
+        }
+        if let Some(b) = self.tuning.watchdog_budget {
+            s.push_str(&format!(",\"watchdog_budget\":{b}"));
+        }
+        if self.tuning.reference_tick {
+            s.push_str(",\"reference_tick\":true");
+        }
+        if self.tuning.reference_mem {
+            s.push_str(",\"reference_mem\":true");
+        }
+        if self.tuning.time_phases {
+            s.push_str(",\"time_phases\":true");
+        }
+        if let Some(n) = self.mem_wedge {
+            s.push_str(&format!(",\"mem_wedge\":{n}"));
+        }
+        if self.emit_counters {
+            s.push_str(",\"counters\":true");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// What happened to a job — [`RunOutcome`] flattened into owned,
+/// comparable form (the structured deadlock report is rendered; the wire
+/// and the cache only need the message).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// Completed and verified.
+    Ok(MachineResult),
+    /// Declined for an expected reason (SGMF unmappability).
+    Skipped(String),
+    /// Failed, with the typed error.
+    Failed(BenchError),
+    /// Hung; the watchdog's rendered deadlock report.
+    Hung(String),
+}
+
+impl JobOutcome {
+    /// Flattens a [`RunOutcome`].
+    pub fn from_run(outcome: &RunOutcome) -> JobOutcome {
+        match outcome {
+            RunOutcome::Ok(r) => JobOutcome::Ok(*r),
+            RunOutcome::Skipped(e) => JobOutcome::Skipped(e.clone()),
+            RunOutcome::Failed(e) => JobOutcome::Failed(e.clone()),
+            RunOutcome::Hung(r) => JobOutcome::Hung(r.to_string()),
+        }
+    }
+
+    /// The result, if the job completed.
+    pub fn ok(&self) -> Option<&MachineResult> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome fails the serving run (skips do not).
+    pub fn is_failure(&self) -> bool {
+        matches!(self, JobOutcome::Failed(_) | JobOutcome::Hung(_))
+    }
+}
+
+/// One job's answer: everything that must be bit-identical whichever
+/// execution path (direct, 1 worker, N workers, cache) produced it.
+/// Deliberately excludes wall-clock timing, which is real but not
+/// deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// [`JobRequest::job_id`] of the request.
+    pub id: u64,
+    /// Canonical benchmark name.
+    pub benchmark: String,
+    /// Which machine ran it.
+    pub machine: MachineKind,
+    /// Workload scale.
+    pub scale: u32,
+    /// What happened.
+    pub outcome: JobOutcome,
+    /// The machine's full exported counter registry (empty on skip/panic).
+    pub counters: Counters,
+}
+
+impl JobResult {
+    /// Serializes the result as one NDJSON line. `cache_hit` is
+    /// per-delivery (not part of the cached value); counters are included
+    /// only when the request asked.
+    pub fn to_json_line(&self, cache_hit: bool, emit_counters: bool) -> String {
+        let mut s = format!(
+            "{{\"id\":\"{:016x}\",\"benchmark\":\"{}\",\"machine\":\"{}\",\"scale\":{},\"cache_hit\":{}",
+            self.id,
+            json_escape(&self.benchmark),
+            self.machine.name(),
+            self.scale,
+            cache_hit
+        );
+        match &self.outcome {
+            JobOutcome::Ok(r) => {
+                s.push_str(&format!(
+                    ",\"outcome\":\"ok\",\"cycles\":{},\"launches\":{},\"threads\":{}",
+                    r.cycles, r.launches, r.threads
+                ));
+                s.push_str(&format!(
+                    ",\"energy\":{{\"core\":{},\"l1\":{},\"l2\":{},\"dram\":{}}}",
+                    json_f64(r.energy.core),
+                    json_f64(r.energy.l1),
+                    json_f64(r.energy.l2),
+                    json_f64(r.energy.dram)
+                ));
+            }
+            JobOutcome::Skipped(reason) => {
+                s.push_str(&format!(
+                    ",\"outcome\":\"skipped\",\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            JobOutcome::Failed(e) => {
+                s.push_str(&format!(
+                    ",\"outcome\":\"failed\",\"class\":\"{}\",\"message\":\"{}\"",
+                    e.class(),
+                    json_escape(e.message())
+                ));
+            }
+            JobOutcome::Hung(report) => {
+                s.push_str(&format!(
+                    ",\"outcome\":\"hung\",\"message\":\"{}\"",
+                    json_escape(report)
+                ));
+            }
+        }
+        if emit_counters {
+            s.push_str(",\"counters\":{");
+            let mut first = true;
+            for (name, value) in self.counters.iter() {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\"{}\":", json_escape(name)));
+                match value {
+                    CounterValue::U64(v) => s.push_str(&v.to_string()),
+                    CounterValue::F64(v) => s.push_str(&json_f64(v)),
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_scalars_and_nesting() {
+        let v =
+            Json::parse(r#"{"a": 1, "b": [true, false, null], "c": {"d": "x\nyA"}, "e": -2.5e2}"#)
+                .expect("parses");
+        let Json::Obj(fields) = &v else { panic!() };
+        assert_eq!(fields[0], ("a".to_string(), Json::Num(1.0)));
+        assert_eq!(
+            fields[1].1,
+            Json::Arr(vec![Json::Bool(true), Json::Bool(false), Json::Null])
+        );
+        let Json::Obj(inner) = &fields[2].1 else {
+            panic!()
+        };
+        assert_eq!(inner[0].1, Json::Str("x\nyA".to_string()));
+        assert_eq!(fields[3].1, Json::Num(-250.0));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn request_round_trips_and_rejects_unknowns() {
+        let mut req = JobRequest::new("NN", MachineKind::Vgiw, 2);
+        req.checks = ChecksConfig::full();
+        req.tuning.reference_mem = true;
+        req.tuning.watchdog_budget = Some(9_000);
+        req.mem_wedge = Some(4);
+        req.emit_counters = true;
+        let back = JobRequest::from_json_line(&req.to_json_line()).expect("round trip");
+        assert_eq!(back, req);
+        assert_eq!(back.fingerprint(), req.fingerprint());
+
+        // Minimal request: defaults everywhere.
+        let min = JobRequest::from_json_line(r#"{"benchmark":"bfs","machine":"simt"}"#)
+            .expect("minimal parses");
+        assert_eq!(min.scale, 1);
+        assert_eq!(min.checks, ChecksConfig::default());
+        assert_eq!(min.canonical_benchmark(), Some("BFS"));
+
+        // Typos are errors, not silently-different configurations.
+        assert!(
+            JobRequest::from_json_line(r#"{"benchmark":"NN","machine":"vgiw","refmem":true}"#)
+                .unwrap_err()
+                .contains("unknown request key")
+        );
+        assert!(
+            JobRequest::from_json_line(r#"{"benchmark":"NN","machine":"gpu"}"#)
+                .unwrap_err()
+                .contains("unknown machine")
+        );
+        assert!(JobRequest::from_json_line(r#"{"machine":"vgiw"}"#)
+            .unwrap_err()
+            .contains("benchmark"));
+    }
+
+    #[test]
+    fn fingerprint_is_case_insensitive_and_excludes_presentation() {
+        let a = JobRequest::new("nn", MachineKind::Vgiw, 1);
+        let b = JobRequest::new("NN", MachineKind::Vgiw, 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.job_id(), b.job_id());
+        let mut c = a.clone();
+        c.emit_counters = true;
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.mem_wedge = Some(3);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert!(!d.cacheable() && a.cacheable());
+        let mut e = a.clone();
+        e.scale = 2;
+        assert_ne!(a.job_id(), e.job_id());
+    }
+
+    #[test]
+    fn result_lines_are_valid_json() {
+        let mut counters = Counters::new();
+        counters.add_u64("vgiw.cycles", 42);
+        counters.set_f64("vgiw.energy.core", 1.25);
+        let result = JobResult {
+            id: 0xdead_beef,
+            benchmark: "NN".to_string(),
+            machine: MachineKind::Vgiw,
+            scale: 1,
+            outcome: JobOutcome::Ok(MachineResult {
+                cycles: 42,
+                launches: 1,
+                threads: 64,
+                ..MachineResult::default()
+            }),
+            counters,
+        };
+        for (hit, emit) in [(false, false), (true, true)] {
+            let line = result.to_json_line(hit, emit);
+            vgiw_trace::validate_json(&line).expect("valid JSON");
+            assert_eq!(line.contains("\"counters\""), emit);
+            assert!(line.contains(&format!("\"cache_hit\":{hit}")));
+        }
+        let failed = JobResult {
+            outcome: JobOutcome::Failed(BenchError::classify(
+                "invariant violated on vgiw at cycle 9: cvt: \"bit\"".to_string(),
+            )),
+            ..result.clone()
+        };
+        let line = failed.to_json_line(false, false);
+        vgiw_trace::validate_json(&line).expect("valid JSON");
+        assert!(line.contains("\"class\":\"invariant\""));
+        let hung = JobResult {
+            outcome: JobOutcome::Hung("deadlock on vgiw at cycle 3".to_string()),
+            ..result
+        };
+        vgiw_trace::validate_json(&hung.to_json_line(false, false)).expect("valid JSON");
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+}

@@ -6,11 +6,10 @@
 //! hierarchy) on real application control flow.
 
 use vgiw::kernels::{self, Benchmark};
-use vgiw_bench::{new_machine, MachineHost, MachineKind};
-use vgiw_robust::ChecksConfig;
+use vgiw_bench::{MachineHost, MachineKind, MachineSpec};
 
 fn check(kind: MachineKind, bench: &Benchmark) {
-    let mut machine = new_machine(kind, ChecksConfig::default());
+    let mut machine = MachineSpec::new(kind).build();
     let mut host = MachineHost::new(machine.as_mut());
     bench
         .run(&mut host)
@@ -59,7 +58,7 @@ equivalence_tests! {
 fn sgmf_matches_or_declines() {
     let mut mappable = 0;
     for bench in kernels::suite(1) {
-        let mut machine = new_machine(MachineKind::Sgmf, ChecksConfig::default());
+        let mut machine = MachineSpec::new(MachineKind::Sgmf).build();
         let mut host = MachineHost::new(machine.as_mut());
         match bench.run(&mut host) {
             Ok(()) => {
