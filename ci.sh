@@ -189,6 +189,36 @@ for f in "$chaos_dir"/chaos_repro_*.txt; do
 done
 rm -rf "$chaos_dir"
 
+echo "==> fuzz smoke (seeded differential campaign, bit-identical, replayable)"
+# A short generative differential campaign: a fixed seed must agree across
+# interp and all three machines with byte-identical output on two
+# consecutive runs; the test-only injected fabric bug must be caught and
+# shrunk to a reproducer; and the committed reproducer must still replay.
+fuzz_dir="$(mktemp -d)"
+cargo run --release -q -p vgiw-bench --bin experiments -- \
+    fuzz --seed 7 --count 40 --out "$fuzz_dir" 2>/dev/null > "$fuzz_dir/run_a.txt"
+cargo run --release -q -p vgiw-bench --bin experiments -- \
+    fuzz --seed 7 --count 40 --out "$fuzz_dir" 2>/dev/null > "$fuzz_dir/run_b.txt"
+diff "$fuzz_dir/run_a.txt" "$fuzz_dir/run_b.txt" || {
+    echo "ci: fuzz campaign output is not run-to-run deterministic" >&2
+    exit 1
+}
+VGIW_FUZZ_INJECT_DROP_TOKEN=0 cargo run --release -q -p vgiw-bench --bin experiments -- \
+    fuzz --seed 41 --count 2 --out "$fuzz_dir" >/dev/null 2>&1 || {
+    echo "ci: injected-fault fuzz campaign failed (finding did not replay)" >&2
+    exit 1
+}
+ls "$fuzz_dir"/fuzz_repro_*.txt >/dev/null 2>&1 || {
+    echo "ci: injected fabric fault produced no shrunk reproducer" >&2
+    exit 1
+}
+cargo run --release -q -p vgiw-bench --bin experiments -- \
+    fuzz --replay fuzz_repro_ci.txt >/dev/null 2>&1 || {
+    echo "ci: committed reproducer fuzz_repro_ci.txt does not replay" >&2
+    exit 1
+}
+rm -rf "$fuzz_dir"
+
 echo "==> trace export smoke test (Chrome trace-event JSON)"
 # `experiments trace` must emit a non-empty, strictly-valid Chrome trace
 # (the binary itself validates the JSON and asserts the launch, configure

@@ -26,6 +26,12 @@
 //! * `chaos [scale] --seed S --rounds R`: the deterministic
 //!   fault-injection campaign (DESIGN.md §11); `--replay FILE`
 //!   re-executes a reproducer artifact.
+//! * `fuzz --seed S --count N`: the generative differential fuzzing
+//!   campaign (DESIGN.md §13). Generated kernels run through the
+//!   reference interpreter and all three machines (cold and warm);
+//!   any disagreement is shrunk into a reproducer artifact in `--out`;
+//!   `--replay FILE` re-executes one. `VGIW_FUZZ_INJECT_DROP_TOKEN=T`
+//!   arms the test-only fabric fault for self-checking the oracle.
 //! * `serve [scale]`: the NDJSON job service. Reads one `JobRequest` per
 //!   line from stdin (or `--file F`), answers duplicates from the result
 //!   cache, runs the rest on `--workers N` shards with warm machine
@@ -82,6 +88,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "deterministic fault-injection campaign, or --replay an artifact",
     ),
     (
+        "fuzz",
+        "generative differential fuzzing campaign, or --replay a reproducer",
+    ),
+    (
         "serve",
         "NDJSON job service: JobRequest lines in, JobResult lines out",
     ),
@@ -129,7 +139,7 @@ const FLAGS: &[Flag] = &[
     Flag {
         name: "--watchdog-budget",
         metavar: Some("N"),
-        subs: &["run", "chaos", "serve"],
+        subs: &["run", "chaos", "serve", "fuzz"],
         help: "override the watchdog no-progress budget, in cycles",
     },
     Flag {
@@ -183,7 +193,7 @@ const FLAGS: &[Flag] = &[
     Flag {
         name: "--seed",
         metavar: Some("S"),
-        subs: &["chaos"],
+        subs: &["chaos", "fuzz"],
         help: "campaign seed (default 1)",
     },
     Flag {
@@ -193,16 +203,22 @@ const FLAGS: &[Flag] = &[
         help: "campaign rounds (default 4)",
     },
     Flag {
+        name: "--count",
+        metavar: Some("N"),
+        subs: &["fuzz"],
+        help: "generated kernels per campaign (default 50)",
+    },
+    Flag {
         name: "--replay",
         metavar: Some("FILE"),
-        subs: &["chaos"],
+        subs: &["chaos", "fuzz"],
         help: "re-execute a reproducer artifact instead of a campaign",
     },
     Flag {
         name: "--out",
         metavar: Some("PATH"),
-        subs: &["trace", "chaos"],
-        help: "trace output file / chaos artifact directory",
+        subs: &["trace", "chaos", "fuzz"],
+        help: "trace output file / chaos & fuzz artifact directory",
     },
     Flag {
         name: "--format",
@@ -471,6 +487,7 @@ fn main() {
         "perf" => cmd_perf(&opts),
         "trace" => cmd_trace(&opts, &cli),
         "chaos" => cmd_chaos(&opts, &cli),
+        "fuzz" => cmd_fuzz(&opts, &cli),
         "serve" => cmd_serve(&opts, &cli),
         "bombard" => cmd_bombard(opts.scale, &cli),
         _ => unreachable!("sub comes from SUBCOMMANDS"),
@@ -962,6 +979,90 @@ fn cmd_chaos(opts: &HarnessOptions, cli: &Cli) {
     println!("chaos: {benign} benign, {caught} caught, {diverged} diverged over {rounds} round(s)");
     if !ok {
         eprintln!("chaos: at least one round failed to recover or to shrink deterministically");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_fuzz(opts: &HarnessOptions, cli: &Cli) {
+    let seed = cli.u64_value("--seed").unwrap_or(1);
+    let count = cli.u64_value("--count").unwrap_or(50);
+    // The differential oracle always runs with the full checker set; a
+    // modest default watchdog budget keeps hung findings fast to classify.
+    let checks = ChecksConfig::full_with_budget(opts.watchdog_budget.unwrap_or(20_000));
+    // Test-only fault hook: arms a first-token drop on the VGIW fabric so
+    // CI can prove the oracle catches, shrinks and replays a real bug.
+    let inject = match std::env::var("VGIW_FUZZ_INJECT_DROP_TOKEN") {
+        Ok(v) => vgiw_gen::Injection {
+            drop_token: Some(v.parse().unwrap_or_else(|_| {
+                die(&format!(
+                    "VGIW_FUZZ_INJECT_DROP_TOKEN={v} is not a token index"
+                ))
+            })),
+        },
+        Err(_) => vgiw_gen::Injection::default(),
+    };
+    if let Some(path) = cli.value("--replay") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let (repro, observed, matches) = vgiw_gen::replay_artifact(&text, checks)
+            .unwrap_or_else(|e| die(&format!("cannot replay {path}: {e}")));
+        for (i, f) in observed.iter().enumerate() {
+            match f {
+                Some(f) => println!(
+                    "replay {path} [{i}]: machine={} class={} ({})",
+                    f.machine.name(),
+                    f.class.name(),
+                    f.detail.lines().next().unwrap_or("")
+                ),
+                None => println!("replay {path} [{i}]: no finding"),
+            }
+        }
+        println!(
+            "replay {path}: recorded machine={} class={}",
+            repro.machine.name(),
+            repro.class.name()
+        );
+        if !matches {
+            eprintln!("replay does NOT reproduce the recorded finding class");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let dir = cli.value("--out").unwrap_or(".");
+    eprintln!("fuzz campaign: seed {seed}, {count} generated kernel(s), artifacts in {dir}/ ...",);
+    let report = vgiw_gen::fuzz_campaign(seed, count, checks, &inject, dir);
+    for f in &report.findings {
+        println!(
+            "case {:>4}: {:<5} {:<8} ast {} -> {}{}",
+            f.index,
+            f.machine.name(),
+            f.class.name(),
+            f.size_before,
+            f.size_after,
+            if f.replay_deterministic {
+                " replayable"
+            } else {
+                " NON-DETERMINISTIC"
+            }
+        );
+        if let Some(first) = f.detail.lines().next() {
+            println!("          {first}");
+        }
+        if let Some(path) = &f.artifact {
+            println!("          reproducer: {path}");
+        }
+    }
+    println!(
+        "fuzz: {} agreed ({} sgmf-skipped), {} rejected, {} finding(s) over {} case(s); digest {:016x}",
+        report.agreed,
+        report.sgmf_skipped,
+        report.rejected,
+        report.findings.len(),
+        report.cases,
+        report.digest
+    );
+    if !report.ok(inject.drop_token.is_some()) {
+        eprintln!("fuzz: campaign failed (real finding, generator rejection, or non-replayable reproducer)");
         std::process::exit(1);
     }
 }

@@ -17,8 +17,6 @@ use vgiw_kernels::Benchmark;
 use vgiw_robust::ChecksConfig;
 use vgiw_trace::{Counters, Tracer};
 
-#[allow(deprecated)]
-pub use vgiw_serve::{new_machine, new_machine_tuned};
 pub use vgiw_serve::{
     run_machine, run_machine_tuned, run_on_machine, run_spec, run_spec_hooked, BenchError,
     CheckpointSink, HostCheckpoint, MachineHost, MachineKind, MachinePerf, MachineResult,

@@ -17,8 +17,6 @@ pub mod report;
 
 pub use chaos::{chaos_campaign, ChaosClass, FaultPlan, RoundReport};
 pub use checkpoint::{run_machine_checkpointed, suite_fingerprint, SuiteCheckpoint};
-#[allow(deprecated)]
-pub use harness::new_machine;
 pub use harness::{
     measure, measure_machine, measure_suite, measure_suite_with_perf, run_machine,
     run_machine_tuned, AppCounters, AppPerf, AppResult, BenchError, HostCheckpoint, MachineHost,

@@ -1,0 +1,696 @@
+//! The generator's program representation and its lowering to IR.
+//!
+//! Generated kernels are not built as raw CFGs: they are small structured
+//! programs (a statement tree of assignments, stores, conditionals and
+//! bounded loops over a word-valued expression language) that lower
+//! through the same [`KernelBuilder`] DSL the hand-ported suite uses.
+//! Everything the builder guarantees for the suite — reducible CFGs,
+//! reverse-post-order block IDs, rotated loops, structural verification
+//! on [`KernelBuilder::finish`] — therefore holds for every fuzzed kernel
+//! by construction, and the fuzzer explores the *shape* space (nesting,
+//! divergence, trip counts, live ranges) rather than the malformed-IR
+//! space.
+//!
+//! The representation is also the shrinker's substrate (a kernel that has
+//! been lowered to blocks cannot be safely cut apart; a statement tree
+//! can) and the reproducer-artifact format: [`Program::to_compact`] emits
+//! a one-line prefix-notation serialization that
+//! [`Program::parse_compact`] round-trips exactly.
+//!
+//! Memory discipline: every load is masked into the read-only input
+//! region and every store goes to a per-thread cell of an output region
+//! (`OUT_BASE + region * THREADS_MAX + tid`). Threads therefore never
+//! race and never observe each other's writes, so the final memory image
+//! is machine-order independent — the property that makes the interpreter
+//! a valid oracle for three machines with three different thread
+//! interleavings.
+
+use vgiw_ir::{BinaryOp, Kernel, KernelBuilder, UnaryOp, Val, Var};
+
+/// Words in the read-only input region (a power of two: load addresses
+/// are masked with `IN_WORDS - 1`).
+pub const IN_WORDS: u32 = 128;
+/// First word of the write-only output region.
+pub const OUT_BASE: u32 = IN_WORDS;
+/// Output regions (each `THREADS_MAX` words, one cell per thread).
+pub const OUT_REGIONS: u8 = 2;
+/// Maximum threads per generated launch (also the output-region stride).
+pub const THREADS_MAX: u32 = 64;
+/// Total memory image size in words.
+pub const MEM_WORDS: usize = (OUT_BASE + OUT_REGIONS as u32 * THREADS_MAX) as usize;
+/// Loop-bound mask: data-dependent trip counts are bounded to
+/// `0..=LOOP_MASK` iterations per loop level.
+pub const LOOP_MASK: u32 = 7;
+/// Launch parameters every generated kernel declares (two data words).
+pub const NUM_PARAMS: u8 = 2;
+
+/// Binary operators the generator draws from, with their artifact names.
+/// A curated mix of integer, comparison and float ops; names are the
+/// parse table for [`Program::parse_compact`].
+pub const BIN_OPS: [(&str, BinaryOp); 14] = [
+    ("add", BinaryOp::Add),
+    ("sub", BinaryOp::Sub),
+    ("mul", BinaryOp::Mul),
+    ("divu", BinaryOp::DivU),
+    ("remu", BinaryOp::RemU),
+    ("and", BinaryOp::And),
+    ("or", BinaryOp::Or),
+    ("xor", BinaryOp::Xor),
+    ("shl", BinaryOp::Shl),
+    ("ltu", BinaryOp::CmpLtU),
+    ("eq", BinaryOp::CmpEq),
+    ("fadd", BinaryOp::FAdd),
+    ("fmul", BinaryOp::FMul),
+    ("fltu", BinaryOp::FCmpLt),
+];
+
+/// Unary operators the generator draws from (artifact name table).
+pub const UN_OPS: [(&str, UnaryOp); 4] = [
+    ("not", UnaryOp::Not),
+    ("neg", UnaryOp::Neg),
+    ("u2f", UnaryOp::U2F),
+    ("f2i", UnaryOp::F2I),
+];
+
+fn bin_name(op: BinaryOp) -> &'static str {
+    BIN_OPS
+        .iter()
+        .find(|&&(_, o)| o == op)
+        .expect("generator only emits BIN_OPS operators")
+        .0
+}
+
+fn un_name(op: UnaryOp) -> &'static str {
+    UN_OPS
+        .iter()
+        .find(|&&(_, o)| o == op)
+        .expect("generator only emits UN_OPS operators")
+        .0
+}
+
+/// A word-valued expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant word (raw bits).
+    Const(u32),
+    /// The global thread index.
+    Tid,
+    /// Launch parameter `0..NUM_PARAMS`.
+    Param(u8),
+    /// Current value of a mutable variable slot.
+    Var(u8),
+    /// Load from the input region at `expr & (IN_WORDS - 1)`.
+    Load(Box<Expr>),
+    /// Unary operation.
+    Un(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// One statement of a generated program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Assign an expression to a variable slot.
+    Assign(u8, Expr),
+    /// Store a value to the thread's cell of an output region.
+    Store(u8, Expr),
+    /// One-sided conditional (divergent: the predicate is per-thread).
+    If(Expr, Vec<Stmt>),
+    /// Two-sided conditional.
+    IfElse(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Bounded counted loop: the named slot counts `0..(bound & LOOP_MASK)`
+    /// (the bound is evaluated once at entry, so trip counts are
+    /// data-dependent but termination is structural).
+    Loop(u8, Expr, Vec<Stmt>),
+}
+
+/// A generated program: a statement list over `num_vars` mutable slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Mutable variable slots (loop counters and live values).
+    pub num_vars: u8,
+    /// Top-level statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Lowers the program to a verified kernel through the builder DSL.
+    ///
+    /// Variable slots are pre-initialized (slot 0 with the thread index,
+    /// slot 1 with parameter 0, the rest with small constants) so every
+    /// slot is live across all block boundaries — reads of a slot a
+    /// branch never wrote exercise the merge/live-value machinery.
+    ///
+    /// # Panics
+    /// Panics if the lowered kernel fails verification; that is a bug in
+    /// this lowering, not in the caller.
+    pub fn emit(&self) -> Kernel {
+        let mut b = KernelBuilder::new("FUZZ", NUM_PARAMS);
+        let tid = b.thread_id();
+        let p0 = b.param(0);
+        let p1 = b.param(1);
+        let vars: Vec<Var> = (0..self.num_vars)
+            .map(|slot| {
+                let init = match slot % 3 {
+                    0 => tid,
+                    1 => p0,
+                    _ => b.const_u32(slot as u32),
+                };
+                b.var(init)
+            })
+            .collect();
+        let cx = EmitCx {
+            tid,
+            params: [p0, p1],
+            vars,
+        };
+        emit_stmts(&mut b, &cx, &self.body);
+        b.finish()
+    }
+
+    /// One-line prefix-notation serialization (the `program=` artifact
+    /// line). Inverse of [`Program::parse_compact`].
+    pub fn to_compact(&self) -> String {
+        let mut out = format!("v{}", self.num_vars);
+        for s in &self.body {
+            out.push(' ');
+            write_stmt(&mut out, s);
+        }
+        out
+    }
+
+    /// Parses a [`Program::to_compact`] line.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed token.
+    pub fn parse_compact(text: &str) -> Result<Program, String> {
+        let tokens = tokenize(text);
+        let mut p = Parser {
+            tokens: &tokens,
+            pos: 0,
+        };
+        let head = p.next_token()?;
+        let num_vars: u8 = head
+            .strip_prefix('v')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("program must start with v<num_vars>, not '{head}'"))?;
+        let mut body = Vec::new();
+        while !p.at_end() {
+            body.push(p.stmt()?);
+        }
+        let prog = Program { num_vars, body };
+        prog.validate()?;
+        Ok(prog)
+    }
+
+    /// Checks slot/param/region indices are in range (a parsed artifact
+    /// is untrusted input; [`Program::emit`] panics on bad indices).
+    ///
+    /// # Errors
+    /// Returns the first out-of-range reference.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check_expr(e: &Expr, num_vars: u8) -> Result<(), String> {
+            match e {
+                Expr::Const(_) | Expr::Tid => Ok(()),
+                Expr::Param(i) if *i >= NUM_PARAMS => Err(format!("param {i} out of range")),
+                Expr::Param(_) => Ok(()),
+                Expr::Var(s) if *s >= num_vars => Err(format!("var slot {s} out of range")),
+                Expr::Var(_) => Ok(()),
+                Expr::Load(a) | Expr::Un(_, a) => check_expr(a, num_vars),
+                Expr::Bin(_, a, b) => {
+                    check_expr(a, num_vars)?;
+                    check_expr(b, num_vars)
+                }
+                Expr::Select(c, a, b) => {
+                    check_expr(c, num_vars)?;
+                    check_expr(a, num_vars)?;
+                    check_expr(b, num_vars)
+                }
+            }
+        }
+        fn check_stmts(stmts: &[Stmt], num_vars: u8) -> Result<(), String> {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(slot, e) => {
+                        if *slot >= num_vars {
+                            return Err(format!("assign slot {slot} out of range"));
+                        }
+                        check_expr(e, num_vars)?;
+                    }
+                    Stmt::Store(region, e) => {
+                        if *region >= OUT_REGIONS {
+                            return Err(format!("store region {region} out of range"));
+                        }
+                        check_expr(e, num_vars)?;
+                    }
+                    Stmt::If(c, body) => {
+                        check_expr(c, num_vars)?;
+                        check_stmts(body, num_vars)?;
+                    }
+                    Stmt::IfElse(c, t, e) => {
+                        check_expr(c, num_vars)?;
+                        check_stmts(t, num_vars)?;
+                        check_stmts(e, num_vars)?;
+                    }
+                    Stmt::Loop(slot, bound, body) => {
+                        if *slot >= num_vars {
+                            return Err(format!("loop slot {slot} out of range"));
+                        }
+                        check_expr(bound, num_vars)?;
+                        check_stmts(body, num_vars)?;
+                        if assigns_slot(body, *slot) {
+                            return Err(format!(
+                                "loop body assigns its own counter slot {slot} (unbounded)"
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        check_stmts(&self.body, self.num_vars)
+    }
+}
+
+/// Whether any statement in `stmts` (at any depth) assigns `slot` or uses
+/// it as a loop counter. The generator and shrinker keep loop counters
+/// body-disjoint so every loop terminates structurally.
+pub fn assigns_slot(stmts: &[Stmt], slot: u8) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign(a, _) => *a == slot,
+        Stmt::Store(..) => false,
+        Stmt::If(_, body) => assigns_slot(body, slot),
+        Stmt::IfElse(_, t, e) => assigns_slot(t, slot) || assigns_slot(e, slot),
+        Stmt::Loop(a, _, body) => *a == slot || assigns_slot(body, slot),
+    })
+}
+
+struct EmitCx {
+    tid: Val,
+    params: [Val; 2],
+    vars: Vec<Var>,
+}
+
+fn emit_expr(b: &mut KernelBuilder, cx: &EmitCx, e: &Expr) -> Val {
+    match e {
+        Expr::Const(v) => b.const_u32(*v),
+        Expr::Tid => cx.tid,
+        Expr::Param(i) => cx.params[*i as usize],
+        Expr::Var(slot) => b.get(cx.vars[*slot as usize]),
+        Expr::Load(addr) => {
+            let a = emit_expr(b, cx, addr);
+            let mask = b.const_u32(IN_WORDS - 1);
+            let masked = b.and(a, mask);
+            b.load(masked)
+        }
+        Expr::Un(op, a) => {
+            let av = emit_expr(b, cx, a);
+            b.unary(*op, av)
+        }
+        Expr::Bin(op, l, r) => {
+            let lv = emit_expr(b, cx, l);
+            let rv = emit_expr(b, cx, r);
+            b.binary(*op, lv, rv)
+        }
+        Expr::Select(c, t, f) => {
+            let cv = emit_expr(b, cx, c);
+            let tv = emit_expr(b, cx, t);
+            let fv = emit_expr(b, cx, f);
+            b.select(cv, tv, fv)
+        }
+    }
+}
+
+fn emit_stmts(b: &mut KernelBuilder, cx: &EmitCx, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(slot, e) => {
+                let v = emit_expr(b, cx, e);
+                b.set(cx.vars[*slot as usize], v);
+            }
+            Stmt::Store(region, e) => {
+                let v = emit_expr(b, cx, e);
+                let base = b.const_u32(OUT_BASE + *region as u32 * THREADS_MAX);
+                let addr = b.add(base, cx.tid);
+                b.store(addr, v);
+            }
+            Stmt::If(c, body) => {
+                let cv = emit_expr(b, cx, c);
+                b.if_(cv, |b| emit_stmts(b, cx, body));
+            }
+            Stmt::IfElse(c, t, e) => {
+                let cv = emit_expr(b, cx, c);
+                b.if_else(cv, |b| emit_stmts(b, cx, t), |b| emit_stmts(b, cx, e));
+            }
+            Stmt::Loop(slot, bound, body) => {
+                let counter = cx.vars[*slot as usize];
+                let zero = b.const_u32(0);
+                b.set(counter, zero);
+                let bv = emit_expr(b, cx, bound);
+                let mask = b.const_u32(LOOP_MASK);
+                let trips = b.and(bv, mask);
+                b.while_(
+                    // Pure emission: a compare against two already-computed
+                    // registers, re-emitted at the rotated loop's backedge.
+                    |b| {
+                        let iv = b.get(counter);
+                        b.lt_u(iv, trips)
+                    },
+                    |b| {
+                        emit_stmts(b, cx, body);
+                        let iv = b.get(counter);
+                        let one = b.const_u32(1);
+                        let next = b.add(iv, one);
+                        b.set(counter, next);
+                    },
+                );
+            }
+        }
+    }
+}
+
+// ---- compact serialization ------------------------------------------------
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Const(v) => out.push_str(&format!("(c {v})")),
+        Expr::Tid => out.push_str("tid"),
+        Expr::Param(i) => out.push_str(&format!("(p {i})")),
+        Expr::Var(s) => out.push_str(&format!("(v {s})")),
+        Expr::Load(a) => {
+            out.push_str("(ld ");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Expr::Un(op, a) => {
+            out.push_str(&format!("(u {} ", un_name(*op)));
+            write_expr(out, a);
+            out.push(')');
+        }
+        Expr::Bin(op, l, r) => {
+            out.push_str(&format!("(b {} ", bin_name(*op)));
+            write_expr(out, l);
+            out.push(' ');
+            write_expr(out, r);
+            out.push(')');
+        }
+        Expr::Select(c, t, f) => {
+            out.push_str("(sel ");
+            write_expr(out, c);
+            out.push(' ');
+            write_expr(out, t);
+            out.push(' ');
+            write_expr(out, f);
+            out.push(')');
+        }
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[Stmt]) {
+    out.push('[');
+    for (i, s) in stmts.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        write_stmt(out, s);
+    }
+    out.push(']');
+}
+
+fn write_stmt(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Assign(slot, e) => {
+            out.push_str(&format!("(set {slot} "));
+            write_expr(out, e);
+            out.push(')');
+        }
+        Stmt::Store(region, e) => {
+            out.push_str(&format!("(st {region} "));
+            write_expr(out, e);
+            out.push(')');
+        }
+        Stmt::If(c, body) => {
+            out.push_str("(if ");
+            write_expr(out, c);
+            out.push(' ');
+            write_stmts(out, body);
+            out.push(')');
+        }
+        Stmt::IfElse(c, t, e) => {
+            out.push_str("(ife ");
+            write_expr(out, c);
+            out.push(' ');
+            write_stmts(out, t);
+            out.push(' ');
+            write_stmts(out, e);
+            out.push(')');
+        }
+        Stmt::Loop(slot, bound, body) => {
+            out.push_str(&format!("(loop {slot} "));
+            write_expr(out, bound);
+            out.push(' ');
+            write_stmts(out, body);
+            out.push(')');
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | ')' | '[' | ']' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+struct Parser<'t> {
+    tokens: &'t [String],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next_token(&mut self) -> Result<&str, String> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or("unexpected end of program text")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), String> {
+        let t = self.next_token()?;
+        if t == want {
+            Ok(())
+        } else {
+            Err(format!("expected '{want}', found '{t}'"))
+        }
+    }
+
+    fn number<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, String> {
+        let t = self.next_token()?;
+        t.parse().map_err(|_| format!("bad {what}: '{t}'"))
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        let t = self.next_token()?.to_string();
+        if t == "tid" {
+            return Ok(Expr::Tid);
+        }
+        if t != "(" {
+            return Err(format!("expected expression, found '{t}'"));
+        }
+        let head = self.next_token()?.to_string();
+        let e = match head.as_str() {
+            "c" => Expr::Const(self.number("constant")?),
+            "p" => Expr::Param(self.number("parameter index")?),
+            "v" => Expr::Var(self.number("var slot")?),
+            "ld" => Expr::Load(Box::new(self.expr()?)),
+            "u" => {
+                let name = self.next_token()?.to_string();
+                let op = UN_OPS
+                    .iter()
+                    .find(|&&(n, _)| n == name)
+                    .map(|&(_, o)| o)
+                    .ok_or_else(|| format!("unknown unary op '{name}'"))?;
+                Expr::Un(op, Box::new(self.expr()?))
+            }
+            "b" => {
+                let name = self.next_token()?.to_string();
+                let op = BIN_OPS
+                    .iter()
+                    .find(|&&(n, _)| n == name)
+                    .map(|&(_, o)| o)
+                    .ok_or_else(|| format!("unknown binary op '{name}'"))?;
+                Expr::Bin(op, Box::new(self.expr()?), Box::new(self.expr()?))
+            }
+            "sel" => Expr::Select(
+                Box::new(self.expr()?),
+                Box::new(self.expr()?),
+                Box::new(self.expr()?),
+            ),
+            other => return Err(format!("unknown expression head '{other}'")),
+        };
+        self.expect(")")?;
+        Ok(e)
+    }
+
+    fn stmt_list(&mut self) -> Result<Vec<Stmt>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        loop {
+            let Some(t) = self.tokens.get(self.pos) else {
+                return Err("unterminated statement list".to_string());
+            };
+            if t == "]" {
+                self.pos += 1;
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, String> {
+        self.expect("(")?;
+        let head = self.next_token()?.to_string();
+        let s = match head.as_str() {
+            "set" => Stmt::Assign(self.number("var slot")?, self.expr()?),
+            "st" => Stmt::Store(self.number("store region")?, self.expr()?),
+            "if" => Stmt::If(self.expr()?, self.stmt_list()?),
+            "ife" => Stmt::IfElse(self.expr()?, self.stmt_list()?, self.stmt_list()?),
+            "loop" => Stmt::Loop(self.number("loop slot")?, self.expr()?, self.stmt_list()?),
+            other => return Err(format!("unknown statement head '{other}'")),
+        };
+        self.expect(")")?;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, Launch, MemoryImage, Word};
+
+    fn sample() -> Program {
+        Program {
+            num_vars: 3,
+            body: vec![
+                Stmt::Assign(
+                    2,
+                    Expr::Bin(BinaryOp::Add, Box::new(Expr::Tid), Box::new(Expr::Param(0))),
+                ),
+                Stmt::Loop(
+                    0,
+                    Expr::Load(Box::new(Expr::Tid)),
+                    vec![Stmt::Assign(
+                        2,
+                        Expr::Bin(
+                            BinaryOp::Xor,
+                            Box::new(Expr::Var(2)),
+                            Box::new(Expr::Var(0)),
+                        ),
+                    )],
+                ),
+                Stmt::IfElse(
+                    Expr::Bin(
+                        BinaryOp::CmpLtU,
+                        Box::new(Expr::Var(2)),
+                        Box::new(Expr::Const(100)),
+                    ),
+                    vec![Stmt::Store(0, Expr::Var(2))],
+                    vec![Stmt::Store(
+                        1,
+                        Expr::Select(
+                            Box::new(Expr::Tid),
+                            Box::new(Expr::Un(UnaryOp::Not, Box::new(Expr::Var(1)))),
+                            Box::new(Expr::Const(7)),
+                        ),
+                    )],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let p = sample();
+        let text = p.to_compact();
+        let q = Program::parse_compact(&text).expect("parse back");
+        assert_eq!(p, q);
+        assert_eq!(q.to_compact(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "x3",
+            "v2 (set 9 (c 1))", // slot out of range
+            "v2 (st 5 (c 1))",  // region out of range
+            "v2 (set 0 (b nosuch tid tid))",
+            "v2 (if tid [(st 0 (c 1))]",       // unterminated
+            "v2 (loop 0 tid [(set 0 (c 0))])", // body assigns its counter
+        ] {
+            assert!(Program::parse_compact(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn emit_runs_on_the_interpreter() {
+        let k = sample().emit();
+        assert!(k.num_blocks() >= 5, "loop + if/else must produce blocks");
+        let mut mem = MemoryImage::new(MEM_WORDS);
+        for a in 0..IN_WORDS {
+            mem.write(a, Word::from_u32(a * 3 + 1));
+        }
+        let launch = Launch::new(8, vec![Word::from_u32(5), Word::from_u32(9)]);
+        interp::run(&k, &launch, &mut mem).expect("generated kernel runs");
+    }
+
+    #[test]
+    fn stores_stay_in_the_output_region() {
+        // The masking discipline is what makes the interpreter a valid
+        // oracle; prove a wild store address cannot escape its region.
+        let p = Program {
+            num_vars: 1,
+            body: vec![Stmt::Store(
+                1,
+                Expr::Bin(
+                    BinaryOp::Mul,
+                    Box::new(Expr::Load(Box::new(Expr::Const(0xFFFF_FFFF)))),
+                    Box::new(Expr::Const(0x1234_5678)),
+                ),
+            )],
+        };
+        let k = p.emit();
+        let mut mem = MemoryImage::new(MEM_WORDS);
+        let before: Vec<u32> = (0..OUT_BASE).map(|a| mem.read(a).as_u32()).collect();
+        let launch = Launch::new(THREADS_MAX, vec![Word::from_u32(0), Word::from_u32(0)]);
+        interp::run(&k, &launch, &mut mem).unwrap();
+        let after: Vec<u32> = (0..OUT_BASE).map(|a| mem.read(a).as_u32()).collect();
+        assert_eq!(before, after, "input region must never be written");
+    }
+}

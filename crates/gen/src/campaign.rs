@@ -1,0 +1,338 @@
+//! Campaign driver: generate → differential-run → shrink → artifact →
+//! replay, plus the reproducer-artifact format (`key=value` lines with
+//! the shrunk program in compact form and the lowered IR inlined as
+//! comments) and the deterministic campaign digest two consecutive runs
+//! must agree on bit-for-bit.
+
+use vgiw_robust::ChecksConfig;
+use vgiw_serve::MachineKind;
+
+use crate::ast::Program;
+use crate::diff::{run_case_program, CaseOutcome, Finding, FindingClass, Injection};
+use crate::generate::FuzzCase;
+use crate::shrink::{program_size, shrink_program, DEFAULT_PROBE_BUDGET};
+
+/// One shrunk, replay-checked finding of a campaign.
+#[derive(Debug)]
+pub struct FindingReport {
+    /// Case index the finding came from.
+    pub index: u64,
+    /// Machine that disagreed with the oracle.
+    pub machine: MachineKind,
+    /// How it disagreed.
+    pub class: FindingClass,
+    /// Diagnostic detail from the original (unshrunk) run.
+    pub detail: String,
+    /// The shrunk program.
+    pub shrunk: Program,
+    /// AST size before and after shrinking.
+    pub size_before: usize,
+    /// AST size after shrinking.
+    pub size_after: usize,
+    /// Path of the written reproducer artifact, if the write succeeded.
+    pub artifact: Option<String>,
+    /// Whether two replays of the shrunk program reproduced the same
+    /// finding class on the same machine.
+    pub replay_deterministic: bool,
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Cases run.
+    pub cases: u64,
+    /// Cases on which every machine agreed with the oracle.
+    pub agreed: u64,
+    /// Cases SGMF declined as unmappable (a subset of `agreed`).
+    pub sgmf_skipped: u64,
+    /// Cases the generator itself failed on (always a fuzzer bug).
+    pub rejected: u64,
+    /// The findings, shrunk and replay-checked.
+    pub findings: Vec<FindingReport>,
+    /// FNV-1a digest over every case's results and counters: the
+    /// campaign's run-to-run bit-identity witness.
+    pub digest: u64,
+}
+
+impl CampaignReport {
+    /// Whether the campaign passes. Without an injection armed, any
+    /// finding (or generator rejection) is a real bug and must fail.
+    /// With the test-only injection armed, findings are the expected
+    /// outcome and only a *non-replayable* finding fails the campaign.
+    pub fn ok(&self, injected: bool) -> bool {
+        if self.rejected > 0 {
+            return false;
+        }
+        if injected {
+            self.findings.iter().all(|f| f.replay_deterministic)
+        } else {
+            self.findings.is_empty()
+        }
+    }
+}
+
+fn fold_u64(mut hash: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash = (hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serializes a finding as the replayable reproducer artifact.
+pub fn to_artifact(
+    seed: u64,
+    index: u64,
+    machine: MachineKind,
+    class: FindingClass,
+    detail: &str,
+    program: &Program,
+    inject: &Injection,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# vgiw-gen fuzz reproducer; replay with:\n");
+    out.push_str("#   experiments fuzz --replay <this file>\n");
+    out.push_str(&format!("seed={seed}\n"));
+    out.push_str(&format!("index={index}\n"));
+    out.push_str(&format!("machine={}\n", machine.name()));
+    out.push_str(&format!("class={}\n", class.name()));
+    out.push_str(&format!("detail={}\n", detail.replace('\n', " ")));
+    if let Some(v) = inject.drop_token {
+        out.push_str(&format!("inject_drop_token={v}\n"));
+    }
+    out.push_str(&format!("program={}\n", program.to_compact()));
+    out.push_str("# Lowered IR:\n");
+    for line in program.emit().to_string().lines() {
+        out.push_str(&format!("#   {line}\n"));
+    }
+    out
+}
+
+/// A parsed reproducer artifact.
+#[derive(Debug)]
+pub struct Reproducer {
+    /// Campaign seed (pins the generated inputs).
+    pub seed: u64,
+    /// Case index (pins the generated inputs).
+    pub index: u64,
+    /// Machine the finding was recorded on.
+    pub machine: MachineKind,
+    /// Recorded finding class.
+    pub class: FindingClass,
+    /// The shrunk program.
+    pub program: Program,
+    /// The injection the finding was produced under.
+    pub inject: Injection,
+}
+
+/// Parses a reproducer artifact.
+///
+/// # Errors
+/// Returns a description of the first malformed or missing line.
+pub fn parse_artifact(text: &str) -> Result<Reproducer, String> {
+    let mut seed = None;
+    let mut index = None;
+    let mut machine = None;
+    let mut class = None;
+    let mut program = None;
+    let mut inject = Injection::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("malformed artifact line: {line}"))?;
+        match key {
+            "seed" => seed = Some(value.parse().map_err(|_| format!("bad seed={value}"))?),
+            "index" => index = Some(value.parse().map_err(|_| format!("bad index={value}"))?),
+            "machine" => {
+                machine = Some(
+                    MachineKind::from_name(value)
+                        .ok_or_else(|| format!("unknown machine: {value}"))?,
+                )
+            }
+            "class" => {
+                class = Some(FindingClass::from_name(value).ok_or_else(|| {
+                    format!("unknown class: {value} (mismatch/error/hung/nondet)")
+                })?)
+            }
+            "program" => program = Some(Program::parse_compact(value)?),
+            "inject_drop_token" => {
+                inject.drop_token = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad drop_token={value}"))?,
+                )
+            }
+            "detail" => {}
+            other => return Err(format!("unknown artifact key: {other}")),
+        }
+    }
+    Ok(Reproducer {
+        seed: seed.ok_or("artifact is missing seed=")?,
+        index: index.ok_or("artifact is missing index=")?,
+        machine: machine.ok_or("artifact is missing machine=")?,
+        class: class.ok_or("artifact is missing class=")?,
+        program: program.ok_or("artifact is missing program=")?,
+        inject,
+    })
+}
+
+/// Replays a reproducer artifact twice: regenerates the recorded case's
+/// inputs from `(seed, index)`, runs the recorded (shrunk) program
+/// through the full differential stack under the recorded injection, and
+/// reports whether both replays reproduced the recorded class on the
+/// recorded machine.
+///
+/// # Errors
+/// Returns a parse error for a malformed artifact.
+pub fn replay_artifact(
+    text: &str,
+    checks: ChecksConfig,
+) -> Result<(Reproducer, Vec<Option<Finding>>, bool), String> {
+    let repro = parse_artifact(text)?;
+    let case = FuzzCase::generate(repro.seed, repro.index);
+    let observed: Vec<Option<Finding>> = (0..2)
+        .map(
+            |_| match run_case_program(&case, &repro.program, checks, &repro.inject) {
+                CaseOutcome::Finding(f) => Some(f),
+                _ => None,
+            },
+        )
+        .collect();
+    let matches = observed
+        .iter()
+        .all(|f| matches!(f, Some(f) if f.class == repro.class && f.machine == repro.machine));
+    Ok((repro, observed, matches))
+}
+
+/// Runs a full campaign: `count` generated cases through the
+/// differential oracle; every finding is shrunk (class- and
+/// machine-preserving), replayed twice, and written to `artifact_dir` as
+/// a reproducer artifact.
+pub fn fuzz_campaign(
+    seed: u64,
+    count: u64,
+    checks: ChecksConfig,
+    inject: &Injection,
+    artifact_dir: &str,
+) -> CampaignReport {
+    let mut report = CampaignReport {
+        seed,
+        cases: count,
+        agreed: 0,
+        sgmf_skipped: 0,
+        rejected: 0,
+        findings: Vec::new(),
+        digest: 0xCBF2_9CE4_8422_2325,
+    };
+    for index in 0..count {
+        let case = FuzzCase::generate(seed, index);
+        match run_case_program(&case, &case.program, checks, inject) {
+            CaseOutcome::Agree {
+                sgmf_skipped,
+                digest,
+            } => {
+                report.agreed += 1;
+                if sgmf_skipped {
+                    report.sgmf_skipped += 1;
+                }
+                report.digest = fold_u64(report.digest, index);
+                report.digest = fold_u64(report.digest, digest);
+            }
+            CaseOutcome::Rejected(e) => {
+                eprintln!("fuzz: case {index} rejected by the generator stack: {e}");
+                report.rejected += 1;
+                report.digest = fold_u64(report.digest, index);
+            }
+            CaseOutcome::Finding(found) => {
+                let (machine, class) = (found.machine, found.class);
+                let keeps_class = |candidate: &Program| -> bool {
+                    matches!(
+                        run_case_program(&case, candidate, checks, inject),
+                        CaseOutcome::Finding(f) if f.class == class && f.machine == machine
+                    )
+                };
+                let shrunk = shrink_program(&case.program, keeps_class, DEFAULT_PROBE_BUDGET);
+                let replays: Vec<bool> = (0..2).map(|_| keeps_class(&shrunk)).collect();
+                let replay_deterministic = replays.iter().all(|&r| r);
+                let path = format!(
+                    "{}/fuzz_repro_s{seed}_i{index}_{}_{}.txt",
+                    artifact_dir.trim_end_matches('/'),
+                    machine.name(),
+                    class.name()
+                );
+                let text = to_artifact(seed, index, machine, class, &found.detail, &shrunk, inject);
+                let artifact = match std::fs::write(&path, text) {
+                    Ok(()) => Some(path),
+                    Err(e) => {
+                        eprintln!("fuzz: cannot write {path}: {e}");
+                        None
+                    }
+                };
+                report.digest = fold_u64(report.digest, index);
+                report.findings.push(FindingReport {
+                    index,
+                    machine,
+                    class,
+                    detail: found.detail,
+                    size_before: program_size(&case.program),
+                    size_after: program_size(&shrunk),
+                    shrunk,
+                    artifact,
+                    replay_deterministic,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips() {
+        let program = Program::parse_compact("v2 (st 0 (b add tid (p 1)))").unwrap();
+        let inject = Injection {
+            drop_token: Some(3),
+        };
+        let text = to_artifact(
+            99,
+            7,
+            MachineKind::Vgiw,
+            FindingClass::Hung,
+            "watchdog: no progress",
+            &program,
+            &inject,
+        );
+        let repro = parse_artifact(&text).expect("parses back");
+        assert_eq!(repro.seed, 99);
+        assert_eq!(repro.index, 7);
+        assert_eq!(repro.machine, MachineKind::Vgiw);
+        assert_eq!(repro.class, FindingClass::Hung);
+        assert_eq!(repro.program, program);
+        assert_eq!(repro.inject, inject);
+        // The lowered IR rides along as comments.
+        assert!(text.contains("# Lowered IR:"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_artifacts() {
+        for bad in [
+            "",
+            "seed=1\nindex=0\nmachine=vax\nclass=hung\nprogram=v1",
+            "seed=1\nindex=0\nmachine=vgiw\nclass=sideways\nprogram=v1",
+            "seed=1\nindex=0\nmachine=vgiw\nclass=hung",
+            "seed=1\nindex=0\nmachine=vgiw\nclass=hung\nprogram=v1 (st 9 (c 0))",
+            "seed=x\nindex=0\nmachine=vgiw\nclass=hung\nprogram=v1",
+            "notakeyvalue",
+        ] {
+            assert!(parse_artifact(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The differential oracle: one generated case is run through the interp
+//! oracle and all three machines, each cold (fresh machine) and warm
+//! (pooled machine, `reset` + pristine `restore_state`, the exact path
+//! the job service's warm pools take), and every observable — golden
+//! verification, outcome, and the full counter registry — must agree.
+//!
+//! Anything that does not agree is a [`Finding`]:
+//!
+//! * **mismatch** — a machine completed but its final memory differs
+//!   from the interp golden image (the suite's bit-exactness contract).
+//! * **error** — a machine failed with a typed error or a caught panic.
+//! * **hung** — the watchdog aborted the machine.
+//! * **nondet** — the cold and warm runs of the *same* machine disagree
+//!   in outcome or counters: either the simulator is nondeterministic or
+//!   warm-pool isolation leaked state between jobs.
+//!
+//! SGMF declining an unmappable graph is the suite's expected, reportable
+//! outcome and is counted, not reported.
+
+use vgiw_core::{CoreFaults, VgiwConfig, VgiwProcessor};
+use vgiw_fabric::FabricFaults;
+use vgiw_ir::interp;
+use vgiw_kernels::{single_launch, Benchmark};
+use vgiw_robust::ChecksConfig;
+use vgiw_serve::{run_on_machine, BenchError, MachineKind, MachineRun, MachineSpec, RunOutcome};
+use vgiw_trace::Machine;
+
+use crate::ast::Program;
+use crate::generate::FuzzCase;
+
+/// Per-thread dynamic step budget for the interp pre-flight. Generated
+/// loops are structurally bounded (≤ `LOOP_MASK` trips, nesting ≤ 3), so
+/// a well-formed case sits orders of magnitude below this.
+pub const INTERP_STEP_LIMIT: u64 = 4_000_000;
+
+/// The test-only fault hook: arms a fabric-level token drop on the VGIW
+/// machine only, so the acceptance criterion — "an intentionally injected
+/// fabric bug is caught and shrunk" — can be exercised without shipping a
+/// real bug. Everything the oracle reports is relative to the uninjected
+/// machines, so an armed injection surfaces as an ordinary finding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Injection {
+    /// Drop the nth fabric token delivery on VGIW.
+    pub drop_token: Option<u64>,
+}
+
+impl Injection {
+    /// Whether any fault is armed.
+    pub fn armed(&self) -> bool {
+        self.drop_token.is_some()
+    }
+}
+
+/// What one machine-vs-oracle comparison produced, when it did not agree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingClass {
+    /// Completed with memory different from the interp golden image.
+    Mismatch,
+    /// Typed failure or caught panic.
+    Error,
+    /// Watchdog abort.
+    Hung,
+    /// Cold and warm runs of the same machine disagree.
+    NonDet,
+}
+
+impl FindingClass {
+    /// Stable name used in reproducer artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingClass::Mismatch => "mismatch",
+            FindingClass::Error => "error",
+            FindingClass::Hung => "hung",
+            FindingClass::NonDet => "nondet",
+        }
+    }
+
+    /// Inverse of [`FindingClass::name`].
+    pub fn from_name(name: &str) -> Option<FindingClass> {
+        match name {
+            "mismatch" => Some(FindingClass::Mismatch),
+            "error" => Some(FindingClass::Error),
+            "hung" => Some(FindingClass::Hung),
+            "nondet" => Some(FindingClass::NonDet),
+            _ => None,
+        }
+    }
+}
+
+/// The first disagreement the oracle observed on one case.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Machine that disagreed.
+    pub machine: MachineKind,
+    /// How it disagreed.
+    pub class: FindingClass,
+    /// Diagnostic detail (error text, mismatch address, counter delta).
+    pub detail: String,
+}
+
+/// What one case produced across the whole oracle stack.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// Every machine agreed with the oracle (SGMF may have skipped).
+    Agree {
+        /// Whether SGMF declined the graph as unmappable.
+        sgmf_skipped: bool,
+        /// FNV-1a digest over outcomes + counters of all machines plus the
+        /// interp golden image — the campaign's run-to-run identity.
+        digest: u64,
+    },
+    /// The generated program could not be lowered or did not finish on the
+    /// interpreter within the step budget — a generator bug, counted
+    /// separately so it cannot masquerade as a machine finding.
+    Rejected(String),
+    /// A machine disagreed with the oracle.
+    Finding(Finding),
+}
+
+impl CaseOutcome {
+    /// The finding, if any.
+    pub fn finding(&self) -> Option<&Finding> {
+        match self {
+            CaseOutcome::Finding(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the case's single-launch benchmark (the golden image is the
+/// interp run, computed inside [`Benchmark::new`]).
+///
+/// # Errors
+/// Returns the diagnostic when the program fails to lower, verify, or
+/// finish on the interpreter — all generator bugs, not machine findings.
+pub fn build_bench(case: &FuzzCase, program: &Program) -> Result<Benchmark, String> {
+    program.validate()?;
+    let emitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program.emit()));
+    let kernel = match emitted {
+        Ok(k) => k,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            return Err(format!("lowering panicked: {msg}"));
+        }
+    };
+    // Pre-flight on the interpreter with an explicit step budget so a
+    // generator bug surfaces as a rejection here rather than a panic in
+    // `Benchmark::new` (which uses the unlimited-ish default).
+    let mut mem = case.memory();
+    interp::run_with_limit(&kernel, &case.launch(), &mut mem, INTERP_STEP_LIMIT)
+        .map_err(|e| format!("interp pre-flight: {e}"))?;
+    Ok(single_launch(
+        "FUZZ",
+        "Fuzzing",
+        "generated kernel",
+        false,
+        kernel,
+        case.memory(),
+        case.launch(),
+    ))
+}
+
+/// Builds the machine for `kind`, with the injection's fabric fault armed
+/// when `kind` is VGIW (the only machine the hook targets).
+fn build_machine(kind: MachineKind, checks: ChecksConfig, inject: &Injection) -> Box<dyn Machine> {
+    if kind == MachineKind::Vgiw && inject.armed() {
+        Box::new(VgiwProcessor::new(VgiwConfig {
+            checks,
+            faults: CoreFaults {
+                fabric: FabricFaults {
+                    drop_token: inject.drop_token,
+                    drop_retire: None,
+                },
+                ..CoreFaults::default()
+            },
+            ..VgiwConfig::default()
+        }))
+    } else {
+        MachineSpec::new(kind).checks(checks).build()
+    }
+}
+
+/// Folds one byte into an FNV-1a 64 accumulator.
+fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Folds a string into the digest.
+fn fold_str(mut hash: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        hash = fnv1a(hash, b);
+    }
+    fnv1a(hash, 0xFF)
+}
+
+/// Folds everything bit-identity covers about one machine run: the
+/// outcome (result totals or failure text) and the full counter
+/// registry. Wall-clock perf is deliberately excluded.
+fn fold_run(mut hash: u64, run: &MachineRun) -> u64 {
+    hash = match &run.outcome {
+        RunOutcome::Ok(r) => fold_str(hash, &format!("ok {r:?}")),
+        RunOutcome::Skipped(e) => fold_str(hash, &format!("skip {e}")),
+        RunOutcome::Failed(e) => fold_str(hash, &format!("fail {e}")),
+        RunOutcome::Hung(r) => fold_str(hash, &format!("hung {r}")),
+    };
+    for (name, value) in run.counters.iter() {
+        hash = fold_str(hash, name);
+        hash = fold_str(hash, &format!("{value:?}"));
+    }
+    hash
+}
+
+/// The outcome-equality relation for the cold/warm comparison: results
+/// and failure text must match bit-for-bit; wall clock may not.
+fn same_outcome(a: &RunOutcome, b: &RunOutcome) -> bool {
+    match (a, b) {
+        (RunOutcome::Ok(x), RunOutcome::Ok(y)) => x == y,
+        (RunOutcome::Skipped(x), RunOutcome::Skipped(y)) => x == y,
+        (RunOutcome::Failed(x), RunOutcome::Failed(y)) => x == y,
+        (RunOutcome::Hung(x), RunOutcome::Hung(y)) => x.to_string() == y.to_string(),
+        _ => false,
+    }
+}
+
+/// Classifies one machine's cold run against the oracle.
+fn classify_cold(kind: MachineKind, run: &MachineRun) -> Option<Finding> {
+    let finding = |class, detail: String| {
+        Some(Finding {
+            machine: kind,
+            class,
+            detail,
+        })
+    };
+    match &run.outcome {
+        RunOutcome::Ok(_) => None,
+        RunOutcome::Skipped(_) => None,
+        RunOutcome::Failed(BenchError::Config(m)) if m.contains("memory mismatch") => {
+            finding(FindingClass::Mismatch, m.clone())
+        }
+        RunOutcome::Failed(e) => finding(FindingClass::Error, e.to_string()),
+        RunOutcome::Hung(r) => finding(FindingClass::Hung, r.to_string()),
+    }
+}
+
+/// Runs one program (normally `case.program`, a shrunk variant during
+/// shrinking) with `case`'s inputs through the full differential stack.
+pub fn run_case_program(
+    case: &FuzzCase,
+    program: &Program,
+    checks: ChecksConfig,
+    inject: &Injection,
+) -> CaseOutcome {
+    let bench = match build_bench(case, program) {
+        Ok(b) => b,
+        Err(e) => return CaseOutcome::Rejected(e),
+    };
+    // Fold the interp golden image into the digest: the oracle's own
+    // output is part of the campaign's run-to-run identity.
+    let mut digest = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    {
+        let mut mem = bench.initial_memory();
+        // `build_bench` already proved this run completes.
+        let _ = interp::run_with_limit(&bench.kernels[0], &case.launch(), &mut mem, u64::MAX);
+        for addr in 0..mem.len() as u32 {
+            for b in mem.read(addr).0.to_le_bytes() {
+                digest = fnv1a(digest, b);
+            }
+        }
+    }
+    let mut sgmf_skipped = false;
+    for (kind, _) in MachineKind::ALL {
+        let mut machine = build_machine(kind, checks, inject);
+        let pristine = match machine.save_state() {
+            Ok(s) => s,
+            Err(e) => {
+                return CaseOutcome::Finding(Finding {
+                    machine: kind,
+                    class: FindingClass::Error,
+                    detail: format!("pristine snapshot failed: {e}"),
+                })
+            }
+        };
+        let (cold, cold_panicked) = run_on_machine(machine.as_mut(), kind, &bench);
+        if let Some(f) = classify_cold(kind, &cold) {
+            return CaseOutcome::Finding(f);
+        }
+        if matches!(cold.outcome, RunOutcome::Skipped(_)) {
+            sgmf_skipped = true;
+            digest = fold_run(digest, &cold);
+            continue;
+        }
+        // Warm pass: the pooled-machine path. A panicked machine is
+        // poisoned and must not be repooled, so only the non-panicked
+        // path is compared (cold panics were classified above).
+        if !cold_panicked {
+            machine.reset();
+            if let Err(e) = machine.restore_state(&pristine) {
+                return CaseOutcome::Finding(Finding {
+                    machine: kind,
+                    class: FindingClass::Error,
+                    detail: format!("pristine restore failed: {e}"),
+                });
+            }
+            let (warm, _) = run_on_machine(machine.as_mut(), kind, &bench);
+            if !same_outcome(&cold.outcome, &warm.outcome) {
+                return CaseOutcome::Finding(Finding {
+                    machine: kind,
+                    class: FindingClass::NonDet,
+                    detail: format!(
+                        "cold/warm outcome disagrees: cold {:?} vs warm {:?}",
+                        cold.outcome, warm.outcome
+                    ),
+                });
+            }
+            if cold.counters != warm.counters {
+                let delta = cold
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                    .zip(warm.counters.iter().map(|(_, v)| format!("{v:?}")))
+                    .find(|((_, c), w)| c != w)
+                    .map(|((k, c), w)| format!("{k}: cold {c} vs warm {w}"))
+                    .unwrap_or_else(|| "counter registries differ in shape".to_string());
+                return CaseOutcome::Finding(Finding {
+                    machine: kind,
+                    class: FindingClass::NonDet,
+                    detail: format!("cold/warm counters disagree: {delta}"),
+                });
+            }
+        }
+        digest = fold_run(digest, &cold);
+    }
+    CaseOutcome::Agree {
+        sgmf_skipped,
+        digest,
+    }
+}
+
+/// Runs the case's own program through the differential stack.
+pub fn run_case(case: &FuzzCase, checks: ChecksConfig, inject: &Injection) -> CaseOutcome {
+    run_case_program(case, &case.program, checks, inject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checks() -> ChecksConfig {
+        ChecksConfig::full_with_budget(20_000)
+    }
+
+    #[test]
+    fn clean_cases_agree_everywhere() {
+        let mut digests = Vec::new();
+        for index in 0..6 {
+            let case = FuzzCase::generate(5150, index);
+            match run_case(&case, checks(), &Injection::default()) {
+                CaseOutcome::Agree { digest, .. } => digests.push(digest),
+                other => panic!("case {index} did not agree: {other:?}"),
+            }
+        }
+        // A second sweep is bit-identical: same digests, same order.
+        for (index, &d) in digests.iter().enumerate() {
+            match run_case(
+                &FuzzCase::generate(5150, index as u64),
+                checks(),
+                &Injection::default(),
+            ) {
+                CaseOutcome::Agree { digest, .. } => assert_eq!(digest, d, "case {index}"),
+                other => panic!("case {index} flipped on rerun: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_token_drop_is_a_vgiw_finding() {
+        // Dropping the very first fabric token must surface on VGIW as a
+        // watchdog hang, an invariant error or a mismatch — never as
+        // silent agreement.
+        let inject = Injection {
+            drop_token: Some(0),
+        };
+        let mut found = false;
+        for index in 0..10 {
+            let case = FuzzCase::generate(41, index);
+            if let CaseOutcome::Finding(f) = run_case(&case, checks(), &inject) {
+                assert_eq!(f.machine, MachineKind::Vgiw, "{f:?}");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no case tripped over a dropped first token");
+    }
+}

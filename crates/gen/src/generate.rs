@@ -1,0 +1,271 @@
+//! Seeded generation of fuzz cases: a [`Program`] plus its launch and
+//! memory-image inputs, all derived from one `(seed, index)` pair through
+//! the workspace's deterministic SplitMix64 stream (no external `rand` —
+//! the CI sandbox builds offline, and every case must be reproducible
+//! from two integers in a reproducer artifact).
+
+use crate::ast::{
+    Expr, Program, Stmt, BIN_OPS, IN_WORDS, LOOP_MASK, MEM_WORDS, NUM_PARAMS, OUT_REGIONS,
+    THREADS_MAX, UN_OPS,
+};
+use vgiw_ir::{Launch, MemoryImage, Word};
+use vgiw_kernels::util::{random_input_words, SplitMix64};
+
+/// Mixing constant (SplitMix64's golden-gamma) for keying per-case
+/// streams off the campaign seed.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One generated fuzz case: the program and its inputs.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Campaign seed the case was derived from.
+    pub seed: u64,
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The generated program.
+    pub program: Program,
+    /// Threads to launch (`1..=THREADS_MAX`).
+    pub num_threads: u32,
+    /// The two launch parameters.
+    pub params: [Word; 2],
+}
+
+impl FuzzCase {
+    /// The launch descriptor for this case.
+    pub fn launch(&self) -> Launch {
+        Launch::new(self.num_threads, self.params.to_vec())
+    }
+
+    /// The initial memory image: a seeded read-only input region and a
+    /// zeroed output region. Input contents depend only on `(seed,
+    /// index)`, so a reproducer artifact that records those two integers
+    /// pins the data too.
+    pub fn memory(&self) -> MemoryImage {
+        let mut mem = MemoryImage::new(MEM_WORDS);
+        let mut rng = SplitMix64::new(self.seed ^ self.index.wrapping_mul(GAMMA) ^ 0xDA7A);
+        for (addr, w) in random_input_words(&mut rng, IN_WORDS as usize)
+            .into_iter()
+            .enumerate()
+        {
+            mem.write(addr as u32, w);
+        }
+        mem
+    }
+
+    /// Regenerates the full case for `(seed, index)`.
+    pub fn generate(seed: u64, index: u64) -> FuzzCase {
+        let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(GAMMA));
+        let program = gen_program(&mut rng);
+        let num_threads = 1 + rng.gen_range_u32(THREADS_MAX);
+        let params = [
+            Word::from_u32(rng.gen_range_u32(64)),
+            Word::from_u32(rng.next_u32()),
+        ];
+        FuzzCase {
+            seed,
+            index,
+            program,
+            num_threads,
+            params,
+        }
+    }
+}
+
+/// Generates one well-formed program: nested if/else and loops with
+/// data-dependent trip counts, divergent predicates (every leaf mix
+/// includes the thread index and loaded data), mixed load/store patterns,
+/// and live values crossing block boundaries (variable slots assigned
+/// inside branches and read after the merge).
+fn gen_program(rng: &mut SplitMix64) -> Program {
+    let num_vars = 3 + rng.gen_range_u32(4) as u8; // 3..=6
+    let len = 3 + rng.gen_range_u32(5) as usize; // 3..=7 top-level stmts
+    let mut reserved = Vec::new();
+    let body = gen_stmts(rng, num_vars, len, 3, &mut reserved);
+    Program { num_vars, body }
+}
+
+fn gen_stmts(
+    rng: &mut SplitMix64,
+    num_vars: u8,
+    len: usize,
+    depth: u32,
+    reserved: &mut Vec<u8>,
+) -> Vec<Stmt> {
+    (0..len)
+        .map(|_| gen_stmt(rng, num_vars, depth, reserved))
+        .collect()
+}
+
+fn gen_stmt(rng: &mut SplitMix64, num_vars: u8, depth: u32, reserved: &mut Vec<u8>) -> Stmt {
+    // Leaves only at depth 0; otherwise a third of statements nest.
+    let roll = rng.gen_range_u32(if depth > 0 { 6 } else { 4 });
+    match roll {
+        0 | 1 => {
+            // Assign a slot the enclosing loops do not count with.
+            let free: Vec<u8> = (0..num_vars).filter(|s| !reserved.contains(s)).collect();
+            match free.get(rng.gen_range_u32(free.len().max(1) as u32) as usize) {
+                Some(&slot) => Stmt::Assign(slot, gen_expr(rng, num_vars, 3)),
+                None => Stmt::Store(0, gen_expr(rng, num_vars, 3)),
+            }
+        }
+        2 | 3 => Stmt::Store(
+            rng.gen_range_u32(OUT_REGIONS as u32) as u8,
+            gen_expr(rng, num_vars, 3),
+        ),
+        4 => {
+            let cond = gen_predicate(rng, num_vars);
+            let then_len = 1 + rng.gen_range_u32(3) as usize;
+            if rng.next_u64().is_multiple_of(2) {
+                Stmt::If(
+                    cond,
+                    gen_stmts(rng, num_vars, then_len, depth - 1, reserved),
+                )
+            } else {
+                let else_len = 1 + rng.gen_range_u32(3) as usize;
+                Stmt::IfElse(
+                    cond,
+                    gen_stmts(rng, num_vars, then_len, depth - 1, reserved),
+                    gen_stmts(rng, num_vars, else_len, depth - 1, reserved),
+                )
+            }
+        }
+        _ => {
+            let free: Vec<u8> = (0..num_vars).filter(|s| !reserved.contains(s)).collect();
+            if free.is_empty() {
+                return Stmt::Store(0, gen_expr(rng, num_vars, 2));
+            }
+            let slot = free[rng.gen_range_u32(free.len() as u32) as usize];
+            // Data-dependent trip count: the bound usually reads memory
+            // or the thread index, then gets masked to 0..=LOOP_MASK at
+            // emission.
+            let bound = match rng.gen_range_u32(4) {
+                0 => Expr::Load(Box::new(Expr::Tid)),
+                1 => Expr::Bin(
+                    vgiw_ir::BinaryOp::Add,
+                    Box::new(Expr::Tid),
+                    Box::new(Expr::Param(0)),
+                ),
+                2 => gen_expr(rng, num_vars, 2),
+                _ => Expr::Const(1 + rng.gen_range_u32(LOOP_MASK)),
+            };
+            reserved.push(slot);
+            let body_len = 1 + rng.gen_range_u32(3) as usize;
+            let body = gen_stmts(rng, num_vars, body_len, depth - 1, reserved);
+            reserved.pop();
+            Stmt::Loop(slot, bound, body)
+        }
+    }
+}
+
+/// A comparison-shaped expression: the usual predicate source, and one
+/// that diverges across threads whenever a leaf is `tid` or loaded data.
+fn gen_predicate(rng: &mut SplitMix64, num_vars: u8) -> Expr {
+    let cmp = [
+        vgiw_ir::BinaryOp::CmpLtU,
+        vgiw_ir::BinaryOp::CmpEq,
+        vgiw_ir::BinaryOp::FCmpLt,
+    ];
+    let op = cmp[rng.gen_range_u32(3) as usize];
+    Expr::Bin(
+        op,
+        Box::new(gen_expr(rng, num_vars, 2)),
+        Box::new(gen_expr(rng, num_vars, 2)),
+    )
+}
+
+fn gen_expr(rng: &mut SplitMix64, num_vars: u8, depth: u32) -> Expr {
+    let roll = rng.gen_range_u32(if depth > 0 { 8 } else { 4 });
+    match roll {
+        0 => Expr::Const(if rng.next_u64().is_multiple_of(2) {
+            rng.gen_range_u32(16)
+        } else {
+            rng.next_u32()
+        }),
+        1 => Expr::Tid,
+        2 => Expr::Param(rng.gen_range_u32(NUM_PARAMS as u32) as u8),
+        3 => Expr::Var(rng.gen_range_u32(num_vars as u32) as u8),
+        4 => Expr::Load(Box::new(gen_expr(rng, num_vars, depth - 1))),
+        5 => {
+            let op = UN_OPS[rng.gen_range_u32(UN_OPS.len() as u32) as usize].1;
+            Expr::Un(op, Box::new(gen_expr(rng, num_vars, depth - 1)))
+        }
+        6 => Expr::Select(
+            Box::new(gen_expr(rng, num_vars, depth - 1)),
+            Box::new(gen_expr(rng, num_vars, depth - 1)),
+            Box::new(gen_expr(rng, num_vars, depth - 1)),
+        ),
+        _ => {
+            let op = BIN_OPS[rng.gen_range_u32(BIN_OPS.len() as u32) as usize].1;
+            Expr::Bin(
+                op,
+                Box::new(gen_expr(rng, num_vars, depth - 1)),
+                Box::new(gen_expr(rng, num_vars, depth - 1)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgiw_ir::{interp, verify};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FuzzCase::generate(42, 7);
+        let b = FuzzCase::generate(42, 7);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.num_threads, b.num_threads);
+        assert_eq!(a.params, b.params);
+        assert_ne!(
+            a.program,
+            FuzzCase::generate(42, 8).program,
+            "distinct indices must draw distinct programs"
+        );
+    }
+
+    #[test]
+    fn generated_programs_are_valid_and_terminate() {
+        // Every generated case must validate, lower to a kernel that
+        // passes ir::verify, and finish on the interpreter within a step
+        // budget (structural loop bounds at work).
+        for index in 0..60 {
+            let case = FuzzCase::generate(1234, index);
+            case.program
+                .validate()
+                .expect("generated program validates");
+            let kernel = case.program.emit();
+            verify::verify(&kernel).expect("lowered kernel verifies");
+            let mut mem = case.memory();
+            interp::run_with_limit(&kernel, &case.launch(), &mut mem, 4_000_000)
+                .expect("generated kernel terminates within the step budget");
+        }
+    }
+
+    #[test]
+    fn generated_round_trip_through_compact_text() {
+        for index in 0..40 {
+            let p = FuzzCase::generate(9, index).program;
+            let text = p.to_compact();
+            assert_eq!(Program::parse_compact(&text).expect("parses"), p);
+        }
+    }
+
+    #[test]
+    fn shapes_cover_the_divergence_space() {
+        // The campaign only earns its keep if the drawn population
+        // actually contains nested control flow, loops and loads.
+        let mut loops = 0;
+        let mut branches = 0;
+        let mut loads = 0;
+        for index in 0..80 {
+            let text = FuzzCase::generate(77, index).program.to_compact();
+            loops += text.matches("(loop").count();
+            branches += text.matches("(if").count();
+            loads += text.matches("(ld").count();
+        }
+        assert!(loops > 10, "only {loops} loops across the population");
+        assert!(branches > 20, "only {branches} branches");
+        assert!(loads > 20, "only {loads} loads");
+    }
+}

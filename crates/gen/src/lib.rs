@@ -1,0 +1,41 @@
+//! Generative kernel fuzzer with a differential cross-machine oracle
+//! (DESIGN.md §13, `experiments fuzz`).
+//!
+//! The suite's equivalence guarantees (VGIW vs SIMT vs SGMF vs the
+//! reference interpreter, bit-identical down to the counter registry) are
+//! proven on twelve hand-ported kernels; this crate proves them on as
+//! many *generated* kernels as CPU time allows. The pipeline:
+//!
+//! 1. [`generate`] draws a well-typed structured program — nested
+//!    if/else, bounded data-dependent loops, divergent predicates, mixed
+//!    load/store patterns, live values crossing block boundaries — plus
+//!    its launch and memory inputs, all from one `(seed, index)` pair.
+//! 2. [`ast`] lowers it through the suite's own `KernelBuilder` DSL (so
+//!    `ir/verify` holds by construction) under a race-free memory
+//!    discipline that makes the sequential interpreter a valid oracle
+//!    for all three machines.
+//! 3. [`diff`] runs the case on every machine, cold and warm (the job
+//!    service's pooled-machine path), and compares results, golden
+//!    memory, and the full counter registry.
+//! 4. On any disagreement, [`shrink`] reduces the program to a minimal
+//!    reproducer with the same finding class, and [`campaign`] writes it
+//!    as a deterministic `key=value` + IR-text artifact that
+//!    `experiments fuzz --replay` re-executes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod campaign;
+pub mod diff;
+pub mod generate;
+pub mod shrink;
+
+pub use ast::{Expr, Program, Stmt};
+pub use campaign::{
+    fuzz_campaign, parse_artifact, replay_artifact, to_artifact, CampaignReport, FindingReport,
+    Reproducer,
+};
+pub use diff::{run_case, run_case_program, CaseOutcome, Finding, FindingClass, Injection};
+pub use generate::FuzzCase;
+pub use shrink::{program_size, shrink_program};

@@ -1,0 +1,340 @@
+//! Class-preserving shrinking of generated programs (the chaos
+//! shrinker's pattern lifted to kernel ASTs): repeatedly propose a
+//! strictly smaller variant — statement dropping, control-structure
+//! flattening (the AST form of block dropping), loop-bound halving,
+//! operand simplification — and keep every variant the probe says still
+//! reproduces the finding class, until a fixpoint or the probe budget
+//! runs out. Shrinking operates on the generator's [`Program`] AST, not
+//! the lowered CFG, so every candidate re-lowers through the builder and
+//! is structurally valid by construction (and re-checked with
+//! [`Program::validate`] before it is ever probed).
+
+use crate::ast::{Expr, Program, Stmt};
+
+/// Default probe budget: each probe is one full differential run, so the
+/// budget bounds shrinking wall time on pathological findings.
+pub const DEFAULT_PROBE_BUDGET: usize = 300;
+
+/// Shrinks `start` to a minimal program for which `keeps_class` still
+/// returns true. `keeps_class` is never called on an invalid program.
+/// Greedy first-improvement descent restarted after every accepted
+/// candidate; terminates because every candidate is strictly smaller.
+pub fn shrink_program(
+    start: &Program,
+    mut keeps_class: impl FnMut(&Program) -> bool,
+    max_probes: usize,
+) -> Program {
+    let mut current = start.clone();
+    let mut probes = 0;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if probes >= max_probes {
+                break 'outer;
+            }
+            if candidate.validate().is_err() {
+                continue;
+            }
+            probes += 1;
+            if keeps_class(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// The number of AST nodes — the size metric shrinking descends on.
+pub fn program_size(p: &Program) -> usize {
+    p.body.iter().map(stmt_size).sum()
+}
+
+fn stmt_size(s: &Stmt) -> usize {
+    match s {
+        Stmt::Assign(_, e) | Stmt::Store(_, e) => 1 + expr_size(e),
+        Stmt::If(c, t) => 1 + expr_size(c) + t.iter().map(stmt_size).sum::<usize>(),
+        Stmt::IfElse(c, t, e) => {
+            1 + expr_size(c)
+                + t.iter().map(stmt_size).sum::<usize>()
+                + e.iter().map(stmt_size).sum::<usize>()
+        }
+        Stmt::Loop(_, b, body) => 1 + expr_size(b) + body.iter().map(stmt_size).sum::<usize>(),
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Tid | Expr::Param(_) | Expr::Var(_) => 1,
+        Expr::Load(a) | Expr::Un(_, a) => 1 + expr_size(a),
+        Expr::Bin(_, a, b) => 1 + expr_size(a) + expr_size(b),
+        Expr::Select(c, a, b) => 1 + expr_size(c) + expr_size(a) + expr_size(b),
+    }
+}
+
+/// Every single-step shrink of `p`, most aggressive first. Each candidate
+/// is strictly smaller than `p` by [`program_size`].
+fn candidates(p: &Program) -> Vec<Program> {
+    stmt_list_candidates(&p.body)
+        .into_iter()
+        .map(|body| Program {
+            num_vars: p.num_vars,
+            body,
+        })
+        .collect()
+}
+
+/// All single-step shrinks of a statement list: drop one statement,
+/// flatten one structured statement into the list, or shrink inside one
+/// statement.
+fn stmt_list_candidates(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    let splice = |i: usize, replacement: &[Stmt]| -> Vec<Stmt> {
+        let mut v = stmts[..i].to_vec();
+        v.extend_from_slice(replacement);
+        v.extend_from_slice(&stmts[i + 1..]);
+        v
+    };
+    for (i, s) in stmts.iter().enumerate() {
+        // Drop the statement outright (the biggest single step).
+        out.push(splice(i, &[]));
+        // Flatten control structure: keep the body, lose the structure.
+        match s {
+            Stmt::If(_, t) => out.push(splice(i, t)),
+            Stmt::IfElse(c, t, e) => {
+                out.push(splice(i, t));
+                out.push(splice(i, e));
+                out.push(splice(i, &[Stmt::If(c.clone(), t.clone())]));
+                out.push(splice(i, &[Stmt::If(c.clone(), e.clone())]));
+            }
+            Stmt::Loop(_, _, body) => out.push(splice(i, body)),
+            _ => {}
+        }
+        // Shrink inside the statement.
+        for replacement in stmt_candidates(s) {
+            out.push(splice(i, &[replacement]));
+        }
+    }
+    out
+}
+
+/// Single-step shrinks of one statement that keep its shape.
+fn stmt_candidates(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::Assign(slot, e) => expr_candidates(e)
+            .into_iter()
+            .map(|e| Stmt::Assign(*slot, e))
+            .collect(),
+        Stmt::Store(region, e) => expr_candidates(e)
+            .into_iter()
+            .map(|e| Stmt::Store(*region, e))
+            .collect(),
+        Stmt::If(c, t) => {
+            let mut out: Vec<Stmt> = expr_candidates(c)
+                .into_iter()
+                .map(|c| Stmt::If(c, t.clone()))
+                .collect();
+            out.extend(
+                stmt_list_candidates(t)
+                    .into_iter()
+                    .map(|t| Stmt::If(c.clone(), t)),
+            );
+            out
+        }
+        Stmt::IfElse(c, t, e) => {
+            let mut out: Vec<Stmt> = expr_candidates(c)
+                .into_iter()
+                .map(|c| Stmt::IfElse(c, t.clone(), e.clone()))
+                .collect();
+            out.extend(
+                stmt_list_candidates(t)
+                    .into_iter()
+                    .map(|t| Stmt::IfElse(c.clone(), t, e.clone())),
+            );
+            out.extend(
+                stmt_list_candidates(e)
+                    .into_iter()
+                    .map(|e| Stmt::IfElse(c.clone(), t.clone(), e)),
+            );
+            out
+        }
+        Stmt::Loop(slot, bound, body) => {
+            // Loop-bound halving: a constant bound halves; anything else
+            // first collapses to a small constant (still one step).
+            let mut out = Vec::new();
+            match bound {
+                Expr::Const(n) if *n > 0 => {
+                    out.push(Stmt::Loop(*slot, Expr::Const(n / 2), body.clone()))
+                }
+                Expr::Const(_) => {}
+                _ => {
+                    out.extend(
+                        expr_candidates(bound)
+                            .into_iter()
+                            .map(|b| Stmt::Loop(*slot, b, body.clone())),
+                    );
+                    out.push(Stmt::Loop(*slot, Expr::Const(1), body.clone()));
+                }
+            }
+            out.extend(
+                stmt_list_candidates(body)
+                    .into_iter()
+                    .map(|body| Stmt::Loop(*slot, bound.clone(), body)),
+            );
+            out
+        }
+    }
+}
+
+/// Single-step shrinks of an expression: collapse to `0`, hoist a direct
+/// child, or shrink inside one child. Every candidate is strictly
+/// smaller, so repeated application terminates at `Const(0)`.
+fn expr_candidates(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Const(0) => {}
+        Expr::Const(_) | Expr::Tid | Expr::Param(_) | Expr::Var(_) => out.push(Expr::Const(0)),
+        Expr::Load(a) | Expr::Un(_, a) => {
+            out.push((**a).clone());
+            out.extend(expr_candidates(a).into_iter().map(|a| match e {
+                Expr::Load(_) => Expr::Load(Box::new(a)),
+                Expr::Un(op, _) => Expr::Un(*op, Box::new(a)),
+                _ => unreachable!(),
+            }));
+        }
+        Expr::Bin(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            out.extend(
+                expr_candidates(a)
+                    .into_iter()
+                    .map(|a| Expr::Bin(*op, Box::new(a), b.clone())),
+            );
+            out.extend(
+                expr_candidates(b)
+                    .into_iter()
+                    .map(|b| Expr::Bin(*op, a.clone(), Box::new(b))),
+            );
+        }
+        Expr::Select(c, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            out.extend(
+                expr_candidates(c)
+                    .into_iter()
+                    .map(|c| Expr::Select(Box::new(c), a.clone(), b.clone())),
+            );
+            out.extend(
+                expr_candidates(a)
+                    .into_iter()
+                    .map(|a| Expr::Select(c.clone(), Box::new(a), b.clone())),
+            );
+            out.extend(
+                expr_candidates(b)
+                    .into_iter()
+                    .map(|b| Expr::Select(c.clone(), a.clone(), Box::new(b))),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::FuzzCase;
+
+    fn has_store(p: &Program) -> bool {
+        fn walk(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Store(_, _) => true,
+                Stmt::If(_, t) => walk(t),
+                Stmt::IfElse(_, t, e) => walk(t) || walk(e),
+                Stmt::Loop(_, _, body) => walk(body),
+                Stmt::Assign(_, _) => false,
+            })
+        }
+        walk(&p.body)
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_store_under_a_store_preserving_probe() {
+        // With "contains a store" as the class, the fixpoint is a single
+        // store of a constant: everything else must be shaved off.
+        for index in 0..10 {
+            let p = FuzzCase::generate(31, index).program;
+            if !has_store(&p) {
+                continue;
+            }
+            let shrunk = shrink_program(&p, has_store, 10_000);
+            assert!(has_store(&shrunk), "class lost while shrinking");
+            assert_eq!(
+                program_size(&shrunk),
+                2,
+                "not minimal: {}",
+                shrunk.to_compact()
+            );
+        }
+    }
+
+    /// Secondary shrink measure: every non-constant expression node
+    /// weighs more than any constant, and a constant weighs its value —
+    /// so the equal-node-count candidates (constant zeroing, loop-bound
+    /// halving, bound-to-constant collapse) all strictly reduce it.
+    fn expr_weight(e: &Expr) -> u64 {
+        const NODE: u64 = 1 << 32;
+        match e {
+            Expr::Const(n) => *n as u64,
+            Expr::Tid | Expr::Param(_) | Expr::Var(_) => NODE,
+            Expr::Load(a) | Expr::Un(_, a) => NODE + expr_weight(a),
+            Expr::Bin(_, a, b) => NODE + expr_weight(a) + expr_weight(b),
+            Expr::Select(c, a, b) => NODE + expr_weight(c) + expr_weight(a) + expr_weight(b),
+        }
+    }
+
+    fn weight(stmts: &[Stmt]) -> u64 {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign(_, e) | Stmt::Store(_, e) => expr_weight(e),
+                Stmt::If(c, t) => expr_weight(c) + weight(t),
+                Stmt::IfElse(c, t, e) => expr_weight(c) + weight(t) + weight(e),
+                Stmt::Loop(_, b, body) => expr_weight(b) + weight(body),
+            })
+            .sum()
+    }
+
+    #[test]
+    fn every_candidate_strictly_descends() {
+        // Each candidate must strictly reduce (node count, expression
+        // weight) lexicographically — the termination argument for the
+        // greedy descent.
+        for index in 0..20 {
+            let p = FuzzCase::generate(63, index).program;
+            let measure = (program_size(&p), weight(&p.body));
+            for c in candidates(&p) {
+                assert!(
+                    (program_size(&c), weight(&c.body)) < measure,
+                    "candidate did not shrink: {} -> {}",
+                    p.to_compact(),
+                    c.to_compact()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_respects_the_probe_budget() {
+        let p = FuzzCase::generate(8, 0).program;
+        let mut probes = 0;
+        let _ = shrink_program(
+            &p,
+            |_| {
+                probes += 1;
+                false
+            },
+            5,
+        );
+        assert!(probes <= 5);
+    }
+}

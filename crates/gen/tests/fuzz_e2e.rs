@@ -1,0 +1,123 @@
+//! End-to-end fuzzer tests: campaign bit-identity across consecutive
+//! runs, and the injected-fabric-bug acceptance path (caught → shrunk →
+//! artifact → deterministic replay).
+
+use vgiw_gen::{fuzz_campaign, parse_artifact, replay_artifact, CaseOutcome, FuzzCase, Injection};
+use vgiw_robust::ChecksConfig;
+use vgiw_serve::MachineKind;
+
+fn checks() -> ChecksConfig {
+    ChecksConfig::full_with_budget(20_000)
+}
+
+#[test]
+fn clean_campaign_is_bit_identical_across_runs() {
+    let dir = std::env::temp_dir().join("vgiw_fuzz_e2e_clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_str().unwrap();
+    let a = fuzz_campaign(2024, 25, checks(), &Injection::default(), dir);
+    let b = fuzz_campaign(2024, 25, checks(), &Injection::default(), dir);
+    assert!(a.ok(false), "clean campaign found a bug: {:?}", a.findings);
+    assert!(b.ok(false));
+    assert_eq!(
+        a.digest, b.digest,
+        "campaign digest must be run-to-run stable"
+    );
+    assert_eq!(a.agreed, 25);
+    assert_eq!(a.rejected, 0);
+    assert_eq!(a.sgmf_skipped, b.sgmf_skipped);
+}
+
+#[test]
+fn injected_fabric_bug_is_caught_shrunk_and_replayable() {
+    // The test-only hook arms a first-token drop on VGIW. The campaign
+    // must catch it, shrink the kernel to a smaller reproducer, write an
+    // artifact, and that artifact must replay the same class twice.
+    let dir = std::env::temp_dir().join("vgiw_fuzz_e2e_inject");
+    std::fs::create_dir_all(&dir).unwrap();
+    let inject = Injection {
+        drop_token: Some(0),
+    };
+    let report = fuzz_campaign(41, 10, checks(), &inject, dir.to_str().unwrap());
+    assert!(
+        !report.findings.is_empty(),
+        "injected fault produced no findings in 10 cases"
+    );
+    assert!(
+        report.ok(true),
+        "a finding did not replay deterministically: {:?}",
+        report.findings
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.machine, MachineKind::Vgiw);
+    assert!(
+        finding.size_after <= finding.size_before,
+        "shrinking must not grow the program"
+    );
+    // The artifact replays from disk through the public replay entry.
+    let path = finding.artifact.as_ref().expect("artifact was written");
+    let text = std::fs::read_to_string(path).unwrap();
+    let repro = parse_artifact(&text).unwrap();
+    assert_eq!(repro.inject, inject, "artifact must pin the injection");
+    let (_, observed, matches) = replay_artifact(&text, checks()).unwrap();
+    assert_eq!(observed.len(), 2);
+    assert!(matches, "replay did not reproduce the recorded class twice");
+}
+
+#[test]
+fn campaign_fails_without_injection_if_a_finding_appears() {
+    // ok() semantics: the same report that passes with the injection
+    // armed must fail a clean campaign — a real bug may not be waved
+    // through just because it replays.
+    let dir = std::env::temp_dir().join("vgiw_fuzz_e2e_semantics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let inject = Injection {
+        drop_token: Some(0),
+    };
+    let report = fuzz_campaign(41, 10, checks(), &inject, dir.to_str().unwrap());
+    assert!(!report.findings.is_empty());
+    assert!(report.ok(true));
+    assert!(!report.ok(false));
+}
+
+#[test]
+fn replay_detects_a_stale_artifact() {
+    // An artifact whose recorded class no longer reproduces (here:
+    // recorded against an injection that is *not* re-armed because the
+    // artifact omits it) must come back matches=false, not panic.
+    let case = FuzzCase::generate(41, 0);
+    let inject = Injection {
+        drop_token: Some(0),
+    };
+    let f = match vgiw_gen::run_case(&case, checks(), &inject) {
+        CaseOutcome::Finding(f) => f,
+        other => {
+            // This seed/index is known to trip over a dropped first
+            // token in the e2e test above; if generation drifted, pick
+            // any finding in range.
+            let mut found = None;
+            for index in 1..10 {
+                let case = FuzzCase::generate(41, index);
+                if let CaseOutcome::Finding(f) = vgiw_gen::run_case(&case, checks(), &inject) {
+                    found = Some((case.index, f));
+                    break;
+                }
+            }
+            let Some((_, f)) = found else {
+                panic!("no finding to build a stale artifact from: {other:?}");
+            };
+            f
+        }
+    };
+    let text = vgiw_gen::to_artifact(
+        41,
+        0,
+        f.machine,
+        f.class,
+        &f.detail,
+        &case.program,
+        &Injection::default(), // deliberately stale: injection omitted
+    );
+    let (_, _, matches) = replay_artifact(&text, checks()).unwrap();
+    assert!(!matches, "stale artifact must not validate");
+}

@@ -1,0 +1,147 @@
+//! `verify` on the edge shapes a kernel generator skirts: empty kernels,
+//! empty-but-reachable blocks, unreachable blocks, out-of-range indices,
+//! and a live value defined on only one branch. Every rejection is
+//! asserted down to the exact error variant, so the generator can rely on
+//! `verify` as its validity oracle.
+
+use vgiw_ir::verify::{verify, VerifyError};
+use vgiw_ir::{
+    BasicBlock, BinaryOp, BlockId, Inst, Kernel, KernelBuilder, Launch, MemoryImage, Operand, Reg,
+    Terminator,
+};
+
+fn raw_kernel(num_regs: u32, num_params: u8, blocks: Vec<BasicBlock>) -> Kernel {
+    Kernel {
+        name: "edge".to_string(),
+        num_regs,
+        num_params,
+        blocks,
+    }
+}
+
+#[test]
+fn a_kernel_with_no_blocks_is_exactly_empty() {
+    let k = raw_kernel(0, 0, Vec::new());
+    assert_eq!(verify(&k), Err(VerifyError::Empty));
+}
+
+#[test]
+fn empty_blocks_are_legal_when_reachable() {
+    // An instructionless entry that just exits is a valid kernel…
+    let k = raw_kernel(0, 0, vec![BasicBlock::new()]);
+    assert_eq!(verify(&k), Ok(()));
+
+    // …and so is an empty block in the middle of a jump chain.
+    let mut entry = BasicBlock::new();
+    entry.term = Terminator::Jump(BlockId(1));
+    let mut hop = BasicBlock::new();
+    hop.term = Terminator::Jump(BlockId(2));
+    let k = raw_kernel(0, 0, vec![entry, hop, BasicBlock::new()]);
+    assert_eq!(verify(&k), Ok(()));
+}
+
+#[test]
+fn the_first_unreachable_block_is_named() {
+    // Entry exits immediately; blocks 1 and 2 are dead. The verifier
+    // reports the lowest-numbered orphan.
+    let k = raw_kernel(
+        0,
+        0,
+        vec![BasicBlock::new(), BasicBlock::new(), BasicBlock::new()],
+    );
+    assert_eq!(
+        verify(&k),
+        Err(VerifyError::Unreachable { block: BlockId(1) })
+    );
+
+    // A block reachable only from an unreachable block is still dead.
+    let mut dead = BasicBlock::new();
+    dead.term = Terminator::Jump(BlockId(2));
+    let k = raw_kernel(0, 0, vec![BasicBlock::new(), dead, BasicBlock::new()]);
+    assert_eq!(
+        verify(&k),
+        Err(VerifyError::Unreachable { block: BlockId(1) })
+    );
+}
+
+#[test]
+fn out_of_range_indices_name_reg_block_and_param() {
+    // Destination register beyond num_regs, in a non-entry block.
+    let mut entry = BasicBlock::new();
+    entry.term = Terminator::Jump(BlockId(1));
+    let mut body = BasicBlock::new();
+    body.insts.push(Inst::Binary {
+        dst: Reg(3),
+        op: BinaryOp::Add,
+        lhs: Operand::Imm(1u32.into()),
+        rhs: Operand::Imm(2u32.into()),
+    });
+    let k = raw_kernel(3, 0, vec![entry, body]);
+    assert_eq!(
+        verify(&k),
+        Err(VerifyError::RegOutOfRange {
+            reg: Reg(3),
+            block: BlockId(1)
+        })
+    );
+
+    // Parameter index beyond num_params.
+    let mut entry = BasicBlock::new();
+    entry.insts.push(Inst::Param {
+        dst: Reg(0),
+        index: 2,
+    });
+    let k = raw_kernel(1, 2, vec![entry]);
+    assert_eq!(
+        verify(&k),
+        Err(VerifyError::ParamOutOfRange {
+            index: 2,
+            block: BlockId(0)
+        })
+    );
+
+    // A terminator aiming past the last block.
+    let mut entry = BasicBlock::new();
+    entry.term = Terminator::Jump(BlockId(7));
+    let k = raw_kernel(0, 0, vec![entry]);
+    assert_eq!(
+        verify(&k),
+        Err(VerifyError::BadTarget {
+            target: BlockId(7),
+            block: BlockId(0)
+        })
+    );
+}
+
+#[test]
+fn a_value_defined_on_one_branch_verifies_and_reads_zero_initialized() {
+    // The IR is not SSA: registers are zero-initialized per thread, so a
+    // mutable slot assigned on only one side of a branch is structurally
+    // valid — the untaken side observes the pre-branch value. This is
+    // exactly the shape a generator's `if` without `else` produces, and
+    // both halves of the contract (verify passes, semantics are the
+    // init value) are pinned here.
+    let mut b = KernelBuilder::new("one_branch", 0);
+    let tid = b.thread_id();
+    let init = b.const_u32(7);
+    let slot = b.var(init);
+    let two = b.const_u32(2);
+    let parity = b.rem_u(tid, two);
+    let zero = b.imm(0u32);
+    let is_even = b.eq(zero, parity);
+    b.if_(is_even, |b| {
+        let hundred = b.const_u32(100);
+        let v = b.add(hundred, tid);
+        b.set(slot, v);
+    });
+    let read = b.get(slot);
+    b.store(tid, read);
+    let kernel = b.finish();
+    assert_eq!(verify(&kernel), Ok(()));
+
+    let mut mem = MemoryImage::new(4);
+    vgiw_ir::interp::run(&kernel, &Launch::new(4, Vec::new()), &mut mem).expect("interprets");
+    // Even threads took the branch; odd threads kept the initializer.
+    let got: Vec<u32> = (0..4).map(|i| mem.read(i).as_u32()).collect();
+    assert_eq!(got, vec![100, 7, 102, 7]);
+}

@@ -75,6 +75,21 @@ pub fn random_u32(rng: &mut SplitMix64, n: usize, bound: u32) -> Vec<u32> {
     (0..n).map(|_| rng.gen_range_u32(bound)).collect()
 }
 
+/// `n` raw words for a fuzz-style input region: a mix of small integers
+/// (index-like), full-width integers (bit-pattern stress) and modest
+/// floats, so the same buffer is meaningful to integer address
+/// arithmetic, bitwise ops and float arithmetic alike.
+pub fn random_input_words(rng: &mut SplitMix64, n: usize) -> Vec<vgiw_ir::Word> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => vgiw_ir::Word::from_u32(rng.gen_range_u32(64)),
+            1 => vgiw_ir::Word::from_u32(rng.next_u32()),
+            2 => vgiw_ir::Word::from_f32(rng.gen_range_f32(-8.0, 8.0)),
+            _ => vgiw_ir::Word::from_u32(rng.gen_range_u32(1 << 10)),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +121,16 @@ mod tests {
     #[test]
     fn distinct_seeds_diverge() {
         assert_ne!(rng(1).next_u64(), rng(2).next_u64());
+    }
+
+    #[test]
+    fn input_words_are_deterministic_and_mixed() {
+        let a = random_input_words(&mut rng(11), 16);
+        let b = random_input_words(&mut rng(11), 16);
+        assert_eq!(a, b);
+        // The float lane must hold a value in the generated range.
+        assert!((-8.0..8.0).contains(&a[2].as_f32()));
+        // The small-integer lane must stay index-sized.
+        assert!(a[0].as_u32() < 64);
     }
 }

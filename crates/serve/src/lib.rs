@@ -35,8 +35,6 @@ pub use host::{
     run_machine, run_machine_tuned, run_on_machine, run_spec, run_spec_hooked, CheckpointSink,
     HostCheckpoint, MachineHost, RunHooks,
 };
-#[allow(deprecated)]
-pub use machine::{new_machine, new_machine_tuned};
 pub use machine::{
     BenchError, MachineKind, MachinePerf, MachineResult, MachineRun, MachineSpec, MachineTuning,
     RunOutcome,

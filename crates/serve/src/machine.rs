@@ -229,23 +229,6 @@ impl MachineSpec {
     }
 }
 
-/// Builds the processor behind `kind` with the given checks configuration
-/// and otherwise-default (paper) parameters, as a [`Machine`] trait object.
-#[deprecated(note = "use MachineSpec::new(kind).checks(checks).build()")]
-pub fn new_machine(kind: MachineKind, checks: ChecksConfig) -> Box<dyn Machine> {
-    MachineSpec::new(kind).checks(checks).build()
-}
-
-/// [`new_machine`] with explicit simulator-engine tuning.
-#[deprecated(note = "use MachineSpec::new(kind).checks(checks).tuning(tuning).build()")]
-pub fn new_machine_tuned(
-    kind: MachineKind,
-    checks: ChecksConfig,
-    tuning: MachineTuning,
-) -> Box<dyn Machine> {
-    MachineSpec::new(kind).checks(checks).tuning(tuning).build()
-}
-
 /// A typed benchmark-run failure. The rendered message ([`std::fmt::Display`],
 /// [`BenchError::message`]) is exactly the string the harness previously
 /// reported, so artifacts and tables are byte-compatible; the class adds
@@ -437,21 +420,6 @@ mod tests {
             let machine = MachineSpec::new(kind).build();
             assert_eq!(machine.name(), name);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_build() {
-        // One release of compatibility: the old free functions delegate
-        // to the builder.
-        let m = new_machine(MachineKind::Simt, ChecksConfig::default());
-        assert_eq!(m.name(), "simt");
-        let m = new_machine_tuned(
-            MachineKind::Sgmf,
-            ChecksConfig::full(),
-            MachineTuning::default(),
-        );
-        assert_eq!(m.name(), "sgmf");
     }
 
     #[test]

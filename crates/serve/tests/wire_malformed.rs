@@ -1,0 +1,127 @@
+//! Malformed-input robustness for the NDJSON wire layer: whatever bytes
+//! arrive on a request line, `JobRequest::from_json_line` must return a
+//! typed error (or a valid request) — it must never panic. Seeded with
+//! the workspace's deterministic SplitMix64 generator so failures
+//! reproduce exactly.
+
+use vgiw_kernels::util::SplitMix64;
+use vgiw_serve::JobRequest;
+
+/// Parses one line inside a panic guard; returns the parse result, or
+/// fails the test with the offending line if the parser panicked.
+fn parse_guarded(line: &str) -> Result<JobRequest, String> {
+    let owned = line.to_string();
+    std::panic::catch_unwind(move || JobRequest::from_json_line(&owned))
+        .unwrap_or_else(|_| panic!("wire parser panicked on {line:?}"))
+}
+
+#[test]
+fn random_byte_lines_yield_typed_errors_never_panics() {
+    let mut rng = SplitMix64::new(0xBADC0DE);
+    for i in 0..500 {
+        let len = rng.gen_range_u32(120) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+        // The service reads lines as (lossy) text; raw random bytes are
+        // overwhelmingly not JSON objects and must fail with a message.
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_guarded(&line) {
+            Ok(req) => panic!("random line {i} parsed as a request: {req:?}"),
+            Err(e) => assert!(!e.is_empty(), "line {i}: empty diagnostic"),
+        }
+    }
+}
+
+#[test]
+fn structurally_mutated_requests_never_panic() {
+    // Start from a maximal valid request line and mutate it structurally:
+    // truncate at every boundary, delete each character, and splice in
+    // JSON metacharacters at seeded positions.
+    let mut req = JobRequest::new("NN", vgiw_serve::MachineKind::Vgiw, 2);
+    req.checks = vgiw_robust::ChecksConfig::full();
+    req.tuning.watchdog_budget = Some(9_000);
+    req.tuning.reference_mem = true;
+    req.mem_wedge = Some(4);
+    req.emit_counters = true;
+    let line = req.to_json_line();
+    assert!(parse_guarded(&line).is_ok(), "baseline line must parse");
+
+    // Every prefix (truncation mid-token included).
+    for cut in 0..line.len() {
+        if !line.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = parse_guarded(&line[..cut]);
+    }
+    // Every single-character deletion.
+    for at in 0..line.chars().count() {
+        let mutated: String = line
+            .chars()
+            .enumerate()
+            .filter(|&(i, _)| i != at)
+            .map(|(_, c)| c)
+            .collect();
+        let _ = parse_guarded(&mutated);
+    }
+    // Seeded metacharacter splices.
+    let meta = ['{', '}', '[', ']', '"', ':', ',', '\\', '\u{0}', '9', '-'];
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..300 {
+        let mut chars: Vec<char> = line.chars().collect();
+        let at = rng.gen_range_u32(chars.len() as u32) as usize;
+        let c = meta[rng.gen_range_u32(meta.len() as u32) as usize];
+        chars[at] = c;
+        let mutated: String = chars.into_iter().collect();
+        if let Err(e) = parse_guarded(&mutated) {
+            assert!(!e.is_empty());
+        }
+    }
+}
+
+#[test]
+fn hostile_but_wellformed_json_is_rejected_with_diagnoses() {
+    // Well-formed JSON that is not a well-formed request: each case must
+    // name the problem, so a typo'd config can never silently run as a
+    // different one.
+    let cases = [
+        ("[1,2,3]", "object"),
+        (r#"{"benchmark":7,"machine":"vgiw"}"#, "string"),
+        (r#"{"benchmark":"NN","machine":"vgiw","scale":0}"#, "scale"),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","scale":1.5}"#,
+            "integer",
+        ),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","scale":-3}"#,
+            "integer",
+        ),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","checks":"paranoid"}"#,
+            "checks profile",
+        ),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","counters":"yes"}"#,
+            "boolean",
+        ),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","watchdog_budget":true}"#,
+            "integer",
+        ),
+        (
+            r#"{"benchmark":"NN","machine":"vgiw","wedge":1}"#,
+            "unknown request key",
+        ),
+        (r#"{"machine":"vgiw"}"#, "benchmark"),
+        (r#"{"benchmark":"NN"}"#, "machine"),
+        (r#"{"benchmark":"NN","machine":"cray"}"#, "unknown machine"),
+        (r#"{"benchmark":"NN","machine":"vgiw"} extra"#, "trailing"),
+        (r#"{"benchmark":"NN","machine":"vgiw""#, "expected"),
+        (r#"{"benchmark":"\ud800","machine":"vgiw"}"#, "escape"),
+    ];
+    for (line, needle) in cases {
+        let err = parse_guarded(line).expect_err(line);
+        assert!(
+            err.to_lowercase().contains(needle),
+            "{line}: diagnostic {err:?} does not mention {needle:?}"
+        );
+    }
+}
